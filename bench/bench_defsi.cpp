@@ -1,0 +1,153 @@
+// E4 — DEFSI vs baselines for epidemic forecasting (Section II-A,
+// paper ref [19]).
+//
+// Reproduces the paper's claim: "DEFSI performs comparably or better than
+// the other methods for state level forecasting; and it outperforms the
+// EpiFast method for county level forecasting."
+//
+// Setup: a synthetic two-county population with heterogeneous contact
+// structure; a hidden "true" epidemic observed only through coarse,
+// noisy, under-reported, delayed state-level surveillance.  Methods make
+// rolling 1-week-ahead forecasts of TRUE incidence at state and county
+// resolution; RMSE is averaged over several hidden-truth seasons.
+#include <cmath>
+
+#include "le/epi/baselines.hpp"
+#include "le/epi/defsi.hpp"
+#include "le/stats/descriptive.hpp"
+#include "report.hpp"
+
+namespace {
+using namespace le;
+
+struct MethodErrors {
+  std::vector<double> state;
+  std::vector<double> county;
+};
+
+double rms(const std::vector<double>& errors) {
+  double acc = 0.0;
+  for (double e : errors) acc += e * e;
+  return errors.empty() ? 0.0
+                        : std::sqrt(acc / static_cast<double>(errors.size()));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_heading("E4", "DEFSI epidemic forecasting vs baselines (ref [19])");
+
+  // Synthetic population: two counties with different density.
+  epi::PopulationConfig pop;
+  pop.regions.clear();
+  epi::RegionConfig urban;
+  urban.households = 450;
+  urban.community_degree = 4.5;
+  epi::RegionConfig rural;
+  rural.households = 220;
+  rural.community_degree = 2.2;
+  pop.regions = {urban, rural};
+  pop.seed = 2024;
+  const epi::ContactNetwork network = epi::generate_population(pop);
+  std::printf("\nPopulation: %zu people, %zu contacts, 2 counties "
+              "(%zu / %zu people)\n",
+              network.size(), network.edge_count(),
+              network.region_sizes()[0], network.region_sizes()[1]);
+
+  epi::SeirParams base;
+  base.days = 126;  // 18 weeks
+  base.transmissibility = 0.18;
+  base.initial_infections = 5;
+
+  epi::SurveillanceParams sp;
+  sp.reporting_rate = 0.3;
+  sp.noise_sigma = 0.15;
+  sp.delay_weeks = 1;
+
+  epi::DefsiConfig cfg;
+  cfg.tau_grid = {0.10, 0.14, 0.18, 0.24, 0.30};
+  cfg.seed_grid = {3, 6, 10};
+  cfg.calibration_replicates = 3;
+  cfg.top_candidates = 4;
+  cfg.sims_per_candidate = 8;
+  cfg.surveillance = sp;
+  cfg.train.epochs = 150;
+  cfg.train.batch_size = 32;
+
+  MethodErrors defsi_err, epifast_err, ar2_err, pers_err;
+  const auto shares = epi::population_shares(network);
+  const std::size_t seasons = 6;
+
+  for (std::size_t season = 0; season < seasons; ++season) {
+    epi::SeirParams truth_params = base;
+    truth_params.transmissibility = 0.15 + 0.03 * static_cast<double>(season);
+    truth_params.seed = 10000 + 17 * season;
+    const epi::EpidemicCurve truth = epi::run_seir(network, truth_params);
+    epi::SurveillanceParams season_sp = sp;
+    season_sp.seed = 20000 + season;
+    const epi::SurveillanceData obs = epi::observe(truth, season_sp);
+
+    epi::DefsiConfig season_cfg = cfg;
+    season_cfg.seed = 30000 + season;
+    const epi::DefsiForecaster defsi = epi::DefsiForecaster::train(
+        network, obs.state_weekly, base, season_cfg);
+    const epi::EpiFastForecaster epifast = epi::EpiFastForecaster::calibrate(
+        network, obs.state_weekly, base, season_cfg, 10);
+    const epi::Ar2Forecaster ar2(sp.reporting_rate, shares);
+
+    for (std::size_t w = cfg.window; w + 1 < truth.weekly_total.size(); ++w) {
+      const double state_truth =
+          static_cast<double>(truth.weekly_total[w + 1]);
+      // State-level errors.
+      defsi_err.state.push_back(defsi.forecast_state(obs.state_weekly, w) -
+                                state_truth);
+      epifast_err.state.push_back(epifast.forecast_state(w) - state_truth);
+      ar2_err.state.push_back(ar2.forecast_state(obs.state_weekly, w) -
+                              state_truth);
+      pers_err.state.push_back(
+          epi::persistence_forecast_state(obs.state_weekly, w,
+                                          sp.reporting_rate) -
+          state_truth);
+      // County-level errors.
+      const auto d = defsi.forecast_regions(obs.state_weekly, w);
+      const auto e = epifast.forecast_regions(w);
+      const auto a = ar2.forecast_regions(obs.state_weekly, w);
+      const auto p = epi::persistence_forecast_regions(
+          obs.state_weekly, w, sp.reporting_rate, shares);
+      for (std::size_t r = 0; r < 2; ++r) {
+        const double county_truth =
+            static_cast<double>(truth.weekly_by_region[r][w + 1]);
+        defsi_err.county.push_back(d[r] - county_truth);
+        epifast_err.county.push_back(e[r] - county_truth);
+        ar2_err.county.push_back(a[r] - county_truth);
+        pers_err.county.push_back(p[r] - county_truth);
+      }
+    }
+  }
+
+  bench::print_subheading(
+      "1-week-ahead RMSE over rolling forecasts (6 hidden seasons)");
+  bench::Table table({"method", "state RMSE", "county RMSE"});
+  table.header();
+  table.row({"DEFSI", bench::fmt(rms(defsi_err.state)),
+             bench::fmt(rms(defsi_err.county))});
+  table.row({"EpiFast-like", bench::fmt(rms(epifast_err.state)),
+             bench::fmt(rms(epifast_err.county))});
+  table.row({"AR(2)+shares", bench::fmt(rms(ar2_err.state)),
+             bench::fmt(rms(ar2_err.county))});
+  table.row({"persistence", bench::fmt(rms(pers_err.state)),
+             bench::fmt(rms(pers_err.county))});
+
+  std::printf(
+      "\nPaper claim to check: DEFSI comparable-or-better at STATE level;\n"
+      "DEFSI better than EpiFast at COUNTY level (it learns each county's\n"
+      "dynamics from high-resolution synthetic simulations instead of a\n"
+      "single calibrated trajectory).\n");
+  std::printf("Measured: DEFSI county RMSE %.4g vs EpiFast county RMSE %.4g "
+              "(%s)\n",
+              rms(defsi_err.county), rms(epifast_err.county),
+              rms(defsi_err.county) < rms(epifast_err.county)
+                  ? "claim holds"
+                  : "claim NOT reproduced at this scale");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation — MLControl: objective-driven computational campaigns
+// (paper Section I, ref [12]: "Using simulations (with HPC) in control of
+// experiments and in objective driven computational campaigns.  Here the
+// simulation surrogates are very valuable to allow real-time
+// predictions.").
+//
+// Design task: find the confinement geometry and solution conditions
+// (h, c, d) whose simulated ionic structure best matches a TARGET contact
+// density (an inverse-design problem, the materials-community use of
+// MLControl the paper cites).  Both arms get the same hard budget of real
+// MD simulations; the ML arm spends each run where its surrogate predicts
+// the best objective, the control arm samples space-fillingly.
+#include <cmath>
+
+#include "le/core/ml_control.hpp"
+#include "le/md/nanoconfinement.hpp"
+#include "report.hpp"
+
+namespace {
+using namespace le;
+}
+
+int main() {
+  bench::print_heading("MLControl",
+                       "Objective-driven campaign vs direct sampling (ref [12])");
+
+  const double target_contact = 1.2;  // ions/nm^3, the design goal
+  std::printf("\nInverse design: find (h, c, d) with contact density closest "
+              "to %.2f ions/nm^3.\nEach real evaluation is a full MD "
+              "simulation (~0.5 s here; hours at production scale).\n",
+              target_contact);
+
+  const data::ParamSpace space({{"h", 2.2, 3.8, false},
+                                {"c", 0.2, 0.9, false},
+                                {"d", 0.4, 0.65, false}});
+
+  std::size_t sim_counter = 0;
+  const core::SimulationFn simulation = [&](std::span<const double> x) {
+    md::NanoconfinementParams p;
+    p.h = x[0];
+    p.c = x[1];
+    p.d = x[2];
+    p.lx = 5.0;
+    p.ly = 5.0;
+    p.equilibration_steps = 600;
+    p.production_steps = 1800;
+    p.seed = 5000 + sim_counter++;
+    const md::NanoconfinementResult r = md::run_nanoconfinement(p);
+    return std::vector<double>{r.contact_density, r.peak_density,
+                               r.center_density};
+  };
+  const core::OutputObjective objective = [&](std::span<const double> out) {
+    const double miss = out[0] - target_contact;
+    return miss * miss;
+  };
+
+  bench::Table table({"arm", "seed", "sims", "best |miss|", "best h",
+                      "best c", "best d"});
+  table.header();
+  double ml_total = 0.0, direct_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    core::CampaignConfig cfg;
+    cfg.simulation_budget = 18;
+    cfg.warmup = 7;
+    cfg.pool = 300;
+    cfg.train.epochs = 150;
+    cfg.train.batch_size = 8;
+    cfg.seed = seed;
+
+    const core::CampaignResult ml =
+        core::run_ml_campaign(space, simulation, 3, objective, cfg);
+    const core::CampaignResult direct =
+        core::run_direct_campaign(space, simulation, 3, objective, cfg);
+    ml_total += std::sqrt(ml.best_objective);
+    direct_total += std::sqrt(direct.best_objective);
+    table.row({"ML-guided", bench::fmt_int(seed), bench::fmt_int(ml.simulations_run),
+               bench::fmt(std::sqrt(ml.best_objective)),
+               bench::fmt(ml.best_input[0]), bench::fmt(ml.best_input[1]),
+               bench::fmt(ml.best_input[2])});
+    table.row({"direct", bench::fmt_int(seed),
+               bench::fmt_int(direct.simulations_run),
+               bench::fmt(std::sqrt(direct.best_objective)),
+               bench::fmt(direct.best_input[0]), bench::fmt(direct.best_input[1]),
+               bench::fmt(direct.best_input[2])});
+  }
+
+  std::printf("\nMean |target miss|: ML-guided %.4f vs direct %.4f at the "
+              "same simulation budget (%s).\n",
+              ml_total / 2.0, direct_total / 2.0,
+              ml_total < direct_total ? "surrogate guidance wins"
+                                      : "no advantage at this tiny budget");
+  std::printf("(The claim being exercised: with surrogates in the loop, a\n"
+              " fixed budget of expensive runs buys a better design — the\n"
+              " materials-community MLControl use case of Section I.)\n");
+  return 0;
+}

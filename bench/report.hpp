@@ -1,0 +1,61 @@
+// Shared table-printing helpers for the experiment harnesses.
+//
+// Every bench binary regenerates one of the paper's quantitative claims
+// (DESIGN.md experiments E1-E9) and prints it as an aligned text table so
+// EXPERIMENTS.md can record paper-vs-measured side by side.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace le::bench {
+
+inline void print_heading(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s  %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_subheading(const std::string& text) {
+  std::printf("\n--- %s ---\n", text.c_str());
+}
+
+/// Prints a row of right-aligned cells under a previously printed header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, int width = 14)
+      : columns_(std::move(columns)), width_(width) {}
+
+  void header() const {
+    for (const auto& c : columns_) std::printf("%*s", width_, c.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%*s", width_, "------------");
+    }
+    std::printf("\n");
+  }
+
+  void row(const std::vector<std::string>& cells) const {
+    for (const auto& c : cells) std::printf("%*s", width_, c.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+inline std::string fmt(double v, const char* spec = "%.4g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+inline std::string fmt_int(std::size_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zu", v);
+  return buf;
+}
+
+}  // namespace le::bench

@@ -1,0 +1,103 @@
+// MLafterHPC: structure identification in simulation output
+// (paper Section I: "MLafterHPC: ML analyzing results of HPC as in
+// trajectory analysis and structure identification in biomolecular
+// simulations").
+//
+// Runs a sweep of nanoconfinement simulations across salt concentration
+// and slab width, then clusters the resulting ionic density PROFILES with
+// k-means.  The clusters recover the physically distinct structural
+// regimes (strong double-layer vs near-uniform profiles) without being
+// told any physics — classic unsupervised post-analysis of an HPC
+// campaign.
+#include <cstdio>
+
+#include "le/kernels/kmeans.hpp"
+#include "le/md/nanoconfinement.hpp"
+
+using namespace le;
+
+int main() {
+  // ---- The campaign -----------------------------------------------------
+  std::printf("Running the simulation sweep (24 MD runs)...\n");
+  const std::size_t bins = 24;
+  std::vector<md::NanoconfinementParams> points;
+  std::uint64_t seed = 51;
+  for (double h : {2.4, 3.0, 3.6}) {
+    for (double c : {0.2, 0.45, 0.7, 0.95}) {
+      for (double d : {0.45, 0.6}) {
+        md::NanoconfinementParams p;
+        p.h = h;
+        p.c = c;
+        p.d = d;
+        p.bins = bins;
+        p.equilibration_steps = 800;
+        p.production_steps = 2500;
+        p.seed = seed++;
+        points.push_back(p);
+      }
+    }
+  }
+
+  tensor::Matrix profiles(points.size(), bins);
+  std::vector<double> contrasts(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const md::NanoconfinementResult r = md::run_nanoconfinement(points[i]);
+    // Normalize each profile to its mean so the clustering sees SHAPE,
+    // not overall concentration.
+    double mean = 0.0;
+    for (double rho : r.profile.density) mean += rho;
+    mean /= static_cast<double>(bins);
+    for (std::size_t b = 0; b < bins; ++b) {
+      profiles(i, b) = mean > 0.0 ? r.profile.density[b] / mean : 0.0;
+    }
+    contrasts[i] = mean > 0.0 ? r.peak_density / mean : 0.0;
+    std::printf("  run %2zu: h=%.1f c=%.2f d=%.2f  peak/mean contrast %.2f\n",
+                i + 1, points[i].h, points[i].c, points[i].d, contrasts[i]);
+  }
+
+  // ---- Unsupervised structure identification ----------------------------
+  kernels::KMeansConfig cfg;
+  cfg.clusters = 3;
+  cfg.seed = 5;
+  const kernels::KMeansResult clusters = kernels::kmeans(profiles, cfg);
+  std::printf("\nK-means found %zu structural regimes "
+              "(inertia %.3f, %zu iterations):\n",
+              cfg.clusters, clusters.inertia, clusters.iterations);
+
+  for (std::size_t k = 0; k < cfg.clusters; ++k) {
+    // Characterize the cluster by its members' mean contrast.
+    double contrast = 0.0;
+    std::size_t members = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (clusters.assignment[i] == k) {
+        contrast += contrasts[i];
+        ++members;
+      }
+    }
+    if (members == 0) continue;
+    contrast /= static_cast<double>(members);
+    std::printf("\nregime %zu (%zu runs, mean peak/mean contrast %.2f) — "
+                "members:\n  ", k, members, contrast);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (clusters.assignment[i] == k) {
+        std::printf("(h=%.1f,c=%.2f,d=%.2f) ", points[i].h, points[i].c,
+                    points[i].d);
+      }
+    }
+    // ASCII sketch of the cluster's centroid profile.
+    std::printf("\n  centroid profile (wall .. centre .. wall):\n  ");
+    double max_v = 1e-9;
+    for (std::size_t b = 0; b < bins; ++b) {
+      max_v = std::max(max_v, clusters.centroids(k, b));
+    }
+    for (std::size_t b = 0; b < bins; ++b) {
+      const int bar = static_cast<int>(8.0 * clusters.centroids(k, b) / max_v);
+      std::printf("%c", " .:-=+*#@"[std::max(0, std::min(8, bar))]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(High-contrast regimes = wall-dominated double layers at\n"
+              "large ion size / high salt; low-contrast = near-uniform\n"
+              "profiles.  No physics was given to the clustering.)\n");
+  return 0;
+}

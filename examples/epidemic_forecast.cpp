@@ -1,0 +1,81 @@
+// Epidemic forecasting with DEFSI (paper Section II-A).
+//
+// A hidden influenza-like epidemic unfolds on a synthetic two-county
+// population.  Only coarse state-level surveillance (under-reported,
+// noisy, one week late) is observable.  DEFSI calibrates the agent model,
+// trains its two-branch network on synthetic epidemics, and prints a
+// weekly county-level forecast table against the hidden truth.
+#include <cstdio>
+
+#include "le/epi/baselines.hpp"
+#include "le/epi/defsi.hpp"
+
+using namespace le;
+
+int main() {
+  // ---- The world -------------------------------------------------------
+  epi::PopulationConfig pop;
+  pop.regions.clear();
+  epi::RegionConfig urban;
+  urban.households = 300;
+  urban.community_degree = 4.5;
+  epi::RegionConfig rural;
+  rural.households = 150;
+  rural.community_degree = 2.2;
+  pop.regions = {urban, rural};
+  pop.seed = 7;
+  const epi::ContactNetwork network = epi::generate_population(pop);
+  std::printf("Synthetic population: %zu people in 2 counties (%zu / %zu)\n",
+              network.size(), network.region_sizes()[0],
+              network.region_sizes()[1]);
+
+  // ---- The hidden truth and what we actually get to see ---------------
+  epi::SeirParams base;
+  base.days = 126;
+  base.transmissibility = 0.18;
+  epi::SeirParams truth_params = base;
+  truth_params.transmissibility = 0.13;  // the methods do not know this
+  truth_params.initial_infections = 3;
+  truth_params.seed = 20260705;
+  const epi::EpidemicCurve truth = epi::run_seir(network, truth_params);
+
+  epi::SurveillanceParams sp;  // 30% reporting, 15% noise, 1 week delay
+  sp.seed = 99;
+  const epi::SurveillanceData observed = epi::observe(truth, sp);
+
+  std::printf("\nObserved state-level weekly reports (what CDC-style "
+              "surveillance shows):\n  ");
+  for (double v : observed.state_weekly) std::printf("%5.0f", v);
+  std::printf("\n");
+
+  // ---- DEFSI -----------------------------------------------------------
+  epi::DefsiConfig cfg;
+  cfg.tau_grid = {0.10, 0.14, 0.18, 0.24, 0.30};
+  cfg.seed_grid = {3, 6, 10};
+  cfg.train.epochs = 150;
+  cfg.train.batch_size = 32;
+  std::printf("\nTraining DEFSI (calibration + synthetic data + two-branch "
+              "network)...\n");
+  const epi::DefsiForecaster defsi =
+      epi::DefsiForecaster::train(network, observed.state_weekly, base, cfg);
+  std::printf("  kept %zu parameter candidates; best tau = %.2f; "
+              "%zu training samples\n",
+              defsi.candidates().size(),
+              defsi.candidates().front().params.transmissibility,
+              defsi.training_samples());
+
+  // ---- Rolling county-level forecasts ----------------------------------
+  std::printf("\nWeek-ahead TRUE-incidence forecasts vs hidden truth:\n");
+  std::printf("%6s %22s %22s\n", "week", "urban (pred / true)",
+              "rural (pred / true)");
+  for (std::size_t w = cfg.window; w + 1 < truth.weekly_total.size(); ++w) {
+    const auto f = defsi.forecast_regions(observed.state_weekly, w);
+    std::printf("%6zu %12.0f / %-8zu %12.0f / %-8zu\n", w + 1, f[0],
+                truth.weekly_by_region[0][w + 1], f[1],
+                truth.weekly_by_region[1][w + 1]);
+  }
+  std::printf("\n(The forecaster sees ONLY the coarse state-level stream; the\n"
+              "county split is knowledge distilled from the synthetic\n"
+              "simulations — the paper's 'high resolution' property.)\n");
+  return 0;
+}

@@ -1,0 +1,198 @@
+// Nanoconfinement surrogate — the paper's flagship MLaroundHPC workflow
+// as a command-line tool (Sections II-C1, III-D).
+//
+//   usage: nanoconfinement_surrogate [h z_p z_n c d]
+//
+// Trains the D = 5 density surrogate on a small simulation campaign (or
+// reloads a previously trained network from nanoconfinement_net.txt in
+// the working directory), then answers the queried state point instantly
+// and — for comparison — runs the explicit MD simulation at the same
+// point.  This is outcome 4 of Section II-C1: "real-time, anytime, and
+// anywhere access to simulation results (particularly important for
+// education use)."
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "le/data/csv.hpp"
+#include "le/data/normalizer.hpp"
+#include "le/md/nanoconfinement.hpp"
+#include "le/md/observables.hpp"
+#include "le/nn/loss.hpp"
+#include "le/nn/network.hpp"
+#include "le/nn/optimizer.hpp"
+#include "le/nn/serialize.hpp"
+#include "le/nn/train.hpp"
+
+using namespace le;
+
+namespace {
+
+constexpr const char* kNetworkFile = "nanoconfinement_net.txt";
+constexpr const char* kScalerFile = "nanoconfinement_scalers.csv";
+
+struct Surrogate {
+  nn::Network net;
+  data::MinMaxNormalizer in_scaler;
+  data::MinMaxNormalizer out_scaler;
+};
+
+/// Runs the training campaign and persists the result.
+Surrogate train_and_save() {
+  std::printf("No cached surrogate found - running the training campaign\n"
+              "(~2-3 minutes of MD; subsequent invocations reload it).\n");
+  data::Dataset runs(5, 3);
+  std::uint64_t seed = 1;
+  for (double h : {2.4, 3.0, 3.6}) {
+    for (double c : {0.3, 0.6, 0.9}) {
+      for (double d : {0.45, 0.6}) {
+        md::NanoconfinementParams p;
+        p.h = h;
+        p.c = c;
+        p.d = d;
+        p.equilibration_steps = 1000;
+        p.production_steps = 4000;
+        p.seed = seed++;
+        const md::NanoconfinementResult r = md::run_nanoconfinement(p);
+        runs.add(p.features(), r.targets());
+        std::printf("  run %2zu/18: h=%.1f c=%.1f d=%.2f -> "
+                    "contact %.3f peak %.3f center %.3f\n",
+                    runs.size(), h, c, d, r.contact_density, r.peak_density,
+                    r.center_density);
+      }
+    }
+  }
+
+  Surrogate s;
+  s.in_scaler.fit(runs.input_matrix());
+  s.out_scaler.fit(runs.target_matrix());
+  data::Dataset scaled(5, 3);
+  std::vector<double> in(5), tg(3);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    auto is = runs.input(i);
+    auto ts = runs.target(i);
+    in.assign(is.begin(), is.end());
+    tg.assign(ts.begin(), ts.end());
+    s.in_scaler.transform(in);
+    s.out_scaler.transform(tg);
+    scaled.add(in, tg);
+  }
+  stats::Rng rng(9);
+  nn::MlpConfig mlp;
+  mlp.input_dim = 5;
+  mlp.hidden = {32, 32};
+  mlp.output_dim = 3;
+  mlp.activation = nn::Activation::kTanh;
+  s.net = nn::make_mlp(mlp, rng);
+  nn::AdamOptimizer opt(1e-2);
+  const nn::MseLoss loss;
+  nn::TrainConfig tc;
+  tc.epochs = 500;
+  tc.batch_size = 6;
+  nn::fit(s.net, scaled, loss, opt, tc, rng);
+
+  // Persist: network weights plus the scaler ranges.
+  nn::save_network_file(kNetworkFile, s.net);
+  tensor::Matrix scalers(4, 5);
+  for (std::size_t c = 0; c < 5; ++c) {
+    scalers(0, c) = s.in_scaler.lo()[c];
+    scalers(1, c) = s.in_scaler.hi()[c];
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    scalers(2, c) = s.out_scaler.lo()[c];
+    scalers(3, c) = s.out_scaler.hi()[c];
+  }
+  data::write_csv(kScalerFile, scalers);
+  return s;
+}
+
+/// Reloads a previously trained surrogate, if present.
+bool try_load(Surrogate& s) {
+  std::ifstream probe(kNetworkFile);
+  if (!probe) return false;
+  stats::Rng rng(10);
+  s.net = nn::load_network_file(kNetworkFile, rng);
+  const tensor::Matrix scalers = data::read_csv(kScalerFile);
+  tensor::Matrix in_fit(2, 5), out_fit(2, 3);
+  for (std::size_t c = 0; c < 5; ++c) {
+    in_fit(0, c) = scalers(0, c);
+    in_fit(1, c) = scalers(1, c);
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    out_fit(0, c) = scalers(2, c);
+    out_fit(1, c) = scalers(3, c);
+  }
+  s.in_scaler.fit(in_fit);
+  s.out_scaler.fit(out_fit);
+  std::printf("Loaded cached surrogate from %s\n", kNetworkFile);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  md::NanoconfinementParams query;
+  query.h = 2.7;
+  query.c = 0.55;
+  query.d = 0.5;
+  if (argc == 6) {
+    query.h = std::atof(argv[1]);
+    query.z_p = std::atoi(argv[2]);
+    query.z_n = std::atoi(argv[3]);
+    query.c = std::atof(argv[4]);
+    query.d = std::atof(argv[5]);
+  } else if (argc != 1) {
+    std::printf("usage: %s [h z_p z_n c d]\n", argv[0]);
+    return 1;
+  }
+
+  Surrogate surrogate;
+  if (!try_load(surrogate)) surrogate = train_and_save();
+
+  std::printf("\nQuery state point: h=%.2f z_p=%d z_n=%d c=%.2f d=%.2f\n",
+              query.h, query.z_p, query.z_n, query.c, query.d);
+
+  // ---- Surrogate answer (microseconds) --------------------------------
+  std::vector<double> in = query.features();
+  surrogate.in_scaler.transform(in);
+  const auto tq0 = std::chrono::steady_clock::now();
+  std::vector<double> out = surrogate.net.predict(in);
+  const double t_lookup =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - tq0)
+          .count();
+  surrogate.out_scaler.inverse(out);
+  std::printf("\nSurrogate prediction (%.1f us):\n", 1e6 * t_lookup);
+  std::printf("  contact density: %.4f ions/nm^3\n", out[0]);
+  std::printf("  peak density:    %.4f ions/nm^3\n", out[1]);
+  std::printf("  center density:  %.4f ions/nm^3\n", out[2]);
+
+  // ---- Explicit simulation for comparison -----------------------------
+  std::printf("\nRunning the explicit MD simulation for comparison...\n");
+  query.equilibration_steps = 1000;
+  query.production_steps = 4000;
+  query.seed = 424242;
+  const md::NanoconfinementResult r = md::run_nanoconfinement(query);
+  std::printf("Explicit simulation (%.2f s):\n", r.wall_seconds);
+  std::printf("  contact density: %.4f ions/nm^3\n", r.contact_density);
+  std::printf("  peak density:    %.4f ions/nm^3\n", r.peak_density);
+  std::printf("  center density:  %.4f ions/nm^3\n", r.center_density);
+  std::printf("\nLookup was %.0fx faster than the simulation.\n",
+              r.wall_seconds / t_lookup);
+
+  // Structural bonus from the explicit run: the cation-cation pair
+  // correlation (Section II-C1's "peak positions of the pair correlation
+  // functions").
+  md::PairCorrelationConfig gcfg;
+  gcfg.r_max = std::min(2.5, 0.45 * query.lx);
+  gcfg.bins = 25;
+  gcfg.filter = md::PairFilter::kLikeCharge;
+  const md::SlabGeometry geo{query.lx, query.ly, query.h};
+  const md::PairCorrelation g =
+      md::pair_correlation(r.final_system, geo, gcfg);
+  if (g.first_peak_r > 0.0) {
+    std::printf("Cation-cation g(r) first peak: r = %.2f nm (g = %.2f)\n",
+                g.first_peak_r, g.first_peak_g);
+  }
+  return 0;
+}

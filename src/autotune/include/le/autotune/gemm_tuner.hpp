@@ -1,0 +1,41 @@
+// Cache-blocking autotuner for GEMM — the ATLAS example of Section I
+// ("choosing block sizes to improve cache use and vectorization").
+#pragma once
+
+#include <cstddef>
+
+#include "le/autotune/search.hpp"
+#include "le/stats/rng.hpp"
+#include "le/tensor/ops.hpp"
+
+namespace le::autotune {
+
+struct GemmTuneConfig {
+  std::size_t matrix_size = 192;  ///< square problem size to tune for
+  std::size_t block_min = 8;
+  std::size_t block_max = 256;
+  /// Repetitions per timing measurement (median is used).
+  std::size_t repetitions = 3;
+};
+
+struct GemmTuneOutcome {
+  tensor::GemmBlocking best;
+  double best_seconds = 0.0;
+  double default_seconds = 0.0;  ///< time with the library default blocking
+  double naive_seconds = 0.0;    ///< un-blocked reference kernel
+  std::size_t evaluations = 0;
+};
+
+/// Median wall time of gemm_blocked at the given blocking.
+[[nodiscard]] double time_gemm(const GemmTuneConfig& config,
+                               const tensor::GemmBlocking& blocking);
+
+/// Tunes (mc, kc, nc) with the given search strategy.
+[[nodiscard]] GemmTuneOutcome tune_gemm(const GemmTuneConfig& config,
+                                        const ModelGuidedConfig& search,
+                                        stats::Rng& rng);
+
+/// Exhaustive power-of-two grid for comparison.
+[[nodiscard]] GemmTuneOutcome tune_gemm_grid(const GemmTuneConfig& config);
+
+}  // namespace le::autotune

@@ -1,0 +1,94 @@
+// The MD parameter autotuner of the paper's ref [9]: "training an ANN to
+// ensure that the simulation runs at its optimal speed (using for example,
+// the lowest allowable timestep dt and 'good' simulation control
+// parameters for high efficiency) while retaining the accuracy of the
+// final result".
+//
+// Labels are measured per state point: the largest stable timestep (by
+// scanning a dt ladder with a physical stability check), the measured
+// autocorrelation time of the observable (which sets the optimal sampling
+// interval, Section III-D's blocking discussion), and the implied
+// equilibration length.  The ANN mirrors the paper's architecture: D = 6
+// inputs, hidden layers of 30 and 48 units, 3 outputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "le/data/dataset.hpp"
+#include "le/data/normalizer.hpp"
+#include "le/md/nanoconfinement.hpp"
+#include "le/nn/network.hpp"
+#include "le/nn/train.hpp"
+
+namespace le::autotune {
+
+/// Stability verdict of a trial run at a candidate timestep.
+struct StabilityCheck {
+  bool stable = false;
+  double temperature_error = 0.0;  ///< |<T> - kT| / kT over the trial
+  bool finite = true;              ///< no NaN/inf positions or energies
+};
+
+/// Short trial run at the given dt; stable means finite trajectories and
+/// kinetic temperature within `tol` of the thermostat target.
+[[nodiscard]] StabilityCheck check_stability(md::NanoconfinementParams params,
+                                             double dt,
+                                             std::size_t trial_steps = 400,
+                                             double tol = 0.2);
+
+/// The three autotuned control parameters (the ANN's 3 outputs).
+/// Times are in physical simulation-time units so the labels are
+/// independent of whichever dt the measurement probe used.
+struct TunedControls {
+  double max_stable_dt = 0.0;
+  double autocorrelation_time = 0.0;  ///< observable ACF time (sim time units)
+  double equilibration_time = 0.0;    ///< recommended equilibration (sim time)
+};
+
+/// Measured ground-truth labels for one state point: scans the dt ladder
+/// for the stability edge, then measures the observable's autocorrelation.
+[[nodiscard]] TunedControls measure_controls(
+    const md::NanoconfinementParams& params,
+    const std::vector<double>& dt_ladder = {0.002, 0.003, 0.0045, 0.007,
+                                            0.010, 0.015, 0.022, 0.033});
+
+/// The D = 6 feature vector of ref [9]: (h, z_p, z_n, c, d, friction).
+[[nodiscard]] std::vector<double> autotune_features(
+    const md::NanoconfinementParams& params);
+
+struct MdAutotunerConfig {
+  /// Hidden sizes — the paper's 30 and 48.
+  std::vector<std::size_t> hidden = {30, 48};
+  nn::TrainConfig train;
+  std::uint64_t seed = 53;
+};
+
+/// Trained control-parameter predictor.
+class MdAutotuner {
+ public:
+  static MdAutotuner train(const data::Dataset& labelled,
+                           const MdAutotunerConfig& config);
+
+  [[nodiscard]] TunedControls predict(
+      const md::NanoconfinementParams& params) const;
+
+  /// Applies the prediction to a parameter set: dt with a safety factor,
+  /// sample interval = ceil(autocorr time / dt), equilibration steps =
+  /// ceil(equilibration time / dt).
+  [[nodiscard]] md::NanoconfinementParams tune(md::NanoconfinementParams params,
+                                               double dt_safety = 0.8) const;
+
+ private:
+  MdAutotuner() = default;
+  mutable nn::Network net_;
+  data::MinMaxNormalizer input_scaler_;
+  data::MinMaxNormalizer output_scaler_;
+};
+
+/// Builds a labelled dataset over the given state points by running the
+/// measurement ladder at each.
+[[nodiscard]] data::Dataset build_autotune_dataset(
+    const std::vector<md::NanoconfinementParams>& points);
+
+}  // namespace le::autotune

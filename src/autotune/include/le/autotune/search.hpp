@@ -1,0 +1,68 @@
+// Generic configuration search — the MLautotuning primitive.
+//
+// "Already, autotuning with systems like ATLAS is hugely successful and
+// gives an initial view of MLautotuning" (paper Section I).  Three search
+// strategies over a rectangular parameter space share one interface so the
+// benches can compare them at equal evaluation budgets:
+//
+//  - grid / random search: the classical ATLAS-style baselines;
+//  - model-guided search: fit an MLP surrogate of the objective on the
+//    points evaluated so far, then spend most of each round's budget on
+//    the surrogate's most promising candidates (ML choosing where to
+//    measure next — MLautotuning proper).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "le/data/sampler.hpp"
+#include "le/stats/rng.hpp"
+
+namespace le::autotune {
+
+/// Objective to MINIMIZE (e.g. runtime; negate throughput).
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct SearchResult {
+  std::vector<double> best_point;
+  double best_value = 0.0;
+  std::size_t evaluations = 0;
+  /// Best-so-far value after each evaluation (convergence trace).
+  std::vector<double> trace;
+};
+
+/// Evaluates every point of a full-factorial grid.
+[[nodiscard]] SearchResult grid_search(const data::ParamSpace& space,
+                                       const std::vector<std::size_t>& levels,
+                                       const Objective& objective);
+
+/// Evaluates `budget` uniform random points.
+[[nodiscard]] SearchResult random_search(const data::ParamSpace& space,
+                                         std::size_t budget,
+                                         const Objective& objective,
+                                         stats::Rng& rng);
+
+struct ModelGuidedConfig {
+  std::size_t budget = 40;
+  /// Random warm-up evaluations before the surrogate takes over.
+  std::size_t warmup = 8;
+  /// Candidate pool scored by the surrogate each round.
+  std::size_t pool = 200;
+  /// Fraction of post-warmup picks taken randomly (exploration).
+  double exploration = 0.2;
+  std::vector<std::size_t> hidden = {16, 16};
+  std::size_t epochs_per_round = 400;
+  /// Acquisition = prediction + penalty * distance-to-nearest-evaluated
+  /// (normalized units).  Guards against the net extrapolating fictitious
+  /// minima into unexplored corners of the space.
+  double extrapolation_penalty = 0.5;
+};
+
+/// Surrogate-guided search: MLP fitted on (point -> objective) pairs picks
+/// where to evaluate next.
+[[nodiscard]] SearchResult model_guided_search(const data::ParamSpace& space,
+                                               const ModelGuidedConfig& config,
+                                               const Objective& objective,
+                                               stats::Rng& rng);
+
+}  // namespace le::autotune

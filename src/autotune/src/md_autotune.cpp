@@ -1,0 +1,170 @@
+#include "le/autotune/md_autotune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "le/nn/loss.hpp"
+#include "le/nn/optimizer.hpp"
+#include "le/stats/autocorr.hpp"
+
+namespace le::autotune {
+
+StabilityCheck check_stability(md::NanoconfinementParams params, double dt,
+                               std::size_t trial_steps, double tol) {
+  params.dt = dt;
+  // The thermostat needs a fixed amount of simulated TIME (~ a few 1/gamma)
+  // to relax the random initial configuration, so scale the step count up
+  // when dt is small; `trial_steps` is the floor.
+  const double min_time = 8.0 / params.friction;
+  trial_steps = std::max(trial_steps,
+                         static_cast<std::size_t>(min_time / dt));
+  params.equilibration_steps = trial_steps / 2;
+  params.production_steps = trial_steps;
+  params.sample_interval = std::max<std::size_t>(1, trial_steps / 40);
+
+  StabilityCheck check;
+  try {
+    const md::NanoconfinementResult result = md::run_nanoconfinement(params);
+    check.finite = std::isfinite(result.mean_temperature) &&
+                   std::isfinite(result.peak_density);
+    if (check.finite && result.mean_temperature > 0.0) {
+      check.temperature_error =
+          std::abs(result.mean_temperature - params.kT) / params.kT;
+      check.stable = check.temperature_error < tol;
+    }
+  } catch (const std::exception&) {
+    check.finite = false;
+  }
+  return check;
+}
+
+TunedControls measure_controls(const md::NanoconfinementParams& params,
+                               const std::vector<double>& dt_ladder) {
+  if (dt_ladder.empty()) {
+    throw std::invalid_argument("measure_controls: empty dt ladder");
+  }
+  TunedControls controls;
+  // Ascend the ladder; keep the largest stable dt.
+  for (double dt : dt_ladder) {
+    const StabilityCheck check = check_stability(params, dt);
+    if (check.stable) {
+      controls.max_stable_dt = dt;
+    } else {
+      break;  // past the stability edge
+    }
+  }
+  if (controls.max_stable_dt == 0.0) controls.max_stable_dt = dt_ladder.front();
+
+  // Measure the observable's autocorrelation time at a safe timestep.
+  // The probe must cover a fixed amount of PHYSICAL time (many velocity
+  // relaxation times 1/friction), not a fixed step count, or the ACF
+  // estimate degrades at low friction.
+  md::NanoconfinementParams probe = params;
+  probe.dt = 0.5 * controls.max_stable_dt;
+  probe.sample_interval = 2;
+  const double probe_time = 24.0 / params.friction;
+  probe.production_steps = static_cast<std::size_t>(probe_time / probe.dt);
+  probe.equilibration_steps = probe.production_steps / 6;
+  // Two independent probe trajectories, averaged: the integrated-ACF
+  // estimator is the noisiest of the three labels.
+  double tau_samples = 0.0;
+  for (std::uint64_t rep = 0; rep < 2; ++rep) {
+    probe.seed = params.seed + 7919 * (rep + 1);
+    const md::NanoconfinementResult result = md::run_nanoconfinement(probe);
+    tau_samples += 0.5 * stats::integrated_autocorr_time(
+                             result.contact_series,
+                             result.contact_series.size() / 4);
+  }
+  controls.autocorrelation_time =
+      tau_samples * static_cast<double>(probe.sample_interval) * probe.dt;
+  // Rule of thumb: equilibrate for ~20 autocorrelation times.
+  controls.equilibration_time =
+      std::max(0.5, 20.0 * controls.autocorrelation_time);
+  return controls;
+}
+
+std::vector<double> autotune_features(const md::NanoconfinementParams& params) {
+  return {params.h,
+          static_cast<double>(params.z_p),
+          static_cast<double>(params.z_n),
+          params.c,
+          params.d,
+          params.friction};
+}
+
+data::Dataset build_autotune_dataset(
+    const std::vector<md::NanoconfinementParams>& points) {
+  data::Dataset dataset(6, 3);
+  for (const auto& point : points) {
+    const TunedControls controls = measure_controls(point);
+    const std::vector<double> target = {controls.max_stable_dt,
+                                        controls.autocorrelation_time,
+                                        controls.equilibration_time};
+    dataset.add(autotune_features(point), target);
+  }
+  return dataset;
+}
+
+MdAutotuner MdAutotuner::train(const data::Dataset& labelled,
+                               const MdAutotunerConfig& config) {
+  if (labelled.input_dim() != 6 || labelled.target_dim() != 3) {
+    throw std::invalid_argument("MdAutotuner::train: expected D=6 -> 3 dataset");
+  }
+  MdAutotuner tuner;
+  tuner.input_scaler_.fit(labelled.input_matrix());
+  tuner.output_scaler_.fit(labelled.target_matrix());
+
+  data::Dataset scaled(6, 3);
+  std::vector<double> in(6), tg(3);
+  for (std::size_t i = 0; i < labelled.size(); ++i) {
+    auto is = labelled.input(i);
+    auto ts = labelled.target(i);
+    in.assign(is.begin(), is.end());
+    tg.assign(ts.begin(), ts.end());
+    tuner.input_scaler_.transform(in);
+    tuner.output_scaler_.transform(tg);
+    scaled.add(in, tg);
+  }
+
+  nn::MlpConfig mlp;
+  mlp.input_dim = 6;
+  mlp.hidden = config.hidden;  // the paper's 30 and 48
+  mlp.output_dim = 3;
+  mlp.activation = nn::Activation::kRelu;
+  stats::Rng rng(config.seed);
+  tuner.net_ = nn::make_mlp(mlp, rng);
+  nn::AdamOptimizer opt(5e-3);
+  const nn::MseLoss loss;
+  stats::Rng fit_rng = rng.split(1);
+  nn::fit(tuner.net_, scaled, loss, opt, config.train, fit_rng);
+  return tuner;
+}
+
+TunedControls MdAutotuner::predict(
+    const md::NanoconfinementParams& params) const {
+  std::vector<double> in = autotune_features(params);
+  input_scaler_.transform(in);
+  std::vector<double> out = net_.predict(in);
+  output_scaler_.inverse(out);
+  TunedControls controls;
+  controls.max_stable_dt = std::max(1e-4, out[0]);
+  controls.autocorrelation_time = std::max(1e-3, out[1]);
+  controls.equilibration_time = std::max(0.1, out[2]);
+  return controls;
+}
+
+md::NanoconfinementParams MdAutotuner::tune(md::NanoconfinementParams params,
+                                            double dt_safety) const {
+  const TunedControls controls = predict(params);
+  params.dt = dt_safety * controls.max_stable_dt;
+  params.sample_interval = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(controls.autocorrelation_time / params.dt)));
+  params.equilibration_steps = std::max<std::size_t>(
+      100, static_cast<std::size_t>(
+               std::ceil(controls.equilibration_time / params.dt)));
+  return params;
+}
+
+}  // namespace le::autotune

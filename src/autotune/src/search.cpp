@@ -1,0 +1,191 @@
+#include "le/autotune/search.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "le/data/dataset.hpp"
+#include "le/data/normalizer.hpp"
+#include "le/nn/loss.hpp"
+#include "le/nn/network.hpp"
+#include "le/nn/optimizer.hpp"
+#include "le/nn/train.hpp"
+
+namespace le::autotune {
+
+namespace {
+
+void record(SearchResult& result, const std::vector<double>& point,
+            double value) {
+  ++result.evaluations;
+  if (result.trace.empty() || value < result.best_value) {
+    result.best_value = value;
+    result.best_point = point;
+  }
+  result.trace.push_back(result.best_value);
+}
+
+}  // namespace
+
+SearchResult grid_search(const data::ParamSpace& space,
+                         const std::vector<std::size_t>& levels,
+                         const Objective& objective) {
+  SearchResult result;
+  for (const auto& point : data::grid_sample(space, levels)) {
+    record(result, point, objective(point));
+  }
+  return result;
+}
+
+SearchResult random_search(const data::ParamSpace& space, std::size_t budget,
+                           const Objective& objective, stats::Rng& rng) {
+  SearchResult result;
+  for (const auto& point : data::uniform_sample(space, budget, rng)) {
+    record(result, point, objective(point));
+  }
+  return result;
+}
+
+SearchResult model_guided_search(const data::ParamSpace& space,
+                                 const ModelGuidedConfig& config,
+                                 const Objective& objective, stats::Rng& rng) {
+  if (config.warmup == 0 || config.warmup > config.budget) {
+    throw std::invalid_argument("model_guided_search: bad warmup/budget");
+  }
+  SearchResult result;
+  data::Dataset evaluated(space.dims(), 1);
+
+  const auto evaluate = [&](const std::vector<double>& point) {
+    const double value = objective(point);
+    const double target[1] = {value};
+    evaluated.add(point, std::span<const double>{target, 1});
+    record(result, point, value);
+  };
+
+  for (const auto& point : data::uniform_sample(space, config.warmup, rng)) {
+    evaluate(point);
+  }
+
+  // Adaptive trust region for the exploit rounds: relative width of the
+  // local candidate cloud, grown on success and shrunk on failure.
+  double trust_width = 0.15;
+  constexpr double kMinWidth = 0.02;
+  constexpr double kMaxWidth = 0.4;
+
+  while (result.evaluations < config.budget) {
+    if (rng.uniform() < config.exploration) {
+      evaluate(data::uniform_sample(space, 1, rng).front());
+      continue;
+    }
+    // Fit the surrogate on everything evaluated so far (normalized).
+    data::MinMaxNormalizer in_scaler, out_scaler;
+    in_scaler.fit(evaluated.input_matrix());
+    out_scaler.fit(evaluated.target_matrix());
+    data::Dataset scaled(space.dims(), 1);
+    {
+      std::vector<double> in(space.dims()), tg(1);
+      for (std::size_t i = 0; i < evaluated.size(); ++i) {
+        auto is = evaluated.input(i);
+        in.assign(is.begin(), is.end());
+        tg[0] = evaluated.target(i)[0];
+        in_scaler.transform(in);
+        out_scaler.transform(tg);
+        scaled.add(in, tg);
+      }
+    }
+    nn::MlpConfig mlp;
+    mlp.input_dim = space.dims();
+    mlp.hidden = config.hidden;
+    mlp.output_dim = 1;
+    mlp.activation = nn::Activation::kTanh;
+    stats::Rng net_rng = rng.split(result.evaluations);
+    nn::Network surrogate = nn::make_mlp(mlp, net_rng);
+    nn::AdamOptimizer opt(1e-2);
+    const nn::MseLoss loss;
+    nn::TrainConfig tc;
+    tc.epochs = config.epochs_per_round;
+    tc.batch_size = 16;
+    stats::Rng fit_rng = rng.split(10000 + result.evaluations);
+    nn::fit(surrogate, scaled, loss, opt, tc, fit_rng);
+
+    // Candidate pool: most exploit rounds refine a Gaussian trust region
+    // around the incumbent best (the surrogate ranks local directions);
+    // every fourth round the pool is global so a wrong basin can still be
+    // escaped.
+    const bool global_round = result.evaluations % 4 == 0;
+    std::vector<std::vector<double>> pool;
+    if (global_round) {
+      pool = data::uniform_sample(space, config.pool, rng);
+    } else {
+      pool.reserve(config.pool);
+      for (std::size_t k = 0; k < config.pool; ++k) {
+        std::vector<double> local = result.best_point;
+        for (std::size_t d = 0; d < space.dims(); ++d) {
+          const auto& ax = space.axis(d);
+          local[d] += rng.normal(0.0, trust_width * (ax.hi - ax.lo));
+        }
+        space.clamp(local);
+        pool.push_back(std::move(local));
+      }
+    }
+
+    // Pre-transform the evaluated inputs once for the distance penalty.
+    std::vector<std::vector<double>> seen;
+    seen.reserve(evaluated.size());
+    for (std::size_t i = 0; i < evaluated.size(); ++i) {
+      auto is = evaluated.input(i);
+      std::vector<double> row(is.begin(), is.end());
+      in_scaler.transform(row);
+      seen.push_back(std::move(row));
+    }
+    const auto min_dist = [&](std::span<const double> point) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& row : seen) {
+        double d2 = 0.0;
+        for (std::size_t k = 0; k < row.size(); ++k) {
+          const double d = row[k] - point[k];
+          d2 += d * d;
+        }
+        best = std::min(best, d2);
+      }
+      return std::sqrt(best);
+    };
+
+    // Score the pool, evaluate the best acquisition value.
+    surrogate.set_training(false);
+    std::vector<double> best_candidate;
+    double best_score = std::numeric_limits<double>::infinity();
+    std::vector<double> scaled_point(space.dims());
+    for (auto& candidate : pool) {
+      scaled_point.assign(candidate.begin(), candidate.end());
+      in_scaler.transform(scaled_point);
+      const double pred = surrogate.predict(scaled_point)[0];
+      const double score =
+          pred + config.extrapolation_penalty * min_dist(scaled_point);
+      if (score < best_score) {
+        best_score = score;
+        best_candidate = candidate;
+      }
+    }
+#ifdef LE_SEARCH_DEBUG
+    std::fprintf(stderr, "[search] eval=%zu global=%d pick=(%.3f", result.evaluations,
+                 static_cast<int>(global_round), best_candidate[0]);
+    for (std::size_t d = 1; d < best_candidate.size(); ++d) {
+      std::fprintf(stderr, ",%.3f", best_candidate[d]);
+    }
+    std::fprintf(stderr, ") score=%.4f actual=%.4f best=%.4f\n", best_score,
+                 objective(best_candidate), result.best_value);
+#endif
+    const double before = result.best_value;
+    evaluate(best_candidate);
+    if (!global_round) {
+      trust_width = result.best_value < before
+                        ? std::min(kMaxWidth, trust_width * 1.5)
+                        : std::max(kMinWidth, trust_width * 0.6);
+    }
+  }
+  return result;
+}
+
+}  // namespace le::autotune

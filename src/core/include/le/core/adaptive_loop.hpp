@@ -1,0 +1,66 @@
+// UQ-driven adaptive training loop (Sections II-C2 and III-B).
+//
+// "The AL approach reduced the amount of required training data to 10% of
+// the original model by iteratively adding training data calculations for
+// regions of chemical space where the current ML model could not make good
+// predictions."  Each round: train an MC-dropout surrogate on the corpus
+// so far, survey its uncertainty over probe points, stop if converged,
+// otherwise run the real simulation at the most-uncertain candidates and
+// add those samples.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "le/core/surrogate.hpp"
+#include "le/data/dataset.hpp"
+#include "le/data/sampler.hpp"
+#include "le/nn/network.hpp"
+#include "le/nn/train.hpp"
+#include "le/uq/mc_dropout.hpp"
+
+namespace le::core {
+
+struct AdaptiveLoopConfig {
+  /// State points simulated in the initial (round-0) corpus.
+  std::size_t initial_samples = 16;
+  /// Real simulations added per acquisition round.
+  std::size_t samples_per_round = 8;
+  std::size_t max_rounds = 10;
+  /// Stop when mean uncertainty over the probe set drops below this.
+  double uncertainty_threshold = 0.05;
+  /// Probe/candidate pool size per round.
+  std::size_t candidate_pool = 200;
+  /// Surrogate architecture (dropout required for MC-dropout UQ).
+  std::vector<std::size_t> hidden = {32, 32};
+  double dropout_rate = 0.1;
+  std::size_t mc_passes = 24;
+  nn::TrainConfig train;
+  std::uint64_t seed = 59;
+};
+
+struct AdaptiveRound {
+  std::size_t round = 0;
+  std::size_t corpus_size = 0;
+  double mean_uncertainty = 0.0;
+  double max_uncertainty = 0.0;
+};
+
+struct AdaptiveLoopResult {
+  /// The final trained MC-dropout surrogate.
+  std::shared_ptr<uq::McDropoutEnsemble> surrogate;
+  data::Dataset corpus;
+  std::vector<AdaptiveRound> rounds;
+  bool converged = false;
+  std::size_t simulations_run = 0;
+};
+
+/// Runs the adaptive loop over the given parameter space: `simulation`
+/// labels state points; acquisition targets the surrogate's most-uncertain
+/// candidates.
+[[nodiscard]] AdaptiveLoopResult run_adaptive_loop(
+    const data::ParamSpace& space, const SimulationFn& simulation,
+    std::size_t output_dim, const AdaptiveLoopConfig& config);
+
+}  // namespace le::core

@@ -1,0 +1,36 @@
+// Simulation-campaign runner: the horizontal (many-task) parallelism of
+// the paper's Conclusions ("multiple, concurrent heterogeneous units of
+// work replace single large units of works").
+//
+// A campaign is the N_train phase of the effective-speedup model: many
+// independent simulations over a set of state points.  run_campaign fans
+// them out over a ThreadPool and collects a labelled Dataset ready for
+// surrogate training.
+#pragma once
+
+#include <vector>
+
+#include "le/core/surrogate.hpp"
+#include "le/data/dataset.hpp"
+#include "le/runtime/thread_pool.hpp"
+
+namespace le::core {
+
+struct CampaignRunStats {
+  double wall_seconds = 0.0;
+  /// Sum of per-run wall times (== wall_seconds on one worker; larger on
+  /// many workers: their ratio is the campaign's parallel efficiency).
+  double cpu_seconds = 0.0;
+  std::size_t runs = 0;
+};
+
+/// Runs `simulation` at every state point, in submission order, fanning
+/// out over `pool` when given (the simulation must be thread-safe in that
+/// case).  Results arrive in the dataset in the same order as `points`
+/// regardless of completion order.
+[[nodiscard]] data::Dataset run_campaign(
+    const std::vector<std::vector<double>>& points,
+    const SimulationFn& simulation, std::size_t output_dim,
+    runtime::ThreadPool* pool = nullptr, CampaignRunStats* stats = nullptr);
+
+}  // namespace le::core

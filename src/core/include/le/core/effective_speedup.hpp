@@ -1,0 +1,60 @@
+// The effective-performance model of Section III-D — the paper's central
+// quantitative statement:
+//
+//            T_seq * (N_lookup + N_train)
+//   S = --------------------------------------------
+//       T_lookup * N_lookup + (T_train + T_learn) * N_train
+//
+// with the stated limits S -> T_seq / T_train when there is no ML
+// (N_lookup = 0) and S -> T_seq / T_lookup when N_lookup >> N_train,
+// "which can be huge!".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace le::core {
+
+/// The four times of the model.  All in the same unit (seconds per unit of
+/// work).  T_seq: sequential simulation; T_train: (parallel) simulation
+/// per training sample; T_learn: training cost per sample; T_lookup:
+/// surrogate inference per query.
+struct SpeedupTimes {
+  double t_seq = 1.0;
+  double t_train = 1.0;
+  double t_learn = 0.0;
+  double t_lookup = 1e-5;
+};
+
+/// The effective speedup S for a campaign of N_train training simulations
+/// followed by N_lookup surrogate inferences.
+[[nodiscard]] double effective_speedup(const SpeedupTimes& times,
+                                       std::size_t n_lookup,
+                                       std::size_t n_train);
+
+/// The no-ML limit T_seq / T_train.
+[[nodiscard]] double no_ml_limit(const SpeedupTimes& times);
+
+/// The infinite-lookup limit T_seq / T_lookup.
+[[nodiscard]] double lookup_limit(const SpeedupTimes& times);
+
+/// One row of the S(N_lookup) sweep that bench_effective_speedup prints.
+struct SpeedupRow {
+  std::size_t n_lookup = 0;
+  std::size_t n_train = 0;
+  double speedup = 0.0;
+  double fraction_of_limit = 0.0;  ///< speedup / lookup_limit
+};
+
+/// Sweeps N_lookup over the given values at fixed N_train.
+[[nodiscard]] std::vector<SpeedupRow> sweep_lookups(
+    const SpeedupTimes& times, std::size_t n_train,
+    const std::vector<std::size_t>& n_lookups);
+
+/// Smallest N_lookup / N_train ratio for which S reaches the given
+/// fraction of the lookup limit (found by doubling; caps at max_ratio).
+[[nodiscard]] double ratio_to_reach_fraction(const SpeedupTimes& times,
+                                             double fraction,
+                                             double max_ratio = 1e12);
+
+}  // namespace le::core

@@ -1,0 +1,56 @@
+// Adapter: an nn::Network regression task as a runtime::SgdProblem, so the
+// Section III-A sync engines (Locking/Rotation/Allreduce/Asynchronous) can
+// train real neural networks, not just the convex testbed.
+//
+// Networks cache activations and are not thread-safe, so each calling
+// thread gets its own clone (thread_local storage keyed by this object).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "le/data/dataset.hpp"
+#include "le/nn/loss.hpp"
+#include "le/nn/network.hpp"
+#include "le/runtime/sync_engine.hpp"
+
+namespace le::core {
+
+class NetworkSgdProblem final : public runtime::SgdProblem {
+ public:
+  /// The prototype defines architecture and initial weights; `dataset`
+  /// supplies the samples.
+  NetworkSgdProblem(nn::Network prototype, data::Dataset dataset);
+
+  [[nodiscard]] std::size_t dim() const override { return dim_; }
+  [[nodiscard]] std::size_t sample_count() const override {
+    return dataset_.size();
+  }
+  double loss_and_grad(std::span<const double> w,
+                       std::span<const std::size_t> batch,
+                       std::span<double> grad) const override;
+  [[nodiscard]] double full_loss(std::span<const double> w) const override;
+
+  /// Initial flat weights of the prototype (engines start from these when
+  /// seeded explicitly; run_parallel_sgd starts from zeros by default, so
+  /// callers typically run a short warm start or accept zero init).
+  [[nodiscard]] std::vector<double> initial_weights() const {
+    return initial_weights_;
+  }
+
+ private:
+  /// Grabs a per-thread clone of the prototype.  The cache is keyed by a
+  /// process-unique instance id, NOT by `this`: a later problem object
+  /// can reuse a dead object's address and must not inherit its clones.
+  [[nodiscard]] nn::Network& local_network() const;
+
+  std::uint64_t instance_id_;
+  nn::Network prototype_;
+  std::vector<double> initial_weights_;
+  std::size_t dim_;
+  data::Dataset dataset_;
+  nn::MseLoss loss_;
+};
+
+}  // namespace le::core

@@ -1,0 +1,92 @@
+// The MLaroundHPC runtime: a UQ-gated dispatcher that answers queries from
+// the learned surrogate when the prediction is trustworthy and falls back
+// to the real simulation otherwise.
+//
+// This is the paper's "ML wrapper" around an HPC simulation made concrete:
+// "one must learn not just the result of a simulation but also the
+// uncertainty of the prediction e.g. if the learned result is valid enough
+// to be used" (Section III-B).  Fallback runs are fed back into a training
+// buffer ("No run is wasted", Section II-C1), so the wrapper exhibits the
+// auto-tunability outcome 3 of that section: with new simulation runs the
+// ML layer gets better at making predictions.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "le/data/dataset.hpp"
+#include "le/uq/uq_model.hpp"
+
+namespace le::core {
+
+/// The real simulation: maps an input state point to the output features.
+/// Implementations may be arbitrarily expensive — that is the point.
+using SimulationFn =
+    std::function<std::vector<double>(std::span<const double>)>;
+
+/// How a query was answered.
+enum class AnswerSource { kSurrogate, kSimulation };
+
+struct Answer {
+  std::vector<double> values;
+  AnswerSource source = AnswerSource::kSurrogate;
+  double uncertainty = 0.0;    ///< surrogate uncertainty score at the query
+  double seconds = 0.0;        ///< wall time to produce this answer
+};
+
+struct DispatcherStats {
+  std::size_t surrogate_answers = 0;
+  std::size_t simulation_answers = 0;
+  double surrogate_seconds = 0.0;
+  double simulation_seconds = 0.0;
+  /// Mean surrogate uncertainty over accepted (surrogate) answers.
+  double mean_accepted_uncertainty = 0.0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return surrogate_answers + simulation_answers;
+  }
+  /// Fraction of queries served by the surrogate.
+  [[nodiscard]] double surrogate_fraction() const noexcept {
+    return total() == 0 ? 0.0
+                        : static_cast<double>(surrogate_answers) /
+                              static_cast<double>(total());
+  }
+};
+
+class SurrogateDispatcher {
+ public:
+  /// `threshold` is the maximum acceptable uncertainty score; queries whose
+  /// surrogate spread exceeds it are routed to the simulation.
+  SurrogateDispatcher(std::shared_ptr<uq::UqModel> surrogate,
+                      SimulationFn simulation, double threshold);
+
+  /// Answers one query through the gate.
+  [[nodiscard]] Answer query(std::span<const double> input);
+
+  /// Fallback runs accumulate here as fresh labelled samples for retraining.
+  [[nodiscard]] const data::Dataset& training_buffer() const noexcept {
+    return buffer_;
+  }
+  /// Takes the buffer, leaving it empty (retraining consumes it).
+  [[nodiscard]] data::Dataset drain_training_buffer();
+
+  [[nodiscard]] const DispatcherStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+  void set_threshold(double threshold);
+
+  /// Swaps in a retrained surrogate (auto-tunability outcome 3).
+  void replace_surrogate(std::shared_ptr<uq::UqModel> surrogate);
+
+ private:
+  std::shared_ptr<uq::UqModel> surrogate_;
+  SimulationFn simulation_;
+  double threshold_;
+  data::Dataset buffer_;
+  DispatcherStats stats_;
+  double accepted_uncertainty_sum_ = 0.0;
+};
+
+}  // namespace le::core

@@ -1,0 +1,93 @@
+#include "le/core/adaptive_loop.hpp"
+
+#include <stdexcept>
+
+#include "le/nn/loss.hpp"
+#include "le/nn/optimizer.hpp"
+#include "le/uq/acquisition.hpp"
+
+namespace le::core {
+
+namespace {
+
+/// Trains a fresh dropout MLP on the corpus and wraps it for MC-dropout.
+std::shared_ptr<uq::McDropoutEnsemble> train_surrogate(
+    const data::Dataset& corpus, std::size_t input_dim, std::size_t output_dim,
+    const AdaptiveLoopConfig& config, stats::Rng& rng) {
+  nn::MlpConfig mlp;
+  mlp.input_dim = input_dim;
+  mlp.hidden = config.hidden;
+  mlp.output_dim = output_dim;
+  mlp.activation = nn::Activation::kRelu;
+  mlp.dropout_rate = config.dropout_rate;
+  stats::Rng net_rng = rng.split(corpus.size());
+  nn::Network net = nn::make_mlp(mlp, net_rng);
+  nn::AdamOptimizer opt(1e-2);
+  const nn::MseLoss loss;
+  stats::Rng fit_rng = rng.split(corpus.size() + 100000);
+  nn::fit(net, corpus, loss, opt, config.train, fit_rng);
+  return std::make_shared<uq::McDropoutEnsemble>(std::move(net),
+                                                 config.mc_passes);
+}
+
+}  // namespace
+
+AdaptiveLoopResult run_adaptive_loop(const data::ParamSpace& space,
+                                     const SimulationFn& simulation,
+                                     std::size_t output_dim,
+                                     const AdaptiveLoopConfig& config) {
+  if (config.initial_samples == 0) {
+    throw std::invalid_argument("run_adaptive_loop: need initial samples");
+  }
+  stats::Rng rng(config.seed);
+  AdaptiveLoopResult result;
+  result.corpus = data::Dataset(space.dims(), output_dim);
+
+  // Round 0: Latin-hypercube corpus.
+  stats::Rng lhs_rng = rng.split(1);
+  for (const auto& point :
+       data::latin_hypercube_sample(space, config.initial_samples, lhs_rng)) {
+    result.corpus.add(point, simulation(point));
+    ++result.simulations_run;
+  }
+
+  for (std::size_t round = 0; round < config.max_rounds; ++round) {
+    result.surrogate = train_surrogate(result.corpus, space.dims(), output_dim,
+                                       config, rng);
+
+    // Survey uncertainty over a fresh candidate pool.
+    stats::Rng pool_rng = rng.split(100 + round);
+    const auto pool =
+        data::uniform_sample(space, config.candidate_pool, pool_rng);
+    const uq::UncertaintySurvey survey =
+        uq::survey_uncertainty(*result.surrogate, pool);
+
+    AdaptiveRound record;
+    record.round = round;
+    record.corpus_size = result.corpus.size();
+    record.mean_uncertainty = survey.mean_score;
+    record.max_uncertainty = survey.max_score;
+    result.rounds.push_back(record);
+
+    if (survey.mean_score <= config.uncertainty_threshold) {
+      result.converged = true;
+      break;
+    }
+
+    // Acquire the most uncertain candidates and simulate them.
+    const auto picks = uq::select_most_uncertain(*result.surrogate, pool,
+                                                 config.samples_per_round);
+    for (std::size_t idx : picks) {
+      result.corpus.add(pool[idx], simulation(pool[idx]));
+      ++result.simulations_run;
+    }
+  }
+
+  if (!result.surrogate) {
+    result.surrogate = train_surrogate(result.corpus, space.dims(), output_dim,
+                                       config, rng);
+  }
+  return result;
+}
+
+}  // namespace le::core

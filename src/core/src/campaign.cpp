@@ -1,0 +1,58 @@
+#include "le/core/campaign.hpp"
+
+#include <chrono>
+#include <future>
+#include <stdexcept>
+
+namespace le::core {
+
+data::Dataset run_campaign(const std::vector<std::vector<double>>& points,
+                           const SimulationFn& simulation,
+                           std::size_t output_dim, runtime::ThreadPool* pool,
+                           CampaignRunStats* stats) {
+  if (points.empty()) throw std::invalid_argument("run_campaign: no points");
+  const std::size_t input_dim = points.front().size();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::vector<double>> outputs(points.size());
+  std::vector<double> run_seconds(points.size(), 0.0);
+
+  const auto run_one = [&](std::size_t i) {
+    const auto r0 = std::chrono::steady_clock::now();
+    outputs[i] = simulation(points[i]);
+    run_seconds[i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - r0)
+            .count();
+    if (outputs[i].size() != output_dim) {
+      throw std::runtime_error("run_campaign: simulation output dim mismatch");
+    }
+  };
+
+  if (pool) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      futures.push_back(pool->submit([&, i] { run_one(i); }));
+    }
+    for (auto& f : futures) f.get();
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i) run_one(i);
+  }
+
+  data::Dataset dataset(input_dim, output_dim);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    dataset.add(points[i], outputs[i]);
+  }
+
+  if (stats) {
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    stats->cpu_seconds = 0.0;
+    for (double s : run_seconds) stats->cpu_seconds += s;
+    stats->runs = points.size();
+  }
+  return dataset;
+}
+
+}  // namespace le::core

@@ -1,0 +1,70 @@
+#include "le/core/effective_speedup.hpp"
+
+#include <stdexcept>
+
+namespace le::core {
+
+double effective_speedup(const SpeedupTimes& times, std::size_t n_lookup,
+                         std::size_t n_train) {
+  if (n_lookup + n_train == 0) {
+    throw std::invalid_argument("effective_speedup: empty campaign");
+  }
+  const double numerator =
+      times.t_seq * static_cast<double>(n_lookup + n_train);
+  const double denominator =
+      times.t_lookup * static_cast<double>(n_lookup) +
+      (times.t_train + times.t_learn) * static_cast<double>(n_train);
+  if (denominator <= 0.0) {
+    throw std::invalid_argument("effective_speedup: non-positive denominator");
+  }
+  return numerator / denominator;
+}
+
+double no_ml_limit(const SpeedupTimes& times) {
+  if (times.t_train <= 0.0) {
+    throw std::invalid_argument("no_ml_limit: t_train must be > 0");
+  }
+  return times.t_seq / times.t_train;
+}
+
+double lookup_limit(const SpeedupTimes& times) {
+  if (times.t_lookup <= 0.0) {
+    throw std::invalid_argument("lookup_limit: t_lookup must be > 0");
+  }
+  return times.t_seq / times.t_lookup;
+}
+
+std::vector<SpeedupRow> sweep_lookups(const SpeedupTimes& times,
+                                      std::size_t n_train,
+                                      const std::vector<std::size_t>& n_lookups) {
+  std::vector<SpeedupRow> rows;
+  rows.reserve(n_lookups.size());
+  const double limit = lookup_limit(times);
+  for (std::size_t n_lookup : n_lookups) {
+    SpeedupRow row;
+    row.n_lookup = n_lookup;
+    row.n_train = n_train;
+    row.speedup = effective_speedup(times, n_lookup, n_train);
+    row.fraction_of_limit = row.speedup / limit;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+double ratio_to_reach_fraction(const SpeedupTimes& times, double fraction,
+                               double max_ratio) {
+  if (fraction <= 0.0 || fraction >= 1.0) {
+    throw std::invalid_argument("ratio_to_reach_fraction: fraction in (0,1)");
+  }
+  const double target = fraction * lookup_limit(times);
+  const std::size_t n_train = 1;
+  double ratio = 1.0;
+  while (ratio < max_ratio) {
+    const auto n_lookup = static_cast<std::size_t>(ratio);
+    if (effective_speedup(times, n_lookup, n_train) >= target) return ratio;
+    ratio *= 2.0;
+  }
+  return max_ratio;
+}
+
+}  // namespace le::core

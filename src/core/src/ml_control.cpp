@@ -1,0 +1,125 @@
+#include "le/core/ml_control.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "le/data/normalizer.hpp"
+#include "le/nn/loss.hpp"
+#include "le/nn/network.hpp"
+#include "le/nn/optimizer.hpp"
+
+namespace le::core {
+
+namespace {
+
+void record_run(CampaignResult& result, const std::vector<double>& input,
+                const std::vector<double>& output, double objective_value) {
+  ++result.simulations_run;
+  if (result.trace.empty() || objective_value < result.best_objective) {
+    result.best_objective = objective_value;
+    result.best_input = input;
+    result.best_output = output;
+  }
+  result.trace.push_back(result.best_objective);
+}
+
+}  // namespace
+
+CampaignResult run_ml_campaign(const data::ParamSpace& space,
+                               const SimulationFn& simulation,
+                               std::size_t output_dim,
+                               const OutputObjective& objective,
+                               const CampaignConfig& config) {
+  if (config.warmup == 0 || config.warmup > config.simulation_budget) {
+    throw std::invalid_argument("run_ml_campaign: bad warmup/budget");
+  }
+  stats::Rng rng(config.seed);
+  CampaignResult result;
+  result.evaluated = data::Dataset(space.dims(), output_dim);
+
+  const auto run_real = [&](const std::vector<double>& input) {
+    const std::vector<double> output = simulation(input);
+    result.evaluated.add(input, output);
+    record_run(result, input, output, objective(output));
+  };
+
+  stats::Rng lhs_rng = rng.split(1);
+  for (const auto& point :
+       data::latin_hypercube_sample(space, config.warmup, lhs_rng)) {
+    run_real(point);
+  }
+
+  while (result.simulations_run < config.simulation_budget) {
+    if (rng.uniform() < config.exploration) {
+      run_real(data::uniform_sample(space, 1, rng).front());
+      continue;
+    }
+    // Train the surrogate on all runs so far (normalized).
+    data::MinMaxNormalizer in_scaler, out_scaler;
+    in_scaler.fit(result.evaluated.input_matrix());
+    out_scaler.fit(result.evaluated.target_matrix());
+    data::Dataset scaled(space.dims(), output_dim);
+    {
+      std::vector<double> in(space.dims()), tg(output_dim);
+      for (std::size_t i = 0; i < result.evaluated.size(); ++i) {
+        auto is = result.evaluated.input(i);
+        auto ts = result.evaluated.target(i);
+        in.assign(is.begin(), is.end());
+        tg.assign(ts.begin(), ts.end());
+        in_scaler.transform(in);
+        out_scaler.transform(tg);
+        scaled.add(in, tg);
+      }
+    }
+    nn::MlpConfig mlp;
+    mlp.input_dim = space.dims();
+    mlp.hidden = config.hidden;
+    mlp.output_dim = output_dim;
+    mlp.activation = nn::Activation::kTanh;
+    stats::Rng net_rng = rng.split(1000 + result.simulations_run);
+    nn::Network surrogate = nn::make_mlp(mlp, net_rng);
+    nn::AdamOptimizer opt(1e-2);
+    const nn::MseLoss loss;
+    stats::Rng fit_rng = rng.split(2000 + result.simulations_run);
+    nn::fit(surrogate, scaled, loss, opt, config.train, fit_rng);
+    surrogate.set_training(false);
+
+    // Sweep the pool through the surrogate; run the predicted best.
+    std::vector<double> best_candidate;
+    double best_pred = std::numeric_limits<double>::infinity();
+    std::vector<double> scaled_in(space.dims());
+    for (auto& candidate : data::uniform_sample(space, config.pool, rng)) {
+      scaled_in.assign(candidate.begin(), candidate.end());
+      in_scaler.transform(scaled_in);
+      std::vector<double> pred = surrogate.predict(scaled_in);
+      out_scaler.inverse(pred);
+      const double value = objective(pred);
+      if (value < best_pred) {
+        best_pred = value;
+        best_candidate = candidate;
+      }
+    }
+    run_real(best_candidate);
+  }
+  return result;
+}
+
+CampaignResult run_direct_campaign(const data::ParamSpace& space,
+                                   const SimulationFn& simulation,
+                                   std::size_t output_dim,
+                                   const OutputObjective& objective,
+                                   const CampaignConfig& config) {
+  stats::Rng rng(config.seed);
+  CampaignResult result;
+  result.evaluated = data::Dataset(space.dims(), output_dim);
+  stats::Rng lhs_rng = rng.split(3);
+  for (const auto& point : data::latin_hypercube_sample(
+           space, config.simulation_budget, lhs_rng)) {
+    const std::vector<double> output = simulation(point);
+    result.evaluated.add(point, output);
+    record_run(result, point, output, objective(output));
+  }
+  return result;
+}
+
+}  // namespace le::core

@@ -1,0 +1,83 @@
+#include "le/core/network_problem.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace le::core {
+
+namespace {
+std::atomic<std::uint64_t> next_instance_id{1};
+}  // namespace
+
+NetworkSgdProblem::NetworkSgdProblem(nn::Network prototype,
+                                     data::Dataset dataset)
+    : instance_id_(next_instance_id.fetch_add(1)),
+      prototype_(std::move(prototype)), dataset_(std::move(dataset)) {
+  if (dataset_.empty()) {
+    throw std::invalid_argument("NetworkSgdProblem: empty dataset");
+  }
+  if (prototype_.input_dim() != dataset_.input_dim() ||
+      prototype_.output_dim() != dataset_.target_dim()) {
+    throw std::invalid_argument("NetworkSgdProblem: network/dataset mismatch");
+  }
+  prototype_.set_training(true);
+  initial_weights_ = prototype_.get_weights();
+  dim_ = initial_weights_.size();
+}
+
+nn::Network& NetworkSgdProblem::local_network() const {
+  // One clone per (thread, problem-instance) pair.  The map lives per
+  // thread, so no locking is needed; entries die with the thread.
+  thread_local std::unordered_map<std::uint64_t, nn::Network> cache;
+  auto it = cache.find(instance_id_);
+  if (it == cache.end()) {
+    it = cache.emplace(instance_id_, prototype_.clone()).first;
+    it->second.set_training(true);
+  }
+  return it->second;
+}
+
+double NetworkSgdProblem::loss_and_grad(std::span<const double> w,
+                                        std::span<const std::size_t> batch,
+                                        std::span<double> grad) const {
+  if (w.size() != dim_ || grad.size() != dim_) {
+    throw std::invalid_argument("NetworkSgdProblem: dimension mismatch");
+  }
+  nn::Network& net = local_network();
+  net.set_weights(w);
+  net.zero_grad();
+
+  tensor::Matrix x(batch.size(), dataset_.input_dim());
+  tensor::Matrix y(batch.size(), dataset_.target_dim());
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    auto in = dataset_.input(batch[r]);
+    auto tg = dataset_.target(batch[r]);
+    std::copy(in.begin(), in.end(), x.row(r).begin());
+    std::copy(tg.begin(), tg.end(), y.row(r).begin());
+  }
+  const tensor::Matrix pred = net.forward(x);
+  const nn::LossResult lr = loss_.evaluate(pred, y);
+  net.backward(lr.grad);
+
+  std::size_t offset = 0;
+  for (const auto& view : net.parameters()) {
+    for (std::size_t i = 0; i < view.grads.size(); ++i) {
+      grad[offset + i] = view.grads[i];
+    }
+    offset += view.grads.size();
+  }
+  return lr.value;
+}
+
+double NetworkSgdProblem::full_loss(std::span<const double> w) const {
+  nn::Network& net = local_network();
+  net.set_weights(w);
+  net.set_training(false);
+  const tensor::Matrix pred = net.forward(dataset_.input_matrix());
+  const double value = loss_.evaluate(pred, dataset_.target_matrix()).value;
+  net.set_training(true);
+  return value;
+}
+
+}  // namespace le::core

@@ -1,0 +1,71 @@
+#include "le/core/surrogate.hpp"
+
+#include <stdexcept>
+
+#include "le/uq/acquisition.hpp"
+
+namespace le::core {
+
+SurrogateDispatcher::SurrogateDispatcher(std::shared_ptr<uq::UqModel> surrogate,
+                                         SimulationFn simulation,
+                                         double threshold)
+    : surrogate_(std::move(surrogate)), simulation_(std::move(simulation)),
+      threshold_(threshold) {
+  if (!surrogate_) throw std::invalid_argument("SurrogateDispatcher: null surrogate");
+  if (!simulation_) throw std::invalid_argument("SurrogateDispatcher: null simulation");
+  if (threshold < 0.0) throw std::invalid_argument("SurrogateDispatcher: threshold < 0");
+  buffer_ = data::Dataset(surrogate_->input_dim(), surrogate_->output_dim());
+}
+
+Answer SurrogateDispatcher::query(std::span<const double> input) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const uq::Prediction prediction = surrogate_->predict(input);
+  const double score = uq::uncertainty_score(prediction);
+
+  Answer answer;
+  answer.uncertainty = score;
+  if (score <= threshold_) {
+    answer.values = prediction.mean;
+    answer.source = AnswerSource::kSurrogate;
+    const auto t1 = std::chrono::steady_clock::now();
+    answer.seconds = std::chrono::duration<double>(t1 - t0).count();
+    ++stats_.surrogate_answers;
+    stats_.surrogate_seconds += answer.seconds;
+    accepted_uncertainty_sum_ += score;
+    stats_.mean_accepted_uncertainty =
+        accepted_uncertainty_sum_ / static_cast<double>(stats_.surrogate_answers);
+    return answer;
+  }
+
+  answer.values = simulation_(input);
+  answer.source = AnswerSource::kSimulation;
+  const auto t1 = std::chrono::steady_clock::now();
+  answer.seconds = std::chrono::duration<double>(t1 - t0).count();
+  ++stats_.simulation_answers;
+  stats_.simulation_seconds += answer.seconds;
+  buffer_.add(input, answer.values);  // no run is wasted
+  return answer;
+}
+
+data::Dataset SurrogateDispatcher::drain_training_buffer() {
+  data::Dataset drained = std::move(buffer_);
+  buffer_ = data::Dataset(surrogate_->input_dim(), surrogate_->output_dim());
+  return drained;
+}
+
+void SurrogateDispatcher::set_threshold(double threshold) {
+  if (threshold < 0.0) throw std::invalid_argument("set_threshold: threshold < 0");
+  threshold_ = threshold;
+}
+
+void SurrogateDispatcher::replace_surrogate(
+    std::shared_ptr<uq::UqModel> surrogate) {
+  if (!surrogate) throw std::invalid_argument("replace_surrogate: null");
+  if (surrogate->input_dim() != surrogate_->input_dim() ||
+      surrogate->output_dim() != surrogate_->output_dim()) {
+    throw std::invalid_argument("replace_surrogate: shape mismatch");
+  }
+  surrogate_ = std::move(surrogate);
+}
+
+}  // namespace le::core

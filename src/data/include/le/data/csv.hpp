@@ -1,0 +1,30 @@
+// Minimal CSV persistence for datasets and result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "le/data/dataset.hpp"
+#include "le/tensor/matrix.hpp"
+
+namespace le::data {
+
+/// Writes a matrix as CSV with an optional header row.
+void write_csv(const std::string& path, const tensor::Matrix& m,
+               const std::vector<std::string>& header = {});
+
+/// Reads a CSV of doubles; `skip_header` drops the first line.
+[[nodiscard]] tensor::Matrix read_csv(const std::string& path,
+                                      bool skip_header = false);
+
+/// Writes a dataset as CSV with inputs first, then targets, per row.
+void write_dataset_csv(const std::string& path, const Dataset& ds,
+                       const std::vector<std::string>& header = {});
+
+/// Reads a dataset back given the input dimensionality (remaining columns
+/// become targets).
+[[nodiscard]] Dataset read_dataset_csv(const std::string& path,
+                                       std::size_t input_dim,
+                                       bool skip_header = false);
+
+}  // namespace le::data

@@ -1,0 +1,78 @@
+// Supervised-learning dataset: paired input/target rows.
+//
+// Every MLaroundHPC pipeline in this repository produces a Dataset from
+// simulation runs (one row per run or per harvested block) and hands it to
+// the nn training loop.  The 70/30 train/test protocol from the paper's
+// Section III-D case studies is `split(0.7, rng)`.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "le/stats/rng.hpp"
+#include "le/tensor/matrix.hpp"
+
+namespace le::data {
+
+/// Paired (inputs, targets) sample store with row-aligned matrices.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Reserves a dataset for samples of the given dimensionalities.
+  Dataset(std::size_t input_dim, std::size_t target_dim)
+      : input_dim_(input_dim), target_dim_(target_dim) {}
+
+  /// Adopts pre-built matrices; rows() must agree.
+  Dataset(tensor::Matrix inputs, tensor::Matrix targets);
+
+  /// Appends one sample; span lengths must match the declared dims.
+  void add(std::span<const double> input, std::span<const double> target);
+
+  [[nodiscard]] std::size_t size() const noexcept { return inputs_.size() / std::max<std::size_t>(input_dim_, 1); }
+  [[nodiscard]] std::size_t input_dim() const noexcept { return input_dim_; }
+  [[nodiscard]] std::size_t target_dim() const noexcept { return target_dim_; }
+  [[nodiscard]] bool empty() const noexcept { return inputs_.empty(); }
+
+  [[nodiscard]] std::span<const double> input(std::size_t i) const {
+    return {inputs_.data() + i * input_dim_, input_dim_};
+  }
+  [[nodiscard]] std::span<const double> target(std::size_t i) const {
+    return {targets_.data() + i * target_dim_, target_dim_};
+  }
+
+  /// Materializes the inputs as an (n x input_dim) matrix.
+  [[nodiscard]] tensor::Matrix input_matrix() const;
+  /// Materializes the targets as an (n x target_dim) matrix.
+  [[nodiscard]] tensor::Matrix target_matrix() const;
+
+  /// All values of one target column, across samples.
+  [[nodiscard]] std::vector<double> target_column(std::size_t col) const;
+  /// All values of one input column, across samples.
+  [[nodiscard]] std::vector<double> input_column(std::size_t col) const;
+
+  /// In-place Fisher–Yates shuffle of sample order.
+  void shuffle(stats::Rng& rng);
+
+  /// Splits into (train, test) with `train_fraction` of samples (after an
+  /// internal shuffle driven by rng) going to train.  Fraction must be in
+  /// (0, 1).
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double train_fraction,
+                                                  stats::Rng& rng) const;
+
+  /// Returns a dataset containing the samples at the given indices.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Appends all samples of another dataset with identical dims.
+  void append(const Dataset& other);
+
+ private:
+  std::size_t input_dim_ = 0;
+  std::size_t target_dim_ = 0;
+  std::vector<double> inputs_;   // row-major, size() * input_dim_
+  std::vector<double> targets_;  // row-major, size() * target_dim_
+};
+
+}  // namespace le::data

@@ -1,0 +1,62 @@
+// Feature scaling.
+//
+// The nanoconfinement and autotuning networks are tiny MLPs; without input
+// scaling their convergence is erratic because the physical parameters span
+// very different ranges (nm vs molar vs integer valencies).  Both
+// normalizers are fitted column-wise on the training split only and then
+// applied to all splits, matching standard MLaroundHPC practice.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "le/data/dataset.hpp"
+#include "le/tensor/matrix.hpp"
+
+namespace le::data {
+
+/// Column-wise min-max scaling to [0, 1].  Constant columns map to 0.
+class MinMaxNormalizer {
+ public:
+  void fit(const tensor::Matrix& samples);
+  void transform(tensor::Matrix& samples) const;
+  void transform(std::span<double> row) const;
+  void inverse(std::span<double> row) const;
+  [[nodiscard]] bool fitted() const noexcept { return !lo_.empty(); }
+  [[nodiscard]] std::span<const double> lo() const noexcept { return {lo_}; }
+  [[nodiscard]] std::span<const double> hi() const noexcept { return {hi_}; }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+/// Column-wise z-score scaling: (x - mean) / std.  Constant columns map to 0.
+class ZScoreNormalizer {
+ public:
+  void fit(const tensor::Matrix& samples);
+  void transform(tensor::Matrix& samples) const;
+  void transform(std::span<double> row) const;
+  void inverse(std::span<double> row) const;
+  [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
+  [[nodiscard]] std::span<const double> means() const noexcept { return {mean_}; }
+  [[nodiscard]] std::span<const double> stddevs() const noexcept { return {std_}; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+/// Fits input and target normalizers on `train` and returns normalized
+/// copies of both splits — the standard pre-training step.
+struct NormalizedSplits {
+  Dataset train;
+  Dataset test;
+  MinMaxNormalizer input_scaler;
+  MinMaxNormalizer target_scaler;
+};
+
+[[nodiscard]] NormalizedSplits normalize_splits(const Dataset& train,
+                                                const Dataset& test);
+
+}  // namespace le::data

@@ -1,0 +1,103 @@
+#include "le/data/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace le::data {
+
+namespace {
+
+std::vector<double> parse_line(const std::string& line) {
+  std::vector<double> values;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) {
+    values.push_back(std::stod(cell));
+  }
+  return values;
+}
+
+void write_header(std::ofstream& out, const std::vector<std::string>& header) {
+  if (header.empty()) return;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out << ',';
+    out << header[i];
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+void write_csv(const std::string& path, const tensor::Matrix& m,
+               const std::vector<std::string>& header) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  out.precision(17);
+  write_header(out, header);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c) out << ',';
+      out << m(r, c);
+    }
+    out << '\n';
+  }
+}
+
+tensor::Matrix read_csv(const std::string& path, bool skip_header) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  std::string line;
+  if (skip_header) std::getline(in, line);
+  std::vector<std::vector<double>> rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(parse_line(line));
+    if (rows.back().size() != rows.front().size()) {
+      throw std::runtime_error("read_csv: ragged rows in " + path);
+    }
+  }
+  if (rows.empty()) return {};
+  tensor::Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+void write_dataset_csv(const std::string& path, const Dataset& ds,
+                       const std::vector<std::string>& header) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_dataset_csv: cannot open " + path);
+  out.precision(17);
+  write_header(out, header);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    bool first = true;
+    for (double v : ds.input(i)) {
+      if (!first) out << ',';
+      out << v;
+      first = false;
+    }
+    for (double v : ds.target(i)) {
+      out << ',' << v;
+    }
+    out << '\n';
+  }
+}
+
+Dataset read_dataset_csv(const std::string& path, std::size_t input_dim,
+                         bool skip_header) {
+  tensor::Matrix m = read_csv(path, skip_header);
+  if (m.cols() <= input_dim) {
+    throw std::runtime_error("read_dataset_csv: too few columns");
+  }
+  const std::size_t target_dim = m.cols() - input_dim;
+  Dataset ds(input_dim, target_dim);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    ds.add(row.subspan(0, input_dim), row.subspan(input_dim, target_dim));
+  }
+  return ds;
+}
+
+}  // namespace le::data

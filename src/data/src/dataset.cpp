@@ -1,0 +1,99 @@
+#include "le/data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace le::data {
+
+Dataset::Dataset(tensor::Matrix inputs, tensor::Matrix targets)
+    : input_dim_(inputs.cols()), target_dim_(targets.cols()) {
+  if (inputs.rows() != targets.rows()) {
+    throw std::invalid_argument("Dataset: inputs/targets row mismatch");
+  }
+  inputs_.assign(inputs.data(), inputs.data() + inputs.size());
+  targets_.assign(targets.data(), targets.data() + targets.size());
+}
+
+void Dataset::add(std::span<const double> input, std::span<const double> target) {
+  if (input_dim_ == 0 && target_dim_ == 0) {
+    input_dim_ = input.size();
+    target_dim_ = target.size();
+  }
+  if (input.size() != input_dim_ || target.size() != target_dim_) {
+    throw std::invalid_argument("Dataset::add: dimension mismatch");
+  }
+  inputs_.insert(inputs_.end(), input.begin(), input.end());
+  targets_.insert(targets_.end(), target.begin(), target.end());
+}
+
+tensor::Matrix Dataset::input_matrix() const {
+  tensor::Matrix m(size(), input_dim_);
+  std::copy(inputs_.begin(), inputs_.end(), m.data());
+  return m;
+}
+
+tensor::Matrix Dataset::target_matrix() const {
+  tensor::Matrix m(size(), target_dim_);
+  std::copy(targets_.begin(), targets_.end(), m.data());
+  return m;
+}
+
+std::vector<double> Dataset::target_column(std::size_t col) const {
+  if (col >= target_dim_) throw std::out_of_range("Dataset::target_column");
+  std::vector<double> out(size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = target(i)[col];
+  return out;
+}
+
+std::vector<double> Dataset::input_column(std::size_t col) const {
+  if (col >= input_dim_) throw std::out_of_range("Dataset::input_column");
+  std::vector<double> out(size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = input(i)[col];
+  return out;
+}
+
+void Dataset::shuffle(stats::Rng& rng) {
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(std::span<std::size_t>{order});
+  *this = subset(order);
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction,
+                                           stats::Rng& rng) const {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("Dataset::split: fraction must be in (0,1)");
+  }
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(std::span<std::size_t>{order});
+  const auto n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(size()));
+  const std::span<const std::size_t> all{order};
+  return {subset(all.subspan(0, n_train)), subset(all.subspan(n_train))};
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(input_dim_, target_dim_);
+  for (std::size_t idx : indices) {
+    if (idx >= size()) throw std::out_of_range("Dataset::subset: index");
+    out.add(input(idx), target(idx));
+  }
+  return out;
+}
+
+void Dataset::append(const Dataset& other) {
+  if (other.empty()) return;
+  if (empty() && input_dim_ == 0) {
+    input_dim_ = other.input_dim_;
+    target_dim_ = other.target_dim_;
+  }
+  if (other.input_dim_ != input_dim_ || other.target_dim_ != target_dim_) {
+    throw std::invalid_argument("Dataset::append: dimension mismatch");
+  }
+  inputs_.insert(inputs_.end(), other.inputs_.begin(), other.inputs_.end());
+  targets_.insert(targets_.end(), other.targets_.begin(), other.targets_.end());
+}
+
+}  // namespace le::data

@@ -1,0 +1,107 @@
+#include "le/data/normalizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace le::data {
+
+namespace {
+void check_fit_input(const tensor::Matrix& samples) {
+  if (samples.rows() == 0 || samples.cols() == 0) {
+    throw std::invalid_argument("normalizer: cannot fit on empty matrix");
+  }
+}
+}  // namespace
+
+void MinMaxNormalizer::fit(const tensor::Matrix& samples) {
+  check_fit_input(samples);
+  lo_.assign(samples.cols(), std::numeric_limits<double>::infinity());
+  hi_.assign(samples.cols(), -std::numeric_limits<double>::infinity());
+  for (std::size_t r = 0; r < samples.rows(); ++r) {
+    for (std::size_t c = 0; c < samples.cols(); ++c) {
+      lo_[c] = std::min(lo_[c], samples(r, c));
+      hi_[c] = std::max(hi_[c], samples(r, c));
+    }
+  }
+}
+
+void MinMaxNormalizer::transform(tensor::Matrix& samples) const {
+  for (std::size_t r = 0; r < samples.rows(); ++r) transform(samples.row(r));
+}
+
+void MinMaxNormalizer::transform(std::span<double> row) const {
+  if (row.size() != lo_.size()) throw std::invalid_argument("MinMax: dim mismatch");
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    const double span = hi_[c] - lo_[c];
+    row[c] = span > 0.0 ? (row[c] - lo_[c]) / span : 0.0;
+  }
+}
+
+void MinMaxNormalizer::inverse(std::span<double> row) const {
+  if (row.size() != lo_.size()) throw std::invalid_argument("MinMax: dim mismatch");
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    row[c] = lo_[c] + row[c] * (hi_[c] - lo_[c]);
+  }
+}
+
+void ZScoreNormalizer::fit(const tensor::Matrix& samples) {
+  check_fit_input(samples);
+  const auto n = static_cast<double>(samples.rows());
+  mean_.assign(samples.cols(), 0.0);
+  std_.assign(samples.cols(), 0.0);
+  for (std::size_t r = 0; r < samples.rows(); ++r) {
+    for (std::size_t c = 0; c < samples.cols(); ++c) mean_[c] += samples(r, c);
+  }
+  for (double& m : mean_) m /= n;
+  for (std::size_t r = 0; r < samples.rows(); ++r) {
+    for (std::size_t c = 0; c < samples.cols(); ++c) {
+      const double d = samples(r, c) - mean_[c];
+      std_[c] += d * d;
+    }
+  }
+  for (double& s : std_) s = std::sqrt(s / std::max(n - 1.0, 1.0));
+}
+
+void ZScoreNormalizer::transform(tensor::Matrix& samples) const {
+  for (std::size_t r = 0; r < samples.rows(); ++r) transform(samples.row(r));
+}
+
+void ZScoreNormalizer::transform(std::span<double> row) const {
+  if (row.size() != mean_.size()) throw std::invalid_argument("ZScore: dim mismatch");
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    row[c] = std_[c] > 0.0 ? (row[c] - mean_[c]) / std_[c] : 0.0;
+  }
+}
+
+void ZScoreNormalizer::inverse(std::span<double> row) const {
+  if (row.size() != mean_.size()) throw std::invalid_argument("ZScore: dim mismatch");
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    row[c] = mean_[c] + row[c] * std_[c];
+  }
+}
+
+NormalizedSplits normalize_splits(const Dataset& train, const Dataset& test) {
+  NormalizedSplits out;
+  out.input_scaler.fit(train.input_matrix());
+  out.target_scaler.fit(train.target_matrix());
+
+  const auto apply = [&](const Dataset& src) {
+    Dataset dst(src.input_dim(), src.target_dim());
+    std::vector<double> in(src.input_dim()), tg(src.target_dim());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      auto is = src.input(i);
+      auto ts = src.target(i);
+      in.assign(is.begin(), is.end());
+      tg.assign(ts.begin(), ts.end());
+      out.input_scaler.transform(in);
+      out.target_scaler.transform(tg);
+      dst.add(in, tg);
+    }
+    return dst;
+  };
+  out.train = apply(train);
+  out.test = apply(test);
+  return out;
+}
+
+}  // namespace le::data

@@ -1,0 +1,94 @@
+#include "le/data/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace le::data {
+
+void ParamSpace::clamp(std::vector<double>& point) const {
+  if (point.size() != axes_.size()) {
+    throw std::invalid_argument("ParamSpace::clamp: dim mismatch");
+  }
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    point[i] = std::clamp(point[i], axes_[i].lo, axes_[i].hi);
+    if (axes_[i].integral) point[i] = std::round(point[i]);
+  }
+}
+
+std::vector<std::vector<double>> grid_sample(
+    const ParamSpace& space, const std::vector<std::size_t>& points_per_axis) {
+  if (points_per_axis.size() != space.dims()) {
+    throw std::invalid_argument("grid_sample: level count per axis required");
+  }
+  std::size_t total = 1;
+  for (std::size_t levels : points_per_axis) {
+    if (levels == 0) throw std::invalid_argument("grid_sample: zero levels");
+    total *= levels;
+  }
+
+  std::vector<std::vector<double>> points;
+  points.reserve(total);
+  std::vector<std::size_t> idx(space.dims(), 0);
+  for (std::size_t p = 0; p < total; ++p) {
+    std::vector<double> point(space.dims());
+    for (std::size_t d = 0; d < space.dims(); ++d) {
+      const auto& ax = space.axis(d);
+      const std::size_t levels = points_per_axis[d];
+      double v;
+      if (levels == 1) {
+        v = 0.5 * (ax.lo + ax.hi);
+      } else {
+        v = ax.lo + (ax.hi - ax.lo) * static_cast<double>(idx[d]) /
+                        static_cast<double>(levels - 1);
+      }
+      if (ax.integral) v = std::round(v);
+      point[d] = v;
+    }
+    points.push_back(std::move(point));
+    // Odometer increment.
+    for (std::size_t d = 0; d < space.dims(); ++d) {
+      if (++idx[d] < points_per_axis[d]) break;
+      idx[d] = 0;
+    }
+  }
+  return points;
+}
+
+std::vector<std::vector<double>> latin_hypercube_sample(const ParamSpace& space,
+                                                        std::size_t n,
+                                                        stats::Rng& rng) {
+  if (n == 0) return {};
+  std::vector<std::vector<double>> points(n, std::vector<double>(space.dims()));
+  std::vector<std::size_t> perm(n);
+  for (std::size_t d = 0; d < space.dims(); ++d) {
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.shuffle(std::span<std::size_t>{perm});
+    const auto& ax = space.axis(d);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double u = (static_cast<double>(perm[i]) + rng.uniform()) /
+                       static_cast<double>(n);
+      double v = ax.lo + u * (ax.hi - ax.lo);
+      if (ax.integral) v = std::round(v);
+      points[i][d] = v;
+    }
+  }
+  return points;
+}
+
+std::vector<std::vector<double>> uniform_sample(const ParamSpace& space,
+                                                std::size_t n, stats::Rng& rng) {
+  std::vector<std::vector<double>> points(n, std::vector<double>(space.dims()));
+  for (auto& point : points) {
+    for (std::size_t d = 0; d < space.dims(); ++d) {
+      const auto& ax = space.axis(d);
+      double v = rng.uniform(ax.lo, ax.hi);
+      if (ax.integral) v = std::round(v);
+      point[d] = v;
+    }
+  }
+  return points;
+}
+
+}  // namespace le::data

@@ -1,0 +1,79 @@
+// Baseline forecasters the paper's DEFSI claim is made against.
+//
+//  - EpiFastForecaster: the mechanistic baseline — calibrate the agent
+//    model to a single best parameter set, run a forward ensemble, and
+//    read forecasts off the mean simulated curve (how EpiFast-style
+//    forecasting operates).
+//  - Ar2Forecaster: the pure data-driven baseline — an AR(2) model fitted
+//    to the observed state-level series alone.  It "cannot discover higher
+//    resolution details from lower resolution ground truth data": its
+//    county forecasts are the state forecast split by static population
+//    shares.
+//  - persistence: next week = this week, the weakest reference point.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "le/epi/defsi.hpp"
+#include "le/epi/population.hpp"
+#include "le/epi/seir.hpp"
+
+namespace le::epi {
+
+/// Mechanistic single-point-calibration forecaster.
+class EpiFastForecaster {
+ public:
+  /// Calibrates on observed data (module-(i)-style grid search, keeping
+  /// only the single best candidate) and precomputes the forward ensemble.
+  static EpiFastForecaster calibrate(const ContactNetwork& network,
+                                     std::span<const double> observed_state,
+                                     const SeirParams& base_params,
+                                     const DefsiConfig& config,
+                                     std::size_t forecast_replicates = 10);
+
+  /// Per-region forecast of true incidence in week `week + 1` (reads the
+  /// calibrated ensemble-mean curve).
+  [[nodiscard]] std::vector<double> forecast_regions(std::size_t week) const;
+  [[nodiscard]] double forecast_state(std::size_t week) const;
+
+  [[nodiscard]] const SeirParams& calibrated_params() const noexcept {
+    return params_;
+  }
+
+ private:
+  SeirParams params_;
+  MeanEpidemicCurve mean_curve_;
+};
+
+/// AR(2) on the observed state series (scaled by the reporting rate so its
+/// forecasts are in true-incidence units).
+class Ar2Forecaster {
+ public:
+  /// `region_shares` are static per-region population fractions used to
+  /// downscale the state forecast.
+  Ar2Forecaster(double reporting_rate, std::vector<double> region_shares);
+
+  /// Fits on observations up to and including `week` and predicts week+1.
+  [[nodiscard]] double forecast_state(std::span<const double> observed_state,
+                                      std::size_t week) const;
+  [[nodiscard]] std::vector<double> forecast_regions(
+      std::span<const double> observed_state, std::size_t week) const;
+
+ private:
+  double reporting_rate_;
+  std::vector<double> region_shares_;
+};
+
+/// Persistence: next week's truth = this week's observation / rate.
+[[nodiscard]] double persistence_forecast_state(
+    std::span<const double> observed_state, std::size_t week,
+    double reporting_rate);
+[[nodiscard]] std::vector<double> persistence_forecast_regions(
+    std::span<const double> observed_state, std::size_t week,
+    double reporting_rate, std::span<const double> region_shares);
+
+/// Static per-region population shares of a network.
+[[nodiscard]] std::vector<double> population_shares(const ContactNetwork& network);
+
+}  // namespace le::epi

@@ -1,0 +1,118 @@
+// DEFSI: Deep Learning Based Epidemic Forecasting with Synthetic
+// Information (paper Section II-A, ref [19]).
+//
+// The three modules, exactly as the paper describes them:
+//  (i)   model configuration: estimate a distribution over agent-model
+//        parameters from coarse surveillance data;
+//  (ii)  synthetic training data: run HPC simulations parameterized from
+//        those distributions, producing high-resolution (per-region)
+//        training curves;
+//  (iii) a two-branch deep network trained on the synthetic dataset that
+//        makes detailed (county-level) forecasts from coarse (state-level)
+//        surveillance inputs.
+//
+// Branch A consumes the recent window of observed state-level incidence
+// ("within-season" signal); branch B consumes season-context features
+// (week index, trend, cumulative attack so far).  The output is next-week
+// true incidence for every region simultaneously.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "le/data/dataset.hpp"
+#include "le/epi/population.hpp"
+#include "le/epi/seir.hpp"
+#include "le/epi/surveillance.hpp"
+#include "le/nn/network.hpp"
+#include "le/nn/train.hpp"
+
+namespace le::epi {
+
+/// One calibrated parameter hypothesis with its posterior-style weight.
+struct ParameterCandidate {
+  SeirParams params;
+  double distance = 0.0;  ///< curve mismatch vs observations
+  double weight = 0.0;    ///< normalized exp(-distance^2 / (2 s^2))
+};
+
+struct DefsiConfig {
+  /// Branch-A window length (weeks of observed incidence).
+  std::size_t window = 4;
+  /// Forecast horizon in weeks: the network predicts true incidence at
+  /// week + horizon from observations up to `week` (DEFSI reports
+  /// multi-week-ahead forecasts; 1 = next week).
+  std::size_t horizon = 1;
+  /// Candidate transmissibility grid for module (i).
+  std::vector<double> tau_grid = {0.03, 0.04, 0.05, 0.06, 0.07, 0.08};
+  /// Candidate initial-infection counts for module (i).
+  std::vector<std::size_t> seed_grid = {3, 6, 10};
+  /// Ensemble replicates per candidate during calibration.
+  std::size_t calibration_replicates = 3;
+  /// Candidates kept for training-data generation.
+  std::size_t top_candidates = 4;
+  /// Stochastic simulations per kept candidate in module (ii).
+  std::size_t sims_per_candidate = 8;
+  /// Surveillance model used to synthesize realistic (noisy, delayed,
+  /// under-reported) training inputs — must match the real observation
+  /// process for consistency.
+  SurveillanceParams surveillance;
+  /// Two-branch network sizes.
+  std::vector<std::size_t> branch_a_hidden = {24};
+  std::vector<std::size_t> branch_b_hidden = {8};
+  std::vector<std::size_t> head_hidden = {24};
+  nn::TrainConfig train;
+  std::uint64_t seed = 31;
+};
+
+/// Module (i): score the (tau, seeds) grid against the observed curve and
+/// return the weighted top candidates.
+[[nodiscard]] std::vector<ParameterCandidate> estimate_parameters(
+    const ContactNetwork& network, std::span<const double> observed_state,
+    const SeirParams& base_params, const DefsiConfig& config);
+
+/// Trained DEFSI model: forecasts per-region next-week TRUE incidence from
+/// the observed state-level window.
+class DefsiForecaster {
+ public:
+  /// Runs modules (i)-(iii) end to end.
+  static DefsiForecaster train(const ContactNetwork& network,
+                               std::span<const double> observed_state,
+                               const SeirParams& base_params,
+                               const DefsiConfig& config);
+
+  /// Per-region forecast of true incidence in week `week + horizon`,
+  /// given the observations up to and including `week`.
+  [[nodiscard]] std::vector<double> forecast_regions(
+      std::span<const double> observed_state, std::size_t week) const;
+
+  /// State-level forecast (sum of the regional forecasts).
+  [[nodiscard]] double forecast_state(std::span<const double> observed_state,
+                                      std::size_t week) const;
+
+  [[nodiscard]] const std::vector<ParameterCandidate>& candidates() const noexcept {
+    return candidates_;
+  }
+  [[nodiscard]] std::size_t training_samples() const noexcept { return n_samples_; }
+  [[nodiscard]] std::size_t region_count() const noexcept { return regions_; }
+
+  /// Builds the (branch A ++ branch B) feature row for a forecast at
+  /// `week` from a state-level curve.  Public for tests.
+  [[nodiscard]] std::vector<double> make_features(
+      std::span<const double> observed_state, std::size_t week) const;
+
+ private:
+  DefsiForecaster(DefsiConfig config, std::size_t regions);
+
+  DefsiConfig config_;
+  std::size_t regions_;
+  mutable nn::Network net_;  // predict() caches activations internally
+  std::vector<ParameterCandidate> candidates_;
+  std::size_t n_samples_ = 0;
+  double input_scale_ = 1.0;   ///< normalization for incidence inputs
+  double output_scale_ = 1.0;  ///< normalization for incidence outputs
+  double weeks_scale_ = 1.0;
+};
+
+}  // namespace le::epi

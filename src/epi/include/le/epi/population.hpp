@@ -1,0 +1,89 @@
+// Synthetic population and multi-layer contact network.
+//
+// The DEFSI / EpiFast line of work (paper Section II-A) runs epidemics on
+// synthetic populations whose contact structure mixes household, school,
+// workplace and community layers, partitioned into administrative regions
+// ("counties").  This generator reproduces that structure at laptop scale:
+// individual-level heterogeneity is what makes county-level forecasting
+// from state-level data hard, so the network must preserve it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "le/stats/rng.hpp"
+
+namespace le::epi {
+
+enum class AgeGroup : std::uint8_t { kChild, kAdult };
+
+enum class ContactLayer : std::uint8_t {
+  kHousehold,
+  kSchool,
+  kWorkplace,
+  kCommunity,
+  kTravel  ///< inter-region links
+};
+
+struct Person {
+  std::size_t region = 0;
+  AgeGroup age = AgeGroup::kAdult;
+  std::size_t household = 0;
+};
+
+struct Contact {
+  std::size_t neighbour = 0;
+  /// Per-layer transmission weight multiplier.
+  double weight = 1.0;
+  ContactLayer layer = ContactLayer::kCommunity;
+};
+
+/// Per-region generation knobs; regions may differ (that heterogeneity is
+/// the county-level signal DEFSI exploits).
+struct RegionConfig {
+  std::size_t households = 400;
+  double mean_household_size = 3.0;  ///< Poisson(mean-1)+1
+  std::size_t school_size = 25;
+  std::size_t workplace_size = 10;
+  /// Mean number of random community contacts per person within a region.
+  double community_degree = 4.0;
+};
+
+struct PopulationConfig {
+  std::vector<RegionConfig> regions = {RegionConfig{}, RegionConfig{}};
+  /// Mean inter-region travel contacts per person.
+  double travel_degree = 0.2;
+  std::uint64_t seed = 17;
+  /// Fraction of each household that is children.
+  double child_fraction = 0.35;
+};
+
+/// Immutable multi-layer contact graph.
+class ContactNetwork {
+ public:
+  ContactNetwork(std::vector<Person> people,
+                 std::vector<std::vector<Contact>> adjacency,
+                 std::size_t region_count);
+
+  [[nodiscard]] std::size_t size() const noexcept { return people_.size(); }
+  [[nodiscard]] std::size_t region_count() const noexcept { return region_count_; }
+  [[nodiscard]] const Person& person(std::size_t i) const { return people_.at(i); }
+  [[nodiscard]] const std::vector<Contact>& contacts(std::size_t i) const {
+    return adjacency_.at(i);
+  }
+  [[nodiscard]] std::size_t edge_count() const;
+  [[nodiscard]] std::vector<std::size_t> region_sizes() const;
+  /// All node indices belonging to one region.
+  [[nodiscard]] std::vector<std::size_t> region_members(std::size_t region) const;
+
+ private:
+  std::vector<Person> people_;
+  std::vector<std::vector<Contact>> adjacency_;
+  std::size_t region_count_;
+};
+
+/// Generates the synthetic population network.
+[[nodiscard]] ContactNetwork generate_population(const PopulationConfig& config);
+
+}  // namespace le::epi

@@ -1,0 +1,58 @@
+// Stochastic network SEIR dynamics (paper Section II-A; ref [18]).
+//
+// Discrete daily time steps on the contact network: susceptibles are
+// exposed by infectious neighbours with per-contact probability
+// 1 - exp(-tau * w), exposed become infectious after a geometric latent
+// period, infectious recover after a geometric infectious period.  The
+// simulator reports daily and weekly new-infection counts per region —
+// the high-resolution ground truth the surveillance model will coarsen.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "le/epi/population.hpp"
+#include "le/stats/rng.hpp"
+
+namespace le::epi {
+
+enum class Health : std::uint8_t { kSusceptible, kExposed, kInfectious, kRecovered };
+
+struct SeirParams {
+  double transmissibility = 0.05;  ///< tau: per-contact-day infection scale
+  double latent_mean_days = 2.0;
+  double infectious_mean_days = 4.0;
+  std::size_t initial_infections = 5;
+  /// Region that receives the initial seeds (epidemics typically enter
+  /// through one region and travel — part of the county heterogeneity).
+  std::size_t seed_region = 0;
+  std::size_t days = 140;  ///< simulated horizon (20 weeks)
+  std::uint64_t seed = 23;
+};
+
+struct EpidemicCurve {
+  /// new infections per day, per region: [region][day].
+  std::vector<std::vector<std::size_t>> daily_by_region;
+  /// new infections per ISO-style 7-day week, per region: [region][week].
+  std::vector<std::vector<std::size_t>> weekly_by_region;
+  /// state-level weekly incidence (sum over regions).
+  std::vector<std::size_t> weekly_total;
+  std::size_t total_infected = 0;
+  std::size_t peak_week = 0;
+};
+
+/// Runs one stochastic SEIR realization on the network.
+[[nodiscard]] EpidemicCurve run_seir(const ContactNetwork& network,
+                                     const SeirParams& params);
+
+/// Averaged weekly curves over `replicates` stochastic runs (seeds derived
+/// from params.seed); returns means as doubles: [region][week] and total.
+struct MeanEpidemicCurve {
+  std::vector<std::vector<double>> weekly_by_region;
+  std::vector<double> weekly_total;
+};
+[[nodiscard]] MeanEpidemicCurve run_seir_ensemble(const ContactNetwork& network,
+                                                  const SeirParams& params,
+                                                  std::size_t replicates);
+
+}  // namespace le::epi

@@ -1,0 +1,45 @@
+// Surveillance observation model (paper Section II-A).
+//
+// Real surveillance data is "of low spatial temporal resolution (weekly at
+// state level), not real time (at least one week delay), incomplete
+// (reported cases are only a small fraction of actual ones), and noisy
+// (adjusted several times after being published)".  This model coarsens a
+// simulated ground-truth epidemic exactly that way, producing the sparse
+// observable stream the forecasting methods must work from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "le/epi/seir.hpp"
+#include "le/stats/rng.hpp"
+
+namespace le::epi {
+
+struct SurveillanceParams {
+  /// Fraction of true infections that get reported.
+  double reporting_rate = 0.3;
+  /// Multiplicative log-normal noise scale on weekly reports.
+  double noise_sigma = 0.15;
+  /// Weeks of reporting delay (observations lag the truth).
+  std::size_t delay_weeks = 1;
+  std::uint64_t seed = 29;
+};
+
+struct SurveillanceData {
+  /// Observed state-level weekly counts; index w is the report available
+  /// at the END of week w (already delayed).
+  std::vector<double> state_weekly;
+};
+
+/// Applies the observation model to a ground-truth curve.  Only the
+/// state-level aggregate is observed — the per-region truth is hidden,
+/// which is precisely the resolution gap DEFSI bridges.
+[[nodiscard]] SurveillanceData observe(const EpidemicCurve& truth,
+                                       const SurveillanceParams& params);
+
+/// Same observation model applied to a real-valued (ensemble-mean) curve.
+[[nodiscard]] SurveillanceData observe_mean(const std::vector<double>& weekly_total,
+                                            const SurveillanceParams& params);
+
+}  // namespace le::epi

@@ -1,0 +1,132 @@
+#include "le/epi/baselines.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace le::epi {
+
+EpiFastForecaster EpiFastForecaster::calibrate(
+    const ContactNetwork& network, std::span<const double> observed_state,
+    const SeirParams& base_params, const DefsiConfig& config,
+    std::size_t forecast_replicates) {
+  // Reuse module (i) but keep only the single best candidate (point
+  // estimate instead of a distribution — the key difference from DEFSI).
+  DefsiConfig point = config;
+  point.top_candidates = 1;
+  const auto candidates =
+      estimate_parameters(network, observed_state, base_params, point);
+
+  EpiFastForecaster model;
+  model.params_ = candidates.front().params;
+  model.mean_curve_ =
+      run_seir_ensemble(network, model.params_, forecast_replicates);
+  return model;
+}
+
+std::vector<double> EpiFastForecaster::forecast_regions(std::size_t week) const {
+  const std::size_t target = week + 1;
+  std::vector<double> out(mean_curve_.weekly_by_region.size(), 0.0);
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    const auto& series = mean_curve_.weekly_by_region[r];
+    out[r] = target < series.size() ? series[target] : series.back();
+  }
+  return out;
+}
+
+double EpiFastForecaster::forecast_state(std::size_t week) const {
+  double total = 0.0;
+  for (double v : forecast_regions(week)) total += v;
+  return total;
+}
+
+Ar2Forecaster::Ar2Forecaster(double reporting_rate,
+                             std::vector<double> region_shares)
+    : reporting_rate_(reporting_rate), region_shares_(std::move(region_shares)) {
+  if (reporting_rate_ <= 0.0) {
+    throw std::invalid_argument("Ar2Forecaster: reporting rate must be > 0");
+  }
+}
+
+double Ar2Forecaster::forecast_state(std::span<const double> observed_state,
+                                     std::size_t week) const {
+  if (week >= observed_state.size()) {
+    throw std::invalid_argument("Ar2Forecaster: week beyond observations");
+  }
+  // Least-squares fit of y_t = a y_{t-1} + b y_{t-2} + c on data <= week.
+  if (week < 3) {
+    return observed_state[week] / reporting_rate_;  // not enough history
+  }
+  double sxx[3][3] = {{0}}, sxy[3] = {0};
+  for (std::size_t t = 2; t <= week; ++t) {
+    const double x[3] = {observed_state[t - 1], observed_state[t - 2], 1.0};
+    const double y = observed_state[t];
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) sxx[i][j] += x[i] * x[j];
+      sxy[i] += x[i] * y;
+    }
+  }
+  // Solve the 3x3 normal equations by Gaussian elimination with a ridge
+  // term for stability.
+  double a[3][4];
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) a[i][j] = sxx[i][j] + (i == j ? 1e-6 : 0.0);
+    a[i][3] = sxy[i];
+  }
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < 3; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    std::swap(a[col], a[pivot]);
+    if (std::abs(a[col][col]) < 1e-12) return observed_state[week] / reporting_rate_;
+    for (int row = 0; row < 3; ++row) {
+      if (row == col) continue;
+      const double factor = a[row][col] / a[col][col];
+      for (int j = col; j < 4; ++j) a[row][j] -= factor * a[col][j];
+    }
+  }
+  const double coef_a = a[0][3] / a[0][0];
+  const double coef_b = a[1][3] / a[1][1];
+  const double coef_c = a[2][3] / a[2][2];
+  const double pred_observed =
+      coef_a * observed_state[week] + coef_b * observed_state[week - 1] + coef_c;
+  return std::max(0.0, pred_observed) / reporting_rate_;
+}
+
+std::vector<double> Ar2Forecaster::forecast_regions(
+    std::span<const double> observed_state, std::size_t week) const {
+  const double state = forecast_state(observed_state, week);
+  std::vector<double> out(region_shares_.size());
+  for (std::size_t r = 0; r < out.size(); ++r) out[r] = state * region_shares_[r];
+  return out;
+}
+
+double persistence_forecast_state(std::span<const double> observed_state,
+                                  std::size_t week, double reporting_rate) {
+  if (week >= observed_state.size()) {
+    throw std::invalid_argument("persistence: week beyond observations");
+  }
+  return observed_state[week] / reporting_rate;
+}
+
+std::vector<double> persistence_forecast_regions(
+    std::span<const double> observed_state, std::size_t week,
+    double reporting_rate, std::span<const double> region_shares) {
+  const double state =
+      persistence_forecast_state(observed_state, week, reporting_rate);
+  std::vector<double> out(region_shares.size());
+  for (std::size_t r = 0; r < out.size(); ++r) out[r] = state * region_shares[r];
+  return out;
+}
+
+std::vector<double> population_shares(const ContactNetwork& network) {
+  const auto sizes = network.region_sizes();
+  std::vector<double> shares(sizes.size());
+  const double total = static_cast<double>(network.size());
+  for (std::size_t r = 0; r < sizes.size(); ++r) {
+    shares[r] = static_cast<double>(sizes[r]) / total;
+  }
+  return shares;
+}
+
+}  // namespace le::epi

@@ -1,0 +1,233 @@
+#include "le/epi/defsi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "le/nn/loss.hpp"
+#include "le/nn/optimizer.hpp"
+#include "le/nn/two_branch.hpp"
+
+namespace le::epi {
+
+namespace {
+
+/// Curve distance over the weeks both series cover, ignoring the initial
+/// delay-induced zeros.
+double curve_distance(std::span<const double> observed,
+                      std::span<const double> candidate,
+                      std::size_t skip_weeks) {
+  const std::size_t n = std::min(observed.size(), candidate.size());
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t w = skip_weeks; w < n; ++w) {
+    const double d = observed[w] - candidate[w];
+    acc += d * d;
+    ++counted;
+  }
+  return counted > 0 ? std::sqrt(acc / static_cast<double>(counted)) : 0.0;
+}
+
+}  // namespace
+
+std::vector<ParameterCandidate> estimate_parameters(
+    const ContactNetwork& network, std::span<const double> observed_state,
+    const SeirParams& base_params, const DefsiConfig& config) {
+  if (observed_state.empty()) {
+    throw std::invalid_argument("estimate_parameters: no observations");
+  }
+  std::vector<ParameterCandidate> all;
+  stats::Rng rng(config.seed);
+
+  // Noise-free surveillance operator for candidate curves: the calibration
+  // compares like with like (same reporting rate and delay as the data).
+  SurveillanceParams clean = config.surveillance;
+  clean.noise_sigma = 0.0;
+
+  for (double tau : config.tau_grid) {
+    for (std::size_t seeds : config.seed_grid) {
+      ParameterCandidate cand;
+      cand.params = base_params;
+      cand.params.transmissibility = tau;
+      cand.params.initial_infections = seeds;
+      cand.params.seed = rng.split(all.size() + 1).seed();
+
+      const MeanEpidemicCurve mean = run_seir_ensemble(
+          network, cand.params, config.calibration_replicates);
+      const SurveillanceData surveilled = observe_mean(mean.weekly_total, clean);
+      cand.distance = curve_distance(observed_state, surveilled.state_weekly,
+                                     config.surveillance.delay_weeks);
+      all.push_back(cand);
+    }
+  }
+
+  std::stable_sort(all.begin(), all.end(),
+                   [](const ParameterCandidate& a, const ParameterCandidate& b) {
+                     return a.distance < b.distance;
+                   });
+  all.resize(std::min(config.top_candidates, all.size()));
+
+  // Gaussian kernel weights relative to the best distance.
+  const double scale = std::max(all.front().distance, 1e-9);
+  double total = 0.0;
+  for (auto& c : all) {
+    c.weight = std::exp(-0.5 * (c.distance * c.distance) / (scale * scale));
+    total += c.weight;
+  }
+  for (auto& c : all) c.weight /= total;
+  return all;
+}
+
+DefsiForecaster::DefsiForecaster(DefsiConfig config, std::size_t regions)
+    : config_(std::move(config)), regions_(regions) {}
+
+std::vector<double> DefsiForecaster::make_features(
+    std::span<const double> observed_state, std::size_t week) const {
+  if (week + 1 < config_.window) {
+    throw std::invalid_argument("make_features: week before first full window");
+  }
+  if (week >= observed_state.size()) {
+    throw std::invalid_argument("make_features: week beyond observations");
+  }
+  std::vector<double> f;
+  f.reserve(config_.window + 3);
+  // Branch A: the observed window, newest last, scaled.
+  for (std::size_t k = 0; k < config_.window; ++k) {
+    f.push_back(observed_state[week + 1 - config_.window + k] / input_scale_);
+  }
+  // Branch B: season context.
+  f.push_back(static_cast<double>(week) / weeks_scale_);
+  const double slope =
+      (observed_state[week] - observed_state[week > 0 ? week - 1 : 0]) /
+      input_scale_;
+  f.push_back(slope);
+  double cumulative = 0.0;
+  for (std::size_t w = 0; w <= week; ++w) cumulative += observed_state[w];
+  f.push_back(cumulative / (input_scale_ * weeks_scale_));
+  return f;
+}
+
+DefsiForecaster DefsiForecaster::train(const ContactNetwork& network,
+                                       std::span<const double> observed_state,
+                                       const SeirParams& base_params,
+                                       const DefsiConfig& config) {
+  DefsiForecaster model(config, network.region_count());
+
+  // ---- Module (i): parameter distribution ---------------------------
+  model.candidates_ =
+      estimate_parameters(network, observed_state, base_params, config);
+
+  // ---- Module (ii): synthetic high-resolution training data ---------
+  stats::Rng rng(config.seed);
+  const std::size_t weeks = base_params.days / 7;
+  model.weeks_scale_ = static_cast<double>(weeks);
+
+  struct TrainingCurve {
+    std::vector<double> observed_state;           // surveilled input stream
+    std::vector<std::vector<std::size_t>> truth;  // per-region truth
+  };
+  std::vector<TrainingCurve> curves;
+
+  for (std::size_t c = 0; c < model.candidates_.size(); ++c) {
+    // Allocate simulations proportional to candidate weight.
+    const auto sims = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::round(
+               model.candidates_[c].weight *
+               static_cast<double>(config.sims_per_candidate *
+                                   model.candidates_.size()))));
+    for (std::size_t s = 0; s < sims; ++s) {
+      SeirParams p = model.candidates_[c].params;
+      p.seed = rng.split(1000 * (c + 1) + s).seed();
+      const EpidemicCurve curve = run_seir(network, p);
+      SurveillanceParams sp = config.surveillance;
+      sp.seed = rng.split(2000 * (c + 1) + s).seed();
+      TrainingCurve tc;
+      tc.observed_state = observe(curve, sp).state_weekly;
+      tc.truth = curve.weekly_by_region;
+      curves.push_back(std::move(tc));
+    }
+  }
+
+  // Input/output scales from the synthetic corpus (robust to outliers:
+  // 95th percentile of weekly counts).
+  std::vector<double> all_vals;
+  for (const auto& tc : curves) {
+    all_vals.insert(all_vals.end(), tc.observed_state.begin(),
+                    tc.observed_state.end());
+  }
+  std::sort(all_vals.begin(), all_vals.end());
+  model.input_scale_ = std::max(
+      1.0, all_vals[static_cast<std::size_t>(0.95 *
+                                             static_cast<double>(all_vals.size() - 1))]);
+  double max_truth = 1.0;
+  for (const auto& tc : curves) {
+    for (const auto& region : tc.truth) {
+      for (std::size_t v : region) {
+        max_truth = std::max(max_truth, static_cast<double>(v));
+      }
+    }
+  }
+  model.output_scale_ = max_truth;
+
+  // Assemble samples: (features at week w) -> (per-region truth at w+1).
+  const std::size_t feature_dim = config.window + 3;
+  data::Dataset dataset(feature_dim, model.regions_);
+  for (const auto& tc : curves) {
+    const std::size_t n_weeks = std::min(tc.observed_state.size(),
+                                         tc.truth.front().size());
+    const std::size_t horizon = std::max<std::size_t>(1, config.horizon);
+    for (std::size_t w = config.window - 1; w + horizon < n_weeks; ++w) {
+      // Temporarily borrow the model's scaling to build features.
+      const std::vector<double> f =
+          model.make_features(tc.observed_state, w);
+      std::vector<double> target(model.regions_);
+      for (std::size_t r = 0; r < model.regions_; ++r) {
+        target[r] =
+            static_cast<double>(tc.truth[r][w + horizon]) / model.output_scale_;
+      }
+      dataset.add(f, target);
+    }
+  }
+  model.n_samples_ = dataset.size();
+  if (dataset.empty()) {
+    throw std::runtime_error("DefsiForecaster::train: no training samples");
+  }
+
+  // ---- Module (iii): the two-branch network -------------------------
+  nn::TwoBranchConfig tb;
+  tb.branch_a.input_dim = config.window;
+  tb.branch_a.hidden = config.branch_a_hidden;
+  tb.branch_a.output_dim = config.branch_a_hidden.back();
+  tb.branch_a.activation = nn::Activation::kRelu;
+  tb.branch_b.input_dim = 3;
+  tb.branch_b.hidden = config.branch_b_hidden;
+  tb.branch_b.output_dim = config.branch_b_hidden.back();
+  tb.branch_b.activation = nn::Activation::kRelu;
+  tb.head_hidden = config.head_hidden;
+  tb.output_dim = model.regions_;
+
+  stats::Rng net_rng = rng.split(7);
+  model.net_ = nn::make_two_branch_network(tb, net_rng);
+  nn::AdamOptimizer opt(1e-2);
+  const nn::MseLoss loss;
+  stats::Rng fit_rng = rng.split(8);
+  nn::fit(model.net_, dataset, loss, opt, config.train, fit_rng);
+  return model;
+}
+
+std::vector<double> DefsiForecaster::forecast_regions(
+    std::span<const double> observed_state, std::size_t week) const {
+  const std::vector<double> f = make_features(observed_state, week);
+  std::vector<double> out = net_.predict(f);
+  for (double& v : out) v = std::max(0.0, v * output_scale_);
+  return out;
+}
+
+double DefsiForecaster::forecast_state(std::span<const double> observed_state,
+                                       std::size_t week) const {
+  double total = 0.0;
+  for (double v : forecast_regions(observed_state, week)) total += v;
+  return total;
+}
+
+}  // namespace le::epi

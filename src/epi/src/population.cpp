@@ -1,0 +1,192 @@
+#include "le/epi/population.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace le::epi {
+
+namespace {
+
+/// Default per-layer transmission weights (household contacts are the most
+/// intense, travel links the weakest).
+double layer_weight(ContactLayer layer) {
+  switch (layer) {
+    case ContactLayer::kHousehold: return 1.0;
+    case ContactLayer::kSchool: return 0.5;
+    case ContactLayer::kWorkplace: return 0.4;
+    case ContactLayer::kCommunity: return 0.25;
+    case ContactLayer::kTravel: return 0.15;
+  }
+  return 0.25;
+}
+
+/// Adds an undirected edge (both adjacency directions).
+void add_edge(std::vector<std::vector<Contact>>& adj, std::size_t a,
+              std::size_t b, ContactLayer layer) {
+  if (a == b) return;
+  adj[a].push_back({b, layer_weight(layer), layer});
+  adj[b].push_back({a, layer_weight(layer), layer});
+}
+
+/// Connects a group as a sparse random graph (each member linked to ~k
+/// random others in the group); small groups become cliques.
+void connect_group(std::vector<std::vector<Contact>>& adj,
+                   const std::vector<std::size_t>& group, ContactLayer layer,
+                   std::size_t k, stats::Rng& rng) {
+  if (group.size() < 2) return;
+  if (group.size() <= k + 1) {
+    for (std::size_t a = 0; a < group.size(); ++a) {
+      for (std::size_t b = a + 1; b < group.size(); ++b) {
+        add_edge(adj, group[a], group[b], layer);
+      }
+    }
+    return;
+  }
+  for (std::size_t a = 0; a < group.size(); ++a) {
+    for (std::size_t e = 0; e < k; ++e) {
+      std::size_t b = rng.index(group.size());
+      if (b == a) b = (b + 1) % group.size();
+      add_edge(adj, group[a], group[b], layer);
+    }
+  }
+}
+
+}  // namespace
+
+ContactNetwork::ContactNetwork(std::vector<Person> people,
+                               std::vector<std::vector<Contact>> adjacency,
+                               std::size_t region_count)
+    : people_(std::move(people)), adjacency_(std::move(adjacency)),
+      region_count_(region_count) {
+  if (people_.size() != adjacency_.size()) {
+    throw std::invalid_argument("ContactNetwork: people/adjacency size mismatch");
+  }
+}
+
+std::size_t ContactNetwork::edge_count() const {
+  std::size_t total = 0;
+  for (const auto& contacts : adjacency_) total += contacts.size();
+  return total / 2;
+}
+
+std::vector<std::size_t> ContactNetwork::region_sizes() const {
+  std::vector<std::size_t> sizes(region_count_, 0);
+  for (const auto& p : people_) ++sizes[p.region];
+  return sizes;
+}
+
+std::vector<std::size_t> ContactNetwork::region_members(std::size_t region) const {
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < people_.size(); ++i) {
+    if (people_[i].region == region) members.push_back(i);
+  }
+  return members;
+}
+
+ContactNetwork generate_population(const PopulationConfig& config) {
+  if (config.regions.empty()) {
+    throw std::invalid_argument("generate_population: need >= 1 region");
+  }
+  stats::Rng rng(config.seed);
+  std::vector<Person> people;
+  std::vector<std::vector<std::size_t>> region_children(config.regions.size());
+  std::vector<std::vector<std::size_t>> region_adults(config.regions.size());
+
+  // --- People and households ------------------------------------------
+  std::size_t household_id = 0;
+  for (std::size_t r = 0; r < config.regions.size(); ++r) {
+    const auto& rc = config.regions[r];
+    for (std::size_t hh = 0; hh < rc.households; ++hh, ++household_id) {
+      const int extra = rng.poisson(std::max(0.0, rc.mean_household_size - 1.0));
+      const std::size_t members = 1 + static_cast<std::size_t>(extra);
+      std::vector<std::size_t> household_members;
+      for (std::size_t m = 0; m < members; ++m) {
+        Person p;
+        p.region = r;
+        p.household = household_id;
+        // First member is always an adult; the rest mix by child_fraction.
+        p.age = (m > 0 && rng.bernoulli(config.child_fraction))
+                    ? AgeGroup::kChild
+                    : AgeGroup::kAdult;
+        household_members.push_back(people.size());
+        if (p.age == AgeGroup::kChild) {
+          region_children[r].push_back(people.size());
+        } else {
+          region_adults[r].push_back(people.size());
+        }
+        people.push_back(p);
+      }
+    }
+  }
+
+  std::vector<std::vector<Contact>> adj(people.size());
+
+  // Household cliques.
+  {
+    std::vector<std::vector<std::size_t>> households(household_id);
+    for (std::size_t i = 0; i < people.size(); ++i) {
+      households[people[i].household].push_back(i);
+    }
+    for (const auto& hh : households) {
+      for (std::size_t a = 0; a < hh.size(); ++a) {
+        for (std::size_t b = a + 1; b < hh.size(); ++b) {
+          add_edge(adj, hh[a], hh[b], ContactLayer::kHousehold);
+        }
+      }
+    }
+  }
+
+  // Schools (children) and workplaces (adults), per region.
+  for (std::size_t r = 0; r < config.regions.size(); ++r) {
+    const auto& rc = config.regions[r];
+    auto assign_groups = [&](std::vector<std::size_t>& members,
+                             std::size_t group_size, ContactLayer layer) {
+      rng.shuffle(std::span<std::size_t>{members});
+      for (std::size_t start = 0; start < members.size(); start += group_size) {
+        const std::size_t end = std::min(start + group_size, members.size());
+        std::vector<std::size_t> group(members.begin() + static_cast<std::ptrdiff_t>(start),
+                                       members.begin() + static_cast<std::ptrdiff_t>(end));
+        connect_group(adj, group, layer, 4, rng);
+      }
+    };
+    assign_groups(region_children[r], rc.school_size, ContactLayer::kSchool);
+    assign_groups(region_adults[r], rc.workplace_size, ContactLayer::kWorkplace);
+
+    // Community random links within the region.
+    std::vector<std::size_t> all_members;
+    all_members.insert(all_members.end(), region_children[r].begin(),
+                       region_children[r].end());
+    all_members.insert(all_members.end(), region_adults[r].begin(),
+                       region_adults[r].end());
+    const auto links = static_cast<std::size_t>(
+        rc.community_degree * static_cast<double>(all_members.size()) / 2.0);
+    for (std::size_t e = 0; e < links; ++e) {
+      const std::size_t a = all_members[rng.index(all_members.size())];
+      const std::size_t b = all_members[rng.index(all_members.size())];
+      add_edge(adj, a, b, ContactLayer::kCommunity);
+    }
+  }
+
+  // Inter-region travel links.
+  if (config.regions.size() > 1) {
+    const auto links = static_cast<std::size_t>(
+        config.travel_degree * static_cast<double>(people.size()) / 2.0);
+    for (std::size_t e = 0; e < links; ++e) {
+      const std::size_t a = rng.index(people.size());
+      std::size_t b = rng.index(people.size());
+      // Resample until the endpoint is in a different region (bounded).
+      for (int tries = 0; tries < 16 && people[b].region == people[a].region;
+           ++tries) {
+        b = rng.index(people.size());
+      }
+      if (people[b].region != people[a].region) {
+        add_edge(adj, a, b, ContactLayer::kTravel);
+      }
+    }
+  }
+
+  return ContactNetwork(std::move(people), std::move(adj),
+                        config.regions.size());
+}
+
+}  // namespace le::epi

@@ -1,0 +1,130 @@
+#include "le/epi/seir.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace le::epi {
+
+EpidemicCurve run_seir(const ContactNetwork& network, const SeirParams& params) {
+  if (params.seed_region >= network.region_count()) {
+    throw std::invalid_argument("run_seir: seed_region out of range");
+  }
+  stats::Rng rng(params.seed);
+
+  const std::size_t n = network.size();
+  std::vector<Health> state(n, Health::kSusceptible);
+  std::vector<int> days_left(n, 0);
+
+  // Seed initial infections in the seed region.
+  const auto seed_pool = network.region_members(params.seed_region);
+  if (seed_pool.empty()) throw std::invalid_argument("run_seir: empty seed region");
+  std::size_t seeded = 0;
+  for (std::size_t tries = 0;
+       seeded < params.initial_infections && tries < 100 * params.initial_infections;
+       ++tries) {
+    const std::size_t who = seed_pool[rng.index(seed_pool.size())];
+    if (state[who] == Health::kSusceptible) {
+      state[who] = Health::kInfectious;
+      days_left[who] = 1 + rng.geometric(1.0 / params.infectious_mean_days);
+      ++seeded;
+    }
+  }
+
+  const std::size_t regions = network.region_count();
+  EpidemicCurve curve;
+  curve.daily_by_region.assign(regions, std::vector<std::size_t>(params.days, 0));
+
+  std::vector<std::size_t> infectious;
+  std::vector<std::size_t> newly_exposed;
+
+  for (std::size_t day = 0; day < params.days; ++day) {
+    // Collect the currently infectious set.
+    infectious.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state[i] == Health::kInfectious) infectious.push_back(i);
+    }
+
+    // Transmission: each infectious node challenges its neighbours.
+    newly_exposed.clear();
+    for (std::size_t i : infectious) {
+      for (const Contact& c : network.contacts(i)) {
+        if (state[c.neighbour] != Health::kSusceptible) continue;
+        const double p = 1.0 - std::exp(-params.transmissibility * c.weight);
+        if (rng.bernoulli(p)) {
+          state[c.neighbour] = Health::kExposed;
+          days_left[c.neighbour] = 1 + rng.geometric(1.0 / params.latent_mean_days);
+          newly_exposed.push_back(c.neighbour);
+        }
+      }
+    }
+    for (std::size_t who : newly_exposed) {
+      ++curve.daily_by_region[network.person(who).region][day];
+      ++curve.total_infected;
+    }
+
+    // Progression: E -> I, I -> R.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state[i] == Health::kExposed) {
+        if (--days_left[i] <= 0) {
+          state[i] = Health::kInfectious;
+          days_left[i] = 1 + rng.geometric(1.0 / params.infectious_mean_days);
+        }
+      } else if (state[i] == Health::kInfectious) {
+        if (--days_left[i] <= 0) state[i] = Health::kRecovered;
+      }
+    }
+  }
+
+  // Weekly aggregation.
+  const std::size_t weeks = params.days / 7;
+  curve.weekly_by_region.assign(regions, std::vector<std::size_t>(weeks, 0));
+  curve.weekly_total.assign(weeks, 0);
+  for (std::size_t r = 0; r < regions; ++r) {
+    for (std::size_t w = 0; w < weeks; ++w) {
+      std::size_t acc = 0;
+      for (std::size_t d = 0; d < 7; ++d) acc += curve.daily_by_region[r][w * 7 + d];
+      curve.weekly_by_region[r][w] = acc;
+      curve.weekly_total[w] += acc;
+    }
+  }
+  curve.peak_week = static_cast<std::size_t>(
+      std::max_element(curve.weekly_total.begin(), curve.weekly_total.end()) -
+      curve.weekly_total.begin());
+  return curve;
+}
+
+MeanEpidemicCurve run_seir_ensemble(const ContactNetwork& network,
+                                    const SeirParams& params,
+                                    std::size_t replicates) {
+  if (replicates == 0) throw std::invalid_argument("run_seir_ensemble: 0 replicates");
+  MeanEpidemicCurve mean;
+  const std::size_t regions = network.region_count();
+  const std::size_t weeks = params.days / 7;
+  mean.weekly_by_region.assign(regions, std::vector<double>(weeks, 0.0));
+  mean.weekly_total.assign(weeks, 0.0);
+
+  stats::Rng seeder(params.seed);
+  for (std::size_t rep = 0; rep < replicates; ++rep) {
+    SeirParams p = params;
+    p.seed = seeder.split(rep + 1).seed();
+    const EpidemicCurve curve = run_seir(network, p);
+    for (std::size_t r = 0; r < regions; ++r) {
+      for (std::size_t w = 0; w < weeks; ++w) {
+        mean.weekly_by_region[r][w] +=
+            static_cast<double>(curve.weekly_by_region[r][w]);
+      }
+    }
+    for (std::size_t w = 0; w < weeks; ++w) {
+      mean.weekly_total[w] += static_cast<double>(curve.weekly_total[w]);
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(replicates);
+  for (auto& region : mean.weekly_by_region) {
+    for (double& v : region) v *= inv;
+  }
+  for (double& v : mean.weekly_total) v *= inv;
+  return mean;
+}
+
+}  // namespace le::epi

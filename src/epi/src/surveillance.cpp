@@ -1,0 +1,39 @@
+#include "le/epi/surveillance.hpp"
+
+#include <cmath>
+
+namespace le::epi {
+
+namespace {
+std::vector<double> apply_model(const std::vector<double>& truth,
+                                const SurveillanceParams& params) {
+  stats::Rng rng(params.seed);
+  std::vector<double> observed(truth.size(), 0.0);
+  for (std::size_t w = 0; w < truth.size(); ++w) {
+    if (w < params.delay_weeks) {
+      observed[w] = 0.0;  // nothing reported yet
+      continue;
+    }
+    const double base = truth[w - params.delay_weeks] * params.reporting_rate;
+    const double noise = std::exp(rng.normal(0.0, params.noise_sigma));
+    observed[w] = base * noise;
+  }
+  return observed;
+}
+}  // namespace
+
+SurveillanceData observe(const EpidemicCurve& truth,
+                         const SurveillanceParams& params) {
+  std::vector<double> weekly(truth.weekly_total.size());
+  for (std::size_t w = 0; w < weekly.size(); ++w) {
+    weekly[w] = static_cast<double>(truth.weekly_total[w]);
+  }
+  return {apply_model(weekly, params)};
+}
+
+SurveillanceData observe_mean(const std::vector<double>& weekly_total,
+                              const SurveillanceParams& params) {
+  return {apply_model(weekly_total, params)};
+}
+
+}  // namespace le::epi

@@ -1,0 +1,60 @@
+// Cyclic Coordinate Descent for ridge regression — the paper's CCD kernel
+// (Section III-A), and the natural fit for the ROTATION computation model:
+// coordinates partition into disjoint blocks, each worker exactly solves
+// its owned block, and ownership rotates so every worker touches every
+// block (the Harp model-rotation pattern the paper's group built).
+//
+// For least squares each coordinate update is exact:
+//   w_j <- (x_j . r + (x_j . x_j) w_j) / (x_j . x_j + lambda)
+// where r is the current residual; the residual is maintained
+// incrementally, giving O(n) per coordinate update.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "le/runtime/thread_pool.hpp"
+#include "le/tensor/matrix.hpp"
+
+namespace le::kernels {
+
+struct CcdConfig {
+  std::size_t sweeps = 50;
+  double l2 = 1e-6;
+  /// Stop when the max coordinate change in a sweep drops below this.
+  double tolerance = 1e-10;
+};
+
+struct CcdResult {
+  std::vector<double> weights;
+  std::size_t sweeps = 0;
+  bool converged = false;
+  /// Objective 0.5 ||y - Xw||^2 + 0.5 l2 ||w||^2 after each sweep.
+  std::vector<double> objective_trace;
+};
+
+/// Serial cyclic coordinate descent.
+[[nodiscard]] CcdResult ccd_ridge(const tensor::Matrix& features,
+                                  const std::vector<double>& targets,
+                                  const CcdConfig& config);
+
+/// Rotation-parallel CCD: coordinates are split into `workers` blocks; in
+/// each "rotation step" every worker sweeps ITS current block against a
+/// residual snapshot, the disjoint weight updates are applied, the shared
+/// residual is rebuilt, and block ownership rotates.  One full rotation
+/// (= `workers` steps) touches every coordinate once, like a serial sweep
+/// but with block-stale residuals — the accuracy/parallelism trade the
+/// paper's Rotation model makes.
+[[nodiscard]] CcdResult ccd_ridge_rotation(const tensor::Matrix& features,
+                                           const std::vector<double>& targets,
+                                           const CcdConfig& config,
+                                           std::size_t workers,
+                                           runtime::ThreadPool* pool = nullptr);
+
+/// Ridge objective 0.5 ||y - Xw||^2 + 0.5 l2 ||w||^2.
+[[nodiscard]] double ridge_objective(const tensor::Matrix& features,
+                                     const std::vector<double>& targets,
+                                     const std::vector<double>& weights,
+                                     double l2);
+
+}  // namespace le::kernels

@@ -1,0 +1,83 @@
+// Gibbs sampling on the 2-D Ising model — the paper's MCMC kernel class
+// (Section III-A: "Gibbs Sampling ... cover several important categories:
+// Markov Chain Monte Carlo (MCMC)").
+//
+// Sequential Gibbs sweeps are inherently serial (each update conditions on
+// the latest neighbours); the classic parallelization is CHROMATIC Gibbs:
+// on a checkerboard colouring, all same-colour sites are conditionally
+// independent and can be updated concurrently.  That is the Ising image of
+// the paper's Rotation/Locking discussion: correctness demands either
+// serialization or a colouring that makes concurrent writes disjoint.
+// Research issue 9's caveat ("statistical physics problems may need
+// different techniques than ... deterministic time evolutions") is exactly
+// about kernels like this one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "le/runtime/thread_pool.hpp"
+#include "le/stats/rng.hpp"
+
+namespace le::kernels {
+
+/// Square-lattice Ising model with periodic boundaries, J = 1, h = 0.
+/// The exact critical temperature is T_c = 2 / ln(1 + sqrt(2)) ~ 2.269.
+class IsingModel {
+ public:
+  IsingModel(std::size_t side, double temperature, std::uint64_t seed);
+
+  /// Resets every spin to +1 (the ordered ground state).  Standard when
+  /// measuring below T_c, where coarsening from a random start takes
+  /// O(L^2) sweeps.
+  void initialize_ordered();
+
+  /// One sequential Gibbs sweep (typewriter order).
+  void sweep_sequential();
+
+  /// One chromatic (checkerboard) sweep: all black sites, then all white
+  /// sites, each colour updated in parallel over the pool.  `pool` may be
+  /// null, which still uses the chromatic schedule but runs serially.
+  void sweep_chromatic(runtime::ThreadPool* pool);
+
+  [[nodiscard]] std::size_t side() const noexcept { return side_; }
+  [[nodiscard]] double temperature() const noexcept { return temperature_; }
+
+  /// Mean magnetization per spin, in [-1, 1].
+  [[nodiscard]] double magnetization() const;
+
+  /// Energy per spin (J = 1 convention: E = -sum_<ij> s_i s_j / N).
+  [[nodiscard]] double energy_per_spin() const;
+
+  [[nodiscard]] int spin(std::size_t x, std::size_t y) const {
+    return spins_[y * side_ + x];
+  }
+
+  /// Known exact critical temperature of the infinite lattice.
+  static constexpr double kCriticalTemperature = 2.269185314213022;
+
+ private:
+  [[nodiscard]] int neighbour_sum(std::size_t x, std::size_t y) const;
+  void update_site(std::size_t x, std::size_t y, stats::Rng& rng);
+
+  std::size_t side_;
+  double temperature_;
+  std::vector<int> spins_;
+  stats::Rng rng_;
+  std::vector<stats::Rng> colour_rngs_;  ///< one per chunk for chromatic sweeps
+};
+
+/// Convenience driver: equilibrate then measure <|m|> and <E>/N.
+struct IsingObservables {
+  double mean_abs_magnetization = 0.0;
+  double mean_energy_per_spin = 0.0;
+  std::size_t sweeps = 0;
+};
+
+[[nodiscard]] IsingObservables measure_ising(std::size_t side, double temperature,
+                                             std::size_t equilibration_sweeps,
+                                             std::size_t measurement_sweeps,
+                                             std::uint64_t seed,
+                                             runtime::ThreadPool* pool = nullptr);
+
+}  // namespace le::kernels

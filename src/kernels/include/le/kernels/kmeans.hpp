@@ -1,0 +1,50 @@
+// K-means clustering — one of the four parallel ML kernels the paper's
+// Section III-A studies ("Gibbs Sampling, Stochastic Gradient Descent
+// (SGD), Cyclic Coordinate Descent (CCD) and K-means clustering ...
+// fundamental for large-scale data analysis").
+//
+// K-means is the canonical Allreduce-model kernel: each worker assigns its
+// shard of points to the nearest centroid, partial sums are
+// allreduce-combined, and everyone applies the identical centroid update.
+// The implementation runs serially or over a ThreadPool (the shared-memory
+// stand-in for the paper's distributed workers); both paths produce
+// identical results for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "le/runtime/thread_pool.hpp"
+#include "le/stats/rng.hpp"
+#include "le/tensor/matrix.hpp"
+
+namespace le::kernels {
+
+struct KMeansConfig {
+  std::size_t clusters = 4;
+  std::size_t max_iterations = 100;
+  /// Stop when the total centroid movement drops below this.
+  double tolerance = 1e-6;
+  std::uint64_t seed = 13;
+};
+
+struct KMeansResult {
+  tensor::Matrix centroids;            ///< (k x dim)
+  std::vector<std::size_t> assignment; ///< per point
+  double inertia = 0.0;                ///< sum of squared distances
+  std::size_t iterations = 0;
+  bool converged = false;
+  /// Inertia after each iteration (must be non-increasing).
+  std::vector<double> inertia_trace;
+};
+
+/// Lloyd's algorithm with k-means++ seeding.  `pool` may be null (serial).
+[[nodiscard]] KMeansResult kmeans(const tensor::Matrix& points,
+                                  const KMeansConfig& config,
+                                  runtime::ThreadPool* pool = nullptr);
+
+/// Sum of squared distances of each point to its nearest centroid.
+[[nodiscard]] double kmeans_inertia(const tensor::Matrix& points,
+                                    const tensor::Matrix& centroids);
+
+}  // namespace le::kernels

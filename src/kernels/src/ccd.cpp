@@ -1,0 +1,175 @@
+#include "le/kernels/ccd.hpp"
+
+#include <cmath>
+#include <future>
+#include <stdexcept>
+
+namespace le::kernels {
+
+namespace {
+
+void check_shapes(const tensor::Matrix& x, const std::vector<double>& y) {
+  if (x.rows() != y.size() || x.rows() == 0 || x.cols() == 0) {
+    throw std::invalid_argument("ccd: shape mismatch or empty problem");
+  }
+}
+
+/// Column j of a row-major matrix, gathered (CCD is column-centric).
+std::vector<double> gather_column(const tensor::Matrix& x, std::size_t j) {
+  std::vector<double> col(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) col[i] = x(i, j);
+  return col;
+}
+
+}  // namespace
+
+double ridge_objective(const tensor::Matrix& features,
+                       const std::vector<double>& targets,
+                       const std::vector<double>& weights, double l2) {
+  double obj = 0.0;
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    double pred = 0.0;
+    auto row = features.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) pred += row[j] * weights[j];
+    const double err = targets[i] - pred;
+    obj += 0.5 * err * err;
+  }
+  for (double w : weights) obj += 0.5 * l2 * w * w;
+  return obj;
+}
+
+CcdResult ccd_ridge(const tensor::Matrix& features,
+                    const std::vector<double>& targets,
+                    const CcdConfig& config) {
+  check_shapes(features, targets);
+  const std::size_t n = features.rows(), d = features.cols();
+
+  // Precompute columns and their squared norms.
+  std::vector<std::vector<double>> cols(d);
+  std::vector<double> col_sq(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    cols[j] = gather_column(features, j);
+    double acc = 0.0;
+    for (double v : cols[j]) acc += v * v;
+    col_sq[j] = acc;
+  }
+
+  CcdResult result;
+  result.weights.assign(d, 0.0);
+  std::vector<double> residual(targets);  // r = y - Xw, w = 0
+
+  for (std::size_t sweep = 0; sweep < config.sweeps; ++sweep) {
+    double max_change = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (col_sq[j] == 0.0) continue;
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) dot += cols[j][i] * residual[i];
+      const double updated =
+          (dot + col_sq[j] * result.weights[j]) / (col_sq[j] + config.l2);
+      const double delta = updated - result.weights[j];
+      if (delta != 0.0) {
+        for (std::size_t i = 0; i < n; ++i) residual[i] -= delta * cols[j][i];
+        result.weights[j] = updated;
+      }
+      max_change = std::max(max_change, std::abs(delta));
+    }
+    ++result.sweeps;
+    result.objective_trace.push_back(
+        ridge_objective(features, targets, result.weights, config.l2));
+    if (max_change < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+CcdResult ccd_ridge_rotation(const tensor::Matrix& features,
+                             const std::vector<double>& targets,
+                             const CcdConfig& config, std::size_t workers,
+                             runtime::ThreadPool* pool) {
+  check_shapes(features, targets);
+  if (workers == 0) throw std::invalid_argument("ccd_rotation: 0 workers");
+  const std::size_t n = features.rows(), d = features.cols();
+  const std::size_t block = (d + workers - 1) / workers;
+
+  std::vector<std::vector<double>> cols(d);
+  std::vector<double> col_sq(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    cols[j] = gather_column(features, j);
+    double acc = 0.0;
+    for (double v : cols[j]) acc += v * v;
+    col_sq[j] = acc;
+  }
+
+  CcdResult result;
+  result.weights.assign(d, 0.0);
+  std::vector<double> residual(targets);
+
+  for (std::size_t sweep = 0; sweep < config.sweeps; ++sweep) {
+    double max_change = 0.0;
+    // One full rotation: `workers` steps; in step t worker w owns block
+    // (w + t) mod workers.  Because blocks are disjoint, all workers can
+    // update concurrently against the shared residual SNAPSHOT.
+    for (std::size_t step = 0; step < workers; ++step) {
+      const std::vector<double> snapshot = residual;
+      std::vector<std::vector<double>> deltas(workers);
+
+      const auto process_block = [&](std::size_t worker) {
+        const std::size_t owned = (worker + step) % workers;
+        const std::size_t lo = owned * block;
+        const std::size_t hi = std::min(lo + block, d);
+        auto& delta = deltas[worker];
+        delta.assign(hi > lo ? hi - lo : 0, 0.0);
+        // Local CCD pass over the owned block against a private residual.
+        std::vector<double> local(snapshot);
+        for (std::size_t j = lo; j < hi; ++j) {
+          if (col_sq[j] == 0.0) continue;
+          double dot = 0.0;
+          for (std::size_t i = 0; i < n; ++i) dot += cols[j][i] * local[i];
+          const double updated =
+              (dot + col_sq[j] * result.weights[j]) / (col_sq[j] + config.l2);
+          const double dw = updated - result.weights[j];
+          delta[j - lo] = dw;
+          if (dw != 0.0) {
+            for (std::size_t i = 0; i < n; ++i) local[i] -= dw * cols[j][i];
+          }
+        }
+      };
+
+      if (pool && workers > 1) {
+        std::vector<std::future<void>> futures;
+        for (std::size_t w = 0; w < workers; ++w) {
+          futures.push_back(pool->submit([&, w] { process_block(w); }));
+        }
+        for (auto& f : futures) f.get();
+      } else {
+        for (std::size_t w = 0; w < workers; ++w) process_block(w);
+      }
+
+      // Apply the disjoint deltas and refresh the shared residual.
+      for (std::size_t w = 0; w < workers; ++w) {
+        const std::size_t owned = (w + step) % workers;
+        const std::size_t lo = owned * block;
+        for (std::size_t idx = 0; idx < deltas[w].size(); ++idx) {
+          const double dw = deltas[w][idx];
+          if (dw == 0.0) continue;
+          const std::size_t j = lo + idx;
+          result.weights[j] += dw;
+          for (std::size_t i = 0; i < n; ++i) residual[i] -= dw * cols[j][i];
+          max_change = std::max(max_change, std::abs(dw));
+        }
+      }
+    }
+    ++result.sweeps;
+    result.objective_trace.push_back(
+        ridge_objective(features, targets, result.weights, config.l2));
+    if (max_change < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace le::kernels

@@ -1,0 +1,168 @@
+#include "le/kernels/kmeans.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+namespace le::kernels {
+
+namespace {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent ones proportional
+/// to squared distance from the nearest chosen centroid.
+tensor::Matrix seed_centroids(const tensor::Matrix& points, std::size_t k,
+                              stats::Rng& rng) {
+  const std::size_t n = points.rows();
+  tensor::Matrix centroids(k, points.cols());
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+
+  std::size_t first = rng.index(n);
+  for (std::size_t c = 0; c < points.cols(); ++c) {
+    centroids(0, c) = points(first, c);
+  }
+  for (std::size_t kk = 1; kk < k; ++kk) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], squared_distance(points.row(i),
+                                               centroids.row(kk - 1)));
+      total += d2[i];
+    }
+    // Sample proportional to d2.
+    double target = rng.uniform(0.0, total);
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= d2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    for (std::size_t c = 0; c < points.cols(); ++c) {
+      centroids(kk, c) = points(chosen, c);
+    }
+  }
+  return centroids;
+}
+
+}  // namespace
+
+double kmeans_inertia(const tensor::Matrix& points,
+                      const tensor::Matrix& centroids) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < centroids.rows(); ++k) {
+      best = std::min(best, squared_distance(points.row(i), centroids.row(k)));
+    }
+    total += best;
+  }
+  return total;
+}
+
+KMeansResult kmeans(const tensor::Matrix& points, const KMeansConfig& config,
+                    runtime::ThreadPool* pool) {
+  if (points.rows() == 0) throw std::invalid_argument("kmeans: no points");
+  if (config.clusters == 0 || config.clusters > points.rows()) {
+    throw std::invalid_argument("kmeans: bad cluster count");
+  }
+  const std::size_t n = points.rows();
+  const std::size_t dim = points.cols();
+  const std::size_t k = config.clusters;
+
+  stats::Rng rng(config.seed);
+  KMeansResult result;
+  result.centroids = seed_centroids(points, k, rng);
+  result.assignment.assign(n, 0);
+
+  // Per-chunk partial sums, merged after the parallel assignment — the
+  // shared-memory image of the Allreduce pattern (each "rank" reduces its
+  // shard, partials are combined, everyone sees the same new centroids).
+  const std::size_t chunks = pool ? pool->thread_count() : 1;
+  std::vector<tensor::Matrix> partial_sums(chunks);
+  std::vector<std::vector<std::size_t>> partial_counts(chunks);
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    for (auto& m : partial_sums) m.resize(k, dim, 0.0);
+    for (auto& v : partial_counts) v.assign(k, 0);
+
+    const auto assign_range = [&](std::size_t chunk, std::size_t lo,
+                                  std::size_t hi) {
+      auto& sums = partial_sums[chunk];
+      auto& counts = partial_counts[chunk];
+      for (std::size_t i = lo; i < hi; ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t best_k = 0;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const double d = squared_distance(points.row(i),
+                                            result.centroids.row(kk));
+          if (d < best) {
+            best = d;
+            best_k = kk;
+          }
+        }
+        result.assignment[i] = best_k;
+        auto row = points.row(i);
+        for (std::size_t c = 0; c < dim; ++c) sums(best_k, c) += row[c];
+        ++counts[best_k];
+      }
+    };
+
+    if (pool) {
+      const std::size_t per_chunk = (n + chunks - 1) / chunks;
+      std::vector<std::future<void>> futures;
+      for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+        const std::size_t lo = chunk * per_chunk;
+        const std::size_t hi = std::min(lo + per_chunk, n);
+        if (lo >= hi) break;
+        futures.push_back(
+            pool->submit([&, chunk, lo, hi] { assign_range(chunk, lo, hi); }));
+      }
+      for (auto& f : futures) f.get();
+    } else {
+      assign_range(0, 0, n);
+    }
+
+    // Reduce partials and move centroids.
+    double movement = 0.0;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      std::size_t count = 0;
+      std::vector<double> sum(dim, 0.0);
+      for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+        count += partial_counts[chunk][kk];
+        for (std::size_t c = 0; c < dim; ++c) {
+          sum[c] += partial_sums[chunk](kk, c);
+        }
+      }
+      if (count == 0) continue;  // empty cluster keeps its centroid
+      for (std::size_t c = 0; c < dim; ++c) {
+        const double updated = sum[c] / static_cast<double>(count);
+        movement += std::abs(updated - result.centroids(kk, c));
+        result.centroids(kk, c) = updated;
+      }
+    }
+
+    ++result.iterations;
+    result.inertia_trace.push_back(kmeans_inertia(points, result.centroids));
+    if (movement < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.inertia = result.inertia_trace.empty()
+                       ? kmeans_inertia(points, result.centroids)
+                       : result.inertia_trace.back();
+  return result;
+}
+
+}  // namespace le::kernels

@@ -1,0 +1,47 @@
+// Metropolis Monte-Carlo sampler over cluster configurations.
+//
+// Used by the NN-potential experiment to show that the surrogate does not
+// just reproduce energies pointwise but drives *sampling* to the same
+// structural ensemble as the reference (compare sampled pair-distance
+// distributions), which is the actual use-case of the cited ML potentials.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "le/md/vec3.hpp"
+#include "le/stats/rng.hpp"
+
+namespace le::md {
+
+/// Total-energy callback; must be callable repeatedly on mutated positions.
+using EnergyCallback = std::function<double(const std::vector<Vec3>&)>;
+
+struct MonteCarloConfig {
+  std::size_t sweeps = 200;        ///< one sweep = one trial move per atom
+  double max_displacement = 0.15;  ///< uniform trial-move amplitude
+  double kT = 1.0;
+  /// Confining radius; moves leaving the ball are rejected outright.
+  double radius = 3.0;
+  std::uint64_t seed = 3;
+  /// Sweeps discarded before statistics collection begins.
+  std::size_t burn_in = 50;
+};
+
+struct MonteCarloResult {
+  double acceptance_rate = 0.0;
+  double mean_energy = 0.0;
+  /// All pair distances sampled post-burn-in (for structural comparison).
+  std::vector<double> pair_distances;
+  /// Energy trace (one value per post-burn-in sweep).
+  std::vector<double> energy_trace;
+  double wall_seconds = 0.0;
+  std::size_t energy_evaluations = 0;
+};
+
+/// Runs Metropolis MC from the given start configuration.
+[[nodiscard]] MonteCarloResult run_monte_carlo(std::vector<Vec3> positions,
+                                               const EnergyCallback& energy,
+                                               const MonteCarloConfig& config);
+
+}  // namespace le::md

@@ -1,0 +1,117 @@
+// The nanoconfinement ionic-structure simulation — the paper's flagship
+// MLaroundHPC case study (Sections II-C1 and III-D).
+//
+// Ions of valency z_p/z_n at salt concentration c and diameter d are
+// confined between walls h nanometers apart; the observable is the
+// positive-ion density profile rho(z), summarized by the three features the
+// ANN of ref [26] learns: the contact density (at the wall contact plane),
+// the peak density, and the mid-plane (center) density.  The surrogate's
+// D = 5 input features are exactly (h, z_p, z_n, c, d).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "le/md/integrator.hpp"
+#include "le/md/potentials.hpp"
+#include "le/md/system.hpp"
+#include "le/runtime/thread_pool.hpp"
+
+namespace le::md {
+
+struct NanoconfinementParams {
+  // --- The D = 5 surrogate inputs ------------------------------------
+  double h = 3.0;   ///< confinement length (nm)
+  int z_p = 1;      ///< positive-ion valency
+  int z_n = -1;     ///< negative-ion valency
+  double c = 0.5;   ///< salt concentration (mol/L)
+  double d = 0.5;   ///< ion diameter (nm)
+  // --- Simulation controls -------------------------------------------
+  double lx = 7.0;
+  double ly = 7.0;
+  double kT = 1.0;
+  double dt = 0.002;
+  double friction = 1.0;
+  std::size_t equilibration_steps = 1500;
+  std::size_t production_steps = 4500;
+  std::size_t sample_interval = 15;  ///< steps between density samples
+  std::size_t bins = 48;             ///< z-histogram resolution
+  std::uint64_t seed = 1;
+
+  /// The 5-feature vector (h, z_p, z_n, c, d) in the paper's order.
+  [[nodiscard]] std::vector<double> features() const {
+    return {h, static_cast<double>(z_p), static_cast<double>(z_n), c, d};
+  }
+};
+
+/// Positive-ion number-density profile across the slab.
+struct DensityProfile {
+  std::vector<double> z;        ///< bin centres, z in [-h/2, h/2]
+  std::vector<double> density;  ///< ions / nm^3
+};
+
+struct NanoconfinementResult {
+  DensityProfile profile;
+  // --- The 3 learned output features (ref [26]) -----------------------
+  double contact_density = 0.0;  ///< rho at the wall contact plane
+  double peak_density = 0.0;     ///< max over the profile
+  double center_density = 0.0;   ///< rho at the mid-plane
+  // --- Diagnostics -----------------------------------------------------
+  double mean_temperature = 0.0;
+  std::size_t n_positive = 0;
+  std::size_t n_negative = 0;
+  double wall_seconds = 0.0;  ///< measured simulation time (the T_seq / T_train of III-D)
+  /// Per-sample contact-density series, for autocorrelation/blocking
+  /// analysis of the sample-harvesting interval (Section III-D).
+  std::vector<double> contact_series;
+  /// Final particle configuration, for structural post-analysis
+  /// (pair-correlation functions etc., observables.hpp).
+  ParticleSystem final_system;
+
+  /// The 3-feature target vector in (contact, peak, center) order.
+  [[nodiscard]] std::vector<double> targets() const {
+    return {contact_density, peak_density, center_density};
+  }
+};
+
+/// Ion counts implied by the concentration and electroneutrality.
+struct IonCounts {
+  std::size_t positive = 0;
+  std::size_t negative = 0;
+};
+[[nodiscard]] IonCounts ion_counts(const NanoconfinementParams& params);
+
+/// Debye screening parameter kappa implied by the ionic strength.
+[[nodiscard]] double debye_kappa(const NanoconfinementParams& params);
+
+/// Runs the full simulation (equilibration + production) and returns the
+/// density profile and its learned-feature summary.
+[[nodiscard]] NanoconfinementResult run_nanoconfinement(
+    const NanoconfinementParams& params);
+
+/// Replicate-averaged features: runs `replicates` independent simulations
+/// (seeds derived from params.seed), optionally fanned out over a thread
+/// pool, and averages the (contact, peak, center) targets.  This is the
+/// paper-intro "ensemble based applications" pattern and the standard way
+/// to cut label noise when building surrogate training sets.
+struct EnsembleResult {
+  std::vector<double> mean_targets;    ///< averaged (contact, peak, center)
+  std::vector<double> stddev_targets;  ///< replicate-to-replicate spread
+  double total_seconds = 0.0;
+  std::size_t replicates = 0;
+};
+
+[[nodiscard]] EnsembleResult run_nanoconfinement_ensemble(
+    const NanoconfinementParams& params, std::size_t replicates,
+    runtime::ThreadPool* pool = nullptr);
+
+/// Builds the initial particle system (used by tests and by the autotuner,
+/// which needs a system without running production).
+[[nodiscard]] ParticleSystem build_ion_system(const NanoconfinementParams& params,
+                                              stats::Rng& rng);
+
+/// The force field configured for these parameters.
+[[nodiscard]] ConfinedElectrolyteForceField make_force_field(
+    const NanoconfinementParams& params);
+
+}  // namespace le::md

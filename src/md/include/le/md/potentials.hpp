@@ -1,0 +1,78 @@
+// Classical interaction potentials for the confined-electrolyte system:
+// WCA-style truncated Lennard-Jones excluded volume, screened Coulomb
+// (Yukawa) electrostatics — the standard implicit-solvent primitive model
+// of the paper's nanoconfinement study — and an LJ 9-3 wall.
+#pragma once
+
+#include <cstddef>
+
+#include "le/md/system.hpp"
+#include "le/md/vec3.hpp"
+
+namespace le::md {
+
+/// Pairwise energy/force sample at separation r (force is the scalar
+/// magnitude along the pair axis; positive = repulsive).
+struct PairSample {
+  double energy = 0.0;
+  double force_over_r = 0.0;  ///< F(r)/r, so force vector = this * d_vec
+};
+
+/// Purely repulsive truncated-shifted LJ (WCA) with contact distance sigma.
+struct WcaPotential {
+  double epsilon = 1.0;
+
+  [[nodiscard]] PairSample evaluate(double r_sq, double sigma) const;
+  [[nodiscard]] double cutoff(double sigma) const;  // 2^(1/6) sigma
+};
+
+/// Screened Coulomb: u(r) = lB kT q1 q2 exp(-kappa r) / r, truncated at
+/// r_cut with energy shift.
+struct YukawaPotential {
+  double bjerrum_length = 0.7;  ///< nm, water at room temperature
+  double kappa = 1.0;           ///< inverse screening length (1/nm)
+  double r_cut = 3.5;           ///< nm
+
+  [[nodiscard]] PairSample evaluate(double r_sq, double q1, double q2) const;
+};
+
+/// LJ 9-3 wall at z = +/- h/2 acting on the z coordinate.
+struct WallPotential {
+  double epsilon = 1.0;
+  double sigma = 0.5;
+  double cutoff = 1.25;  ///< distance from the wall beyond which the wall is ignored
+
+  /// Energy and dU/dz contribution from BOTH walls for a particle at z in
+  /// a slab of half-width h/2; diameter d offsets the contact plane.
+  struct WallSample {
+    double energy = 0.0;
+    double force_z = 0.0;
+  };
+  [[nodiscard]] WallSample evaluate(double z, double h, double diameter) const;
+};
+
+/// Bundled force field for the confined electrolyte.
+struct ConfinedElectrolyteForceField {
+  WcaPotential excluded_volume;
+  YukawaPotential electrostatics;
+  WallPotential wall;
+
+  /// Recomputes all forces and returns the total potential energy.
+  /// O(N^2) pair loop — adequate for the few hundred ions the experiments
+  /// use; compute_with_cells is the O(N) path for larger systems.
+  double compute(ParticleSystem& system, const SlabGeometry& geometry) const;
+
+  /// Cell-list-accelerated force evaluation: identical physics to
+  /// compute() (the unit tests assert agreement to rounding), O(N) pair
+  /// generation for large systems.  The caller provides a CellList built
+  /// for this geometry with cutoff >= max interaction range; it is
+  /// rebuilt here for the current positions.
+  double compute_with_cells(ParticleSystem& system, const SlabGeometry& geometry,
+                            class CellList& cells) const;
+
+  /// The largest interaction range of this force field (what a cell list
+  /// must cover).
+  [[nodiscard]] double max_cutoff(const ParticleSystem& system) const;
+};
+
+}  // namespace le::md

@@ -1,0 +1,74 @@
+// Behler–Parrinello atom-centred symmetry functions (paper refs [30][31]).
+//
+// "their key insight was to represent the total energy as a sum of atomic
+// contributions and represent the chemical environment around each atom by
+// an identically structured NN, which takes as input appropriate symmetry
+// functions that are rotation and translation invariant as well as
+// invariant to exchange of atoms."  This header implements the radial G2
+// and angular G4 families with the standard cosine cutoff.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "le/md/vec3.hpp"
+#include "le/tensor/matrix.hpp"
+
+namespace le::md {
+
+/// One radial G2 = sum_j exp(-eta (r_ij - r_s)^2) fc(r_ij).
+struct RadialG2 {
+  double eta = 1.0;
+  double r_shift = 0.0;
+};
+
+/// One angular G4 = 2^(1-zeta) sum_{j<k} (1 + lambda cos theta_ijk)^zeta
+///                  * exp(-eta (r_ij^2 + r_ik^2 + r_jk^2)) fc fc fc.
+struct AngularG4 {
+  double eta = 0.1;
+  double zeta = 1.0;
+  double lambda = 1.0;  ///< +1 or -1
+};
+
+/// The descriptor set shared by all atoms of the (single-species) system.
+class SymmetryFunctionSet {
+ public:
+  SymmetryFunctionSet(double cutoff, std::vector<RadialG2> radial,
+                      std::vector<AngularG4> angular = {});
+
+  /// Default set: `n_radial` G2 functions with shifts spanning (0, cutoff)
+  /// plus two G4 functions (lambda = +/- 1).
+  static SymmetryFunctionSet standard(double cutoff, std::size_t n_radial = 6,
+                                      bool with_angular = true);
+
+  [[nodiscard]] std::size_t feature_count() const noexcept {
+    return radial_.size() + angular_.size();
+  }
+  [[nodiscard]] double cutoff() const noexcept { return cutoff_; }
+
+  /// Feature vector of atom `i` in the cluster.
+  [[nodiscard]] std::vector<double> features(const std::vector<Vec3>& positions,
+                                             std::size_t i) const;
+
+  /// Gradients of atom i's RADIAL features with respect to every atom's
+  /// coordinates: grads[f][j] = d G_f(i) / d r_j.  Only radial (G2)
+  /// descriptor sets support analytic gradients; calling this on a set
+  /// with angular functions throws (use energy-only sampling for those).
+  [[nodiscard]] std::vector<std::vector<Vec3>> feature_gradients(
+      const std::vector<Vec3>& positions, std::size_t i) const;
+
+  [[nodiscard]] bool has_angular() const noexcept { return !angular_.empty(); }
+
+  /// (N x feature_count) matrix of all atoms' features.
+  [[nodiscard]] tensor::Matrix features_all(
+      const std::vector<Vec3>& positions) const;
+
+ private:
+  [[nodiscard]] double fc(double r) const;  ///< cosine cutoff function
+
+  double cutoff_;
+  std::vector<RadialG2> radial_;
+  std::vector<AngularG4> angular_;
+};
+
+}  // namespace le::md

@@ -1,0 +1,83 @@
+// Particle system and slab confinement geometry.
+//
+// The nanoconfinement case study (paper Sections II-C1, III-D) simulates
+// ions between parallel walls separated by h nanometers, periodic in x/y.
+// Units here are reduced LJ-style units: ion diameter d ~ 1, kT = 1 at
+// reference temperature, lengths in nanometers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "le/md/vec3.hpp"
+#include "le/stats/rng.hpp"
+
+namespace le::md {
+
+/// Slab geometry: periodic box of side `lx`/`ly` in x/y; hard walls at
+/// z = +/- h/2 (the wall potential enforces the confinement softly).
+struct SlabGeometry {
+  double lx = 10.0;
+  double ly = 10.0;
+  double h = 3.0;  ///< wall separation (confinement length)
+
+  /// Minimum-image displacement a - b respecting x/y periodicity.
+  [[nodiscard]] Vec3 min_image(const Vec3& a, const Vec3& b) const noexcept {
+    Vec3 d = a - b;
+    d.x -= lx * std::round(d.x / lx);
+    d.y -= ly * std::round(d.y / ly);
+    return d;  // z is not periodic
+  }
+
+  /// Wraps x/y into the primary box; z is left unwrapped.
+  void wrap(Vec3& p) const noexcept {
+    p.x -= lx * std::floor(p.x / lx);
+    p.y -= ly * std::floor(p.y / ly);
+  }
+
+  [[nodiscard]] double volume() const noexcept { return lx * ly * h; }
+};
+
+/// Structure-of-arrays particle store.
+class ParticleSystem {
+ public:
+  ParticleSystem() = default;
+
+  /// Appends a particle; returns its index.
+  std::size_t add(const Vec3& position, double charge, double diameter,
+                  double mass = 1.0);
+
+  [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return positions_.empty(); }
+
+  [[nodiscard]] std::vector<Vec3>& positions() noexcept { return positions_; }
+  [[nodiscard]] const std::vector<Vec3>& positions() const noexcept { return positions_; }
+  [[nodiscard]] std::vector<Vec3>& velocities() noexcept { return velocities_; }
+  [[nodiscard]] const std::vector<Vec3>& velocities() const noexcept { return velocities_; }
+  [[nodiscard]] std::vector<Vec3>& forces() noexcept { return forces_; }
+  [[nodiscard]] const std::vector<Vec3>& forces() const noexcept { return forces_; }
+  [[nodiscard]] const std::vector<double>& charges() const noexcept { return charges_; }
+  [[nodiscard]] const std::vector<double>& diameters() const noexcept { return diameters_; }
+  [[nodiscard]] const std::vector<double>& masses() const noexcept { return masses_; }
+
+  void zero_forces();
+
+  /// Draws Maxwell–Boltzmann velocities at temperature kT and removes the
+  /// centre-of-mass drift.
+  void thermalize(double kT, stats::Rng& rng);
+
+  /// Instantaneous kinetic temperature (2 KE / 3 N kB, kB = 1).
+  [[nodiscard]] double kinetic_temperature() const;
+
+  [[nodiscard]] double kinetic_energy() const;
+
+ private:
+  std::vector<Vec3> positions_;
+  std::vector<Vec3> velocities_;
+  std::vector<Vec3> forces_;
+  std::vector<double> charges_;
+  std::vector<double> diameters_;
+  std::vector<double> masses_;
+};
+
+}  // namespace le::md

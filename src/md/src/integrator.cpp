@@ -1,0 +1,92 @@
+#include "le/md/integrator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace le::md {
+
+namespace {
+void check_dt(double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("integrator: dt must be > 0");
+}
+}  // namespace
+
+VelocityVerlet::VelocityVerlet(double dt) : dt_(dt) { check_dt(dt); }
+
+void VelocityVerlet::set_dt(double dt) {
+  check_dt(dt);
+  dt_ = dt;
+}
+
+double VelocityVerlet::step(ParticleSystem& system, const SlabGeometry& geometry,
+                            const ForceCallback& forces) {
+  auto& pos = system.positions();
+  auto& vel = system.velocities();
+  auto& frc = system.forces();
+  const auto& mass = system.masses();
+  const std::size_t n = system.size();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    vel[i] += (0.5 * dt_ / mass[i]) * frc[i];
+    pos[i] += dt_ * vel[i];
+    geometry.wrap(pos[i]);
+  }
+  const double energy = forces(system);
+  for (std::size_t i = 0; i < n; ++i) {
+    vel[i] += (0.5 * dt_ / mass[i]) * frc[i];
+  }
+  return energy;
+}
+
+LangevinBaoab::LangevinBaoab(double dt, double kT, double friction,
+                             stats::Rng rng)
+    : dt_(dt), kT_(kT), friction_(friction), rng_(rng) {
+  check_dt(dt);
+  if (kT <= 0.0) throw std::invalid_argument("LangevinBaoab: kT must be > 0");
+  if (friction <= 0.0) throw std::invalid_argument("LangevinBaoab: friction must be > 0");
+}
+
+void LangevinBaoab::set_dt(double dt) {
+  check_dt(dt);
+  dt_ = dt;
+}
+
+double LangevinBaoab::step(ParticleSystem& system, const SlabGeometry& geometry,
+                           const ForceCallback& forces) {
+  auto& pos = system.positions();
+  auto& vel = system.velocities();
+  auto& frc = system.forces();
+  const auto& mass = system.masses();
+  const std::size_t n = system.size();
+
+  const double c1 = std::exp(-friction_ * dt_);
+  // B: half kick.
+  for (std::size_t i = 0; i < n; ++i) {
+    vel[i] += (0.5 * dt_ / mass[i]) * frc[i];
+  }
+  // A: half drift.
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] += 0.5 * dt_ * vel[i];
+    geometry.wrap(pos[i]);
+  }
+  // O: velocity refresh.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c2 = std::sqrt(kT_ / mass[i] * (1.0 - c1 * c1));
+    vel[i].x = c1 * vel[i].x + c2 * rng_.normal();
+    vel[i].y = c1 * vel[i].y + c2 * rng_.normal();
+    vel[i].z = c1 * vel[i].z + c2 * rng_.normal();
+  }
+  // A: half drift.
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] += 0.5 * dt_ * vel[i];
+    geometry.wrap(pos[i]);
+  }
+  // B: half kick with fresh forces.
+  const double energy = forces(system);
+  for (std::size_t i = 0; i < n; ++i) {
+    vel[i] += (0.5 * dt_ / mass[i]) * frc[i];
+  }
+  return energy;
+}
+
+}  // namespace le::md

@@ -1,0 +1,68 @@
+#include "le/md/monte_carlo.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace le::md {
+
+MonteCarloResult run_monte_carlo(std::vector<Vec3> positions,
+                                 const EnergyCallback& energy,
+                                 const MonteCarloConfig& config) {
+  if (positions.empty()) throw std::invalid_argument("run_monte_carlo: empty system");
+  if (config.kT <= 0.0) throw std::invalid_argument("run_monte_carlo: kT must be > 0");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  stats::Rng rng(config.seed);
+
+  MonteCarloResult result;
+  double current = energy(positions);
+  ++result.energy_evaluations;
+  std::size_t accepted = 0, attempted = 0;
+  const double r2_max = config.radius * config.radius;
+
+  for (std::size_t sweep = 0; sweep < config.sweeps; ++sweep) {
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      ++attempted;
+      const Vec3 old = positions[i];
+      positions[i] += Vec3{rng.uniform(-1.0, 1.0) * config.max_displacement,
+                           rng.uniform(-1.0, 1.0) * config.max_displacement,
+                           rng.uniform(-1.0, 1.0) * config.max_displacement};
+      if (positions[i].norm_sq() > r2_max) {
+        positions[i] = old;
+        continue;
+      }
+      const double proposed = energy(positions);
+      ++result.energy_evaluations;
+      const double delta = proposed - current;
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / config.kT)) {
+        current = proposed;
+        ++accepted;
+      } else {
+        positions[i] = old;
+      }
+    }
+    if (sweep >= config.burn_in) {
+      result.energy_trace.push_back(current);
+      for (std::size_t i = 0; i < positions.size(); ++i) {
+        for (std::size_t j = i + 1; j < positions.size(); ++j) {
+          result.pair_distances.push_back((positions[i] - positions[j]).norm());
+        }
+      }
+    }
+  }
+
+  result.acceptance_rate =
+      attempted > 0 ? static_cast<double>(accepted) / static_cast<double>(attempted)
+                    : 0.0;
+  if (!result.energy_trace.empty()) {
+    double acc = 0.0;
+    for (double e : result.energy_trace) acc += e;
+    result.mean_energy = acc / static_cast<double>(result.energy_trace.size());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace le::md

@@ -1,0 +1,125 @@
+#include "le/md/neighbor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace le::md {
+
+CellList::CellList(const SlabGeometry& geometry, double cutoff)
+    : geometry_(geometry) {
+  if (cutoff <= 0.0) throw std::invalid_argument("CellList: cutoff must be > 0");
+  cells_x_ = std::max<std::size_t>(1, static_cast<std::size_t>(geometry.lx / cutoff));
+  cells_y_ = std::max<std::size_t>(1, static_cast<std::size_t>(geometry.ly / cutoff));
+  // z spans [-h/2 - margin, h/2 + margin]; allow slight wall overshoot.
+  cells_z_ = std::max<std::size_t>(1, static_cast<std::size_t>(geometry.h / cutoff));
+  bins_.resize(cell_count());
+}
+
+void CellList::rebuild(const std::vector<Vec3>& positions) {
+  for (auto& bin : bins_) bin.clear();
+  const double inv_wx = static_cast<double>(cells_x_) / geometry_.lx;
+  const double inv_wy = static_cast<double>(cells_y_) / geometry_.ly;
+  const double inv_wz = static_cast<double>(cells_z_) / (geometry_.h * 1.2);
+  const double z_lo = -0.6 * geometry_.h;  // 20% margin beyond the walls
+
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    Vec3 p = positions[i];
+    geometry_.wrap(p);
+    auto cx = static_cast<std::size_t>(p.x * inv_wx);
+    auto cy = static_cast<std::size_t>(p.y * inv_wy);
+    const double zf = (p.z - z_lo) * inv_wz;
+    auto cz = zf <= 0.0 ? 0 : static_cast<std::size_t>(zf);
+    cx = std::min(cx, cells_x_ - 1);
+    cy = std::min(cy, cells_y_ - 1);
+    cz = std::min(cz, cells_z_ - 1);
+    bins_[cell_index(cx, cy, cz)].push_back(i);
+  }
+}
+
+void CellList::for_each_pair(
+    const std::function<void(std::size_t, std::size_t)>& fn) const {
+  // With fewer than 3 cells along a periodic axis the +1/-1 stencil offsets
+  // alias the same neighbour cell and pairs would be emitted twice; fall
+  // back to exact all-pairs enumeration (tiny boxes are cheap anyway).
+  if (cells_x_ < 3 || cells_y_ < 3) {
+    std::vector<std::size_t> all;
+    for (const auto& bin : bins_) all.insert(all.end(), bin.begin(), bin.end());
+    std::sort(all.begin(), all.end());
+    for (std::size_t a = 0; a < all.size(); ++a) {
+      for (std::size_t b = a + 1; b < all.size(); ++b) {
+        fn(all[a], all[b]);
+      }
+    }
+    return;
+  }
+
+  const auto px = static_cast<std::ptrdiff_t>(cells_x_);
+  const auto py = static_cast<std::ptrdiff_t>(cells_y_);
+  const auto pz = static_cast<std::ptrdiff_t>(cells_z_);
+
+  for (std::ptrdiff_t cz = 0; cz < pz; ++cz) {
+    for (std::ptrdiff_t cy = 0; cy < py; ++cy) {
+      for (std::ptrdiff_t cx = 0; cx < px; ++cx) {
+        const auto& home =
+            bins_[cell_index(static_cast<std::size_t>(cx),
+                             static_cast<std::size_t>(cy),
+                             static_cast<std::size_t>(cz))];
+        // Pairs within the home cell.
+        for (std::size_t a = 0; a < home.size(); ++a) {
+          for (std::size_t b = a + 1; b < home.size(); ++b) {
+            fn(std::min(home[a], home[b]), std::max(home[a], home[b]));
+          }
+        }
+        // Half the neighbour stencil to avoid double counting.  With
+        // periodic wrap in x/y a small grid can alias the same cell from
+        // two stencil offsets, so collect and dedupe neighbour cells.
+        std::vector<std::size_t> neighbour_cells;
+        for (std::ptrdiff_t dz = -1; dz <= 1; ++dz) {
+          for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+            for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+              // Keep strictly "later" cells in lexicographic (dz,dy,dx).
+              if (dz < 0) continue;
+              if (dz == 0 && dy < 0) continue;
+              if (dz == 0 && dy == 0 && dx <= 0) continue;
+              const std::ptrdiff_t nz = cz + dz;
+              if (nz < 0 || nz >= pz) continue;
+              const std::size_t nx =
+                  static_cast<std::size_t>((cx + dx + px) % px);
+              const std::size_t ny =
+                  static_cast<std::size_t>((cy + dy + py) % py);
+              neighbour_cells.push_back(
+                  cell_index(nx, ny, static_cast<std::size_t>(nz)));
+            }
+          }
+        }
+        std::sort(neighbour_cells.begin(), neighbour_cells.end());
+        neighbour_cells.erase(
+            std::unique(neighbour_cells.begin(), neighbour_cells.end()),
+            neighbour_cells.end());
+        const std::size_t home_idx =
+            cell_index(static_cast<std::size_t>(cx), static_cast<std::size_t>(cy),
+                       static_cast<std::size_t>(cz));
+        for (std::size_t nidx : neighbour_cells) {
+          if (nidx == home_idx) continue;  // periodic alias of the home cell
+          const auto& other = bins_[nidx];
+          for (std::size_t a : home) {
+            for (std::size_t b : other) {
+              fn(std::min(a, b), std::max(a, b));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> CellList::pairs() const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for_each_pair([&](std::size_t i, std::size_t j) { out.emplace_back(i, j); });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace le::md

@@ -1,0 +1,232 @@
+#include "le/md/nn_potential.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "le/md/monte_carlo.hpp"
+#include "le/nn/loss.hpp"
+#include "le/nn/optimizer.hpp"
+#include "le/stats/metrics.hpp"
+
+namespace le::md {
+
+NnPotential::NnPotential(SymmetryFunctionSet descriptors, nn::Network atomic_net,
+                         data::MinMaxNormalizer feature_scaler,
+                         data::MinMaxNormalizer energy_scaler)
+    : descriptors_(std::move(descriptors)), net_(std::move(atomic_net)),
+      feature_scaler_(std::move(feature_scaler)),
+      energy_scaler_(std::move(energy_scaler)) {
+  net_.set_training(false);
+}
+
+std::vector<double> NnPotential::atomic_energies(
+    const std::vector<Vec3>& positions) {
+  // One batched forward pass over all atoms (this is where the surrogate's
+  // speed comes from: N small MLP rows instead of an SCF + triples sweep).
+  tensor::Matrix feats = descriptors_.features_all(positions);
+  for (std::size_t r = 0; r < feats.rows(); ++r) {
+    feature_scaler_.transform(feats.row(r));
+  }
+  tensor::Matrix out = net_.forward(feats);
+  std::vector<double> energies(positions.size());
+  std::vector<double> row(1);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    row[0] = out(i, 0);
+    energy_scaler_.inverse(row);
+    energies[i] = row[0];
+  }
+  return energies;
+}
+
+NnPotential::EnergyForces NnPotential::energy_and_forces(
+    const std::vector<Vec3>& positions) {
+  if (descriptors_.has_angular()) {
+    throw std::logic_error(
+        "energy_and_forces: requires a radial-only descriptor set");
+  }
+  const std::size_t n = positions.size();
+  const std::size_t n_feats = descriptors_.feature_count();
+
+  // Forward pass on SCALED features; cache needed for backward().
+  tensor::Matrix scaled = descriptors_.features_all(positions);
+  for (std::size_t r = 0; r < n; ++r) {
+    feature_scaler_.transform(scaled.row(r));
+  }
+  net_.set_training(false);
+  net_.zero_grad();
+  const tensor::Matrix out = net_.forward(scaled);
+
+  EnergyForces result;
+  result.forces.assign(n, Vec3{});
+  std::vector<double> row(1);
+  for (std::size_t a = 0; a < n; ++a) {
+    row[0] = out(a, 0);
+    energy_scaler_.inverse(row);
+    result.energy += row[0];
+  }
+
+  // Backward with unit output gradients: rows are independent, so
+  // input_grads(a, f) = d NN(x(a)) / d x_f.
+  tensor::Matrix ones(n, 1, 1.0);
+  const tensor::Matrix input_grads = net_.backward(ones);
+  net_.zero_grad();
+
+  // Chain the min-max scalers: E_a = e_lo + (e_hi - e_lo) * NN(x(a)),
+  // x_f = (G_f - f_lo) / (f_hi - f_lo).
+  const double e_span =
+      energy_scaler_.hi()[0] - energy_scaler_.lo()[0];
+  std::vector<double> inv_feat_span(n_feats, 0.0);
+  for (std::size_t f = 0; f < n_feats; ++f) {
+    const double span = feature_scaler_.hi()[f] - feature_scaler_.lo()[f];
+    inv_feat_span[f] = span > 0.0 ? 1.0 / span : 0.0;
+  }
+
+  for (std::size_t a = 0; a < n; ++a) {
+    const auto grads = descriptors_.feature_gradients(positions, a);
+    for (std::size_t f = 0; f < n_feats; ++f) {
+      const double coeff =
+          e_span * input_grads(a, f) * inv_feat_span[f];
+      if (coeff == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        // F_j = -dE/dr_j.
+        result.forces[j] -= coeff * grads[f][j];
+      }
+    }
+  }
+  return result;
+}
+
+double NnPotential::total_energy(const std::vector<Vec3>& positions) {
+  double total = 0.0;
+  for (double e : atomic_energies(positions)) total += e;
+  return total;
+}
+
+NnPotentialTrainingResult train_nn_potential(
+    const ReferenceManyBodyPotential& reference,
+    const SymmetryFunctionSet& descriptors,
+    const NnPotentialTrainingConfig& config) {
+  stats::Rng rng(config.seed);
+  stats::Rng cluster_rng = rng.split(1);
+  stats::Rng net_rng = rng.split(2);
+  stats::Rng fit_rng = rng.split(3);
+
+  // Harvest (atom descriptor -> atomic energy) samples from labelled
+  // clusters.  Every atom of every cluster is one training sample.
+  data::Dataset samples(descriptors.feature_count(), 1);
+  const std::size_t total_clusters = config.n_train_clusters;
+  std::vector<std::vector<Vec3>> test_clusters;
+  std::vector<ReferenceEnergy> test_labels;
+
+  const auto add_cluster = [&](const std::vector<Vec3>& cluster,
+                               bool hold_out) {
+    const ReferenceEnergy label = reference.evaluate(cluster);
+    if (hold_out) {
+      test_clusters.push_back(cluster);
+      test_labels.push_back(label);
+      return;
+    }
+    const tensor::Matrix feats = descriptors.features_all(cluster);
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      const double e[1] = {label.per_atom[i]};
+      samples.add(feats.row(i), std::span<const double>{e, 1});
+    }
+  };
+
+  for (std::size_t cidx = 0; cidx < total_clusters; ++cidx) {
+    const auto cluster = random_cluster(config.n_atoms, config.cluster_radius,
+                                        config.min_separation, cluster_rng);
+    add_cluster(cluster, /*hold_out=*/cidx % 5 == 4);
+  }
+
+  // Active-learning-style augmentation: harvest configurations along a
+  // reference-driven Metropolis trajectory so the training distribution
+  // covers the states sampling will actually visit.
+  if (config.mc_augmentation_snapshots > 0) {
+    std::vector<Vec3> walker =
+        random_cluster(config.n_atoms, config.cluster_radius,
+                       config.min_separation, cluster_rng);
+    stats::Rng mc_rng(config.seed + 202);
+    const double kT = config.mc_augmentation_kT;
+    const double max_move = 0.12;
+    const double r2_max =
+        1.3 * config.cluster_radius * 1.3 * config.cluster_radius;
+    double current = reference.total_energy(walker);
+    for (std::size_t snap = 0; snap < config.mc_augmentation_snapshots;
+         ++snap) {
+      // A few Metropolis sweeps between harvested snapshots.
+      for (std::size_t sweep = 0; sweep < 5; ++sweep) {
+        for (std::size_t i = 0; i < walker.size(); ++i) {
+          const Vec3 old = walker[i];
+          walker[i] += Vec3{mc_rng.uniform(-max_move, max_move),
+                            mc_rng.uniform(-max_move, max_move),
+                            mc_rng.uniform(-max_move, max_move)};
+          if (walker[i].norm_sq() > r2_max) {
+            walker[i] = old;
+            continue;
+          }
+          const double proposed = reference.total_energy(walker);
+          const double delta = proposed - current;
+          if (delta <= 0.0 || mc_rng.uniform() < std::exp(-delta / kT)) {
+            current = proposed;
+          } else {
+            walker[i] = old;
+          }
+        }
+      }
+      add_cluster(walker, /*hold_out=*/false);
+    }
+  }
+
+  // Normalize on the training samples.
+  data::MinMaxNormalizer feat_scaler, energy_scaler;
+  feat_scaler.fit(samples.input_matrix());
+  energy_scaler.fit(samples.target_matrix());
+  data::Dataset scaled(samples.input_dim(), 1);
+  {
+    std::vector<double> in(samples.input_dim()), tg(1);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      auto is = samples.input(i);
+      in.assign(is.begin(), is.end());
+      tg[0] = samples.target(i)[0];
+      feat_scaler.transform(in);
+      energy_scaler.transform(tg);
+      scaled.add(in, tg);
+    }
+  }
+
+  nn::MlpConfig mlp;
+  mlp.input_dim = descriptors.feature_count();
+  mlp.hidden = config.hidden;
+  mlp.output_dim = 1;
+  mlp.activation = nn::Activation::kTanh;
+  nn::Network net = nn::make_mlp(mlp, net_rng);
+  nn::AdamOptimizer opt(1e-2);
+  const nn::MseLoss loss;
+  nn::fit(net, scaled, loss, opt, config.train, fit_rng);
+
+  NnPotential potential(descriptors, std::move(net), feat_scaler, energy_scaler);
+
+  // Held-out accuracy.
+  std::vector<double> pred_atomic, true_atomic, pred_total, true_total;
+  NnPotentialTrainingResult result{std::move(potential), 0.0, 0.0,
+                                   samples.size()};
+  for (std::size_t c = 0; c < test_clusters.size(); ++c) {
+    const auto energies = result.potential.atomic_energies(test_clusters[c]);
+    double tot = 0.0;
+    for (std::size_t i = 0; i < energies.size(); ++i) {
+      pred_atomic.push_back(energies[i]);
+      true_atomic.push_back(test_labels[c].per_atom[i]);
+      tot += energies[i];
+    }
+    pred_total.push_back(tot);
+    true_total.push_back(test_labels[c].total);
+  }
+  if (!pred_atomic.empty()) {
+    result.test_rmse_per_atom = stats::rmse(pred_atomic, true_atomic);
+    result.test_rmse_total = stats::rmse(pred_total, true_total);
+  }
+  return result;
+}
+
+}  // namespace le::md

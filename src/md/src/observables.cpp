@@ -1,0 +1,84 @@
+#include "le/md/observables.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "le/stats/histogram.hpp"
+
+namespace le::md {
+
+namespace {
+
+bool pair_passes(PairFilter filter, double qi, double qj) {
+  switch (filter) {
+    case PairFilter::kAll: return true;
+    case PairFilter::kLikeCharge: return qi * qj > 0.0;
+    case PairFilter::kUnlikeCharge: return qi * qj < 0.0;
+  }
+  return true;
+}
+
+/// Accumulates all filtered pair distances of one configuration.
+void accumulate_pairs(const std::vector<Vec3>& pos,
+                      const std::vector<double>& charges,
+                      const SlabGeometry& geometry, PairFilter filter,
+                      stats::Histogram& hist) {
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      if (!pair_passes(filter, charges[i], charges[j])) continue;
+      hist.add(geometry.min_image(pos[i], pos[j]).norm());
+    }
+  }
+}
+
+}  // namespace
+
+PairCorrelation pair_correlation(const ParticleSystem& system,
+                                 const SlabGeometry& geometry,
+                                 const PairCorrelationConfig& config) {
+  if (system.size() < 2) {
+    throw std::invalid_argument("pair_correlation: need >= 2 particles");
+  }
+  if (config.ideal_samples == 0) {
+    throw std::invalid_argument("pair_correlation: need ideal samples");
+  }
+
+  stats::Histogram actual(0.0, config.r_max, config.bins);
+  accumulate_pairs(system.positions(), system.charges(), geometry,
+                   config.filter, actual);
+
+  // Ideal-gas reference: same particle count and charges, uniform
+  // positions in the same box, averaged over many draws.
+  stats::Histogram ideal(0.0, config.r_max, config.bins);
+  stats::Rng rng(config.seed);
+  std::vector<Vec3> gas(system.size());
+  for (std::size_t sample = 0; sample < config.ideal_samples; ++sample) {
+    for (auto& p : gas) {
+      p = {rng.uniform(0.0, geometry.lx), rng.uniform(0.0, geometry.ly),
+           rng.uniform(-0.5 * geometry.h, 0.5 * geometry.h)};
+    }
+    accumulate_pairs(gas, system.charges(), geometry, config.filter, ideal);
+  }
+
+  PairCorrelation out;
+  out.r.resize(config.bins);
+  out.g.resize(config.bins);
+  const double ideal_scale = 1.0 / static_cast<double>(config.ideal_samples);
+  for (std::size_t b = 0; b < config.bins; ++b) {
+    out.r[b] = actual.bin_center(b);
+    const double reference = ideal.count(b) * ideal_scale;
+    out.g[b] = reference > 0.0 ? actual.count(b) / reference : 0.0;
+  }
+
+  // First maximum above 1 after the initial excluded-volume rise.
+  for (std::size_t b = 1; b + 1 < config.bins; ++b) {
+    if (out.g[b] > 1.0 && out.g[b] >= out.g[b - 1] && out.g[b] >= out.g[b + 1]) {
+      out.first_peak_r = out.r[b];
+      out.first_peak_g = out.g[b];
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace le::md

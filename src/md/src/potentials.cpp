@@ -1,0 +1,139 @@
+#include "le/md/potentials.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "le/md/neighbor.hpp"
+
+namespace le::md {
+
+PairSample WcaPotential::evaluate(double r_sq, double sigma) const {
+  PairSample s;
+  const double rc = cutoff(sigma);
+  if (r_sq >= rc * rc || r_sq <= 0.0) return s;
+  const double sr2 = sigma * sigma / r_sq;
+  const double sr6 = sr2 * sr2 * sr2;
+  const double sr12 = sr6 * sr6;
+  s.energy = 4.0 * epsilon * (sr12 - sr6) + epsilon;  // shifted so u(rc) = 0
+  s.force_over_r = 24.0 * epsilon * (2.0 * sr12 - sr6) / r_sq;
+  return s;
+}
+
+double WcaPotential::cutoff(double sigma) const {
+  return std::pow(2.0, 1.0 / 6.0) * sigma;
+}
+
+PairSample YukawaPotential::evaluate(double r_sq, double q1, double q2) const {
+  PairSample s;
+  if (r_sq >= r_cut * r_cut || r_sq <= 0.0) return s;
+  const double r = std::sqrt(r_sq);
+  const double prefactor = bjerrum_length * q1 * q2;
+  const double screened = std::exp(-kappa * r) / r;
+  const double shift = std::exp(-kappa * r_cut) / r_cut;
+  s.energy = prefactor * (screened - shift);
+  // -du/dr = prefactor * exp(-kappa r) * (kappa r + 1) / r^2
+  s.force_over_r = prefactor * std::exp(-kappa * r) * (kappa * r + 1.0) / (r_sq * r);
+  return s;
+}
+
+WallPotential::WallSample WallPotential::evaluate(double z, double h,
+                                                  double diameter) const {
+  WallSample out;
+  const double contact_offset = 0.5 * diameter;
+  // Distance from each wall's contact plane.
+  const double d_lower = z + 0.5 * h - contact_offset;  // wall at -h/2
+  const double d_upper = 0.5 * h - contact_offset - z;  // wall at +h/2
+
+  const auto one_wall = [&](double dist, double direction) {
+    if (dist >= cutoff) return;
+    // Clamp to avoid the singularity when an ion starts overlapping a wall.
+    const double dsafe = std::max(dist, 0.05 * sigma);
+    const double s3 = std::pow(sigma / dsafe, 3.0);
+    const double s9 = s3 * s3 * s3;
+    const double c3 = std::pow(sigma / cutoff, 3.0);
+    const double c9 = c3 * c3 * c3;
+    out.energy += epsilon * ((2.0 / 15.0) * s9 - s3) -
+                  epsilon * ((2.0 / 15.0) * c9 - c3);
+    // -dU/ddist, projected on z via `direction`.
+    const double f = epsilon * ((6.0 / 5.0) * s9 - 3.0 * s3) / dsafe;
+    out.force_z += direction * f;
+  };
+  one_wall(d_lower, +1.0);  // lower wall pushes up
+  one_wall(d_upper, -1.0);  // upper wall pushes down
+  return out;
+}
+
+double ConfinedElectrolyteForceField::max_cutoff(
+    const ParticleSystem& system) const {
+  double d_max = 0.0;
+  for (double d : system.diameters()) d_max = std::max(d_max, d);
+  return std::max(excluded_volume.cutoff(d_max), electrostatics.r_cut);
+}
+
+double ConfinedElectrolyteForceField::compute_with_cells(
+    ParticleSystem& system, const SlabGeometry& geometry,
+    CellList& cells) const {
+  system.zero_forces();
+  double energy = 0.0;
+  auto& pos = system.positions();
+  auto& frc = system.forces();
+  const auto& q = system.charges();
+  const auto& d = system.diameters();
+
+  cells.rebuild(pos);
+  cells.for_each_pair([&](std::size_t i, std::size_t j) {
+    const Vec3 rij = geometry.min_image(pos[i], pos[j]);
+    const double r_sq = rij.norm_sq();
+    const double sigma = 0.5 * (d[i] + d[j]);
+    const PairSample wca = excluded_volume.evaluate(r_sq, sigma);
+    const PairSample yuk = electrostatics.evaluate(r_sq, q[i], q[j]);
+    energy += wca.energy + yuk.energy;
+    const double f_over_r = wca.force_over_r + yuk.force_over_r;
+    if (f_over_r != 0.0) {
+      const Vec3 f = f_over_r * rij;
+      frc[i] += f;
+      frc[j] -= f;
+    }
+  });
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    const auto wall_sample = wall.evaluate(pos[i].z, geometry.h, d[i]);
+    energy += wall_sample.energy;
+    frc[i].z += wall_sample.force_z;
+  }
+  return energy;
+}
+
+double ConfinedElectrolyteForceField::compute(ParticleSystem& system,
+                                              const SlabGeometry& geometry) const {
+  system.zero_forces();
+  double energy = 0.0;
+  auto& pos = system.positions();
+  auto& frc = system.forces();
+  const auto& q = system.charges();
+  const auto& d = system.diameters();
+  const std::size_t n = system.size();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3 rij = geometry.min_image(pos[i], pos[j]);
+      const double r_sq = rij.norm_sq();
+      const double sigma = 0.5 * (d[i] + d[j]);
+
+      const PairSample wca = excluded_volume.evaluate(r_sq, sigma);
+      const PairSample yuk = electrostatics.evaluate(r_sq, q[i], q[j]);
+      energy += wca.energy + yuk.energy;
+      const double f_over_r = wca.force_over_r + yuk.force_over_r;
+      if (f_over_r != 0.0) {
+        const Vec3 f = f_over_r * rij;
+        frc[i] += f;
+        frc[j] -= f;
+      }
+    }
+    const auto wall_sample = wall.evaluate(pos[i].z, geometry.h, d[i]);
+    energy += wall_sample.energy;
+    frc[i].z += wall_sample.force_z;
+  }
+  return energy;
+}
+
+}  // namespace le::md

@@ -1,0 +1,165 @@
+#include "le/md/reference_potential.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace le::md {
+
+ReferenceManyBodyPotential::ReferenceManyBodyPotential(
+    ReferencePotentialParams params)
+    : params_(params) {
+  if (params_.scf_max_iterations == 0) {
+    throw std::invalid_argument("ReferenceManyBodyPotential: need >= 1 SCF iter");
+  }
+}
+
+ReferenceEnergy ReferenceManyBodyPotential::evaluate(
+    const std::vector<Vec3>& positions) const {
+  const std::size_t n = positions.size();
+  ReferenceEnergy result;
+  result.per_atom.assign(n, 0.0);
+  if (n < 2) return result;
+
+  // ---- Pairwise Morse + hard-core term (O(N^2)) ----------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double r = (positions[i] - positions[j]).norm();
+      const double x = std::exp(-params_.morse_alpha * (r - params_.morse_r0));
+      const double s_over_r = params_.core_sigma / std::max(r, 1e-6);
+      const double s3 = s_over_r * s_over_r * s_over_r;
+      const double s12 = s3 * s3 * s3 * s3;
+      const double e = params_.morse_depth * (x * x - 2.0 * x) +
+                       params_.core_epsilon * s12;
+      result.total += e;
+      result.per_atom[i] += 0.5 * e;
+      result.per_atom[j] += 0.5 * e;
+    }
+  }
+
+  // ---- Self-consistent induced dipoles (the "SCF loop") -------------
+  // Each site carries an induced dipole mu_i = alpha * E_i where E_i is the
+  // field of a fixed unit source charge distribution plus all other
+  // dipoles.  Iterated to fixed point; the interaction energy is
+  // -1/2 sum_i mu_i . E0_i.
+  std::vector<Vec3> field0(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const Vec3 rij = positions[i] - positions[j];
+      const double r2 = rij.norm_sq();
+      const double r = std::sqrt(r2);
+      // Thole-style short-range damping: the damped field vanishes fast
+      // enough at r -> 0 that no polarization catastrophe is possible.
+      const double x3 = r2 * r / (params_.morse_r0 * params_.morse_r0 *
+                                  params_.morse_r0);
+      const double damp = 1.0 - std::exp(-x3 * x3);
+      field0[i] += (damp / (r2 * r)) * rij;
+    }
+  }
+  std::vector<Vec3> mu(n), mu_next(n);
+  for (std::size_t i = 0; i < n; ++i) mu[i] = params_.polarizability * field0[i];
+
+  std::size_t iter = 0;
+  for (; iter < params_.scf_max_iterations; ++iter) {
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Vec3 field = field0[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const Vec3 rij = positions[i] - positions[j];
+        const double r2 = rij.norm_sq();
+        const double r = std::sqrt(r2);
+        const double r5 = r2 * r2 * r;
+        // Dipole field: (3 (mu.r) r - mu r^2) / r^5, Thole-damped.
+        const double x3 = r2 * r / (params_.morse_r0 * params_.morse_r0 *
+                                    params_.morse_r0);
+        const double damp = 1.0 - std::exp(-x3 * x3);
+        const double mu_dot_r = mu[j].dot(rij);
+        field += damp * (1.0 / r5) *
+                 (3.0 * mu_dot_r * rij - r2 * mu[j]);
+      }
+      mu_next[i] = params_.polarizability * field;
+      delta += (mu_next[i] - mu[i]).norm_sq();
+    }
+    mu.swap(mu_next);
+    if (delta < params_.scf_tolerance * params_.scf_tolerance) {
+      ++iter;
+      break;
+    }
+  }
+  result.scf_iterations = iter;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e_pol = -0.5 * mu[i].dot(field0[i]);
+    result.total += e_pol;
+    result.per_atom[i] += e_pol;
+  }
+
+  // ---- Axilrod–Teller triple-dipole term (O(N^3)) --------------------
+  // Each pair distance carries a short-range dispersion damping factor
+  // (1 - exp(-(r/r0)^6)); without it the triple term is unbounded below
+  // for near-collinear triples at small separations and Metropolis
+  // sampling collapses into the singularity.
+  const auto damp6 = [&](double r) {
+    const double x = r / params_.morse_r0;
+    const double x2 = x * x;
+    return 1.0 - std::exp(-x2 * x2 * x2);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3 rij = positions[i] - positions[j];
+      const double dij = rij.norm();
+      for (std::size_t k = j + 1; k < n; ++k) {
+        const Vec3 rik = positions[i] - positions[k];
+        const Vec3 rjk = positions[j] - positions[k];
+        const double dik = rik.norm();
+        const double djk = rjk.norm();
+        const double denom = std::pow(dij * dik * djk, 3.0);
+        if (denom <= 0.0) continue;
+        const double cos_i = rij.dot(rik) / (dij * dik);
+        const double cos_j = -rij.dot(rjk) / (dij * djk);
+        const double cos_k = rik.dot(rjk) / (dik * djk);
+        const double e = params_.triple_dipole_nu *
+                         (1.0 + 3.0 * cos_i * cos_j * cos_k) / denom *
+                         damp6(dij) * damp6(dik) * damp6(djk);
+        result.total += e;
+        result.per_atom[i] += e / 3.0;
+        result.per_atom[j] += e / 3.0;
+        result.per_atom[k] += e / 3.0;
+      }
+    }
+  }
+  return result;
+}
+
+double ReferenceManyBodyPotential::total_energy(
+    const std::vector<Vec3>& positions) const {
+  return evaluate(positions).total;
+}
+
+std::vector<Vec3> random_cluster(std::size_t n, double radius,
+                                 double min_separation, stats::Rng& rng) {
+  std::vector<Vec3> positions;
+  positions.reserve(n);
+  const double min_sep_sq = min_separation * min_separation;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 200000;
+  while (positions.size() < n) {
+    if (++attempts > max_attempts) {
+      throw std::runtime_error("random_cluster: placement failed (too dense)");
+    }
+    Vec3 p{rng.uniform(-radius, radius), rng.uniform(-radius, radius),
+           rng.uniform(-radius, radius)};
+    if (p.norm_sq() > radius * radius) continue;
+    bool ok = true;
+    for (const Vec3& q : positions) {
+      if ((p - q).norm_sq() < min_sep_sq) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) positions.push_back(p);
+  }
+  return positions;
+}
+
+}  // namespace le::md

@@ -1,0 +1,145 @@
+#include "le/md/symmetry.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace le::md {
+
+SymmetryFunctionSet::SymmetryFunctionSet(double cutoff,
+                                         std::vector<RadialG2> radial,
+                                         std::vector<AngularG4> angular)
+    : cutoff_(cutoff), radial_(std::move(radial)), angular_(std::move(angular)) {
+  if (cutoff <= 0.0) throw std::invalid_argument("SymmetryFunctionSet: cutoff");
+  if (radial_.empty() && angular_.empty()) {
+    throw std::invalid_argument("SymmetryFunctionSet: no functions");
+  }
+}
+
+SymmetryFunctionSet SymmetryFunctionSet::standard(double cutoff,
+                                                  std::size_t n_radial,
+                                                  bool with_angular) {
+  std::vector<RadialG2> radial;
+  radial.reserve(n_radial);
+  for (std::size_t k = 0; k < n_radial; ++k) {
+    RadialG2 g;
+    g.r_shift = cutoff * (static_cast<double>(k) + 0.5) /
+                static_cast<double>(n_radial);
+    g.eta = 4.0 / (cutoff * cutoff / static_cast<double>(n_radial * n_radial));
+    radial.push_back(g);
+  }
+  std::vector<AngularG4> angular;
+  if (with_angular) {
+    angular.push_back({0.05, 2.0, 1.0});
+    angular.push_back({0.05, 2.0, -1.0});
+  }
+  return SymmetryFunctionSet(cutoff, std::move(radial), std::move(angular));
+}
+
+double SymmetryFunctionSet::fc(double r) const {
+  if (r >= cutoff_) return 0.0;
+  return 0.5 * (std::cos(std::numbers::pi * r / cutoff_) + 1.0);
+}
+
+std::vector<double> SymmetryFunctionSet::features(
+    const std::vector<Vec3>& positions, std::size_t i) const {
+  if (i >= positions.size()) throw std::out_of_range("features: atom index");
+  std::vector<double> f(feature_count(), 0.0);
+
+  // Collect neighbours within the cutoff once.
+  struct Neighbour {
+    Vec3 rij;
+    double r;
+    double fc;
+  };
+  std::vector<Neighbour> nbrs;
+  for (std::size_t j = 0; j < positions.size(); ++j) {
+    if (j == i) continue;
+    const Vec3 rij = positions[j] - positions[i];
+    const double r = rij.norm();
+    if (r >= cutoff_) continue;
+    nbrs.push_back({rij, r, fc(r)});
+  }
+
+  // Radial G2.
+  for (std::size_t g = 0; g < radial_.size(); ++g) {
+    const auto& rg = radial_[g];
+    double acc = 0.0;
+    for (const auto& nb : nbrs) {
+      const double dr = nb.r - rg.r_shift;
+      acc += std::exp(-rg.eta * dr * dr) * nb.fc;
+    }
+    f[g] = acc;
+  }
+
+  // Angular G4 over neighbour pairs.
+  for (std::size_t g = 0; g < angular_.size(); ++g) {
+    const auto& ag = angular_[g];
+    double acc = 0.0;
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
+        const double rjk = (nbrs[a].rij - nbrs[b].rij).norm();
+        if (rjk >= cutoff_) continue;
+        const double cos_theta =
+            nbrs[a].rij.dot(nbrs[b].rij) / (nbrs[a].r * nbrs[b].r);
+        const double angular_term =
+            std::pow(1.0 + ag.lambda * cos_theta, ag.zeta);
+        const double radial_term = std::exp(
+            -ag.eta * (nbrs[a].r * nbrs[a].r + nbrs[b].r * nbrs[b].r +
+                       rjk * rjk));
+        acc += angular_term * radial_term * nbrs[a].fc * nbrs[b].fc * fc(rjk);
+      }
+    }
+    f[radial_.size() + g] = std::pow(2.0, 1.0 - ag.zeta) * acc;
+  }
+  return f;
+}
+
+std::vector<std::vector<Vec3>> SymmetryFunctionSet::feature_gradients(
+    const std::vector<Vec3>& positions, std::size_t i) const {
+  if (!angular_.empty()) {
+    throw std::logic_error(
+        "feature_gradients: analytic gradients are implemented for radial "
+        "(G2) descriptor sets only");
+  }
+  if (i >= positions.size()) {
+    throw std::out_of_range("feature_gradients: atom index");
+  }
+  std::vector<std::vector<Vec3>> grads(
+      radial_.size(), std::vector<Vec3>(positions.size()));
+
+  for (std::size_t j = 0; j < positions.size(); ++j) {
+    if (j == i) continue;
+    const Vec3 rij = positions[j] - positions[i];
+    const double r = rij.norm();
+    if (r >= cutoff_ || r <= 0.0) continue;
+    const double fc_r = fc(r);
+    // d fc / d r = -(pi / (2 rc)) sin(pi r / rc)  for r < rc.
+    const double dfc =
+        -0.5 * (std::numbers::pi / cutoff_) *
+        std::sin(std::numbers::pi * r / cutoff_);
+    const Vec3 unit = (1.0 / r) * rij;  // d r / d r_j = +unit, d r / d r_i = -unit
+    for (std::size_t g = 0; g < radial_.size(); ++g) {
+      const auto& rg = radial_[g];
+      const double dr = r - rg.r_shift;
+      const double gauss = std::exp(-rg.eta * dr * dr);
+      // d/dr [gauss * fc] = gauss * (-2 eta dr) * fc + gauss * dfc.
+      const double dG_dr = gauss * (-2.0 * rg.eta * dr * fc_r + dfc);
+      grads[g][j] += dG_dr * unit;
+      grads[g][i] -= dG_dr * unit;
+    }
+  }
+  return grads;
+}
+
+tensor::Matrix SymmetryFunctionSet::features_all(
+    const std::vector<Vec3>& positions) const {
+  tensor::Matrix m(positions.size(), feature_count());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const auto f = features(positions, i);
+    for (std::size_t c = 0; c < f.size(); ++c) m(i, c) = f[c];
+  }
+  return m;
+}
+
+}  // namespace le::md

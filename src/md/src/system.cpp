@@ -1,0 +1,49 @@
+#include "le/md/system.hpp"
+
+namespace le::md {
+
+std::size_t ParticleSystem::add(const Vec3& position, double charge,
+                                double diameter, double mass) {
+  positions_.push_back(position);
+  velocities_.push_back({});
+  forces_.push_back({});
+  charges_.push_back(charge);
+  diameters_.push_back(diameter);
+  masses_.push_back(mass);
+  return positions_.size() - 1;
+}
+
+void ParticleSystem::zero_forces() {
+  for (auto& f : forces_) f = Vec3{};
+}
+
+void ParticleSystem::thermalize(double kT, stats::Rng& rng) {
+  Vec3 momentum{};
+  double total_mass = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    const double sigma = std::sqrt(kT / masses_[i]);
+    velocities_[i] = {rng.normal(0.0, sigma), rng.normal(0.0, sigma),
+                      rng.normal(0.0, sigma)};
+    momentum += masses_[i] * velocities_[i];
+    total_mass += masses_[i];
+  }
+  if (total_mass > 0.0) {
+    const Vec3 drift = (1.0 / total_mass) * momentum;
+    for (auto& v : velocities_) v -= drift;
+  }
+}
+
+double ParticleSystem::kinetic_energy() const {
+  double ke = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    ke += 0.5 * masses_[i] * velocities_[i].norm_sq();
+  }
+  return ke;
+}
+
+double ParticleSystem::kinetic_temperature() const {
+  if (empty()) return 0.0;
+  return 2.0 * kinetic_energy() / (3.0 * static_cast<double>(size()));
+}
+
+}  // namespace le::md

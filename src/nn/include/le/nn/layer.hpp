@@ -1,0 +1,146 @@
+// Neural-network layers.
+//
+// The paper's case-study networks are small multilayer perceptrons (30 and
+// 48 hidden units for the autotuning net; similar for the nanoconfinement
+// surrogate), optionally with dropout for MC-dropout uncertainty
+// quantification (Section III-B).  Layers process batches stored as
+// (batch x features) row-major matrices and cache what backward() needs.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "le/stats/rng.hpp"
+#include "le/tensor/matrix.hpp"
+
+namespace le::nn {
+
+/// A mutable view of one parameter tensor and its gradient, exposed to
+/// optimizers.  Both spans alias layer-owned storage of equal length.
+struct ParamView {
+  std::span<double> values;
+  std::span<double> grads;
+};
+
+/// Abstract batch layer.  forward() must be called before backward(); the
+/// layer caches activations internally between the two calls.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for a (batch x in_dim) input.
+  virtual tensor::Matrix forward(const tensor::Matrix& input) = 0;
+
+  /// Propagates (batch x out_dim) output gradients; accumulates parameter
+  /// gradients internally and returns (batch x in_dim) input gradients.
+  virtual tensor::Matrix backward(const tensor::Matrix& grad_output) = 0;
+
+  /// Parameter/gradient views for optimizers; empty for stateless layers.
+  virtual std::vector<ParamView> parameters() { return {}; }
+
+  /// Zeroes accumulated parameter gradients.
+  virtual void zero_grad() {}
+
+  /// Training-mode switch (dropout becomes active in training mode).
+  virtual void set_training(bool training) { training_ = training; }
+  [[nodiscard]] bool training() const noexcept { return training_; }
+
+  [[nodiscard]] virtual std::size_t input_dim() const = 0;
+  [[nodiscard]] virtual std::size_t output_dim() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
+ protected:
+  bool training_ = true;
+};
+
+/// Fully connected layer: out = in * W + b, W is (in_dim x out_dim).
+class DenseLayer final : public Layer {
+ public:
+  /// Glorot-uniform initialization driven by the given stream.
+  DenseLayer(std::size_t in_dim, std::size_t out_dim, stats::Rng& rng);
+
+  tensor::Matrix forward(const tensor::Matrix& input) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_output) override;
+  std::vector<ParamView> parameters() override;
+  void zero_grad() override;
+
+  [[nodiscard]] std::size_t input_dim() const override { return weights_.rows(); }
+  [[nodiscard]] std::size_t output_dim() const override { return weights_.cols(); }
+  [[nodiscard]] std::string name() const override { return "dense"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] tensor::Matrix& weights() noexcept { return weights_; }
+  [[nodiscard]] const tensor::Matrix& weights() const noexcept { return weights_; }
+  [[nodiscard]] std::span<double> bias() noexcept { return {bias_}; }
+  [[nodiscard]] std::span<const double> bias() const noexcept { return {bias_}; }
+
+ private:
+  tensor::Matrix weights_;
+  tensor::Matrix weight_grads_;
+  std::vector<double> bias_;
+  std::vector<double> bias_grads_;
+  tensor::Matrix cached_input_;
+};
+
+/// Supported pointwise nonlinearities.
+enum class Activation { kIdentity, kRelu, kLeakyRelu, kTanh, kSigmoid };
+
+[[nodiscard]] std::string to_string(Activation a);
+[[nodiscard]] Activation activation_from_string(const std::string& s);
+
+/// Pointwise activation layer.
+class ActivationLayer final : public Layer {
+ public:
+  ActivationLayer(Activation kind, std::size_t dim)
+      : kind_(kind), dim_(dim) {}
+
+  tensor::Matrix forward(const tensor::Matrix& input) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_output) override;
+
+  [[nodiscard]] std::size_t input_dim() const override { return dim_; }
+  [[nodiscard]] std::size_t output_dim() const override { return dim_; }
+  [[nodiscard]] std::string name() const override { return "activation:" + to_string(kind_); }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ActivationLayer>(kind_, dim_);
+  }
+  [[nodiscard]] Activation kind() const noexcept { return kind_; }
+
+ private:
+  Activation kind_;
+  std::size_t dim_;
+  tensor::Matrix cached_input_;
+};
+
+/// Inverted dropout.  Active in training mode; in evaluation mode it is the
+/// identity unless mc_mode is set, which keeps the stochastic masks on so
+/// repeated forward passes form an MC-dropout ensemble (Section III-B).
+class DropoutLayer final : public Layer {
+ public:
+  DropoutLayer(double rate, std::size_t dim, stats::Rng rng);
+
+  tensor::Matrix forward(const tensor::Matrix& input) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_output) override;
+
+  void set_mc_mode(bool on) noexcept { mc_mode_ = on; }
+  [[nodiscard]] bool mc_mode() const noexcept { return mc_mode_; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+  [[nodiscard]] std::size_t input_dim() const override { return dim_; }
+  [[nodiscard]] std::size_t output_dim() const override { return dim_; }
+  [[nodiscard]] std::string name() const override { return "dropout"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+ private:
+  [[nodiscard]] bool stochastic() const noexcept { return training_ || mc_mode_; }
+
+  double rate_;
+  std::size_t dim_;
+  stats::Rng rng_;
+  bool mc_mode_ = false;
+  tensor::Matrix mask_;
+};
+
+}  // namespace le::nn

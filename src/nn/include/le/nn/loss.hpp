@@ -1,0 +1,56 @@
+// Regression losses.  The surrogate problems in the paper are regression
+// problems (density values, optimal timesteps, weekly incidence), so the
+// default is mean-squared error; Huber is provided for the noisy
+// surveillance targets in the DEFSI experiment.
+#pragma once
+
+#include "le/tensor/matrix.hpp"
+
+namespace le::nn {
+
+/// Value and gradient of a batch loss. grad has the prediction's shape and
+/// is already divided by the batch size.
+struct LossResult {
+  double value = 0.0;
+  tensor::Matrix grad;
+};
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  /// Both matrices are (batch x outputs) and must have identical shape.
+  [[nodiscard]] virtual LossResult evaluate(const tensor::Matrix& predicted,
+                                            const tensor::Matrix& target) const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Mean squared error averaged over batch and output dimensions.
+class MseLoss final : public Loss {
+ public:
+  [[nodiscard]] LossResult evaluate(const tensor::Matrix& predicted,
+                                    const tensor::Matrix& target) const override;
+  [[nodiscard]] const char* name() const override { return "mse"; }
+};
+
+/// Mean absolute error; gradient is the (sub)gradient sign/n.
+class MaeLoss final : public Loss {
+ public:
+  [[nodiscard]] LossResult evaluate(const tensor::Matrix& predicted,
+                                    const tensor::Matrix& target) const override;
+  [[nodiscard]] const char* name() const override { return "mae"; }
+};
+
+/// Huber loss with transition point delta.
+class HuberLoss final : public Loss {
+ public:
+  explicit HuberLoss(double delta = 1.0);
+  [[nodiscard]] LossResult evaluate(const tensor::Matrix& predicted,
+                                    const tensor::Matrix& target) const override;
+  [[nodiscard]] const char* name() const override { return "huber"; }
+  [[nodiscard]] double delta() const noexcept { return delta_; }
+
+ private:
+  double delta_;
+};
+
+}  // namespace le::nn

@@ -1,0 +1,80 @@
+// Sequential feed-forward network and the MLP builder used by every
+// surrogate in this repository.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "le/nn/layer.hpp"
+#include "le/stats/rng.hpp"
+#include "le/tensor/matrix.hpp"
+
+namespace le::nn {
+
+/// A sequence of layers applied in order.  Owns its layers; copyable via
+/// clone().  Thread-compatibility: a Network instance is NOT safe for
+/// concurrent use (layers cache activations); clone per worker instead —
+/// the runtime sync engines (Section III-A experiments) do exactly that.
+class Network {
+ public:
+  Network() = default;
+
+  void add(std::unique_ptr<Layer> layer);
+
+  /// Batch forward pass through all layers.
+  [[nodiscard]] tensor::Matrix forward(const tensor::Matrix& input);
+
+  /// Backward pass; must follow a forward() on the same batch.  Parameter
+  /// gradients accumulate until zero_grad().
+  tensor::Matrix backward(const tensor::Matrix& grad_output);
+
+  /// Single-sample inference convenience (allocates a 1-row batch).
+  [[nodiscard]] std::vector<double> predict(std::span<const double> input);
+
+  /// Concatenated parameter views in layer order.
+  [[nodiscard]] std::vector<ParamView> parameters();
+
+  void zero_grad();
+  void set_training(bool training);
+
+  /// Switches all dropout layers into Monte-Carlo mode (stochastic masks at
+  /// inference), forming the UQ ensemble of Section III-B.
+  void set_mc_dropout(bool on);
+
+  [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  [[nodiscard]] std::size_t input_dim() const;
+  [[nodiscard]] std::size_t output_dim() const;
+
+  /// Total number of trainable scalars.
+  [[nodiscard]] std::size_t parameter_count();
+
+  /// Copies all parameter values out into / in from a flat vector, in the
+  /// same order as parameters().  Used by the sync engines to exchange
+  /// models between workers.
+  [[nodiscard]] std::vector<double> get_weights();
+  void set_weights(std::span<const double> flat);
+
+  [[nodiscard]] Network clone() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Configuration of a plain MLP surrogate.
+struct MlpConfig {
+  std::size_t input_dim = 1;
+  std::vector<std::size_t> hidden = {32};
+  std::size_t output_dim = 1;
+  Activation activation = Activation::kRelu;
+  /// Dropout applied after each hidden activation; 0 disables.
+  double dropout_rate = 0.0;
+};
+
+/// Builds Dense -> Activation -> [Dropout] blocks plus a linear output layer.
+[[nodiscard]] Network make_mlp(const MlpConfig& config, stats::Rng& rng);
+
+}  // namespace le::nn

@@ -1,0 +1,30 @@
+// Text (de)serialization of sequential networks.
+//
+// A trained surrogate is an asset: the MLControl campaign driver and the
+// example applications persist surrogates between phases with these
+// routines.  The format is a line-oriented text format (version header,
+// one line per layer, weights in full precision) — diff-friendly and
+// platform independent.  Composite layers (TwoBranchLayer) serialize
+// recursively.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "le/nn/network.hpp"
+
+namespace le::nn {
+
+/// Writes the network architecture and weights to a stream.
+void save_network(std::ostream& out, Network& net);
+
+/// Reads a network written by save_network.  `rng` seeds dropout streams
+/// of the reconstructed network (mask randomness is not part of the model).
+[[nodiscard]] Network load_network(std::istream& in, stats::Rng& rng);
+
+/// File-path conveniences.
+void save_network_file(const std::string& path, Network& net);
+[[nodiscard]] Network load_network_file(const std::string& path,
+                                        stats::Rng& rng);
+
+}  // namespace le::nn

@@ -1,0 +1,124 @@
+#include "le/nn/network.hpp"
+
+#include <stdexcept>
+
+namespace le::nn {
+
+void Network::add(std::unique_ptr<Layer> layer) {
+  if (!layer) throw std::invalid_argument("Network::add: null layer");
+  if (!layers_.empty() && layers_.back()->output_dim() != layer->input_dim()) {
+    throw std::invalid_argument("Network::add: layer dimension mismatch");
+  }
+  layers_.push_back(std::move(layer));
+}
+
+tensor::Matrix Network::forward(const tensor::Matrix& input) {
+  if (layers_.empty()) throw std::logic_error("Network::forward: empty network");
+  tensor::Matrix x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+tensor::Matrix Network::backward(const tensor::Matrix& grad_output) {
+  if (layers_.empty()) throw std::logic_error("Network::backward: empty network");
+  tensor::Matrix g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<double> Network::predict(std::span<const double> input) {
+  tensor::Matrix batch(1, input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) batch(0, i) = input[i];
+  tensor::Matrix out = forward(batch);
+  return {out.data(), out.data() + out.cols()};
+}
+
+std::vector<ParamView> Network::parameters() {
+  std::vector<ParamView> all;
+  for (auto& layer : layers_) {
+    auto views = layer->parameters();
+    all.insert(all.end(), views.begin(), views.end());
+  }
+  return all;
+}
+
+void Network::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+void Network::set_training(bool training) {
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+void Network::set_mc_dropout(bool on) {
+  for (auto& layer : layers_) {
+    if (auto* d = dynamic_cast<DropoutLayer*>(layer.get())) d->set_mc_mode(on);
+  }
+}
+
+std::size_t Network::input_dim() const {
+  if (layers_.empty()) throw std::logic_error("Network::input_dim: empty network");
+  return layers_.front()->input_dim();
+}
+
+std::size_t Network::output_dim() const {
+  if (layers_.empty()) throw std::logic_error("Network::output_dim: empty network");
+  return layers_.back()->output_dim();
+}
+
+std::size_t Network::parameter_count() {
+  std::size_t n = 0;
+  for (const auto& view : parameters()) n += view.values.size();
+  return n;
+}
+
+std::vector<double> Network::get_weights() {
+  std::vector<double> flat;
+  for (const auto& view : parameters()) {
+    flat.insert(flat.end(), view.values.begin(), view.values.end());
+  }
+  return flat;
+}
+
+void Network::set_weights(std::span<const double> flat) {
+  std::size_t offset = 0;
+  for (const auto& view : parameters()) {
+    if (offset + view.values.size() > flat.size()) {
+      throw std::invalid_argument("Network::set_weights: vector too short");
+    }
+    for (std::size_t i = 0; i < view.values.size(); ++i) {
+      view.values[i] = flat[offset + i];
+    }
+    offset += view.values.size();
+  }
+  if (offset != flat.size()) {
+    throw std::invalid_argument("Network::set_weights: vector too long");
+  }
+}
+
+Network Network::clone() const {
+  Network copy;
+  for (const auto& layer : layers_) copy.layers_.push_back(layer->clone());
+  return copy;
+}
+
+Network make_mlp(const MlpConfig& config, stats::Rng& rng) {
+  Network net;
+  std::size_t prev = config.input_dim;
+  std::uint64_t salt = 1;
+  for (std::size_t width : config.hidden) {
+    net.add(std::make_unique<DenseLayer>(prev, width, rng));
+    net.add(std::make_unique<ActivationLayer>(config.activation, width));
+    if (config.dropout_rate > 0.0) {
+      net.add(std::make_unique<DropoutLayer>(config.dropout_rate, width,
+                                             rng.split(salt++)));
+    }
+    prev = width;
+  }
+  net.add(std::make_unique<DenseLayer>(prev, config.output_dim, rng));
+  return net;
+}
+
+}  // namespace le::nn

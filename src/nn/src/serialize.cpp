@@ -1,0 +1,141 @@
+#include "le/nn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "le/nn/two_branch.hpp"
+
+namespace le::nn {
+
+namespace {
+
+constexpr const char* kMagic = "le-network-v1";
+
+void save_layers(std::ostream& out, Network& net);
+
+void save_layer(std::ostream& out, Layer& layer) {
+  if (auto* dense = dynamic_cast<DenseLayer*>(&layer)) {
+    out << "dense " << dense->input_dim() << ' ' << dense->output_dim() << '\n';
+    out << std::setprecision(17);
+    for (double w : dense->weights().flat()) out << w << ' ';
+    out << '\n';
+    for (double b : dense->bias()) out << b << ' ';
+    out << '\n';
+    return;
+  }
+  if (auto* act = dynamic_cast<ActivationLayer*>(&layer)) {
+    out << "activation " << to_string(act->kind()) << ' ' << act->input_dim()
+        << '\n';
+    return;
+  }
+  if (auto* drop = dynamic_cast<DropoutLayer*>(&layer)) {
+    out << "dropout " << std::setprecision(17) << drop->rate() << ' '
+        << drop->input_dim() << '\n';
+    return;
+  }
+  if (auto* tb = dynamic_cast<TwoBranchLayer*>(&layer)) {
+    out << "two_branch\n";
+    save_layers(out, tb->branch_a());
+    save_layers(out, tb->branch_b());
+    return;
+  }
+  throw std::runtime_error("save_network: unsupported layer " + layer.name());
+}
+
+void save_layers(std::ostream& out, Network& net) {
+  out << "layers " << net.layer_count() << '\n';
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    save_layer(out, net.layer(i));
+  }
+}
+
+Network load_layers(std::istream& in, stats::Rng& rng);
+
+std::unique_ptr<Layer> load_layer(std::istream& in, stats::Rng& rng,
+                                  std::uint64_t salt) {
+  std::string kind;
+  if (!(in >> kind)) throw std::runtime_error("load_network: truncated stream");
+  if (kind == "dense") {
+    std::size_t in_dim = 0, out_dim = 0;
+    if (!(in >> in_dim >> out_dim)) {
+      throw std::runtime_error("load_network: bad dense header");
+    }
+    stats::Rng init = rng.split(salt);
+    auto layer = std::make_unique<DenseLayer>(in_dim, out_dim, init);
+    for (double& w : layer->weights().flat()) {
+      if (!(in >> w)) throw std::runtime_error("load_network: bad weights");
+    }
+    for (double& b : layer->bias()) {
+      if (!(in >> b)) throw std::runtime_error("load_network: bad biases");
+    }
+    return layer;
+  }
+  if (kind == "activation") {
+    std::string act;
+    std::size_t dim = 0;
+    if (!(in >> act >> dim)) {
+      throw std::runtime_error("load_network: bad activation header");
+    }
+    return std::make_unique<ActivationLayer>(activation_from_string(act), dim);
+  }
+  if (kind == "dropout") {
+    double rate = 0.0;
+    std::size_t dim = 0;
+    if (!(in >> rate >> dim)) {
+      throw std::runtime_error("load_network: bad dropout header");
+    }
+    return std::make_unique<DropoutLayer>(rate, dim, rng.split(salt + 1000));
+  }
+  if (kind == "two_branch") {
+    Network a = load_layers(in, rng);
+    Network b = load_layers(in, rng);
+    return std::make_unique<TwoBranchLayer>(std::move(a), std::move(b));
+  }
+  throw std::runtime_error("load_network: unknown layer kind '" + kind + "'");
+}
+
+Network load_layers(std::istream& in, stats::Rng& rng) {
+  std::string tag;
+  std::size_t count = 0;
+  if (!(in >> tag >> count) || tag != "layers") {
+    throw std::runtime_error("load_network: expected layer-count header");
+  }
+  Network net;
+  for (std::size_t i = 0; i < count; ++i) {
+    net.add(load_layer(in, rng, i));
+  }
+  return net;
+}
+
+}  // namespace
+
+void save_network(std::ostream& out, Network& net) {
+  out << kMagic << '\n';
+  save_layers(out, net);
+}
+
+Network load_network(std::istream& in, stats::Rng& rng) {
+  std::string magic;
+  if (!(in >> magic) || magic != kMagic) {
+    throw std::runtime_error("load_network: bad magic header");
+  }
+  Network net = load_layers(in, rng);
+  net.set_training(false);
+  return net;
+}
+
+void save_network_file(const std::string& path, Network& net) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_network_file: cannot open " + path);
+  save_network(out, net);
+}
+
+Network load_network_file(const std::string& path, stats::Rng& rng) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_network_file: cannot open " + path);
+  return load_network(in, rng);
+}
+
+}  // namespace le::nn

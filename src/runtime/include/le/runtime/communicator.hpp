@@ -1,0 +1,55 @@
+// MPI-style collectives over shared-memory ranks.
+//
+// The paper's Section III-A finds that *optimized collective communication*
+// improves model-update speed relative to lock-based or fully asynchronous
+// synchronization.  Communicator gives a fixed group of P threads ("ranks")
+// the collective vocabulary needed to express that comparison: barrier,
+// broadcast, allreduce and ring rotation.  Semantics follow MPI: every rank
+// of the group must call the same collective in the same order.
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace le::runtime {
+
+/// Collective context shared by P ranks.  Create one Communicator, then
+/// hand each thread its RankHandle via rank(i).
+class Communicator {
+ public:
+  explicit Communicator(std::size_t ranks);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Blocks until all ranks arrive.
+  void barrier();
+
+  /// Element-wise sum of every rank's `data` (all spans must be equal
+  /// length); on return every rank's span holds the sum.  Internally a
+  /// reduce-to-scratch + broadcast, tree-free but contention-free: each
+  /// rank adds its contribution in turn, mirroring a naive MPI_Allreduce.
+  void allreduce_sum(std::size_t rank, std::span<double> data);
+
+  /// Averages instead of summing.
+  void allreduce_mean(std::size_t rank, std::span<double> data);
+
+  /// Copies root's span into every other rank's span (lengths must match).
+  void broadcast(std::size_t rank, std::size_t root, std::span<double> data);
+
+  /// Ring rotation: every rank's span is replaced with the span of rank-1
+  /// (mod P).  One call = one hop of the model-rotation pattern.
+  void rotate(std::size_t rank, std::span<double> data);
+
+ private:
+  void publish(std::size_t rank, std::span<const double> data);
+
+  std::size_t size_;
+  std::barrier<> barrier_;
+  std::vector<std::vector<double>> slots_;  // one scratch buffer per rank
+  std::vector<double> reduce_buf_;
+};
+
+}  // namespace le::runtime

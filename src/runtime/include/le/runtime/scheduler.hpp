@@ -1,0 +1,74 @@
+// Heterogeneous learn/sim workload scheduling (research issue 8).
+//
+// An MLaroundHPC job mixes N_S simulation units with N_L learning/lookup
+// units whose costs differ by up to ~1e5 (Section III-A "Parallel
+// Computing").  The paper argues the learnt and unlearnt work must be load
+// balanced separately.  This scheduler executes real (spin-work) task mixes
+// under three policies so bench_scheduler can quantify the claim:
+//
+//  - SharedQueue:     one FIFO for everything; cheap lookups suffer
+//                     head-of-line blocking behind long simulations.
+//  - SeparateQueues:  workers are partitioned between task classes in
+//                     proportion to each class's total work (the paper's
+//                     recommendation).
+//  - ShortestFirst:   one priority queue ordered by expected cost; a
+//                     non-partitioned compromise.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace le::runtime {
+
+enum class TaskClass { kSimulation, kLearning, kLookup };
+
+[[nodiscard]] std::string to_string(TaskClass c);
+
+/// One schedulable unit.  cost_units is abstract work; the executor burns
+/// cost_units iterations of a fixed arithmetic kernel, so cost ratios are
+/// real CPU-time ratios.
+struct Task {
+  std::size_t id = 0;
+  TaskClass task_class = TaskClass::kSimulation;
+  std::size_t cost_units = 1;
+};
+
+enum class SchedulePolicy { kSharedQueue, kSeparateQueues, kShortestFirst };
+
+[[nodiscard]] std::string to_string(SchedulePolicy p);
+
+struct SchedulerConfig {
+  SchedulePolicy policy = SchedulePolicy::kSharedQueue;
+  std::size_t workers = 4;
+};
+
+/// Latency statistics for one task class (seconds since workload start).
+struct ClassStats {
+  TaskClass task_class = TaskClass::kSimulation;
+  std::size_t count = 0;
+  double mean_latency = 0.0;
+  double p95_latency = 0.0;
+  double max_latency = 0.0;
+};
+
+struct ScheduleResult {
+  double makespan_seconds = 0.0;
+  std::vector<ClassStats> per_class;
+  /// Completion timestamp (seconds) per task id.
+  std::vector<double> completion_seconds;
+};
+
+/// Executes all tasks under the policy and reports latency statistics.
+/// Tasks are all available at time zero, in the order given (the caller
+/// controls interleaving).
+[[nodiscard]] ScheduleResult run_workload(const std::vector<Task>& tasks,
+                                          const SchedulerConfig& config);
+
+/// Builds the canonical MLaroundHPC mix: n_sim simulations of sim_cost
+/// units interleaved with n_lookup lookups of lookup_cost units.
+[[nodiscard]] std::vector<Task> make_mlaroundhpc_workload(
+    std::size_t n_sim, std::size_t sim_cost, std::size_t n_lookup,
+    std::size_t lookup_cost);
+
+}  // namespace le::runtime

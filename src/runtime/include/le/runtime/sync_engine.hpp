@@ -1,0 +1,123 @@
+// The four parallel model-update patterns of Section III-A.
+//
+// The paper categorizes parallel iterative ML algorithms into (a) Locking,
+// (b) Rotation, (c) Allreduce, (d) Asynchronous computation models, by how
+// workers synchronize the shared model, and reports that optimized
+// collective synchronization (c, and the rotation pipeline b) converges
+// faster than lock-serialized or fully asynchronous updates.  This engine
+// implements all four over shared-memory workers against an abstract
+// differentiable problem so bench_sync_models can reproduce that ordering.
+//
+// Dataflow per pattern (P workers, model w of dimension d):
+//  - Locking:      one shared w guarded by a mutex; a worker holds the lock
+//                  across gradient computation + update, fully serializing
+//                  model access (sequential consistency, zero parallelism
+//                  in the update path).
+//  - Rotation:     w is partitioned into P contiguous blocks; at step t
+//                  worker p exclusively owns block (p + t) mod P, updates
+//                  only that block from its local mini-batch gradient, and
+//                  ownership rotates; a barrier separates steps.  Every
+//                  worker touches every block once per P steps (the Harp
+//                  model-rotation pattern).
+//  - Allreduce:    bulk-synchronous data parallelism: every worker computes
+//                  a mini-batch gradient at identical weights, gradients
+//                  are allreduce-averaged, and all workers apply the same
+//                  update (replicas never diverge).
+//  - Asynchronous: Hogwild-style: one shared w in atomics; workers read and
+//                  write with relaxed ordering and no barriers; updates may
+//                  be stale or interleaved.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "le/stats/rng.hpp"
+
+namespace le::runtime {
+
+/// Differentiable training problem over a flat parameter vector.
+/// Implementations must be safe for concurrent const calls.
+class SgdProblem {
+ public:
+  virtual ~SgdProblem() = default;
+
+  /// Number of trainable scalars.
+  [[nodiscard]] virtual std::size_t dim() const = 0;
+
+  /// Number of training samples (batch indices are drawn from [0, n)).
+  [[nodiscard]] virtual std::size_t sample_count() const = 0;
+
+  /// Writes the gradient of the mini-batch mean loss at w into `grad`
+  /// (length dim()) and returns the mini-batch loss.
+  virtual double loss_and_grad(std::span<const double> w,
+                               std::span<const std::size_t> batch,
+                               std::span<double> grad) const = 0;
+
+  /// Mean loss over the full training set (used for trajectories).
+  [[nodiscard]] virtual double full_loss(std::span<const double> w) const = 0;
+};
+
+/// Ridge-regularized linear least squares: the convex testbed for the sync
+/// comparison (its unique optimum makes convergence quality unambiguous).
+class LinearRegressionProblem final : public SgdProblem {
+ public:
+  /// Feature matrix is row-major (n x d) with targets of length n.
+  LinearRegressionProblem(std::vector<double> features, std::size_t feature_dim,
+                          std::vector<double> targets, double l2 = 0.0);
+
+  [[nodiscard]] std::size_t dim() const override { return feature_dim_ + 1; }
+  [[nodiscard]] std::size_t sample_count() const override { return targets_.size(); }
+  double loss_and_grad(std::span<const double> w,
+                       std::span<const std::size_t> batch,
+                       std::span<double> grad) const override;
+  [[nodiscard]] double full_loss(std::span<const double> w) const override;
+
+ private:
+  [[nodiscard]] double predict(std::span<const double> w, std::size_t i) const;
+
+  std::vector<double> features_;
+  std::size_t feature_dim_;
+  std::vector<double> targets_;
+  double l2_;
+};
+
+enum class SyncModel { kLocking, kRotation, kAllreduce, kAsynchronous };
+
+[[nodiscard]] std::string to_string(SyncModel m);
+
+struct SyncRunConfig {
+  SyncModel model = SyncModel::kAllreduce;
+  std::size_t workers = 4;
+  std::size_t epochs = 10;
+  /// SGD steps each worker performs per epoch.
+  std::size_t steps_per_epoch = 100;
+  std::size_t batch_size = 8;
+  double learning_rate = 0.05;
+  std::uint64_t seed = 42;
+  /// Starting weights; empty means all zeros.  Neural networks MUST pass
+  /// their (symmetry-broken) initialization here — a zero start pins an
+  /// MLP to the saddle where all hidden units stay identical.
+  std::vector<double> initial_weights;
+};
+
+struct SyncRunResult {
+  /// Full-dataset loss evaluated after each epoch (and once at epoch 0
+  /// before training), so size == epochs + 1.
+  std::vector<double> loss_per_epoch;
+  double wall_seconds = 0.0;
+  /// Total model updates applied across all workers.
+  std::size_t total_updates = 0;
+  std::vector<double> final_weights;
+};
+
+/// Runs parallel SGD under the configured synchronization model.
+/// Epoch boundaries are measurement barriers for all models (including
+/// Asynchronous, whose steady-state behaviour is unaffected by the
+/// per-epoch pause).
+[[nodiscard]] SyncRunResult run_parallel_sgd(const SgdProblem& problem,
+                                             const SyncRunConfig& config);
+
+}  // namespace le::runtime

@@ -1,0 +1,62 @@
+// Fixed-size thread pool with futures and a blocking parallel_for.
+//
+// All horizontal (many-task) parallelism in the repository — the paper's
+// Conclusions call for it explicitly — goes through this pool: simulation
+// campaigns fan out runs, the sync engines host their workers, and the
+// heterogeneous scheduler drives mixed learn/sim workloads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace le::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [0, n), blocking until all iterations finish.
+  /// Iterations are chunked to one contiguous range per worker.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace le::runtime

@@ -1,0 +1,70 @@
+#include "le/runtime/communicator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace le::runtime {
+
+Communicator::Communicator(std::size_t ranks)
+    : size_(ranks), barrier_(static_cast<std::ptrdiff_t>(ranks)),
+      slots_(ranks) {
+  if (ranks == 0) throw std::invalid_argument("Communicator: need >= 1 rank");
+}
+
+void Communicator::barrier() { barrier_.arrive_and_wait(); }
+
+void Communicator::publish(std::size_t rank, std::span<const double> data) {
+  slots_[rank].assign(data.begin(), data.end());
+}
+
+void Communicator::allreduce_sum(std::size_t rank, std::span<double> data) {
+  if (rank >= size_) throw std::out_of_range("allreduce_sum: rank");
+  publish(rank, data);
+  barrier_.arrive_and_wait();
+  if (rank == 0) {
+    reduce_buf_.assign(data.size(), 0.0);
+    for (const auto& slot : slots_) {
+      if (slot.size() != data.size()) {
+        throw std::invalid_argument("allreduce_sum: length mismatch across ranks");
+      }
+      for (std::size_t i = 0; i < slot.size(); ++i) reduce_buf_[i] += slot[i];
+    }
+  }
+  barrier_.arrive_and_wait();
+  std::copy(reduce_buf_.begin(), reduce_buf_.end(), data.begin());
+  barrier_.arrive_and_wait();  // keep reduce_buf_ stable until all copied
+}
+
+void Communicator::allreduce_mean(std::size_t rank, std::span<double> data) {
+  allreduce_sum(rank, data);
+  const double inv = 1.0 / static_cast<double>(size_);
+  for (double& v : data) v *= inv;
+}
+
+void Communicator::broadcast(std::size_t rank, std::size_t root,
+                             std::span<double> data) {
+  if (rank >= size_ || root >= size_) throw std::out_of_range("broadcast: rank");
+  if (rank == root) publish(rank, data);
+  barrier_.arrive_and_wait();
+  if (rank != root) {
+    if (slots_[root].size() != data.size()) {
+      throw std::invalid_argument("broadcast: length mismatch");
+    }
+    std::copy(slots_[root].begin(), slots_[root].end(), data.begin());
+  }
+  barrier_.arrive_and_wait();
+}
+
+void Communicator::rotate(std::size_t rank, std::span<double> data) {
+  if (rank >= size_) throw std::out_of_range("rotate: rank");
+  publish(rank, data);
+  barrier_.arrive_and_wait();
+  const std::size_t src = (rank + size_ - 1) % size_;
+  if (slots_[src].size() != data.size()) {
+    throw std::invalid_argument("rotate: length mismatch");
+  }
+  std::copy(slots_[src].begin(), slots_[src].end(), data.begin());
+  barrier_.arrive_and_wait();
+}
+
+}  // namespace le::runtime

@@ -1,0 +1,215 @@
+#include "le/runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "le/stats/descriptive.hpp"
+
+namespace le::runtime {
+
+std::string to_string(TaskClass c) {
+  switch (c) {
+    case TaskClass::kSimulation: return "simulation";
+    case TaskClass::kLearning: return "learning";
+    case TaskClass::kLookup: return "lookup";
+  }
+  return "unknown";
+}
+
+std::string to_string(SchedulePolicy p) {
+  switch (p) {
+    case SchedulePolicy::kSharedQueue: return "shared_queue";
+    case SchedulePolicy::kSeparateQueues: return "separate_queues";
+    case SchedulePolicy::kShortestFirst: return "shortest_first";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Burns `units` iterations of a tiny integer kernel.  volatile sink keeps
+/// the optimizer from deleting the loop.
+void burn(std::size_t units) {
+  volatile std::uint64_t sink = 0;
+  std::uint64_t x = 0x2545F4914F6CDD1DULL;
+  for (std::size_t i = 0; i < units; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    sink = sink + x;
+  }
+}
+
+/// A simple locked task queue; pop returns false when drained.
+class TaskQueue {
+ public:
+  explicit TaskQueue(std::deque<Task> tasks) : tasks_(std::move(tasks)) {}
+
+  bool pop(Task& out) {
+    std::lock_guard lock(mutex_);
+    if (tasks_.empty()) return false;
+    out = tasks_.front();
+    tasks_.pop_front();
+    return true;
+  }
+
+ private:
+  std::deque<Task> tasks_;
+  std::mutex mutex_;
+};
+
+}  // namespace
+
+std::vector<Task> make_mlaroundhpc_workload(std::size_t n_sim,
+                                            std::size_t sim_cost,
+                                            std::size_t n_lookup,
+                                            std::size_t lookup_cost) {
+  std::vector<Task> tasks;
+  tasks.reserve(n_sim + n_lookup);
+  // Interleave so lookups arrive spread through the sim stream, which is
+  // the adversarial case for a shared FIFO.
+  const std::size_t total = n_sim + n_lookup;
+  std::size_t si = 0, li = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    // Keep the emitted lookup fraction tracking the overall ratio, so
+    // lookups are spread evenly through the sim stream.
+    const bool emit_lookup = li * total < (i + 1) * n_lookup && li < n_lookup;
+    Task t;
+    t.id = i;
+    if (emit_lookup || si >= n_sim) {
+      t.task_class = TaskClass::kLookup;
+      t.cost_units = lookup_cost;
+      ++li;
+    } else {
+      t.task_class = TaskClass::kSimulation;
+      t.cost_units = sim_cost;
+      ++si;
+    }
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+ScheduleResult run_workload(const std::vector<Task>& tasks,
+                            const SchedulerConfig& config) {
+  if (config.workers == 0) throw std::invalid_argument("run_workload: 0 workers");
+  ScheduleResult result;
+  result.completion_seconds.assign(tasks.size(), 0.0);
+  if (tasks.empty()) return result;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto stamp = [&](std::size_t id) {
+    const auto now = std::chrono::steady_clock::now();
+    result.completion_seconds[id] =
+        std::chrono::duration<double>(now - t0).count();
+  };
+
+  auto drain = [&](TaskQueue& queue) {
+    Task t;
+    while (queue.pop(t)) {
+      burn(t.cost_units);
+      stamp(t.id);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(config.workers);
+
+  switch (config.policy) {
+    case SchedulePolicy::kSharedQueue: {
+      TaskQueue queue(std::deque<Task>(tasks.begin(), tasks.end()));
+      for (std::size_t w = 0; w < config.workers; ++w) {
+        threads.emplace_back([&] { drain(queue); });
+      }
+      for (auto& t : threads) t.join();
+      break;
+    }
+    case SchedulePolicy::kShortestFirst: {
+      std::vector<Task> sorted(tasks);
+      std::stable_sort(sorted.begin(), sorted.end(),
+                       [](const Task& a, const Task& b) {
+                         return a.cost_units < b.cost_units;
+                       });
+      TaskQueue queue(std::deque<Task>(sorted.begin(), sorted.end()));
+      for (std::size_t w = 0; w < config.workers; ++w) {
+        threads.emplace_back([&] { drain(queue); });
+      }
+      for (auto& t : threads) t.join();
+      break;
+    }
+    case SchedulePolicy::kSeparateQueues: {
+      // Partition workers proportional to each class's total work, with at
+      // least one worker per non-empty class (the "balance learnt and
+      // unlearnt separately" recommendation).
+      std::deque<Task> cheap, expensive;
+      double cheap_work = 0.0, expensive_work = 0.0;
+      for (const Task& t : tasks) {
+        if (t.task_class == TaskClass::kSimulation) {
+          expensive.push_back(t);
+          expensive_work += static_cast<double>(t.cost_units);
+        } else {
+          cheap.push_back(t);
+          cheap_work += static_cast<double>(t.cost_units);
+        }
+      }
+      std::size_t cheap_workers = 0;
+      if (!cheap.empty() && !expensive.empty()) {
+        const double share = cheap_work / (cheap_work + expensive_work);
+        cheap_workers = static_cast<std::size_t>(
+            std::round(share * static_cast<double>(config.workers)));
+        cheap_workers = std::clamp<std::size_t>(cheap_workers, 1,
+                                                config.workers - 1);
+      } else if (!cheap.empty()) {
+        cheap_workers = config.workers;
+      }
+      TaskQueue cheap_q(std::move(cheap));
+      TaskQueue exp_q(std::move(expensive));
+      for (std::size_t w = 0; w < config.workers; ++w) {
+        if (w < cheap_workers) {
+          // Cheap-class workers help with expensive work once done.
+          threads.emplace_back([&] {
+            drain(cheap_q);
+            drain(exp_q);
+          });
+        } else {
+          threads.emplace_back([&] {
+            drain(exp_q);
+            drain(cheap_q);
+          });
+        }
+      }
+      for (auto& t : threads) t.join();
+      break;
+    }
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  result.makespan_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  // Per-class latency stats.
+  for (TaskClass cls : {TaskClass::kSimulation, TaskClass::kLearning,
+                        TaskClass::kLookup}) {
+    std::vector<double> latencies;
+    for (const Task& t : tasks) {
+      if (t.task_class == cls) latencies.push_back(result.completion_seconds[t.id]);
+    }
+    if (latencies.empty()) continue;
+    ClassStats cs;
+    cs.task_class = cls;
+    cs.count = latencies.size();
+    cs.mean_latency = stats::mean(latencies);
+    cs.p95_latency = stats::quantile(latencies, 0.95);
+    cs.max_latency = stats::max(latencies);
+    result.per_class.push_back(cs);
+  }
+  return result;
+}
+
+}  // namespace le::runtime

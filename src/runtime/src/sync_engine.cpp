@@ -1,0 +1,256 @@
+#include "le/runtime/sync_engine.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "le/runtime/communicator.hpp"
+
+namespace le::runtime {
+
+// ---------------------------------------------------------------------------
+// LinearRegressionProblem
+
+LinearRegressionProblem::LinearRegressionProblem(std::vector<double> features,
+                                                 std::size_t feature_dim,
+                                                 std::vector<double> targets,
+                                                 double l2)
+    : features_(std::move(features)), feature_dim_(feature_dim),
+      targets_(std::move(targets)), l2_(l2) {
+  if (feature_dim_ == 0) {
+    throw std::invalid_argument("LinearRegressionProblem: zero feature dim");
+  }
+  if (features_.size() != targets_.size() * feature_dim_) {
+    throw std::invalid_argument("LinearRegressionProblem: shape mismatch");
+  }
+}
+
+double LinearRegressionProblem::predict(std::span<const double> w,
+                                        std::size_t i) const {
+  const double* row = features_.data() + i * feature_dim_;
+  double acc = w[feature_dim_];  // bias is the last weight
+  for (std::size_t j = 0; j < feature_dim_; ++j) acc += w[j] * row[j];
+  return acc;
+}
+
+double LinearRegressionProblem::loss_and_grad(
+    std::span<const double> w, std::span<const std::size_t> batch,
+    std::span<double> grad) const {
+  if (w.size() != dim() || grad.size() != dim()) {
+    throw std::invalid_argument("loss_and_grad: dimension mismatch");
+  }
+  std::fill(grad.begin(), grad.end(), 0.0);
+  double loss = 0.0;
+  for (std::size_t i : batch) {
+    const double err = predict(w, i) - targets_[i];
+    loss += err * err;
+    const double* row = features_.data() + i * feature_dim_;
+    for (std::size_t j = 0; j < feature_dim_; ++j) grad[j] += 2.0 * err * row[j];
+    grad[feature_dim_] += 2.0 * err;
+  }
+  const double inv = 1.0 / static_cast<double>(batch.size());
+  loss *= inv;
+  for (double& g : grad) g *= inv;
+  // L2 on weights only (not bias).
+  for (std::size_t j = 0; j < feature_dim_; ++j) {
+    loss += l2_ * w[j] * w[j];
+    grad[j] += 2.0 * l2_ * w[j];
+  }
+  return loss;
+}
+
+double LinearRegressionProblem::full_loss(std::span<const double> w) const {
+  double loss = 0.0;
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    const double err = predict(w, i) - targets_[i];
+    loss += err * err;
+  }
+  loss /= static_cast<double>(targets_.size());
+  for (std::size_t j = 0; j < feature_dim_; ++j) loss += l2_ * w[j] * w[j];
+  return loss;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+std::string to_string(SyncModel m) {
+  switch (m) {
+    case SyncModel::kLocking: return "locking";
+    case SyncModel::kRotation: return "rotation";
+    case SyncModel::kAllreduce: return "allreduce";
+    case SyncModel::kAsynchronous: return "asynchronous";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Draws a random mini-batch of indices from [0, n).
+void draw_batch(stats::Rng& rng, std::size_t n, std::vector<std::size_t>& batch) {
+  for (auto& b : batch) b = rng.index(n);
+}
+
+struct SharedState {
+  std::vector<double> weights;                 // locking / rotation
+  std::vector<std::atomic<double>> atomic_weights;  // asynchronous
+  std::mutex lock;                             // locking
+  std::atomic<std::size_t> updates{0};
+};
+
+}  // namespace
+
+SyncRunResult run_parallel_sgd(const SgdProblem& problem,
+                               const SyncRunConfig& config) {
+  if (config.workers == 0) throw std::invalid_argument("run_parallel_sgd: 0 workers");
+  if (config.batch_size == 0) throw std::invalid_argument("run_parallel_sgd: 0 batch");
+  const std::size_t d = problem.dim();
+  const std::size_t p = config.workers;
+
+  SyncRunResult result;
+  result.loss_per_epoch.reserve(config.epochs + 1);
+
+  std::vector<double> w0 = config.initial_weights;
+  if (w0.empty()) {
+    w0.assign(d, 0.0);
+  } else if (w0.size() != d) {
+    throw std::invalid_argument("run_parallel_sgd: initial_weights size mismatch");
+  }
+
+  SharedState shared;
+  shared.weights = w0;
+  if (config.model == SyncModel::kAsynchronous) {
+    shared.atomic_weights = std::vector<std::atomic<double>>(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      shared.atomic_weights[i].store(w0[i], std::memory_order_relaxed);
+    }
+  }
+
+  Communicator comm(p);
+  // Epoch barrier includes every worker; rank 0 evaluates between epochs.
+  std::barrier epoch_barrier(static_cast<std::ptrdiff_t>(p));
+
+  // Replicated weights for the allreduce model (identical across workers).
+  std::vector<std::vector<double>> replicas;
+  if (config.model == SyncModel::kAllreduce) {
+    replicas.assign(p, w0);
+  }
+
+  // Snapshot of the model rank 0 records per epoch.
+  auto snapshot = [&](std::span<const double> replica0) {
+    std::vector<double> w(d);
+    switch (config.model) {
+      case SyncModel::kLocking:
+      case SyncModel::kRotation:
+        w = shared.weights;
+        break;
+      case SyncModel::kAsynchronous:
+        for (std::size_t i = 0; i < d; ++i) {
+          w[i] = shared.atomic_weights[i].load(std::memory_order_relaxed);
+        }
+        break;
+      case SyncModel::kAllreduce:
+        w.assign(replica0.begin(), replica0.end());
+        break;
+    }
+    return w;
+  };
+
+  std::mutex trajectory_lock;  // rank 0 only, but keeps tsan honest
+  result.loss_per_epoch.push_back(problem.full_loss(snapshot(
+      config.model == SyncModel::kAllreduce ? std::span<const double>{replicas[0]}
+                                            : std::span<const double>{})));
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  auto worker_fn = [&](std::size_t rank) {
+    stats::Rng rng = stats::Rng(config.seed).split(rank + 1);
+    std::vector<std::size_t> batch(config.batch_size);
+    std::vector<double> grad(d);
+    std::vector<double> local(d, 0.0);
+    const std::size_t n = problem.sample_count();
+
+    // Rotation block boundaries.
+    const std::size_t block = (d + p - 1) / p;
+
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+      for (std::size_t step = 0; step < config.steps_per_epoch; ++step) {
+        draw_batch(rng, n, batch);
+        switch (config.model) {
+          case SyncModel::kLocking: {
+            std::lock_guard guard(shared.lock);
+            problem.loss_and_grad(shared.weights, batch, grad);
+            for (std::size_t i = 0; i < d; ++i) {
+              shared.weights[i] -= config.learning_rate * grad[i];
+            }
+            shared.updates.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          case SyncModel::kRotation: {
+            // All workers read a stable model, then write disjoint blocks.
+            comm.barrier();
+            problem.loss_and_grad(shared.weights, batch, grad);
+            comm.barrier();
+            const std::size_t owned = (rank + step) % p;
+            const std::size_t lo = owned * block;
+            const std::size_t hi = std::min(lo + block, d);
+            for (std::size_t i = lo; i < hi; ++i) {
+              shared.weights[i] -= config.learning_rate * grad[i];
+            }
+            shared.updates.fetch_add(1, std::memory_order_relaxed);
+            comm.barrier();
+            break;
+          }
+          case SyncModel::kAllreduce: {
+            auto& w = replicas[rank];
+            problem.loss_and_grad(w, batch, grad);
+            comm.allreduce_mean(rank, grad);
+            for (std::size_t i = 0; i < d; ++i) {
+              w[i] -= config.learning_rate * grad[i];
+            }
+            if (rank == 0) shared.updates.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          case SyncModel::kAsynchronous: {
+            for (std::size_t i = 0; i < d; ++i) {
+              local[i] = shared.atomic_weights[i].load(std::memory_order_relaxed);
+            }
+            problem.loss_and_grad(local, batch, grad);
+            for (std::size_t i = 0; i < d; ++i) {
+              shared.atomic_weights[i].fetch_add(-config.learning_rate * grad[i],
+                                                 std::memory_order_relaxed);
+            }
+            shared.updates.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+      epoch_barrier.arrive_and_wait();
+      if (rank == 0) {
+        std::lock_guard guard(trajectory_lock);
+        result.loss_per_epoch.push_back(problem.full_loss(snapshot(
+            config.model == SyncModel::kAllreduce
+                ? std::span<const double>{replicas[0]}
+                : std::span<const double>{})));
+      }
+      epoch_barrier.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  for (std::size_t r = 0; r < p; ++r) threads.emplace_back(worker_fn, r);
+  for (auto& t : threads) t.join();
+
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.total_updates = shared.updates.load();
+  result.final_weights = snapshot(
+      config.model == SyncModel::kAllreduce ? std::span<const double>{replicas[0]}
+                                            : std::span<const double>{});
+  return result;
+}
+
+}  // namespace le::runtime

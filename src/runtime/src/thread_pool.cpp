@@ -1,0 +1,59 @@
+#include "le/runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace le::runtime {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads = std::max<std::size_t>(threads, 1);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, thread_count());
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * chunk_size;
+    const std::size_t hi = std::min(lo + chunk_size, n);
+    if (lo >= hi) break;
+    futures.push_back(submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace le::runtime

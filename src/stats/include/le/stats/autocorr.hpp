@@ -1,0 +1,45 @@
+// Time-series independence diagnostics.
+//
+// Section III-D of the paper stresses that training samples harvested from a
+// running simulation must be blocked at intervals longer than the
+// autocorrelation time dc, otherwise consecutive samples are not
+// statistically independent and add no training value.  These routines
+// estimate dc and perform Flyvbjerg–Petersen blocking analysis; the
+// nanoconfinement bench uses them to justify its sample-harvesting interval.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace le::stats {
+
+/// Normalized autocorrelation function C(k)/C(0) for lags 0..max_lag.
+/// Returns an empty vector for series shorter than 2 samples.
+[[nodiscard]] std::vector<double> autocorrelation(std::span<const double> xs,
+                                                  std::size_t max_lag);
+
+/// Integrated autocorrelation time tau = 1 + 2 * sum_k rho(k), with the sum
+/// truncated at the first negative rho(k) (initial-positive-sequence rule).
+/// tau ~ 1 for independent samples.
+[[nodiscard]] double integrated_autocorr_time(std::span<const double> xs,
+                                              std::size_t max_lag);
+
+/// One level of Flyvbjerg–Petersen blocking: averages adjacent pairs.
+[[nodiscard]] std::vector<double> block_once(std::span<const double> xs);
+
+/// Result of a full blocking analysis.
+struct BlockingResult {
+  /// Standard error of the mean estimated at each blocking level; the
+  /// plateau value is the decorrelated error estimate.
+  std::vector<double> se_per_level;
+  /// Plateau standard error (maximum over levels with >= 16 blocks).
+  double plateau_se = 0.0;
+  /// Effective number of independent samples n_eff = var / plateau_se^2.
+  double n_effective = 0.0;
+};
+
+/// Flyvbjerg–Petersen blocking analysis of the standard error of the mean.
+[[nodiscard]] BlockingResult blocking_analysis(std::span<const double> xs);
+
+}  // namespace le::stats

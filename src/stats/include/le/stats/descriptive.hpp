@@ -1,0 +1,48 @@
+// Descriptive statistics over spans of doubles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace le::stats {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (divides by n-1); returns 0 for n < 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Standard error of the mean assuming independent samples.
+[[nodiscard]] double standard_error(std::span<const double> xs);
+
+[[nodiscard]] double min(std::span<const double> xs);
+[[nodiscard]] double max(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1].  xs need not be sorted.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Sample covariance of two equal-length series (divides by n-1).
+[[nodiscard]] double covariance(std::span<const double> xs,
+                                std::span<const double> ys);
+
+/// Pearson correlation coefficient; returns 0 if either series is constant.
+[[nodiscard]] double correlation(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// Summary bundle used by benches when printing result tables.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+}  // namespace le::stats

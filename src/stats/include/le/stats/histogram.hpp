@@ -1,0 +1,50 @@
+// Uniform-bin histogram, used for MD density profiles and epidemic
+// incidence distributions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace le::stats {
+
+/// Fixed-range uniform-bin histogram accumulating weighted counts.
+class Histogram {
+ public:
+  /// Range is [lo, hi); values outside are counted in the overflow tallies.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, double weight = 1.0);
+  void add_all(std::span<const double> values, double weight = 1.0);
+
+  /// Merges another histogram with identical binning; throws otherwise.
+  void merge(const Histogram& other);
+
+  void reset();
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] double count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double total_weight() const noexcept { return total_; }
+  [[nodiscard]] double underflow() const noexcept { return underflow_; }
+  [[nodiscard]] double overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::span<const double> counts() const noexcept { return {counts_}; }
+
+  /// Probability-density view: counts normalized so the integral over the
+  /// range is 1 (ignores under/overflow).  Returns all zeros if empty.
+  [[nodiscard]] std::vector<double> density() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+}  // namespace le::stats

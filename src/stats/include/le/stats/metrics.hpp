@@ -1,0 +1,30 @@
+// Regression / forecasting quality metrics shared by the surrogate
+// experiments (E2, E4, E5, E7, E8).
+#pragma once
+
+#include <span>
+
+namespace le::stats {
+
+/// Root-mean-square error between predictions and targets.
+[[nodiscard]] double rmse(std::span<const double> predicted,
+                          std::span<const double> actual);
+
+/// Mean absolute error.
+[[nodiscard]] double mae(std::span<const double> predicted,
+                         std::span<const double> actual);
+
+/// Coefficient of determination R^2; can be negative for bad fits.
+/// Returns 0 when the targets are constant.
+[[nodiscard]] double r_squared(std::span<const double> predicted,
+                               std::span<const double> actual);
+
+/// Mean absolute percentage error; targets with |y| < eps are skipped.
+[[nodiscard]] double mape(std::span<const double> predicted,
+                          std::span<const double> actual, double eps = 1e-12);
+
+/// Maximum absolute error.
+[[nodiscard]] double max_error(std::span<const double> predicted,
+                               std::span<const double> actual);
+
+}  // namespace le::stats

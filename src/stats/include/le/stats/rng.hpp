@@ -1,0 +1,89 @@
+// Deterministic random-number streams.
+//
+// Everything stochastic in the repository (MD thermostats, SEIR transitions,
+// NN initialization, dropout masks, samplers) draws from le::stats::Rng so
+// that every experiment is reproducible from a single seed.  Substreams are
+// derived with split(), which uses SplitMix64 on the parent state so sibling
+// streams are statistically independent.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+
+namespace le::stats {
+
+/// Seeded random stream: a thin, value-semantic wrapper over mt19937_64
+/// with the draw helpers the rest of the codebase needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed), seed_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal (or scaled) draw.
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n).  n must be > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(
+        std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_));
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Poisson draw with the given mean.
+  [[nodiscard]] int poisson(double mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  /// Exponential draw with the given rate (lambda).
+  [[nodiscard]] double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Geometric draw: number of failures before first success.
+  [[nodiscard]] int geometric(double p) {
+    return std::geometric_distribution<int>(p)(engine_);
+  }
+
+  /// Fisher–Yates shuffle of an index span.
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::swap(values[i - 1], values[index(i)]);
+    }
+  }
+
+  /// Derives an independent child stream; deterministic in (seed, salt).
+  [[nodiscard]] Rng split(std::uint64_t salt) const {
+    // SplitMix64 over seed ^ salt.
+    std::uint64_t z = seed_ ^ (salt + 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace le::stats

@@ -1,0 +1,79 @@
+#include "le/stats/autocorr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "le/stats/descriptive.hpp"
+
+namespace le::stats {
+
+std::vector<double> autocorrelation(std::span<const double> xs,
+                                    std::size_t max_lag) {
+  if (xs.size() < 2) return {};
+  const std::size_t n = xs.size();
+  const double m = mean(xs);
+  max_lag = std::min(max_lag, n - 1);
+
+  double c0 = 0.0;
+  for (double x : xs) c0 += (x - m) * (x - m);
+  c0 /= static_cast<double>(n);
+
+  std::vector<double> rho(max_lag + 1, 0.0);
+  rho[0] = 1.0;
+  if (c0 == 0.0) return rho;  // constant series: define rho(k>0) = 0
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double ck = 0.0;
+    for (std::size_t t = 0; t + k < n; ++t) {
+      ck += (xs[t] - m) * (xs[t + k] - m);
+    }
+    ck /= static_cast<double>(n);
+    rho[k] = ck / c0;
+  }
+  return rho;
+}
+
+double integrated_autocorr_time(std::span<const double> xs,
+                                std::size_t max_lag) {
+  const auto rho = autocorrelation(xs, max_lag);
+  if (rho.empty()) return 1.0;
+  double tau = 1.0;
+  for (std::size_t k = 1; k < rho.size(); ++k) {
+    if (rho[k] <= 0.0) break;  // initial-positive-sequence truncation
+    tau += 2.0 * rho[k];
+  }
+  return tau;
+}
+
+std::vector<double> block_once(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size() / 2);
+  for (std::size_t i = 0; i + 1 < xs.size(); i += 2) {
+    out.push_back(0.5 * (xs[i] + xs[i + 1]));
+  }
+  return out;
+}
+
+BlockingResult blocking_analysis(std::span<const double> xs) {
+  BlockingResult result;
+  if (xs.size() < 2) return result;
+
+  const double var0 = variance(xs);
+  std::vector<double> level(xs.begin(), xs.end());
+  while (level.size() >= 2) {
+    const double se = std::sqrt(variance(level) / static_cast<double>(level.size()));
+    result.se_per_level.push_back(se);
+    if (level.size() >= 16) {
+      result.plateau_se = std::max(result.plateau_se, se);
+    }
+    level = block_once(level);
+  }
+  if (result.plateau_se == 0.0 && !result.se_per_level.empty()) {
+    result.plateau_se = result.se_per_level.front();
+  }
+  if (result.plateau_se > 0.0) {
+    result.n_effective = var0 / (result.plateau_se * result.plateau_se);
+  }
+  return result;
+}
+
+}  // namespace le::stats

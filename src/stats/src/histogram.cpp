@@ -1,0 +1,62 @@
+#include "le/stats/histogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace le::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+}
+
+void Histogram::add(double value, double weight) {
+  if (value < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (value >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  counts_[std::min(bin, counts_.size() - 1)] += weight;
+  total_ += weight;
+}
+
+void Histogram::add_all(std::span<const double> values, double weight) {
+  for (double v : values) add(v, weight);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: binning mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
+void Histogram::reset() {
+  counts_.assign(counts_.size(), 0.0);
+  total_ = underflow_ = overflow_ = 0.0;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_center");
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> d(counts_.size(), 0.0);
+  if (total_ <= 0.0) return d;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    d[i] = counts_[i] / (total_ * width_);
+  }
+  return d;
+}
+
+}  // namespace le::stats

@@ -1,0 +1,73 @@
+#include "le/stats/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "le/stats/descriptive.hpp"
+
+namespace le::stats {
+
+namespace {
+void check_lengths(std::span<const double> p, std::span<const double> a) {
+  if (p.size() != a.size()) throw std::invalid_argument("metric: length mismatch");
+  if (p.empty()) throw std::invalid_argument("metric: empty series");
+}
+}  // namespace
+
+double rmse(std::span<const double> predicted, std::span<const double> actual) {
+  check_lengths(predicted, actual);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - actual[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(predicted.size()));
+}
+
+double mae(std::span<const double> predicted, std::span<const double> actual) {
+  check_lengths(predicted, actual);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    acc += std::abs(predicted[i] - actual[i]);
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+double r_squared(std::span<const double> predicted,
+                 std::span<const double> actual) {
+  check_lengths(predicted, actual);
+  const double my = mean(actual);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    ss_tot += (actual[i] - my) * (actual[i] - my);
+  }
+  if (ss_tot == 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double mape(std::span<const double> predicted, std::span<const double> actual,
+            double eps) {
+  check_lengths(predicted, actual);
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (std::abs(actual[i]) < eps) continue;
+    acc += std::abs((predicted[i] - actual[i]) / actual[i]);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : 100.0 * acc / static_cast<double>(counted);
+}
+
+double max_error(std::span<const double> predicted,
+                 std::span<const double> actual) {
+  check_lengths(predicted, actual);
+  double m = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    m = std::max(m, std::abs(predicted[i] - actual[i]));
+  }
+  return m;
+}
+
+}  // namespace le::stats

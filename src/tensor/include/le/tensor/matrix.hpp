@@ -1,0 +1,84 @@
+// Dense row-major matrix type used throughout the Learning Everywhere stack.
+//
+// The neural-network library (src/nn) stores weights and activations in
+// Matrix; the MD, epidemic and tissue substrates use it for observables and
+// field snapshots.  The type is intentionally small: owning storage, bounds
+// checked access in debug builds, and no expression templates — all heavy
+// kernels live in ops.hpp where they can be blocked and tuned explicitly.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace le::tensor {
+
+/// Owning dense row-major matrix of doubles.
+///
+/// Invariants: data_.size() == rows_ * cols_ at all times; a
+/// default-constructed matrix is the valid 0x0 matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix with every element set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from nested initializer lists; all rows must have the
+  /// same length.  Intended for tests and small fixtures.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous view of one row.
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<double> flat() noexcept { return {data_}; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return {data_}; }
+
+  void fill(double value) { data_.assign(data_.size(), value); }
+
+  /// Reshapes in place; the new shape must preserve the element count.
+  void reshape(std::size_t rows, std::size_t cols);
+
+  /// Resizes, discarding contents; elements are value-initialized to `fill`.
+  void resize(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Identity matrix of size n.
+[[nodiscard]] Matrix identity(std::size_t n);
+
+}  // namespace le::tensor

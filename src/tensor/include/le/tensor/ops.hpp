@@ -1,0 +1,69 @@
+// Dense linear-algebra kernels.
+//
+// Every kernel exists in a plain (reference) form; gemm additionally has a
+// cache-blocked form whose block sizes are exposed as parameters so the
+// MLautotuning experiment (bench_gemm_blocking, the paper's ATLAS example)
+// can search over them.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "le/tensor/matrix.hpp"
+
+namespace le::tensor {
+
+/// Block sizes for the tiled GEMM.  The defaults suit small L1 caches; the
+/// autotune library searches this space.
+struct GemmBlocking {
+  std::size_t mc = 64;  ///< rows of A per macro block
+  std::size_t kc = 64;  ///< inner (shared) dimension per block
+  std::size_t nc = 64;  ///< cols of B per macro block
+};
+
+/// out = A * B (reference triple loop, ikj order). Shapes must conform.
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = A * B with cache blocking. Bit-for-bit identical accumulation order
+/// is NOT guaranteed relative to gemm_naive; results agree to rounding.
+void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& out,
+                  const GemmBlocking& blocking = {});
+
+/// Convenience allocating wrappers.
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// out = A * x. x.size() must equal a.cols(); out.size() must equal a.rows().
+void matvec(const Matrix& a, std::span<const double> x, std::span<double> out);
+
+/// out = A^T * x. x.size() must equal a.rows(); out.size() must equal a.cols().
+void matvec_transposed(const Matrix& a, std::span<const double> x,
+                       std::span<double> out);
+
+/// y += alpha * x (saxpy over spans of equal length).
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Dot product of two equal-length spans.
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(std::span<const double> x);
+
+/// Elementwise in-place scale: x *= alpha.
+void scale(double alpha, std::span<double> x);
+
+/// c = a + b elementwise; all three must have identical shape.
+void add(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// c = a - b elementwise; all three must have identical shape.
+void sub(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Elementwise (Hadamard) product c = a .* b.
+void hadamard(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Frobenius norm of a matrix.
+[[nodiscard]] double frobenius_norm(const Matrix& a);
+
+/// Max absolute elementwise difference between two equal-shaped matrices.
+[[nodiscard]] double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace le::tensor

@@ -1,0 +1,87 @@
+// Lattice tissue model (paper Section II-B): agent cells that consume
+// nutrient, grow, divide into free neighbouring sites, and die when
+// starved.  Each tissue step needs the nutrient field at quasi-steady
+// state — nutrient diffusion is much faster than cell-cycle time — which
+// makes the diffusion solve the dominant cost and the natural target for
+// ML short-circuiting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "le/stats/rng.hpp"
+#include "le/tissue/diffusion.hpp"
+#include "le/tissue/grid.hpp"
+
+namespace le::tissue {
+
+struct TissueParams {
+  std::size_t nx = 32;
+  std::size_t ny = 32;
+  DiffusionParams diffusion;
+  /// Nutrient level above which a cell accumulates biomass.
+  double growth_threshold = 0.4;
+  /// Nutrient level below which a cell loses biomass and may die.
+  double starvation_threshold = 0.1;
+  double biomass_per_step = 0.25;  ///< accumulation rate when fed
+  double division_biomass = 1.0;   ///< divide on reaching this biomass
+  std::size_t steps = 30;
+  std::uint64_t seed = 41;
+};
+
+/// Per-step record of the tissue trajectory.
+struct TissueSnapshot {
+  std::size_t step = 0;
+  std::size_t live_cells = 0;
+  double total_biomass = 0.0;
+  double mean_nutrient = 0.0;
+  std::size_t diffusion_sweeps = 0;  ///< cost of this step's field solve
+};
+
+struct TissueResult {
+  std::vector<TissueSnapshot> trajectory;
+  Grid2D final_cells;      ///< occupancy (0/1)
+  Grid2D final_nutrient;
+  double wall_seconds = 0.0;
+  double field_seconds = 0.0;  ///< time spent in the nutrient-field provider
+};
+
+/// Callback that produces the quasi-steady nutrient field for the current
+/// cell configuration.  The explicit solver and the learned surrogate are
+/// interchangeable implementations (the paper's "short-circuiting").
+using NutrientFieldProvider =
+    std::function<SteadyStateResult(const Grid2D& sources, const Grid2D& cells)>;
+
+class TissueSimulation {
+ public:
+  /// `sources` is the fixed nutrient source field (vasculature layout).
+  TissueSimulation(TissueParams params, Grid2D sources);
+
+  /// Seeds an initial colony of `count` cells around the grid centre.
+  void seed_colony(std::size_t count, stats::Rng& rng);
+
+  /// Runs the full trajectory with the given nutrient-field provider.
+  [[nodiscard]] TissueResult run(const NutrientFieldProvider& nutrient_provider);
+
+  /// Default provider: the explicit DiffusionSolver.
+  [[nodiscard]] NutrientFieldProvider explicit_solver_provider() const;
+
+  [[nodiscard]] const Grid2D& sources() const noexcept { return sources_; }
+  [[nodiscard]] const TissueParams& params() const noexcept { return params_; }
+  [[nodiscard]] const Grid2D& cells() const noexcept { return cells_; }
+
+ private:
+  TissueParams params_;
+  Grid2D sources_;
+  Grid2D cells_;    ///< 0/1 occupancy
+  Grid2D biomass_;  ///< per-site accumulated biomass
+  stats::Rng rng_;
+};
+
+/// Standard two-vessel source layout used by the experiments: two vertical
+/// high-concentration strips, nutrient must diffuse into the interior.
+[[nodiscard]] Grid2D make_vessel_sources(std::size_t nx, std::size_t ny,
+                                         double strength = 1.0);
+
+}  // namespace le::tissue

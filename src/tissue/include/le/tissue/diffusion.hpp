@@ -1,0 +1,57 @@
+// Explicit reaction–diffusion solver — the compute-intensive transport
+// module of the virtual-tissue simulation ("Modeling transport and
+// diffusion is compute intensive", paper Section II-B), and the module the
+// ML short-circuit experiment replaces ("The elimination of short time
+// scales, e.g., short-circuit the calculations of advection-diffusion").
+//
+// dc/dt = D lap(c) + S(x,y) - k_u * u(x,y) * c - k_d * c
+//
+// with S a fixed source field (vasculature), u the cell-occupancy field
+// (Michaelis-style linear uptake) and k_d a background decay.  Neumann
+// (zero-flux) boundaries.  steady_state() iterates FTCS sweeps until the
+// field stops changing — the expensive inner loop of every tissue step.
+#pragma once
+
+#include <cstddef>
+
+#include "le/tissue/grid.hpp"
+
+namespace le::tissue {
+
+struct DiffusionParams {
+  double diffusivity = 1.0;
+  double uptake_rate = 0.3;   ///< k_u per unit cell occupancy
+  double decay_rate = 0.01;   ///< k_d
+  double dx = 1.0;            ///< lattice spacing
+  double tolerance = 1e-6;    ///< steady-state max-change threshold
+  std::size_t max_sweeps = 20000;
+};
+
+struct SteadyStateResult {
+  Grid2D field;
+  std::size_t sweeps = 0;
+  bool converged = false;
+};
+
+class DiffusionSolver {
+ public:
+  explicit DiffusionSolver(DiffusionParams params);
+
+  /// One FTCS sweep with the stability-limited timestep; returns the max
+  /// absolute change.
+  double sweep(Grid2D& field, const Grid2D& sources, const Grid2D& cells) const;
+
+  /// Iterates sweeps from `initial` until convergence.
+  [[nodiscard]] SteadyStateResult steady_state(const Grid2D& initial,
+                                               const Grid2D& sources,
+                                               const Grid2D& cells) const;
+
+  [[nodiscard]] const DiffusionParams& params() const noexcept { return params_; }
+  /// The stability-limited explicit timestep used internally.
+  [[nodiscard]] double stable_dt() const noexcept;
+
+ private:
+  DiffusionParams params_;
+};
+
+}  // namespace le::tissue

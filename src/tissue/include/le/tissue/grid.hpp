@@ -1,0 +1,50 @@
+// 2-D scalar field on a regular lattice, the state container for the
+// virtual-tissue substrate (nutrient concentration, cell density, ...).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace le::tissue {
+
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(std::size_t nx, std::size_t ny, double fill = 0.0)
+      : nx_(nx), ny_(ny), data_(nx * ny, fill) {}
+
+  [[nodiscard]] std::size_t nx() const noexcept { return nx_; }
+  [[nodiscard]] std::size_t ny() const noexcept { return ny_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] double& at(std::size_t x, std::size_t y) noexcept {
+    return data_[y * nx_ + x];
+  }
+  [[nodiscard]] double at(std::size_t x, std::size_t y) const noexcept {
+    return data_[y * nx_ + x];
+  }
+
+  [[nodiscard]] std::span<double> flat() noexcept { return {data_}; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return {data_}; }
+
+  void fill(double value) { data_.assign(data_.size(), value); }
+
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double max_value() const;
+
+  /// Block-average downsample to (fx x fy); grid dims must be divisible.
+  [[nodiscard]] Grid2D downsample(std::size_t fx, std::size_t fy) const;
+
+  /// Bilinear upsample to (nx x ny).
+  [[nodiscard]] Grid2D upsample(std::size_t nx, std::size_t ny) const;
+
+  bool operator==(const Grid2D&) const = default;
+
+ private:
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace le::tissue

@@ -1,0 +1,67 @@
+// The diffusion short-circuit surrogate (paper Section II-B, item 1:
+// "Short-circuiting: The replacement of computationally costly modules
+// with learned analogues").
+//
+// An MLP maps the coarse-grained cell-occupancy field to the coarse
+// steady-state nutrient field; bilinear upsampling restores full
+// resolution.  The surrogate is trained for a fixed vasculature (source)
+// layout — the live degree of freedom during a tissue simulation is where
+// the cells are, which is exactly what changes step to step.
+#pragma once
+
+#include <cstdint>
+
+#include "le/data/normalizer.hpp"
+#include "le/nn/network.hpp"
+#include "le/nn/train.hpp"
+#include "le/tissue/cell_model.hpp"
+#include "le/tissue/diffusion.hpp"
+
+namespace le::tissue {
+
+struct SurrogateTrainingConfig {
+  /// Coarse grid edge (input/output resolution of the network).
+  std::size_t coarse = 8;
+  /// Number of random cell configurations to label with the solver.
+  std::size_t training_configs = 150;
+  std::vector<std::size_t> hidden = {96, 96};
+  nn::TrainConfig train;
+  std::uint64_t seed = 47;
+};
+
+class DiffusionSurrogate {
+ public:
+  DiffusionSurrogate(std::size_t full_nx, std::size_t full_ny,
+                     std::size_t coarse, nn::Network net);
+
+  /// Predicts the full-resolution steady-state nutrient field.
+  [[nodiscard]] Grid2D predict(const Grid2D& cells);
+
+  /// Drop-in NutrientFieldProvider (reports 0 sweeps: no solve happened).
+  [[nodiscard]] NutrientFieldProvider provider();
+
+  [[nodiscard]] std::size_t coarse() const noexcept { return coarse_; }
+
+ private:
+  std::size_t full_nx_;
+  std::size_t full_ny_;
+  std::size_t coarse_;
+  nn::Network net_;
+};
+
+struct SurrogateTrainingResult {
+  DiffusionSurrogate surrogate;
+  /// RMSE of the coarse field prediction on held-out configurations.
+  double test_rmse = 0.0;
+  /// Mean solver sweeps per training configuration (the cost short-circuited).
+  double mean_solver_sweeps = 0.0;
+  std::size_t training_samples = 0;
+};
+
+/// Generates random colony configurations, labels them with the explicit
+/// solver, and trains the surrogate.
+[[nodiscard]] SurrogateTrainingResult train_diffusion_surrogate(
+    const DiffusionSolver& solver, const Grid2D& sources,
+    const SurrogateTrainingConfig& config);
+
+}  // namespace le::tissue

@@ -1,0 +1,141 @@
+#include "le/tissue/cell_model.hpp"
+
+#include <array>
+#include <chrono>
+#include <stdexcept>
+
+namespace le::tissue {
+
+TissueSimulation::TissueSimulation(TissueParams params, Grid2D sources)
+    : params_(params), sources_(std::move(sources)),
+      cells_(params.nx, params.ny, 0.0), biomass_(params.nx, params.ny, 0.0),
+      rng_(params.seed) {
+  if (sources_.nx() != params_.nx || sources_.ny() != params_.ny) {
+    throw std::invalid_argument("TissueSimulation: source grid shape mismatch");
+  }
+}
+
+void TissueSimulation::seed_colony(std::size_t count, stats::Rng& rng) {
+  const std::size_t cx = params_.nx / 2, cy = params_.ny / 2;
+  std::size_t placed = 0;
+  const auto radius = static_cast<std::ptrdiff_t>(
+      std::max<std::size_t>(2, params_.nx / 8));
+  for (std::size_t tries = 0; placed < count && tries < 100 * count; ++tries) {
+    const auto dx = static_cast<std::ptrdiff_t>(rng.uniform_int(-radius, radius));
+    const auto dy = static_cast<std::ptrdiff_t>(rng.uniform_int(-radius, radius));
+    const auto x = static_cast<std::ptrdiff_t>(cx) + dx;
+    const auto y = static_cast<std::ptrdiff_t>(cy) + dy;
+    if (x < 0 || y < 0 || x >= static_cast<std::ptrdiff_t>(params_.nx) ||
+        y >= static_cast<std::ptrdiff_t>(params_.ny)) {
+      continue;
+    }
+    auto& cell = cells_.at(static_cast<std::size_t>(x), static_cast<std::size_t>(y));
+    if (cell == 0.0) {
+      cell = 1.0;
+      biomass_.at(static_cast<std::size_t>(x), static_cast<std::size_t>(y)) = 0.5;
+      ++placed;
+    }
+  }
+}
+
+NutrientFieldProvider TissueSimulation::explicit_solver_provider() const {
+  const DiffusionSolver solver(params_.diffusion);
+  return [solver](const Grid2D& sources, const Grid2D& cells) {
+    const Grid2D initial(sources.nx(), sources.ny(), 0.0);
+    return solver.steady_state(initial, sources, cells);
+  };
+}
+
+TissueResult TissueSimulation::run(const NutrientFieldProvider& nutrient_provider) {
+  const auto t0 = std::chrono::steady_clock::now();
+  TissueResult result;
+  Grid2D nutrient(params_.nx, params_.ny, 0.0);
+
+  constexpr std::array<std::array<int, 2>, 4> kNeighbours{
+      {{1, 0}, {-1, 0}, {0, 1}, {0, -1}}};
+
+  for (std::size_t step = 0; step < params_.steps; ++step) {
+    // --- Field solve (the expensive module) --------------------------
+    const auto f0 = std::chrono::steady_clock::now();
+    const SteadyStateResult field = nutrient_provider(sources_, cells_);
+    const auto f1 = std::chrono::steady_clock::now();
+    result.field_seconds += std::chrono::duration<double>(f1 - f0).count();
+    nutrient = field.field;
+
+    // --- Cell behaviours ---------------------------------------------
+    std::vector<std::pair<std::size_t, std::size_t>> divisions;
+    std::size_t live = 0;
+    double total_biomass = 0.0;
+    for (std::size_t y = 0; y < params_.ny; ++y) {
+      for (std::size_t x = 0; x < params_.nx; ++x) {
+        if (cells_.at(x, y) == 0.0) continue;
+        const double local = nutrient.at(x, y);
+        double& mass = biomass_.at(x, y);
+        if (local >= params_.growth_threshold) {
+          mass += params_.biomass_per_step;
+        } else if (local < params_.starvation_threshold) {
+          mass -= params_.biomass_per_step;
+        }
+        if (mass <= 0.0) {
+          cells_.at(x, y) = 0.0;  // starvation death
+          mass = 0.0;
+          continue;
+        }
+        if (mass >= params_.division_biomass) divisions.emplace_back(x, y);
+        ++live;
+        total_biomass += mass;
+      }
+    }
+
+    // Division into a random free von-Neumann neighbour.
+    for (const auto& [x, y] : divisions) {
+      std::array<std::pair<std::size_t, std::size_t>, 4> free_sites;
+      std::size_t n_free = 0;
+      for (const auto& d : kNeighbours) {
+        const auto nx = static_cast<std::ptrdiff_t>(x) + d[0];
+        const auto ny = static_cast<std::ptrdiff_t>(y) + d[1];
+        if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(params_.nx) ||
+            ny >= static_cast<std::ptrdiff_t>(params_.ny)) {
+          continue;
+        }
+        const auto ux = static_cast<std::size_t>(nx);
+        const auto uy = static_cast<std::size_t>(ny);
+        if (cells_.at(ux, uy) == 0.0) free_sites[n_free++] = {ux, uy};
+      }
+      if (n_free == 0) continue;  // contact inhibition
+      const auto& site = free_sites[rng_.index(n_free)];
+      cells_.at(site.first, site.second) = 1.0;
+      const double half = 0.5 * biomass_.at(x, y);
+      biomass_.at(x, y) = half;
+      biomass_.at(site.first, site.second) = half;
+      ++live;
+    }
+
+    TissueSnapshot snap;
+    snap.step = step;
+    snap.live_cells = live;
+    snap.total_biomass = total_biomass;
+    snap.mean_nutrient = nutrient.sum() / static_cast<double>(nutrient.size());
+    snap.diffusion_sweeps = field.sweeps;
+    result.trajectory.push_back(snap);
+  }
+
+  result.final_cells = cells_;
+  result.final_nutrient = nutrient;
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+Grid2D make_vessel_sources(std::size_t nx, std::size_t ny, double strength) {
+  Grid2D sources(nx, ny, 0.0);
+  const std::size_t left = nx / 8;
+  const std::size_t right = nx - 1 - nx / 8;
+  for (std::size_t y = 0; y < ny; ++y) {
+    sources.at(left, y) = strength;
+    sources.at(right, y) = strength;
+  }
+  return sources;
+}
+
+}  // namespace le::tissue

@@ -1,0 +1,72 @@
+#include "le/tissue/diffusion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace le::tissue {
+
+DiffusionSolver::DiffusionSolver(DiffusionParams params) : params_(params) {
+  if (params_.diffusivity <= 0.0) {
+    throw std::invalid_argument("DiffusionSolver: diffusivity must be > 0");
+  }
+  if (params_.dx <= 0.0) {
+    throw std::invalid_argument("DiffusionSolver: dx must be > 0");
+  }
+}
+
+double DiffusionSolver::stable_dt() const noexcept {
+  // FTCS 2-D stability: dt <= dx^2 / (4 D); use 80% of the limit.
+  return 0.2 * params_.dx * params_.dx / params_.diffusivity;
+}
+
+double DiffusionSolver::sweep(Grid2D& field, const Grid2D& sources,
+                              const Grid2D& cells) const {
+  if (field.nx() != sources.nx() || field.ny() != sources.ny() ||
+      field.nx() != cells.nx() || field.ny() != cells.ny()) {
+    throw std::invalid_argument("DiffusionSolver::sweep: grid shape mismatch");
+  }
+  const std::size_t nx = field.nx(), ny = field.ny();
+  const double dt = stable_dt();
+  const double alpha = params_.diffusivity * dt / (params_.dx * params_.dx);
+
+  Grid2D next(nx, ny);
+  double max_change = 0.0;
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      const double c = field.at(x, y);
+      // Zero-flux boundaries: mirror the edge value.
+      const double cl = x > 0 ? field.at(x - 1, y) : c;
+      const double cr = x + 1 < nx ? field.at(x + 1, y) : c;
+      const double cd = y > 0 ? field.at(x, y - 1) : c;
+      const double cu = y + 1 < ny ? field.at(x, y + 1) : c;
+      const double lap = cl + cr + cd + cu - 4.0 * c;
+      const double reaction = sources.at(x, y) -
+                              params_.uptake_rate * cells.at(x, y) * c -
+                              params_.decay_rate * c;
+      double v = c + alpha * lap + dt * reaction;
+      if (v < 0.0) v = 0.0;
+      next.at(x, y) = v;
+      max_change = std::max(max_change, std::abs(v - c));
+    }
+  }
+  field = std::move(next);
+  return max_change;
+}
+
+SteadyStateResult DiffusionSolver::steady_state(const Grid2D& initial,
+                                                const Grid2D& sources,
+                                                const Grid2D& cells) const {
+  SteadyStateResult result;
+  result.field = initial;
+  for (std::size_t s = 0; s < params_.max_sweeps; ++s) {
+    const double change = sweep(result.field, sources, cells);
+    ++result.sweeps;
+    if (change < params_.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace le::tissue

@@ -1,0 +1,68 @@
+#include "le/tissue/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace le::tissue {
+
+double Grid2D::sum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+double Grid2D::max_value() const {
+  if (data_.empty()) return 0.0;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+Grid2D Grid2D::downsample(std::size_t fx, std::size_t fy) const {
+  if (fx == 0 || fy == 0 || nx_ % fx != 0 || ny_ % fy != 0) {
+    throw std::invalid_argument("Grid2D::downsample: target must divide dims");
+  }
+  const std::size_t bx = nx_ / fx, by = ny_ / fy;
+  Grid2D out(fx, fy);
+  for (std::size_t oy = 0; oy < fy; ++oy) {
+    for (std::size_t ox = 0; ox < fx; ++ox) {
+      double acc = 0.0;
+      for (std::size_t y = oy * by; y < (oy + 1) * by; ++y) {
+        for (std::size_t x = ox * bx; x < (ox + 1) * bx; ++x) {
+          acc += at(x, y);
+        }
+      }
+      out.at(ox, oy) = acc / static_cast<double>(bx * by);
+    }
+  }
+  return out;
+}
+
+Grid2D Grid2D::upsample(std::size_t nx, std::size_t ny) const {
+  if (nx_ == 0 || ny_ == 0) throw std::logic_error("Grid2D::upsample: empty grid");
+  Grid2D out(nx, ny);
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      // Map the output pixel centre into source coordinates.
+      const double sx = (static_cast<double>(x) + 0.5) *
+                            static_cast<double>(nx_) / static_cast<double>(nx) -
+                        0.5;
+      const double sy = (static_cast<double>(y) + 0.5) *
+                            static_cast<double>(ny_) / static_cast<double>(ny) -
+                        0.5;
+      const double cx = std::clamp(sx, 0.0, static_cast<double>(nx_ - 1));
+      const double cy = std::clamp(sy, 0.0, static_cast<double>(ny_ - 1));
+      const std::size_t x0 = static_cast<std::size_t>(cx);
+      const std::size_t y0 = static_cast<std::size_t>(cy);
+      const std::size_t x1 = std::min(x0 + 1, nx_ - 1);
+      const std::size_t y1 = std::min(y0 + 1, ny_ - 1);
+      const double tx = cx - static_cast<double>(x0);
+      const double ty = cy - static_cast<double>(y0);
+      out.at(x, y) = (1 - tx) * (1 - ty) * at(x0, y0) +
+                     tx * (1 - ty) * at(x1, y0) +
+                     (1 - tx) * ty * at(x0, y1) + tx * ty * at(x1, y1);
+    }
+  }
+  return out;
+}
+
+}  // namespace le::tissue

@@ -1,0 +1,131 @@
+#include "le/tissue/surrogate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "le/nn/loss.hpp"
+#include "le/nn/optimizer.hpp"
+#include "le/stats/metrics.hpp"
+#include "le/stats/rng.hpp"
+
+namespace le::tissue {
+
+DiffusionSurrogate::DiffusionSurrogate(std::size_t full_nx, std::size_t full_ny,
+                                       std::size_t coarse, nn::Network net)
+    : full_nx_(full_nx), full_ny_(full_ny), coarse_(coarse),
+      net_(std::move(net)) {
+  if (net_.input_dim() != coarse * coarse ||
+      net_.output_dim() != coarse * coarse) {
+    throw std::invalid_argument("DiffusionSurrogate: network shape mismatch");
+  }
+  net_.set_training(false);
+}
+
+Grid2D DiffusionSurrogate::predict(const Grid2D& cells) {
+  const Grid2D coarse_cells = cells.downsample(coarse_, coarse_);
+  const std::vector<double> out =
+      net_.predict(coarse_cells.flat());
+  Grid2D coarse_field(coarse_, coarse_);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    coarse_field.flat()[i] = std::max(0.0, out[i]);
+  }
+  return coarse_field.upsample(full_nx_, full_ny_);
+}
+
+NutrientFieldProvider DiffusionSurrogate::provider() {
+  return [this](const Grid2D& /*sources*/, const Grid2D& cells) {
+    SteadyStateResult r;
+    r.field = predict(cells);
+    r.sweeps = 0;
+    r.converged = true;
+    return r;
+  };
+}
+
+namespace {
+
+/// A random colony: a few elliptical blobs of occupied sites.
+Grid2D random_colony(std::size_t nx, std::size_t ny, stats::Rng& rng) {
+  Grid2D cells(nx, ny, 0.0);
+  const std::size_t blobs = 1 + rng.index(3);
+  for (std::size_t b = 0; b < blobs; ++b) {
+    const double cx = rng.uniform(0.2, 0.8) * static_cast<double>(nx);
+    const double cy = rng.uniform(0.2, 0.8) * static_cast<double>(ny);
+    const double rx = rng.uniform(0.05, 0.25) * static_cast<double>(nx);
+    const double ry = rng.uniform(0.05, 0.25) * static_cast<double>(ny);
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const double ddx = (static_cast<double>(x) - cx) / rx;
+        const double ddy = (static_cast<double>(y) - cy) / ry;
+        if (ddx * ddx + ddy * ddy <= 1.0) cells.at(x, y) = 1.0;
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+SurrogateTrainingResult train_diffusion_surrogate(
+    const DiffusionSolver& solver, const Grid2D& sources,
+    const SurrogateTrainingConfig& config) {
+  const std::size_t nx = sources.nx(), ny = sources.ny();
+  if (nx % config.coarse != 0 || ny % config.coarse != 0) {
+    throw std::invalid_argument(
+        "train_diffusion_surrogate: coarse must divide grid dims");
+  }
+  stats::Rng rng(config.seed);
+  const std::size_t dim = config.coarse * config.coarse;
+
+  data::Dataset train_set(dim, dim);
+  data::Dataset test_set(dim, dim);
+  double total_sweeps = 0.0;
+
+  for (std::size_t k = 0; k < config.training_configs; ++k) {
+    const Grid2D cells = random_colony(nx, ny, rng);
+    const Grid2D initial(nx, ny, 0.0);
+    const SteadyStateResult ss = solver.steady_state(initial, sources, cells);
+    total_sweeps += static_cast<double>(ss.sweeps);
+
+    const Grid2D in = cells.downsample(config.coarse, config.coarse);
+    const Grid2D out = ss.field.downsample(config.coarse, config.coarse);
+    if (k % 6 == 5) {
+      test_set.add(in.flat(), out.flat());
+    } else {
+      train_set.add(in.flat(), out.flat());
+    }
+  }
+
+  nn::MlpConfig mlp;
+  mlp.input_dim = dim;
+  mlp.hidden = config.hidden;
+  mlp.output_dim = dim;
+  mlp.activation = nn::Activation::kRelu;
+  stats::Rng net_rng = rng.split(1);
+  nn::Network net = nn::make_mlp(mlp, net_rng);
+  nn::AdamOptimizer opt(2e-3);
+  const nn::MseLoss loss;
+  stats::Rng fit_rng = rng.split(2);
+  nn::fit(net, train_set, loss, opt, config.train, fit_rng);
+
+  // Held-out coarse-field RMSE.
+  double test_rmse = 0.0;
+  if (!test_set.empty()) {
+    net.set_training(false);
+    std::vector<double> preds, truths;
+    for (std::size_t i = 0; i < test_set.size(); ++i) {
+      const auto p = net.predict(test_set.input(i));
+      const auto t = test_set.target(i);
+      preds.insert(preds.end(), p.begin(), p.end());
+      truths.insert(truths.end(), t.begin(), t.end());
+    }
+    test_rmse = stats::rmse(preds, truths);
+  }
+
+  DiffusionSurrogate surrogate(nx, ny, config.coarse, std::move(net));
+  return {std::move(surrogate), test_rmse,
+          total_sweeps / static_cast<double>(config.training_configs),
+          train_set.size()};
+}
+
+}  // namespace le::tissue

@@ -1,0 +1,45 @@
+// Data-acquisition policies for the UQ-gated training loop.
+//
+// "Creating more examples to train a better ML model is a conflicting
+// requirement as the purpose of training the ML surrogate is to avoid such
+// computation.  The UQ scheme can play a role here ... once [uncertainty]
+// is low enough, the training routine might less likely need more data."
+// (Section III-B.)  These policies decide (a) whether more simulation runs
+// are needed at all and (b) which candidate state points to simulate next.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "le/uq/uq_model.hpp"
+
+namespace le::uq {
+
+/// Scalarizes a multi-output uncertainty into one score (max over outputs).
+[[nodiscard]] double uncertainty_score(const Prediction& p);
+
+/// True when the mean uncertainty over the probe points is below the
+/// threshold — the "we have enough data" gate.
+[[nodiscard]] bool uncertainty_converged(
+    UqModel& model, std::span<const std::vector<double>> probe_points,
+    double threshold);
+
+/// Mean and max uncertainty score over probe points.
+struct UncertaintySurvey {
+  double mean_score = 0.0;
+  double max_score = 0.0;
+};
+
+[[nodiscard]] UncertaintySurvey survey_uncertainty(
+    UqModel& model, std::span<const std::vector<double>> probe_points);
+
+/// Active learning: returns the indices of the `budget` candidates with the
+/// highest uncertainty score (the paper's "iteratively adding training data
+/// ... for regions of chemical space where the current ML model could not
+/// make good predictions").
+[[nodiscard]] std::vector<std::size_t> select_most_uncertain(
+    UqModel& model, std::span<const std::vector<double>> candidates,
+    std::size_t budget);
+
+}  // namespace le::uq

@@ -1,0 +1,43 @@
+// Calibration diagnostics for uncertainty estimates.
+//
+// Research issue 10 of the paper warns that dropout-based UQ "does not
+// always mean that the quality of the distribution is dependent on the
+// quality/quantity of data" — two dropout rates can give different spreads
+// for the same data.  These diagnostics make that failure measurable:
+// a calibrated model's standardized residuals z = (y - mu)/sigma should be
+// ~N(0,1), i.e. ~68% within 1 sigma and ~95% within 2 sigma.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "le/data/dataset.hpp"
+#include "le/uq/uq_model.hpp"
+
+namespace le::uq {
+
+struct CalibrationReport {
+  /// Fraction of targets inside mu +/- 1 sigma (ideal ~0.683).
+  double coverage_1sigma = 0.0;
+  /// Fraction of targets inside mu +/- 2 sigma (ideal ~0.954).
+  double coverage_2sigma = 0.0;
+  /// Mean of standardized residuals (ideal 0).
+  double z_mean = 0.0;
+  /// Standard deviation of standardized residuals (ideal 1; > 1 means
+  /// overconfident, < 1 means underconfident).
+  double z_stddev = 0.0;
+  /// Pearson correlation between predicted sigma and |error| — positive
+  /// values mean the spread is informative about the actual error.
+  double uncertainty_error_correlation = 0.0;
+  /// Mean predicted sigma, averaged over points and output dims.
+  double mean_sigma = 0.0;
+  /// RMSE of the predictive means.
+  double rmse = 0.0;
+  std::size_t points = 0;
+};
+
+/// Evaluates a UqModel against a labelled dataset.
+[[nodiscard]] CalibrationReport calibrate(UqModel& model,
+                                          const data::Dataset& dataset);
+
+}  // namespace le::uq

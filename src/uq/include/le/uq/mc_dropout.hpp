@@ -1,0 +1,40 @@
+// MC-dropout uncertainty quantification (Gal & Ghahramani, paper refs
+// [42][43]): dropout masks stay active at inference, so T stochastic
+// forward passes form an implicit ensemble of thinned networks whose
+// spread is the epistemic-uncertainty estimate.
+#pragma once
+
+#include <cstddef>
+
+#include "le/nn/network.hpp"
+#include "le/uq/uq_model.hpp"
+
+namespace le::uq {
+
+/// Wraps a dropout-bearing network as a UqModel.  The wrapped network must
+/// contain at least one DropoutLayer with rate > 0, otherwise all passes
+/// coincide and the reported spread is zero (the constructor rejects
+/// networks without dropout to prevent that silent failure).
+class McDropoutEnsemble final : public UqModel {
+ public:
+  /// `forward_passes` is T, the implicit-ensemble size.
+  McDropoutEnsemble(nn::Network network, std::size_t forward_passes = 32);
+
+  [[nodiscard]] Prediction predict(std::span<const double> input) override;
+
+  [[nodiscard]] std::size_t input_dim() const override;
+  [[nodiscard]] std::size_t output_dim() const override;
+  [[nodiscard]] std::size_t forward_passes() const noexcept { return passes_; }
+
+  /// Deterministic point prediction (dropout off), for accuracy metrics.
+  [[nodiscard]] std::vector<double> predict_mean_only(
+      std::span<const double> input);
+
+  [[nodiscard]] nn::Network& network() noexcept { return network_; }
+
+ private:
+  nn::Network network_;
+  std::size_t passes_;
+};
+
+}  // namespace le::uq

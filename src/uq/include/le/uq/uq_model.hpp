@@ -1,0 +1,32 @@
+// Uncertainty-aware prediction interface (Section III-B).
+//
+// The paper argues a learned surrogate must report not just a prediction
+// but whether the prediction "is valid enough to be used".  Everything that
+// consumes uncertainty — the SurrogateDispatcher's accept/reject gate, the
+// adaptive training loop, the acquisition policies — programs against this
+// interface; MC-dropout and deep ensembles implement it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace le::uq {
+
+/// Predictive mean and spread, one entry per output dimension.
+struct Prediction {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+};
+
+class UqModel {
+ public:
+  virtual ~UqModel() = default;
+
+  /// Predictive distribution for one input point.
+  [[nodiscard]] virtual Prediction predict(std::span<const double> input) = 0;
+
+  [[nodiscard]] virtual std::size_t input_dim() const = 0;
+  [[nodiscard]] virtual std::size_t output_dim() const = 0;
+};
+
+}  // namespace le::uq

@@ -1,0 +1,49 @@
+#include "le/uq/acquisition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace le::uq {
+
+double uncertainty_score(const Prediction& p) {
+  double score = 0.0;
+  for (double s : p.stddev) score = std::max(score, s);
+  return score;
+}
+
+UncertaintySurvey survey_uncertainty(
+    UqModel& model, std::span<const std::vector<double>> probe_points) {
+  UncertaintySurvey survey;
+  if (probe_points.empty()) return survey;
+  for (const auto& point : probe_points) {
+    const double s = uncertainty_score(model.predict(point));
+    survey.mean_score += s;
+    survey.max_score = std::max(survey.max_score, s);
+  }
+  survey.mean_score /= static_cast<double>(probe_points.size());
+  return survey;
+}
+
+bool uncertainty_converged(UqModel& model,
+                           std::span<const std::vector<double>> probe_points,
+                           double threshold) {
+  return survey_uncertainty(model, probe_points).mean_score <= threshold;
+}
+
+std::vector<std::size_t> select_most_uncertain(
+    UqModel& model, std::span<const std::vector<double>> candidates,
+    std::size_t budget) {
+  std::vector<double> scores(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    scores[i] = uncertainty_score(model.predict(candidates[i]));
+  }
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  order.resize(std::min(budget, order.size()));
+  return order;
+}
+
+}  // namespace le::uq

@@ -1,0 +1,55 @@
+#include "le/uq/calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "le/stats/descriptive.hpp"
+
+namespace le::uq {
+
+CalibrationReport calibrate(UqModel& model, const data::Dataset& dataset) {
+  if (dataset.empty()) throw std::invalid_argument("calibrate: empty dataset");
+  if (dataset.input_dim() != model.input_dim() ||
+      dataset.target_dim() != model.output_dim()) {
+    throw std::invalid_argument("calibrate: dataset/model shape mismatch");
+  }
+
+  std::vector<double> zs;
+  std::vector<double> sigmas;
+  std::vector<double> abs_errors;
+  double se_sum = 0.0;
+  std::size_t inside1 = 0, inside2 = 0, counted = 0;
+
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const Prediction p = model.predict(dataset.input(i));
+    const auto target = dataset.target(i);
+    for (std::size_t k = 0; k < target.size(); ++k) {
+      const double err = target[k] - p.mean[k];
+      se_sum += err * err;
+      sigmas.push_back(p.stddev[k]);
+      abs_errors.push_back(std::abs(err));
+      if (p.stddev[k] > 0.0) {
+        const double z = err / p.stddev[k];
+        zs.push_back(z);
+        if (std::abs(z) <= 1.0) ++inside1;
+        if (std::abs(z) <= 2.0) ++inside2;
+        ++counted;
+      }
+    }
+  }
+
+  CalibrationReport report;
+  report.points = dataset.size();
+  report.rmse = std::sqrt(se_sum / static_cast<double>(sigmas.size()));
+  report.mean_sigma = stats::mean(sigmas);
+  if (counted > 0) {
+    report.coverage_1sigma = static_cast<double>(inside1) / static_cast<double>(counted);
+    report.coverage_2sigma = static_cast<double>(inside2) / static_cast<double>(counted);
+    report.z_mean = stats::mean(zs);
+    report.z_stddev = stats::stddev(zs);
+  }
+  report.uncertainty_error_correlation = stats::correlation(sigmas, abs_errors);
+  return report;
+}
+
+}  // namespace le::uq

@@ -1,0 +1,71 @@
+#include "le/uq/mc_dropout.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace le::uq {
+
+namespace {
+bool has_active_dropout(nn::Network& net) {
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    if (auto* d = dynamic_cast<nn::DropoutLayer*>(&net.layer(i))) {
+      if (d->rate() > 0.0) return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+McDropoutEnsemble::McDropoutEnsemble(nn::Network network,
+                                     std::size_t forward_passes)
+    : network_(std::move(network)), passes_(forward_passes) {
+  if (passes_ < 2) {
+    throw std::invalid_argument("McDropoutEnsemble: need >= 2 forward passes");
+  }
+  if (!has_active_dropout(network_)) {
+    throw std::invalid_argument(
+        "McDropoutEnsemble: network has no active dropout layer; "
+        "its MC spread would be identically zero");
+  }
+  network_.set_training(false);
+}
+
+Prediction McDropoutEnsemble::predict(std::span<const double> input) {
+  network_.set_training(false);
+  network_.set_mc_dropout(true);
+  const std::size_t out_dim = network_.output_dim();
+  std::vector<double> sum(out_dim, 0.0), sum_sq(out_dim, 0.0);
+  for (std::size_t t = 0; t < passes_; ++t) {
+    const std::vector<double> y = network_.predict(input);
+    for (std::size_t k = 0; k < out_dim; ++k) {
+      sum[k] += y[k];
+      sum_sq[k] += y[k] * y[k];
+    }
+  }
+  network_.set_mc_dropout(false);
+
+  Prediction p;
+  p.mean.resize(out_dim);
+  p.stddev.resize(out_dim);
+  const double n = static_cast<double>(passes_);
+  for (std::size_t k = 0; k < out_dim; ++k) {
+    p.mean[k] = sum[k] / n;
+    const double var =
+        std::max(0.0, (sum_sq[k] - n * p.mean[k] * p.mean[k]) / (n - 1.0));
+    p.stddev[k] = std::sqrt(var);
+  }
+  return p;
+}
+
+std::size_t McDropoutEnsemble::input_dim() const { return network_.input_dim(); }
+
+std::size_t McDropoutEnsemble::output_dim() const { return network_.output_dim(); }
+
+std::vector<double> McDropoutEnsemble::predict_mean_only(
+    std::span<const double> input) {
+  network_.set_training(false);
+  network_.set_mc_dropout(false);
+  return network_.predict(input);
+}
+
+}  // namespace le::uq

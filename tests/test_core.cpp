@@ -1,0 +1,377 @@
+// Tests for the Learning Everywhere core: the effective-speedup model, the
+// UQ-gated dispatcher, the adaptive training loop, MLControl campaigns and
+// the NN/sync-engine adapter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "le/core/adaptive_loop.hpp"
+#include "le/core/campaign.hpp"
+#include "le/core/effective_speedup.hpp"
+#include "le/core/ml_control.hpp"
+#include "le/core/network_problem.hpp"
+#include "le/core/surrogate.hpp"
+#include "le/nn/loss.hpp"
+#include "le/nn/optimizer.hpp"
+
+namespace le::core {
+namespace {
+
+using le::stats::Rng;
+
+TEST(EffectiveSpeedup, FormulaMatchesHandComputation) {
+  SpeedupTimes t;
+  t.t_seq = 10.0;
+  t.t_train = 2.0;
+  t.t_learn = 0.5;
+  t.t_lookup = 0.001;
+  // S = 10*(100+10) / (0.001*100 + 2.5*10) = 1100 / 25.1
+  EXPECT_NEAR(effective_speedup(t, 100, 10), 1100.0 / 25.1, 1e-9);
+}
+
+TEST(EffectiveSpeedup, NoMlLimit) {
+  // N_lookup = 0 reduces to T_seq / (T_train + T_learn); with no learning
+  // cost it is exactly the classic T_seq / T_train.
+  SpeedupTimes t;
+  t.t_seq = 8.0;
+  t.t_train = 2.0;
+  t.t_learn = 0.0;
+  EXPECT_DOUBLE_EQ(effective_speedup(t, 0, 5), no_ml_limit(t));
+  EXPECT_DOUBLE_EQ(no_ml_limit(t), 4.0);
+}
+
+TEST(EffectiveSpeedup, ApproachesLookupLimit) {
+  SpeedupTimes t;
+  t.t_seq = 1.0;
+  t.t_train = 1.0;
+  t.t_learn = 0.1;
+  t.t_lookup = 1e-5;
+  const double limit = lookup_limit(t);
+  EXPECT_DOUBLE_EQ(limit, 1e5);
+  // Monotone approach.
+  double prev = 0.0;
+  for (std::size_t n : {10u, 100u, 1000u, 100000u, 10000000u}) {
+    const double s = effective_speedup(t, n, 10);
+    EXPECT_GT(s, prev);
+    EXPECT_LT(s, limit);
+    prev = s;
+  }
+  EXPECT_GT(effective_speedup(t, 1000000000ull, 10), 0.98 * limit);
+}
+
+TEST(EffectiveSpeedup, SweepRowsConsistent) {
+  SpeedupTimes t;
+  t.t_lookup = 1e-3;
+  const auto rows = sweep_lookups(t, 5, {0, 10, 1000});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].n_lookup, 0u);
+  EXPECT_NEAR(rows[2].fraction_of_limit,
+              rows[2].speedup / lookup_limit(t), 1e-12);
+}
+
+TEST(EffectiveSpeedup, RatioToReachFraction) {
+  SpeedupTimes t;
+  t.t_seq = 1.0;
+  t.t_train = 1.0;
+  t.t_learn = 0.0;
+  t.t_lookup = 1e-4;
+  const double ratio = ratio_to_reach_fraction(t, 0.5);
+  // At the found ratio the speedup is at least half the limit.
+  EXPECT_GE(effective_speedup(t, static_cast<std::size_t>(ratio), 1),
+            0.5 * lookup_limit(t));
+  EXPECT_THROW(ratio_to_reach_fraction(t, 1.5), std::invalid_argument);
+}
+
+TEST(EffectiveSpeedup, ValidatesInput) {
+  SpeedupTimes t;
+  EXPECT_THROW(effective_speedup(t, 0, 0), std::invalid_argument);
+  t.t_lookup = 0.0;
+  EXPECT_THROW(lookup_limit(t), std::invalid_argument);
+}
+
+/// Fake UQ model with controllable spread: sigma = |x| (certain near 0).
+class FakeUq final : public uq::UqModel {
+ public:
+  uq::Prediction predict(std::span<const double> input) override {
+    return {{2.0 * input[0]}, {std::abs(input[0])}};
+  }
+  std::size_t input_dim() const override { return 1; }
+  std::size_t output_dim() const override { return 1; }
+};
+
+TEST(Dispatcher, RoutesByUncertainty) {
+  std::size_t sim_calls = 0;
+  auto sim = [&](std::span<const double> x) {
+    ++sim_calls;
+    return std::vector<double>{2.0 * x[0] + 0.01};
+  };
+  SurrogateDispatcher dispatcher(std::make_shared<FakeUq>(), sim, 0.5);
+
+  const Answer cheap = dispatcher.query(std::vector<double>{0.1});
+  EXPECT_EQ(cheap.source, AnswerSource::kSurrogate);
+  EXPECT_DOUBLE_EQ(cheap.values[0], 0.2);
+  EXPECT_EQ(sim_calls, 0u);
+
+  const Answer costly = dispatcher.query(std::vector<double>{2.0});
+  EXPECT_EQ(costly.source, AnswerSource::kSimulation);
+  EXPECT_NEAR(costly.values[0], 4.01, 1e-12);
+  EXPECT_EQ(sim_calls, 1u);
+
+  EXPECT_EQ(dispatcher.stats().surrogate_answers, 1u);
+  EXPECT_EQ(dispatcher.stats().simulation_answers, 1u);
+  EXPECT_DOUBLE_EQ(dispatcher.stats().surrogate_fraction(), 0.5);
+}
+
+TEST(Dispatcher, FallbackRunsFillTrainingBuffer) {
+  auto sim = [](std::span<const double> x) {
+    return std::vector<double>{x[0] * x[0]};
+  };
+  SurrogateDispatcher dispatcher(std::make_shared<FakeUq>(), sim, 0.5);
+  (void)dispatcher.query(std::vector<double>{3.0});  // fallback
+  (void)dispatcher.query(std::vector<double>{0.1});  // surrogate
+  (void)dispatcher.query(std::vector<double>{-4.0}); // fallback
+  EXPECT_EQ(dispatcher.training_buffer().size(), 2u);
+  const data::Dataset drained = dispatcher.drain_training_buffer();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_EQ(dispatcher.training_buffer().size(), 0u);
+  EXPECT_DOUBLE_EQ(drained.target(0)[0], 9.0);
+}
+
+TEST(Dispatcher, ThresholdExtremes) {
+  auto sim = [](std::span<const double> x) {
+    return std::vector<double>{x[0]};
+  };
+  // Threshold 0 with nonzero spread -> always simulate.
+  SurrogateDispatcher strict(std::make_shared<FakeUq>(), sim, 0.0);
+  EXPECT_EQ(strict.query(std::vector<double>{1.0}).source,
+            AnswerSource::kSimulation);
+  // Huge threshold -> always surrogate.
+  SurrogateDispatcher lax(std::make_shared<FakeUq>(), sim, 1e9);
+  EXPECT_EQ(lax.query(std::vector<double>{1.0}).source,
+            AnswerSource::kSurrogate);
+  EXPECT_THROW(lax.set_threshold(-1.0), std::invalid_argument);
+}
+
+TEST(Dispatcher, ReplaceSurrogateValidatesShape) {
+  auto sim = [](std::span<const double> x) {
+    return std::vector<double>{x[0]};
+  };
+  SurrogateDispatcher dispatcher(std::make_shared<FakeUq>(), sim, 0.5);
+  class WrongShape final : public uq::UqModel {
+   public:
+    uq::Prediction predict(std::span<const double>) override { return {{0}, {0}}; }
+    std::size_t input_dim() const override { return 7; }
+    std::size_t output_dim() const override { return 1; }
+  };
+  EXPECT_THROW(dispatcher.replace_surrogate(std::make_shared<WrongShape>()),
+               std::invalid_argument);
+  dispatcher.replace_surrogate(std::make_shared<FakeUq>());  // same shape ok
+}
+
+TEST(AdaptiveLoop, UncertaintyShrinksAndConverges) {
+  // Simulation: smooth 1-D function; loop must converge well before the
+  // round cap and its uncertainty trace must decrease.
+  const data::ParamSpace space({{"x", -1.0, 1.0, false}});
+  const SimulationFn sim = [](std::span<const double> x) {
+    return std::vector<double>{std::sin(2.0 * x[0])};
+  };
+  AdaptiveLoopConfig cfg;
+  cfg.initial_samples = 24;
+  cfg.samples_per_round = 12;
+  cfg.max_rounds = 6;
+  cfg.uncertainty_threshold = 0.08;
+  cfg.candidate_pool = 100;
+  cfg.hidden = {24, 24};
+  cfg.dropout_rate = 0.08;
+  cfg.mc_passes = 16;
+  cfg.train.epochs = 120;
+  cfg.train.batch_size = 16;
+  const AdaptiveLoopResult result = run_adaptive_loop(space, sim, 1, cfg);
+  ASSERT_FALSE(result.rounds.empty());
+  EXPECT_EQ(result.corpus.size(), result.simulations_run);
+  EXPECT_GE(result.simulations_run, cfg.initial_samples);
+  // Later rounds should not be (much) more uncertain than round 0.
+  EXPECT_LE(result.rounds.back().mean_uncertainty,
+            result.rounds.front().mean_uncertainty + 0.05);
+  ASSERT_TRUE(result.surrogate != nullptr);
+  // Surrogate accuracy sanity: prediction near truth at a probe point.
+  const auto pred = result.surrogate->predict_mean_only(std::vector<double>{0.25});
+  EXPECT_NEAR(pred[0], std::sin(0.5), 0.25);
+}
+
+TEST(AdaptiveLoop, ValidatesConfig) {
+  const data::ParamSpace space({{"x", 0.0, 1.0, false}});
+  const SimulationFn sim = [](std::span<const double>) {
+    return std::vector<double>{0.0};
+  };
+  AdaptiveLoopConfig cfg;
+  cfg.initial_samples = 0;
+  EXPECT_THROW(run_adaptive_loop(space, sim, 1, cfg), std::invalid_argument);
+}
+
+TEST(MlControl, CampaignFindsBowlMinimum) {
+  const data::ParamSpace space(
+      {{"x", -1.0, 1.0, false}, {"y", -1.0, 1.0, false}});
+  std::size_t sims = 0;
+  const SimulationFn sim = [&](std::span<const double> x) {
+    ++sims;
+    // "Simulation output": the two coordinates shifted.
+    return std::vector<double>{x[0] - 0.4, x[1] + 0.3};
+  };
+  const OutputObjective objective = [](std::span<const double> out) {
+    return out[0] * out[0] + out[1] * out[1];
+  };
+  CampaignConfig cfg;
+  cfg.simulation_budget = 24;
+  cfg.warmup = 8;
+  cfg.pool = 200;
+  cfg.train.epochs = 80;
+  cfg.train.batch_size = 8;
+  const CampaignResult ml = run_ml_campaign(space, sim, 2, objective, cfg);
+  EXPECT_EQ(ml.simulations_run, 24u);
+  EXPECT_EQ(sims, 24u);
+  EXPECT_EQ(ml.trace.size(), 24u);
+  EXPECT_LT(ml.best_objective, 0.05);
+  EXPECT_NEAR(ml.best_input[0], 0.4, 0.3);
+  EXPECT_NEAR(ml.best_input[1], -0.3, 0.3);
+  // Trace is monotone non-increasing.
+  for (std::size_t i = 1; i < ml.trace.size(); ++i) {
+    EXPECT_LE(ml.trace[i], ml.trace[i - 1]);
+  }
+}
+
+TEST(MlControl, MlBeatsDirectOnAverage) {
+  const data::ParamSpace space(
+      {{"x", -1.0, 1.0, false}, {"y", -1.0, 1.0, false}});
+  const SimulationFn sim = [](std::span<const double> x) {
+    return std::vector<double>{x[0] - 0.37, x[1] + 0.22};
+  };
+  const OutputObjective objective = [](std::span<const double> out) {
+    return out[0] * out[0] + out[1] * out[1];
+  };
+  double ml_total = 0.0, direct_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    CampaignConfig cfg;
+    cfg.simulation_budget = 20;
+    cfg.warmup = 7;
+    cfg.pool = 150;
+    cfg.train.epochs = 60;
+    cfg.seed = seed;
+    ml_total += run_ml_campaign(space, sim, 2, objective, cfg).best_objective;
+    direct_total +=
+        run_direct_campaign(space, sim, 2, objective, cfg).best_objective;
+  }
+  EXPECT_LT(ml_total, direct_total);
+}
+
+TEST(NetworkProblem, GradientMatchesDirectBackprop) {
+  Rng rng(30);
+  nn::MlpConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden = {5};
+  cfg.output_dim = 1;
+  cfg.activation = nn::Activation::kTanh;
+  nn::Network net = nn::make_mlp(cfg, rng);
+
+  data::Dataset ds(2, 1);
+  for (int i = 0; i < 20; ++i) {
+    const double in[2] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const double tg[1] = {in[0] * 0.5 - in[1]};
+    ds.add(std::span<const double>{in, 2}, std::span<const double>{tg, 1});
+  }
+  NetworkSgdProblem problem(net.clone(), ds);
+  EXPECT_EQ(problem.dim(), net.parameter_count());
+  EXPECT_EQ(problem.sample_count(), 20u);
+
+  const std::vector<double> w = problem.initial_weights();
+  std::vector<std::size_t> batch{0, 3, 7};
+  std::vector<double> grad(problem.dim());
+  const double loss_value = problem.loss_and_grad(w, batch, grad);
+  EXPECT_GT(loss_value, 0.0);
+
+  // Finite-difference spot check of a few coordinates.
+  const double eps = 1e-6;
+  for (std::size_t j : {0ul, 5ul, grad.size() - 1}) {
+    std::vector<double> wp = w, wm = w, scratch(grad.size());
+    wp[j] += eps;
+    wm[j] -= eps;
+    const double up = problem.loss_and_grad(wp, batch, scratch);
+    const double down = problem.loss_and_grad(wm, batch, scratch);
+    EXPECT_NEAR(grad[j], (up - down) / (2 * eps), 1e-5);
+  }
+}
+
+TEST(NetworkProblem, TrainsUnderAllreduceEngine) {
+  Rng rng(31);
+  nn::MlpConfig cfg;
+  cfg.input_dim = 1;
+  cfg.hidden = {8};
+  cfg.output_dim = 1;
+  cfg.activation = nn::Activation::kTanh;
+  nn::Network net = nn::make_mlp(cfg, rng);
+  data::Dataset ds(1, 1);
+  for (int i = 0; i < 64; ++i) {
+    const double in[1] = {rng.uniform(-1, 1)};
+    const double tg[1] = {0.7 * in[0]};
+    ds.add(std::span<const double>{in, 1}, std::span<const double>{tg, 1});
+  }
+  NetworkSgdProblem problem(std::move(net), ds);
+  runtime::SyncRunConfig sync;
+  sync.model = runtime::SyncModel::kAllreduce;
+  sync.workers = 2;
+  sync.epochs = 6;
+  sync.steps_per_epoch = 80;
+  sync.batch_size = 8;
+  sync.learning_rate = 0.1;
+  const runtime::SyncRunResult result = runtime::run_parallel_sgd(problem, sync);
+  EXPECT_LT(result.loss_per_epoch.back(), result.loss_per_epoch.front());
+}
+
+TEST(Campaign, SerialAndParallelProduceSameDataset) {
+  const SimulationFn sim = [](std::span<const double> x) {
+    return std::vector<double>{x[0] + x[1], x[0] * x[1]};
+  };
+  std::vector<std::vector<double>> points;
+  Rng rng(40);
+  for (int i = 0; i < 24; ++i) {
+    points.push_back({rng.uniform(-1, 1), rng.uniform(-1, 1)});
+  }
+  CampaignRunStats serial_stats, parallel_stats;
+  const data::Dataset serial =
+      run_campaign(points, sim, 2, nullptr, &serial_stats);
+  runtime::ThreadPool pool(3);
+  const data::Dataset parallel =
+      run_campaign(points, sim, 2, &pool, &parallel_stats);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.target(i)[0], parallel.target(i)[0]);
+    EXPECT_DOUBLE_EQ(serial.input(i)[1], parallel.input(i)[1]);
+  }
+  EXPECT_EQ(serial_stats.runs, 24u);
+  EXPECT_GT(serial_stats.wall_seconds, 0.0);
+}
+
+TEST(Campaign, PreservesSubmissionOrder) {
+  const SimulationFn sim = [](std::span<const double> x) {
+    return std::vector<double>{x[0]};
+  };
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 50; ++i) points.push_back({static_cast<double>(i)});
+  runtime::ThreadPool pool(4);
+  const data::Dataset ds = run_campaign(points, sim, 1, &pool);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ds.target(i)[0], static_cast<double>(i));
+  }
+}
+
+TEST(Campaign, ValidatesInput) {
+  const SimulationFn sim = [](std::span<const double>) {
+    return std::vector<double>{0.0};
+  };
+  EXPECT_THROW(run_campaign({}, sim, 1), std::invalid_argument);
+  // Output-dim mismatch is detected.
+  EXPECT_THROW(run_campaign({{1.0}}, sim, 2), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace le::core

@@ -1,0 +1,278 @@
+// Edge-case and stress tests across modules: distribution helpers, mixed
+// collective sequences, multi-region epidemics, grid round trips, and
+// serialization failure paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "le/core/ml_control.hpp"
+#include "le/epi/population.hpp"
+#include "le/epi/seir.hpp"
+#include "le/kernels/kmeans.hpp"
+#include "le/nn/loss.hpp"
+#include "le/nn/serialize.hpp"
+#include "le/runtime/communicator.hpp"
+#include "le/stats/descriptive.hpp"
+#include "le/stats/rng.hpp"
+#include "le/tissue/grid.hpp"
+
+namespace le {
+namespace {
+
+using stats::Rng;
+
+// ---------------------------------------------------------------------------
+// Rng distribution helpers match their analytic means.
+
+TEST(RngDistributions, PoissonMean) {
+  Rng rng(1);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.poisson(3.5);
+  EXPECT_NEAR(stats::mean(xs), 3.5, 0.1);
+}
+
+TEST(RngDistributions, ExponentialMean) {
+  Rng rng(2);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.exponential(2.0);
+  EXPECT_NEAR(stats::mean(xs), 0.5, 0.02);
+}
+
+TEST(RngDistributions, GeometricMean) {
+  // Failures before first success with p: mean = (1-p)/p.
+  Rng rng(3);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.geometric(0.25);
+  EXPECT_NEAR(stats::mean(xs), 3.0, 0.15);
+}
+
+TEST(RngDistributions, BernoulliRate) {
+  Rng rng(4);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Communicator survives an arbitrary mixed sequence of collectives.
+
+TEST(CommunicatorSequences, MixedCollectivesStayConsistent) {
+  const std::size_t p = 3;
+  runtime::Communicator comm(p);
+  std::vector<std::vector<double>> data(p, std::vector<double>(2));
+  std::vector<std::thread> threads;
+  for (std::size_t rank = 0; rank < p; ++rank) {
+    threads.emplace_back([&, rank] {
+      data[rank] = {static_cast<double>(rank), 1.0};
+      comm.allreduce_sum(rank, data[rank]);    // -> {3, 3}
+      comm.rotate(rank, data[rank]);           // unchanged values (all equal)
+      data[rank][0] += static_cast<double>(rank);
+      comm.allreduce_mean(rank, data[rank]);   // -> {3 + mean(rank), 3}
+      comm.broadcast(rank, 2, data[rank]);     // everyone takes rank 2's copy
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t rank = 0; rank < p; ++rank) {
+    EXPECT_DOUBLE_EQ(data[rank][0], 4.0);  // 3 + (0+1+2)/3
+    EXPECT_DOUBLE_EQ(data[rank][1], 3.0);
+  }
+}
+
+TEST(CommunicatorSequences, RepeatedAllreducesAccumulate) {
+  const std::size_t p = 2;
+  runtime::Communicator comm(p);
+  std::vector<std::vector<double>> data(p, std::vector<double>(1, 1.0));
+  std::vector<std::thread> threads;
+  for (std::size_t rank = 0; rank < p; ++rank) {
+    threads.emplace_back([&, rank] {
+      for (int round = 0; round < 5; ++round) {
+        comm.allreduce_sum(rank, data[rank]);  // doubles each round
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(data[0][0], 32.0);
+  EXPECT_DOUBLE_EQ(data[1][0], 32.0);
+}
+
+// ---------------------------------------------------------------------------
+// Three-region epidemics: structure and dynamics generalize beyond the
+// two-county fixtures used elsewhere.
+
+TEST(MultiRegion, ThreeCountySeirRuns) {
+  epi::PopulationConfig pop;
+  pop.regions.clear();
+  for (int r = 0; r < 3; ++r) {
+    epi::RegionConfig rc;
+    rc.households = 60 + 30 * r;
+    pop.regions.push_back(rc);
+  }
+  pop.seed = 5;
+  const epi::ContactNetwork net = epi::generate_population(pop);
+  EXPECT_EQ(net.region_count(), 3u);
+  const auto sizes = net.region_sizes();
+  EXPECT_LT(sizes[0], sizes[2]);
+
+  epi::SeirParams params;
+  params.transmissibility = 0.2;
+  params.days = 70;
+  params.seed_region = 1;
+  params.seed = 6;
+  const epi::EpidemicCurve curve = epi::run_seir(net, params);
+  EXPECT_GT(curve.total_infected, 30u);
+  EXPECT_EQ(curve.weekly_by_region.size(), 3u);
+  // Weekly regional curves still partition the total.
+  for (std::size_t w = 0; w < curve.weekly_total.size(); ++w) {
+    std::size_t acc = 0;
+    for (const auto& region : curve.weekly_by_region) acc += region[w];
+    EXPECT_EQ(acc, curve.weekly_total[w]);
+  }
+}
+
+TEST(MultiRegion, SingleRegionDegenerates) {
+  epi::PopulationConfig pop;
+  pop.regions.clear();
+  epi::RegionConfig rc;
+  rc.households = 80;
+  pop.regions.push_back(rc);
+  pop.seed = 7;
+  const epi::ContactNetwork net = epi::generate_population(pop);
+  EXPECT_EQ(net.region_count(), 1u);
+  // No travel layer possible with one region.
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    for (const auto& c : net.contacts(i)) {
+      EXPECT_NE(c.layer, epi::ContactLayer::kTravel);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Grid2D round trips.
+
+TEST(GridRoundTrip, UpsampleReproducesLinearFieldsInInterior) {
+  // Bilinear interpolation is exact on globally linear fields wherever the
+  // source coordinates are inside the coarse grid (edges clamp).
+  tissue::Grid2D coarse(4, 4);
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      coarse.at(i, j) = static_cast<double>(i) + 10.0 * static_cast<double>(j);
+    }
+  }
+  const tissue::Grid2D fine = coarse.upsample(16, 16);
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x < 16; ++x) {
+      const double sx = (static_cast<double>(x) + 0.5) / 4.0 - 0.5;
+      const double sy = (static_cast<double>(y) + 0.5) / 4.0 - 0.5;
+      if (sx < 0.0 || sy < 0.0 || sx > 3.0 || sy > 3.0) continue;  // clamped
+      EXPECT_NEAR(fine.at(x, y), sx + 10.0 * sy, 1e-12);
+    }
+  }
+}
+
+TEST(GridRoundTrip, SumPreservedByDownsample) {
+  Rng rng(8);
+  tissue::Grid2D g(12, 12);
+  for (double& v : g.flat()) v = rng.uniform(0.0, 2.0);
+  const tissue::Grid2D d = g.downsample(4, 4);
+  // Downsample averages: total mass scales by the block size.
+  EXPECT_NEAR(d.sum() * 9.0, g.sum(), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization failure paths.
+
+TEST(SerializeErrors, TruncatedStreamThrows) {
+  Rng rng(9);
+  nn::MlpConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden = {3};
+  cfg.output_dim = 1;
+  nn::Network net = nn::make_mlp(cfg, rng);
+  std::stringstream ss;
+  nn::save_network(ss, net);
+  const std::string full = ss.str();
+  // Chop the stream in the middle of the weights.
+  std::stringstream broken(full.substr(0, full.size() / 2));
+  Rng load_rng(10);
+  EXPECT_THROW(nn::load_network(broken, load_rng), std::runtime_error);
+}
+
+TEST(SerializeErrors, UnknownLayerKindThrows) {
+  std::stringstream ss("le-network-v1\nlayers 1\nwarp_drive 3 3\n");
+  Rng rng(11);
+  EXPECT_THROW(nn::load_network(ss, rng), std::runtime_error);
+}
+
+TEST(SerializeErrors, MissingFileThrows) {
+  Rng rng(12);
+  EXPECT_THROW(nn::load_network_file("/nonexistent/net.txt", rng),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Huber loss gradient matches finite differences on both branches.
+
+TEST(HuberGradient, MatchesFiniteDifferenceAcrossBranches) {
+  const nn::HuberLoss loss(0.7);
+  for (double pred0 : {0.2, 0.69, 0.71, 3.0, -2.0}) {
+    tensor::Matrix pred{{pred0}};
+    tensor::Matrix target{{0.0}};
+    const auto analytic = loss.evaluate(pred, target).grad(0, 0);
+    const double eps = 1e-7;
+    tensor::Matrix up{{pred0 + eps}}, down{{pred0 - eps}};
+    const double fd = (loss.evaluate(up, target).value -
+                       loss.evaluate(down, target).value) /
+                      (2 * eps);
+    EXPECT_NEAR(analytic, fd, 1e-6) << "pred = " << pred0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// K-means keeps the centroid of a cluster that goes empty.
+
+TEST(KMeansEdge, EmptyClusterKeepsCentroid) {
+  // Two coincident points, k = 2: one cluster must end up empty and its
+  // centroid (initialized by k-means++ to one of the points) must stay
+  // finite rather than collapsing to NaN.
+  tensor::Matrix points(4, 1);
+  points(0, 0) = 0.0;
+  points(1, 0) = 0.0;
+  points(2, 0) = 0.001;
+  points(3, 0) = 0.001;
+  kernels::KMeansConfig cfg;
+  cfg.clusters = 2;
+  cfg.max_iterations = 10;
+  const kernels::KMeansResult r = kernels::kmeans(points, cfg);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_TRUE(std::isfinite(r.centroids(k, 0)));
+  }
+  EXPECT_LE(r.inertia, 1e-5);
+}
+
+// ---------------------------------------------------------------------------
+// Direct campaigns have monotone best-so-far traces and exact budgets.
+
+TEST(CampaignTraces, DirectTraceMonotoneAndBudgetExact) {
+  const data::ParamSpace space({{"x", -1.0, 1.0, false}});
+  const core::SimulationFn sim = [](std::span<const double> x) {
+    return std::vector<double>{x[0] * x[0]};
+  };
+  const core::OutputObjective objective = [](std::span<const double> out) {
+    return out[0];
+  };
+  core::CampaignConfig cfg;
+  cfg.simulation_budget = 15;
+  const core::CampaignResult r =
+      core::run_direct_campaign(space, sim, 1, objective, cfg);
+  EXPECT_EQ(r.simulations_run, 15u);
+  ASSERT_EQ(r.trace.size(), 15u);
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_LE(r.trace[i], r.trace[i - 1]);
+  }
+  EXPECT_EQ(r.evaluated.size(), 15u);
+}
+
+}  // namespace
+}  // namespace le

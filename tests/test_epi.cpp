@@ -1,0 +1,348 @@
+// Tests for the epidemic substrate: population generation, SEIR dynamics,
+// surveillance coarsening, DEFSI modules and baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "le/epi/baselines.hpp"
+#include "le/epi/defsi.hpp"
+#include "le/epi/population.hpp"
+#include "le/epi/seir.hpp"
+#include "le/epi/surveillance.hpp"
+
+namespace le::epi {
+namespace {
+
+PopulationConfig small_population() {
+  PopulationConfig cfg;
+  cfg.regions.clear();
+  RegionConfig big;
+  big.households = 150;
+  RegionConfig small;
+  small.households = 80;
+  small.community_degree = 2.5;  // sparser region -> delayed epidemics
+  cfg.regions = {big, small};
+  cfg.seed = 71;
+  return cfg;
+}
+
+SeirParams fast_seir() {
+  SeirParams p;
+  // Transmissibility is chosen well above the epidemic threshold of this
+  // network (tau ~ 0.1) so test epidemics reliably take off.
+  p.transmissibility = 0.18;
+  p.initial_infections = 5;
+  p.days = 84;  // 12 weeks
+  p.seed = 72;
+  return p;
+}
+
+TEST(Population, StructureSane) {
+  const ContactNetwork net = generate_population(small_population());
+  EXPECT_EQ(net.region_count(), 2u);
+  EXPECT_GT(net.size(), 300u);
+  EXPECT_GT(net.edge_count(), net.size());  // households alone give >= ~1/person
+  const auto sizes = net.region_sizes();
+  EXPECT_GT(sizes[0], sizes[1]);  // 150 vs 80 households
+  EXPECT_EQ(sizes[0] + sizes[1], net.size());
+}
+
+TEST(Population, AdjacencySymmetric) {
+  const ContactNetwork net = generate_population(small_population());
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    for (const Contact& c : net.contacts(i)) {
+      bool found = false;
+      for (const Contact& back : net.contacts(c.neighbour)) {
+        if (back.neighbour == i && back.layer == c.layer) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "asymmetric edge " << i << "->" << c.neighbour;
+    }
+    if (i > 40) break;  // spot check is enough
+  }
+}
+
+TEST(Population, HouseholdsAreCliques) {
+  const ContactNetwork net = generate_population(small_population());
+  // Group members by household, then check full connectivity.
+  std::map<std::size_t, std::vector<std::size_t>> households;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    households[net.person(i).household].push_back(i);
+  }
+  std::size_t checked = 0;
+  for (const auto& [hh, members] : households) {
+    if (members.size() < 2) continue;
+    for (std::size_t a : members) {
+      for (std::size_t b : members) {
+        if (a == b) continue;
+        bool found = false;
+        for (const Contact& c : net.contacts(a)) {
+          if (c.neighbour == b && c.layer == ContactLayer::kHousehold) {
+            found = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(found);
+      }
+    }
+    if (++checked > 20) break;
+  }
+}
+
+TEST(Population, TravelEdgesCrossRegions) {
+  const ContactNetwork net = generate_population(small_population());
+  std::size_t travel = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    for (const Contact& c : net.contacts(i)) {
+      if (c.layer == ContactLayer::kTravel) {
+        EXPECT_NE(net.person(i).region, net.person(c.neighbour).region);
+        ++travel;
+      }
+    }
+  }
+  EXPECT_GT(travel, 0u);
+}
+
+TEST(Population, RegionMembersPartition) {
+  const ContactNetwork net = generate_population(small_population());
+  const auto r0 = net.region_members(0);
+  const auto r1 = net.region_members(1);
+  EXPECT_EQ(r0.size() + r1.size(), net.size());
+  std::set<std::size_t> s0(r0.begin(), r0.end());
+  for (std::size_t i : r1) EXPECT_FALSE(s0.count(i));
+}
+
+TEST(Seir, EpidemicSpreadsAndIsDeterministic) {
+  const ContactNetwork net = generate_population(small_population());
+  const EpidemicCurve a = run_seir(net, fast_seir());
+  const EpidemicCurve b = run_seir(net, fast_seir());
+  EXPECT_GT(a.total_infected, 50u);
+  EXPECT_LE(a.total_infected, net.size());
+  EXPECT_EQ(a.total_infected, b.total_infected);
+  EXPECT_EQ(a.weekly_total, b.weekly_total);
+}
+
+TEST(Seir, WeeklyAggregationConsistent) {
+  const ContactNetwork net = generate_population(small_population());
+  const EpidemicCurve curve = run_seir(net, fast_seir());
+  // Weekly totals equal the sum of daily counts.
+  std::size_t weekly_sum = 0, daily_sum = 0;
+  for (std::size_t w : curve.weekly_total) weekly_sum += w;
+  for (const auto& region : curve.daily_by_region) {
+    for (std::size_t d : region) daily_sum += d;
+  }
+  EXPECT_EQ(daily_sum, curve.total_infected);
+  EXPECT_LE(weekly_sum, daily_sum);  // trailing partial week excluded
+  // Region curves sum to the total.
+  for (std::size_t w = 0; w < curve.weekly_total.size(); ++w) {
+    std::size_t acc = 0;
+    for (const auto& region : curve.weekly_by_region) acc += region[w];
+    EXPECT_EQ(acc, curve.weekly_total[w]);
+  }
+}
+
+TEST(Seir, HigherTransmissibilitySpreadsMore) {
+  const ContactNetwork net = generate_population(small_population());
+  SeirParams lo = fast_seir(), hi = fast_seir();
+  lo.transmissibility = 0.04;
+  hi.transmissibility = 0.3;
+  // Average a few replicates to damp stochastic noise.
+  const auto mean_lo = run_seir_ensemble(net, lo, 3);
+  const auto mean_hi = run_seir_ensemble(net, hi, 3);
+  double total_lo = 0.0, total_hi = 0.0;
+  for (double v : mean_lo.weekly_total) total_lo += v;
+  for (double v : mean_hi.weekly_total) total_hi += v;
+  EXPECT_GT(total_hi, 2.0 * total_lo);
+}
+
+TEST(Seir, SeedRegionLeads) {
+  // The region that receives the seeds should, on ensemble average, see
+  // its cases earlier than the other region.
+  const ContactNetwork net = generate_population(small_population());
+  SeirParams p = fast_seir();
+  p.seed_region = 0;
+  const auto mean = run_seir_ensemble(net, p, 5);
+  auto centroid_week = [](const std::vector<double>& series) {
+    double num = 0.0, den = 0.0;
+    for (std::size_t w = 0; w < series.size(); ++w) {
+      num += static_cast<double>(w) * series[w];
+      den += series[w];
+    }
+    return den > 0.0 ? num / den : 0.0;
+  };
+  EXPECT_LT(centroid_week(mean.weekly_by_region[0]),
+            centroid_week(mean.weekly_by_region[1]));
+}
+
+TEST(Seir, InvalidSeedRegionThrows) {
+  const ContactNetwork net = generate_population(small_population());
+  SeirParams p = fast_seir();
+  p.seed_region = 99;
+  EXPECT_THROW(run_seir(net, p), std::invalid_argument);
+}
+
+TEST(Surveillance, UnderreportsDelaysAndPerturbss) {
+  const ContactNetwork net = generate_population(small_population());
+  const EpidemicCurve truth = run_seir(net, fast_seir());
+  SurveillanceParams sp;
+  sp.reporting_rate = 0.3;
+  sp.noise_sigma = 0.0;  // deterministic for this check
+  sp.delay_weeks = 1;
+  const SurveillanceData obs = observe(truth, sp);
+  ASSERT_EQ(obs.state_weekly.size(), truth.weekly_total.size());
+  EXPECT_DOUBLE_EQ(obs.state_weekly[0], 0.0);  // delayed out
+  for (std::size_t w = 1; w < obs.state_weekly.size(); ++w) {
+    EXPECT_NEAR(obs.state_weekly[w],
+                0.3 * static_cast<double>(truth.weekly_total[w - 1]), 1e-9);
+  }
+}
+
+TEST(Surveillance, NoiseIsMultiplicative) {
+  std::vector<double> flat(10, 100.0);
+  SurveillanceParams sp;
+  sp.reporting_rate = 1.0;
+  sp.noise_sigma = 0.3;
+  sp.delay_weeks = 0;
+  const SurveillanceData obs = observe_mean(flat, sp);
+  bool any_off = false;
+  for (double v : obs.state_weekly) {
+    EXPECT_GT(v, 0.0);
+    if (std::abs(v - 100.0) > 1.0) any_off = true;
+  }
+  EXPECT_TRUE(any_off);
+}
+
+class DefsiFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<ContactNetwork>(
+        generate_population(small_population()));
+    // The hidden "true" epidemic the methods must forecast.
+    truth_params_ = fast_seir();
+    truth_params_.transmissibility = 0.18;
+    truth_params_.seed = 555;
+    truth_ = run_seir(*network_, truth_params_);
+    SurveillanceParams sp;
+    sp.seed = 556;
+    observed_ = observe(truth_, sp);
+
+    config_.tau_grid = {0.08, 0.18, 0.35};
+    config_.seed_grid = {5};
+    config_.calibration_replicates = 2;
+    config_.top_candidates = 2;
+    config_.sims_per_candidate = 4;
+    config_.train.epochs = 60;
+    config_.train.batch_size = 16;
+  }
+
+  std::unique_ptr<ContactNetwork> network_;
+  SeirParams truth_params_;
+  EpidemicCurve truth_;
+  SurveillanceData observed_;
+  DefsiConfig config_;
+};
+
+TEST_F(DefsiFixture, ParameterEstimationPrefersTrueTau) {
+  const auto candidates = estimate_parameters(*network_, observed_.state_weekly,
+                                              fast_seir(), config_);
+  ASSERT_EQ(candidates.size(), 2u);
+  // Weights normalized and sorted by distance.
+  EXPECT_NEAR(candidates[0].weight + candidates[1].weight, 1.0, 1e-9);
+  EXPECT_LE(candidates[0].distance, candidates[1].distance);
+  // The best candidate should be the true tau 0.18, not the extremes.
+  EXPECT_DOUBLE_EQ(candidates[0].params.transmissibility, 0.18);
+}
+
+TEST_F(DefsiFixture, TrainedForecasterProducesFiniteRegionalForecasts) {
+  const DefsiForecaster model = DefsiForecaster::train(
+      *network_, observed_.state_weekly, fast_seir(), config_);
+  EXPECT_EQ(model.region_count(), 2u);
+  EXPECT_GT(model.training_samples(), 20u);
+  const std::size_t week = 6;
+  const auto regions = model.forecast_regions(observed_.state_weekly, week);
+  ASSERT_EQ(regions.size(), 2u);
+  for (double v : regions) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_NEAR(model.forecast_state(observed_.state_weekly, week),
+              regions[0] + regions[1], 1e-9);
+}
+
+TEST_F(DefsiFixture, MakeFeaturesValidatesWindow) {
+  const DefsiForecaster model = DefsiForecaster::train(
+      *network_, observed_.state_weekly, fast_seir(), config_);
+  EXPECT_THROW(model.make_features(observed_.state_weekly, 1),
+               std::invalid_argument);
+  EXPECT_THROW(model.make_features(observed_.state_weekly, 999),
+               std::invalid_argument);
+  const auto f = model.make_features(observed_.state_weekly, 5);
+  EXPECT_EQ(f.size(), config_.window + 3);
+}
+
+TEST_F(DefsiFixture, MultiHorizonForecasterTrains) {
+  DefsiConfig two_week = config_;
+  two_week.horizon = 2;
+  const DefsiForecaster model = DefsiForecaster::train(
+      *network_, observed_.state_weekly, fast_seir(), two_week);
+  // Horizon-2 targets shrink the usable sample range by one week vs
+  // horizon-1; the model must still train and produce finite forecasts.
+  EXPECT_GT(model.training_samples(), 10u);
+  const auto f = model.forecast_regions(observed_.state_weekly, 6);
+  for (double v : f) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_F(DefsiFixture, EpiFastCalibratesToSingleCandidate) {
+  const EpiFastForecaster model = EpiFastForecaster::calibrate(
+      *network_, observed_.state_weekly, fast_seir(), config_, 3);
+  EXPECT_DOUBLE_EQ(model.calibrated_params().transmissibility, 0.18);
+  const auto regions = model.forecast_regions(5);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_GE(regions[0] + regions[1], 0.0);
+}
+
+TEST(Ar2, FitsLinearTrendApproximately) {
+  // A noiseless AR(1)-style series: y_t = 0.9 y_{t-1}.
+  std::vector<double> series{100.0};
+  for (int t = 1; t < 15; ++t) series.push_back(series.back() * 0.9);
+  Ar2Forecaster model(1.0, {0.6, 0.4});
+  const double pred = model.forecast_state(series, 14);
+  EXPECT_NEAR(pred, series[14] * 0.9, 1.0);
+  const auto regions = model.forecast_regions(series, 14);
+  EXPECT_NEAR(regions[0] + regions[1], pred, 1e-9);
+  EXPECT_NEAR(regions[0] / pred, 0.6, 1e-9);
+}
+
+TEST(Ar2, ShortHistoryFallsBackToPersistence) {
+  Ar2Forecaster model(0.5, {1.0});
+  std::vector<double> series{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(model.forecast_state(series, 1), 40.0);  // 20 / 0.5
+}
+
+TEST(Persistence, ScalesByReportingRate) {
+  std::vector<double> series{10.0, 30.0};
+  EXPECT_DOUBLE_EQ(persistence_forecast_state(series, 1, 0.3), 100.0);
+  const std::vector<double> shares{0.25, 0.75};
+  const auto regions = persistence_forecast_regions(series, 1, 0.3, shares);
+  EXPECT_DOUBLE_EQ(regions[0], 25.0);
+  EXPECT_DOUBLE_EQ(regions[1], 75.0);
+}
+
+TEST(PopulationShares, SumToOne) {
+  const ContactNetwork net = generate_population(small_population());
+  const auto shares = population_shares(net);
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_NEAR(shares[0] + shares[1], 1.0, 1e-12);
+  EXPECT_GT(shares[0], shares[1]);
+}
+
+}  // namespace
+}  // namespace le::epi

@@ -1,0 +1,239 @@
+// Tests for the Section III-A ML kernels: K-means (Allreduce class),
+// Ising Gibbs sampling (MCMC class) and cyclic coordinate descent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "le/kernels/ccd.hpp"
+#include "le/kernels/ising.hpp"
+#include "le/kernels/kmeans.hpp"
+#include "le/stats/rng.hpp"
+
+namespace le::kernels {
+namespace {
+
+using le::stats::Rng;
+
+tensor::Matrix make_blobs(std::size_t per_cluster, Rng& rng) {
+  // Three well-separated 2-D Gaussian blobs.
+  const double centers[3][2] = {{0.0, 0.0}, {8.0, 0.0}, {4.0, 7.0}};
+  tensor::Matrix points(3 * per_cluster, 2);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      points(c * per_cluster + i, 0) = centers[c][0] + rng.normal(0.0, 0.5);
+      points(c * per_cluster + i, 1) = centers[c][1] + rng.normal(0.0, 0.5);
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, RecoversPlantedClusters) {
+  Rng rng(1);
+  const tensor::Matrix points = make_blobs(60, rng);
+  KMeansConfig cfg;
+  cfg.clusters = 3;
+  const KMeansResult result = kmeans(points, cfg);
+  EXPECT_TRUE(result.converged);
+  // Every centroid should be within 0.5 of one of the true centers.
+  const double centers[3][2] = {{0.0, 0.0}, {8.0, 0.0}, {4.0, 7.0}};
+  for (std::size_t k = 0; k < 3; ++k) {
+    double best = 1e9;
+    for (const auto& c : centers) {
+      const double dx = result.centroids(k, 0) - c[0];
+      const double dy = result.centroids(k, 1) - c[1];
+      best = std::min(best, std::sqrt(dx * dx + dy * dy));
+    }
+    EXPECT_LT(best, 0.5) << "centroid " << k;
+  }
+  // All points of one blob share one assignment.
+  for (std::size_t c = 0; c < 3; ++c) {
+    const std::size_t label = result.assignment[c * 60];
+    for (std::size_t i = 1; i < 60; ++i) {
+      EXPECT_EQ(result.assignment[c * 60 + i], label);
+    }
+  }
+}
+
+TEST(KMeans, InertiaTraceNonIncreasing) {
+  Rng rng(2);
+  const tensor::Matrix points = make_blobs(40, rng);
+  KMeansConfig cfg;
+  cfg.clusters = 4;
+  const KMeansResult result = kmeans(points, cfg);
+  for (std::size_t i = 1; i < result.inertia_trace.size(); ++i) {
+    EXPECT_LE(result.inertia_trace[i], result.inertia_trace[i - 1] + 1e-9);
+  }
+}
+
+TEST(KMeans, ParallelMatchesSerial) {
+  Rng rng(3);
+  const tensor::Matrix points = make_blobs(50, rng);
+  KMeansConfig cfg;
+  cfg.clusters = 3;
+  const KMeansResult serial = kmeans(points, cfg);
+  runtime::ThreadPool pool(4);
+  const KMeansResult parallel = kmeans(points, cfg, &pool);
+  // Same seeding, deterministic assignment -> identical outcomes up to
+  // floating-point reduction order.
+  EXPECT_EQ(serial.assignment, parallel.assignment);
+  EXPECT_NEAR(serial.inertia, parallel.inertia, 1e-6);
+}
+
+TEST(KMeans, ValidatesInput) {
+  tensor::Matrix empty;
+  KMeansConfig cfg;
+  EXPECT_THROW(kmeans(empty, cfg), std::invalid_argument);
+  tensor::Matrix two(2, 1, 0.0);
+  cfg.clusters = 5;
+  EXPECT_THROW(kmeans(two, cfg), std::invalid_argument);
+}
+
+TEST(Ising, HighTemperatureIsDisordered) {
+  const IsingObservables obs = measure_ising(24, 5.0, 200, 200, 7);
+  EXPECT_LT(obs.mean_abs_magnetization, 0.25);
+}
+
+TEST(Ising, LowTemperatureOrders) {
+  const IsingObservables obs = measure_ising(24, 1.2, 400, 200, 8);
+  EXPECT_GT(obs.mean_abs_magnetization, 0.9);
+  // Ground-state energy per spin is -2 (J = 1, 2 bonds per spin).
+  EXPECT_NEAR(obs.mean_energy_per_spin, -2.0, 0.15);
+}
+
+TEST(Ising, ChromaticMatchesSequentialStatistics) {
+  // The two schedules sample the same distribution; compare <|m|> at a
+  // temperature comfortably below critical.
+  IsingModel seq(20, 1.5, 9);
+  IsingModel par(20, 1.5, 10);
+  runtime::ThreadPool pool(2);
+  for (int s = 0; s < 300; ++s) seq.sweep_sequential();
+  for (int s = 0; s < 300; ++s) par.sweep_chromatic(&pool);
+  double m_seq = 0.0, m_par = 0.0;
+  for (int s = 0; s < 200; ++s) {
+    seq.sweep_sequential();
+    par.sweep_chromatic(&pool);
+    m_seq += std::abs(seq.magnetization());
+    m_par += std::abs(par.magnetization());
+  }
+  EXPECT_NEAR(m_seq / 200.0, m_par / 200.0, 0.08);
+}
+
+TEST(Ising, MagnetizationDropsAcrossCriticalTemperature) {
+  const IsingObservables cold = measure_ising(20, 1.8, 300, 150, 11);
+  const IsingObservables hot = measure_ising(20, 3.2, 300, 150, 12);
+  EXPECT_GT(cold.mean_abs_magnetization, hot.mean_abs_magnetization + 0.3);
+}
+
+TEST(Ising, ValidatesInput) {
+  EXPECT_THROW(IsingModel(1, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(IsingModel(8, 0.0, 1), std::invalid_argument);
+}
+
+tensor::Matrix random_features(std::size_t n, std::size_t d, Rng& rng) {
+  tensor::Matrix x(n, d);
+  for (double& v : x.flat()) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+TEST(Ccd, ConvergesToNormalEquationSolution) {
+  Rng rng(20);
+  const std::size_t n = 120, d = 6;
+  const tensor::Matrix x = random_features(n, d, rng);
+  std::vector<double> w_true(d);
+  for (double& v : w_true) v = rng.uniform(-2.0, 2.0);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    auto row = x.row(i);
+    for (std::size_t j = 0; j < d; ++j) acc += row[j] * w_true[j];
+    y[i] = acc;  // noiseless: exact recovery expected
+  }
+  CcdConfig cfg;
+  cfg.sweeps = 200;
+  cfg.l2 = 1e-10;
+  const CcdResult result = ccd_ridge(x, y, cfg);
+  EXPECT_TRUE(result.converged);
+  for (std::size_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(result.weights[j], w_true[j], 1e-5);
+  }
+}
+
+TEST(Ccd, ObjectiveTraceNonIncreasing) {
+  Rng rng(21);
+  const tensor::Matrix x = random_features(80, 10, rng);
+  std::vector<double> y(80);
+  for (double& v : y) v = rng.normal();
+  CcdConfig cfg;
+  cfg.sweeps = 30;
+  const CcdResult result = ccd_ridge(x, y, cfg);
+  for (std::size_t i = 1; i < result.objective_trace.size(); ++i) {
+    EXPECT_LE(result.objective_trace[i],
+              result.objective_trace[i - 1] + 1e-9);
+  }
+}
+
+TEST(Ccd, RotationMatchesSerialSolution) {
+  Rng rng(22);
+  const std::size_t n = 100, d = 12;
+  const tensor::Matrix x = random_features(n, d, rng);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = rng.normal();
+  CcdConfig cfg;
+  cfg.sweeps = 150;
+  cfg.l2 = 1e-6;
+  const CcdResult serial = ccd_ridge(x, y, cfg);
+  runtime::ThreadPool pool(3);
+  const CcdResult rotated = ccd_ridge_rotation(x, y, cfg, 3, &pool);
+  // Both converge to the unique ridge optimum.
+  ASSERT_EQ(serial.weights.size(), rotated.weights.size());
+  for (std::size_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(serial.weights[j], rotated.weights[j], 1e-4);
+  }
+}
+
+TEST(Ccd, RotationSingleWorkerEqualsSerial) {
+  Rng rng(23);
+  const tensor::Matrix x = random_features(40, 5, rng);
+  std::vector<double> y(40);
+  for (double& v : y) v = rng.normal();
+  CcdConfig cfg;
+  cfg.sweeps = 20;
+  const CcdResult a = ccd_ridge(x, y, cfg);
+  const CcdResult b = ccd_ridge_rotation(x, y, cfg, 1);
+  for (std::size_t j = 0; j < a.weights.size(); ++j) {
+    EXPECT_NEAR(a.weights[j], b.weights[j], 1e-12);
+  }
+}
+
+TEST(Ccd, ValidatesInput) {
+  tensor::Matrix x(3, 2, 1.0);
+  std::vector<double> y_bad(2);
+  CcdConfig cfg;
+  EXPECT_THROW(ccd_ridge(x, y_bad, cfg), std::invalid_argument);
+  std::vector<double> y(3);
+  EXPECT_THROW(ccd_ridge_rotation(x, y, cfg, 0), std::invalid_argument);
+}
+
+/// Property sweep: CCD reaches (near) the same objective as the rotation
+/// variant across worker counts.
+class CcdWorkerSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CcdWorkerSweep, RotationConvergesForAnyWorkerCount) {
+  Rng rng(24);
+  const tensor::Matrix x = random_features(60, 9, rng);
+  std::vector<double> y(60);
+  for (double& v : y) v = rng.normal();
+  CcdConfig cfg;
+  cfg.sweeps = 120;
+  const double serial_obj =
+      ccd_ridge(x, y, cfg).objective_trace.back();
+  const CcdResult rotated = ccd_ridge_rotation(x, y, cfg, GetParam());
+  EXPECT_NEAR(rotated.objective_trace.back(), serial_obj,
+              1e-6 + 1e-4 * serial_obj);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, CcdWorkerSweep,
+                         ::testing::Values(1, 2, 3, 4, 9));
+
+}  // namespace
+}  // namespace le::kernels

@@ -1,0 +1,456 @@
+// Unit, gradient-check and training-convergence tests for the NN library.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "le/nn/layer.hpp"
+#include "le/nn/loss.hpp"
+#include "le/nn/network.hpp"
+#include "le/nn/optimizer.hpp"
+#include "le/nn/serialize.hpp"
+#include "le/nn/train.hpp"
+#include "le/nn/two_branch.hpp"
+
+namespace le::nn {
+namespace {
+
+using le::data::Dataset;
+using le::stats::Rng;
+
+/// Finite-difference check of d(loss)/d(param) against backprop for a
+/// given network and random batch.
+void gradient_check(Network& net, std::size_t batch, double tol = 1e-5) {
+  Rng rng(123);
+  tensor::Matrix x(batch, net.input_dim());
+  tensor::Matrix y(batch, net.output_dim());
+  for (double& v : x.flat()) v = rng.uniform(-1.0, 1.0);
+  for (double& v : y.flat()) v = rng.uniform(-1.0, 1.0);
+  const MseLoss loss;
+
+  net.set_training(true);
+  net.zero_grad();
+  tensor::Matrix pred = net.forward(x);
+  LossResult lr = loss.evaluate(pred, y);
+  net.backward(lr.grad);
+
+  // Copy analytic grads (views alias live storage that the FD loop mutates).
+  std::vector<std::vector<double>> analytic;
+  for (const auto& view : net.parameters()) {
+    analytic.emplace_back(view.grads.begin(), view.grads.end());
+  }
+
+  const double eps = 1e-6;
+  auto params = net.parameters();
+  std::size_t checked = 0;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    // Sample a few entries per tensor rather than the whole thing.
+    const std::size_t stride = std::max<std::size_t>(1, params[p].values.size() / 7);
+    for (std::size_t j = 0; j < params[p].values.size(); j += stride) {
+      const double orig = params[p].values[j];
+      params[p].values[j] = orig + eps;
+      const double up = loss.evaluate(net.forward(x), y).value;
+      params[p].values[j] = orig - eps;
+      const double down = loss.evaluate(net.forward(x), y).value;
+      params[p].values[j] = orig;
+      const double fd = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(analytic[p][j], fd, tol)
+          << "param tensor " << p << " entry " << j;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(DenseLayer, ForwardKnownValues) {
+  Rng rng(1);
+  DenseLayer layer(2, 1, rng);
+  layer.weights()(0, 0) = 2.0;
+  layer.weights()(1, 0) = -1.0;
+  layer.bias()[0] = 0.5;
+  tensor::Matrix x{{3.0, 4.0}};
+  tensor::Matrix out = layer.forward(x);
+  EXPECT_DOUBLE_EQ(out(0, 0), 2.5);
+}
+
+TEST(DenseLayer, RejectsZeroDims) {
+  Rng rng(1);
+  EXPECT_THROW(DenseLayer(0, 3, rng), std::invalid_argument);
+}
+
+TEST(DenseLayer, GlorotInitBounded) {
+  Rng rng(2);
+  DenseLayer layer(50, 50, rng);
+  const double limit = std::sqrt(6.0 / 100.0);
+  for (double w : layer.weights().flat()) {
+    EXPECT_GE(w, -limit);
+    EXPECT_LE(w, limit);
+  }
+  for (double b : layer.bias()) EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+TEST(Activation, KnownValues) {
+  ActivationLayer relu(Activation::kRelu, 2);
+  tensor::Matrix x{{-1.0, 2.0}};
+  tensor::Matrix out = relu.forward(x);
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 2.0);
+
+  ActivationLayer sig(Activation::kSigmoid, 1);
+  tensor::Matrix z{{0.0}};
+  EXPECT_DOUBLE_EQ(sig.forward(z)(0, 0), 0.5);
+
+  ActivationLayer th(Activation::kTanh, 1);
+  EXPECT_NEAR(th.forward(z)(0, 0), 0.0, 1e-12);
+}
+
+TEST(Activation, StringRoundTrip) {
+  for (Activation a : {Activation::kIdentity, Activation::kRelu,
+                       Activation::kLeakyRelu, Activation::kTanh,
+                       Activation::kSigmoid}) {
+    EXPECT_EQ(activation_from_string(to_string(a)), a);
+  }
+  EXPECT_THROW(activation_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  DropoutLayer layer(0.5, 3, Rng(3));
+  layer.set_training(false);
+  tensor::Matrix x{{1.0, 2.0, 3.0}};
+  EXPECT_EQ(layer.forward(x), x);
+}
+
+TEST(Dropout, TrainModePreservesMeanAndZeroesSome) {
+  DropoutLayer layer(0.5, 1000, Rng(4));
+  layer.set_training(true);
+  tensor::Matrix x(1, 1000, 1.0);
+  tensor::Matrix out = layer.forward(x);
+  std::size_t zeros = 0;
+  double sum = 0.0;
+  for (double v : out.flat()) {
+    if (v == 0.0) ++zeros;
+    sum += v;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.5, 0.08);
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.15);  // inverted dropout keeps the mean
+}
+
+TEST(Dropout, McModeStochasticAtEval) {
+  DropoutLayer layer(0.5, 100, Rng(5));
+  layer.set_training(false);
+  layer.set_mc_mode(true);
+  tensor::Matrix x(1, 100, 1.0);
+  EXPECT_NE(layer.forward(x), layer.forward(x));
+}
+
+TEST(Dropout, InvalidRateThrows) {
+  EXPECT_THROW(DropoutLayer(1.0, 3, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(DropoutLayer(-0.1, 3, Rng(1)), std::invalid_argument);
+}
+
+TEST(Loss, MseKnownValueAndGrad) {
+  MseLoss loss;
+  tensor::Matrix pred{{1.0, 2.0}};
+  tensor::Matrix target{{0.0, 4.0}};
+  const LossResult r = loss.evaluate(pred, target);
+  EXPECT_DOUBLE_EQ(r.value, (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(r.grad(0, 0), 1.0);   // 2 * 1 / 2
+  EXPECT_DOUBLE_EQ(r.grad(0, 1), -2.0);  // 2 * -2 / 2
+}
+
+TEST(Loss, HuberMatchesMseInCore) {
+  HuberLoss huber(10.0);
+  MseLoss mse;
+  tensor::Matrix pred{{1.0}};
+  tensor::Matrix target{{0.5}};
+  EXPECT_NEAR(huber.evaluate(pred, target).value,
+              0.5 * mse.evaluate(pred, target).value, 1e-12);
+}
+
+TEST(Loss, HuberLinearTail) {
+  HuberLoss huber(1.0);
+  tensor::Matrix pred{{10.0}};
+  tensor::Matrix target{{0.0}};
+  EXPECT_DOUBLE_EQ(huber.evaluate(pred, target).value, 1.0 * (10.0 - 0.5));
+  EXPECT_DOUBLE_EQ(huber.evaluate(pred, target).grad(0, 0), 1.0);
+}
+
+TEST(Loss, ShapeMismatchThrows) {
+  MseLoss loss;
+  tensor::Matrix a(1, 2), b(2, 1);
+  EXPECT_THROW(loss.evaluate(a, b), std::invalid_argument);
+}
+
+TEST(GradientCheck, PlainMlp) {
+  Rng rng(10);
+  MlpConfig cfg;
+  cfg.input_dim = 3;
+  cfg.hidden = {5, 4};
+  cfg.output_dim = 2;
+  cfg.activation = Activation::kTanh;
+  Network net = make_mlp(cfg, rng);
+  gradient_check(net, 4);
+}
+
+TEST(GradientCheck, ReluMlp) {
+  Rng rng(11);
+  MlpConfig cfg;
+  cfg.input_dim = 4;
+  cfg.hidden = {6};
+  cfg.output_dim = 1;
+  cfg.activation = Activation::kLeakyRelu;  // avoids kinks at 0 measure-zero issues
+  Network net = make_mlp(cfg, rng);
+  gradient_check(net, 3);
+}
+
+TEST(GradientCheck, TwoBranch) {
+  Rng rng(12);
+  TwoBranchConfig cfg;
+  cfg.branch_a.input_dim = 3;
+  cfg.branch_a.hidden = {4};
+  cfg.branch_a.output_dim = 4;
+  cfg.branch_a.activation = Activation::kTanh;
+  cfg.branch_b.input_dim = 2;
+  cfg.branch_b.hidden = {3};
+  cfg.branch_b.output_dim = 3;
+  cfg.branch_b.activation = Activation::kTanh;
+  cfg.head_hidden = {5};
+  cfg.output_dim = 2;
+  cfg.head_activation = Activation::kTanh;
+  Network net = make_two_branch_network(cfg, rng);
+  EXPECT_EQ(net.input_dim(), 5u);
+  EXPECT_EQ(net.output_dim(), 2u);
+  gradient_check(net, 4);
+}
+
+TEST(Network, DimMismatchOnAdd) {
+  Rng rng(13);
+  Network net;
+  net.add(std::make_unique<DenseLayer>(2, 3, rng));
+  EXPECT_THROW(net.add(std::make_unique<DenseLayer>(4, 1, rng)),
+               std::invalid_argument);
+}
+
+TEST(Network, WeightsRoundTrip) {
+  Rng rng(14);
+  MlpConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden = {3};
+  cfg.output_dim = 1;
+  Network net = make_mlp(cfg, rng);
+  const auto w = net.get_weights();
+  EXPECT_EQ(w.size(), net.parameter_count());
+  Network copy = net.clone();
+  std::vector<double> zeros(w.size(), 0.0);
+  copy.set_weights(zeros);
+  EXPECT_NE(copy.get_weights(), net.get_weights());
+  copy.set_weights(w);
+  EXPECT_EQ(copy.get_weights(), w);
+  EXPECT_THROW(net.set_weights(std::vector<double>(w.size() + 1, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(Network, CloneIsDeep) {
+  Rng rng(15);
+  MlpConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden = {3};
+  cfg.output_dim = 1;
+  Network net = make_mlp(cfg, rng);
+  Network copy = net.clone();
+  auto w = net.get_weights();
+  w[0] += 1.0;
+  net.set_weights(w);
+  EXPECT_NE(net.get_weights(), copy.get_weights());
+}
+
+TEST(Optimizer, SgdStepsDownhill) {
+  // Minimize f(w) = w^2 by hand-feeding gradients.
+  std::vector<double> w{5.0}, g{0.0};
+  SgdOptimizer opt(0.1);
+  const std::vector<ParamView> views{{std::span<double>{w}, std::span<double>{g}}};
+  for (int i = 0; i < 100; ++i) {
+    g[0] = 2.0 * w[0];
+    opt.step(views);
+  }
+  EXPECT_NEAR(w[0], 0.0, 1e-6);
+}
+
+TEST(Optimizer, AdamStepsDownhill) {
+  std::vector<double> w{5.0}, g{0.0};
+  AdamOptimizer opt(0.3);
+  const std::vector<ParamView> views{{std::span<double>{w}, std::span<double>{g}}};
+  for (int i = 0; i < 300; ++i) {
+    g[0] = 2.0 * w[0];
+    opt.step(views);
+  }
+  EXPECT_NEAR(w[0], 0.0, 1e-3);
+}
+
+TEST(Optimizer, RejectsBadHyperparameters) {
+  EXPECT_THROW(SgdOptimizer(0.0), std::invalid_argument);
+  EXPECT_THROW(SgdOptimizer(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(AdamOptimizer(-1.0), std::invalid_argument);
+  EXPECT_THROW(SgdOptimizer(0.1, 0.0, -0.5), std::invalid_argument);
+  EXPECT_THROW(AdamOptimizer(0.1, 0.9, 0.999, 1e-8, -1.0), std::invalid_argument);
+}
+
+TEST(Optimizer, WeightDecayShrinksParameters) {
+  // With zero gradients, weight decay is a pure geometric contraction.
+  std::vector<double> w{2.0}, g{0.0};
+  SgdOptimizer opt(0.1, 0.0, 1.0);  // decay factor 1 - 0.1*1 = 0.9 per step
+  const std::vector<ParamView> views{{std::span<double>{w}, std::span<double>{g}}};
+  for (int i = 0; i < 10; ++i) opt.step(views);
+  EXPECT_NEAR(w[0], 2.0 * std::pow(0.9, 10), 1e-12);
+
+  std::vector<double> wa{2.0}, ga{0.0};
+  AdamOptimizer adam(0.1, 0.9, 0.999, 1e-8, 1.0);
+  const std::vector<ParamView> va{{std::span<double>{wa}, std::span<double>{ga}}};
+  adam.step(va);
+  EXPECT_LT(wa[0], 2.0);
+}
+
+Dataset make_regression_data(std::size_t n, Rng& rng) {
+  // y = sin(2x0) + 0.5 x1 over [-1, 1]^2.
+  Dataset ds(2, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double in[2] = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    const double tg[1] = {std::sin(2.0 * in[0]) + 0.5 * in[1]};
+    ds.add(std::span<const double>{in, 2}, std::span<const double>{tg, 1});
+  }
+  return ds;
+}
+
+TEST(Training, LearnsSmoothFunction) {
+  Rng rng(16);
+  Dataset ds = make_regression_data(400, rng);
+  MlpConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden = {24, 24};
+  cfg.output_dim = 1;
+  cfg.activation = Activation::kTanh;
+  Network net = make_mlp(cfg, rng);
+  AdamOptimizer opt(1e-2);
+  MseLoss loss;
+  TrainConfig tc;
+  tc.epochs = 150;
+  tc.batch_size = 32;
+  const TrainResult result = fit(net, ds, loss, opt, tc, rng);
+  EXPECT_LT(result.final_train_loss, 1e-3);
+  EXPECT_EQ(result.history.size(), 150u);
+  // Spot-check generalization.
+  EXPECT_NEAR(net.predict(std::vector<double>{0.3, 0.3})[0],
+              std::sin(0.6) + 0.15, 0.1);
+}
+
+TEST(Training, EarlyStoppingTriggersAndRestoresBest) {
+  Rng rng(17);
+  Dataset ds = make_regression_data(200, rng);
+  MlpConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden = {16};
+  cfg.output_dim = 1;
+  cfg.activation = Activation::kTanh;
+  Network net = make_mlp(cfg, rng);
+  AdamOptimizer opt(5e-2);  // aggressive LR to provoke validation bouncing
+  MseLoss loss;
+  TrainConfig tc;
+  tc.epochs = 500;
+  tc.batch_size = 16;
+  tc.validation_fraction = 0.25;
+  tc.early_stopping_patience = 5;
+  const TrainResult result = fit(net, ds, loss, opt, tc, rng);
+  ASSERT_TRUE(result.best_validation_loss.has_value());
+  EXPECT_LT(result.history.size(), 500u);
+  EXPECT_TRUE(result.stopped_early);
+}
+
+TEST(Training, LrDecayShrinksRate) {
+  Rng rng(18);
+  Dataset ds = make_regression_data(50, rng);
+  MlpConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden = {4};
+  cfg.output_dim = 1;
+  Network net = make_mlp(cfg, rng);
+  AdamOptimizer opt(1e-2);
+  MseLoss loss;
+  TrainConfig tc;
+  tc.epochs = 10;
+  tc.lr_decay = 0.5;
+  fit(net, ds, loss, opt, tc, rng);
+  EXPECT_NEAR(opt.learning_rate(), 1e-2 * std::pow(0.5, 10), 1e-9);
+}
+
+TEST(Training, RejectsBadConfig) {
+  Rng rng(19);
+  Dataset ds = make_regression_data(10, rng);
+  MlpConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden = {4};
+  cfg.output_dim = 1;
+  Network net = make_mlp(cfg, rng);
+  AdamOptimizer opt(1e-2);
+  MseLoss loss;
+  TrainConfig tc;
+  tc.batch_size = 0;
+  EXPECT_THROW(fit(net, ds, loss, opt, tc, rng), std::invalid_argument);
+  Dataset empty(2, 1);
+  tc.batch_size = 8;
+  EXPECT_THROW(fit(net, empty, loss, opt, tc, rng), std::invalid_argument);
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  Rng rng(20);
+  MlpConfig cfg;
+  cfg.input_dim = 3;
+  cfg.hidden = {7, 5};
+  cfg.output_dim = 2;
+  cfg.activation = Activation::kSigmoid;
+  cfg.dropout_rate = 0.2;
+  Network net = make_mlp(cfg, rng);
+  net.set_training(false);
+  const std::vector<double> x{0.1, -0.4, 0.9};
+  const auto before = net.predict(x);
+
+  std::stringstream ss;
+  save_network(ss, net);
+  Rng load_rng(21);
+  Network loaded = load_network(ss, load_rng);
+  const auto after = loaded.predict(x);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i], after[i], 1e-12);
+  }
+}
+
+TEST(Serialize, TwoBranchRoundTrip) {
+  Rng rng(22);
+  TwoBranchConfig cfg;
+  cfg.branch_a.input_dim = 2;
+  cfg.branch_a.hidden = {3};
+  cfg.branch_a.output_dim = 3;
+  cfg.branch_b.input_dim = 2;
+  cfg.branch_b.hidden = {3};
+  cfg.branch_b.output_dim = 3;
+  cfg.head_hidden = {4};
+  cfg.output_dim = 1;
+  Network net = make_two_branch_network(cfg, rng);
+  net.set_training(false);
+  const std::vector<double> x{0.5, -0.5, 0.25, 0.75};
+  const auto before = net.predict(x);
+  std::stringstream ss;
+  save_network(ss, net);
+  Rng load_rng(23);
+  Network loaded = load_network(ss, load_rng);
+  EXPECT_NEAR(before[0], loaded.predict(x)[0], 1e-12);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss("not-a-network 0");
+  Rng rng(24);
+  EXPECT_THROW(load_network(ss, rng), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace le::nn

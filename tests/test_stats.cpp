@@ -1,0 +1,246 @@
+// Unit and property tests for RNG streams, descriptive statistics,
+// autocorrelation/blocking analysis, metrics and histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "le/stats/autocorr.hpp"
+#include "le/stats/descriptive.hpp"
+#include "le/stats/histogram.hpp"
+#include "le/stats/metrics.hpp"
+#include "le/stats/rng.hpp"
+
+namespace le::stats {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, SplitIndependentOfParentDraws) {
+  Rng parent(42);
+  Rng child1 = parent.split(7);
+  (void)parent.uniform();  // consuming the parent must not change children
+  Rng child2 = Rng(42).split(7);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(child1.uniform(), child2.uniform());
+}
+
+TEST(Rng, SplitsDiffer) {
+  Rng parent(42);
+  Rng a = parent.split(1), b = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(3);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.normal(5.0, 2.0);
+  EXPECT_NEAR(mean(xs), 5.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(4);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(std::span<int>{v});
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Descriptive, MeanVarianceKnown) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, EmptyAndSingleton) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+  EXPECT_THROW(min(empty), std::invalid_argument);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  EXPECT_THROW(quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Descriptive, CorrelationSigns) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> up{2.0, 4.0, 6.0, 8.0};
+  std::vector<double> down{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(xs, down), -1.0, 1e-12);
+  std::vector<double> flat{1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(correlation(xs, flat), 0.0);
+}
+
+TEST(Descriptive, SummarizeBundle) {
+  std::vector<double> xs{1.0, 3.0, 5.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Autocorr, WhiteNoiseHasTauNearOne) {
+  Rng rng(5);
+  std::vector<double> xs(5000);
+  for (double& x : xs) x = rng.normal();
+  EXPECT_NEAR(integrated_autocorr_time(xs, 100), 1.0, 0.3);
+}
+
+TEST(Autocorr, Ar1HasKnownTau) {
+  // AR(1) with phi: tau = (1 + phi) / (1 - phi).
+  const double phi = 0.8;
+  Rng rng(6);
+  std::vector<double> xs(40000);
+  double x = 0.0;
+  for (double& v : xs) {
+    x = phi * x + rng.normal();
+    v = x;
+  }
+  const double tau = integrated_autocorr_time(xs, 400);
+  EXPECT_NEAR(tau, (1 + phi) / (1 - phi), 2.0);
+}
+
+TEST(Autocorr, ConstantSeries) {
+  std::vector<double> xs(100, 3.0);
+  const auto rho = autocorrelation(xs, 10);
+  EXPECT_DOUBLE_EQ(rho[0], 1.0);
+  EXPECT_DOUBLE_EQ(rho[5], 0.0);
+}
+
+TEST(Autocorr, BlockOnceHalves) {
+  std::vector<double> xs{1.0, 3.0, 5.0, 7.0, 9.0};
+  const auto blocked = block_once(xs);
+  ASSERT_EQ(blocked.size(), 2u);
+  EXPECT_DOUBLE_EQ(blocked[0], 2.0);
+  EXPECT_DOUBLE_EQ(blocked[1], 6.0);
+}
+
+TEST(Autocorr, BlockingDetectsCorrelation) {
+  // For correlated data the blocked SE must exceed the naive SE.
+  Rng rng(7);
+  std::vector<double> xs(16384);
+  double x = 0.0;
+  for (double& v : xs) {
+    x = 0.9 * x + rng.normal();
+    v = x;
+  }
+  const BlockingResult br = blocking_analysis(xs);
+  ASSERT_FALSE(br.se_per_level.empty());
+  EXPECT_GT(br.plateau_se, 2.0 * br.se_per_level.front());
+  EXPECT_LT(br.n_effective, static_cast<double>(xs.size()) / 2.0);
+}
+
+TEST(Metrics, KnownValues) {
+  std::vector<double> pred{1.0, 2.0, 3.0};
+  std::vector<double> act{1.0, 2.0, 5.0};
+  EXPECT_NEAR(rmse(pred, act), std::sqrt(4.0 / 3.0), 1e-12);
+  EXPECT_NEAR(mae(pred, act), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(max_error(pred, act), 2.0);
+}
+
+TEST(Metrics, PerfectPredictionR2IsOne) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r_squared(v, v), 1.0);
+}
+
+TEST(Metrics, MeanPredictorR2IsZero) {
+  std::vector<double> act{1.0, 2.0, 3.0};
+  std::vector<double> pred{2.0, 2.0, 2.0};
+  EXPECT_NEAR(r_squared(pred, act), 0.0, 1e-12);
+}
+
+TEST(Metrics, MapeSkipsZeroTargets) {
+  std::vector<double> pred{1.1, 5.0};
+  std::vector<double> act{1.0, 0.0};
+  EXPECT_NEAR(mape(pred, act), 10.0, 1e-9);
+}
+
+TEST(Metrics, EmptyThrows) {
+  std::vector<double> empty;
+  EXPECT_THROW(rmse(empty, empty), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndDensity) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 10.0);
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_DOUBLE_EQ(h.count(b), 1.0);
+  const auto d = h.density();
+  double integral = 0.0;
+  for (double v : d) integral += v * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, OverflowUnderflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.5);
+  h.add(1.5);
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 1.0);
+}
+
+TEST(Histogram, MergeRequiresSameBinning) {
+  Histogram a(0.0, 1.0, 4), b(0.0, 1.0, 4), c(0.0, 2.0, 4);
+  a.add(0.1);
+  b.add(0.9);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 2.0);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 0.75);
+  EXPECT_THROW(h.bin_center(2), std::out_of_range);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace le::stats

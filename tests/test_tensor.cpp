@@ -1,0 +1,170 @@
+// Unit and property tests for the dense linear-algebra substrate.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "le/tensor/matrix.hpp"
+#include "le/tensor/ops.hpp"
+
+namespace le::tensor {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructsWithFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, RowSpanAliasesStorage) {
+  Matrix m(2, 2, 0.0);
+  m.row(1)[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST(Matrix, ReshapePreservesCount) {
+  Matrix m(2, 6, 1.0);
+  m.reshape(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_THROW(m.reshape(5, 5), std::invalid_argument);
+}
+
+TEST(Matrix, TransposedRoundTrip) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Matrix, IdentityDiagonal) {
+  Matrix i = identity(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Gemm, KnownProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(matmul(a, identity(3)), a);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3), out(2, 3);
+  EXPECT_THROW(gemm_naive(a, b, out), std::invalid_argument);
+}
+
+TEST(Gemm, ZeroBlockSizeThrows) {
+  Matrix a(4, 4), b(4, 4), out(4, 4);
+  EXPECT_THROW(gemm_blocked(a, b, out, {0, 4, 4}), std::invalid_argument);
+}
+
+/// Property: blocked GEMM agrees with the naive kernel for any blocking.
+class GemmBlockingProperty : public ::testing::TestWithParam<GemmBlocking> {};
+
+TEST_P(GemmBlockingProperty, MatchesNaive) {
+  std::mt19937 gen(99);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix a(37, 23), b(23, 41);
+  for (double& v : a.flat()) v = dist(gen);
+  for (double& v : b.flat()) v = dist(gen);
+  Matrix expected(37, 41), actual(37, 41);
+  gemm_naive(a, b, expected);
+  gemm_blocked(a, b, actual, GetParam());
+  EXPECT_LT(max_abs_diff(expected, actual), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Blockings, GemmBlockingProperty,
+    ::testing::Values(GemmBlocking{1, 1, 1}, GemmBlocking{4, 8, 16},
+                      GemmBlocking{64, 64, 64}, GemmBlocking{128, 3, 7},
+                      GemmBlocking{1000, 1000, 1000}));
+
+TEST(MatVec, MatchesGemm) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  std::vector<double> x{1.0, -1.0};
+  std::vector<double> y(3, 0.0);
+  matvec(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+}
+
+TEST(MatVec, TransposedMatchesExplicitTranspose) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  std::vector<double> x{1.0, 0.5, -1.0};
+  std::vector<double> got(2, 0.0), expected(2, 0.0);
+  matvec_transposed(a, x, got);
+  matvec(a.transposed(), x, expected);
+  EXPECT_DOUBLE_EQ(got[0], expected[0]);
+  EXPECT_DOUBLE_EQ(got[1], expected[1]);
+}
+
+TEST(VectorOps, AxpyDotNorm) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{1.0, 1.0, 1.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+  EXPECT_DOUBLE_EQ(dot(x, x), 14.0);
+  EXPECT_DOUBLE_EQ(norm2(std::vector<double>{3.0, 4.0}), 5.0);
+}
+
+TEST(VectorOps, LengthMismatchThrows) {
+  std::vector<double> x{1.0}, y{1.0, 2.0};
+  EXPECT_THROW(dot(x, y), std::invalid_argument);
+  EXPECT_THROW(axpy(1.0, x, y), std::invalid_argument);
+}
+
+TEST(ElementWise, AddSubHadamard) {
+  Matrix a{{1.0, 2.0}}, b{{3.0, 4.0}}, c(1, 2);
+  add(a, b, c);
+  EXPECT_DOUBLE_EQ(c(0, 1), 6.0);
+  sub(a, b, c);
+  EXPECT_DOUBLE_EQ(c(0, 0), -2.0);
+  hadamard(a, b, c);
+  EXPECT_DOUBLE_EQ(c(0, 1), 8.0);
+}
+
+TEST(ElementWise, FrobeniusAndMaxDiff) {
+  Matrix a{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(frobenius_norm(a), 5.0);
+  Matrix b{{3.0, 0.5}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+}
+
+}  // namespace
+}  // namespace le::tensor

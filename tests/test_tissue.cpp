@@ -1,0 +1,238 @@
+// Tests for the virtual-tissue substrate: grids, the reaction-diffusion
+// solver, the cell model and the diffusion short-circuit surrogate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "le/tissue/cell_model.hpp"
+#include "le/tissue/diffusion.hpp"
+#include "le/tissue/grid.hpp"
+#include "le/tissue/surrogate.hpp"
+
+namespace le::tissue {
+namespace {
+
+using le::stats::Rng;
+
+TEST(Grid2D, AccessAndFill) {
+  Grid2D g(4, 3, 1.0);
+  EXPECT_EQ(g.nx(), 4u);
+  EXPECT_EQ(g.ny(), 3u);
+  EXPECT_DOUBLE_EQ(g.sum(), 12.0);
+  g.at(2, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(g.max_value(), 5.0);
+  g.fill(0.0);
+  EXPECT_DOUBLE_EQ(g.sum(), 0.0);
+}
+
+TEST(Grid2D, DownsamplePreservesMean) {
+  Grid2D g(8, 8);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      g.at(x, y) = static_cast<double>(x + y);
+    }
+  }
+  const Grid2D d = g.downsample(4, 4);
+  EXPECT_EQ(d.nx(), 4u);
+  EXPECT_NEAR(d.sum() / 16.0, g.sum() / 64.0, 1e-12);
+}
+
+TEST(Grid2D, DownsampleValidatesDivisibility) {
+  Grid2D g(8, 8);
+  EXPECT_THROW(g.downsample(3, 3), std::invalid_argument);
+  EXPECT_THROW(g.downsample(0, 4), std::invalid_argument);
+}
+
+TEST(Grid2D, UpsampleConstantStaysConstant) {
+  Grid2D g(4, 4, 2.5);
+  const Grid2D u = g.upsample(16, 16);
+  for (double v : u.flat()) EXPECT_NEAR(v, 2.5, 1e-12);
+}
+
+TEST(Grid2D, UpsampleInterpolatesMonotonically) {
+  Grid2D g(2, 1);
+  g.at(0, 0) = 0.0;
+  g.at(1, 0) = 1.0;
+  const Grid2D u = g.upsample(8, 1);
+  for (std::size_t x = 1; x < 8; ++x) {
+    EXPECT_GE(u.at(x, 0), u.at(x - 1, 0));
+  }
+}
+
+DiffusionParams fast_diffusion() {
+  DiffusionParams p;
+  p.diffusivity = 1.0;
+  p.uptake_rate = 0.5;
+  p.decay_rate = 0.02;
+  p.tolerance = 1e-5;
+  p.max_sweeps = 20000;
+  return p;
+}
+
+TEST(Diffusion, SteadyStateConvergesAndIsNonNegative) {
+  const DiffusionSolver solver(fast_diffusion());
+  const std::size_t n = 16;
+  const Grid2D sources = make_vessel_sources(n, n, 1.0);
+  Grid2D cells(n, n, 0.0);
+  cells.at(8, 8) = 1.0;
+  const SteadyStateResult r = solver.steady_state(Grid2D(n, n, 0.0), sources, cells);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.sweeps, 10u);
+  for (double v : r.field.flat()) EXPECT_GE(v, 0.0);
+  EXPECT_GT(r.field.sum(), 0.0);
+}
+
+TEST(Diffusion, SteadyStateIsFixedPoint) {
+  const DiffusionSolver solver(fast_diffusion());
+  const std::size_t n = 12;
+  const Grid2D sources = make_vessel_sources(n, n, 0.5);
+  const Grid2D cells(n, n, 0.1);
+  SteadyStateResult r = solver.steady_state(Grid2D(n, n, 0.0), sources, cells);
+  Grid2D copy = r.field;
+  const double change = solver.sweep(copy, sources, cells);
+  EXPECT_LT(change, 10 * fast_diffusion().tolerance);
+}
+
+TEST(Diffusion, CellsDepressLocalConcentration) {
+  const DiffusionSolver solver(fast_diffusion());
+  const std::size_t n = 16;
+  const Grid2D sources = make_vessel_sources(n, n, 1.0);
+  const Grid2D no_cells(n, n, 0.0);
+  Grid2D dense_cells(n, n, 0.0);
+  for (std::size_t y = 6; y < 10; ++y) {
+    for (std::size_t x = 6; x < 10; ++x) dense_cells.at(x, y) = 1.0;
+  }
+  const auto empty = solver.steady_state(Grid2D(n, n, 0.0), sources, no_cells);
+  const auto crowded = solver.steady_state(Grid2D(n, n, 0.0), sources, dense_cells);
+  EXPECT_LT(crowded.field.at(8, 8), empty.field.at(8, 8));
+}
+
+TEST(Diffusion, FieldHigherNearVessels) {
+  const DiffusionSolver solver(fast_diffusion());
+  const std::size_t n = 16;
+  const Grid2D sources = make_vessel_sources(n, n, 1.0);
+  const Grid2D cells(n, n, 0.2);
+  const auto r = solver.steady_state(Grid2D(n, n, 0.0), sources, cells);
+  EXPECT_GT(r.field.at(2, 8), r.field.at(8, 8));  // vessel column at nx/8 = 2
+}
+
+TEST(Diffusion, RejectsBadParams) {
+  DiffusionParams p;
+  p.diffusivity = 0.0;
+  EXPECT_THROW((void)DiffusionSolver(p), std::invalid_argument);
+  DiffusionParams q;
+  q.dx = -1.0;
+  EXPECT_THROW((void)DiffusionSolver(q), std::invalid_argument);
+}
+
+TissueParams small_tissue() {
+  TissueParams p;
+  p.nx = 16;
+  p.ny = 16;
+  p.diffusion = fast_diffusion();
+  p.diffusion.tolerance = 1e-4;
+  p.steps = 8;
+  p.seed = 91;
+  return p;
+}
+
+TEST(Tissue, ColonyGrowsWithNutrient) {
+  TissueParams params = small_tissue();
+  TissueSimulation sim(params, make_vessel_sources(params.nx, params.ny, 1.5));
+  Rng rng(92);
+  sim.seed_colony(5, rng);
+  const TissueResult result = sim.run(sim.explicit_solver_provider());
+  ASSERT_EQ(result.trajectory.size(), params.steps);
+  EXPECT_GE(result.trajectory.back().live_cells,
+            result.trajectory.front().live_cells);
+  EXPECT_GT(result.field_seconds, 0.0);
+  EXPECT_GT(result.trajectory.front().diffusion_sweeps, 0u);
+}
+
+TEST(Tissue, StarvationKillsWithoutSources) {
+  TissueParams params = small_tissue();
+  params.steps = 12;
+  TissueSimulation sim(params, Grid2D(params.nx, params.ny, 0.0));  // no nutrient
+  Rng rng(93);
+  sim.seed_colony(10, rng);
+  const TissueResult result = sim.run(sim.explicit_solver_provider());
+  EXPECT_EQ(result.trajectory.back().live_cells, 0u);
+}
+
+TEST(Tissue, SourceShapeMismatchThrows) {
+  TissueParams params = small_tissue();
+  EXPECT_THROW(TissueSimulation(params, Grid2D(4, 4, 0.0)), std::invalid_argument);
+}
+
+TEST(Surrogate, TrainsAndPredictsFields) {
+  DiffusionParams dp = fast_diffusion();
+  dp.tolerance = 1e-4;
+  const DiffusionSolver solver(dp);
+  const std::size_t n = 16;
+  const Grid2D sources = make_vessel_sources(n, n, 1.0);
+  SurrogateTrainingConfig cfg;
+  cfg.coarse = 8;
+  cfg.training_configs = 40;
+  cfg.hidden = {64};
+  cfg.train.epochs = 80;
+  cfg.train.batch_size = 8;
+  SurrogateTrainingResult result = train_diffusion_surrogate(solver, sources, cfg);
+  EXPECT_GT(result.training_samples, 20u);
+  EXPECT_GT(result.mean_solver_sweeps, 10.0);
+  EXPECT_TRUE(std::isfinite(result.test_rmse));
+
+  // Prediction has the full resolution and plausible magnitude.
+  Grid2D cells(n, n, 0.0);
+  for (std::size_t y = 6; y < 10; ++y) {
+    for (std::size_t x = 6; x < 10; ++x) cells.at(x, y) = 1.0;
+  }
+  Grid2D pred = result.surrogate.predict(cells);
+  EXPECT_EQ(pred.nx(), n);
+  EXPECT_EQ(pred.ny(), n);
+  for (double v : pred.flat()) EXPECT_GE(v, 0.0);
+
+  // Accuracy against the explicit solution: better than the all-zero field.
+  const auto truth = solver.steady_state(Grid2D(n, n, 0.0), sources, cells);
+  double err = 0.0, base = 0.0;
+  for (std::size_t i = 0; i < pred.flat().size(); ++i) {
+    const double t = truth.field.flat()[i];
+    err += (pred.flat()[i] - t) * (pred.flat()[i] - t);
+    base += t * t;
+  }
+  EXPECT_LT(err, base);
+}
+
+TEST(Surrogate, ProviderPluggableIntoTissueRun) {
+  DiffusionParams dp = fast_diffusion();
+  dp.tolerance = 1e-4;
+  const DiffusionSolver solver(dp);
+  TissueParams params = small_tissue();
+  params.steps = 4;
+  const Grid2D sources = make_vessel_sources(params.nx, params.ny, 1.0);
+  SurrogateTrainingConfig cfg;
+  cfg.coarse = 8;
+  cfg.training_configs = 20;
+  cfg.hidden = {48};
+  cfg.train.epochs = 40;
+  SurrogateTrainingResult trained = train_diffusion_surrogate(solver, sources, cfg);
+
+  TissueSimulation sim(params, sources);
+  Rng rng(94);
+  sim.seed_colony(5, rng);
+  const TissueResult result = sim.run(trained.surrogate.provider());
+  ASSERT_EQ(result.trajectory.size(), params.steps);
+  // Surrogate reports zero sweeps (nothing was solved).
+  EXPECT_EQ(result.trajectory.front().diffusion_sweeps, 0u);
+}
+
+TEST(Surrogate, ValidatesCoarseDivisibility) {
+  const DiffusionSolver solver(fast_diffusion());
+  const Grid2D sources = make_vessel_sources(10, 10, 1.0);
+  SurrogateTrainingConfig cfg;
+  cfg.coarse = 4;  // does not divide 10
+  EXPECT_THROW(train_diffusion_surrogate(solver, sources, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace le::tissue

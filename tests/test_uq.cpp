@@ -1,0 +1,233 @@
+// Tests for MC-dropout, deep ensembles, calibration and acquisition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "le/nn/loss.hpp"
+#include "le/nn/optimizer.hpp"
+#include "le/uq/acquisition.hpp"
+#include "le/uq/calibration.hpp"
+#include "le/uq/deep_ensemble.hpp"
+#include "le/uq/mc_dropout.hpp"
+
+namespace le::uq {
+namespace {
+
+using le::data::Dataset;
+using le::stats::Rng;
+
+nn::Network make_dropout_net(Rng& rng, std::size_t in = 1, std::size_t out = 1) {
+  nn::MlpConfig cfg;
+  cfg.input_dim = in;
+  cfg.hidden = {16, 16};
+  cfg.output_dim = out;
+  cfg.activation = nn::Activation::kTanh;
+  cfg.dropout_rate = 0.15;
+  return nn::make_mlp(cfg, rng);
+}
+
+Dataset make_sine_data(std::size_t n, double lo, double hi, Rng& rng) {
+  Dataset ds(1, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x[1] = {rng.uniform(lo, hi)};
+    const double y[1] = {std::sin(3.0 * x[0])};
+    ds.add(std::span<const double>{x, 1}, std::span<const double>{y, 1});
+  }
+  return ds;
+}
+
+TEST(McDropout, RejectsNetWithoutDropout) {
+  Rng rng(1);
+  nn::MlpConfig cfg;
+  cfg.input_dim = 1;
+  cfg.hidden = {4};
+  cfg.output_dim = 1;
+  nn::Network net = nn::make_mlp(cfg, rng);
+  EXPECT_THROW(McDropoutEnsemble(std::move(net), 8), std::invalid_argument);
+}
+
+TEST(McDropout, RejectsTooFewPasses) {
+  Rng rng(2);
+  nn::Network net = make_dropout_net(rng);
+  EXPECT_THROW(McDropoutEnsemble(std::move(net), 1), std::invalid_argument);
+}
+
+TEST(McDropout, ReportsNonZeroSpread) {
+  Rng rng(3);
+  McDropoutEnsemble ens(make_dropout_net(rng), 16);
+  const Prediction p = ens.predict(std::vector<double>{0.5});
+  ASSERT_EQ(p.mean.size(), 1u);
+  ASSERT_EQ(p.stddev.size(), 1u);
+  EXPECT_GT(p.stddev[0], 0.0);
+}
+
+TEST(McDropout, MeanOnlyIsDeterministic) {
+  Rng rng(4);
+  McDropoutEnsemble ens(make_dropout_net(rng), 8);
+  const auto a = ens.predict_mean_only(std::vector<double>{0.2});
+  const auto b = ens.predict_mean_only(std::vector<double>{0.2});
+  EXPECT_DOUBLE_EQ(a[0], b[0]);
+}
+
+TEST(McDropout, UncertaintyHigherOutsideTrainingRange) {
+  // Train on x in [-1, 1]; probe far outside; extrapolation spread should
+  // exceed interpolation spread on average.
+  Rng rng(5);
+  Dataset ds = make_sine_data(300, -1.0, 1.0, rng);
+  nn::Network net = make_dropout_net(rng);
+  nn::AdamOptimizer opt(1e-2);
+  const nn::MseLoss loss;
+  nn::TrainConfig tc;
+  tc.epochs = 120;
+  tc.batch_size = 32;
+  nn::fit(net, ds, loss, opt, tc, rng);
+  McDropoutEnsemble ens(std::move(net), 48);
+
+  double inside = 0.0, outside = 0.0;
+  for (double x : {-0.8, -0.4, 0.0, 0.4, 0.8}) {
+    inside += ens.predict(std::vector<double>{x}).stddev[0];
+  }
+  for (double x : {3.0, 4.0, 5.0, -3.0, -4.0}) {
+    outside += ens.predict(std::vector<double>{x}).stddev[0];
+  }
+  EXPECT_GT(outside, inside);
+}
+
+TEST(DeepEnsemble, RequiresTwoMembers) {
+  Rng rng(6);
+  std::vector<nn::Network> members;
+  members.push_back(make_dropout_net(rng));
+  EXPECT_THROW(DeepEnsemble(std::move(members)), std::invalid_argument);
+}
+
+TEST(DeepEnsemble, DisagreementYieldsSpread) {
+  Rng rng(7);
+  std::vector<nn::Network> members;
+  for (int i = 0; i < 4; ++i) {
+    Rng member_rng = rng.split(i);
+    members.push_back(make_dropout_net(member_rng));
+  }
+  DeepEnsemble ens(std::move(members));
+  const Prediction p = ens.predict(std::vector<double>{0.3});
+  EXPECT_GT(p.stddev[0], 0.0);  // untrained nets disagree
+  EXPECT_EQ(ens.member_count(), 4u);
+}
+
+TEST(DeepEnsemble, TrainedEnsembleAgreesOnTrainingData) {
+  Rng rng(8);
+  Dataset ds = make_sine_data(200, -1.0, 1.0, rng);
+  nn::MlpConfig cfg;
+  cfg.input_dim = 1;
+  cfg.hidden = {16};
+  cfg.output_dim = 1;
+  cfg.activation = nn::Activation::kTanh;
+  nn::TrainConfig tc;
+  tc.epochs = 100;
+  tc.batch_size = 32;
+  DeepEnsemble ens = train_deep_ensemble(cfg, 3, ds, tc, rng);
+  const Prediction p = ens.predict(std::vector<double>{0.5});
+  EXPECT_NEAR(p.mean[0], std::sin(1.5), 0.15);
+  EXPECT_LT(p.stddev[0], 0.15);  // members agree where data was dense
+}
+
+TEST(Acquisition, ScoreIsMaxOverOutputs) {
+  Prediction p;
+  p.mean = {0.0, 0.0};
+  p.stddev = {0.2, 0.7};
+  EXPECT_DOUBLE_EQ(uncertainty_score(p), 0.7);
+}
+
+TEST(Acquisition, SelectsMostUncertain) {
+  // A fake UQ model whose spread equals |x| lets us verify the ranking.
+  class FakeModel final : public UqModel {
+   public:
+    Prediction predict(std::span<const double> input) override {
+      Prediction p;
+      p.mean = {0.0};
+      p.stddev = {std::abs(input[0])};
+      return p;
+    }
+    std::size_t input_dim() const override { return 1; }
+    std::size_t output_dim() const override { return 1; }
+  };
+  FakeModel model;
+  const std::vector<std::vector<double>> candidates{{0.1}, {-0.9}, {0.5}, {0.2}};
+  const auto picks = select_most_uncertain(model, candidates, 2);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0], 1u);
+  EXPECT_EQ(picks[1], 2u);
+
+  const UncertaintySurvey survey = survey_uncertainty(model, candidates);
+  EXPECT_NEAR(survey.mean_score, (0.1 + 0.9 + 0.5 + 0.2) / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(survey.max_score, 0.9);
+  EXPECT_TRUE(uncertainty_converged(model, candidates, 1.0));
+  EXPECT_FALSE(uncertainty_converged(model, candidates, 0.1));
+}
+
+TEST(Calibration, WellCalibratedFakeModel) {
+  // Model predicts mean 0 sigma 1; targets drawn from N(0,1) must show
+  // ~68% 1-sigma coverage.
+  class UnitModel final : public UqModel {
+   public:
+    Prediction predict(std::span<const double>) override {
+      return {{0.0}, {1.0}};
+    }
+    std::size_t input_dim() const override { return 1; }
+    std::size_t output_dim() const override { return 1; }
+  };
+  UnitModel model;
+  Rng rng(9);
+  Dataset ds(1, 1);
+  for (int i = 0; i < 3000; ++i) {
+    const double x[1] = {0.0};
+    const double y[1] = {rng.normal()};
+    ds.add(std::span<const double>{x, 1}, std::span<const double>{y, 1});
+  }
+  const CalibrationReport report = calibrate(model, ds);
+  EXPECT_NEAR(report.coverage_1sigma, 0.683, 0.03);
+  EXPECT_NEAR(report.coverage_2sigma, 0.954, 0.02);
+  EXPECT_NEAR(report.z_mean, 0.0, 0.05);
+  EXPECT_NEAR(report.z_stddev, 1.0, 0.05);
+}
+
+TEST(Calibration, OverconfidentModelDetected) {
+  // Sigma ten times too small -> z spread ~10, tiny coverage.
+  class Overconfident final : public UqModel {
+   public:
+    Prediction predict(std::span<const double>) override {
+      return {{0.0}, {0.1}};
+    }
+    std::size_t input_dim() const override { return 1; }
+    std::size_t output_dim() const override { return 1; }
+  };
+  Overconfident model;
+  Rng rng(10);
+  Dataset ds(1, 1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x[1] = {0.0};
+    const double y[1] = {rng.normal()};
+    ds.add(std::span<const double>{x, 1}, std::span<const double>{y, 1});
+  }
+  const CalibrationReport report = calibrate(model, ds);
+  EXPECT_LT(report.coverage_1sigma, 0.2);
+  EXPECT_GT(report.z_stddev, 5.0);
+}
+
+TEST(Calibration, ShapeMismatchThrows) {
+  class UnitModel final : public UqModel {
+   public:
+    Prediction predict(std::span<const double>) override {
+      return {{0.0}, {1.0}};
+    }
+    std::size_t input_dim() const override { return 2; }
+    std::size_t output_dim() const override { return 1; }
+  };
+  UnitModel model;
+  Dataset ds(1, 1);
+  const double x[1] = {0.0}, y[1] = {0.0};
+  ds.add(std::span<const double>{x, 1}, std::span<const double>{y, 1});
+  EXPECT_THROW(calibrate(model, ds), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace le::uq
