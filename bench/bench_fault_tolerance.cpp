@@ -1,0 +1,207 @@
+// E10 — Effective speedup under injected faults (robustness harness).
+//
+// Sweeps the injected fault rate from 0 to 20% over an MLaroundHPC query
+// campaign and compares:
+//
+//   naive path:     the unwrapped simulation called directly — the first
+//                   injected exception aborts the whole campaign;
+//   resilient path: SurrogateDispatcher over a trained MC-dropout
+//                   surrogate, fallback runs guarded by ResilientSimulation
+//                   (retry + validation) and the surrogate path by a
+//                   CircuitBreaker.
+//
+// The effective-speedup equation of Section III-D is then priced with the
+// *measured* fault overhead: FaultStats::attempts_per_call() inflates
+// T_train, so S degrades smoothly with the fault rate instead of the
+// campaign dying.  The claim to verify: the resilient surrogate path stays
+// within 2x of its fault-free effective speedup across the sweep while the
+// naive path cannot finish at any nonzero rate.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+
+#include "le/core/adaptive_loop.hpp"
+#include "le/core/effective_speedup.hpp"
+#include "le/core/resilient.hpp"
+#include "le/core/surrogate.hpp"
+#include "le/runtime/fault.hpp"
+#include "report.hpp"
+
+namespace {
+
+using namespace le;
+
+/// Spin work making the "simulation" measurably expensive (~2 ms), so
+/// surrogate lookups enjoy a real cost asymmetry.
+void spin(std::size_t units) {
+  volatile std::uint64_t sink = 0;
+  std::uint64_t x = 0x2545F4914F6CDD1DULL;
+  for (std::size_t i = 0; i < units; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    sink = sink + x;
+  }
+}
+
+std::vector<double> expensive_sim(std::span<const double> x) {
+  spin(1000000);
+  return {std::sin(2.0 * x[0]), std::cos(1.5 * x[0])};
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_heading("E10",
+                       "Effective speedup vs injected fault rate (0-20%)");
+
+  // ---- Measure the clean simulation cost first ------------------------
+  const std::size_t probes = 50;
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < probes; ++i) {
+    (void)expensive_sim(std::vector<double>{0.01 * static_cast<double>(i)});
+  }
+  const double t_sim = seconds_since(t0) / static_cast<double>(probes);
+
+  // ---- Train one clean surrogate (shared across the sweep) -------------
+  const data::ParamSpace space({{"x", -1.0, 1.0, false}});
+  core::AdaptiveLoopConfig loop_cfg;
+  loop_cfg.initial_samples = 48;
+  loop_cfg.samples_per_round = 16;
+  loop_cfg.max_rounds = 4;
+  loop_cfg.uncertainty_threshold = 0.05;
+  loop_cfg.candidate_pool = 120;
+  loop_cfg.hidden = {24, 24};
+  loop_cfg.mc_passes = 12;
+  loop_cfg.train.epochs = 150;
+  loop_cfg.train.batch_size = 16;
+  const auto t_learn_start = std::chrono::steady_clock::now();
+  const core::AdaptiveLoopResult trained =
+      core::run_adaptive_loop(space, expensive_sim, 2, loop_cfg);
+  const double loop_wall = seconds_since(t_learn_start);
+  const std::size_t n_train = trained.simulations_run;
+  // T_learn is the *learning* cost per sample: loop wall time minus what
+  // the simulations themselves consumed.
+  const double learn_wall =
+      std::max(0.0, loop_wall - static_cast<double>(n_train) * t_sim);
+  std::printf("\nSurrogate trained on %zu clean runs (%.2f s, %.2f s of it "
+              "learning).\n",
+              n_train, loop_wall, learn_wall);
+
+  // ---- Measure the clean lookup time -----------------------------------
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < probes; ++i) {
+    (void)trained.surrogate->predict(std::vector<double>{0.0});
+  }
+  const double t_lookup_probe = seconds_since(t0) / static_cast<double>(probes);
+  std::printf("T_sim = %.3e s, T_lookup = %.3e s (ratio %.0fx)\n", t_sim,
+              t_lookup_probe, t_sim / t_lookup_probe);
+
+  const std::size_t n_queries = 1500;
+
+  bench::print_subheading("Fault-rate sweep");
+  bench::Table table({"fault%", "naive", "answered", "skipped", "surr_frac",
+                      "attempts/call", "S_eff", "vs fault-free"});
+  table.header();
+
+  double fault_free_speedup = 0.0;
+  bool within_2x_everywhere = true;
+
+  for (int rate_percent : {0, 5, 10, 15, 20}) {
+    const double rate = rate_percent / 100.0;
+    runtime::FaultSpec spec;
+    spec.throw_probability = rate * 2.0 / 3.0;  // crashes
+    spec.nan_probability = rate / 3.0;          // diverged solvers
+    spec.seed = 1000 + static_cast<std::uint64_t>(rate_percent);
+
+    // Naive baseline: the unwrapped simulation dies on the first injected
+    // exception — count how far it gets.
+    runtime::FaultInjector naive_injector(spec);
+    auto naive_sim = naive_injector.wrap(expensive_sim);
+    std::size_t naive_completed = 0;
+    stats::Rng naive_rng(7);
+    try {
+      for (std::size_t i = 0; i < n_queries; ++i) {
+        (void)naive_sim(std::vector<double>{naive_rng.uniform(-1.0, 1.0)});
+        ++naive_completed;
+      }
+    } catch (const runtime::InjectedFault&) {
+      // campaign aborted
+    }
+    const std::string naive_cell =
+        naive_completed == n_queries
+            ? "completes"
+            : "aborts@" + bench::fmt_int(naive_completed);
+
+    // Resilient path: dispatcher + retry/validation + breaker.
+    runtime::FaultInjector injector(spec);
+    core::RetryPolicy retry;
+    retry.max_attempts = 4;
+    retry.initial_backoff_seconds = 0.0;  // pure-throughput measurement
+    core::ValidationSpec validation;
+    validation.expected_dim = 2;
+    core::ResilientSimulation resilient(injector.wrap(expensive_sim), retry,
+                                        validation);
+    // Threshold near the converged mean uncertainty: most queries are
+    // surrogate-served but the uncertain tail exercises the fallback path.
+    core::SurrogateDispatcher dispatcher(trained.surrogate,
+                                         resilient.as_simulation_fn(), 0.20);
+    core::CircuitBreakerConfig breaker;
+    breaker.failure_threshold = 8;
+    dispatcher.enable_circuit_breaker(breaker);
+
+    std::size_t answered = 0, skipped = 0;
+    stats::Rng rng(7);
+    const auto sweep_start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n_queries; ++i) {
+      try {
+        (void)dispatcher.query(std::vector<double>{rng.uniform(-1.0, 1.0)});
+        ++answered;
+      } catch (const core::SimulationFailed&) {
+        ++skipped;  // permanently failed fallback: skip, don't abort
+      }
+    }
+    const double wall = seconds_since(sweep_start);
+    const core::FaultStats fstats = resilient.stats();
+    const core::DispatcherStats& dstats = dispatcher.stats();
+
+    // Price the Section III-D equation with measured, fault-inflated
+    // times: every training/fallback sample costs attempts_per_call real
+    // attempts, and lookups cost what the dispatcher measured.
+    core::SpeedupTimes times;
+    times.t_seq = t_sim;
+    times.t_train =
+        t_sim * (fstats.calls > 0 ? fstats.attempts_per_call() : 1.0);
+    times.t_learn = learn_wall / static_cast<double>(n_train);
+    times.t_lookup =
+        dstats.surrogate_answers > 0
+            ? dstats.surrogate_seconds /
+                  static_cast<double>(dstats.surrogate_answers)
+            : t_lookup_probe;
+    const double s_eff =
+        core::effective_speedup(times, n_queries, n_train);
+    if (rate_percent == 0) fault_free_speedup = s_eff;
+    const double vs_clean =
+        fault_free_speedup > 0.0 ? s_eff / fault_free_speedup : 1.0;
+    if (vs_clean < 0.5) within_2x_everywhere = false;
+
+    table.row({bench::fmt_int(static_cast<std::size_t>(rate_percent)),
+               naive_cell, bench::fmt_int(answered), bench::fmt_int(skipped),
+               bench::fmt(dstats.surrogate_fraction()),
+               bench::fmt(fstats.calls > 0 ? fstats.attempts_per_call() : 1.0),
+               bench::fmt(s_eff), bench::fmt(vs_clean)});
+    (void)wall;
+  }
+
+  std::printf("\nClaim %s: the resilient surrogate path kept effective\n"
+              "speedup within 2x of the fault-free run across the sweep,\n"
+              "while the naive path aborts at every nonzero fault rate.\n",
+              within_2x_everywhere ? "VERIFIED" : "NOT met");
+  return within_2x_everywhere ? 0 : 1;
+}

@@ -1,0 +1,136 @@
+// Resilient campaign: keep an MLaroundHPC service answering when the
+// simulation is flaky and the surrogate can degrade.
+//
+// The recipe (robustness layer over Sections II-C1 and III-B):
+//   1. take an unreliable simulation — here a fast analytic solver put
+//      behind a FaultInjector that crashes 10% of runs and corrupts 5%
+//      with NaNs, which is what coupled ML+HPC campaigns actually see;
+//   2. train through it anyway: run_adaptive_loop retries transient
+//      failures (RetryPolicy), validates every output, and skips the rare
+//      state point that fails permanently instead of aborting;
+//   3. serve queries through a SurrogateDispatcher whose fallback path is
+//      a ResilientSimulation and whose surrogate path is guarded by a
+//      CircuitBreaker: when the surrogate starts emitting garbage the
+//      dispatcher degrades to simulation-only mode, then probes its way
+//      back once the surrogate behaves again.
+#include <cmath>
+#include <cstdio>
+
+#include "le/core/adaptive_loop.hpp"
+#include "le/core/resilient.hpp"
+#include "le/core/surrogate.hpp"
+#include "le/runtime/fault.hpp"
+
+using namespace le;
+
+namespace {
+
+std::vector<double> true_solver(std::span<const double> x) {
+  return {std::sin(3.0 * x[0]) + 0.5 * x[0]};
+}
+
+/// A UQ model adapter that lets us poison the surrogate mid-flight to
+/// demonstrate the breaker (a real deployment would hit this when a bad
+/// retrain or corrupted weights ship).
+class FlakySurrogate final : public uq::UqModel {
+ public:
+  explicit FlakySurrogate(std::shared_ptr<uq::UqModel> inner)
+      : inner_(std::move(inner)) {}
+  uq::Prediction predict(std::span<const double> input) override {
+    uq::Prediction p = inner_->predict(input);
+    if (poisoned) p.mean.assign(p.mean.size(), std::nan(""));
+    return p;
+  }
+  std::size_t input_dim() const override { return inner_->input_dim(); }
+  std::size_t output_dim() const override { return inner_->output_dim(); }
+
+  bool poisoned = false;
+
+ private:
+  std::shared_ptr<uq::UqModel> inner_;
+};
+
+}  // namespace
+
+int main() {
+  // ---- 1. An unreliable simulation ------------------------------------
+  runtime::FaultSpec faults;
+  faults.throw_probability = 0.10;
+  faults.nan_probability = 0.05;
+  faults.seed = 2025;
+  runtime::FaultInjector injector(faults);
+  const core::SimulationFn flaky_sim = injector.wrap(true_solver);
+  const data::ParamSpace space({{"x", -1.0, 1.0, false}});
+
+  // ---- 2. Train through the faults ------------------------------------
+  core::AdaptiveLoopConfig loop;
+  loop.initial_samples = 48;
+  loop.samples_per_round = 16;
+  loop.max_rounds = 4;
+  loop.uncertainty_threshold = 0.06;
+  loop.train.epochs = 200;
+  loop.train.batch_size = 16;
+  loop.retry.max_attempts = 4;           // retry crashed/corrupted runs
+  loop.retry.initial_backoff_seconds = 1e-4;
+  std::printf("Training through a 10%% crash + 5%% NaN simulation...\n");
+  core::AdaptiveLoopResult trained =
+      core::run_adaptive_loop(space, flaky_sim, 1, loop);
+  const auto& fs = trained.fault_stats;
+  std::printf("  corpus %zu, skipped %zu points, %zu attempts for %zu runs "
+              "(%.2f attempts/call, %zu outputs rejected)\n",
+              trained.simulations_run, trained.simulations_failed, fs.attempts,
+              fs.calls, fs.attempts_per_call(), fs.rejections);
+
+  // ---- 3. Serve with retry below and a breaker above ------------------
+  auto surrogate = std::make_shared<FlakySurrogate>(trained.surrogate);
+  core::RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff_seconds = 1e-4;
+  core::ValidationSpec validation;
+  validation.expected_dim = 1;
+  core::ResilientSimulation fallback(flaky_sim, retry, validation);
+  core::SurrogateDispatcher dispatcher(surrogate, fallback.as_simulation_fn(),
+                                       /*threshold=*/0.10);
+  core::CircuitBreakerConfig breaker;
+  breaker.failure_threshold = 5;
+  breaker.cooldown_calls = 50;
+  dispatcher.enable_circuit_breaker(breaker);
+
+  stats::Rng rng(3);
+  const auto serve = [&](const char* phase, int queries) {
+    std::size_t skipped = 0;
+    for (int q = 0; q < queries; ++q) {
+      try {
+        (void)dispatcher.query(std::vector<double>{rng.uniform(-1.0, 1.0)});
+      } catch (const core::SimulationFailed&) {
+        ++skipped;  // a permanently failed fallback skips one query
+      }
+    }
+    const auto& stats = dispatcher.stats();
+    std::printf("  [%s] answered %zu (surrogate %.0f%%), invalid predictions "
+                "%zu, breaker short-circuits %zu, skipped %zu, breaker %s\n",
+                phase, stats.total(), 100.0 * stats.surrogate_fraction(),
+                stats.invalid_predictions, stats.breaker_short_circuits,
+                skipped, to_string(dispatcher.circuit_breaker()->state()).c_str());
+  };
+
+  std::printf("\nServing 300 queries, healthy surrogate:\n");
+  serve("healthy", 300);
+
+  std::printf("Surrogate poisoned (bad retrain): breaker must trip:\n");
+  surrogate->poisoned = true;
+  serve("poisoned", 200);
+
+  std::printf("Surrogate fixed: breaker probes and closes again:\n");
+  surrogate->poisoned = false;
+  serve("recovered", 300);
+
+  std::printf("\nFallback-path fault accounting: %zu attempts, %zu retries, "
+              "%zu rejections, %zu permanent failures, %.1f ms backoff\n",
+              fallback.stats().attempts, fallback.stats().retries,
+              fallback.stats().rejections, fallback.stats().failures,
+              1e3 * fallback.stats().total_backoff_seconds);
+  std::printf("The campaign never aborted: every fault was retried, "
+              "validated away, or isolated by the breaker.\n");
+  return 0;
+}

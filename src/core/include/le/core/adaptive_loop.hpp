@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "le/core/resilient.hpp"
 #include "le/core/surrogate.hpp"
 #include "le/data/dataset.hpp"
 #include "le/data/sampler.hpp"
@@ -38,6 +39,10 @@ struct AdaptiveLoopConfig {
   std::size_t mc_passes = 24;
   nn::TrainConfig train;
   std::uint64_t seed = 59;
+  /// Fault handling for the simulation: each state point is attempted up
+  /// to retry.max_attempts times with validated (finite, right-length)
+  /// outputs; permanently failed points are skipped, not fatal.
+  RetryPolicy retry;
 };
 
 struct AdaptiveRound {
@@ -54,6 +59,10 @@ struct AdaptiveLoopResult {
   std::vector<AdaptiveRound> rounds;
   bool converged = false;
   std::size_t simulations_run = 0;
+  /// State points abandoned after exhausting the retry policy.
+  std::size_t simulations_failed = 0;
+  /// Attempt/retry/backoff accounting for the whole loop.
+  FaultStats fault_stats;
 };
 
 /// Runs the adaptive loop over the given parameter space: `simulation`

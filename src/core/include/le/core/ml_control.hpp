@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "le/core/resilient.hpp"
 #include "le/core/surrogate.hpp"
 #include "le/data/dataset.hpp"
 #include "le/data/sampler.hpp"
@@ -37,6 +38,9 @@ struct CampaignConfig {
   std::vector<std::size_t> hidden = {24, 24};
   nn::TrainConfig train;
   std::uint64_t seed = 61;
+  /// Fault handling for real runs; a state point that fails permanently
+  /// consumes budget (the compute was spent) but is skipped, not fatal.
+  RetryPolicy retry;
 };
 
 struct CampaignResult {
@@ -44,7 +48,11 @@ struct CampaignResult {
   std::vector<double> best_output;
   double best_objective = 0.0;
   std::size_t simulations_run = 0;
-  /// Best objective after each real simulation (convergence trace).
+  /// State points abandoned after exhausting the retry policy.
+  std::size_t simulations_failed = 0;
+  /// Attempt/retry/backoff accounting for the whole campaign.
+  FaultStats fault_stats;
+  /// Best objective after each *successful* real simulation.
   std::vector<double> trace;
   data::Dataset evaluated;
 };

@@ -9,6 +9,11 @@
 // buffer ("No run is wasted", Section II-C1), so the wrapper exhibits the
 // auto-tunability outcome 3 of that section: with new simulation runs the
 // ML layer gets better at making predictions.
+//
+// Robustness: surrogate outputs are validated (finite, dimension-correct)
+// before they can be accepted, and an optional CircuitBreaker (resilient.hpp)
+// trips the surrogate path to simulation-only mode after a run of invalid
+// predictions, half-opening later to probe for recovery.
 #pragma once
 
 #include <chrono>
@@ -21,6 +26,9 @@
 #include "le/uq/uq_model.hpp"
 
 namespace le::core {
+
+class CircuitBreaker;
+struct CircuitBreakerConfig;
 
 /// The real simulation: maps an input state point to the output features.
 /// Implementations may be arbitrarily expensive — that is the point.
@@ -42,8 +50,15 @@ struct DispatcherStats {
   std::size_t simulation_answers = 0;
   double surrogate_seconds = 0.0;
   double simulation_seconds = 0.0;
-  /// Mean surrogate uncertainty over accepted (surrogate) answers.
+  /// Mean surrogate uncertainty over accepted (surrogate) answers; 0 until
+  /// the first acceptance.
   double mean_accepted_uncertainty = 0.0;
+  /// Surrogate predictions rejected as invalid (NaN/Inf mean, non-finite
+  /// score, wrong output length) before the uncertainty gate was consulted.
+  std::size_t invalid_predictions = 0;
+  /// Queries routed straight to the simulation because the circuit breaker
+  /// held the surrogate path open.
+  std::size_t breaker_short_circuits = 0;
 
   [[nodiscard]] std::size_t total() const noexcept {
     return surrogate_answers + simulation_answers;
@@ -62,6 +77,9 @@ class SurrogateDispatcher {
   /// surrogate spread exceeds it are routed to the simulation.
   SurrogateDispatcher(std::shared_ptr<uq::UqModel> surrogate,
                       SimulationFn simulation, double threshold);
+  ~SurrogateDispatcher();
+  SurrogateDispatcher(SurrogateDispatcher&&) noexcept;
+  SurrogateDispatcher& operator=(SurrogateDispatcher&&) noexcept;
 
   /// Answers one query through the gate.
   [[nodiscard]] Answer query(std::span<const double> input);
@@ -70,8 +88,14 @@ class SurrogateDispatcher {
   [[nodiscard]] const data::Dataset& training_buffer() const noexcept {
     return buffer_;
   }
-  /// Takes the buffer, leaving it empty (retraining consumes it).
+  /// Takes the buffer, leaving it empty (retraining consumes it); resets
+  /// the per-buffer aggregates alongside it.
   [[nodiscard]] data::Dataset drain_training_buffer();
+
+  /// Mean uncertainty score of the fallback runs currently buffered — a
+  /// gauge of how far outside the surrogate's competence the buffered
+  /// region lies; 0 when the buffer is empty.
+  [[nodiscard]] double mean_buffered_uncertainty() const noexcept;
 
   [[nodiscard]] const DispatcherStats& stats() const noexcept { return stats_; }
   [[nodiscard]] double threshold() const noexcept { return threshold_; }
@@ -80,6 +104,15 @@ class SurrogateDispatcher {
   /// Swaps in a retrained surrogate (auto-tunability outcome 3).
   void replace_surrogate(std::shared_ptr<uq::UqModel> surrogate);
 
+  /// Arms a circuit breaker over the surrogate path: after
+  /// `config.failure_threshold` consecutive invalid predictions the
+  /// dispatcher answers from the simulation alone until the breaker
+  /// half-opens and a probe prediction validates.
+  void enable_circuit_breaker(const CircuitBreakerConfig& config);
+
+  /// The armed breaker, or nullptr when none was enabled.
+  [[nodiscard]] const CircuitBreaker* circuit_breaker() const noexcept;
+
  private:
   std::shared_ptr<uq::UqModel> surrogate_;
   SimulationFn simulation_;
@@ -87,6 +120,8 @@ class SurrogateDispatcher {
   data::Dataset buffer_;
   DispatcherStats stats_;
   double accepted_uncertainty_sum_ = 0.0;
+  double buffered_uncertainty_sum_ = 0.0;  ///< per-buffer; reset on drain
+  std::unique_ptr<CircuitBreaker> breaker_;
 };
 
 }  // namespace le::core

@@ -43,12 +43,29 @@ AdaptiveLoopResult run_adaptive_loop(const data::ParamSpace& space,
   AdaptiveLoopResult result;
   result.corpus = data::Dataset(space.dims(), output_dim);
 
+  // All real runs go through the resilient wrapper: transient throws and
+  // corrupted outputs are retried, permanent failures skip the point.
+  ValidationSpec validation;
+  validation.expected_dim = output_dim;
+  ResilientSimulation resilient(simulation, config.retry, validation);
+  const auto run_point = [&](std::span<const double> point) {
+    if (auto output = resilient.try_run(point)) {
+      result.corpus.add(point, *output);
+      ++result.simulations_run;
+    } else {
+      ++result.simulations_failed;
+    }
+  };
+
   // Round 0: Latin-hypercube corpus.
   stats::Rng lhs_rng = rng.split(1);
   for (const auto& point :
        data::latin_hypercube_sample(space, config.initial_samples, lhs_rng)) {
-    result.corpus.add(point, simulation(point));
-    ++result.simulations_run;
+    run_point(point);
+  }
+  if (result.corpus.size() == 0) {
+    throw std::runtime_error(
+        "run_adaptive_loop: every initial simulation failed permanently");
   }
 
   for (std::size_t round = 0; round < config.max_rounds; ++round) {
@@ -78,8 +95,7 @@ AdaptiveLoopResult run_adaptive_loop(const data::ParamSpace& space,
     const auto picks = uq::select_most_uncertain(*result.surrogate, pool,
                                                  config.samples_per_round);
     for (std::size_t idx : picks) {
-      result.corpus.add(pool[idx], simulation(pool[idx]));
-      ++result.simulations_run;
+      run_point(pool[idx]);
     }
   }
 
@@ -87,6 +103,7 @@ AdaptiveLoopResult run_adaptive_loop(const data::ParamSpace& space,
     result.surrogate = train_surrogate(result.corpus, space.dims(), output_dim,
                                        config, rng);
   }
+  result.fault_stats = resilient.stats();
   return result;
 }
 

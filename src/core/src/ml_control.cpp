@@ -37,10 +37,21 @@ CampaignResult run_ml_campaign(const data::ParamSpace& space,
   CampaignResult result;
   result.evaluated = data::Dataset(space.dims(), output_dim);
 
+  ValidationSpec validation;
+  validation.expected_dim = output_dim;
+  ResilientSimulation resilient(simulation, config.retry, validation);
+  // A permanently failed point still consumed its simulation slot; count
+  // it against the budget so faults cannot stall the campaign forever.
+  const auto budget_spent = [&] {
+    return result.simulations_run + result.simulations_failed;
+  };
   const auto run_real = [&](const std::vector<double>& input) {
-    const std::vector<double> output = simulation(input);
-    result.evaluated.add(input, output);
-    record_run(result, input, output, objective(output));
+    if (auto output = resilient.try_run(input)) {
+      result.evaluated.add(input, *output);
+      record_run(result, input, *output, objective(*output));
+    } else {
+      ++result.simulations_failed;
+    }
   };
 
   stats::Rng lhs_rng = rng.split(1);
@@ -49,8 +60,9 @@ CampaignResult run_ml_campaign(const data::ParamSpace& space,
     run_real(point);
   }
 
-  while (result.simulations_run < config.simulation_budget) {
-    if (rng.uniform() < config.exploration) {
+  while (budget_spent() < config.simulation_budget) {
+    // With no successful runs yet there is nothing to train on; explore.
+    if (result.evaluated.size() == 0 || rng.uniform() < config.exploration) {
       run_real(data::uniform_sample(space, 1, rng).front());
       continue;
     }
@@ -101,6 +113,7 @@ CampaignResult run_ml_campaign(const data::ParamSpace& space,
     }
     run_real(best_candidate);
   }
+  result.fault_stats = resilient.stats();
   return result;
 }
 
@@ -112,13 +125,20 @@ CampaignResult run_direct_campaign(const data::ParamSpace& space,
   stats::Rng rng(config.seed);
   CampaignResult result;
   result.evaluated = data::Dataset(space.dims(), output_dim);
+  ValidationSpec validation;
+  validation.expected_dim = output_dim;
+  ResilientSimulation resilient(simulation, config.retry, validation);
   stats::Rng lhs_rng = rng.split(3);
   for (const auto& point : data::latin_hypercube_sample(
            space, config.simulation_budget, lhs_rng)) {
-    const std::vector<double> output = simulation(point);
-    result.evaluated.add(point, output);
-    record_run(result, point, output, objective(output));
+    if (auto output = resilient.try_run(point)) {
+      result.evaluated.add(point, *output);
+      record_run(result, point, *output, objective(*output));
+    } else {
+      ++result.simulations_failed;
+    }
   }
+  result.fault_stats = resilient.stats();
   return result;
 }
 

@@ -1,7 +1,9 @@
 #include "le/core/surrogate.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
+#include "le/core/resilient.hpp"
 #include "le/uq/acquisition.hpp"
 
 namespace le::core {
@@ -17,24 +19,52 @@ SurrogateDispatcher::SurrogateDispatcher(std::shared_ptr<uq::UqModel> surrogate,
   buffer_ = data::Dataset(surrogate_->input_dim(), surrogate_->output_dim());
 }
 
+SurrogateDispatcher::~SurrogateDispatcher() = default;
+SurrogateDispatcher::SurrogateDispatcher(SurrogateDispatcher&&) noexcept = default;
+SurrogateDispatcher& SurrogateDispatcher::operator=(SurrogateDispatcher&&) noexcept =
+    default;
+
 Answer SurrogateDispatcher::query(std::span<const double> input) {
   const auto t0 = std::chrono::steady_clock::now();
-  const uq::Prediction prediction = surrogate_->predict(input);
-  const double score = uq::uncertainty_score(prediction);
 
   Answer answer;
-  answer.uncertainty = score;
-  if (score <= threshold_) {
-    answer.values = prediction.mean;
-    answer.source = AnswerSource::kSurrogate;
-    const auto t1 = std::chrono::steady_clock::now();
-    answer.seconds = std::chrono::duration<double>(t1 - t0).count();
-    ++stats_.surrogate_answers;
-    stats_.surrogate_seconds += answer.seconds;
-    accepted_uncertainty_sum_ += score;
-    stats_.mean_accepted_uncertainty =
-        accepted_uncertainty_sum_ / static_cast<double>(stats_.surrogate_answers);
-    return answer;
+  const bool surrogate_allowed = !breaker_ || breaker_->allow();
+  if (!surrogate_allowed) ++stats_.breaker_short_circuits;
+
+  if (surrogate_allowed) {
+    const uq::Prediction prediction = surrogate_->predict(input);
+    const double score = uq::uncertainty_score(prediction);
+
+    // An unusable prediction (corrupted mean, non-finite score, wrong
+    // length) is a surrogate *failure*, distinct from an honest "too
+    // uncertain" answer: it feeds the breaker instead of the gate.
+    ValidationSpec spec;
+    spec.expected_dim = surrogate_->output_dim();
+    const bool usable =
+        std::isfinite(score) &&
+        validate_output(prediction.mean, spec) == OutputVerdict::kValid;
+    if (!usable) {
+      ++stats_.invalid_predictions;
+      if (breaker_) breaker_->record_failure();
+    } else {
+      if (breaker_) breaker_->record_success();
+      answer.uncertainty = score;
+      if (score <= threshold_) {
+        answer.values = prediction.mean;
+        answer.source = AnswerSource::kSurrogate;
+        const auto t1 = std::chrono::steady_clock::now();
+        answer.seconds = std::chrono::duration<double>(t1 - t0).count();
+        ++stats_.surrogate_answers;
+        stats_.surrogate_seconds += answer.seconds;
+        accepted_uncertainty_sum_ += score;
+        stats_.mean_accepted_uncertainty =
+            stats_.surrogate_answers == 0
+                ? 0.0
+                : accepted_uncertainty_sum_ /
+                      static_cast<double>(stats_.surrogate_answers);
+        return answer;
+      }
+    }
   }
 
   answer.values = simulation_(input);
@@ -44,13 +74,21 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
   ++stats_.simulation_answers;
   stats_.simulation_seconds += answer.seconds;
   buffer_.add(input, answer.values);  // no run is wasted
+  buffered_uncertainty_sum_ += answer.uncertainty;
   return answer;
 }
 
 data::Dataset SurrogateDispatcher::drain_training_buffer() {
   data::Dataset drained = std::move(buffer_);
   buffer_ = data::Dataset(surrogate_->input_dim(), surrogate_->output_dim());
+  buffered_uncertainty_sum_ = 0.0;  // per-buffer aggregate follows the buffer
   return drained;
+}
+
+double SurrogateDispatcher::mean_buffered_uncertainty() const noexcept {
+  return buffer_.size() == 0
+             ? 0.0
+             : buffered_uncertainty_sum_ / static_cast<double>(buffer_.size());
 }
 
 void SurrogateDispatcher::set_threshold(double threshold) {
@@ -66,6 +104,15 @@ void SurrogateDispatcher::replace_surrogate(
     throw std::invalid_argument("replace_surrogate: shape mismatch");
   }
   surrogate_ = std::move(surrogate);
+}
+
+void SurrogateDispatcher::enable_circuit_breaker(
+    const CircuitBreakerConfig& config) {
+  breaker_ = std::make_unique<CircuitBreaker>(config);
+}
+
+const CircuitBreaker* SurrogateDispatcher::circuit_breaker() const noexcept {
+  return breaker_.get();
 }
 
 }  // namespace le::core

@@ -45,6 +45,11 @@ class Communicator {
 
  private:
   void publish(std::size_t rank, std::span<const double> data);
+  /// Throws on any slot whose length differs from `expected`.  Every rank
+  /// runs the same check over the same slots after the publish barrier, so
+  /// on mismatch all ranks throw together instead of one rank abandoning
+  /// the barrier (deadlock) or the collective silently corrupting spans.
+  void check_uniform_lengths(std::size_t expected, const char* what) const;
 
   std::size_t size_;
   std::barrier<> barrier_;

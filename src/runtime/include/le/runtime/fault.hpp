@@ -1,0 +1,106 @@
+// Deterministic fault injection for simulation functions (robustness
+// harness).
+//
+// "AI-coupled HPC Workflows" (Jha et al., 2022) observes that coupled
+// ML+simulation campaigns run at scales where task failures are routine,
+// not exceptional.  FaultInjector makes that regime reproducible on a
+// laptop: it wraps any simulation callable and injects the four failure
+// modes such campaigns actually see — thrown exceptions (crashed runs),
+// NaN/Inf-corrupted outputs (diverged solvers), out-of-range values
+// (silently wrong physics) and latency spikes (straggler nodes) — each
+// with its own probability, drawn from a seeded stream so every resilience
+// claim is testable and benchmarkable: same seed, same fault sequence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "le/stats/rng.hpp"
+
+namespace le::runtime {
+
+/// Same signature as le::core::SimulationFn; redeclared here so the
+/// runtime layer does not depend on core (core links against runtime).
+using SimFn = std::function<std::vector<double>(std::span<const double>)>;
+
+/// The exception thrown for an injected crash, distinguishable from a
+/// genuine simulation failure in tests and benchmarks.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Per-mode injection probabilities.  Modes are drawn independently per
+/// call; a throw preempts the output corruptions (the run never returns),
+/// while corruption modes compose with a latency spike.
+struct FaultSpec {
+  double throw_probability = 0.0;       ///< run crashes with InjectedFault
+  double nan_probability = 0.0;         ///< one output becomes NaN
+  double inf_probability = 0.0;         ///< one output becomes +-Inf
+  double out_of_range_probability = 0.0;///< one output scaled far out of range
+  double latency_probability = 0.0;     ///< run stalls before returning
+  double latency_seconds = 0.002;       ///< stall duration for latency spikes
+  double out_of_range_scale = 1e12;     ///< multiplier for range corruption
+  std::uint64_t seed = 1234;
+};
+
+/// Counts of what was actually injected, per mode.
+struct FaultInjectionCounts {
+  std::size_t calls = 0;
+  std::size_t throws = 0;
+  std::size_t nan_corruptions = 0;
+  std::size_t inf_corruptions = 0;
+  std::size_t range_corruptions = 0;
+  std::size_t latency_spikes = 0;
+
+  [[nodiscard]] std::size_t total_faults() const noexcept {
+    return throws + nan_corruptions + inf_corruptions + range_corruptions +
+           latency_spikes;
+  }
+};
+
+/// Wraps simulation callables with seeded fault injection.  Thread-safe:
+/// wrapped callables may be invoked from a ThreadPool; the fault stream is
+/// then deterministic in the number of prior calls, and exactly
+/// reproducible when calls are serialized.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultSpec& spec);
+
+  /// Returns a callable with `inner`'s signature that injects faults per
+  /// the spec.  The returned function holds a reference to this injector,
+  /// which must outlive it.
+  [[nodiscard]] SimFn wrap(SimFn inner);
+
+  [[nodiscard]] FaultInjectionCounts counts() const;
+
+  /// Restarts the fault stream from the seed (counts are zeroed too), so
+  /// two sweeps over the same call sequence see identical faults.
+  void reset();
+
+ private:
+  /// Decisions for one call, drawn under the lock, applied outside it.
+  struct Plan {
+    bool do_throw = false;
+    bool do_nan = false;
+    bool do_inf = false;
+    bool do_range = false;
+    bool do_latency = false;
+    std::size_t victim_index = 0;  ///< pseudo-random output index to corrupt
+    std::size_t call_index = 0;
+  };
+
+  [[nodiscard]] Plan draw_plan();
+
+  FaultSpec spec_;
+  mutable std::mutex mutex_;
+  stats::Rng rng_;
+  FaultInjectionCounts counts_;
+};
+
+}  // namespace le::runtime

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,10 @@ struct Task {
   std::size_t id = 0;
   TaskClass task_class = TaskClass::kSimulation;
   std::size_t cost_units = 1;
+  /// Chance that one attempt of this task fails (drawn deterministically
+  /// from (config.seed, id, attempt), independent of thread interleaving).
+  /// Failed attempts are re-queued up to config.max_task_attempts.
+  double failure_probability = 0.0;
 };
 
 enum class SchedulePolicy { kSharedQueue, kSeparateQueues, kShortestFirst };
@@ -41,6 +46,10 @@ enum class SchedulePolicy { kSharedQueue, kSeparateQueues, kShortestFirst };
 struct SchedulerConfig {
   SchedulePolicy policy = SchedulePolicy::kSharedQueue;
   std::size_t workers = 4;
+  /// Attempts per task before it is abandoned as failed (1 = no retry).
+  std::size_t max_task_attempts = 1;
+  /// Seed for the deterministic per-(task, attempt) failure draws.
+  std::uint64_t seed = 2024;
 };
 
 /// Latency statistics for one task class (seconds since workload start).
@@ -55,8 +64,13 @@ struct ClassStats {
 struct ScheduleResult {
   double makespan_seconds = 0.0;
   std::vector<ClassStats> per_class;
-  /// Completion timestamp (seconds) per task id.
+  /// Completion timestamp (seconds) per task id: the moment the task was
+  /// resolved, successfully or by abandonment.
   std::vector<double> completion_seconds;
+  /// Tasks abandoned after max_task_attempts failed attempts.
+  std::size_t failed_tasks = 0;
+  /// Failed attempts that were re-queued for another try.
+  std::size_t retried_attempts = 0;
 };
 
 /// Executes all tasks under the policy and reports latency statistics.

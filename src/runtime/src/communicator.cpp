@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace le::runtime {
 
@@ -14,19 +15,29 @@ Communicator::Communicator(std::size_t ranks)
 void Communicator::barrier() { barrier_.arrive_and_wait(); }
 
 void Communicator::publish(std::size_t rank, std::span<const double> data) {
+  if (rank >= size_) throw std::out_of_range("Communicator::publish: rank");
   slots_[rank].assign(data.begin(), data.end());
+}
+
+void Communicator::check_uniform_lengths(std::size_t expected,
+                                         const char* what) const {
+  for (const auto& slot : slots_) {
+    if (slot.size() != expected) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": span length mismatch across ranks");
+    }
+  }
 }
 
 void Communicator::allreduce_sum(std::size_t rank, std::span<double> data) {
   if (rank >= size_) throw std::out_of_range("allreduce_sum: rank");
   publish(rank, data);
   barrier_.arrive_and_wait();
+  // Every rank validates, so a mismatch throws on all ranks consistently.
+  check_uniform_lengths(data.size(), "allreduce_sum");
   if (rank == 0) {
     reduce_buf_.assign(data.size(), 0.0);
     for (const auto& slot : slots_) {
-      if (slot.size() != data.size()) {
-        throw std::invalid_argument("allreduce_sum: length mismatch across ranks");
-      }
       for (std::size_t i = 0; i < slot.size(); ++i) reduce_buf_[i] += slot[i];
     }
   }
@@ -44,12 +55,12 @@ void Communicator::allreduce_mean(std::size_t rank, std::span<double> data) {
 void Communicator::broadcast(std::size_t rank, std::size_t root,
                              std::span<double> data) {
   if (rank >= size_ || root >= size_) throw std::out_of_range("broadcast: rank");
-  if (rank == root) publish(rank, data);
+  // Every rank publishes (non-root slots are scratch) purely so that every
+  // rank can validate the same length invariant and throw together.
+  publish(rank, data);
   barrier_.arrive_and_wait();
+  check_uniform_lengths(slots_[root].size(), "broadcast");
   if (rank != root) {
-    if (slots_[root].size() != data.size()) {
-      throw std::invalid_argument("broadcast: length mismatch");
-    }
     std::copy(slots_[root].begin(), slots_[root].end(), data.begin());
   }
   barrier_.arrive_and_wait();
@@ -59,10 +70,8 @@ void Communicator::rotate(std::size_t rank, std::span<double> data) {
   if (rank >= size_) throw std::out_of_range("rotate: rank");
   publish(rank, data);
   barrier_.arrive_and_wait();
+  check_uniform_lengths(data.size(), "rotate");
   const std::size_t src = (rank + size_ - 1) % size_;
-  if (slots_[src].size() != data.size()) {
-    throw std::invalid_argument("rotate: length mismatch");
-  }
   std::copy(slots_[src].begin(), slots_[src].end(), data.begin());
   barrier_.arrive_and_wait();
 }

@@ -1,0 +1,104 @@
+#include "le/runtime/fault.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+
+namespace le::runtime {
+
+namespace {
+
+void check_probability(double p, const char* name) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultInjector: ") + name +
+                                " not in [0, 1]");
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  check_probability(spec.throw_probability, "throw_probability");
+  check_probability(spec.nan_probability, "nan_probability");
+  check_probability(spec.inf_probability, "inf_probability");
+  check_probability(spec.out_of_range_probability, "out_of_range_probability");
+  check_probability(spec.latency_probability, "latency_probability");
+  if (spec.latency_seconds < 0.0) {
+    throw std::invalid_argument("FaultInjector: latency_seconds < 0");
+  }
+}
+
+FaultInjector::Plan FaultInjector::draw_plan() {
+  std::lock_guard lock(mutex_);
+  Plan plan;
+  plan.call_index = counts_.calls++;
+  // Fixed draw order keeps the stream deterministic per call regardless of
+  // which modes are enabled.
+  plan.do_throw = rng_.bernoulli(spec_.throw_probability);
+  plan.do_nan = rng_.bernoulli(spec_.nan_probability);
+  plan.do_inf = rng_.bernoulli(spec_.inf_probability);
+  plan.do_range = rng_.bernoulli(spec_.out_of_range_probability);
+  plan.do_latency = rng_.bernoulli(spec_.latency_probability);
+  plan.victim_index = static_cast<std::size_t>(
+      rng_.uniform_int(0, std::numeric_limits<std::int32_t>::max()));
+  // Counts mirror what is actually applied: a throw preempts corruption,
+  // and corruption modes apply with NaN > Inf > range precedence.
+  if (plan.do_throw) {
+    ++counts_.throws;
+  } else if (plan.do_nan) {
+    ++counts_.nan_corruptions;
+  } else if (plan.do_inf) {
+    ++counts_.inf_corruptions;
+  } else if (plan.do_range) {
+    ++counts_.range_corruptions;
+  }
+  if (plan.do_latency) ++counts_.latency_spikes;
+  return plan;
+}
+
+SimFn FaultInjector::wrap(SimFn inner) {
+  if (!inner) throw std::invalid_argument("FaultInjector::wrap: null function");
+  return [this, inner = std::move(inner)](
+             std::span<const double> input) -> std::vector<double> {
+    const Plan plan = draw_plan();
+    if (plan.do_latency && spec_.latency_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(spec_.latency_seconds));
+    }
+    if (plan.do_throw) {
+      throw InjectedFault("injected fault at call " +
+                          std::to_string(plan.call_index));
+    }
+    std::vector<double> output = inner(input);
+    if (!output.empty()) {
+      const std::size_t victim = plan.victim_index % output.size();
+      if (plan.do_nan) {
+        output[victim] = std::numeric_limits<double>::quiet_NaN();
+      } else if (plan.do_inf) {
+        output[victim] = (plan.victim_index % 2 == 0)
+                             ? std::numeric_limits<double>::infinity()
+                             : -std::numeric_limits<double>::infinity();
+      } else if (plan.do_range) {
+        output[victim] = (output[victim] == 0.0 ? 1.0 : output[victim]) *
+                         spec_.out_of_range_scale;
+      }
+    }
+    return output;
+  };
+}
+
+FaultInjectionCounts FaultInjector::counts() const {
+  std::lock_guard lock(mutex_);
+  return counts_;
+}
+
+void FaultInjector::reset() {
+  std::lock_guard lock(mutex_);
+  rng_ = stats::Rng(spec_.seed);
+  counts_ = FaultInjectionCounts{};
+}
+
+}  // namespace le::runtime

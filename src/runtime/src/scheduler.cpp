@@ -47,23 +47,51 @@ void burn(std::size_t units) {
   }
 }
 
-/// A simple locked task queue; pop returns false when drained.
+/// One scheduled execution of a task (attempt numbers are 1-based).
+struct Attempt {
+  Task task;
+  std::size_t attempt = 1;
+};
+
+/// A simple locked task queue; pop returns false when momentarily empty.
+/// Failed attempts are re-queued at the back via push, by the same worker
+/// that popped them, so a false pop can only happen once every live
+/// attempt is held by some worker — no attempt is ever stranded.
 class TaskQueue {
  public:
-  explicit TaskQueue(std::deque<Task> tasks) : tasks_(std::move(tasks)) {}
+  explicit TaskQueue(std::deque<Task> tasks) {
+    for (Task& t : tasks) attempts_.push_back(Attempt{t, 1});
+  }
 
-  bool pop(Task& out) {
+  bool pop(Attempt& out) {
     std::lock_guard lock(mutex_);
-    if (tasks_.empty()) return false;
-    out = tasks_.front();
-    tasks_.pop_front();
+    if (attempts_.empty()) return false;
+    out = attempts_.front();
+    attempts_.pop_front();
     return true;
   }
 
+  void push(const Attempt& attempt) {
+    std::lock_guard lock(mutex_);
+    attempts_.push_back(attempt);
+  }
+
  private:
-  std::deque<Task> tasks_;
+  std::deque<Attempt> attempts_;
   std::mutex mutex_;
 };
+
+/// Deterministic failure draw for (seed, task, attempt): SplitMix64-mixed
+/// uniform in [0, 1), so retry behaviour is reproducible no matter which
+/// worker executes the attempt or in what order.
+double failure_draw(std::uint64_t seed, std::size_t id, std::size_t attempt) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (id + 1) +
+                    0xd1b54a32d192ed03ULL * attempt;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
 
 }  // namespace
 
@@ -100,6 +128,14 @@ std::vector<Task> make_mlaroundhpc_workload(std::size_t n_sim,
 ScheduleResult run_workload(const std::vector<Task>& tasks,
                             const SchedulerConfig& config) {
   if (config.workers == 0) throw std::invalid_argument("run_workload: 0 workers");
+  if (config.max_task_attempts == 0) {
+    throw std::invalid_argument("run_workload: max_task_attempts == 0");
+  }
+  for (const Task& t : tasks) {
+    if (t.failure_probability < 0.0 || t.failure_probability > 1.0) {
+      throw std::invalid_argument("run_workload: failure_probability not in [0, 1]");
+    }
+  }
   ScheduleResult result;
   result.completion_seconds.assign(tasks.size(), 0.0);
   if (tasks.empty()) return result;
@@ -111,11 +147,25 @@ ScheduleResult run_workload(const std::vector<Task>& tasks,
         std::chrono::duration<double>(now - t0).count();
   };
 
+  std::atomic<std::size_t> failed_tasks{0};
+  std::atomic<std::size_t> retried_attempts{0};
   auto drain = [&](TaskQueue& queue) {
-    Task t;
-    while (queue.pop(t)) {
-      burn(t.cost_units);
-      stamp(t.id);
+    Attempt a;
+    while (queue.pop(a)) {
+      burn(a.task.cost_units);
+      const bool failed =
+          a.task.failure_probability > 0.0 &&
+          failure_draw(config.seed, a.task.id, a.attempt) <
+              a.task.failure_probability;
+      if (!failed) {
+        stamp(a.task.id);
+      } else if (a.attempt < config.max_task_attempts) {
+        retried_attempts.fetch_add(1, std::memory_order_relaxed);
+        queue.push(Attempt{a.task, a.attempt + 1});
+      } else {
+        failed_tasks.fetch_add(1, std::memory_order_relaxed);
+        stamp(a.task.id);  // resolved by abandonment
+      }
     }
   };
 
@@ -192,6 +242,8 @@ ScheduleResult run_workload(const std::vector<Task>& tasks,
 
   const auto t1 = std::chrono::steady_clock::now();
   result.makespan_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.failed_tasks = failed_tasks.load();
+  result.retried_attempts = retried_attempts.load();
 
   // Per-class latency stats.
   for (TaskClass cls : {TaskClass::kSimulation, TaskClass::kLearning,
