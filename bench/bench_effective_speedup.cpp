@@ -35,6 +35,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 int main() {
   bench::print_heading("E1", "Effective speedup S (Section III-D equation)");
+  bench::enable_metrics_from_env();
 
   // ---- Measure T_seq: one full-fidelity simulation ---------------------
   md::NanoconfinementParams full;
@@ -149,5 +150,6 @@ int main() {
               "paper's claim that MLaroundHPC turns %g-second simulations into\n"
               "%.1e-second lookups, an effective speedup bounded by %.3g.\n",
               times.t_seq, times.t_lookup, core::lookup_limit(times));
+  bench::emit_metrics("E1");
   return 0;
 }

@@ -60,6 +60,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 int main() {
   bench::print_heading("E10",
                        "Effective speedup vs injected fault rate (0-20%)");
+  bench::enable_metrics_from_env();
 
   // ---- Measure the clean simulation cost first ------------------------
   const std::size_t probes = 50;
@@ -203,5 +204,6 @@ int main() {
               "speedup within 2x of the fault-free run across the sweep,\n"
               "while the naive path aborts at every nonzero fault rate.\n",
               within_2x_everywhere ? "VERIFIED" : "NOT met");
+  bench::emit_metrics("E10");
   return within_2x_everywhere ? 0 : 1;
 }

@@ -34,6 +34,9 @@ double lookup_mean(const runtime::ScheduleResult& r) {
 
 int main() {
   bench::print_heading("E9", "Scheduling mixed learnt/unlearnt work (issue 8)");
+  if (bench::enable_metrics_from_env()) {
+    std::printf("\n(LE_METRICS set: scheduler observability enabled)\n");
+  }
 
   const std::size_t sim_cost = 2000000;   // ~5 ms of spin work per sim
   const std::size_t lookup_cost = 400;    // cost ratio 5000:1
@@ -72,5 +75,6 @@ int main() {
       "unchanged makespan; shortest-first recovers most of the benefit\n"
       "without partitioning but starves nothing only because the mix is\n"
       "finite.\n");
+  bench::emit_metrics("E9");
   return 0;
 }

@@ -6,8 +6,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
+
+#include "le/obs/metrics.hpp"
 
 namespace le::bench {
 
@@ -56,6 +59,28 @@ inline std::string fmt_int(std::size_t v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%zu", v);
   return buf;
+}
+
+/// Turns on the observability layer when LE_METRICS is set in the
+/// environment (any non-empty value other than "0").  Benches call this
+/// first so the default run stays on the metrics-disabled fast path.
+inline bool enable_metrics_from_env() {
+  const char* v = std::getenv("LE_METRICS");
+  const bool on = v != nullptr && *v != '\0' && std::string(v) != "0";
+  if (on) obs::set_metrics_enabled(true);
+  return on;
+}
+
+/// Emits the global metrics snapshot in the shared schema: a readable
+/// table plus one `metrics-json <id> {...}` line that downstream tooling
+/// can grep out of any bench's output.  No-op while metrics are disabled.
+inline void emit_metrics(const std::string& bench_id) {
+  if (!obs::metrics_enabled()) return;
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  print_subheading("observability snapshot (" + bench_id + ")");
+  std::fputs(obs::to_text(snap).c_str(), stdout);
+  std::printf("metrics-json %s %s\n", bench_id.c_str(),
+              obs::to_json(snap).c_str());
 }
 
 }  // namespace le::bench

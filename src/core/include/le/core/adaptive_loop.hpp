@@ -21,6 +21,10 @@
 #include "le/nn/train.hpp"
 #include "le/uq/mc_dropout.hpp"
 
+namespace le::obs {
+class EffectiveSpeedupMeter;
+}  // namespace le::obs
+
 namespace le::core {
 
 struct AdaptiveLoopConfig {
@@ -43,6 +47,10 @@ struct AdaptiveLoopConfig {
   /// to retry.max_attempts times with validated (finite, right-length)
   /// outputs; permanently failed points are skipped, not fatal.
   RetryPolicy retry;
+  /// Optional live Section III-D accounting: every real simulation is
+  /// recorded as an N_train unit and every surrogate (re)training as
+  /// T_learn time.  Null disables (no overhead).
+  obs::EffectiveSpeedupMeter* speedup_meter = nullptr;
 };
 
 struct AdaptiveRound {

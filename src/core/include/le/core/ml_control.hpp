@@ -21,6 +21,10 @@
 #include "le/data/sampler.hpp"
 #include "le/nn/train.hpp"
 
+namespace le::obs {
+class EffectiveSpeedupMeter;
+}  // namespace le::obs
+
 namespace le::core {
 
 /// Scalar objective over the simulation's output vector — MINIMIZED.
@@ -41,6 +45,11 @@ struct CampaignConfig {
   /// Fault handling for real runs; a state point that fails permanently
   /// consumes budget (the compute was spent) but is skipped, not fatal.
   RetryPolicy retry;
+  /// Optional live Section III-D accounting: real runs are N_train units,
+  /// surrogate training is T_learn, candidate-pool sweeps are bulk
+  /// lookups.  run_direct_campaign records its runs as the sequential
+  /// baseline (T_seq) instead.  Null disables.
+  obs::EffectiveSpeedupMeter* speedup_meter = nullptr;
 };
 
 struct CampaignResult {

@@ -20,10 +20,19 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "le/data/dataset.hpp"
 #include "le/uq/uq_model.hpp"
+
+namespace le::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+class EffectiveSpeedupMeter;
+}  // namespace le::obs
 
 namespace le::core {
 
@@ -113,6 +122,21 @@ class SurrogateDispatcher {
   /// The armed breaker, or nullptr when none was enabled.
   [[nodiscard]] const CircuitBreaker* circuit_breaker() const noexcept;
 
+  /// Publishes per-query observability to `registry` under
+  /// "<prefix>.*": answer counters, per-source latency histograms, the
+  /// surrogate acceptance fraction and the breaker state gauge
+  /// (0 closed / 1 open / 2 half-open).  Handles are acquired once here;
+  /// the query path then updates them lock-free.
+  void enable_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "dispatcher");
+
+  /// Attaches a live Section III-D meter: surrogate answers are recorded
+  /// as lookups, fallback simulations as training runs (they land in the
+  /// training buffer — "no run is wasted").  Pass nullptr to detach.
+  void set_speedup_meter(obs::EffectiveSpeedupMeter* meter) noexcept {
+    meter_ = meter;
+  }
+
  private:
   std::shared_ptr<uq::UqModel> surrogate_;
   SimulationFn simulation_;
@@ -122,6 +146,23 @@ class SurrogateDispatcher {
   double accepted_uncertainty_sum_ = 0.0;
   double buffered_uncertainty_sum_ = 0.0;  ///< per-buffer; reset on drain
   std::unique_ptr<CircuitBreaker> breaker_;
+
+  /// Refreshes the acceptance and breaker gauges (metrics enabled only).
+  void publish_gauges();
+
+  /// Metric handles; all null until enable_metrics().
+  struct MetricHandles {
+    obs::Counter* surrogate_answers = nullptr;
+    obs::Counter* simulation_answers = nullptr;
+    obs::Counter* invalid_predictions = nullptr;
+    obs::Counter* breaker_short_circuits = nullptr;
+    obs::Histogram* surrogate_seconds = nullptr;
+    obs::Histogram* simulation_seconds = nullptr;
+    obs::Gauge* surrogate_fraction = nullptr;
+    obs::Gauge* breaker_state = nullptr;
+  };
+  MetricHandles metrics_;
+  obs::EffectiveSpeedupMeter* meter_ = nullptr;
 };
 
 }  // namespace le::core

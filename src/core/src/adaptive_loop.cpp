@@ -1,14 +1,22 @@
 #include "le/core/adaptive_loop.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "le/nn/loss.hpp"
 #include "le/nn/optimizer.hpp"
+#include "le/obs/metrics.hpp"
+#include "le/obs/speedup_meter.hpp"
 #include "le/uq/acquisition.hpp"
 
 namespace le::core {
 
 namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 /// Trains a fresh dropout MLP on the corpus and wraps it for MC-dropout.
 std::shared_ptr<uq::McDropoutEnsemble> train_surrogate(
@@ -48,13 +56,44 @@ AdaptiveLoopResult run_adaptive_loop(const data::ParamSpace& space,
   ValidationSpec validation;
   validation.expected_dim = output_dim;
   ResilientSimulation resilient(simulation, config.retry, validation);
+
+  // Observability: per-simulation latency and run counters go to the
+  // global registry; training-set wall time feeds the live speedup meter.
+  obs::Histogram* sim_seconds = nullptr;
+  obs::Histogram* learn_seconds = nullptr;
+  obs::Counter* sims_run = nullptr;
+  obs::Counter* sims_failed = nullptr;
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    sim_seconds = &registry.histogram("adaptive_loop.sim_seconds");
+    learn_seconds = &registry.histogram("adaptive_loop.learn_seconds");
+    sims_run = &registry.counter("adaptive_loop.simulations_run");
+    sims_failed = &registry.counter("adaptive_loop.simulations_failed");
+  }
+
   const auto run_point = [&](std::span<const double> point) {
+    const auto t0 = std::chrono::steady_clock::now();
     if (auto output = resilient.try_run(point)) {
+      const double seconds = seconds_since(t0);
       result.corpus.add(point, *output);
       ++result.simulations_run;
+      if (config.speedup_meter) config.speedup_meter->record_train(seconds);
+      if (sim_seconds) sim_seconds->record(seconds);
+      if (sims_run) sims_run->add();
     } else {
       ++result.simulations_failed;
+      if (sims_failed) sims_failed->add();
     }
+  };
+
+  const auto train_timed = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto surrogate = train_surrogate(result.corpus, space.dims(), output_dim,
+                                     config, rng);
+    const double seconds = seconds_since(t0);
+    if (config.speedup_meter) config.speedup_meter->record_learn(seconds);
+    if (learn_seconds) learn_seconds->record(seconds);
+    return surrogate;
   };
 
   // Round 0: Latin-hypercube corpus.
@@ -69,8 +108,7 @@ AdaptiveLoopResult run_adaptive_loop(const data::ParamSpace& space,
   }
 
   for (std::size_t round = 0; round < config.max_rounds; ++round) {
-    result.surrogate = train_surrogate(result.corpus, space.dims(), output_dim,
-                                       config, rng);
+    result.surrogate = train_timed();
 
     // Survey uncertainty over a fresh candidate pool.
     stats::Rng pool_rng = rng.split(100 + round);
@@ -100,8 +138,7 @@ AdaptiveLoopResult run_adaptive_loop(const data::ParamSpace& space,
   }
 
   if (!result.surrogate) {
-    result.surrogate = train_surrogate(result.corpus, space.dims(), output_dim,
-                                       config, rng);
+    result.surrogate = train_timed();
   }
   result.fault_stats = resilient.stats();
   return result;

@@ -1,5 +1,6 @@
 #include "le/core/ml_control.hpp"
 
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 
@@ -7,10 +8,16 @@
 #include "le/nn/loss.hpp"
 #include "le/nn/network.hpp"
 #include "le/nn/optimizer.hpp"
+#include "le/obs/speedup_meter.hpp"
 
 namespace le::core {
 
 namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 void record_run(CampaignResult& result, const std::vector<double>& input,
                 const std::vector<double>& output, double objective_value) {
@@ -46,7 +53,11 @@ CampaignResult run_ml_campaign(const data::ParamSpace& space,
     return result.simulations_run + result.simulations_failed;
   };
   const auto run_real = [&](const std::vector<double>& input) {
+    const auto t0 = std::chrono::steady_clock::now();
     if (auto output = resilient.try_run(input)) {
+      if (config.speedup_meter) {
+        config.speedup_meter->record_train(seconds_since(t0));
+      }
       result.evaluated.add(input, *output);
       record_run(result, input, *output, objective(*output));
     } else {
@@ -93,13 +104,21 @@ CampaignResult run_ml_campaign(const data::ParamSpace& space,
     nn::AdamOptimizer opt(1e-2);
     const nn::MseLoss loss;
     stats::Rng fit_rng = rng.split(2000 + result.simulations_run);
+    const auto fit_t0 = std::chrono::steady_clock::now();
     nn::fit(surrogate, scaled, loss, opt, config.train, fit_rng);
+    if (config.speedup_meter) {
+      config.speedup_meter->record_learn(seconds_since(fit_t0));
+    }
     surrogate.set_training(false);
 
     // Sweep the pool through the surrogate; run the predicted best.
+    // Every candidate prediction is one N_lookup unit of the speedup
+    // model; the sweep is metered in bulk (one clock read for the pool).
     std::vector<double> best_candidate;
     double best_pred = std::numeric_limits<double>::infinity();
     std::vector<double> scaled_in(space.dims());
+    const auto sweep_t0 = std::chrono::steady_clock::now();
+    std::size_t swept = 0;
     for (auto& candidate : data::uniform_sample(space, config.pool, rng)) {
       scaled_in.assign(candidate.begin(), candidate.end());
       in_scaler.transform(scaled_in);
@@ -110,6 +129,10 @@ CampaignResult run_ml_campaign(const data::ParamSpace& space,
         best_pred = value;
         best_candidate = candidate;
       }
+      ++swept;
+    }
+    if (config.speedup_meter) {
+      config.speedup_meter->record_lookups(swept, seconds_since(sweep_t0));
     }
     run_real(best_candidate);
   }
@@ -131,7 +154,13 @@ CampaignResult run_direct_campaign(const data::ParamSpace& space,
   stats::Rng lhs_rng = rng.split(3);
   for (const auto& point : data::latin_hypercube_sample(
            space, config.simulation_budget, lhs_rng)) {
+    const auto t0 = std::chrono::steady_clock::now();
     if (auto output = resilient.try_run(point)) {
+      // The no-ML arm runs everything sequentially: its per-run wall time
+      // is exactly the model's T_seq baseline.
+      if (config.speedup_meter) {
+        config.speedup_meter->record_seq_baseline(seconds_since(t0));
+      }
       result.evaluated.add(point, *output);
       record_run(result, point, *output, objective(*output));
     } else {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "le/core/resilient.hpp"
+#include "le/obs/metrics.hpp"
+#include "le/obs/speedup_meter.hpp"
 #include "le/uq/acquisition.hpp"
 
 namespace le::core {
@@ -29,7 +31,10 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
 
   Answer answer;
   const bool surrogate_allowed = !breaker_ || breaker_->allow();
-  if (!surrogate_allowed) ++stats_.breaker_short_circuits;
+  if (!surrogate_allowed) {
+    ++stats_.breaker_short_circuits;
+    if (metrics_.breaker_short_circuits) metrics_.breaker_short_circuits->add();
+  }
 
   if (surrogate_allowed) {
     const uq::Prediction prediction = surrogate_->predict(input);
@@ -45,6 +50,7 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
         validate_output(prediction.mean, spec) == OutputVerdict::kValid;
     if (!usable) {
       ++stats_.invalid_predictions;
+      if (metrics_.invalid_predictions) metrics_.invalid_predictions->add();
       if (breaker_) breaker_->record_failure();
     } else {
       if (breaker_) breaker_->record_success();
@@ -62,6 +68,12 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
                 ? 0.0
                 : accepted_uncertainty_sum_ /
                       static_cast<double>(stats_.surrogate_answers);
+        if (meter_) meter_->record_lookup(answer.seconds);
+        if (metrics_.surrogate_answers) {
+          metrics_.surrogate_answers->add();
+          metrics_.surrogate_seconds->record(answer.seconds);
+          publish_gauges();
+        }
         return answer;
       }
     }
@@ -75,7 +87,38 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
   stats_.simulation_seconds += answer.seconds;
   buffer_.add(input, answer.values);  // no run is wasted
   buffered_uncertainty_sum_ += answer.uncertainty;
+  // A fallback run is an N_train unit of the speedup model: its sample
+  // just joined the training buffer.
+  if (meter_) meter_->record_train(answer.seconds);
+  if (metrics_.simulation_answers) {
+    metrics_.simulation_answers->add();
+    metrics_.simulation_seconds->record(answer.seconds);
+    publish_gauges();
+  }
   return answer;
+}
+
+void SurrogateDispatcher::publish_gauges() {
+  metrics_.surrogate_fraction->set(stats_.surrogate_fraction());
+  metrics_.breaker_state->set(
+      breaker_ ? static_cast<double>(breaker_->state()) : 0.0);
+}
+
+void SurrogateDispatcher::enable_metrics(obs::MetricsRegistry& registry,
+                                         const std::string& prefix) {
+  metrics_.surrogate_answers = &registry.counter(prefix + ".surrogate_answers");
+  metrics_.simulation_answers =
+      &registry.counter(prefix + ".simulation_answers");
+  metrics_.invalid_predictions =
+      &registry.counter(prefix + ".invalid_predictions");
+  metrics_.breaker_short_circuits =
+      &registry.counter(prefix + ".breaker_short_circuits");
+  metrics_.surrogate_seconds =
+      &registry.histogram(prefix + ".surrogate_seconds");
+  metrics_.simulation_seconds =
+      &registry.histogram(prefix + ".simulation_seconds");
+  metrics_.surrogate_fraction = &registry.gauge(prefix + ".surrogate_fraction");
+  metrics_.breaker_state = &registry.gauge(prefix + ".breaker_state");
 }
 
 data::Dataset SurrogateDispatcher::drain_training_buffer() {

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <iomanip>
+#include <locale>
 #include <sstream>
 #include <stdexcept>
 
@@ -112,11 +113,17 @@ Network load_layers(std::istream& in, stats::Rng& rng) {
 }  // namespace
 
 void save_network(std::ostream& out, Network& net) {
+  // Pin the C locale: under a ','-decimal global or stream locale the
+  // formatted weights would be written (or later parsed) with comma
+  // decimal points and silently corrupt the model.  Covers the recursive
+  // two_branch path too — all nested layers share this stream.
+  out.imbue(std::locale::classic());
   out << kMagic << '\n';
   save_layers(out, net);
 }
 
 Network load_network(std::istream& in, stats::Rng& rng) {
+  in.imbue(std::locale::classic());
   std::string magic;
   if (!(in >> magic) || magic != kMagic) {
     throw std::runtime_error("load_network: bad magic header");

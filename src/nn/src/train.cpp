@@ -6,6 +6,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "le/obs/metrics.hpp"
+#include "le/obs/timer.hpp"
+
 namespace le::nn {
 
 namespace {
@@ -56,7 +59,19 @@ TrainResult fit(Network& net, const data::Dataset& train_data,
   std::vector<std::size_t> order(train.size());
   std::iota(order.begin(), order.end(), 0);
 
+  // Per-epoch wall time feeds the observability layer (T_learn in the
+  // Section III-D model); both handles stay null when metrics are off.
+  obs::Histogram* epoch_seconds = nullptr;
+  obs::Counter* epochs_counter = nullptr;
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    epoch_seconds = &registry.histogram("nn.fit.epoch_seconds");
+    epochs_counter = &registry.counter("nn.fit.epochs");
+  }
+
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::ScopedTimer epoch_timer(epoch_seconds);
+    if (epochs_counter) epochs_counter->add();
     net.set_training(true);
     rng.shuffle(std::span<std::size_t>{order});
 

@@ -1,0 +1,172 @@
+// Observability primitives for the MLaroundHPC runtime (le::obs).
+//
+// The paper's effective-speedup model (Section III-D) is only actionable
+// if a running campaign can see where its time goes; "Understanding ML
+// driven HPC" (Fox & Jha, 2019) calls monitoring of coupled ML+simulation
+// loops first-class infrastructure.  This header provides the low-level
+// pieces: counters, gauges and fixed-bucket latency histograms collected
+// in a MetricsRegistry, all safe for concurrent update.
+//
+// Cost model: metrics are OFF by default.  The only expense on a hot path
+// when disabled is one relaxed atomic load (metrics_enabled()) or a null
+// handle check; no clocks are read and no locks are taken.  When enabled,
+// updates are lock-free atomics; the registry mutex is touched only when
+// a handle is first acquired by name and when a snapshot is taken.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace le::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// Global on/off switch for all metric collection (default off).
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+inline void set_metrics_enabled(bool on) noexcept {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency histogram over fixed power-of-two buckets of nanoseconds.
+///
+/// Bucket i covers (2^(i-1), 2^i] ns, so the range spans 1 ns to ~9 min;
+/// values outside clamp to the end buckets.  Recording is wait-free
+/// (relaxed atomic adds; min/max via CAS).  Quantiles are read from the
+/// bucket upper bounds, i.e. they carry at most one-bucket (2x) error —
+/// plenty for the orders-of-magnitude contrasts the speedup model cares
+/// about.
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 40;
+
+  /// Upper bound (seconds) of bucket i.
+  [[nodiscard]] static double bucket_upper_bound(std::size_t i) noexcept;
+  /// Bucket index a duration in seconds lands in.
+  [[nodiscard]] static std::size_t bucket_index(double seconds) noexcept;
+
+  void record(double seconds) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  /// Approximate quantile (q in [0, 1]) from the bucket upper bounds.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  ///< valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+/// Point-in-time copy of every registered metric, ready for export.
+struct MetricsSnapshot {
+  struct CounterEntry {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<HistogramEntry> histograms;
+};
+
+/// Named metric store.  Handles returned by counter()/gauge()/histogram()
+/// are stable for the registry's lifetime: acquire once, update lock-free
+/// forever after.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// Copies every metric, sorted by name within each kind.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric; registrations (and handles) stay valid.
+  void reset();
+
+  /// The process-wide registry the built-in instrumentation reports to.
+  [[nodiscard]] static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Renders a snapshot as a single-line JSON object (locale-independent:
+/// always '.' decimal point, so exports are portable between hosts).
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Renders a snapshot as an aligned human-readable table.
+[[nodiscard]] std::string to_text(const MetricsSnapshot& snapshot);
+
+}  // namespace le::obs

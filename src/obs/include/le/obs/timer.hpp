@@ -1,0 +1,117 @@
+// RAII timing: ScopedTimer records a duration into a Histogram; TraceSpan
+// additionally logs a (name, thread, nesting depth, start, duration) record
+// into the bounded process-wide TraceLog so a coupled ML+HPC run can be
+// reconstructed after the fact.
+//
+// Both are disabled-by-default and near-free when off: the constructor
+// reads one relaxed atomic flag and, if it is clear, never touches a clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "le/obs/metrics.hpp"
+
+namespace le::obs {
+
+/// Small dense id for the calling thread (0, 1, 2, ... in first-use order);
+/// stable for the thread's lifetime.
+[[nodiscard]] std::uint32_t this_thread_ordinal() noexcept;
+
+/// Seconds since the process's first obs clock use (a steady clock).
+[[nodiscard]] double process_clock_seconds() noexcept;
+
+/// Times its own lifetime into a histogram.  A null histogram or disabled
+/// metrics makes construction and destruction no-ops.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) noexcept
+      : histogram_(metrics_enabled() ? histogram : nullptr) {
+    if (histogram_) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { (void)stop(); }
+
+  /// Records now and disarms; returns the elapsed seconds (0 when
+  /// disarmed).  Idempotent.
+  double stop() noexcept {
+    if (!histogram_) return 0.0;
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+    histogram_->record(seconds);
+    histogram_ = nullptr;
+    return seconds;
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// One completed span, as stored by the TraceLog.
+struct SpanRecord {
+  std::string name;
+  std::uint32_t thread = 0;  ///< this_thread_ordinal() of the recording thread
+  std::uint32_t depth = 0;   ///< nesting depth within that thread (0 = root)
+  double start_seconds = 0.0;  ///< process_clock_seconds() at span entry
+  double seconds = 0.0;        ///< span duration
+};
+
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace detail
+
+[[nodiscard]] inline bool tracing_enabled() noexcept {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+inline void set_tracing_enabled(bool on) noexcept {
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Bounded ring of completed spans (oldest dropped first).
+class TraceLog {
+ public:
+  explicit TraceLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void record(SpanRecord span);
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+  [[nodiscard]] std::size_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void clear();
+
+  [[nodiscard]] static TraceLog& global();
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::size_t next_ = 0;  ///< ring cursor once spans_ is full
+  std::atomic<std::size_t> dropped_{0};
+};
+
+/// RAII trace span: tracks per-thread nesting depth and, on destruction,
+/// appends a SpanRecord to the global TraceLog.  No-op when tracing is off.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  /// Nesting depth of the innermost live span on this thread (0 = none).
+  [[nodiscard]] static std::uint32_t current_depth() noexcept;
+
+ private:
+  const char* name_;  ///< null when disarmed
+  std::uint32_t depth_ = 0;
+  double start_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace le::obs

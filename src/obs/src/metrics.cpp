@@ -1,0 +1,242 @@
+#include "le/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <locale>
+#include <sstream>
+
+namespace le::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+double Histogram::bucket_upper_bound(std::size_t i) noexcept {
+  return std::ldexp(1.0, static_cast<int>(i)) * 1e-9;
+}
+
+std::size_t Histogram::bucket_index(double seconds) noexcept {
+  if (!(seconds > 0.0)) return 0;
+  const double ns = seconds * 1e9;
+  if (ns <= 1.0) return 0;
+  int e = std::ilogb(ns);  // floor(log2 ns)
+  if (std::ldexp(1.0, e) < ns) ++e;
+  e = std::max(e, 0);
+  return std::min<std::size_t>(static_cast<std::size_t>(e), kBucketCount - 1);
+}
+
+void Histogram::record(double seconds) noexcept {
+  buckets_[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(seconds, std::memory_order_relaxed);
+  // min/max CAS loops; the first record seeds both (count_ incremented last
+  // means a concurrent reader may briefly see count 0 with a seeded min —
+  // snapshot() reads count first, so it only ever under-reports).
+  if (count_.load(std::memory_order_relaxed) == 0) {
+    double expected = 0.0;
+    min_.compare_exchange_strong(expected, seconds, std::memory_order_relaxed);
+  }
+  double cur = min_.load(std::memory_order_relaxed);
+  while (seconds < cur &&
+         !min_.compare_exchange_weak(cur, seconds, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (seconds > cur &&
+         !max_.compare_exchange_weak(cur, seconds, std::memory_order_relaxed)) {
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      return std::min(bucket_upper_bound(i), max());
+    }
+  }
+  return max();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(kBucketCount);
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramEntry e;
+    e.name = name;
+    e.count = h->count();
+    e.sum = h->sum();
+    e.mean = h->mean();
+    e.min = h->min();
+    e.max = h->max();
+    e.p50 = h->quantile(0.50);
+    e.p95 = h->quantile(0.95);
+    e.p99 = h->quantile(0.99);
+    snap.histograms.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+namespace {
+
+/// Locale-pinned numeric formatting: JSON must not grow ',' decimal
+/// points under a European global locale.
+class JsonWriter {
+ public:
+  JsonWriter() {
+    out_.imbue(std::locale::classic());
+    out_ << std::setprecision(12);
+  }
+  template <typename T>
+  JsonWriter& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+};
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  JsonWriter w;
+  w << "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    w << (i ? "," : "") << '"' << escape(c.name) << "\":" << c.value;
+  }
+  w << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    w << (i ? "," : "") << '"' << escape(g.name) << "\":" << g.value;
+  }
+  w << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    w << (i ? "," : "") << '"' << escape(h.name) << "\":{"
+      << "\"count\":" << h.count << ",\"sum\":" << h.sum
+      << ",\"mean\":" << h.mean << ",\"min\":" << h.min << ",\"max\":" << h.max
+      << ",\"p50\":" << h.p50 << ",\"p95\":" << h.p95 << ",\"p99\":" << h.p99
+      << '}';
+  }
+  w << "}}";
+  return w.str();
+}
+
+std::string to_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out << std::setprecision(5);
+  if (!snapshot.counters.empty()) {
+    out << "counters:\n";
+    for (const auto& c : snapshot.counters) {
+      out << "  " << std::left << std::setw(44) << c.name << ' ' << c.value
+          << '\n';
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out << "gauges:\n";
+    for (const auto& g : snapshot.gauges) {
+      out << "  " << std::left << std::setw(44) << g.name << ' ' << g.value
+          << '\n';
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out << "histograms (seconds):\n";
+    for (const auto& h : snapshot.histograms) {
+      out << "  " << std::left << std::setw(44) << h.name << " count "
+          << h.count << "  sum " << h.sum << "  mean " << h.mean << "  p50 "
+          << h.p50 << "  p95 " << h.p95 << "  max " << h.max << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace le::obs

@@ -1,0 +1,95 @@
+#include "le/obs/timer.hpp"
+
+namespace le::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace detail
+
+namespace {
+
+std::chrono::steady_clock::time_point process_epoch() noexcept {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+thread_local std::uint32_t t_span_depth = 0;
+
+}  // namespace
+
+std::uint32_t this_thread_ordinal() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+double process_clock_seconds() noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       process_epoch())
+      .count();
+}
+
+void TraceLog::record(SpanRecord span) {
+  std::lock_guard lock(mutex_);
+  if (spans_.size() < capacity_) {
+    spans_.push_back(std::move(span));
+    return;
+  }
+  if (capacity_ == 0) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_[next_] = std::move(span);
+  next_ = (next_ + 1) % capacity_;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> TraceLog::snapshot() const {
+  std::lock_guard lock(mutex_);
+  // Rotate so the returned order is oldest-first.
+  std::vector<SpanRecord> out;
+  out.reserve(spans_.size());
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    out.push_back(spans_[(next_ + i) % spans_.size()]);
+  }
+  return out;
+}
+
+void TraceLog::clear() {
+  std::lock_guard lock(mutex_);
+  spans_.clear();
+  next_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+TraceLog& TraceLog::global() {
+  static TraceLog log;
+  return log;
+}
+
+TraceSpan::TraceSpan(const char* name) noexcept
+    : name_(tracing_enabled() ? name : nullptr) {
+  if (!name_) return;
+  depth_ = t_span_depth++;
+  start_seconds_ = process_clock_seconds();
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!name_) return;
+  --t_span_depth;
+  SpanRecord span;
+  span.name = name_;
+  span.thread = this_thread_ordinal();
+  span.depth = depth_;
+  span.start_seconds = start_seconds_;
+  span.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  TraceLog::global().record(std::move(span));
+}
+
+std::uint32_t TraceSpan::current_depth() noexcept { return t_span_depth; }
+
+}  // namespace le::obs

@@ -4,8 +4,14 @@
 // Conclusions call for it explicitly — goes through this pool: simulation
 // campaigns fan out runs, the sync engines host their workers, and the
 // heterogeneous scheduler drives mixed learn/sim workloads.
+//
+// Observability: when le::obs metrics are enabled at construction the pool
+// reports queue depth, per-task execution latency and utilization to the
+// global MetricsRegistry under "thread_pool.*" (see DESIGN.md §8).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -14,6 +20,12 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+namespace le::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace le::obs
 
 namespace le::runtime {
 
@@ -40,6 +52,7 @@ class ThreadPool {
       std::lock_guard lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
       tasks_.emplace([task] { (*task)(); });
+      note_enqueued_locked();
     }
     cv_.notify_one();
     return fut;
@@ -47,16 +60,41 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n), blocking until all iterations finish.
   /// Iterations are chunked to one contiguous range per worker.
+  ///
+  /// Reentrancy-safe: when called from one of this pool's own workers the
+  /// loop runs inline on the caller (a worker blocking on futures could
+  /// never be rescheduled on a saturated pool — the classic nested-
+  /// parallelism deadlock).  If iterations throw, every in-flight chunk is
+  /// drained before the first exception is rethrown, so no future is
+  /// abandoned to block in its destructor.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const noexcept {
+    return current_worker_pool_ == this;
+  }
 
  private:
   void worker_loop();
+  void note_enqueued_locked();
+
+  /// The pool (if any) whose worker_loop owns the calling thread.
+  static thread_local const ThreadPool* current_worker_pool_;
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  // Metric handles; all null when obs metrics were disabled at
+  // construction, making every instrumentation site a null-pointer check.
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* utilization_ = nullptr;
+  obs::Counter* tasks_completed_ = nullptr;
+  obs::Histogram* task_seconds_ = nullptr;
+  std::atomic<double> busy_seconds_{0.0};
+  std::chrono::steady_clock::time_point started_{};
 };
 
 }  // namespace le::runtime

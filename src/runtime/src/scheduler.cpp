@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "le/obs/metrics.hpp"
 #include "le/stats/descriptive.hpp"
 
 namespace le::runtime {
@@ -57,10 +58,15 @@ struct Attempt {
 /// Failed attempts are re-queued at the back via push, by the same worker
 /// that popped them, so a false pop can only happen once every live
 /// attempt is held by some worker — no attempt is ever stranded.
+///
+/// When given a depth gauge the queue publishes its length on every
+/// mutation (null gauge = metrics off = no overhead beyond one check).
 class TaskQueue {
  public:
-  explicit TaskQueue(std::deque<Task> tasks) {
+  explicit TaskQueue(std::deque<Task> tasks, obs::Gauge* depth = nullptr)
+      : depth_(depth) {
     for (Task& t : tasks) attempts_.push_back(Attempt{t, 1});
+    publish_depth();
   }
 
   bool pop(Attempt& out) {
@@ -68,17 +74,24 @@ class TaskQueue {
     if (attempts_.empty()) return false;
     out = attempts_.front();
     attempts_.pop_front();
+    publish_depth();
     return true;
   }
 
   void push(const Attempt& attempt) {
     std::lock_guard lock(mutex_);
     attempts_.push_back(attempt);
+    publish_depth();
   }
 
  private:
+  void publish_depth() {
+    if (depth_) depth_->set(static_cast<double>(attempts_.size()));
+  }
+
   std::deque<Attempt> attempts_;
   std::mutex mutex_;
+  obs::Gauge* depth_ = nullptr;
 };
 
 /// Deterministic failure draw for (seed, task, attempt): SplitMix64-mixed
@@ -140,11 +153,40 @@ ScheduleResult run_workload(const std::vector<Task>& tasks,
   result.completion_seconds.assign(tasks.size(), 0.0);
   if (tasks.empty()) return result;
 
+  // Metric handles: all null when obs metrics are disabled, so the hot
+  // loop pays only null checks.  With separate queues the depth gauge
+  // shows the most recently mutated queue.
+  obs::Gauge* queue_depth = nullptr;
+  obs::Gauge* utilization = nullptr;
+  obs::Counter* completed_counter = nullptr;
+  obs::Counter* failed_counter = nullptr;
+  obs::Counter* retried_counter = nullptr;
+  obs::Histogram* attempt_seconds = nullptr;
+  obs::Histogram* class_latency[3] = {nullptr, nullptr, nullptr};
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    queue_depth = &registry.gauge("scheduler.queue_depth");
+    utilization = &registry.gauge("scheduler.utilization");
+    completed_counter = &registry.counter("scheduler.tasks_completed");
+    failed_counter = &registry.counter("scheduler.tasks_failed");
+    retried_counter = &registry.counter("scheduler.retried_attempts");
+    attempt_seconds = &registry.histogram("scheduler.attempt_seconds");
+    for (TaskClass cls : {TaskClass::kSimulation, TaskClass::kLearning,
+                          TaskClass::kLookup}) {
+      class_latency[static_cast<std::size_t>(cls)] =
+          &registry.histogram("scheduler.latency." + to_string(cls));
+    }
+  }
+  std::atomic<double> busy_seconds{0.0};
+
   const auto t0 = std::chrono::steady_clock::now();
-  auto stamp = [&](std::size_t id) {
+  auto stamp = [&](const Task& task) {
     const auto now = std::chrono::steady_clock::now();
-    result.completion_seconds[id] =
-        std::chrono::duration<double>(now - t0).count();
+    const double latency = std::chrono::duration<double>(now - t0).count();
+    result.completion_seconds[task.id] = latency;
+    if (auto* h = class_latency[static_cast<std::size_t>(task.task_class)]) {
+      h->record(latency);
+    }
   };
 
   std::atomic<std::size_t> failed_tasks{0};
@@ -152,19 +194,32 @@ ScheduleResult run_workload(const std::vector<Task>& tasks,
   auto drain = [&](TaskQueue& queue) {
     Attempt a;
     while (queue.pop(a)) {
-      burn(a.task.cost_units);
+      if (attempt_seconds) {
+        const auto b0 = std::chrono::steady_clock::now();
+        burn(a.task.cost_units);
+        const double seconds = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - b0)
+                                   .count();
+        attempt_seconds->record(seconds);
+        busy_seconds.fetch_add(seconds, std::memory_order_relaxed);
+      } else {
+        burn(a.task.cost_units);
+      }
       const bool failed =
           a.task.failure_probability > 0.0 &&
           failure_draw(config.seed, a.task.id, a.attempt) <
               a.task.failure_probability;
       if (!failed) {
-        stamp(a.task.id);
+        stamp(a.task);
+        if (completed_counter) completed_counter->add();
       } else if (a.attempt < config.max_task_attempts) {
         retried_attempts.fetch_add(1, std::memory_order_relaxed);
+        if (retried_counter) retried_counter->add();
         queue.push(Attempt{a.task, a.attempt + 1});
       } else {
         failed_tasks.fetch_add(1, std::memory_order_relaxed);
-        stamp(a.task.id);  // resolved by abandonment
+        if (failed_counter) failed_counter->add();
+        stamp(a.task);  // resolved by abandonment
       }
     }
   };
@@ -174,7 +229,7 @@ ScheduleResult run_workload(const std::vector<Task>& tasks,
 
   switch (config.policy) {
     case SchedulePolicy::kSharedQueue: {
-      TaskQueue queue(std::deque<Task>(tasks.begin(), tasks.end()));
+      TaskQueue queue(std::deque<Task>(tasks.begin(), tasks.end()), queue_depth);
       for (std::size_t w = 0; w < config.workers; ++w) {
         threads.emplace_back([&] { drain(queue); });
       }
@@ -187,7 +242,7 @@ ScheduleResult run_workload(const std::vector<Task>& tasks,
                        [](const Task& a, const Task& b) {
                          return a.cost_units < b.cost_units;
                        });
-      TaskQueue queue(std::deque<Task>(sorted.begin(), sorted.end()));
+      TaskQueue queue(std::deque<Task>(sorted.begin(), sorted.end()), queue_depth);
       for (std::size_t w = 0; w < config.workers; ++w) {
         threads.emplace_back([&] { drain(queue); });
       }
@@ -219,8 +274,8 @@ ScheduleResult run_workload(const std::vector<Task>& tasks,
       } else if (!cheap.empty()) {
         cheap_workers = config.workers;
       }
-      TaskQueue cheap_q(std::move(cheap));
-      TaskQueue exp_q(std::move(expensive));
+      TaskQueue cheap_q(std::move(cheap), queue_depth);
+      TaskQueue exp_q(std::move(expensive), queue_depth);
       for (std::size_t w = 0; w < config.workers; ++w) {
         if (w < cheap_workers) {
           // Cheap-class workers help with expensive work once done.
@@ -244,6 +299,11 @@ ScheduleResult run_workload(const std::vector<Task>& tasks,
   result.makespan_seconds = std::chrono::duration<double>(t1 - t0).count();
   result.failed_tasks = failed_tasks.load();
   result.retried_attempts = retried_attempts.load();
+  if (utilization && result.makespan_seconds > 0.0) {
+    utilization->set(busy_seconds.load(std::memory_order_relaxed) /
+                     (result.makespan_seconds *
+                      static_cast<double>(config.workers)));
+  }
 
   // Per-class latency stats.
   for (TaskClass cls : {TaskClass::kSimulation, TaskClass::kLearning,

@@ -1,10 +1,23 @@
 #include "le/runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
+
+#include "le/obs/metrics.hpp"
 
 namespace le::runtime {
 
+thread_local const ThreadPool* ThreadPool::current_worker_pool_ = nullptr;
+
 ThreadPool::ThreadPool(std::size_t threads) {
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    queue_depth_ = &registry.gauge("thread_pool.queue_depth");
+    utilization_ = &registry.gauge("thread_pool.utilization");
+    tasks_completed_ = &registry.counter("thread_pool.tasks_completed");
+    task_seconds_ = &registry.histogram("thread_pool.task_seconds");
+    started_ = std::chrono::steady_clock::now();
+  }
   threads = std::max<std::size_t>(threads, 1);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
@@ -21,7 +34,12 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::note_enqueued_locked() {
+  if (queue_depth_) queue_depth_->set(static_cast<double>(tasks_.size()));
+}
+
 void ThreadPool::worker_loop() {
+  current_worker_pool_ = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -33,14 +51,41 @@ void ThreadPool::worker_loop() {
       }
       task = std::move(tasks_.front());
       tasks_.pop();
+      if (queue_depth_) queue_depth_->set(static_cast<double>(tasks_.size()));
     }
-    task();
+    if (task_seconds_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      task();
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      task_seconds_->record(seconds);
+      tasks_completed_->add();
+      const double busy =
+          busy_seconds_.fetch_add(seconds, std::memory_order_relaxed) + seconds;
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started_)
+              .count();
+      if (wall > 0.0) {
+        utilization_->set(busy /
+                          (wall * static_cast<double>(workers_.size())));
+      }
+    } else {
+      task();
+    }
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  if (on_worker_thread()) {
+    // Nested call from our own worker: chunks submitted here would wait
+    // behind the very task that blocks on them.  Run inline instead.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   const std::size_t chunks = std::min(n, thread_count());
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
@@ -53,7 +98,18 @@ void ThreadPool::parallel_for(std::size_t n,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  // Drain every chunk before rethrowing: bailing on the first exception
+  // would leave later futures blocking in their destructors while their
+  // chunks still touch fn and the caller's captures.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace le::runtime

@@ -3,7 +3,9 @@
 // the NN/sync-engine adapter.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "le/core/adaptive_loop.hpp"
 #include "le/core/campaign.hpp"
@@ -13,6 +15,8 @@
 #include "le/core/surrogate.hpp"
 #include "le/nn/loss.hpp"
 #include "le/nn/optimizer.hpp"
+#include "le/obs/metrics.hpp"
+#include "le/obs/speedup_meter.hpp"
 
 namespace le::core {
 namespace {
@@ -150,6 +154,86 @@ TEST(Dispatcher, ThresholdExtremes) {
   EXPECT_EQ(lax.query(std::vector<double>{1.0}).source,
             AnswerSource::kSurrogate);
   EXPECT_THROW(lax.set_threshold(-1.0), std::invalid_argument);
+}
+
+TEST(Dispatcher, StatsAccumulateWallTimePerSource) {
+  // A deliberately slow simulation: simulation_seconds must clearly
+  // dominate surrogate_seconds, and both must be populated.
+  auto sim = [](std::span<const double> x) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return std::vector<double>{2.0 * x[0]};
+  };
+  SurrogateDispatcher dispatcher(std::make_shared<FakeUq>(), sim, 0.5);
+  for (int i = 0; i < 3; ++i) {
+    (void)dispatcher.query(std::vector<double>{0.01});  // surrogate
+    (void)dispatcher.query(std::vector<double>{2.0});   // simulation
+  }
+  const DispatcherStats& s = dispatcher.stats();
+  EXPECT_EQ(s.surrogate_answers, 3u);
+  EXPECT_EQ(s.simulation_answers, 3u);
+  EXPECT_GT(s.surrogate_seconds, 0.0);
+  EXPECT_GE(s.simulation_seconds, 3 * 0.005);  // three 5 ms sleeps
+  EXPECT_GT(s.simulation_seconds, s.surrogate_seconds);
+  // Per-answer seconds mirror the aggregate split.
+  const Answer a = dispatcher.query(std::vector<double>{2.0});
+  EXPECT_GE(a.seconds, 0.005);
+}
+
+TEST(Dispatcher, SpeedupMeterSeesLookupsAndTrainRuns) {
+  auto sim = [](std::span<const double> x) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return std::vector<double>{2.0 * x[0]};
+  };
+  SurrogateDispatcher dispatcher(std::make_shared<FakeUq>(), sim, 0.5);
+  obs::EffectiveSpeedupMeter meter;
+  dispatcher.set_speedup_meter(&meter);
+  for (int i = 0; i < 4; ++i) {
+    (void)dispatcher.query(std::vector<double>{0.01});  // lookup
+  }
+  (void)dispatcher.query(std::vector<double>{2.0});  // train unit
+  meter.record_learn(0.01);
+
+  const auto snap = meter.snapshot();
+  EXPECT_EQ(snap.n_lookup, 4u);
+  EXPECT_EQ(snap.n_train, 1u);
+  EXPECT_GT(snap.t_lookup(), 0.0);
+  EXPECT_GE(snap.t_train(), 0.002);
+
+  // The live S must agree with the offline Section III-D formula priced
+  // with the meter's own per-unit times — same equation, same inputs.
+  SpeedupTimes times;
+  times.t_seq = snap.t_seq();
+  times.t_train = snap.t_train();
+  times.t_learn = snap.t_learn();
+  times.t_lookup = snap.t_lookup();
+  const double offline =
+      effective_speedup(times, snap.n_lookup, snap.n_train);
+  EXPECT_NEAR(snap.speedup(), offline, 1e-9 * offline);
+
+  // Detaching stops accounting.
+  dispatcher.set_speedup_meter(nullptr);
+  (void)dispatcher.query(std::vector<double>{0.01});
+  EXPECT_EQ(meter.snapshot().n_lookup, 4u);
+}
+
+TEST(Dispatcher, EnableMetricsPublishesCountersAndGauges) {
+  const bool was_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  auto sim = [](std::span<const double> x) {
+    return std::vector<double>{2.0 * x[0]};
+  };
+  SurrogateDispatcher dispatcher(std::make_shared<FakeUq>(), sim, 0.5);
+  obs::MetricsRegistry registry;  // private registry keeps the test hermetic
+  dispatcher.enable_metrics(registry, "disp_test");
+  (void)dispatcher.query(std::vector<double>{0.01});  // surrogate
+  (void)dispatcher.query(std::vector<double>{2.0});   // simulation
+  obs::set_metrics_enabled(was_enabled);
+
+  EXPECT_EQ(registry.counter("disp_test.surrogate_answers").value(), 1u);
+  EXPECT_EQ(registry.counter("disp_test.simulation_answers").value(), 1u);
+  EXPECT_EQ(registry.histogram("disp_test.surrogate_seconds").count(), 1u);
+  EXPECT_EQ(registry.histogram("disp_test.simulation_seconds").count(), 1u);
+  EXPECT_DOUBLE_EQ(registry.gauge("disp_test.surrogate_fraction").value(), 0.5);
 }
 
 TEST(Dispatcher, ReplaceSurrogateValidatesShape) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <locale>
 #include <sstream>
 
 #include "le/nn/layer.hpp"
@@ -450,6 +451,95 @@ TEST(Serialize, BadMagicThrows) {
   std::stringstream ss("not-a-network 0");
   Rng rng(24);
   EXPECT_THROW(load_network(ss, rng), std::runtime_error);
+}
+
+namespace {
+
+/// A numpunct facet with ',' as the decimal point — the de_DE-style locale
+/// that used to corrupt serialized weights ("0,5" instead of "0.5").
+class CommaDecimal : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+}  // namespace
+
+// Regression: save_network/load_network formatted doubles with the
+// stream's locale, so a comma-decimal global locale produced files that
+// were unreadable (or silently wrong) elsewhere.  Both now imbue the
+// classic "C" locale; a round trip under a hostile locale must be exact.
+TEST(Serialize, RoundTripIsExactUnderCommaDecimalLocale) {
+  const std::locale saved = std::locale();
+  std::locale::global(std::locale(std::locale(), new CommaDecimal));
+  Rng rng(25);
+  MlpConfig cfg;
+  cfg.input_dim = 3;
+  cfg.hidden = {6, 4};
+  cfg.output_dim = 2;
+  cfg.activation = Activation::kRelu;
+  Network net = make_mlp(cfg, rng);
+
+  std::vector<double> before;
+  std::string text;
+  try {
+    before = net.get_weights();
+    // A fresh stringstream picks up the (hostile) global locale, exactly
+    // as a user's std::ofstream would.
+    std::stringstream ss;
+    save_network(ss, net);
+    text = ss.str();
+    Rng load_rng(26);
+    Network loaded = load_network(ss, load_rng);
+    const std::vector<double> after = loaded.get_weights();
+    std::locale::global(saved);
+
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(before[i], after[i]);  // bit-exact, not just near
+    }
+  } catch (...) {
+    std::locale::global(saved);
+    throw;
+  }
+  // The serialized form itself is locale-clean: no comma decimals, no
+  // thousands grouping.
+  EXPECT_EQ(text.find(','), std::string::npos);
+}
+
+TEST(Serialize, TwoBranchRoundTripIsExactUnderCommaDecimalLocale) {
+  const std::locale saved = std::locale();
+  std::locale::global(std::locale(std::locale(), new CommaDecimal));
+  try {
+    Rng rng(27);
+    TwoBranchConfig cfg;
+    cfg.branch_a.input_dim = 2;
+    cfg.branch_a.hidden = {3};
+    cfg.branch_a.output_dim = 3;
+    cfg.branch_b.input_dim = 2;
+    cfg.branch_b.hidden = {3};
+    cfg.branch_b.output_dim = 3;
+    cfg.head_hidden = {4};
+    cfg.output_dim = 1;
+    Network net = make_two_branch_network(cfg, rng);
+    const std::vector<double> before = net.get_weights();
+
+    std::stringstream ss;
+    save_network(ss, net);  // nested-network path recurses through branches
+    Rng load_rng(28);
+    Network loaded = load_network(ss, load_rng);
+    const std::vector<double> after = loaded.get_weights();
+    std::locale::global(saved);
+
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(before[i], after[i]);
+    }
+  } catch (...) {
+    std::locale::global(saved);
+    throw;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,365 @@
+// Tests for le::obs — metrics primitives, registry, timers/trace spans and
+// the live Section III-D EffectiveSpeedupMeter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "le/obs/metrics.hpp"
+#include "le/obs/speedup_meter.hpp"
+#include "le/obs/timer.hpp"
+
+namespace {
+
+using namespace le;
+
+/// Flips the global metrics flag for one test and restores it after.
+class MetricsOn {
+ public:
+  MetricsOn() : previous_(obs::metrics_enabled()) {
+    obs::set_metrics_enabled(true);
+  }
+  ~MetricsOn() { obs::set_metrics_enabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+TEST(ObsCounter, AddsAndResets) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, ConcurrentAddsAreLossless) {
+  obs::Counter c;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::size_t i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), kThreads * kAdds);
+}
+
+TEST(ObsGauge, LastWriteWins) {
+  obs::Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  EXPECT_EQ(g.value(), 3.5);
+  g.set(-1.0);
+  EXPECT_EQ(g.value(), -1.0);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(ObsHistogram, BucketBoundsArePowersOfTwoNanoseconds) {
+  // Bucket i covers (2^(i-1), 2^i] ns.
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_upper_bound(0), 1e-9);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_upper_bound(1), 2e-9);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_upper_bound(10), 1024e-9);
+  EXPECT_EQ(obs::Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(1e-9), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(1.5e-9), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_index(2e-9), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_index(2.1e-9), 2u);
+  // 1 s = 1e9 ns, 2^29 < 1e9 <= 2^30.
+  EXPECT_EQ(obs::Histogram::bucket_index(1.0), 30u);
+  // Far beyond the range: clamps to the last bucket.
+  EXPECT_EQ(obs::Histogram::bucket_index(1e12),
+            obs::Histogram::kBucketCount - 1);
+}
+
+TEST(ObsHistogram, StatsTrackRecordedValues) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.record(1e-6);
+  h.record(3e-6);
+  h.record(2e-6);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.sum(), 6e-6, 1e-18);
+  EXPECT_NEAR(h.mean(), 2e-6, 1e-18);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.max(), 3e-6);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(ObsHistogram, QuantilesComeFromBucketUpperBounds) {
+  obs::Histogram h;
+  // 99 fast (~1 us) and 1 slow (~1 ms) samples: p50 must be in the fast
+  // bucket, p99+ reaches the slow one (at most one bucket of error).
+  for (int i = 0; i < 99; ++i) h.record(1e-6);
+  h.record(1e-3);
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 0.5e-6);
+  EXPECT_LE(p50, 2.1e-6);
+  const double p995 = h.quantile(0.995);
+  EXPECT_GT(p995, 0.5e-3);
+  EXPECT_LE(p995, 2.1e-3);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsKeepCountAndExtremes) {
+  obs::Histogram h;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRecords = 5000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::size_t i = 0; i < kRecords; ++i) {
+        h.record(1e-6 * static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), kThreads * kRecords);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.max(), 8e-6);
+}
+
+TEST(ObsRegistry, HandlesAreStableAndNamed) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("events");
+  obs::Counter& b = reg.counter("events");
+  EXPECT_EQ(&a, &b);  // same name, same handle
+  obs::Counter& c = reg.counter("other");
+  EXPECT_NE(&a, &c);
+  a.add(7);
+  reg.gauge("depth").set(2.0);
+  reg.histogram("lat").record(1e-6);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  // Sorted by name: "events" then "other".
+  EXPECT_EQ(snap.counters[0].name, "events");
+  EXPECT_EQ(snap.counters[0].value, 7u);
+  EXPECT_EQ(snap.counters[1].name, "other");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 2.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsHandles) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("n");
+  c.add(5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // handle survives and reads zero
+  c.add(1);
+  EXPECT_EQ(reg.snapshot().counters[0].value, 1u);
+}
+
+TEST(ObsExport, JsonIsWellFormedAndLocaleProof) {
+  obs::MetricsRegistry reg;
+  reg.counter("calls").add(3);
+  reg.gauge("frac").set(0.25);
+  reg.histogram("lat").record(0.5);
+  const std::string json = obs::to_json(reg.snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"calls\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"frac\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  // Locale independence: never a comma decimal separator.
+  EXPECT_EQ(json.find("0,25"), std::string::npos);
+  const std::string text = obs::to_text(reg.snapshot());
+  EXPECT_NE(text.find("calls"), std::string::npos);
+  EXPECT_NE(text.find("frac"), std::string::npos);
+}
+
+TEST(ObsScopedTimer, RecordsOnlyWhenEnabled) {
+  obs::Histogram h;
+  {
+    obs::set_metrics_enabled(false);
+    obs::ScopedTimer t(&h);
+  }
+  EXPECT_EQ(h.count(), 0u);  // disabled: no record
+  {
+    MetricsOn on;
+    obs::ScopedTimer t(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  {
+    MetricsOn on;
+    obs::ScopedTimer t(&h);
+    const double s = t.stop();
+    EXPECT_GE(s, 0.0);
+    EXPECT_EQ(t.stop(), 0.0);  // idempotent: second stop is disarmed
+  }
+  EXPECT_EQ(h.count(), 2u);  // stop() recorded; destructor did not re-record
+  {
+    MetricsOn on;
+    obs::ScopedTimer t(nullptr);  // null histogram is a no-op
+    EXPECT_EQ(t.stop(), 0.0);
+  }
+}
+
+TEST(ObsTrace, SpansCarryDepthAndNesting) {
+  obs::TraceLog::global().clear();
+  obs::set_tracing_enabled(true);
+  EXPECT_EQ(obs::TraceSpan::current_depth(), 0u);
+  {
+    obs::TraceSpan outer("outer");
+    EXPECT_EQ(obs::TraceSpan::current_depth(), 1u);
+    {
+      obs::TraceSpan inner("inner");
+      EXPECT_EQ(obs::TraceSpan::current_depth(), 2u);
+    }
+    EXPECT_EQ(obs::TraceSpan::current_depth(), 1u);
+  }
+  obs::set_tracing_enabled(false);
+  EXPECT_EQ(obs::TraceSpan::current_depth(), 0u);
+
+  const std::vector<obs::SpanRecord> spans =
+      obs::TraceLog::global().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Completion order: inner first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_EQ(spans[0].thread, spans[1].thread);
+  EXPECT_GE(spans[0].start_seconds, spans[1].start_seconds);
+}
+
+TEST(ObsTrace, DisabledSpansRecordNothing) {
+  obs::TraceLog::global().clear();
+  obs::set_tracing_enabled(false);
+  {
+    obs::TraceSpan span("ghost");
+  }
+  EXPECT_TRUE(obs::TraceLog::global().snapshot().empty());
+}
+
+TEST(ObsTrace, RingDropsOldestBeyondCapacity) {
+  obs::TraceLog log(4);
+  for (int i = 0; i < 6; ++i) {
+    obs::SpanRecord r;
+    r.name = "s" + std::to_string(i);
+    log.record(std::move(r));
+  }
+  const auto spans = log.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "s2");  // oldest two dropped
+  EXPECT_EQ(spans.back().name, "s5");
+  EXPECT_EQ(log.dropped(), 2u);
+}
+
+TEST(ObsThreadOrdinal, DistinctPerThread) {
+  const std::uint32_t mine = obs::this_thread_ordinal();
+  EXPECT_EQ(mine, obs::this_thread_ordinal());  // stable
+  std::uint32_t other = mine;
+  std::thread([&other] { other = obs::this_thread_ordinal(); }).join();
+  EXPECT_NE(other, mine);
+}
+
+// ---- EffectiveSpeedupMeter: the live Section III-D equation -------------
+
+TEST(ObsSpeedupMeter, MatchesHandComputedSectionIIID) {
+  obs::EffectiveSpeedupMeter meter;
+  // N_train = 4 sims at 2 s, learning 4 s total (1 s/sample), N_lookup =
+  // 1000 at 1 ms, T_seq = 2.5 s baseline.
+  for (int i = 0; i < 4; ++i) meter.record_train(2.0);
+  meter.record_learn(4.0);
+  meter.record_lookups(1000, 1.0);
+  meter.record_seq_baseline(2.5);
+  meter.record_seq_baseline(2.5);
+
+  const auto snap = meter.snapshot();
+  EXPECT_EQ(snap.n_lookup, 1000u);
+  EXPECT_EQ(snap.n_train, 4u);
+  EXPECT_DOUBLE_EQ(snap.t_lookup(), 1e-3);
+  EXPECT_DOUBLE_EQ(snap.t_train(), 2.0);
+  EXPECT_DOUBLE_EQ(snap.t_learn(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.t_seq(), 2.5);
+
+  // S = T_seq (N_l + N_t) / (T_lkp N_l + (T_tr + T_lrn) N_t)
+  const double expected = 2.5 * 1004.0 / (1e-3 * 1000.0 + (2.0 + 1.0) * 4.0);
+  EXPECT_NEAR(snap.speedup(), expected, 1e-9 * expected);
+  EXPECT_NEAR(snap.no_ml_limit(), 2.5 / 3.0, 1e-12);
+  EXPECT_NEAR(snap.lookup_limit(), 2.5 / 1e-3, 1e-6);
+
+  const std::string line = snap.summary();
+  EXPECT_NE(line.find("S"), std::string::npos);
+  EXPECT_NE(line.find("1000"), std::string::npos);
+}
+
+TEST(ObsSpeedupMeter, NoTrainWorkIsExactlyTheLookupLimit) {
+  // N_train = 0: the train/learn term vanishes, so S must equal
+  // T_seq / T_lookup exactly (not approximately).
+  obs::EffectiveSpeedupMeter meter;
+  meter.record_lookups(500, 0.05);  // T_lookup = 1e-4
+  meter.record_seq_baseline(1.0);
+  const auto snap = meter.snapshot();
+  EXPECT_EQ(snap.n_train, 0u);
+  EXPECT_DOUBLE_EQ(snap.speedup(), snap.lookup_limit());
+  EXPECT_DOUBLE_EQ(snap.speedup(), 1.0 / 1e-4);
+}
+
+TEST(ObsSpeedupMeter, LookupDominatedApproachesTheLimit) {
+  obs::EffectiveSpeedupMeter meter;
+  meter.record_train(1.0);
+  meter.record_learn(1.0);
+  meter.record_lookups(100000000, 100000000.0 * 1e-5);  // N_lookup >> N_train
+  const auto snap = meter.snapshot();
+  // Within 1% of T_seq/T_lookup (T_seq falls back to T_train here).
+  EXPECT_NEAR(snap.speedup() / snap.lookup_limit(), 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(snap.lookup_limit(), 1.0 / 1e-5);
+}
+
+TEST(ObsSpeedupMeter, SeqFallsBackToTrainWithoutBaseline) {
+  obs::EffectiveSpeedupMeter meter;
+  meter.record_train(3.0);
+  EXPECT_DOUBLE_EQ(meter.snapshot().t_seq(), 3.0);
+  meter.record_seq_baseline(5.0);
+  EXPECT_DOUBLE_EQ(meter.snapshot().t_seq(), 5.0);
+}
+
+TEST(ObsSpeedupMeter, EmptyMeterReportsZeroNotNan) {
+  obs::EffectiveSpeedupMeter meter;
+  const auto snap = meter.snapshot();
+  EXPECT_EQ(snap.speedup(), 0.0);
+  EXPECT_EQ(snap.no_ml_limit(), 0.0);
+  EXPECT_EQ(snap.lookup_limit(), 0.0);
+  EXPECT_FALSE(std::isnan(snap.summary().empty() ? 0.0 : snap.speedup()));
+}
+
+TEST(ObsSpeedupMeter, ResetClears) {
+  obs::EffectiveSpeedupMeter meter;
+  meter.record_lookup(1e-3);
+  meter.record_train(1.0);
+  meter.reset();
+  const auto snap = meter.snapshot();
+  EXPECT_EQ(snap.n_lookup, 0u);
+  EXPECT_EQ(snap.n_train, 0u);
+  EXPECT_EQ(snap.speedup(), 0.0);
+}
+
+TEST(ObsSpeedupMeter, ConcurrentRecordingIsLossless) {
+  obs::EffectiveSpeedupMeter meter;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kEach = 4000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&meter] {
+      for (std::size_t i = 0; i < kEach; ++i) meter.record_lookup(1e-6);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto snap = meter.snapshot();
+  EXPECT_EQ(snap.n_lookup, kThreads * kEach);
+  EXPECT_NEAR(snap.lookup_seconds, 1e-6 * static_cast<double>(kThreads * kEach),
+              1e-9);
+}
+
+}  // namespace

@@ -51,6 +51,87 @@ TEST(ThreadPool, ManyTasksComplete) {
   EXPECT_EQ(count.load(), 200);
 }
 
+// Regression: parallel_for from inside a pool worker used to deadlock —
+// the worker blocked on futures that only it could have executed.  On a
+// 1-thread pool the deadlock was certain; now the nested loop runs inline.
+TEST(ThreadPool, NestedParallelForOnOneThreadPoolCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> inner_hits{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { inner_hits.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_hits.load(), 4 * 8);
+}
+
+TEST(ThreadPool, ParallelForInsideSubmittedTaskCompletes) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([&pool] {
+    int sum = 0;
+    pool.parallel_for(16, [&sum](std::size_t i) {
+      // Inline on the worker, so unsynchronized accumulation is safe.
+      sum += static_cast<int>(i);
+    });
+    return sum;
+  });
+  EXPECT_EQ(fut.get(), 120);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  pool.parallel_for(3, [&](std::size_t) {
+    pool.parallel_for(3, [&](std::size_t) {
+      pool.parallel_for(3, [&](std::size_t) { leaves.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 27);
+}
+
+TEST(ThreadPool, OnWorkerThreadDistinguishesPools) {
+  ThreadPool a(1);
+  ThreadPool b(1);
+  EXPECT_FALSE(a.on_worker_thread());
+  EXPECT_TRUE(a.submit([&a] { return a.on_worker_thread(); }).get());
+  EXPECT_FALSE(a.submit([&b] { return b.on_worker_thread(); }).get());
+}
+
+// Regression: when an iteration threw, parallel_for rethrew from the first
+// future and abandoned the rest; a still-running chunk could then touch
+// freed state.  All futures must be drained, every non-throwing iteration
+// must run, and the first exception must still propagate.
+TEST(ThreadPool, ParallelForDrainsAllChunksWhenTwoThrow) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 64;
+  std::vector<std::atomic<int>> hits(kN);
+  EXPECT_THROW(
+      pool.parallel_for(kN,
+                        [&](std::size_t i) {
+                          hits[i].fetch_add(1);
+                          // Two distinct chunks throw, from their last
+                          // iteration (chunking is contiguous: 4 workers x
+                          // 16 indices), so every index still executes.
+                          if (i == 15 || i == kN - 1) {
+                            throw std::runtime_error("iteration failed");
+                          }
+                        }),
+      std::runtime_error);
+  // Every iteration ran exactly once: no chunk was abandoned mid-drain.
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // The pool is still healthy afterwards.
+  EXPECT_EQ(pool.submit([] { return 5; }).get(), 5);
+}
+
+TEST(ThreadPool, ParallelForExceptionInNestedInlineLoopPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(2,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(2, [](std::size_t j) {
+                                     if (j == 1) throw std::logic_error("inner");
+                                   });
+                                 }),
+               std::logic_error);
+}
+
 void run_ranks(std::size_t p, const std::function<void(std::size_t)>& body) {
   std::vector<std::thread> threads;
   for (std::size_t r = 0; r < p; ++r) threads.emplace_back(body, r);
