@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autotune/src/gemm_tuner.cpp" "src/autotune/CMakeFiles/le_autotune.dir/src/gemm_tuner.cpp.o" "gcc" "src/autotune/CMakeFiles/le_autotune.dir/src/gemm_tuner.cpp.o.d"
+  "/root/repo/src/autotune/src/md_autotune.cpp" "src/autotune/CMakeFiles/le_autotune.dir/src/md_autotune.cpp.o" "gcc" "src/autotune/CMakeFiles/le_autotune.dir/src/md_autotune.cpp.o.d"
+  "/root/repo/src/autotune/src/search.cpp" "src/autotune/CMakeFiles/le_autotune.dir/src/search.cpp.o" "gcc" "src/autotune/CMakeFiles/le_autotune.dir/src/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nn/CMakeFiles/le_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/le_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/le_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/md/CMakeFiles/le_md.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/le_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/le_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/le_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

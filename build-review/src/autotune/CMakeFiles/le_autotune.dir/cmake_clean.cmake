@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/le_autotune.dir/src/gemm_tuner.cpp.o"
+  "CMakeFiles/le_autotune.dir/src/gemm_tuner.cpp.o.d"
+  "CMakeFiles/le_autotune.dir/src/md_autotune.cpp.o"
+  "CMakeFiles/le_autotune.dir/src/md_autotune.cpp.o.d"
+  "CMakeFiles/le_autotune.dir/src/search.cpp.o"
+  "CMakeFiles/le_autotune.dir/src/search.cpp.o.d"
+  "lible_autotune.a"
+  "lible_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/le_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/adaptive_loop.cpp" "src/core/CMakeFiles/le_core.dir/src/adaptive_loop.cpp.o" "gcc" "src/core/CMakeFiles/le_core.dir/src/adaptive_loop.cpp.o.d"
+  "/root/repo/src/core/src/campaign.cpp" "src/core/CMakeFiles/le_core.dir/src/campaign.cpp.o" "gcc" "src/core/CMakeFiles/le_core.dir/src/campaign.cpp.o.d"
+  "/root/repo/src/core/src/effective_speedup.cpp" "src/core/CMakeFiles/le_core.dir/src/effective_speedup.cpp.o" "gcc" "src/core/CMakeFiles/le_core.dir/src/effective_speedup.cpp.o.d"
+  "/root/repo/src/core/src/ml_control.cpp" "src/core/CMakeFiles/le_core.dir/src/ml_control.cpp.o" "gcc" "src/core/CMakeFiles/le_core.dir/src/ml_control.cpp.o.d"
+  "/root/repo/src/core/src/network_problem.cpp" "src/core/CMakeFiles/le_core.dir/src/network_problem.cpp.o" "gcc" "src/core/CMakeFiles/le_core.dir/src/network_problem.cpp.o.d"
+  "/root/repo/src/core/src/resilient.cpp" "src/core/CMakeFiles/le_core.dir/src/resilient.cpp.o" "gcc" "src/core/CMakeFiles/le_core.dir/src/resilient.cpp.o.d"
+  "/root/repo/src/core/src/surrogate.cpp" "src/core/CMakeFiles/le_core.dir/src/surrogate.cpp.o" "gcc" "src/core/CMakeFiles/le_core.dir/src/surrogate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nn/CMakeFiles/le_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/uq/CMakeFiles/le_uq.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/le_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/le_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/le_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/le_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/le_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/le_core.dir/src/adaptive_loop.cpp.o"
+  "CMakeFiles/le_core.dir/src/adaptive_loop.cpp.o.d"
+  "CMakeFiles/le_core.dir/src/campaign.cpp.o"
+  "CMakeFiles/le_core.dir/src/campaign.cpp.o.d"
+  "CMakeFiles/le_core.dir/src/effective_speedup.cpp.o"
+  "CMakeFiles/le_core.dir/src/effective_speedup.cpp.o.d"
+  "CMakeFiles/le_core.dir/src/ml_control.cpp.o"
+  "CMakeFiles/le_core.dir/src/ml_control.cpp.o.d"
+  "CMakeFiles/le_core.dir/src/network_problem.cpp.o"
+  "CMakeFiles/le_core.dir/src/network_problem.cpp.o.d"
+  "CMakeFiles/le_core.dir/src/resilient.cpp.o"
+  "CMakeFiles/le_core.dir/src/resilient.cpp.o.d"
+  "CMakeFiles/le_core.dir/src/surrogate.cpp.o"
+  "CMakeFiles/le_core.dir/src/surrogate.cpp.o.d"
+  "lible_core.a"
+  "lible_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/le_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/src/csv.cpp" "src/data/CMakeFiles/le_data.dir/src/csv.cpp.o" "gcc" "src/data/CMakeFiles/le_data.dir/src/csv.cpp.o.d"
+  "/root/repo/src/data/src/dataset.cpp" "src/data/CMakeFiles/le_data.dir/src/dataset.cpp.o" "gcc" "src/data/CMakeFiles/le_data.dir/src/dataset.cpp.o.d"
+  "/root/repo/src/data/src/normalizer.cpp" "src/data/CMakeFiles/le_data.dir/src/normalizer.cpp.o" "gcc" "src/data/CMakeFiles/le_data.dir/src/normalizer.cpp.o.d"
+  "/root/repo/src/data/src/sampler.cpp" "src/data/CMakeFiles/le_data.dir/src/sampler.cpp.o" "gcc" "src/data/CMakeFiles/le_data.dir/src/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/tensor/CMakeFiles/le_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/le_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

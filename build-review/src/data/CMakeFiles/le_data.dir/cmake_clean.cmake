@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/le_data.dir/src/csv.cpp.o"
+  "CMakeFiles/le_data.dir/src/csv.cpp.o.d"
+  "CMakeFiles/le_data.dir/src/dataset.cpp.o"
+  "CMakeFiles/le_data.dir/src/dataset.cpp.o.d"
+  "CMakeFiles/le_data.dir/src/normalizer.cpp.o"
+  "CMakeFiles/le_data.dir/src/normalizer.cpp.o.d"
+  "CMakeFiles/le_data.dir/src/sampler.cpp.o"
+  "CMakeFiles/le_data.dir/src/sampler.cpp.o.d"
+  "lible_data.a"
+  "lible_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/le_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epi/src/baselines.cpp" "src/epi/CMakeFiles/le_epi.dir/src/baselines.cpp.o" "gcc" "src/epi/CMakeFiles/le_epi.dir/src/baselines.cpp.o.d"
+  "/root/repo/src/epi/src/defsi.cpp" "src/epi/CMakeFiles/le_epi.dir/src/defsi.cpp.o" "gcc" "src/epi/CMakeFiles/le_epi.dir/src/defsi.cpp.o.d"
+  "/root/repo/src/epi/src/population.cpp" "src/epi/CMakeFiles/le_epi.dir/src/population.cpp.o" "gcc" "src/epi/CMakeFiles/le_epi.dir/src/population.cpp.o.d"
+  "/root/repo/src/epi/src/seir.cpp" "src/epi/CMakeFiles/le_epi.dir/src/seir.cpp.o" "gcc" "src/epi/CMakeFiles/le_epi.dir/src/seir.cpp.o.d"
+  "/root/repo/src/epi/src/surveillance.cpp" "src/epi/CMakeFiles/le_epi.dir/src/surveillance.cpp.o" "gcc" "src/epi/CMakeFiles/le_epi.dir/src/surveillance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nn/CMakeFiles/le_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/le_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/le_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/le_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/le_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/le_epi.dir/src/baselines.cpp.o"
+  "CMakeFiles/le_epi.dir/src/baselines.cpp.o.d"
+  "CMakeFiles/le_epi.dir/src/defsi.cpp.o"
+  "CMakeFiles/le_epi.dir/src/defsi.cpp.o.d"
+  "CMakeFiles/le_epi.dir/src/population.cpp.o"
+  "CMakeFiles/le_epi.dir/src/population.cpp.o.d"
+  "CMakeFiles/le_epi.dir/src/seir.cpp.o"
+  "CMakeFiles/le_epi.dir/src/seir.cpp.o.d"
+  "CMakeFiles/le_epi.dir/src/surveillance.cpp.o"
+  "CMakeFiles/le_epi.dir/src/surveillance.cpp.o.d"
+  "lible_epi.a"
+  "lible_epi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/le_epi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "lible_epi.a"
+)

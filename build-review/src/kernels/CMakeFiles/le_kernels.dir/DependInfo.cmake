@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/src/ccd.cpp" "src/kernels/CMakeFiles/le_kernels.dir/src/ccd.cpp.o" "gcc" "src/kernels/CMakeFiles/le_kernels.dir/src/ccd.cpp.o.d"
+  "/root/repo/src/kernels/src/ising.cpp" "src/kernels/CMakeFiles/le_kernels.dir/src/ising.cpp.o" "gcc" "src/kernels/CMakeFiles/le_kernels.dir/src/ising.cpp.o.d"
+  "/root/repo/src/kernels/src/kmeans.cpp" "src/kernels/CMakeFiles/le_kernels.dir/src/kmeans.cpp.o" "gcc" "src/kernels/CMakeFiles/le_kernels.dir/src/kmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/tensor/CMakeFiles/le_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/le_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/le_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/le_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

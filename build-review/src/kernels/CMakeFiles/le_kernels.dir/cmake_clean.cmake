@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/le_kernels.dir/src/ccd.cpp.o"
+  "CMakeFiles/le_kernels.dir/src/ccd.cpp.o.d"
+  "CMakeFiles/le_kernels.dir/src/ising.cpp.o"
+  "CMakeFiles/le_kernels.dir/src/ising.cpp.o.d"
+  "CMakeFiles/le_kernels.dir/src/kmeans.cpp.o"
+  "CMakeFiles/le_kernels.dir/src/kmeans.cpp.o.d"
+  "lible_kernels.a"
+  "lible_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/le_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/src/integrator.cpp" "src/md/CMakeFiles/le_md.dir/src/integrator.cpp.o" "gcc" "src/md/CMakeFiles/le_md.dir/src/integrator.cpp.o.d"
+  "/root/repo/src/md/src/monte_carlo.cpp" "src/md/CMakeFiles/le_md.dir/src/monte_carlo.cpp.o" "gcc" "src/md/CMakeFiles/le_md.dir/src/monte_carlo.cpp.o.d"
+  "/root/repo/src/md/src/nanoconfinement.cpp" "src/md/CMakeFiles/le_md.dir/src/nanoconfinement.cpp.o" "gcc" "src/md/CMakeFiles/le_md.dir/src/nanoconfinement.cpp.o.d"
+  "/root/repo/src/md/src/neighbor.cpp" "src/md/CMakeFiles/le_md.dir/src/neighbor.cpp.o" "gcc" "src/md/CMakeFiles/le_md.dir/src/neighbor.cpp.o.d"
+  "/root/repo/src/md/src/nn_potential.cpp" "src/md/CMakeFiles/le_md.dir/src/nn_potential.cpp.o" "gcc" "src/md/CMakeFiles/le_md.dir/src/nn_potential.cpp.o.d"
+  "/root/repo/src/md/src/observables.cpp" "src/md/CMakeFiles/le_md.dir/src/observables.cpp.o" "gcc" "src/md/CMakeFiles/le_md.dir/src/observables.cpp.o.d"
+  "/root/repo/src/md/src/potentials.cpp" "src/md/CMakeFiles/le_md.dir/src/potentials.cpp.o" "gcc" "src/md/CMakeFiles/le_md.dir/src/potentials.cpp.o.d"
+  "/root/repo/src/md/src/reference_potential.cpp" "src/md/CMakeFiles/le_md.dir/src/reference_potential.cpp.o" "gcc" "src/md/CMakeFiles/le_md.dir/src/reference_potential.cpp.o.d"
+  "/root/repo/src/md/src/symmetry.cpp" "src/md/CMakeFiles/le_md.dir/src/symmetry.cpp.o" "gcc" "src/md/CMakeFiles/le_md.dir/src/symmetry.cpp.o.d"
+  "/root/repo/src/md/src/system.cpp" "src/md/CMakeFiles/le_md.dir/src/system.cpp.o" "gcc" "src/md/CMakeFiles/le_md.dir/src/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/tensor/CMakeFiles/le_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/le_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/le_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/le_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/le_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/le_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

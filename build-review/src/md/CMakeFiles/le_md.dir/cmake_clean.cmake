@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/le_md.dir/src/integrator.cpp.o"
+  "CMakeFiles/le_md.dir/src/integrator.cpp.o.d"
+  "CMakeFiles/le_md.dir/src/monte_carlo.cpp.o"
+  "CMakeFiles/le_md.dir/src/monte_carlo.cpp.o.d"
+  "CMakeFiles/le_md.dir/src/nanoconfinement.cpp.o"
+  "CMakeFiles/le_md.dir/src/nanoconfinement.cpp.o.d"
+  "CMakeFiles/le_md.dir/src/neighbor.cpp.o"
+  "CMakeFiles/le_md.dir/src/neighbor.cpp.o.d"
+  "CMakeFiles/le_md.dir/src/nn_potential.cpp.o"
+  "CMakeFiles/le_md.dir/src/nn_potential.cpp.o.d"
+  "CMakeFiles/le_md.dir/src/observables.cpp.o"
+  "CMakeFiles/le_md.dir/src/observables.cpp.o.d"
+  "CMakeFiles/le_md.dir/src/potentials.cpp.o"
+  "CMakeFiles/le_md.dir/src/potentials.cpp.o.d"
+  "CMakeFiles/le_md.dir/src/reference_potential.cpp.o"
+  "CMakeFiles/le_md.dir/src/reference_potential.cpp.o.d"
+  "CMakeFiles/le_md.dir/src/symmetry.cpp.o"
+  "CMakeFiles/le_md.dir/src/symmetry.cpp.o.d"
+  "CMakeFiles/le_md.dir/src/system.cpp.o"
+  "CMakeFiles/le_md.dir/src/system.cpp.o.d"
+  "lible_md.a"
+  "lible_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/le_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/src/layer.cpp" "src/nn/CMakeFiles/le_nn.dir/src/layer.cpp.o" "gcc" "src/nn/CMakeFiles/le_nn.dir/src/layer.cpp.o.d"
+  "/root/repo/src/nn/src/loss.cpp" "src/nn/CMakeFiles/le_nn.dir/src/loss.cpp.o" "gcc" "src/nn/CMakeFiles/le_nn.dir/src/loss.cpp.o.d"
+  "/root/repo/src/nn/src/network.cpp" "src/nn/CMakeFiles/le_nn.dir/src/network.cpp.o" "gcc" "src/nn/CMakeFiles/le_nn.dir/src/network.cpp.o.d"
+  "/root/repo/src/nn/src/optimizer.cpp" "src/nn/CMakeFiles/le_nn.dir/src/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/le_nn.dir/src/optimizer.cpp.o.d"
+  "/root/repo/src/nn/src/serialize.cpp" "src/nn/CMakeFiles/le_nn.dir/src/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/le_nn.dir/src/serialize.cpp.o.d"
+  "/root/repo/src/nn/src/train.cpp" "src/nn/CMakeFiles/le_nn.dir/src/train.cpp.o" "gcc" "src/nn/CMakeFiles/le_nn.dir/src/train.cpp.o.d"
+  "/root/repo/src/nn/src/two_branch.cpp" "src/nn/CMakeFiles/le_nn.dir/src/two_branch.cpp.o" "gcc" "src/nn/CMakeFiles/le_nn.dir/src/two_branch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/tensor/CMakeFiles/le_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/le_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/le_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/le_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/le_nn.dir/src/layer.cpp.o"
+  "CMakeFiles/le_nn.dir/src/layer.cpp.o.d"
+  "CMakeFiles/le_nn.dir/src/loss.cpp.o"
+  "CMakeFiles/le_nn.dir/src/loss.cpp.o.d"
+  "CMakeFiles/le_nn.dir/src/network.cpp.o"
+  "CMakeFiles/le_nn.dir/src/network.cpp.o.d"
+  "CMakeFiles/le_nn.dir/src/optimizer.cpp.o"
+  "CMakeFiles/le_nn.dir/src/optimizer.cpp.o.d"
+  "CMakeFiles/le_nn.dir/src/serialize.cpp.o"
+  "CMakeFiles/le_nn.dir/src/serialize.cpp.o.d"
+  "CMakeFiles/le_nn.dir/src/train.cpp.o"
+  "CMakeFiles/le_nn.dir/src/train.cpp.o.d"
+  "CMakeFiles/le_nn.dir/src/two_branch.cpp.o"
+  "CMakeFiles/le_nn.dir/src/two_branch.cpp.o.d"
+  "lible_nn.a"
+  "lible_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/le_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

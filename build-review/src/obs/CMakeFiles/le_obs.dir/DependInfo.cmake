@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/src/metrics.cpp" "src/obs/CMakeFiles/le_obs.dir/src/metrics.cpp.o" "gcc" "src/obs/CMakeFiles/le_obs.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/obs/src/speedup_meter.cpp" "src/obs/CMakeFiles/le_obs.dir/src/speedup_meter.cpp.o" "gcc" "src/obs/CMakeFiles/le_obs.dir/src/speedup_meter.cpp.o.d"
+  "/root/repo/src/obs/src/timer.cpp" "src/obs/CMakeFiles/le_obs.dir/src/timer.cpp.o" "gcc" "src/obs/CMakeFiles/le_obs.dir/src/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/le_obs.dir/src/metrics.cpp.o"
+  "CMakeFiles/le_obs.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/le_obs.dir/src/speedup_meter.cpp.o"
+  "CMakeFiles/le_obs.dir/src/speedup_meter.cpp.o.d"
+  "CMakeFiles/le_obs.dir/src/timer.cpp.o"
+  "CMakeFiles/le_obs.dir/src/timer.cpp.o.d"
+  "lible_obs.a"
+  "lible_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/le_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

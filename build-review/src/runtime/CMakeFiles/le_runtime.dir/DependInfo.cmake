@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/src/communicator.cpp" "src/runtime/CMakeFiles/le_runtime.dir/src/communicator.cpp.o" "gcc" "src/runtime/CMakeFiles/le_runtime.dir/src/communicator.cpp.o.d"
+  "/root/repo/src/runtime/src/fault.cpp" "src/runtime/CMakeFiles/le_runtime.dir/src/fault.cpp.o" "gcc" "src/runtime/CMakeFiles/le_runtime.dir/src/fault.cpp.o.d"
+  "/root/repo/src/runtime/src/scheduler.cpp" "src/runtime/CMakeFiles/le_runtime.dir/src/scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/le_runtime.dir/src/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/src/sync_engine.cpp" "src/runtime/CMakeFiles/le_runtime.dir/src/sync_engine.cpp.o" "gcc" "src/runtime/CMakeFiles/le_runtime.dir/src/sync_engine.cpp.o.d"
+  "/root/repo/src/runtime/src/thread_pool.cpp" "src/runtime/CMakeFiles/le_runtime.dir/src/thread_pool.cpp.o" "gcc" "src/runtime/CMakeFiles/le_runtime.dir/src/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/tensor/CMakeFiles/le_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/le_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/le_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

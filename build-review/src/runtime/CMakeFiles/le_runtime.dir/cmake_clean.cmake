@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/le_runtime.dir/src/communicator.cpp.o"
+  "CMakeFiles/le_runtime.dir/src/communicator.cpp.o.d"
+  "CMakeFiles/le_runtime.dir/src/fault.cpp.o"
+  "CMakeFiles/le_runtime.dir/src/fault.cpp.o.d"
+  "CMakeFiles/le_runtime.dir/src/scheduler.cpp.o"
+  "CMakeFiles/le_runtime.dir/src/scheduler.cpp.o.d"
+  "CMakeFiles/le_runtime.dir/src/sync_engine.cpp.o"
+  "CMakeFiles/le_runtime.dir/src/sync_engine.cpp.o.d"
+  "CMakeFiles/le_runtime.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/le_runtime.dir/src/thread_pool.cpp.o.d"
+  "lible_runtime.a"
+  "lible_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/le_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/src/autocorr.cpp" "src/stats/CMakeFiles/le_stats.dir/src/autocorr.cpp.o" "gcc" "src/stats/CMakeFiles/le_stats.dir/src/autocorr.cpp.o.d"
+  "/root/repo/src/stats/src/descriptive.cpp" "src/stats/CMakeFiles/le_stats.dir/src/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/le_stats.dir/src/descriptive.cpp.o.d"
+  "/root/repo/src/stats/src/histogram.cpp" "src/stats/CMakeFiles/le_stats.dir/src/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/le_stats.dir/src/histogram.cpp.o.d"
+  "/root/repo/src/stats/src/metrics.cpp" "src/stats/CMakeFiles/le_stats.dir/src/metrics.cpp.o" "gcc" "src/stats/CMakeFiles/le_stats.dir/src/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

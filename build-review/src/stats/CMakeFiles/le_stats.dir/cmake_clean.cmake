@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/le_stats.dir/src/autocorr.cpp.o"
+  "CMakeFiles/le_stats.dir/src/autocorr.cpp.o.d"
+  "CMakeFiles/le_stats.dir/src/descriptive.cpp.o"
+  "CMakeFiles/le_stats.dir/src/descriptive.cpp.o.d"
+  "CMakeFiles/le_stats.dir/src/histogram.cpp.o"
+  "CMakeFiles/le_stats.dir/src/histogram.cpp.o.d"
+  "CMakeFiles/le_stats.dir/src/metrics.cpp.o"
+  "CMakeFiles/le_stats.dir/src/metrics.cpp.o.d"
+  "lible_stats.a"
+  "lible_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/le_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

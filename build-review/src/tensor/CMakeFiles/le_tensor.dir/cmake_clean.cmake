@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/le_tensor.dir/src/matrix.cpp.o"
+  "CMakeFiles/le_tensor.dir/src/matrix.cpp.o.d"
+  "CMakeFiles/le_tensor.dir/src/ops.cpp.o"
+  "CMakeFiles/le_tensor.dir/src/ops.cpp.o.d"
+  "lible_tensor.a"
+  "lible_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/le_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

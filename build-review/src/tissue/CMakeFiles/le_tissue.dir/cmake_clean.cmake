@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/le_tissue.dir/src/cell_model.cpp.o"
+  "CMakeFiles/le_tissue.dir/src/cell_model.cpp.o.d"
+  "CMakeFiles/le_tissue.dir/src/diffusion.cpp.o"
+  "CMakeFiles/le_tissue.dir/src/diffusion.cpp.o.d"
+  "CMakeFiles/le_tissue.dir/src/grid.cpp.o"
+  "CMakeFiles/le_tissue.dir/src/grid.cpp.o.d"
+  "CMakeFiles/le_tissue.dir/src/surrogate.cpp.o"
+  "CMakeFiles/le_tissue.dir/src/surrogate.cpp.o.d"
+  "lible_tissue.a"
+  "lible_tissue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/le_tissue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uq/src/acquisition.cpp" "src/uq/CMakeFiles/le_uq.dir/src/acquisition.cpp.o" "gcc" "src/uq/CMakeFiles/le_uq.dir/src/acquisition.cpp.o.d"
+  "/root/repo/src/uq/src/calibration.cpp" "src/uq/CMakeFiles/le_uq.dir/src/calibration.cpp.o" "gcc" "src/uq/CMakeFiles/le_uq.dir/src/calibration.cpp.o.d"
+  "/root/repo/src/uq/src/deep_ensemble.cpp" "src/uq/CMakeFiles/le_uq.dir/src/deep_ensemble.cpp.o" "gcc" "src/uq/CMakeFiles/le_uq.dir/src/deep_ensemble.cpp.o.d"
+  "/root/repo/src/uq/src/mc_dropout.cpp" "src/uq/CMakeFiles/le_uq.dir/src/mc_dropout.cpp.o" "gcc" "src/uq/CMakeFiles/le_uq.dir/src/mc_dropout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nn/CMakeFiles/le_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/le_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/le_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/le_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/le_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

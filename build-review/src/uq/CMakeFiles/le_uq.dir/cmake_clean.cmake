@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/le_uq.dir/src/acquisition.cpp.o"
+  "CMakeFiles/le_uq.dir/src/acquisition.cpp.o.d"
+  "CMakeFiles/le_uq.dir/src/calibration.cpp.o"
+  "CMakeFiles/le_uq.dir/src/calibration.cpp.o.d"
+  "CMakeFiles/le_uq.dir/src/deep_ensemble.cpp.o"
+  "CMakeFiles/le_uq.dir/src/deep_ensemble.cpp.o.d"
+  "CMakeFiles/le_uq.dir/src/mc_dropout.cpp.o"
+  "CMakeFiles/le_uq.dir/src/mc_dropout.cpp.o.d"
+  "lible_uq.a"
+  "lible_uq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/le_uq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

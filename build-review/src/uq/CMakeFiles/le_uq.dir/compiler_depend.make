@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for le_uq.
+# This may be replaced when dependencies are built.
