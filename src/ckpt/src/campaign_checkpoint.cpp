@@ -1,0 +1,335 @@
+#include "le/ckpt/campaign_checkpoint.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <locale>
+#include <sstream>
+
+#include "le/obs/metrics.hpp"
+
+namespace le::ckpt {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Classic-locale text stream: checkpoint payloads must round-trip
+/// bit-exactly regardless of the host's global locale.
+std::ostringstream make_out() {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out.precision(17);
+  return out;
+}
+
+std::istringstream make_in(const std::string& text) {
+  std::istringstream in(text);
+  in.imbue(std::locale::classic());
+  return in;
+}
+
+[[noreturn]] void bad_section(const std::string& name) {
+  throw CheckpointError("checkpoint: malformed section '" + name + "'");
+}
+
+template <typename T>
+std::string encode_values(const std::vector<T>& values) {
+  auto out = make_out();
+  out << values.size();
+  for (const T& v : values) out << ' ' << v;
+  return std::move(out).str();
+}
+
+template <typename T>
+std::vector<T> decode_values(const std::string& text, const char* name) {
+  auto in = make_in(text);
+  std::size_t count = 0;
+  if (!(in >> count)) bad_section(name);
+  std::vector<T> values(count);
+  for (T& v : values) {
+    if (!(in >> v)) bad_section(name);
+  }
+  return values;
+}
+
+const Section& find_section(const std::vector<Section>& sections,
+                            const std::string& name) {
+  for (const Section& s : sections) {
+    if (s.name == name) return s;
+  }
+  throw CheckpointError("checkpoint: missing section '" + name + "'");
+}
+
+std::string encode_dataset(const data::Dataset& dataset) {
+  auto out = make_out();
+  out << dataset.input_dim() << ' ' << dataset.target_dim() << ' '
+      << dataset.size() << '\n';
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    for (double v : dataset.input(i)) out << v << ' ';
+    for (double v : dataset.target(i)) out << v << ' ';
+    out << '\n';
+  }
+  return std::move(out).str();
+}
+
+data::Dataset decode_dataset(const std::string& text) {
+  auto in = make_in(text);
+  std::size_t input_dim = 0, target_dim = 0, count = 0;
+  if (!(in >> input_dim >> target_dim >> count)) bad_section("dataset");
+  data::Dataset dataset(input_dim, target_dim);
+  std::vector<double> input(input_dim), target(target_dim);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (double& v : input) {
+      if (!(in >> v)) bad_section("dataset");
+    }
+    for (double& v : target) {
+      if (!(in >> v)) bad_section("dataset");
+    }
+    dataset.add(input, target);
+  }
+  return dataset;
+}
+
+}  // namespace
+
+std::string encode_rng(const stats::Rng& rng) {
+  auto out = make_out();
+  // mt19937_64 streams its full 312-word state; seed_ is carried
+  // separately because split() derives children from it, not the engine.
+  out << rng.seed() << ' ';
+  stats::Rng copy = rng;  // operator<< on the engine is non-const
+  out << copy.engine();
+  return std::move(out).str();
+}
+
+stats::Rng decode_rng(const std::string& text) {
+  auto in = make_in(text);
+  std::uint64_t seed = 0;
+  if (!(in >> seed)) throw CheckpointError("checkpoint: bad rng state");
+  stats::Rng rng(seed);
+  if (!(in >> rng.engine())) {
+    throw CheckpointError("checkpoint: bad rng engine state");
+  }
+  return rng;
+}
+
+std::vector<Section> CampaignState::encode() const {
+  std::vector<Section> sections;
+  {
+    auto out = make_out();
+    out << kind << ' ' << sequence << ' ' << progress << ' '
+        << simulations_run << ' ' << simulations_failed;
+    sections.push_back({"meta", std::move(out).str()});
+  }
+  sections.push_back({"completed", encode_values(completed_tasks)});
+  sections.push_back({"dataset", encode_dataset(dataset)});
+  sections.push_back({"rng", rng_state});
+  sections.push_back({"network", network_text});
+  {
+    auto out = make_out();
+    out << encode_values(input_scale_lo) << '\n'
+        << encode_values(input_scale_hi) << '\n'
+        << encode_values(output_scale_lo) << '\n'
+        << encode_values(output_scale_hi);
+    sections.push_back({"normalizer", std::move(out).str()});
+  }
+  sections.push_back({"scalars", encode_values(scalars)});
+  sections.push_back({"series", encode_values(series)});
+  {
+    auto out = make_out();
+    out << meter.n_lookup << ' ' << meter.n_train << ' ' << meter.seq_samples
+        << ' ' << meter.lookup_seconds << ' ' << meter.train_seconds << ' '
+        << meter.learn_seconds << ' ' << meter.seq_seconds;
+    sections.push_back({"meter", std::move(out).str()});
+  }
+  return sections;
+}
+
+CampaignState CampaignState::decode(const std::vector<Section>& sections) {
+  CampaignState state;
+  {
+    auto in = make_in(find_section(sections, "meta").payload);
+    if (!(in >> state.kind >> state.sequence >> state.progress >>
+          state.simulations_run >> state.simulations_failed)) {
+      bad_section("meta");
+    }
+  }
+  state.completed_tasks = decode_values<std::uint64_t>(
+      find_section(sections, "completed").payload, "completed");
+  state.dataset = decode_dataset(find_section(sections, "dataset").payload);
+  state.rng_state = find_section(sections, "rng").payload;
+  state.network_text = find_section(sections, "network").payload;
+  {
+    auto in = make_in(find_section(sections, "normalizer").payload);
+    std::string line;
+    const auto next_vector = [&] {
+      if (!std::getline(in, line)) bad_section("normalizer");
+      return decode_values<double>(line, "normalizer");
+    };
+    state.input_scale_lo = next_vector();
+    state.input_scale_hi = next_vector();
+    state.output_scale_lo = next_vector();
+    state.output_scale_hi = next_vector();
+  }
+  state.scalars = decode_values<double>(
+      find_section(sections, "scalars").payload, "scalars");
+  state.series = decode_values<double>(
+      find_section(sections, "series").payload, "series");
+  {
+    auto in = make_in(find_section(sections, "meter").payload);
+    if (!(in >> state.meter.n_lookup >> state.meter.n_train >>
+          state.meter.seq_samples >> state.meter.lookup_seconds >>
+          state.meter.train_seconds >> state.meter.learn_seconds >>
+          state.meter.seq_seconds)) {
+      bad_section("meter");
+    }
+  }
+  // The rng section must be replayable now, not when the campaign first
+  // draws from it (fail at restore, where fallback is still possible).
+  if (!state.rng_state.empty()) (void)decode_rng(state.rng_state);
+  return state;
+}
+
+void CheckpointerConfig::validate() const {
+  if (directory.empty()) {
+    throw std::invalid_argument("CampaignCheckpointer: empty directory");
+  }
+  if (campaign_id.empty() ||
+      campaign_id.find_first_of("/ \t\n") != std::string::npos) {
+    throw std::invalid_argument("CampaignCheckpointer: bad campaign_id '" +
+                                campaign_id + "'");
+  }
+  if (interval == 0) {
+    throw std::invalid_argument("CampaignCheckpointer: interval == 0");
+  }
+  if (keep == 0) {
+    throw std::invalid_argument("CampaignCheckpointer: keep == 0");
+  }
+}
+
+CampaignCheckpointer::CampaignCheckpointer(CheckpointerConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+  fs::create_directories(config_.directory);
+  // Continue the sequence past anything already on disk, including
+  // corrupt files — their numbers are burned, never reused.
+  for (const auto& entry : scan()) {
+    next_sequence_ = std::max(next_sequence_, entry.first + 1);
+  }
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    m_saves_ = &registry.counter("ckpt.saves");
+    m_bytes_ = &registry.counter("ckpt.bytes_written");
+    m_restores_ = &registry.counter("ckpt.restores");
+    m_corrupt_ = &registry.counter("ckpt.corrupt_skipped");
+    m_save_seconds_ = &registry.histogram("ckpt.save_seconds");
+    m_load_seconds_ = &registry.histogram("ckpt.load_seconds");
+  }
+}
+
+bool CampaignCheckpointer::due(std::uint64_t completed_tasks) const noexcept {
+  if (!saved_or_loaded_) return completed_tasks >= config_.interval;
+  return completed_tasks >= last_saved_tasks_ + config_.interval;
+}
+
+std::string CampaignCheckpointer::path_for(std::uint64_t sequence) const {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".%08llu.ckpt",
+                static_cast<unsigned long long>(sequence));
+  return (fs::path(config_.directory) / (config_.campaign_id + suffix))
+      .string();
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> CampaignCheckpointer::scan()
+    const {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  const std::string prefix = config_.campaign_id + ".";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() + 5 || name.rfind(prefix, 0) != 0 ||
+        name.substr(name.size() - 5) != ".ckpt") {
+      continue;
+    }
+    const std::string_view digits(name.data() + prefix.size(),
+                                  name.size() - prefix.size() - 5);
+    std::uint64_t sequence = 0;
+    const auto [ptr, err] = std::from_chars(
+        digits.data(), digits.data() + digits.size(), sequence);
+    if (err != std::errc{} || ptr != digits.data() + digits.size()) continue;
+    found.emplace_back(sequence, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+std::string CampaignCheckpointer::save(CampaignState& state) {
+  const auto t0 = std::chrono::steady_clock::now();
+  state.sequence = next_sequence_++;
+  const std::string path = path_for(state.sequence);
+  const std::size_t bytes = write_checkpoint(path, state.encode());
+  prune();
+  const double seconds = seconds_since(t0);
+  ++stats_.saves;
+  stats_.bytes_written += bytes;
+  stats_.save_seconds += seconds;
+  last_saved_tasks_ = state.simulations_run + state.simulations_failed;
+  saved_or_loaded_ = true;
+  if (m_saves_) m_saves_->add();
+  if (m_bytes_) m_bytes_->add(bytes);
+  if (m_save_seconds_) m_save_seconds_->record(seconds);
+  return path;
+}
+
+void CampaignCheckpointer::prune() {
+  auto snapshots = scan();
+  if (snapshots.size() <= config_.keep) return;
+  for (std::size_t i = 0; i + config_.keep < snapshots.size(); ++i) {
+    std::error_code ec;
+    fs::remove(snapshots[i].second, ec);  // best effort
+  }
+}
+
+std::optional<CampaignState> CampaignCheckpointer::load_latest() {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto snapshots = scan();
+  std::optional<CampaignState> result;
+  // Newest first; the first snapshot that reads, checksums and decodes
+  // cleanly wins.  Everything newer that failed is recovery debt the
+  // atomic-write protocol bounds to interval tasks.
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    try {
+      result = CampaignState::decode(read_checkpoint(it->second));
+      break;
+    } catch (const CheckpointError&) {
+      ++stats_.corrupt_skipped;
+      if (m_corrupt_) m_corrupt_->add();
+    }
+  }
+  stats_.load_seconds += seconds_since(t0);
+  if (m_load_seconds_) m_load_seconds_->record(seconds_since(t0));
+  if (result) {
+    ++stats_.restores;
+    if (m_restores_) m_restores_->add();
+    last_saved_tasks_ = result->simulations_run + result->simulations_failed;
+    saved_or_loaded_ = true;
+  }
+  return result;
+}
+
+std::vector<std::string> CampaignCheckpointer::list_snapshots() const {
+  std::vector<std::string> paths;
+  for (const auto& entry : scan()) paths.push_back(entry.second);
+  return paths;
+}
+
+}  // namespace le::ckpt

@@ -25,6 +25,10 @@ namespace le::obs {
 class EffectiveSpeedupMeter;
 }  // namespace le::obs
 
+namespace le::ckpt {
+class CampaignCheckpointer;
+}  // namespace le::ckpt
+
 namespace le::core {
 
 struct AdaptiveLoopConfig {
@@ -51,6 +55,14 @@ struct AdaptiveLoopConfig {
   /// recorded as an N_train unit and every surrogate (re)training as
   /// T_learn time.  Null disables (no overhead).
   obs::EffectiveSpeedupMeter* speedup_meter = nullptr;
+  /// Optional crash-consistent checkpointing: the corpus, round history,
+  /// latest surrogate weights and speedup counters are snapshotted every
+  /// checkpointer->config().interval simulations during round 0 and after
+  /// every acquisition round; a restarted loop resumes at the first
+  /// incomplete round.  The loop's RNG use is split()-only (pure in seed
+  /// and corpus), so a resumed run replays the uninterrupted one exactly.
+  /// FaultStats are per-process and restart at zero.  Null disables.
+  ckpt::CampaignCheckpointer* checkpointer = nullptr;
 };
 
 struct AdaptiveRound {

@@ -25,6 +25,10 @@ namespace le::obs {
 class EffectiveSpeedupMeter;
 }  // namespace le::obs
 
+namespace le::ckpt {
+class CampaignCheckpointer;
+}  // namespace le::ckpt
+
 namespace le::core {
 
 /// Scalar objective over the simulation's output vector — MINIMIZED.
@@ -50,6 +54,13 @@ struct CampaignConfig {
   /// lookups.  run_direct_campaign records its runs as the sequential
   /// baseline (T_seq) instead.  Null disables.
   obs::EffectiveSpeedupMeter* speedup_meter = nullptr;
+  /// Optional crash-consistent checkpointing: progress (evaluated dataset,
+  /// best point, trace, RNG stream, latest surrogate + scalers, speedup
+  /// counters) is snapshotted every checkpointer->config().interval
+  /// consumed budget units, and a restarted campaign resumes from the
+  /// newest valid snapshot with at most interval units of lost work.
+  /// FaultStats are per-process and restart at zero.  Null disables.
+  ckpt::CampaignCheckpointer* checkpointer = nullptr;
 };
 
 struct CampaignResult {

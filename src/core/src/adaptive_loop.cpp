@@ -1,10 +1,15 @@
 #include "le/core/adaptive_loop.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
+#include "le/ckpt/campaign_checkpoint.hpp"
 #include "le/nn/loss.hpp"
 #include "le/nn/optimizer.hpp"
+#include "le/nn/serialize.hpp"
 #include "le/obs/metrics.hpp"
 #include "le/obs/speedup_meter.hpp"
 #include "le/uq/acquisition.hpp"
@@ -12,6 +17,9 @@
 namespace le::core {
 
 namespace {
+
+/// CampaignState::kind written by run_adaptive_loop snapshots.
+constexpr const char* kAdaptiveLoopKind = "adaptive_loop";
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -96,18 +104,95 @@ AdaptiveLoopResult run_adaptive_loop(const data::ParamSpace& space,
     return surrogate;
   };
 
-  // Round 0: Latin-hypercube corpus.
+  // ---- Resume from the newest valid checkpoint, when one exists -------
+  std::unordered_set<std::uint64_t> initial_done;
+  std::size_t start_round = 0;
+  if (config.checkpointer) {
+    if (auto snap = config.checkpointer->load_latest()) {
+      if (snap->kind != kAdaptiveLoopKind) {
+        throw std::runtime_error(
+            "run_adaptive_loop: checkpoint kind '" + snap->kind +
+            "' belongs to a different campaign driver");
+      }
+      if (snap->dataset.input_dim() != space.dims() ||
+          snap->dataset.target_dim() != output_dim) {
+        throw std::runtime_error(
+            "run_adaptive_loop: checkpoint dimensions do not match this "
+            "loop");
+      }
+      result.corpus = std::move(snap->dataset);
+      result.simulations_run = snap->simulations_run;
+      result.simulations_failed = snap->simulations_failed;
+      result.converged = !snap->scalars.empty() && snap->scalars[0] != 0.0;
+      if (snap->series.size() % 4 != 0) {
+        throw std::runtime_error(
+            "run_adaptive_loop: checkpoint round history malformed");
+      }
+      for (std::size_t i = 0; i < snap->series.size(); i += 4) {
+        AdaptiveRound record;
+        record.round = static_cast<std::size_t>(snap->series[i]);
+        record.corpus_size = static_cast<std::size_t>(snap->series[i + 1]);
+        record.mean_uncertainty = snap->series[i + 2];
+        record.max_uncertainty = snap->series[i + 3];
+        result.rounds.push_back(record);
+      }
+      initial_done.insert(snap->completed_tasks.begin(),
+                          snap->completed_tasks.end());
+      start_round = static_cast<std::size_t>(snap->progress);
+      if (config.speedup_meter) config.speedup_meter->restore(snap->meter);
+    }
+  }
+
+  const auto snapshot_now = [&](std::uint64_t rounds_completed) {
+    ckpt::CampaignState state;
+    state.kind = kAdaptiveLoopKind;
+    state.progress = rounds_completed;
+    state.simulations_run = result.simulations_run;
+    state.simulations_failed = result.simulations_failed;
+    state.completed_tasks.assign(initial_done.begin(), initial_done.end());
+    std::sort(state.completed_tasks.begin(), state.completed_tasks.end());
+    state.dataset = result.corpus;
+    state.rng_state = ckpt::encode_rng(rng);
+    if (result.surrogate) {
+      std::ostringstream net;
+      nn::save_network(net, result.surrogate->network());
+      state.network_text = std::move(net).str();
+    }
+    state.scalars = {result.converged ? 1.0 : 0.0};
+    state.series.reserve(result.rounds.size() * 4);
+    for (const AdaptiveRound& record : result.rounds) {
+      state.series.push_back(static_cast<double>(record.round));
+      state.series.push_back(static_cast<double>(record.corpus_size));
+      state.series.push_back(record.mean_uncertainty);
+      state.series.push_back(record.max_uncertainty);
+    }
+    if (config.speedup_meter) state.meter = config.speedup_meter->snapshot();
+    (void)config.checkpointer->save(state);
+  };
+
+  // Round 0: Latin-hypercube corpus.  The point set is a deterministic
+  // function of the seed, so a restart regenerates it and runs only the
+  // ids not yet attempted.
   stats::Rng lhs_rng = rng.split(1);
-  for (const auto& point :
-       data::latin_hypercube_sample(space, config.initial_samples, lhs_rng)) {
-    run_point(point);
+  const auto initial_points =
+      data::latin_hypercube_sample(space, config.initial_samples, lhs_rng);
+  for (std::size_t i = 0; i < initial_points.size(); ++i) {
+    if (initial_done.count(i) != 0) continue;
+    run_point(initial_points[i]);
+    initial_done.insert(i);
+    if (config.checkpointer &&
+        config.checkpointer->due(result.simulations_run +
+                                 result.simulations_failed)) {
+      snapshot_now(0);
+    }
   }
   if (result.corpus.size() == 0) {
     throw std::runtime_error(
         "run_adaptive_loop: every initial simulation failed permanently");
   }
 
-  for (std::size_t round = 0; round < config.max_rounds; ++round) {
+  for (std::size_t round = start_round;
+       !result.converged && round < config.max_rounds; ++round) {
     result.surrogate = train_timed();
 
     // Survey uncertainty over a fresh candidate pool.
@@ -126,6 +211,7 @@ AdaptiveLoopResult run_adaptive_loop(const data::ParamSpace& space,
 
     if (survey.mean_score <= config.uncertainty_threshold) {
       result.converged = true;
+      if (config.checkpointer) snapshot_now(round + 1);
       break;
     }
 
@@ -135,6 +221,9 @@ AdaptiveLoopResult run_adaptive_loop(const data::ParamSpace& space,
     for (std::size_t idx : picks) {
       run_point(pool[idx]);
     }
+    // A round is the natural consistency boundary: corpus and history
+    // agree here, and resume retrains rather than replaying the round.
+    if (config.checkpointer) snapshot_now(round + 1);
   }
 
   if (!result.surrogate) {

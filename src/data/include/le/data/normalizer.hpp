@@ -15,7 +15,12 @@
 
 namespace le::data {
 
-/// Column-wise min-max scaling to [0, 1].  Constant columns map to 0.
+/// Column-wise min-max scaling to [0, 1].
+///
+/// Constant columns (hi == lo) carry no information, so transform maps
+/// them to exactly 0 rather than dividing by the zero span; inverse maps
+/// any value back to the constant (lo).  This is deliberate: a surrogate
+/// fed a campaign slice where one parameter is pinned must not see NaN/inf.
 class MinMaxNormalizer {
  public:
   void fit(const tensor::Matrix& samples);
@@ -31,7 +36,13 @@ class MinMaxNormalizer {
   std::vector<double> hi_;
 };
 
-/// Column-wise z-score scaling: (x - mean) / std.  Constant columns map to 0.
+/// Column-wise z-score scaling: (x - mean) / std.
+///
+/// Constant columns map to exactly 0: fit() clamps a standard deviation
+/// below 1e-12 * max(1, |mean|) to zero so floating-point cancellation in
+/// the mean cannot masquerade as tiny genuine variance (which transform
+/// would amplify into O(1) noise), and transform treats std == 0 as
+/// "emit 0".  inverse maps any value of such a column back to the mean.
 class ZScoreNormalizer {
  public:
   void fit(const tensor::Matrix& samples);

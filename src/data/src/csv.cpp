@@ -8,14 +8,55 @@ namespace le::data {
 
 namespace {
 
-std::vector<double> parse_line(const std::string& line) {
+[[noreturn]] void parse_error(const std::string& what, std::size_t line_no,
+                              std::size_t column) {
+  throw std::runtime_error("read_csv: " + what + " at line " +
+                           std::to_string(line_no) + ", column " +
+                           std::to_string(column));
+}
+
+/// Parses one numeric cell strictly: the whole cell (minus surrounding
+/// whitespace) must be consumed by the conversion, so "1.5x", "1,5" split
+/// remnants and empty cells are rejected instead of silently truncated.
+double parse_cell(const std::string& cell, std::size_t line_no,
+                  std::size_t column) {
+  std::size_t end = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(cell, &end);
+  } catch (const std::exception&) {
+    parse_error("not a number ('" + cell + "')", line_no, column);
+  }
+  while (end < cell.size() &&
+         (cell[end] == ' ' || cell[end] == '\t')) {
+    ++end;
+  }
+  if (end != cell.size()) {
+    parse_error("trailing garbage after number ('" + cell + "')", line_no,
+                column);
+  }
+  return value;
+}
+
+std::vector<double> parse_line(const std::string& line, std::size_t line_no) {
   std::vector<double> values;
   std::stringstream ss(line);
   std::string cell;
+  std::size_t column = 1;
   while (std::getline(ss, cell, ',')) {
-    values.push_back(std::stod(cell));
+    values.push_back(parse_cell(cell, line_no, column));
+    ++column;
+  }
+  if (!line.empty() && line.back() == ',') {
+    parse_error("empty trailing cell", line_no, column);
   }
   return values;
+}
+
+/// True when a line carries no data (empty, or CR/whitespace only —
+/// tolerates CRLF files and editor-appended blank lines).
+bool blank_line(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
 }
 
 void write_header(std::ofstream& out, const std::vector<std::string>& header) {
@@ -48,13 +89,17 @@ tensor::Matrix read_csv(const std::string& path, bool skip_header) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("read_csv: cannot open " + path);
   std::string line;
-  if (skip_header) std::getline(in, line);
+  std::size_t line_no = 0;
+  if (skip_header && std::getline(in, line)) ++line_no;
   std::vector<std::vector<double>> rows;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    rows.push_back(parse_line(line));
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF files
+    if (blank_line(line)) continue;
+    rows.push_back(parse_line(line, line_no));
     if (rows.back().size() != rows.front().size()) {
-      throw std::runtime_error("read_csv: ragged rows in " + path);
+      throw std::runtime_error("read_csv: ragged row at line " +
+                               std::to_string(line_no) + " in " + path);
     }
   }
   if (rows.empty()) return {};

@@ -59,7 +59,17 @@ void ZScoreNormalizer::fit(const tensor::Matrix& samples) {
       std_[c] += d * d;
     }
   }
-  for (double& s : std_) s = std::sqrt(s / std::max(n - 1.0, 1.0));
+  for (std::size_t c = 0; c < std_.size(); ++c) {
+    std_[c] = std::sqrt(std_[c] / std::max(n - 1.0, 1.0));
+    // A constant column's accumulated deviation is pure rounding noise
+    // (summing identical values then dividing does not reproduce the value
+    // exactly), leaving std ~1e-17 instead of 0.  Dividing by it would blow
+    // that noise up to O(1) outputs, so clamp to exactly zero: the
+    // transform then maps the column to 0 and inverse restores the mean.
+    const double tiny =
+        1e-12 * std::max(1.0, std::abs(mean_[c]));
+    if (std_[c] < tiny) std_[c] = 0.0;
+  }
 }
 
 void ZScoreNormalizer::transform(tensor::Matrix& samples) const {

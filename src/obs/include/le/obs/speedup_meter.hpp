@@ -71,6 +71,11 @@ class EffectiveSpeedupMeter {
   [[nodiscard]] Snapshot snapshot() const noexcept;
   void reset() noexcept;
 
+  /// Overwrites the counters with a previously taken snapshot — used by
+  /// checkpoint/restart so the live S of a resumed campaign accounts for
+  /// the work done before the crash, not just since the restart.
+  void restore(const Snapshot& snapshot) noexcept;
+
   /// Process-wide meter for components that are not handed one explicitly.
   [[nodiscard]] static EffectiveSpeedupMeter& global();
 

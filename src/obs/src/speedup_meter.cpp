@@ -101,6 +101,16 @@ void EffectiveSpeedupMeter::reset() noexcept {
   seq_seconds_.store(0.0, std::memory_order_relaxed);
 }
 
+void EffectiveSpeedupMeter::restore(const Snapshot& snap) noexcept {
+  n_lookup_.store(snap.n_lookup, std::memory_order_relaxed);
+  n_train_.store(snap.n_train, std::memory_order_relaxed);
+  n_seq_.store(snap.seq_samples, std::memory_order_relaxed);
+  lookup_seconds_.store(snap.lookup_seconds, std::memory_order_relaxed);
+  train_seconds_.store(snap.train_seconds, std::memory_order_relaxed);
+  learn_seconds_.store(snap.learn_seconds, std::memory_order_relaxed);
+  seq_seconds_.store(snap.seq_seconds, std::memory_order_relaxed);
+}
+
 EffectiveSpeedupMeter& EffectiveSpeedupMeter::global() {
   static EffectiveSpeedupMeter meter;
   return meter;

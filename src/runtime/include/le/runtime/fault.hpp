@@ -43,6 +43,7 @@ struct FaultSpec {
   double nan_probability = 0.0;         ///< one output becomes NaN
   double inf_probability = 0.0;         ///< one output becomes +-Inf
   double out_of_range_probability = 0.0;///< one output scaled far out of range
+  double bit_flip_probability = 0.0;    ///< one bit of one output flips
   double latency_probability = 0.0;     ///< run stalls before returning
   double latency_seconds = 0.002;       ///< stall duration for latency spikes
   double out_of_range_scale = 1e12;     ///< multiplier for range corruption
@@ -56,11 +57,12 @@ struct FaultInjectionCounts {
   std::size_t nan_corruptions = 0;
   std::size_t inf_corruptions = 0;
   std::size_t range_corruptions = 0;
+  std::size_t bit_flips = 0;
   std::size_t latency_spikes = 0;
 
   [[nodiscard]] std::size_t total_faults() const noexcept {
     return throws + nan_corruptions + inf_corruptions + range_corruptions +
-           latency_spikes;
+           bit_flips + latency_spikes;
   }
 };
 
@@ -90,8 +92,10 @@ class FaultInjector {
     bool do_nan = false;
     bool do_inf = false;
     bool do_range = false;
+    bool do_bit_flip = false;
     bool do_latency = false;
     std::size_t victim_index = 0;  ///< pseudo-random output index to corrupt
+    unsigned victim_bit = 0;       ///< bit flipped by bit-flip corruption
     std::size_t call_index = 0;
   };
 
@@ -102,5 +106,43 @@ class FaultInjector {
   stats::Rng rng_;
   FaultInjectionCounts counts_;
 };
+
+// ---------------------------------------------------------------------------
+// Crash points: hard process kills at named code locations.
+//
+// Checkpoint/restart claims are only provable by actually killing a
+// campaign at an inconvenient instant.  Durable-write code marks its
+// vulnerable instants with crash_point("name"); a test (in a child
+// process) arms one with arm_crash_point("name", k) and the k-th
+// traversal kills the process with SIGKILL — no unwinding, no flushing,
+// exactly what a node failure looks like.  Disarmed traversal cost is one
+// relaxed atomic load.
+
+/// Arms `name`: its `hit`-th traversal (1-based) kills the process.
+/// Replaces any previous arming.
+void arm_crash_point(const std::string& name, std::size_t hit = 1);
+
+/// Arms from the LE_CRASH_POINT environment variable ("name" or
+/// "name:hit"); child processes in kill-and-resume tests use this.
+/// Returns false when the variable is unset or empty.
+bool arm_crash_point_from_env();
+
+/// Disarms everything (the armed point and its traversal counts).
+void disarm_crash_points();
+
+/// Traversals of `name` recorded since the last disarm.  Only counted
+/// while some crash point is armed — the disarmed fast path is a single
+/// relaxed atomic load and skips all bookkeeping.
+[[nodiscard]] std::size_t crash_point_traversals(const std::string& name);
+
+/// Marks a crash point; kills the process when `name` is armed and this
+/// traversal reaches the armed hit count.
+void crash_point(const char* name) noexcept;
+
+/// Flips bit `bit` (0-7) of byte `byte_index` of the file at `path`, in
+/// place — the storage-level analogue of FaultSpec::bit_flip_probability,
+/// for proving CRC detection of silently corrupted checkpoints.
+void flip_file_bit(const std::string& path, std::size_t byte_index,
+                   unsigned bit = 0);
 
 }  // namespace le::runtime

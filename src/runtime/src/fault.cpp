@@ -1,10 +1,20 @@
 #include "le/runtime/fault.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <limits>
+#include <map>
 #include <string>
 #include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace le::runtime {
 
@@ -17,6 +27,24 @@ void check_probability(double p, const char* name) {
   }
 }
 
+// Crash-point registry.  A single armed point covers the kill-and-resume
+// use case; the fast path (nothing armed) is one relaxed atomic load so
+// production checkpoint writes pay nothing.
+std::atomic<bool> g_crash_armed{false};
+std::mutex g_crash_mutex;
+std::string g_armed_name;                       // guarded by g_crash_mutex
+std::size_t g_armed_hit = 0;                    // guarded by g_crash_mutex
+std::map<std::string, std::size_t> g_traversals;// guarded by g_crash_mutex
+
+[[noreturn]] void kill_self() {
+  // SIGKILL cannot be caught: no unwinding, no atexit, no stream flushes —
+  // indistinguishable from a node loss as far as on-disk state goes.
+#if defined(__unix__) || defined(__APPLE__)
+  ::kill(::getpid(), SIGKILL);
+#endif
+  std::_Exit(137);
+}
+
 }  // namespace
 
 FaultInjector::FaultInjector(const FaultSpec& spec)
@@ -25,6 +53,7 @@ FaultInjector::FaultInjector(const FaultSpec& spec)
   check_probability(spec.nan_probability, "nan_probability");
   check_probability(spec.inf_probability, "inf_probability");
   check_probability(spec.out_of_range_probability, "out_of_range_probability");
+  check_probability(spec.bit_flip_probability, "bit_flip_probability");
   check_probability(spec.latency_probability, "latency_probability");
   if (spec.latency_seconds < 0.0) {
     throw std::invalid_argument("FaultInjector: latency_seconds < 0");
@@ -41,11 +70,14 @@ FaultInjector::Plan FaultInjector::draw_plan() {
   plan.do_nan = rng_.bernoulli(spec_.nan_probability);
   plan.do_inf = rng_.bernoulli(spec_.inf_probability);
   plan.do_range = rng_.bernoulli(spec_.out_of_range_probability);
+  plan.do_bit_flip = rng_.bernoulli(spec_.bit_flip_probability);
   plan.do_latency = rng_.bernoulli(spec_.latency_probability);
   plan.victim_index = static_cast<std::size_t>(
       rng_.uniform_int(0, std::numeric_limits<std::int32_t>::max()));
+  plan.victim_bit = static_cast<unsigned>(rng_.uniform_int(0, 63));
   // Counts mirror what is actually applied: a throw preempts corruption,
-  // and corruption modes apply with NaN > Inf > range precedence.
+  // and corruption modes apply with NaN > Inf > range > bit-flip
+  // precedence.
   if (plan.do_throw) {
     ++counts_.throws;
   } else if (plan.do_nan) {
@@ -54,6 +86,8 @@ FaultInjector::Plan FaultInjector::draw_plan() {
     ++counts_.inf_corruptions;
   } else if (plan.do_range) {
     ++counts_.range_corruptions;
+  } else if (plan.do_bit_flip) {
+    ++counts_.bit_flips;
   }
   if (plan.do_latency) ++counts_.latency_spikes;
   return plan;
@@ -84,6 +118,14 @@ SimFn FaultInjector::wrap(SimFn inner) {
       } else if (plan.do_range) {
         output[victim] = (output[victim] == 0.0 ? 1.0 : output[victim]) *
                          spec_.out_of_range_scale;
+      } else if (plan.do_bit_flip) {
+        // Silent memory corruption: flip one bit of the IEEE-754
+        // representation.  Low mantissa bits perturb subtly; sign or
+        // exponent bits corrupt grossly — both regimes occur in the wild.
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &output[victim], sizeof(bits));
+        bits ^= std::uint64_t{1} << plan.victim_bit;
+        std::memcpy(&output[victim], &bits, sizeof(bits));
       }
     }
     return output;
@@ -99,6 +141,77 @@ void FaultInjector::reset() {
   std::lock_guard lock(mutex_);
   rng_ = stats::Rng(spec_.seed);
   counts_ = FaultInjectionCounts{};
+}
+
+// ---------------------------------------------------------------------------
+// Crash points
+
+void arm_crash_point(const std::string& name, std::size_t hit) {
+  if (name.empty()) {
+    throw std::invalid_argument("arm_crash_point: empty name");
+  }
+  if (hit == 0) throw std::invalid_argument("arm_crash_point: hit == 0");
+  std::lock_guard lock(g_crash_mutex);
+  g_armed_name = name;
+  g_armed_hit = hit;
+  g_crash_armed.store(true, std::memory_order_release);
+}
+
+bool arm_crash_point_from_env() {
+  const char* v = std::getenv("LE_CRASH_POINT");
+  if (v == nullptr || *v == '\0') return false;
+  std::string spec(v);
+  std::size_t hit = 1;
+  if (const auto colon = spec.rfind(':'); colon != std::string::npos) {
+    hit = static_cast<std::size_t>(
+        std::strtoull(spec.c_str() + colon + 1, nullptr, 10));
+    spec.erase(colon);
+  }
+  arm_crash_point(spec, hit == 0 ? 1 : hit);
+  return true;
+}
+
+void disarm_crash_points() {
+  std::lock_guard lock(g_crash_mutex);
+  g_crash_armed.store(false, std::memory_order_release);
+  g_armed_name.clear();
+  g_armed_hit = 0;
+  g_traversals.clear();
+}
+
+std::size_t crash_point_traversals(const std::string& name) {
+  std::lock_guard lock(g_crash_mutex);
+  const auto it = g_traversals.find(name);
+  return it == g_traversals.end() ? 0 : it->second;
+}
+
+void crash_point(const char* name) noexcept {
+  if (!g_crash_armed.load(std::memory_order_acquire)) return;
+  bool fire = false;
+  try {
+    std::lock_guard lock(g_crash_mutex);
+    const std::size_t traversals = ++g_traversals[name];
+    fire = g_armed_name == name && traversals >= g_armed_hit;
+  } catch (...) {
+    return;  // allocation failure while counting: never kill spuriously
+  }
+  if (fire) kill_self();
+}
+
+void flip_file_bit(const std::string& path, std::size_t byte_index,
+                   unsigned bit) {
+  if (bit > 7) throw std::invalid_argument("flip_file_bit: bit > 7");
+  std::fstream file(path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  if (!file) throw std::runtime_error("flip_file_bit: cannot open " + path);
+  file.seekg(static_cast<std::streamoff>(byte_index));
+  const int byte = file.get();
+  if (byte == EOF) {
+    throw std::runtime_error("flip_file_bit: offset past end of " + path);
+  }
+  file.seekp(static_cast<std::streamoff>(byte_index));
+  file.put(static_cast<char>(byte ^ (1 << bit)));
+  if (!file) throw std::runtime_error("flip_file_bit: write failed " + path);
 }
 
 }  // namespace le::runtime

@@ -1,0 +1,115 @@
+// CircuitBreaker half-open probe race: when a tripped breaker's cooldown
+// expires, concurrent allow() callers race for the probe slot, and exactly
+// one may win — a second concurrent probe would double-hit the degraded
+// dependency and make recovery accounting ambiguous.  Built both plain and
+// as a TSan variant (resilient.cpp is in LE_TSAN_INSTRUMENTED_SOURCES), so
+// the mutex protocol itself is checked, not just the admitted count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "le/core/resilient.hpp"
+
+namespace le::core {
+namespace {
+
+void trip(CircuitBreaker& breaker, std::size_t failures) {
+  for (std::size_t i = 0; i < failures; ++i) breaker.record_failure();
+}
+
+TEST(BreakerRace, SingleThreadProbeProtocol) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 2;
+  cfg.cooldown_calls = 2;
+  CircuitBreaker breaker(cfg);
+  trip(breaker, 2);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow());  // cooldown tick 1
+  EXPECT_FALSE(breaker.allow());  // cooldown tick 2
+  EXPECT_TRUE(breaker.allow());   // the half-open probe
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  // While the probe is outstanding, nobody else gets in.
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_FALSE(breaker.allow());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(BreakerRace, ConcurrentAllowAdmitsExactlyOneProbe) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kCallsPerThread = 4;
+  constexpr std::size_t kRounds = 50;
+
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.cooldown_calls = 3;  // fewer than the concurrent call count
+  CircuitBreaker breaker(cfg);
+
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    trip(breaker, 1);
+    ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+    std::atomic<std::size_t> admitted{0};
+    std::atomic<std::size_t> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        ready.fetch_add(1);
+        while (!go.load()) {
+        }
+        for (std::size_t c = 0; c < kCallsPerThread; ++c) {
+          if (breaker.allow()) admitted.fetch_add(1);
+        }
+      });
+    }
+    while (ready.load() != kThreads) {
+    }
+    go.store(true);
+    for (auto& thread : threads) thread.join();
+
+    // 32 racing calls burn 3 cooldown ticks and then exactly one wins the
+    // probe; everyone after the winner is denied.
+    EXPECT_EQ(admitted.load(), 1u) << "round " << round;
+    EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+    // Failing the probe re-opens the breaker for the next round.
+    breaker.record_failure();
+    ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  }
+}
+
+TEST(BreakerRace, ProbeSlotFreedByFailureIsRaceSafe) {
+  // Interleave probe failures with racing allow() calls: the slot must be
+  // handed out again only after record_failure() + a full cooldown.
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.cooldown_calls = 0;  // every post-trip allow() is a probe attempt
+  CircuitBreaker breaker(cfg);
+  trip(breaker, 1);
+
+  constexpr std::size_t kThreads = 4;
+  std::atomic<std::size_t> admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t c = 0; c < 200; ++c) {
+        if (breaker.allow()) {
+          admitted.fetch_add(1);
+          breaker.record_failure();  // probe fails, breaker re-opens
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Every admission was a distinct probe cycle: admissions == trips - 1
+  // (the initial trip) and never more than total calls.
+  EXPECT_EQ(breaker.trips(), admitted.load() + 1);
+}
+
+}  // namespace
+}  // namespace le::core

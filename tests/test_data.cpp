@@ -3,6 +3,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "le/data/csv.hpp"
 #include "le/data/dataset.hpp"
@@ -243,6 +245,116 @@ TEST(Csv, DatasetRoundTrip) {
 
 TEST(Csv, MissingFileThrows) {
   EXPECT_THROW(read_csv("/nonexistent/le.csv"), std::runtime_error);
+}
+
+// Writes `text` to a temp file, returns its path (caller removes).
+std::filesystem::path write_temp_csv(const char* name, const std::string& text) {
+  const auto path = std::filesystem::temp_directory_path() / name;
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+TEST(Csv, RejectsTrailingGarbageAfterNumber) {
+  const auto path = write_temp_csv("le_test_garbage.csv", "1.0,2.0\n3.0,4.0x\n");
+  try {
+    read_csv(path.string());
+    FAIL() << "expected trailing-garbage error";
+  } catch (const std::runtime_error& e) {
+    // The error must locate the bad cell: line 2, column 2.
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("column 2"), std::string::npos) << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RejectsNonNumericCellWithLocation) {
+  const auto path = write_temp_csv("le_test_nan.csv", "1.0,2.0\nfoo,4.0\n");
+  try {
+    read_csv(path.string());
+    FAIL() << "expected not-a-number error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("column 1"), std::string::npos) << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ToleratesCrlfAndBlankLines) {
+  const auto path = write_temp_csv("le_test_crlf.csv",
+                                   "1.0,2.0\r\n\r\n   \n3.0,4.0\r\n\n");
+  const tensor::Matrix m = read_csv(path.string());
+  ASSERT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RejectsEmptyTrailingCell) {
+  const auto path = write_temp_csv("le_test_trail.csv", "1.0,2.0,\n");
+  EXPECT_THROW(read_csv(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, AcceptsPaddedCells) {
+  const auto path = write_temp_csv("le_test_pad.csv", " 1.5 ,\t-2.0\n");
+  const tensor::Matrix m = read_csv(path.string());
+  ASSERT_EQ(m.rows(), 1u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RaggedRowErrorNamesLine) {
+  const auto path = write_temp_csv("le_test_ragged.csv", "1.0,2.0\n3.0\n");
+  try {
+    read_csv(path.string());
+    FAIL() << "expected ragged-row error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ZScore, ConstantColumnTransformsToExactZero) {
+  // Values whose running mean does not reproduce them exactly: without the
+  // zero-variance clamp, std ends up ~1e-17 and the transform emits O(1)
+  // garbage instead of 0.
+  tensor::Matrix m(10, 2);
+  for (std::size_t r = 0; r < 10; ++r) {
+    m(r, 0) = 0.1;  // constant, not exactly representable
+    m(r, 1) = static_cast<double>(r);
+  }
+  ZScoreNormalizer norm;
+  norm.fit(m);
+  EXPECT_DOUBLE_EQ(norm.stddevs()[0], 0.0);
+  std::vector<double> row{0.1, 4.5};
+  norm.transform(row);
+  EXPECT_DOUBLE_EQ(row[0], 0.0);
+  // The varying column is still genuinely scaled.
+  EXPECT_NEAR(row[1], 0.0, 1e-12);
+  // inverse of a constant column restores the mean.
+  norm.inverse(row);
+  EXPECT_NEAR(row[0], 0.1, 1e-12);
+}
+
+TEST(ZScore, NearConstantColumnKeepsGenuineVariance) {
+  // Small but real variance (well above the relative clamp) must survive.
+  tensor::Matrix m{{1.0}, {1.001}, {0.999}};
+  ZScoreNormalizer norm;
+  norm.fit(m);
+  EXPECT_GT(norm.stddevs()[0], 0.0);
+}
+
+TEST(MinMax, ConstantColumnInverseRestoresConstant) {
+  tensor::Matrix m{{7.0, 1.0}, {7.0, 3.0}};
+  MinMaxNormalizer norm;
+  norm.fit(m);
+  std::vector<double> row{7.0, 2.0};
+  norm.transform(row);
+  EXPECT_DOUBLE_EQ(row[0], 0.0);  // documented: constant column -> 0
+  norm.inverse(row);
+  EXPECT_DOUBLE_EQ(row[0], 7.0);  // ... and back to the constant
+  EXPECT_DOUBLE_EQ(row[1], 2.0);
 }
 
 }  // namespace
