@@ -1,5 +1,6 @@
-// Cache-blocking autotuner for GEMM — the ATLAS example of Section I
-// ("choosing block sizes to improve cache use and vectorization").
+/// @file
+/// Cache-blocking autotuner for GEMM — the ATLAS example of Section I
+/// ("choosing block sizes to improve cache use and vectorization").
 #pragma once
 
 #include <cstddef>

@@ -1,15 +1,16 @@
-// The MD parameter autotuner of the paper's ref [9]: "training an ANN to
-// ensure that the simulation runs at its optimal speed (using for example,
-// the lowest allowable timestep dt and 'good' simulation control
-// parameters for high efficiency) while retaining the accuracy of the
-// final result".
-//
-// Labels are measured per state point: the largest stable timestep (by
-// scanning a dt ladder with a physical stability check), the measured
-// autocorrelation time of the observable (which sets the optimal sampling
-// interval, Section III-D's blocking discussion), and the implied
-// equilibration length.  The ANN mirrors the paper's architecture: D = 6
-// inputs, hidden layers of 30 and 48 units, 3 outputs.
+/// @file
+/// The MD parameter autotuner of the paper's ref [9]: "training an ANN to
+/// ensure that the simulation runs at its optimal speed (using for example,
+/// the lowest allowable timestep dt and 'good' simulation control
+/// parameters for high efficiency) while retaining the accuracy of the
+/// final result".
+///
+/// Labels are measured per state point: the largest stable timestep (by
+/// scanning a dt ladder with a physical stability check), the measured
+/// autocorrelation time of the observable (which sets the optimal sampling
+/// interval, Section III-D's blocking discussion), and the implied
+/// equilibration length.  The ANN mirrors the paper's architecture: D = 6
+/// inputs, hidden layers of 30 and 48 units, 3 outputs.
 #pragma once
 
 #include <cstdint>

@@ -1,15 +1,16 @@
-// Generic configuration search — the MLautotuning primitive.
-//
-// "Already, autotuning with systems like ATLAS is hugely successful and
-// gives an initial view of MLautotuning" (paper Section I).  Three search
-// strategies over a rectangular parameter space share one interface so the
-// benches can compare them at equal evaluation budgets:
-//
-//  - grid / random search: the classical ATLAS-style baselines;
-//  - model-guided search: fit an MLP surrogate of the objective on the
-//    points evaluated so far, then spend most of each round's budget on
-//    the surrogate's most promising candidates (ML choosing where to
-//    measure next — MLautotuning proper).
+/// @file
+/// Generic configuration search — the MLautotuning primitive.
+///
+/// "Already, autotuning with systems like ATLAS is hugely successful and
+/// gives an initial view of MLautotuning" (paper Section I).  Three search
+/// strategies over a rectangular parameter space share one interface so the
+/// benches can compare them at equal evaluation budgets:
+///
+///  - grid / random search: the classical ATLAS-style baselines;
+///  - model-guided search: fit an MLP surrogate of the objective on the
+///    points evaluated so far, then spend most of each round's budget on
+///    the surrogate's most promising candidates (ML choosing where to
+///    measure next — MLautotuning proper).
 #pragma once
 
 #include <functional>

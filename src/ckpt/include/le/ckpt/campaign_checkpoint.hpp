@@ -1,14 +1,15 @@
-// Campaign-level checkpoint/restart (le::ckpt).
-//
-// CampaignState is everything a crashed MLaroundHPC campaign needs to
-// continue with bounded lost work: the completed-task set, the accumulated
-// labelled dataset, the latest surrogate (nn::save_network text) with the
-// normalizer state it was trained against, the driver's RNG stream, and
-// the EffectiveSpeedupMeter counters so the live Section III-D accounting
-// survives the restart.  CampaignCheckpointer persists snapshots through
-// the CRC-framed atomic container (container.hpp), rotates a bounded set
-// of good snapshots, and on restart returns the newest snapshot that
-// passes integrity checks — corrupt or torn files are skipped, not fatal.
+/// @file
+/// Campaign-level checkpoint/restart (le::ckpt).
+///
+/// CampaignState is everything a crashed MLaroundHPC campaign needs to
+/// continue with bounded lost work: the completed-task set, the accumulated
+/// labelled dataset, the latest surrogate (nn::save_network text) with the
+/// normalizer state it was trained against, the driver's RNG stream, and
+/// the EffectiveSpeedupMeter counters so the live Section III-D accounting
+/// survives the restart.  CampaignCheckpointer persists snapshots through
+/// the CRC-framed atomic container (container.hpp), rotates a bounded set
+/// of good snapshots, and on restart returns the newest snapshot that
+/// passes integrity checks — corrupt or torn files are skipped, not fatal.
 #pragma once
 
 #include <cstdint>

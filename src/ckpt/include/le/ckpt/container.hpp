@@ -1,15 +1,16 @@
-// Crash-consistent checkpoint container (le::ckpt).
-//
-// Long MLaroundHPC campaigns only amortize their training investment over
-// thousands of runs (Section III-D), and "AI-coupled HPC Workflows"
-// (arXiv:2208.11745) names persistent, restartable learning state a
-// prerequisite for production coupling.  This header provides the storage
-// layer: a versioned container of named sections, each framed with its
-// byte length and a CRC32, terminated by an end marker — so a truncated
-// (torn) file fails to parse and a bit-flipped one fails its checksum —
-// plus an atomic durable write (temp file in the same directory, flush,
-// fsync, rename) so a crash at any instant leaves either the previous
-// complete checkpoint or the new complete checkpoint, never a hybrid.
+/// @file
+/// Crash-consistent checkpoint container (le::ckpt).
+///
+/// Long MLaroundHPC campaigns only amortize their training investment over
+/// thousands of runs (Section III-D), and "AI-coupled HPC Workflows"
+/// (arXiv:2208.11745) names persistent, restartable learning state a
+/// prerequisite for production coupling.  This header provides the storage
+/// layer: a versioned container of named sections, each framed with its
+/// byte length and a CRC32, terminated by an end marker — so a truncated
+/// (torn) file fails to parse and a bit-flipped one fails its checksum —
+/// plus an atomic durable write (temp file in the same directory, flush,
+/// fsync, rename) so a crash at any instant leaves either the previous
+/// complete checkpoint or the new complete checkpoint, never a hybrid.
 #pragma once
 
 #include <cstdint>

@@ -1,12 +1,13 @@
-// UQ-driven adaptive training loop (Sections II-C2 and III-B).
-//
-// "The AL approach reduced the amount of required training data to 10% of
-// the original model by iteratively adding training data calculations for
-// regions of chemical space where the current ML model could not make good
-// predictions."  Each round: train an MC-dropout surrogate on the corpus
-// so far, survey its uncertainty over probe points, stop if converged,
-// otherwise run the real simulation at the most-uncertain candidates and
-// add those samples.
+/// @file
+/// UQ-driven adaptive training loop (Sections II-C2 and III-B).
+///
+/// "The AL approach reduced the amount of required training data to 10% of
+/// the original model by iteratively adding training data calculations for
+/// regions of chemical space where the current ML model could not make good
+/// predictions."  Each round: train an MC-dropout surrogate on the corpus
+/// so far, survey its uncertainty over probe points, stop if converged,
+/// otherwise run the real simulation at the most-uncertain candidates and
+/// add those samples.
 #pragma once
 
 #include <cstdint>

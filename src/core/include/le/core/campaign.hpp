@@ -1,11 +1,12 @@
-// Simulation-campaign runner: the horizontal (many-task) parallelism of
-// the paper's Conclusions ("multiple, concurrent heterogeneous units of
-// work replace single large units of works").
-//
-// A campaign is the N_train phase of the effective-speedup model: many
-// independent simulations over a set of state points.  run_campaign fans
-// them out over a ThreadPool and collects a labelled Dataset ready for
-// surrogate training.
+/// @file
+/// Simulation-campaign runner: the horizontal (many-task) parallelism of
+/// the paper's Conclusions ("multiple, concurrent heterogeneous units of
+/// work replace single large units of works").
+///
+/// A campaign is the N_train phase of the effective-speedup model: many
+/// independent simulations over a set of state points.  run_campaign fans
+/// them out over a ThreadPool and collects a labelled Dataset ready for
+/// surrogate training.
 #pragma once
 
 #include <vector>

@@ -1,13 +1,14 @@
-// The effective-performance model of Section III-D — the paper's central
-// quantitative statement:
-//
-//            T_seq * (N_lookup + N_train)
-//   S = --------------------------------------------
-//       T_lookup * N_lookup + (T_train + T_learn) * N_train
-//
-// with the stated limits S -> T_seq / T_train when there is no ML
-// (N_lookup = 0) and S -> T_seq / T_lookup when N_lookup >> N_train,
-// "which can be huge!".
+/// @file
+/// The effective-performance model of Section III-D — the paper's central
+/// quantitative statement:
+///
+///            T_seq * (N_lookup + N_train)
+///   S = --------------------------------------------
+///       T_lookup * N_lookup + (T_train + T_learn) * N_train
+///
+/// with the stated limits S -> T_seq / T_train when there is no ML
+/// (N_lookup = 0) and S -> T_seq / T_lookup when N_lookup >> N_train,
+/// "which can be huge!".
 #pragma once
 
 #include <cstddef>

@@ -1,14 +1,15 @@
-// MLControl: objective-driven computational campaigns (paper Section I,
-// ref [12]): "Using simulations (with HPC) in control of experiments and
-// in objective driven computational campaigns.  Here the simulation
-// surrogates are very valuable to allow real-time predictions."
-//
-// The campaign searches for the input state point whose simulated output
-// optimizes a user objective, under a hard budget of real simulation runs.
-// Strategy: every real run enriches a surrogate; between runs the
-// optimizer sweeps a large candidate pool through the (cheap) surrogate
-// and spends the next real run on the surrogate's best suggestion.
-// run_direct_campaign is the no-ML control arm with the same budget.
+/// @file
+/// MLControl: objective-driven computational campaigns (paper Section I,
+/// ref [12]): "Using simulations (with HPC) in control of experiments and
+/// in objective driven computational campaigns.  Here the simulation
+/// surrogates are very valuable to allow real-time predictions."
+///
+/// The campaign searches for the input state point whose simulated output
+/// optimizes a user objective, under a hard budget of real simulation runs.
+/// Strategy: every real run enriches a surrogate; between runs the
+/// optimizer sweeps a large candidate pool through the (cheap) surrogate
+/// and spends the next real run on the surrogate's best suggestion.
+/// run_direct_campaign is the no-ML control arm with the same budget.
 #pragma once
 
 #include <cstdint>

@@ -1,9 +1,10 @@
-// Adapter: an nn::Network regression task as a runtime::SgdProblem, so the
-// Section III-A sync engines (Locking/Rotation/Allreduce/Asynchronous) can
-// train real neural networks, not just the convex testbed.
-//
-// Networks cache activations and are not thread-safe, so each calling
-// thread gets its own clone (thread_local storage keyed by this object).
+/// @file
+/// Adapter: an nn::Network regression task as a runtime::SgdProblem, so the
+/// Section III-A sync engines (Locking/Rotation/Allreduce/Asynchronous) can
+/// train real neural networks, not just the convex testbed.
+///
+/// Networks cache activations and are not thread-safe, so each calling
+/// thread gets its own clone (thread_local storage keyed by this object).
 #pragma once
 
 #include <cstdint>

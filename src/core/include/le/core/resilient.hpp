@@ -1,20 +1,21 @@
-// Fault-tolerant execution of simulation functions (Section III-B:
-// "one must learn not just the result of a simulation but also the
-// uncertainty of the prediction e.g. if the learned result is valid
-// enough to be used" — extended from predictions to the simulations
-// themselves).
-//
-// Three pieces, composable but independently usable:
-//
-//  - RetryPolicy / ResilientSimulation: retries transient failures with
-//    exponential backoff + jitter, validates every output (finite,
-//    dimension-correct, optional per-feature bounds), and accounts for
-//    everything in a FaultStats so the effective-speedup model can price
-//    the overhead of faults.
-//  - CircuitBreaker: trips a degraded dependency (here: the surrogate
-//    path of SurrogateDispatcher) out of the request path after K
-//    consecutive failures, then half-opens after a cooldown to probe for
-//    recovery — the classic closed/open/half-open state machine.
+/// @file
+/// Fault-tolerant execution of simulation functions (Section III-B:
+/// "one must learn not just the result of a simulation but also the
+/// uncertainty of the prediction e.g. if the learned result is valid
+/// enough to be used" — extended from predictions to the simulations
+/// themselves).
+///
+/// Three pieces, composable but independently usable:
+///
+///  - RetryPolicy / ResilientSimulation: retries transient failures with
+///    exponential backoff + jitter, validates every output (finite,
+///    dimension-correct, optional per-feature bounds), and accounts for
+///    everything in a FaultStats so the effective-speedup model can price
+///    the overhead of faults.
+///  - CircuitBreaker: trips a degraded dependency (here: the surrogate
+///    path of SurrogateDispatcher) out of the request path after K
+///    consecutive failures, then half-opens after a cooldown to probe for
+///    recovery — the classic closed/open/half-open state machine.
 #pragma once
 
 #include <cstddef>

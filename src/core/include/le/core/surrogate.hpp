@@ -1,19 +1,27 @@
-// The MLaroundHPC runtime: a UQ-gated dispatcher that answers queries from
-// the learned surrogate when the prediction is trustworthy and falls back
-// to the real simulation otherwise.
-//
-// This is the paper's "ML wrapper" around an HPC simulation made concrete:
-// "one must learn not just the result of a simulation but also the
-// uncertainty of the prediction e.g. if the learned result is valid enough
-// to be used" (Section III-B).  Fallback runs are fed back into a training
-// buffer ("No run is wasted", Section II-C1), so the wrapper exhibits the
-// auto-tunability outcome 3 of that section: with new simulation runs the
-// ML layer gets better at making predictions.
-//
-// Robustness: surrogate outputs are validated (finite, dimension-correct)
-// before they can be accepted, and an optional CircuitBreaker (resilient.hpp)
-// trips the surrogate path to simulation-only mode after a run of invalid
-// predictions, half-opening later to probe for recovery.
+/// @file
+/// The MLaroundHPC runtime: a UQ-gated dispatcher that answers queries from
+/// the learned surrogate when the prediction is trustworthy and falls back
+/// to the real simulation otherwise.
+///
+/// This is the paper's "ML wrapper" around an HPC simulation made concrete:
+/// "one must learn not just the result of a simulation but also the
+/// uncertainty of the prediction e.g. if the learned result is valid enough
+/// to be used" (Section III-B).  Fallback runs are fed back into a training
+/// buffer ("No run is wasted", Section II-C1), so the wrapper exhibits the
+/// auto-tunability outcome 3 of that section: with new simulation runs the
+/// ML layer gets better at making predictions.
+///
+/// Robustness: surrogate outputs are validated (finite, dimension-correct)
+/// before they can be accepted, and an optional CircuitBreaker (resilient.hpp)
+/// trips the surrogate path to simulation-only mode after a run of invalid
+/// predictions, half-opening later to probe for recovery.
+///
+/// Serving throughput (Section III-D: T_lookup is an infrastructure number,
+/// not an arithmetic one): an optional serve::LookupCache remembers
+/// gate-accepted answers keyed by quantized input so repeated queries are
+/// O(1), and query_batch() answers many queries through one batched
+/// surrogate forward instead of per-query dispatch.  bench_serving (E13)
+/// quantifies both levers.
 #pragma once
 
 #include <chrono>
@@ -25,6 +33,11 @@
 
 #include "le/data/dataset.hpp"
 #include "le/uq/uq_model.hpp"
+
+namespace le::serve {
+class LookupCache;
+struct LookupCacheConfig;
+}  // namespace le::serve
 
 namespace le::obs {
 class Counter;
@@ -52,6 +65,9 @@ struct Answer {
   AnswerSource source = AnswerSource::kSurrogate;
   double uncertainty = 0.0;    ///< surrogate uncertainty score at the query
   double seconds = 0.0;        ///< wall time to produce this answer
+  /// True when the answer came from the learned-lookup cache (a previously
+  /// gate-accepted surrogate answer) rather than a fresh forward pass.
+  bool from_cache = false;
 };
 
 struct DispatcherStats {
@@ -68,6 +84,9 @@ struct DispatcherStats {
   /// Queries routed straight to the simulation because the circuit breaker
   /// held the surrogate path open.
   std::size_t breaker_short_circuits = 0;
+  /// Surrogate answers served from the learned-lookup cache (a subset of
+  /// surrogate_answers); 0 until enable_lookup_cache().
+  std::size_t cache_hits = 0;
 
   [[nodiscard]] std::size_t total() const noexcept {
     return surrogate_answers + simulation_answers;
@@ -92,6 +111,28 @@ class SurrogateDispatcher {
 
   /// Answers one query through the gate.
   [[nodiscard]] Answer query(std::span<const double> input);
+
+  /// Answers one query per row of `inputs` through the same
+  /// cache -> breaker -> UQ gate -> fallback pipeline as query(), except
+  /// that every cache miss shares ONE batched surrogate forward
+  /// (UqModel::predict_batch), so layer dispatch amortizes over the batch.
+  /// The breaker is consulted once per batch (a half-open probe admits the
+  /// whole batch); fallback simulations still run per query.  Answers are
+  /// returned in row order, and the shared forward's wall time is split
+  /// evenly over the rows it served.
+  [[nodiscard]] std::vector<Answer> query_batch(const tensor::Matrix& inputs);
+
+  /// Arms the learned-lookup cache (the paper's "learned lookup table"
+  /// made literal): every answer the UQ gate accepts is remembered keyed
+  /// by quantized input, and a repeated query is answered in O(1) with no
+  /// forward pass.  A hit is re-checked against the *current* threshold
+  /// (tightening the gate invalidates looser cached answers), and
+  /// replace_surrogate() clears the cache, so a hit always reflects an
+  /// answer the current surrogate produced and the current gate accepts.
+  void enable_lookup_cache(const serve::LookupCacheConfig& config);
+
+  /// The armed cache, or nullptr when none was enabled.
+  [[nodiscard]] const serve::LookupCache* lookup_cache() const noexcept;
 
   /// Fallback runs accumulate here as fresh labelled samples for retraining.
   [[nodiscard]] const data::Dataset& training_buffer() const noexcept {
@@ -138,6 +179,10 @@ class SurrogateDispatcher {
   }
 
  private:
+  /// Books one surrogate-served answer (fresh or cached; seconds already
+  /// set) into stats, the speedup meter and the metric handles.
+  void account_surrogate_answer(const Answer& answer);
+
   std::shared_ptr<uq::UqModel> surrogate_;
   SimulationFn simulation_;
   double threshold_;
@@ -146,6 +191,7 @@ class SurrogateDispatcher {
   double accepted_uncertainty_sum_ = 0.0;
   double buffered_uncertainty_sum_ = 0.0;  ///< per-buffer; reset on drain
   std::unique_ptr<CircuitBreaker> breaker_;
+  std::unique_ptr<serve::LookupCache> cache_;
 
   /// Refreshes the acceptance and breaker gauges (metrics enabled only).
   void publish_gauges();
@@ -156,6 +202,7 @@ class SurrogateDispatcher {
     obs::Counter* simulation_answers = nullptr;
     obs::Counter* invalid_predictions = nullptr;
     obs::Counter* breaker_short_circuits = nullptr;
+    obs::Counter* cache_hits = nullptr;
     obs::Histogram* surrogate_seconds = nullptr;
     obs::Histogram* simulation_seconds = nullptr;
     obs::Gauge* surrogate_fraction = nullptr;
@@ -163,6 +210,10 @@ class SurrogateDispatcher {
   };
   MetricHandles metrics_;
   obs::EffectiveSpeedupMeter* meter_ = nullptr;
+  /// Remembered so a cache armed after enable_metrics() (or vice versa)
+  /// still gets its "<prefix>.cache.*" metrics wired.
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  std::string metrics_prefix_;
 };
 
 }  // namespace le::core

@@ -1,10 +1,13 @@
 #include "le/core/surrogate.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "le/core/resilient.hpp"
 #include "le/obs/metrics.hpp"
+#include "le/serve/lookup_cache.hpp"
 #include "le/obs/speedup_meter.hpp"
 #include "le/uq/acquisition.hpp"
 
@@ -28,6 +31,25 @@ SurrogateDispatcher& SurrogateDispatcher::operator=(SurrogateDispatcher&&) noexc
 
 Answer SurrogateDispatcher::query(std::span<const double> input) {
   const auto t0 = std::chrono::steady_clock::now();
+
+  // Learned-lookup fast path: a remembered gate-accepted answer, re-checked
+  // against the *current* threshold, is served with no forward pass at all.
+  // The thread-local scratch keeps the hit path allocation-free up to the
+  // Answer itself.
+  if (cache_) {
+    static thread_local serve::CachedAnswer cached;
+    if (cache_->find(input, cached) && cached.uncertainty <= threshold_) {
+      Answer answer;
+      answer.values = cached.values;
+      answer.uncertainty = cached.uncertainty;
+      answer.source = AnswerSource::kSurrogate;
+      answer.from_cache = true;
+      const auto t1 = std::chrono::steady_clock::now();
+      answer.seconds = std::chrono::duration<double>(t1 - t0).count();
+      account_surrogate_answer(answer);
+      return answer;
+    }
+  }
 
   Answer answer;
   const bool surrogate_allowed = !breaker_ || breaker_->allow();
@@ -60,20 +82,10 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
         answer.source = AnswerSource::kSurrogate;
         const auto t1 = std::chrono::steady_clock::now();
         answer.seconds = std::chrono::duration<double>(t1 - t0).count();
-        ++stats_.surrogate_answers;
-        stats_.surrogate_seconds += answer.seconds;
-        accepted_uncertainty_sum_ += score;
-        stats_.mean_accepted_uncertainty =
-            stats_.surrogate_answers == 0
-                ? 0.0
-                : accepted_uncertainty_sum_ /
-                      static_cast<double>(stats_.surrogate_answers);
-        if (meter_) meter_->record_lookup(answer.seconds);
-        if (metrics_.surrogate_answers) {
-          metrics_.surrogate_answers->add();
-          metrics_.surrogate_seconds->record(answer.seconds);
-          publish_gauges();
-        }
+        // Only gate-accepted answers are remembered, so a later hit
+        // inherits this acceptance.
+        if (cache_) cache_->insert(input, {answer.values, score});
+        account_surrogate_answer(answer);
         return answer;
       }
     }
@@ -98,6 +110,158 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
   return answer;
 }
 
+std::vector<Answer> SurrogateDispatcher::query_batch(
+    const tensor::Matrix& inputs) {
+  if (inputs.cols() != surrogate_->input_dim()) {
+    throw std::invalid_argument("query_batch: input dim mismatch");
+  }
+  const std::size_t n = inputs.rows();
+  std::vector<Answer> answers(n);
+  if (n == 0) return answers;
+
+  // Pass 1 — learned-lookup cache.  Shared work is billed evenly: every
+  // row owes an equal slice of the cache pass, and below, every miss owes
+  // an equal slice of the one batched forward that served it.
+  std::vector<std::size_t> misses;
+  misses.reserve(n);
+  const auto cache_t0 = std::chrono::steady_clock::now();
+  if (cache_) {
+    serve::CachedAnswer cached;  // reused across rows: one alloc per batch
+    for (std::size_t r = 0; r < n; ++r) {
+      if (cache_->find(inputs.row(r), cached) &&
+          cached.uncertainty <= threshold_) {
+        answers[r].values = cached.values;
+        answers[r].uncertainty = cached.uncertainty;
+        answers[r].from_cache = true;
+      } else {
+        misses.push_back(r);
+      }
+    }
+  } else {
+    for (std::size_t r = 0; r < n; ++r) misses.push_back(r);
+  }
+  std::vector<double> owed(
+      n, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       cache_t0)
+                 .count() /
+             static_cast<double>(n));
+
+  // Pass 2 — one batched surrogate forward over the misses, gated by one
+  // breaker consultation for the whole batch.
+  if (!misses.empty()) {
+    const bool surrogate_allowed = !breaker_ || breaker_->allow();
+    if (!surrogate_allowed) {
+      stats_.breaker_short_circuits += misses.size();
+      if (metrics_.breaker_short_circuits) {
+        metrics_.breaker_short_circuits->add(misses.size());
+      }
+    } else {
+      tensor::Matrix miss_inputs(misses.size(), inputs.cols());
+      for (std::size_t i = 0; i < misses.size(); ++i) {
+        const auto src = inputs.row(misses[i]);
+        auto dst = miss_inputs.row(i);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+      const auto fwd_t0 = std::chrono::steady_clock::now();
+      const std::vector<uq::Prediction> predictions =
+          surrogate_->predict_batch(miss_inputs);
+      const double fwd_share =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        fwd_t0)
+              .count() /
+          static_cast<double>(misses.size());
+
+      ValidationSpec spec;
+      spec.expected_dim = surrogate_->output_dim();
+      std::vector<std::size_t> unanswered;
+      for (std::size_t i = 0; i < misses.size(); ++i) {
+        const std::size_t r = misses[i];
+        owed[r] += fwd_share;
+        const uq::Prediction& prediction = predictions[i];
+        const double score = uq::uncertainty_score(prediction);
+        const bool usable =
+            std::isfinite(score) &&
+            validate_output(prediction.mean, spec) == OutputVerdict::kValid;
+        if (!usable) {
+          ++stats_.invalid_predictions;
+          if (metrics_.invalid_predictions) metrics_.invalid_predictions->add();
+          if (breaker_) breaker_->record_failure();
+          unanswered.push_back(r);
+          continue;
+        }
+        if (breaker_) breaker_->record_success();
+        answers[r].uncertainty = score;
+        if (score <= threshold_) {
+          answers[r].values = prediction.mean;
+          if (cache_) cache_->insert(inputs.row(r), {prediction.mean, score});
+        } else {
+          unanswered.push_back(r);
+        }
+      }
+      misses = std::move(unanswered);
+    }
+  }
+
+  // Pass 3 — book the surrogate answers and run fallback simulations for
+  // whatever the cache, the breaker and the gate all declined.
+  std::vector<bool> needs_sim(n, false);
+  for (const std::size_t r : misses) needs_sim[r] = true;
+  for (std::size_t r = 0; r < n; ++r) {
+    Answer& answer = answers[r];
+    if (!needs_sim[r]) {
+      answer.source = AnswerSource::kSurrogate;
+      answer.seconds = owed[r];
+      account_surrogate_answer(answer);
+      continue;
+    }
+    const auto sim_t0 = std::chrono::steady_clock::now();
+    answer.values = simulation_(inputs.row(r));
+    answer.source = AnswerSource::kSimulation;
+    answer.seconds =
+        owed[r] + std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - sim_t0)
+                      .count();
+    ++stats_.simulation_answers;
+    stats_.simulation_seconds += answer.seconds;
+    buffer_.add(inputs.row(r), answer.values);  // no run is wasted
+    buffered_uncertainty_sum_ += answer.uncertainty;
+    if (meter_) meter_->record_train(answer.seconds);
+    if (metrics_.simulation_answers) {
+      metrics_.simulation_answers->add();
+      metrics_.simulation_seconds->record(answer.seconds);
+      publish_gauges();
+    }
+  }
+  return answers;
+}
+
+void SurrogateDispatcher::account_surrogate_answer(const Answer& answer) {
+  ++stats_.surrogate_answers;
+  stats_.surrogate_seconds += answer.seconds;
+  accepted_uncertainty_sum_ += answer.uncertainty;
+  stats_.mean_accepted_uncertainty =
+      accepted_uncertainty_sum_ /
+      static_cast<double>(stats_.surrogate_answers);
+  if (answer.from_cache) {
+    ++stats_.cache_hits;
+    if (metrics_.cache_hits) metrics_.cache_hits->add();
+  }
+  if (meter_) meter_->record_lookup(answer.seconds);
+  if (metrics_.surrogate_answers) {
+    metrics_.surrogate_answers->add();
+    metrics_.surrogate_seconds->record(answer.seconds);
+    publish_gauges();
+  }
+}
+
+void SurrogateDispatcher::enable_lookup_cache(
+    const serve::LookupCacheConfig& config) {
+  cache_ = std::make_unique<serve::LookupCache>(config);
+  if (metrics_registry_) {
+    cache_->enable_metrics(*metrics_registry_, metrics_prefix_ + ".cache");
+  }
+}
+
 void SurrogateDispatcher::publish_gauges() {
   metrics_.surrogate_fraction->set(stats_.surrogate_fraction());
   metrics_.breaker_state->set(
@@ -113,12 +277,16 @@ void SurrogateDispatcher::enable_metrics(obs::MetricsRegistry& registry,
       &registry.counter(prefix + ".invalid_predictions");
   metrics_.breaker_short_circuits =
       &registry.counter(prefix + ".breaker_short_circuits");
+  metrics_.cache_hits = &registry.counter(prefix + ".cache_hits");
   metrics_.surrogate_seconds =
       &registry.histogram(prefix + ".surrogate_seconds");
   metrics_.simulation_seconds =
       &registry.histogram(prefix + ".simulation_seconds");
   metrics_.surrogate_fraction = &registry.gauge(prefix + ".surrogate_fraction");
   metrics_.breaker_state = &registry.gauge(prefix + ".breaker_state");
+  metrics_registry_ = &registry;
+  metrics_prefix_ = prefix;
+  if (cache_) cache_->enable_metrics(registry, prefix + ".cache");
 }
 
 data::Dataset SurrogateDispatcher::drain_training_buffer() {
@@ -147,6 +315,9 @@ void SurrogateDispatcher::replace_surrogate(
     throw std::invalid_argument("replace_surrogate: shape mismatch");
   }
   surrogate_ = std::move(surrogate);
+  // Cached answers came from the old surrogate; a hit must always reflect
+  // what the current model would (approximately) say.
+  if (cache_) cache_->clear();
 }
 
 void SurrogateDispatcher::enable_circuit_breaker(
@@ -156,6 +327,10 @@ void SurrogateDispatcher::enable_circuit_breaker(
 
 const CircuitBreaker* SurrogateDispatcher::circuit_breaker() const noexcept {
   return breaker_.get();
+}
+
+const serve::LookupCache* SurrogateDispatcher::lookup_cache() const noexcept {
+  return cache_.get();
 }
 
 }  // namespace le::core

@@ -1,4 +1,5 @@
-// Minimal CSV persistence for datasets and result tables.
+/// @file
+/// Minimal CSV persistence for datasets and result tables.
 #pragma once
 
 #include <string>

@@ -1,9 +1,10 @@
-// Supervised-learning dataset: paired input/target rows.
-//
-// Every MLaroundHPC pipeline in this repository produces a Dataset from
-// simulation runs (one row per run or per harvested block) and hands it to
-// the nn training loop.  The 70/30 train/test protocol from the paper's
-// Section III-D case studies is `split(0.7, rng)`.
+/// @file
+/// Supervised-learning dataset: paired input/target rows.
+///
+/// Every MLaroundHPC pipeline in this repository produces a Dataset from
+/// simulation runs (one row per run or per harvested block) and hands it to
+/// the nn training loop.  The 70/30 train/test protocol from the paper's
+/// Section III-D case studies is `split(0.7, rng)`.
 #pragma once
 
 #include <cstddef>

@@ -1,10 +1,11 @@
-// Feature scaling.
-//
-// The nanoconfinement and autotuning networks are tiny MLPs; without input
-// scaling their convergence is erratic because the physical parameters span
-// very different ranges (nm vs molar vs integer valencies).  Both
-// normalizers are fitted column-wise on the training split only and then
-// applied to all splits, matching standard MLaroundHPC practice.
+/// @file
+/// Feature scaling.
+///
+/// The nanoconfinement and autotuning networks are tiny MLPs; without input
+/// scaling their convergence is erratic because the physical parameters span
+/// very different ranges (nm vs molar vs integer valencies).  Both
+/// normalizers are fitted column-wise on the training split only and then
+/// applied to all splits, matching standard MLaroundHPC practice.
 #pragma once
 
 #include <span>

@@ -1,9 +1,10 @@
-// Experiment-design samplers over rectangular parameter spaces.
-//
-// Simulation campaigns (the N_train runs in the effective-speedup formula)
-// choose their state points with these samplers: regular grids match the
-// paper's nanoconfinement study, Latin hypercube gives better space filling
-// for the same budget, and uniform sampling is the baseline.
+/// @file
+/// Experiment-design samplers over rectangular parameter spaces.
+///
+/// Simulation campaigns (the N_train runs in the effective-speedup formula)
+/// choose their state points with these samplers: regular grids match the
+/// paper's nanoconfinement study, Latin hypercube gives better space filling
+/// for the same budget, and uniform sampling is the baseline.
 #pragma once
 
 #include <cstddef>

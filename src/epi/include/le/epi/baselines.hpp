@@ -1,15 +1,16 @@
-// Baseline forecasters the paper's DEFSI claim is made against.
-//
-//  - EpiFastForecaster: the mechanistic baseline — calibrate the agent
-//    model to a single best parameter set, run a forward ensemble, and
-//    read forecasts off the mean simulated curve (how EpiFast-style
-//    forecasting operates).
-//  - Ar2Forecaster: the pure data-driven baseline — an AR(2) model fitted
-//    to the observed state-level series alone.  It "cannot discover higher
-//    resolution details from lower resolution ground truth data": its
-//    county forecasts are the state forecast split by static population
-//    shares.
-//  - persistence: next week = this week, the weakest reference point.
+/// @file
+/// Baseline forecasters the paper's DEFSI claim is made against.
+///
+///  - EpiFastForecaster: the mechanistic baseline — calibrate the agent
+///    model to a single best parameter set, run a forward ensemble, and
+///    read forecasts off the mean simulated curve (how EpiFast-style
+///    forecasting operates).
+///  - Ar2Forecaster: the pure data-driven baseline — an AR(2) model fitted
+///    to the observed state-level series alone.  It "cannot discover higher
+///    resolution details from lower resolution ground truth data": its
+///    county forecasts are the state forecast split by static population
+///    shares.
+///  - persistence: next week = this week, the weakest reference point.
 #pragma once
 
 #include <span>

@@ -1,20 +1,21 @@
-// DEFSI: Deep Learning Based Epidemic Forecasting with Synthetic
-// Information (paper Section II-A, ref [19]).
-//
-// The three modules, exactly as the paper describes them:
-//  (i)   model configuration: estimate a distribution over agent-model
-//        parameters from coarse surveillance data;
-//  (ii)  synthetic training data: run HPC simulations parameterized from
-//        those distributions, producing high-resolution (per-region)
-//        training curves;
-//  (iii) a two-branch deep network trained on the synthetic dataset that
-//        makes detailed (county-level) forecasts from coarse (state-level)
-//        surveillance inputs.
-//
-// Branch A consumes the recent window of observed state-level incidence
-// ("within-season" signal); branch B consumes season-context features
-// (week index, trend, cumulative attack so far).  The output is next-week
-// true incidence for every region simultaneously.
+/// @file
+/// DEFSI: Deep Learning Based Epidemic Forecasting with Synthetic
+/// Information (paper Section II-A, ref [19]).
+///
+/// The three modules, exactly as the paper describes them:
+///  (i)   model configuration: estimate a distribution over agent-model
+///        parameters from coarse surveillance data;
+///  (ii)  synthetic training data: run HPC simulations parameterized from
+///        those distributions, producing high-resolution (per-region)
+///        training curves;
+///  (iii) a two-branch deep network trained on the synthetic dataset that
+///        makes detailed (county-level) forecasts from coarse (state-level)
+///        surveillance inputs.
+///
+/// Branch A consumes the recent window of observed state-level incidence
+/// ("within-season" signal); branch B consumes season-context features
+/// (week index, trend, cumulative attack so far).  The output is next-week
+/// true incidence for every region simultaneously.
 #pragma once
 
 #include <cstdint>

@@ -1,11 +1,12 @@
-// Synthetic population and multi-layer contact network.
-//
-// The DEFSI / EpiFast line of work (paper Section II-A) runs epidemics on
-// synthetic populations whose contact structure mixes household, school,
-// workplace and community layers, partitioned into administrative regions
-// ("counties").  This generator reproduces that structure at laptop scale:
-// individual-level heterogeneity is what makes county-level forecasting
-// from state-level data hard, so the network must preserve it.
+/// @file
+/// Synthetic population and multi-layer contact network.
+///
+/// The DEFSI / EpiFast line of work (paper Section II-A) runs epidemics on
+/// synthetic populations whose contact structure mixes household, school,
+/// workplace and community layers, partitioned into administrative regions
+/// ("counties").  This generator reproduces that structure at laptop scale:
+/// individual-level heterogeneity is what makes county-level forecasting
+/// from state-level data hard, so the network must preserve it.
 #pragma once
 
 #include <cstddef>

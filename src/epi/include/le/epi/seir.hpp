@@ -1,11 +1,12 @@
-// Stochastic network SEIR dynamics (paper Section II-A; ref [18]).
-//
-// Discrete daily time steps on the contact network: susceptibles are
-// exposed by infectious neighbours with per-contact probability
-// 1 - exp(-tau * w), exposed become infectious after a geometric latent
-// period, infectious recover after a geometric infectious period.  The
-// simulator reports daily and weekly new-infection counts per region —
-// the high-resolution ground truth the surveillance model will coarsen.
+/// @file
+/// Stochastic network SEIR dynamics (paper Section II-A; ref [18]).
+///
+/// Discrete daily time steps on the contact network: susceptibles are
+/// exposed by infectious neighbours with per-contact probability
+/// 1 - exp(-tau * w), exposed become infectious after a geometric latent
+/// period, infectious recover after a geometric infectious period.  The
+/// simulator reports daily and weekly new-infection counts per region —
+/// the high-resolution ground truth the surveillance model will coarsen.
 #pragma once
 
 #include <cstdint>

@@ -1,11 +1,12 @@
-// Surveillance observation model (paper Section II-A).
-//
-// Real surveillance data is "of low spatial temporal resolution (weekly at
-// state level), not real time (at least one week delay), incomplete
-// (reported cases are only a small fraction of actual ones), and noisy
-// (adjusted several times after being published)".  This model coarsens a
-// simulated ground-truth epidemic exactly that way, producing the sparse
-// observable stream the forecasting methods must work from.
+/// @file
+/// Surveillance observation model (paper Section II-A).
+///
+/// Real surveillance data is "of low spatial temporal resolution (weekly at
+/// state level), not real time (at least one week delay), incomplete
+/// (reported cases are only a small fraction of actual ones), and noisy
+/// (adjusted several times after being published)".  This model coarsens a
+/// simulated ground-truth epidemic exactly that way, producing the sparse
+/// observable stream the forecasting methods must work from.
 #pragma once
 
 #include <cstdint>

@@ -1,13 +1,14 @@
-// Cyclic Coordinate Descent for ridge regression — the paper's CCD kernel
-// (Section III-A), and the natural fit for the ROTATION computation model:
-// coordinates partition into disjoint blocks, each worker exactly solves
-// its owned block, and ownership rotates so every worker touches every
-// block (the Harp model-rotation pattern the paper's group built).
-//
-// For least squares each coordinate update is exact:
-//   w_j <- (x_j . r + (x_j . x_j) w_j) / (x_j . x_j + lambda)
-// where r is the current residual; the residual is maintained
-// incrementally, giving O(n) per coordinate update.
+/// @file
+/// Cyclic Coordinate Descent for ridge regression — the paper's CCD kernel
+/// (Section III-A), and the natural fit for the ROTATION computation model:
+/// coordinates partition into disjoint blocks, each worker exactly solves
+/// its owned block, and ownership rotates so every worker touches every
+/// block (the Harp model-rotation pattern the paper's group built).
+///
+/// For least squares each coordinate update is exact:
+///   w_j <- (x_j . r + (x_j . x_j) w_j) / (x_j . x_j + lambda)
+/// where r is the current residual; the residual is maintained
+/// incrementally, giving O(n) per coordinate update.
 #pragma once
 
 #include <cstddef>

@@ -1,16 +1,17 @@
-// Gibbs sampling on the 2-D Ising model — the paper's MCMC kernel class
-// (Section III-A: "Gibbs Sampling ... cover several important categories:
-// Markov Chain Monte Carlo (MCMC)").
-//
-// Sequential Gibbs sweeps are inherently serial (each update conditions on
-// the latest neighbours); the classic parallelization is CHROMATIC Gibbs:
-// on a checkerboard colouring, all same-colour sites are conditionally
-// independent and can be updated concurrently.  That is the Ising image of
-// the paper's Rotation/Locking discussion: correctness demands either
-// serialization or a colouring that makes concurrent writes disjoint.
-// Research issue 9's caveat ("statistical physics problems may need
-// different techniques than ... deterministic time evolutions") is exactly
-// about kernels like this one.
+/// @file
+/// Gibbs sampling on the 2-D Ising model — the paper's MCMC kernel class
+/// (Section III-A: "Gibbs Sampling ... cover several important categories:
+/// Markov Chain Monte Carlo (MCMC)").
+///
+/// Sequential Gibbs sweeps are inherently serial (each update conditions on
+/// the latest neighbours); the classic parallelization is CHROMATIC Gibbs:
+/// on a checkerboard colouring, all same-colour sites are conditionally
+/// independent and can be updated concurrently.  That is the Ising image of
+/// the paper's Rotation/Locking discussion: correctness demands either
+/// serialization or a colouring that makes concurrent writes disjoint.
+/// Research issue 9's caveat ("statistical physics problems may need
+/// different techniques than ... deterministic time evolutions") is exactly
+/// about kernels like this one.
 #pragma once
 
 #include <cstdint>

@@ -1,14 +1,15 @@
-// K-means clustering — one of the four parallel ML kernels the paper's
-// Section III-A studies ("Gibbs Sampling, Stochastic Gradient Descent
-// (SGD), Cyclic Coordinate Descent (CCD) and K-means clustering ...
-// fundamental for large-scale data analysis").
-//
-// K-means is the canonical Allreduce-model kernel: each worker assigns its
-// shard of points to the nearest centroid, partial sums are
-// allreduce-combined, and everyone applies the identical centroid update.
-// The implementation runs serially or over a ThreadPool (the shared-memory
-// stand-in for the paper's distributed workers); both paths produce
-// identical results for a fixed seed.
+/// @file
+/// K-means clustering — one of the four parallel ML kernels the paper's
+/// Section III-A studies ("Gibbs Sampling, Stochastic Gradient Descent
+/// (SGD), Cyclic Coordinate Descent (CCD) and K-means clustering ...
+/// fundamental for large-scale data analysis").
+///
+/// K-means is the canonical Allreduce-model kernel: each worker assigns its
+/// shard of points to the nearest centroid, partial sums are
+/// allreduce-combined, and everyone applies the identical centroid update.
+/// The implementation runs serially or over a ThreadPool (the shared-memory
+/// stand-in for the paper's distributed workers); both paths produce
+/// identical results for a fixed seed.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,6 @@
-// Time integration: velocity Verlet (NVE) and Langevin dynamics (BAOAB
-// splitting) for the confined electrolyte.
+/// @file
+/// Time integration: velocity Verlet (NVE) and Langevin dynamics (BAOAB
+/// splitting) for the confined electrolyte.
 #pragma once
 
 #include <functional>

@@ -1,9 +1,10 @@
-// Metropolis Monte-Carlo sampler over cluster configurations.
-//
-// Used by the NN-potential experiment to show that the surrogate does not
-// just reproduce energies pointwise but drives *sampling* to the same
-// structural ensemble as the reference (compare sampled pair-distance
-// distributions), which is the actual use-case of the cited ML potentials.
+/// @file
+/// Metropolis Monte-Carlo sampler over cluster configurations.
+///
+/// Used by the NN-potential experiment to show that the surrogate does not
+/// just reproduce energies pointwise but drives *sampling* to the same
+/// structural ensemble as the reference (compare sampled pair-distance
+/// distributions), which is the actual use-case of the cited ML potentials.
 #pragma once
 
 #include <functional>

@@ -1,12 +1,13 @@
-// The nanoconfinement ionic-structure simulation — the paper's flagship
-// MLaroundHPC case study (Sections II-C1 and III-D).
-//
-// Ions of valency z_p/z_n at salt concentration c and diameter d are
-// confined between walls h nanometers apart; the observable is the
-// positive-ion density profile rho(z), summarized by the three features the
-// ANN of ref [26] learns: the contact density (at the wall contact plane),
-// the peak density, and the mid-plane (center) density.  The surrogate's
-// D = 5 input features are exactly (h, z_p, z_n, c, d).
+/// @file
+/// The nanoconfinement ionic-structure simulation — the paper's flagship
+/// MLaroundHPC case study (Sections II-C1 and III-D).
+///
+/// Ions of valency z_p/z_n at salt concentration c and diameter d are
+/// confined between walls h nanometers apart; the observable is the
+/// positive-ion density profile rho(z), summarized by the three features the
+/// ANN of ref [26] learns: the contact density (at the wall contact plane),
+/// the peak density, and the mid-plane (center) density.  The surrogate's
+/// D = 5 input features are exactly (h, z_p, z_n, c, d).
 #pragma once
 
 #include <cstdint>

@@ -1,10 +1,11 @@
-// Cell-list neighbour search for the slab geometry.
-//
-// Bins particles into cells of at least the interaction cutoff, periodic in
-// x/y, bounded in z, and enumerates unique pairs from the 27-cell stencil.
-// This gives O(N) pair generation for large systems; the experiments'
-// few-hundred-ion systems also run fine through the O(N^2) loop, and the
-// unit tests assert both paths produce identical pair sets.
+/// @file
+/// Cell-list neighbour search for the slab geometry.
+///
+/// Bins particles into cells of at least the interaction cutoff, periodic in
+/// x/y, bounded in z, and enumerates unique pairs from the 27-cell stencil.
+/// This gives O(N) pair generation for large systems; the experiments'
+/// few-hundred-ion systems also run fine through the O(N^2) loop, and the
+/// unit tests assert both paths produce identical pair sets.
 #pragma once
 
 #include <cstddef>

@@ -1,10 +1,11 @@
-// Behler–Parrinello-style neural-network potential (paper Section II-C2).
-//
-// Total energy = sum over atoms of an identically structured MLP applied to
-// each atom's symmetry-function descriptor.  Trained against the reference
-// potential's per-atom energy decomposition, then deployed as the cheap
-// surrogate whose per-evaluation cost bench_nn_potential compares against
-// the reference (the ">1000x faster" claim).
+/// @file
+/// Behler–Parrinello-style neural-network potential (paper Section II-C2).
+///
+/// Total energy = sum over atoms of an identically structured MLP applied to
+/// each atom's symmetry-function descriptor.  Trained against the reference
+/// potential's per-atom energy decomposition, then deployed as the cheap
+/// surrogate whose per-evaluation cost bench_nn_potential compares against
+/// the reference (the ">1000x faster" claim).
 #pragma once
 
 #include <vector>

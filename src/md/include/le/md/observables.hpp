@@ -1,11 +1,12 @@
-// Structural observables beyond the density profile.
-//
-// Section II-C1 motivates surrogates for "the peak positions of the pair
-// correlation functions characterizing nanoparticle assembly"; this header
-// provides the g(r) machinery those observables come from.  Normalization
-// uses ideal-gas Monte-Carlo reference sampling, which is exact for ANY
-// confining geometry (the analytic 4 pi r^2 dr shell volume is wrong in a
-// slab, where shells are truncated by the walls).
+/// @file
+/// Structural observables beyond the density profile.
+///
+/// Section II-C1 motivates surrogates for "the peak positions of the pair
+/// correlation functions characterizing nanoparticle assembly"; this header
+/// provides the g(r) machinery those observables come from.  Normalization
+/// uses ideal-gas Monte-Carlo reference sampling, which is exact for ANY
+/// confining geometry (the analytic 4 pi r^2 dr shell volume is wrong in a
+/// slab, where shells are truncated by the walls).
 #pragma once
 
 #include <cstdint>

@@ -1,7 +1,8 @@
-// Classical interaction potentials for the confined-electrolyte system:
-// WCA-style truncated Lennard-Jones excluded volume, screened Coulomb
-// (Yukawa) electrostatics — the standard implicit-solvent primitive model
-// of the paper's nanoconfinement study — and an LJ 9-3 wall.
+/// @file
+/// Classical interaction potentials for the confined-electrolyte system:
+/// WCA-style truncated Lennard-Jones excluded volume, screened Coulomb
+/// (Yukawa) electrostatics — the standard implicit-solvent primitive model
+/// of the paper's nanoconfinement study — and an LJ 9-3 wall.
 #pragma once
 
 #include <cstddef>

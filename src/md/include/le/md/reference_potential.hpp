@@ -1,22 +1,23 @@
-// The expensive "ab-initio stand-in" reference potential for the
-// NN-potential experiment (E7, paper Section II-C2).
-//
-// The paper's evidence (Behler–Parrinello, Gastegger, ANI-1) compares an ML
-// potential against quantum-chemistry references (DFT, CCSD(T)) that cost
-// orders of magnitude more per energy evaluation.  We have no DFT code, so
-// this class reproduces the *cost structure* of one instead:
-//
-//   - an O(N^2) pairwise Morse term (the cheap part),
-//   - an O(N^2)-per-iteration self-consistent induced-dipole solve
-//     (the "SCF loop": iterated to a tight fixed-point tolerance),
-//   - an O(N^3) Axilrod–Teller triple-dipole dispersion term.
-//
-// Per DESIGN.md's substitution table, what matters for the paper's >1000x
-// claim is the cost ratio between reference and surrogate at matched
-// accuracy, which this preserves: the reference scales as
-// O(iters * N^2 + N^3) while the NN surrogate scales as O(N * neighbours).
-// Configurations are gas-phase clusters (no periodic boundary), matching
-// the molecular test cases of the cited works.
+/// @file
+/// The expensive "ab-initio stand-in" reference potential for the
+/// NN-potential experiment (E7, paper Section II-C2).
+///
+/// The paper's evidence (Behler–Parrinello, Gastegger, ANI-1) compares an ML
+/// potential against quantum-chemistry references (DFT, CCSD(T)) that cost
+/// orders of magnitude more per energy evaluation.  We have no DFT code, so
+/// this class reproduces the *cost structure* of one instead:
+///
+///   - an O(N^2) pairwise Morse term (the cheap part),
+///   - an O(N^2)-per-iteration self-consistent induced-dipole solve
+///     (the "SCF loop": iterated to a tight fixed-point tolerance),
+///   - an O(N^3) Axilrod–Teller triple-dipole dispersion term.
+///
+/// Per DESIGN.md's substitution table, what matters for the paper's >1000x
+/// claim is the cost ratio between reference and surrogate at matched
+/// accuracy, which this preserves: the reference scales as
+/// O(iters * N^2 + N^3) while the NN surrogate scales as O(N * neighbours).
+/// Configurations are gas-phase clusters (no periodic boundary), matching
+/// the molecular test cases of the cited works.
 #pragma once
 
 #include <cstddef>

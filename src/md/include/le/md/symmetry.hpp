@@ -1,11 +1,12 @@
-// Behler–Parrinello atom-centred symmetry functions (paper refs [30][31]).
-//
-// "their key insight was to represent the total energy as a sum of atomic
-// contributions and represent the chemical environment around each atom by
-// an identically structured NN, which takes as input appropriate symmetry
-// functions that are rotation and translation invariant as well as
-// invariant to exchange of atoms."  This header implements the radial G2
-// and angular G4 families with the standard cosine cutoff.
+/// @file
+/// Behler–Parrinello atom-centred symmetry functions (paper refs [30][31]).
+///
+/// "their key insight was to represent the total energy as a sum of atomic
+/// contributions and represent the chemical environment around each atom by
+/// an identically structured NN, which takes as input appropriate symmetry
+/// functions that are rotation and translation invariant as well as
+/// invariant to exchange of atoms."  This header implements the radial G2
+/// and angular G4 families with the standard cosine cutoff.
 #pragma once
 
 #include <cstddef>

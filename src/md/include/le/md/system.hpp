@@ -1,9 +1,10 @@
-// Particle system and slab confinement geometry.
-//
-// The nanoconfinement case study (paper Sections II-C1, III-D) simulates
-// ions between parallel walls separated by h nanometers, periodic in x/y.
-// Units here are reduced LJ-style units: ion diameter d ~ 1, kT = 1 at
-// reference temperature, lengths in nanometers.
+/// @file
+/// Particle system and slab confinement geometry.
+///
+/// The nanoconfinement case study (paper Sections II-C1, III-D) simulates
+/// ions between parallel walls separated by h nanometers, periodic in x/y.
+/// Units here are reduced LJ-style units: ion diameter d ~ 1, kT = 1 at
+/// reference temperature, lengths in nanometers.
 #pragma once
 
 #include <cstddef>

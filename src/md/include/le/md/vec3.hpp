@@ -1,4 +1,5 @@
-// Minimal 3-vector for the MD substrate.
+/// @file
+/// Minimal 3-vector for the MD substrate.
 #pragma once
 
 #include <cmath>

@@ -1,10 +1,11 @@
-// Neural-network layers.
-//
-// The paper's case-study networks are small multilayer perceptrons (30 and
-// 48 hidden units for the autotuning net; similar for the nanoconfinement
-// surrogate), optionally with dropout for MC-dropout uncertainty
-// quantification (Section III-B).  Layers process batches stored as
-// (batch x features) row-major matrices and cache what backward() needs.
+/// @file
+/// Neural-network layers.
+///
+/// The paper's case-study networks are small multilayer perceptrons (30 and
+/// 48 hidden units for the autotuning net; similar for the nanoconfinement
+/// surrogate), optionally with dropout for MC-dropout uncertainty
+/// quantification (Section III-B).  Layers process batches stored as
+/// (batch x features) row-major matrices and cache what backward() needs.
 #pragma once
 
 #include <memory>
@@ -37,6 +38,16 @@ class Layer {
   /// gradients internally and returns (batch x in_dim) input gradients.
   virtual tensor::Matrix backward(const tensor::Matrix& grad_output) = 0;
 
+  /// Inference-only forward into a caller-owned buffer: identical math to
+  /// forward() but nothing is cached for backward() and, once `out` has
+  /// reached its steady-state shape, nothing is allocated.  The serving
+  /// layer (le::serve) and Network::predict_batch run on this path so
+  /// per-call overhead amortizes over the batch.  `out` must not alias
+  /// `input`.  The default falls back to forward() for composite layers.
+  virtual void infer(const tensor::Matrix& input, tensor::Matrix& out) {
+    out = forward(input);
+  }
+
   /// Parameter/gradient views for optimizers; empty for stateless layers.
   virtual std::vector<ParamView> parameters() { return {}; }
 
@@ -64,6 +75,10 @@ class DenseLayer final : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& input) override;
   tensor::Matrix backward(const tensor::Matrix& grad_output) override;
+  /// Blocked-GEMM forward (the bench_gemm_blocking kernel) with no input
+  /// caching; for layer widths <= the default block size the accumulation
+  /// order matches forward() exactly.
+  void infer(const tensor::Matrix& input, tensor::Matrix& out) override;
   std::vector<ParamView> parameters() override;
   void zero_grad() override;
 
@@ -99,6 +114,7 @@ class ActivationLayer final : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& input) override;
   tensor::Matrix backward(const tensor::Matrix& grad_output) override;
+  void infer(const tensor::Matrix& input, tensor::Matrix& out) override;
 
   [[nodiscard]] std::size_t input_dim() const override { return dim_; }
   [[nodiscard]] std::size_t output_dim() const override { return dim_; }
@@ -123,6 +139,10 @@ class DropoutLayer final : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& input) override;
   tensor::Matrix backward(const tensor::Matrix& grad_output) override;
+  /// In deterministic evaluation this is a copy; in training/MC mode it
+  /// draws masks exactly like forward() (same RNG stream consumption) but
+  /// does not retain them, since no backward() follows inference.
+  void infer(const tensor::Matrix& input, tensor::Matrix& out) override;
 
   void set_mc_mode(bool on) noexcept { mc_mode_ = on; }
   [[nodiscard]] bool mc_mode() const noexcept { return mc_mode_; }

@@ -1,7 +1,8 @@
-// Regression losses.  The surrogate problems in the paper are regression
-// problems (density values, optimal timesteps, weekly incidence), so the
-// default is mean-squared error; Huber is provided for the noisy
-// surveillance targets in the DEFSI experiment.
+/// @file
+/// Regression losses.  The surrogate problems in the paper are regression
+/// problems (density values, optimal timesteps, weekly incidence), so the
+/// default is mean-squared error; Huber is provided for the noisy
+/// surveillance targets in the DEFSI experiment.
 #pragma once
 
 #include "le/tensor/matrix.hpp"

@@ -1,5 +1,6 @@
-// Sequential feed-forward network and the MLP builder used by every
-// surrogate in this repository.
+/// @file
+/// Sequential feed-forward network and the MLP builder used by every
+/// surrogate in this repository.
 #pragma once
 
 #include <memory>
@@ -29,7 +30,21 @@ class Network {
   /// gradients accumulate until zero_grad().
   tensor::Matrix backward(const tensor::Matrix& grad_output);
 
-  /// Single-sample inference convenience (allocates a 1-row batch).
+  /// Inference-only batch forward: each row of `inputs` is one sample and
+  /// `outputs` is resized to (inputs.rows() x output_dim()).  Activations
+  /// flow through the layers' infer() path via two network-owned scratch
+  /// buffers, so steady-state calls allocate nothing and the training-time
+  /// activation caches are left untouched — one matrix-matrix pass through
+  /// every layer instead of inputs.rows() single-row dispatches.  `outputs`
+  /// must not alias `inputs`.
+  void predict_batch(const tensor::Matrix& inputs, tensor::Matrix& outputs);
+
+  /// Allocating predict_batch convenience.
+  [[nodiscard]] tensor::Matrix predict_batch(const tensor::Matrix& inputs);
+
+  /// Single-sample inference convenience.  Runs on the predict_batch path
+  /// with thread-local row buffers, so repeated calls do not allocate the
+  /// 1-row batch they historically did (see bench_serving's before/after).
   [[nodiscard]] std::vector<double> predict(std::span<const double> input);
 
   /// Concatenated parameter views in layer order.
@@ -62,6 +77,9 @@ class Network {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  /// Ping-pong activation buffers for predict_batch; transient scratch,
+  /// never serialized or cloned.
+  tensor::Matrix infer_scratch_[2];
 };
 
 /// Configuration of a plain MLP surrogate.

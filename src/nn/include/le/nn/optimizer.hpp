@@ -1,8 +1,9 @@
-// First-order optimizers operating on ParamView lists.
-//
-// Optimizer state (momentum / Adam moments) is keyed by parameter order, so
-// a given optimizer instance must always be stepped with the views of the
-// same network in the same order — which Network::parameters() guarantees.
+/// @file
+/// First-order optimizers operating on ParamView lists.
+///
+/// Optimizer state (momentum / Adam moments) is keyed by parameter order, so
+/// a given optimizer instance must always be stepped with the views of the
+/// same network in the same order — which Network::parameters() guarantees.
 #pragma once
 
 #include <vector>

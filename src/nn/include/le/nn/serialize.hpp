@@ -1,11 +1,12 @@
-// Text (de)serialization of sequential networks.
-//
-// A trained surrogate is an asset: the MLControl campaign driver and the
-// example applications persist surrogates between phases with these
-// routines.  The format is a line-oriented text format (version header,
-// one line per layer, weights in full precision) — diff-friendly and
-// platform independent.  Composite layers (TwoBranchLayer) serialize
-// recursively.
+/// @file
+/// Text (de)serialization of sequential networks.
+///
+/// A trained surrogate is an asset: the MLControl campaign driver and the
+/// example applications persist surrogates between phases with these
+/// routines.  The format is a line-oriented text format (version header,
+/// one line per layer, weights in full precision) — diff-friendly and
+/// platform independent.  Composite layers (TwoBranchLayer) serialize
+/// recursively.
 #pragma once
 
 #include <iosfwd>

@@ -1,4 +1,5 @@
-// Mini-batch training loop with validation tracking and early stopping.
+/// @file
+/// Mini-batch training loop with validation tracking and early stopping.
 #pragma once
 
 #include <functional>

@@ -1,15 +1,16 @@
-// Two-branch composite layer, the architecture of DEFSI (Section II-A).
-//
-// DEFSI feeds two signal groups through separate sub-networks whose
-// embeddings are concatenated before a shared head.  Here the branches are
-// themselves Networks and the composite is itself a Layer, so a full DEFSI
-// model is an ordinary Network:
-//
-//   Network model;
-//   model.add(make_two_branch(branch_a, branch_b, split));
-//   model.add(... head layers ...);
-//
-// and trains with the ordinary fit() loop.
+/// @file
+/// Two-branch composite layer, the architecture of DEFSI (Section II-A).
+///
+/// DEFSI feeds two signal groups through separate sub-networks whose
+/// embeddings are concatenated before a shared head.  Here the branches are
+/// themselves Networks and the composite is itself a Layer, so a full DEFSI
+/// model is an ordinary Network:
+///
+///   Network model;
+///   model.add(make_two_branch(branch_a, branch_b, split));
+///   model.add(... head layers ...);
+///
+/// and trains with the ordinary fit() loop.
 #pragma once
 
 #include <memory>

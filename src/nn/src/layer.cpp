@@ -1,5 +1,6 @@
 #include "le/nn/layer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -36,6 +37,18 @@ tensor::Matrix DenseLayer::forward(const tensor::Matrix& input) {
     for (std::size_t c = 0; c < row.size(); ++c) row[c] += bias_[c];
   }
   return out;
+}
+
+void DenseLayer::infer(const tensor::Matrix& input, tensor::Matrix& out) {
+  if (input.cols() != weights_.rows()) {
+    throw std::invalid_argument("DenseLayer::infer: input dim mismatch");
+  }
+  out.resize(input.rows(), weights_.cols());
+  tensor::gemm_blocked(input, weights_, out);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] += bias_[c];
+  }
 }
 
 tensor::Matrix DenseLayer::backward(const tensor::Matrix& grad_output) {
@@ -144,6 +157,16 @@ tensor::Matrix ActivationLayer::forward(const tensor::Matrix& input) {
   return out;
 }
 
+void ActivationLayer::infer(const tensor::Matrix& input, tensor::Matrix& out) {
+  if (input.cols() != dim_) {
+    throw std::invalid_argument("ActivationLayer::infer: dim mismatch");
+  }
+  out.resize(input.rows(), input.cols());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    out.data()[i] = apply_activation(kind_, input.data()[i]);
+  }
+}
+
 tensor::Matrix ActivationLayer::backward(const tensor::Matrix& grad_output) {
   if (grad_output.rows() != cached_input_.rows() ||
       grad_output.cols() != cached_input_.cols()) {
@@ -184,6 +207,21 @@ tensor::Matrix DropoutLayer::forward(const tensor::Matrix& input) {
     out.data()[i] = input.data()[i] * m;
   }
   return out;
+}
+
+void DropoutLayer::infer(const tensor::Matrix& input, tensor::Matrix& out) {
+  if (input.cols() != dim_) {
+    throw std::invalid_argument("DropoutLayer::infer: dim mismatch");
+  }
+  out.resize(input.rows(), input.cols());
+  if (!stochastic() || rate_ == 0.0) {
+    std::copy(input.data(), input.data() + input.size(), out.data());
+    return;
+  }
+  const double keep = 1.0 - rate_;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    out.data()[i] = input.data()[i] * (rng_.bernoulli(keep) ? 1.0 / keep : 0.0);
+  }
 }
 
 tensor::Matrix DropoutLayer::backward(const tensor::Matrix& grad_output) {

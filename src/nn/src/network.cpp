@@ -28,11 +28,41 @@ tensor::Matrix Network::backward(const tensor::Matrix& grad_output) {
   return g;
 }
 
+void Network::predict_batch(const tensor::Matrix& inputs,
+                            tensor::Matrix& outputs) {
+  if (layers_.empty()) {
+    throw std::logic_error("Network::predict_batch: empty network");
+  }
+  if (&inputs == &outputs) {
+    throw std::invalid_argument("Network::predict_batch: outputs alias inputs");
+  }
+  const tensor::Matrix* cur = &inputs;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    tensor::Matrix& dst = i + 1 == layers_.size()
+                              ? outputs
+                              : (cur == &infer_scratch_[0] ? infer_scratch_[1]
+                                                           : infer_scratch_[0]);
+    layers_[i]->infer(*cur, dst);
+    cur = &dst;
+  }
+}
+
+tensor::Matrix Network::predict_batch(const tensor::Matrix& inputs) {
+  tensor::Matrix outputs;
+  predict_batch(inputs, outputs);
+  return outputs;
+}
+
 std::vector<double> Network::predict(std::span<const double> input) {
-  tensor::Matrix batch(1, input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) batch(0, i) = input[i];
-  tensor::Matrix out = forward(batch);
-  return {out.data(), out.data() + out.cols()};
+  // Thread-local row buffers: the historical implementation allocated a
+  // fresh 1-row batch (and one matrix per layer) per call, which dominated
+  // T_lookup for the paper's microsecond-scale surrogate queries.
+  thread_local tensor::Matrix in_row;
+  thread_local tensor::Matrix out_row;
+  in_row.resize(1, input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) in_row(0, i) = input[i];
+  predict_batch(in_row, out_row);
+  return {out_row.data(), out_row.data() + out_row.cols()};
 }
 
 std::vector<ParamView> Network::parameters() {

@@ -1,17 +1,18 @@
-// Observability primitives for the MLaroundHPC runtime (le::obs).
-//
-// The paper's effective-speedup model (Section III-D) is only actionable
-// if a running campaign can see where its time goes; "Understanding ML
-// driven HPC" (Fox & Jha, 2019) calls monitoring of coupled ML+simulation
-// loops first-class infrastructure.  This header provides the low-level
-// pieces: counters, gauges and fixed-bucket latency histograms collected
-// in a MetricsRegistry, all safe for concurrent update.
-//
-// Cost model: metrics are OFF by default.  The only expense on a hot path
-// when disabled is one relaxed atomic load (metrics_enabled()) or a null
-// handle check; no clocks are read and no locks are taken.  When enabled,
-// updates are lock-free atomics; the registry mutex is touched only when
-// a handle is first acquired by name and when a snapshot is taken.
+/// @file
+/// Observability primitives for the MLaroundHPC runtime (le::obs).
+///
+/// The paper's effective-speedup model (Section III-D) is only actionable
+/// if a running campaign can see where its time goes; "Understanding ML
+/// driven HPC" (Fox & Jha, 2019) calls monitoring of coupled ML+simulation
+/// loops first-class infrastructure.  This header provides the low-level
+/// pieces: counters, gauges and fixed-bucket latency histograms collected
+/// in a MetricsRegistry, all safe for concurrent update.
+///
+/// Cost model: metrics are OFF by default.  The only expense on a hot path
+/// when disabled is one relaxed atomic load (metrics_enabled()) or a null
+/// handle check; no clocks are read and no locks are taken.  When enabled,
+/// updates are lock-free atomics; the registry mutex is touched only when
+/// a handle is first acquired by name and when a snapshot is taken.
 #pragma once
 
 #include <array>

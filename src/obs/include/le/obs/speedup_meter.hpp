@@ -1,22 +1,23 @@
-// Live Section III-D accounting.
-//
-// The paper's central quantitative claim is the effective speedup
-//
-//            T_seq * (N_lookup + N_train)
-//   S = --------------------------------------------
-//       T_lookup * N_lookup + (T_train + T_learn) * N_train
-//
-// computed offline by bench_effective_speedup from one-off measurements.
-// EffectiveSpeedupMeter measures the same four times *as a campaign runs*:
-// every surrogate answer contributes to T_lookup, every training-set
-// simulation to T_train, every surrogate (re)training to T_learn, and
-// optional sequential-baseline runs to T_seq.  snapshot() then reports the
-// live S and its two limits at any point in the run.
-//
-// Recording is wait-free (relaxed atomics), so the meter can sit on the
-// dispatcher's hot path.  Unlike the MetricsRegistry plumbing it has no
-// global on/off switch: a component records only when a meter was
-// explicitly attached, which is already an opt-in.
+/// @file
+/// Live Section III-D accounting.
+///
+/// The paper's central quantitative claim is the effective speedup
+///
+///            T_seq * (N_lookup + N_train)
+///   S = --------------------------------------------
+///       T_lookup * N_lookup + (T_train + T_learn) * N_train
+///
+/// computed offline by bench_effective_speedup from one-off measurements.
+/// EffectiveSpeedupMeter measures the same four times *as a campaign runs*:
+/// every surrogate answer contributes to T_lookup, every training-set
+/// simulation to T_train, every surrogate (re)training to T_learn, and
+/// optional sequential-baseline runs to T_seq.  snapshot() then reports the
+/// live S and its two limits at any point in the run.
+///
+/// Recording is wait-free (relaxed atomics), so the meter can sit on the
+/// dispatcher's hot path.  Unlike the MetricsRegistry plumbing it has no
+/// global on/off switch: a component records only when a meter was
+/// explicitly attached, which is already an opt-in.
 #pragma once
 
 #include <atomic>

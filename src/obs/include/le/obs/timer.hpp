@@ -1,10 +1,11 @@
-// RAII timing: ScopedTimer records a duration into a Histogram; TraceSpan
-// additionally logs a (name, thread, nesting depth, start, duration) record
-// into the bounded process-wide TraceLog so a coupled ML+HPC run can be
-// reconstructed after the fact.
-//
-// Both are disabled-by-default and near-free when off: the constructor
-// reads one relaxed atomic flag and, if it is clear, never touches a clock.
+/// @file
+/// RAII timing: ScopedTimer records a duration into a Histogram; TraceSpan
+/// additionally logs a (name, thread, nesting depth, start, duration) record
+/// into the bounded process-wide TraceLog so a coupled ML+HPC run can be
+/// reconstructed after the fact.
+///
+/// Both are disabled-by-default and near-free when off: the constructor
+/// reads one relaxed atomic flag and, if it is clear, never touches a clock.
 #pragma once
 
 #include <chrono>

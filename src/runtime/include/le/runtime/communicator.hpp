@@ -1,11 +1,12 @@
-// MPI-style collectives over shared-memory ranks.
-//
-// The paper's Section III-A finds that *optimized collective communication*
-// improves model-update speed relative to lock-based or fully asynchronous
-// synchronization.  Communicator gives a fixed group of P threads ("ranks")
-// the collective vocabulary needed to express that comparison: barrier,
-// broadcast, allreduce and ring rotation.  Semantics follow MPI: every rank
-// of the group must call the same collective in the same order.
+/// @file
+/// MPI-style collectives over shared-memory ranks.
+///
+/// The paper's Section III-A finds that *optimized collective communication*
+/// improves model-update speed relative to lock-based or fully asynchronous
+/// synchronization.  Communicator gives a fixed group of P threads ("ranks")
+/// the collective vocabulary needed to express that comparison: barrier,
+/// broadcast, allreduce and ring rotation.  Semantics follow MPI: every rank
+/// of the group must call the same collective in the same order.
 #pragma once
 
 #include <barrier>

@@ -1,15 +1,16 @@
-// Deterministic fault injection for simulation functions (robustness
-// harness).
-//
-// "AI-coupled HPC Workflows" (Jha et al., 2022) observes that coupled
-// ML+simulation campaigns run at scales where task failures are routine,
-// not exceptional.  FaultInjector makes that regime reproducible on a
-// laptop: it wraps any simulation callable and injects the four failure
-// modes such campaigns actually see — thrown exceptions (crashed runs),
-// NaN/Inf-corrupted outputs (diverged solvers), out-of-range values
-// (silently wrong physics) and latency spikes (straggler nodes) — each
-// with its own probability, drawn from a seeded stream so every resilience
-// claim is testable and benchmarkable: same seed, same fault sequence.
+/// @file
+/// Deterministic fault injection for simulation functions (robustness
+/// harness).
+///
+/// "AI-coupled HPC Workflows" (Jha et al., 2022) observes that coupled
+/// ML+simulation campaigns run at scales where task failures are routine,
+/// not exceptional.  FaultInjector makes that regime reproducible on a
+/// laptop: it wraps any simulation callable and injects the four failure
+/// modes such campaigns actually see — thrown exceptions (crashed runs),
+/// NaN/Inf-corrupted outputs (diverged solvers), out-of-range values
+/// (silently wrong physics) and latency spikes (straggler nodes) — each
+/// with its own probability, drawn from a seeded stream so every resilience
+/// claim is testable and benchmarkable: same seed, same fault sequence.
 #pragma once
 
 #include <cstddef>

@@ -1,18 +1,19 @@
-// Heterogeneous learn/sim workload scheduling (research issue 8).
-//
-// An MLaroundHPC job mixes N_S simulation units with N_L learning/lookup
-// units whose costs differ by up to ~1e5 (Section III-A "Parallel
-// Computing").  The paper argues the learnt and unlearnt work must be load
-// balanced separately.  This scheduler executes real (spin-work) task mixes
-// under three policies so bench_scheduler can quantify the claim:
-//
-//  - SharedQueue:     one FIFO for everything; cheap lookups suffer
-//                     head-of-line blocking behind long simulations.
-//  - SeparateQueues:  workers are partitioned between task classes in
-//                     proportion to each class's total work (the paper's
-//                     recommendation).
-//  - ShortestFirst:   one priority queue ordered by expected cost; a
-//                     non-partitioned compromise.
+/// @file
+/// Heterogeneous learn/sim workload scheduling (research issue 8).
+///
+/// An MLaroundHPC job mixes N_S simulation units with N_L learning/lookup
+/// units whose costs differ by up to ~1e5 (Section III-A "Parallel
+/// Computing").  The paper argues the learnt and unlearnt work must be load
+/// balanced separately.  This scheduler executes real (spin-work) task mixes
+/// under three policies so bench_scheduler can quantify the claim:
+///
+///  - SharedQueue:     one FIFO for everything; cheap lookups suffer
+///                     head-of-line blocking behind long simulations.
+///  - SeparateQueues:  workers are partitioned between task classes in
+///                     proportion to each class's total work (the paper's
+///                     recommendation).
+///  - ShortestFirst:   one priority queue ordered by expected cost; a
+///                     non-partitioned compromise.
 #pragma once
 
 #include <cstddef>

@@ -1,31 +1,32 @@
-// The four parallel model-update patterns of Section III-A.
-//
-// The paper categorizes parallel iterative ML algorithms into (a) Locking,
-// (b) Rotation, (c) Allreduce, (d) Asynchronous computation models, by how
-// workers synchronize the shared model, and reports that optimized
-// collective synchronization (c, and the rotation pipeline b) converges
-// faster than lock-serialized or fully asynchronous updates.  This engine
-// implements all four over shared-memory workers against an abstract
-// differentiable problem so bench_sync_models can reproduce that ordering.
-//
-// Dataflow per pattern (P workers, model w of dimension d):
-//  - Locking:      one shared w guarded by a mutex; a worker holds the lock
-//                  across gradient computation + update, fully serializing
-//                  model access (sequential consistency, zero parallelism
-//                  in the update path).
-//  - Rotation:     w is partitioned into P contiguous blocks; at step t
-//                  worker p exclusively owns block (p + t) mod P, updates
-//                  only that block from its local mini-batch gradient, and
-//                  ownership rotates; a barrier separates steps.  Every
-//                  worker touches every block once per P steps (the Harp
-//                  model-rotation pattern).
-//  - Allreduce:    bulk-synchronous data parallelism: every worker computes
-//                  a mini-batch gradient at identical weights, gradients
-//                  are allreduce-averaged, and all workers apply the same
-//                  update (replicas never diverge).
-//  - Asynchronous: Hogwild-style: one shared w in atomics; workers read and
-//                  write with relaxed ordering and no barriers; updates may
-//                  be stale or interleaved.
+/// @file
+/// The four parallel model-update patterns of Section III-A.
+///
+/// The paper categorizes parallel iterative ML algorithms into (a) Locking,
+/// (b) Rotation, (c) Allreduce, (d) Asynchronous computation models, by how
+/// workers synchronize the shared model, and reports that optimized
+/// collective synchronization (c, and the rotation pipeline b) converges
+/// faster than lock-serialized or fully asynchronous updates.  This engine
+/// implements all four over shared-memory workers against an abstract
+/// differentiable problem so bench_sync_models can reproduce that ordering.
+///
+/// Dataflow per pattern (P workers, model w of dimension d):
+///  - Locking:      one shared w guarded by a mutex; a worker holds the lock
+///                  across gradient computation + update, fully serializing
+///                  model access (sequential consistency, zero parallelism
+///                  in the update path).
+///  - Rotation:     w is partitioned into P contiguous blocks; at step t
+///                  worker p exclusively owns block (p + t) mod P, updates
+///                  only that block from its local mini-batch gradient, and
+///                  ownership rotates; a barrier separates steps.  Every
+///                  worker touches every block once per P steps (the Harp
+///                  model-rotation pattern).
+///  - Allreduce:    bulk-synchronous data parallelism: every worker computes
+///                  a mini-batch gradient at identical weights, gradients
+///                  are allreduce-averaged, and all workers apply the same
+///                  update (replicas never diverge).
+///  - Asynchronous: Hogwild-style: one shared w in atomics; workers read and
+///                  write with relaxed ordering and no barriers; updates may
+///                  be stale or interleaved.
 #pragma once
 
 #include <cstddef>

@@ -1,13 +1,14 @@
-// Fixed-size thread pool with futures and a blocking parallel_for.
-//
-// All horizontal (many-task) parallelism in the repository — the paper's
-// Conclusions call for it explicitly — goes through this pool: simulation
-// campaigns fan out runs, the sync engines host their workers, and the
-// heterogeneous scheduler drives mixed learn/sim workloads.
-//
-// Observability: when le::obs metrics are enabled at construction the pool
-// reports queue depth, per-task execution latency and utilization to the
-// global MetricsRegistry under "thread_pool.*" (see DESIGN.md §8).
+/// @file
+/// Fixed-size thread pool with futures and a blocking parallel_for.
+///
+/// All horizontal (many-task) parallelism in the repository — the paper's
+/// Conclusions call for it explicitly — goes through this pool: simulation
+/// campaigns fan out runs, the sync engines host their workers, and the
+/// heterogeneous scheduler drives mixed learn/sim workloads.
+///
+/// Observability: when le::obs metrics are enabled at construction the pool
+/// reports queue depth, per-task execution latency and utilization to the
+/// global MetricsRegistry under "thread_pool.*" (see DESIGN.md §8).
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,130 @@
+/// @file
+/// Request coalescing for the surrogate hot path.
+///
+/// Worker threads of a serving campaign ask for one prediction at a time,
+/// but a neural forward pass costs nearly the same for one row as for
+/// thirty: layer dispatch, buffer setup and cache traffic amortize over the
+/// batch while the GEMMs grow only linearly.  BatchQueue turns concurrent
+/// single-sample submissions into one (batch x D) matrix-matrix forward:
+/// requests queue up, a dedicated serving thread waits a bounded interval
+/// for the batch to fill (or dispatches immediately when it does), runs the
+/// batched forward, and resolves every submitter's future from its row of
+/// the result.  bench_serving (E13) measures the throughput gain.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "le/tensor/matrix.hpp"
+
+namespace le::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+}  // namespace le::obs
+
+namespace le::serve {
+
+/// The batched model: rows in, rows out (same row count, any output
+/// width).  Called from the serving thread only, so a non-thread-safe
+/// nn::Network::predict_batch bound here needs no external locking.
+using BatchForwardFn =
+    std::function<tensor::Matrix(const tensor::Matrix&)>;
+
+struct BatchQueueConfig {
+  /// Rows per dispatched forward; a full batch dispatches immediately.
+  std::size_t max_batch = 64;
+  /// How long a partially filled batch waits for more arrivals before it
+  /// is dispatched anyway — the tail-latency bound of coalescing.
+  std::chrono::microseconds max_wait{200};
+  /// Input width every submission must match.
+  std::size_t input_dim = 1;
+};
+
+struct BatchQueueStats {
+  std::uint64_t queries = 0;
+  std::uint64_t batches = 0;
+  std::size_t max_batch_observed = 0;
+
+  [[nodiscard]] double mean_batch() const noexcept {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(queries) /
+                              static_cast<double>(batches);
+  }
+};
+
+class BatchQueue {
+ public:
+  BatchQueue(BatchForwardFn forward, const BatchQueueConfig& config);
+
+  /// Drains every pending request through the model, then joins the
+  /// serving thread.
+  ~BatchQueue();
+
+  BatchQueue(const BatchQueue&) = delete;
+  BatchQueue& operator=(const BatchQueue&) = delete;
+
+  /// Enqueues one query; the future resolves with the model's output row
+  /// for it (or the exception the batched forward threw).  Thread-safe.
+  [[nodiscard]] std::future<std::vector<double>> submit(
+      std::span<const double> input);
+
+  /// Synchronous convenience: submit and wait.
+  [[nodiscard]] std::vector<double> query(std::span<const double> input);
+
+  /// Stops accepting new submissions, serves what is queued, and joins.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] BatchQueueStats stats() const;
+  [[nodiscard]] const BatchQueueConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Publishes queries/batches counters, a batch-fill gauge and a
+  /// batch-seconds histogram under "<prefix>.*".
+  void enable_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "serve.batch_queue");
+
+ private:
+  struct Pending {
+    std::vector<double> input;
+    std::promise<std::vector<double>> promise;
+  };
+
+  void serve_loop();
+  void dispatch(std::vector<Pending> batch);
+
+  BatchForwardFn forward_;
+  BatchQueueConfig config_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> pending_;
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::size_t> max_batch_observed_{0};
+
+  /// Metric handles; all null until enable_metrics().
+  obs::Counter* metric_queries_ = nullptr;
+  obs::Counter* metric_batches_ = nullptr;
+  obs::Gauge* metric_batch_fill_ = nullptr;
+  obs::Histogram* metric_batch_seconds_ = nullptr;
+
+  std::thread server_;  // last member: starts after everything else is built
+};
+
+}  // namespace le::serve

@@ -1,0 +1,154 @@
+/// @file
+/// The paper's "learned lookup table" made literal (Section III-D).
+///
+/// The effective-speedup equation rewards driving T_lookup toward zero;
+/// sweeps and autotune grids re-ask the same state points over and over, so
+/// the cheapest lookup of all is remembering an answer the surrogate already
+/// produced.  LookupCache is a sharded, mutex-striped LRU keyed by quantized
+/// input vectors: inputs that agree to within `resolution` in every
+/// component share one entry, repeated queries hit in O(1) with no forward
+/// pass at all, and stripe-level locking keeps concurrent serving threads
+/// out of each other's way.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace le::obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace le::obs
+
+namespace le::serve {
+
+struct LookupCacheConfig {
+  /// Total entries across all shards; the per-shard bound is
+  /// ceil(capacity / shards), enforced independently per shard.
+  std::size_t capacity = 4096;
+  /// Mutex stripes.  Each input hashes to one shard, so concurrent
+  /// queries contend only when they land on the same stripe.
+  std::size_t shards = 8;
+  /// Quantization step per input component: inputs within `resolution` of
+  /// each other in every component share a cache key.  Pick it below the
+  /// surrogate's input sensitivity; the default treats inputs as exact.
+  double resolution = 1e-12;
+};
+
+/// A cached accepted answer: the surrogate's mean and the uncertainty
+/// score it carried when the UQ gate admitted it.
+struct CachedAnswer {
+  std::vector<double> values;
+  double uncertainty = 0.0;
+};
+
+struct LookupCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class LookupCache {
+ public:
+  /// Quantized input vector; equal keys mean "same state point at the
+  /// configured resolution".
+  using Key = std::vector<std::int64_t>;
+
+  explicit LookupCache(const LookupCacheConfig& config);
+
+  /// Quantizes one input vector at `resolution`.  All components must be
+  /// finite (non-finite inputs are uncacheable and handled by the callers).
+  [[nodiscard]] static Key quantize(std::span<const double> input,
+                                    double resolution);
+
+  /// O(1) lookup; a hit refreshes the entry's LRU position.  Non-finite
+  /// inputs always miss.
+  [[nodiscard]] std::optional<CachedAnswer> find(std::span<const double> input);
+
+  /// Allocation-free variant for the serving hot path: on a hit, fills
+  /// `out` reusing its buffers and returns true.  `out` is untouched on a
+  /// miss.  Steady-state this allocates nothing (the key is built in a
+  /// thread-local scratch), which is what keeps a cache hit an order of
+  /// magnitude cheaper than a forward pass.
+  [[nodiscard]] bool find(std::span<const double> input, CachedAnswer& out);
+
+  /// Inserts (or refreshes) the entry for `input`, evicting the shard's
+  /// least-recently-used entry when the stripe is full.  Non-finite inputs
+  /// are ignored.
+  void insert(std::span<const double> input, CachedAnswer answer);
+
+  [[nodiscard]] LookupCacheStats stats() const;
+  /// Live entry count over all shards.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return entries_.load(std::memory_order_relaxed);
+  }
+  void clear();
+
+  [[nodiscard]] const LookupCacheConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Publishes hits/misses/insertions/evictions counters and an entries
+  /// gauge to `registry` under "<prefix>.*".  Handles are acquired once;
+  /// the lookup path then updates them lock-free.
+  void enable_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "serve.cache");
+
+ private:
+  /// quantize() into a caller-owned key, reusing its capacity.
+  static void quantize_into(std::span<const double> input, double resolution,
+                            Key& key);
+
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept;
+  };
+
+  struct Entry {
+    Key key;
+    CachedAnswer answer;
+  };
+
+  /// One mutex stripe: an LRU list (front = most recent) plus an index
+  /// from key to list position.
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+  };
+
+  [[nodiscard]] Shard& shard_for(const Key& key) noexcept;
+
+  LookupCacheConfig config_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> entries_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+
+  /// Metric handles; all null until enable_metrics().
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Counter* metric_insertions_ = nullptr;
+  obs::Counter* metric_evictions_ = nullptr;
+  obs::Gauge* metric_entries_ = nullptr;
+};
+
+}  // namespace le::serve

@@ -1,0 +1,150 @@
+#include "le/serve/batch_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "le/obs/metrics.hpp"
+
+namespace le::serve {
+
+BatchQueue::BatchQueue(BatchForwardFn forward, const BatchQueueConfig& config)
+    : forward_(std::move(forward)), config_(config) {
+  if (!forward_) throw std::invalid_argument("BatchQueue: null forward fn");
+  if (config_.max_batch == 0) {
+    throw std::invalid_argument("BatchQueue: max_batch must be positive");
+  }
+  if (config_.input_dim == 0) {
+    throw std::invalid_argument("BatchQueue: input_dim must be positive");
+  }
+  if (config_.max_wait.count() < 0) {
+    throw std::invalid_argument("BatchQueue: max_wait must be non-negative");
+  }
+  server_ = std::thread([this] { serve_loop(); });
+}
+
+BatchQueue::~BatchQueue() { stop(); }
+
+void BatchQueue::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_ && !server_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (server_.joinable()) server_.join();
+}
+
+std::future<std::vector<double>> BatchQueue::submit(
+    std::span<const double> input) {
+  if (input.size() != config_.input_dim) {
+    throw std::invalid_argument("BatchQueue::submit: input dim mismatch");
+  }
+  Pending request;
+  request.input.assign(input.begin(), input.end());
+  std::future<std::vector<double>> fut = request.promise.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("BatchQueue::submit: queue is stopped");
+    }
+    pending_.push_back(std::move(request));
+  }
+  cv_.notify_all();
+  return fut;
+}
+
+std::vector<double> BatchQueue::query(std::span<const double> input) {
+  return submit(input).get();
+}
+
+void BatchQueue::serve_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+    if (pending_.empty()) return;  // stopping and fully drained
+
+    // Bounded coalescing: hold a partial batch open until either it fills
+    // or max_wait elapses; stop requests flush immediately.
+    const auto deadline = std::chrono::steady_clock::now() + config_.max_wait;
+    while (!stopping_ && pending_.size() < config_.max_batch) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
+
+    const std::size_t take = std::min(pending_.size(), config_.max_batch);
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    lock.unlock();
+    dispatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void BatchQueue::dispatch(std::vector<Pending> batch) {
+  const std::size_t rows = batch.size();
+  tensor::Matrix inputs(rows, config_.input_dim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto row = inputs.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] = batch[r].input[c];
+  }
+
+  queries_.fetch_add(rows, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t prev = max_batch_observed_.load(std::memory_order_relaxed);
+  while (rows > prev &&
+         !max_batch_observed_.compare_exchange_weak(
+             prev, rows, std::memory_order_relaxed)) {
+  }
+  if (metric_queries_) metric_queries_->add(rows);
+  if (metric_batches_) metric_batches_->add();
+  if (metric_batch_fill_) {
+    metric_batch_fill_->set(static_cast<double>(rows));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  tensor::Matrix outputs;
+  try {
+    outputs = forward_(inputs);
+    if (outputs.rows() != rows) {
+      throw std::runtime_error("BatchQueue: forward returned " +
+                               std::to_string(outputs.rows()) +
+                               " rows for a batch of " + std::to_string(rows));
+    }
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (auto& request : batch) request.promise.set_exception(error);
+    return;
+  }
+  if (metric_batch_seconds_) {
+    const auto t1 = std::chrono::steady_clock::now();
+    metric_batch_seconds_->record(
+        std::chrono::duration<double>(t1 - t0).count());
+  }
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto row = outputs.row(r);
+    batch[r].promise.set_value(std::vector<double>(row.begin(), row.end()));
+  }
+}
+
+BatchQueueStats BatchQueue::stats() const {
+  BatchQueueStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.max_batch_observed = max_batch_observed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BatchQueue::enable_metrics(obs::MetricsRegistry& registry,
+                                const std::string& prefix) {
+  metric_queries_ = &registry.counter(prefix + ".queries");
+  metric_batches_ = &registry.counter(prefix + ".batches");
+  metric_batch_fill_ = &registry.gauge(prefix + ".batch_fill");
+  metric_batch_seconds_ = &registry.histogram(prefix + ".batch_seconds");
+}
+
+}  // namespace le::serve

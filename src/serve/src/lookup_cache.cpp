@@ -1,0 +1,185 @@
+#include "le/serve/lookup_cache.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "le/obs/metrics.hpp"
+
+namespace le::serve {
+
+namespace {
+
+bool all_finite(std::span<const double> input) noexcept {
+  for (double v : input) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LookupCache::LookupCache(const LookupCacheConfig& config) : config_(config) {
+  if (config_.capacity == 0) {
+    throw std::invalid_argument("LookupCache: capacity must be positive");
+  }
+  if (config_.shards == 0) {
+    throw std::invalid_argument("LookupCache: shards must be positive");
+  }
+  if (!(config_.resolution > 0.0) || !std::isfinite(config_.resolution)) {
+    throw std::invalid_argument("LookupCache: resolution must be positive");
+  }
+  per_shard_capacity_ =
+      (config_.capacity + config_.shards - 1) / config_.shards;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+LookupCache::Key LookupCache::quantize(std::span<const double> input,
+                                       double resolution) {
+  Key key;
+  quantize_into(input, resolution, key);
+  return key;
+}
+
+void LookupCache::quantize_into(std::span<const double> input,
+                                double resolution, Key& key) {
+  key.clear();
+  key.reserve(input.size());
+  // llround saturates UB-free only inside the representable range; clamp
+  // first so absurd magnitudes still produce a stable (edge) key.
+  const double lo = static_cast<double>(std::numeric_limits<std::int64_t>::min());
+  const double hi = static_cast<double>(std::numeric_limits<std::int64_t>::max());
+  for (double v : input) {
+    const double scaled = v / resolution;
+    if (scaled <= lo) {
+      key.push_back(std::numeric_limits<std::int64_t>::min());
+    } else if (scaled >= hi) {
+      key.push_back(std::numeric_limits<std::int64_t>::max());
+    } else {
+      key.push_back(std::llround(scaled));
+    }
+  }
+}
+
+std::size_t LookupCache::KeyHash::operator()(const Key& key) const noexcept {
+  // splitmix64-style avalanche per component: far cheaper than byte-wise
+  // FNV on the lookup hot path (the hash runs twice per find: shard pick
+  // and index probe) while mixing well enough for both uses.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ key.size();
+  for (std::int64_t v : key) {
+    auto u = static_cast<std::uint64_t>(v);
+    u ^= u >> 30;
+    u *= 0xbf58476d1ce4e5b9ULL;
+    u ^= u >> 27;
+    u *= 0x94d049bb133111ebULL;
+    u ^= u >> 31;
+    h ^= u + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+LookupCache::Shard& LookupCache::shard_for(const Key& key) noexcept {
+  return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+std::optional<CachedAnswer> LookupCache::find(std::span<const double> input) {
+  CachedAnswer out;
+  if (find(input, out)) return out;
+  return std::nullopt;
+}
+
+bool LookupCache::find(std::span<const double> input, CachedAnswer& out) {
+  if (!all_finite(input)) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_misses_) metric_misses_->add();
+    return false;
+  }
+  // Thread-local scratch: the key vector's capacity is reused across
+  // calls, so a steady-state lookup performs no heap allocation.
+  static thread_local Key key;
+  quantize_into(input, config_.resolution, key);
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      const CachedAnswer& hit = it->second->answer;
+      out.values.assign(hit.values.begin(), hit.values.end());
+      out.uncertainty = hit.uncertainty;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (metric_hits_) metric_hits_->add();
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_misses_) metric_misses_->add();
+  return false;
+}
+
+void LookupCache::insert(std::span<const double> input, CachedAnswer answer) {
+  if (!all_finite(input)) return;
+  static thread_local Key key;
+  quantize_into(input, config_.resolution, key);
+  Shard& shard = shard_for(key);
+  bool evicted = false;
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->answer = std::move(answer);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Entry{key, std::move(answer)});
+      shard.index.emplace(key, shard.lru.begin());
+      if (shard.lru.size() > per_shard_capacity_) {
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        evicted = true;
+      } else {
+        entries_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted) evictions_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_insertions_) metric_insertions_->add();
+  if (evicted && metric_evictions_) metric_evictions_->add();
+  if (metric_entries_) {
+    metric_entries_->set(static_cast<double>(size()));
+  }
+}
+
+LookupCacheStats LookupCache::stats() const {
+  LookupCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.entries = size();
+  return s;
+}
+
+void LookupCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+  entries_.store(0, std::memory_order_relaxed);
+  if (metric_entries_) metric_entries_->set(0.0);
+}
+
+void LookupCache::enable_metrics(obs::MetricsRegistry& registry,
+                                 const std::string& prefix) {
+  metric_hits_ = &registry.counter(prefix + ".hits");
+  metric_misses_ = &registry.counter(prefix + ".misses");
+  metric_insertions_ = &registry.counter(prefix + ".insertions");
+  metric_evictions_ = &registry.counter(prefix + ".evictions");
+  metric_entries_ = &registry.gauge(prefix + ".entries");
+}
+
+}  // namespace le::serve

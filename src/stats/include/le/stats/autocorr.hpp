@@ -1,11 +1,12 @@
-// Time-series independence diagnostics.
-//
-// Section III-D of the paper stresses that training samples harvested from a
-// running simulation must be blocked at intervals longer than the
-// autocorrelation time dc, otherwise consecutive samples are not
-// statistically independent and add no training value.  These routines
-// estimate dc and perform Flyvbjerg–Petersen blocking analysis; the
-// nanoconfinement bench uses them to justify its sample-harvesting interval.
+/// @file
+/// Time-series independence diagnostics.
+///
+/// Section III-D of the paper stresses that training samples harvested from a
+/// running simulation must be blocked at intervals longer than the
+/// autocorrelation time dc, otherwise consecutive samples are not
+/// statistically independent and add no training value.  These routines
+/// estimate dc and perform Flyvbjerg–Petersen blocking analysis; the
+/// nanoconfinement bench uses them to justify its sample-harvesting interval.
 #pragma once
 
 #include <cstddef>

@@ -1,4 +1,5 @@
-// Descriptive statistics over spans of doubles.
+/// @file
+/// Descriptive statistics over spans of doubles.
 #pragma once
 
 #include <cstddef>

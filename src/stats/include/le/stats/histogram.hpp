@@ -1,5 +1,6 @@
-// Uniform-bin histogram, used for MD density profiles and epidemic
-// incidence distributions.
+/// @file
+/// Uniform-bin histogram, used for MD density profiles and epidemic
+/// incidence distributions.
 #pragma once
 
 #include <cstddef>

@@ -1,5 +1,6 @@
-// Regression / forecasting quality metrics shared by the surrogate
-// experiments (E2, E4, E5, E7, E8).
+/// @file
+/// Regression / forecasting quality metrics shared by the surrogate
+/// experiments (E2, E4, E5, E7, E8).
 #pragma once
 
 #include <span>

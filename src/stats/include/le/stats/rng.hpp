@@ -1,10 +1,11 @@
-// Deterministic random-number streams.
-//
-// Everything stochastic in the repository (MD thermostats, SEIR transitions,
-// NN initialization, dropout masks, samplers) draws from le::stats::Rng so
-// that every experiment is reproducible from a single seed.  Substreams are
-// derived with split(), which uses SplitMix64 on the parent state so sibling
-// streams are statistically independent.
+/// @file
+/// Deterministic random-number streams.
+///
+/// Everything stochastic in the repository (MD thermostats, SEIR transitions,
+/// NN initialization, dropout masks, samplers) draws from le::stats::Rng so
+/// that every experiment is reproducible from a single seed.  Substreams are
+/// derived with split(), which uses SplitMix64 on the parent state so sibling
+/// streams are statistically independent.
 #pragma once
 
 #include <cstdint>

@@ -1,10 +1,11 @@
-// Dense row-major matrix type used throughout the Learning Everywhere stack.
-//
-// The neural-network library (src/nn) stores weights and activations in
-// Matrix; the MD, epidemic and tissue substrates use it for observables and
-// field snapshots.  The type is intentionally small: owning storage, bounds
-// checked access in debug builds, and no expression templates — all heavy
-// kernels live in ops.hpp where they can be blocked and tuned explicitly.
+/// @file
+/// Dense row-major matrix type used throughout the Learning Everywhere stack.
+///
+/// The neural-network library (src/nn) stores weights and activations in
+/// Matrix; the MD, epidemic and tissue substrates use it for observables and
+/// field snapshots.  The type is intentionally small: owning storage, bounds
+/// checked access in debug builds, and no expression templates — all heavy
+/// kernels live in ops.hpp where they can be blocked and tuned explicitly.
 #pragma once
 
 #include <cassert>

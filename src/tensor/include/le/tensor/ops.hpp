@@ -1,9 +1,10 @@
-// Dense linear-algebra kernels.
-//
-// Every kernel exists in a plain (reference) form; gemm additionally has a
-// cache-blocked form whose block sizes are exposed as parameters so the
-// MLautotuning experiment (bench_gemm_blocking, the paper's ATLAS example)
-// can search over them.
+/// @file
+/// Dense linear-algebra kernels.
+///
+/// Every kernel exists in a plain (reference) form; gemm additionally has a
+/// cache-blocked form whose block sizes are exposed as parameters so the
+/// MLautotuning experiment (bench_gemm_blocking, the paper's ATLAS example)
+/// can search over them.
 #pragma once
 
 #include <cstddef>

@@ -1,9 +1,10 @@
-// Lattice tissue model (paper Section II-B): agent cells that consume
-// nutrient, grow, divide into free neighbouring sites, and die when
-// starved.  Each tissue step needs the nutrient field at quasi-steady
-// state — nutrient diffusion is much faster than cell-cycle time — which
-// makes the diffusion solve the dominant cost and the natural target for
-// ML short-circuiting.
+/// @file
+/// Lattice tissue model (paper Section II-B): agent cells that consume
+/// nutrient, grow, divide into free neighbouring sites, and die when
+/// starved.  Each tissue step needs the nutrient field at quasi-steady
+/// state — nutrient diffusion is much faster than cell-cycle time — which
+/// makes the diffusion solve the dominant cost and the natural target for
+/// ML short-circuiting.
 #pragma once
 
 #include <cstdint>

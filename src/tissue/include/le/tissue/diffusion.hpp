@@ -1,15 +1,16 @@
-// Explicit reaction–diffusion solver — the compute-intensive transport
-// module of the virtual-tissue simulation ("Modeling transport and
-// diffusion is compute intensive", paper Section II-B), and the module the
-// ML short-circuit experiment replaces ("The elimination of short time
-// scales, e.g., short-circuit the calculations of advection-diffusion").
-//
-// dc/dt = D lap(c) + S(x,y) - k_u * u(x,y) * c - k_d * c
-//
-// with S a fixed source field (vasculature), u the cell-occupancy field
-// (Michaelis-style linear uptake) and k_d a background decay.  Neumann
-// (zero-flux) boundaries.  steady_state() iterates FTCS sweeps until the
-// field stops changing — the expensive inner loop of every tissue step.
+/// @file
+/// Explicit reaction–diffusion solver — the compute-intensive transport
+/// module of the virtual-tissue simulation ("Modeling transport and
+/// diffusion is compute intensive", paper Section II-B), and the module the
+/// ML short-circuit experiment replaces ("The elimination of short time
+/// scales, e.g., short-circuit the calculations of advection-diffusion").
+///
+/// dc/dt = D lap(c) + S(x,y) - k_u * u(x,y) * c - k_d * c
+///
+/// with S a fixed source field (vasculature), u the cell-occupancy field
+/// (Michaelis-style linear uptake) and k_d a background decay.  Neumann
+/// (zero-flux) boundaries.  steady_state() iterates FTCS sweeps until the
+/// field stops changing — the expensive inner loop of every tissue step.
 #pragma once
 
 #include <cstddef>

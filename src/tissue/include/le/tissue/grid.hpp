@@ -1,5 +1,6 @@
-// 2-D scalar field on a regular lattice, the state container for the
-// virtual-tissue substrate (nutrient concentration, cell density, ...).
+/// @file
+/// 2-D scalar field on a regular lattice, the state container for the
+/// virtual-tissue substrate (nutrient concentration, cell density, ...).
 #pragma once
 
 #include <cstddef>

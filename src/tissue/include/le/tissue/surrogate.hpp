@@ -1,12 +1,13 @@
-// The diffusion short-circuit surrogate (paper Section II-B, item 1:
-// "Short-circuiting: The replacement of computationally costly modules
-// with learned analogues").
-//
-// An MLP maps the coarse-grained cell-occupancy field to the coarse
-// steady-state nutrient field; bilinear upsampling restores full
-// resolution.  The surrogate is trained for a fixed vasculature (source)
-// layout — the live degree of freedom during a tissue simulation is where
-// the cells are, which is exactly what changes step to step.
+/// @file
+/// The diffusion short-circuit surrogate (paper Section II-B, item 1:
+/// "Short-circuiting: The replacement of computationally costly modules
+/// with learned analogues").
+///
+/// An MLP maps the coarse-grained cell-occupancy field to the coarse
+/// steady-state nutrient field; bilinear upsampling restores full
+/// resolution.  The surrogate is trained for a fixed vasculature (source)
+/// layout — the live degree of freedom during a tissue simulation is where
+/// the cells are, which is exactly what changes step to step.
 #pragma once
 
 #include <cstdint>

@@ -1,11 +1,12 @@
-// Data-acquisition policies for the UQ-gated training loop.
-//
-// "Creating more examples to train a better ML model is a conflicting
-// requirement as the purpose of training the ML surrogate is to avoid such
-// computation.  The UQ scheme can play a role here ... once [uncertainty]
-// is low enough, the training routine might less likely need more data."
-// (Section III-B.)  These policies decide (a) whether more simulation runs
-// are needed at all and (b) which candidate state points to simulate next.
+/// @file
+/// Data-acquisition policies for the UQ-gated training loop.
+///
+/// "Creating more examples to train a better ML model is a conflicting
+/// requirement as the purpose of training the ML surrogate is to avoid such
+/// computation.  The UQ scheme can play a role here ... once [uncertainty]
+/// is low enough, the training routine might less likely need more data."
+/// (Section III-B.)  These policies decide (a) whether more simulation runs
+/// are needed at all and (b) which candidate state points to simulate next.
 #pragma once
 
 #include <cstddef>

@@ -1,11 +1,12 @@
-// Calibration diagnostics for uncertainty estimates.
-//
-// Research issue 10 of the paper warns that dropout-based UQ "does not
-// always mean that the quality of the distribution is dependent on the
-// quality/quantity of data" — two dropout rates can give different spreads
-// for the same data.  These diagnostics make that failure measurable:
-// a calibrated model's standardized residuals z = (y - mu)/sigma should be
-// ~N(0,1), i.e. ~68% within 1 sigma and ~95% within 2 sigma.
+/// @file
+/// Calibration diagnostics for uncertainty estimates.
+///
+/// Research issue 10 of the paper warns that dropout-based UQ "does not
+/// always mean that the quality of the distribution is dependent on the
+/// quality/quantity of data" — two dropout rates can give different spreads
+/// for the same data.  These diagnostics make that failure measurable:
+/// a calibrated model's standardized residuals z = (y - mu)/sigma should be
+/// ~N(0,1), i.e. ~68% within 1 sigma and ~95% within 2 sigma.
 #pragma once
 
 #include <span>

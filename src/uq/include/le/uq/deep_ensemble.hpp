@@ -1,9 +1,10 @@
-// Deep ensembles: M independently initialized and trained replicas whose
-// prediction spread estimates epistemic uncertainty.  The paper's Section
-// III-B calls model averaging the ideal resolution of the bias-variance
-// trade-off but notes its training cost; this class is that reference
-// point, against which MC-dropout is the cheap approximation
-// (bench_uq compares the two).
+/// @file
+/// Deep ensembles: M independently initialized and trained replicas whose
+/// prediction spread estimates epistemic uncertainty.  The paper's Section
+/// III-B calls model averaging the ideal resolution of the bias-variance
+/// trade-off but notes its training cost; this class is that reference
+/// point, against which MC-dropout is the cheap approximation
+/// (bench_uq compares the two).
 #pragma once
 
 #include <vector>
@@ -21,6 +22,9 @@ class DeepEnsemble final : public UqModel {
   explicit DeepEnsemble(std::vector<nn::Network> members);
 
   [[nodiscard]] Prediction predict(std::span<const double> input) override;
+  /// Batched ensemble inference: one matrix-matrix forward per member.
+  [[nodiscard]] std::vector<Prediction> predict_batch(
+      const tensor::Matrix& inputs) override;
   [[nodiscard]] std::size_t input_dim() const override;
   [[nodiscard]] std::size_t output_dim() const override;
   [[nodiscard]] std::size_t member_count() const noexcept { return members_.size(); }

@@ -1,14 +1,17 @@
-// Uncertainty-aware prediction interface (Section III-B).
-//
-// The paper argues a learned surrogate must report not just a prediction
-// but whether the prediction "is valid enough to be used".  Everything that
-// consumes uncertainty — the SurrogateDispatcher's accept/reject gate, the
-// adaptive training loop, the acquisition policies — programs against this
-// interface; MC-dropout and deep ensembles implement it.
+/// @file
+/// Uncertainty-aware prediction interface (Section III-B).
+///
+/// The paper argues a learned surrogate must report not just a prediction
+/// but whether the prediction "is valid enough to be used".  Everything that
+/// consumes uncertainty — the SurrogateDispatcher's accept/reject gate, the
+/// adaptive training loop, the acquisition policies — programs against this
+/// interface; MC-dropout and deep ensembles implement it.
 #pragma once
 
 #include <span>
 #include <vector>
+
+#include "le/tensor/matrix.hpp"
 
 namespace le::uq {
 
@@ -24,6 +27,13 @@ class UqModel {
 
   /// Predictive distribution for one input point.
   [[nodiscard]] virtual Prediction predict(std::span<const double> input) = 0;
+
+  /// Predictive distributions for a batch of points, one per row of
+  /// `inputs`.  The base implementation loops predict(); models with a
+  /// batched forward override it so per-query dispatch cost amortizes over
+  /// the whole batch (the le::serve / dispatcher batch path relies on it).
+  [[nodiscard]] virtual std::vector<Prediction> predict_batch(
+      const tensor::Matrix& inputs);
 
   [[nodiscard]] virtual std::size_t input_dim() const = 0;
   [[nodiscard]] virtual std::size_t output_dim() const = 0;

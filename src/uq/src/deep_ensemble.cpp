@@ -45,6 +45,39 @@ Prediction DeepEnsemble::predict(std::span<const double> input) {
   return p;
 }
 
+std::vector<Prediction> DeepEnsemble::predict_batch(
+    const tensor::Matrix& inputs) {
+  if (inputs.cols() != input_dim()) {
+    throw std::invalid_argument("DeepEnsemble::predict_batch: input dim mismatch");
+  }
+  const std::size_t rows = inputs.rows();
+  const std::size_t out_dim = output_dim();
+  tensor::Matrix sum(rows, out_dim), sum_sq(rows, out_dim), y;
+  for (auto& member : members_) {
+    member.predict_batch(inputs, y);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      const double v = y.data()[i];
+      sum.data()[i] += v;
+      sum_sq.data()[i] += v * v;
+    }
+  }
+
+  std::vector<Prediction> out(rows);
+  const double n = static_cast<double>(members_.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    Prediction& p = out[r];
+    p.mean.resize(out_dim);
+    p.stddev.resize(out_dim);
+    for (std::size_t k = 0; k < out_dim; ++k) {
+      p.mean[k] = sum(r, k) / n;
+      const double var =
+          std::max(0.0, (sum_sq(r, k) - n * p.mean[k] * p.mean[k]) / (n - 1.0));
+      p.stddev[k] = std::sqrt(var);
+    }
+  }
+  return out;
+}
+
 std::size_t DeepEnsemble::input_dim() const {
   return members_.front().input_dim();
 }

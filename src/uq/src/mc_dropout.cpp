@@ -57,6 +57,43 @@ Prediction McDropoutEnsemble::predict(std::span<const double> input) {
   return p;
 }
 
+std::vector<Prediction> McDropoutEnsemble::predict_batch(
+    const tensor::Matrix& inputs) {
+  if (inputs.cols() != network_.input_dim()) {
+    throw std::invalid_argument(
+        "McDropoutEnsemble::predict_batch: input dim mismatch");
+  }
+  network_.set_training(false);
+  network_.set_mc_dropout(true);
+  const std::size_t rows = inputs.rows();
+  const std::size_t out_dim = network_.output_dim();
+  tensor::Matrix sum(rows, out_dim), sum_sq(rows, out_dim), y;
+  for (std::size_t t = 0; t < passes_; ++t) {
+    network_.predict_batch(inputs, y);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      const double v = y.data()[i];
+      sum.data()[i] += v;
+      sum_sq.data()[i] += v * v;
+    }
+  }
+  network_.set_mc_dropout(false);
+
+  std::vector<Prediction> out(rows);
+  const double n = static_cast<double>(passes_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    Prediction& p = out[r];
+    p.mean.resize(out_dim);
+    p.stddev.resize(out_dim);
+    for (std::size_t k = 0; k < out_dim; ++k) {
+      p.mean[k] = sum(r, k) / n;
+      const double var =
+          std::max(0.0, (sum_sq(r, k) - n * p.mean[k] * p.mean[k]) / (n - 1.0));
+      p.stddev[k] = std::sqrt(var);
+    }
+  }
+  return out;
+}
+
 std::size_t McDropoutEnsemble::input_dim() const { return network_.input_dim(); }
 
 std::size_t McDropoutEnsemble::output_dim() const { return network_.output_dim(); }

@@ -1,0 +1,19 @@
+#include "le/uq/uq_model.hpp"
+
+#include <stdexcept>
+
+namespace le::uq {
+
+std::vector<Prediction> UqModel::predict_batch(const tensor::Matrix& inputs) {
+  if (inputs.cols() != input_dim()) {
+    throw std::invalid_argument("UqModel::predict_batch: input dim mismatch");
+  }
+  std::vector<Prediction> out;
+  out.reserve(inputs.rows());
+  for (std::size_t r = 0; r < inputs.rows(); ++r) {
+    out.push_back(predict(inputs.row(r)));
+  }
+  return out;
+}
+
+}  // namespace le::uq

@@ -12,7 +12,9 @@
 #include "le/core/effective_speedup.hpp"
 #include "le/core/ml_control.hpp"
 #include "le/core/network_problem.hpp"
+#include "le/core/resilient.hpp"
 #include "le/core/surrogate.hpp"
+#include "le/serve/lookup_cache.hpp"
 #include "le/nn/loss.hpp"
 #include "le/nn/optimizer.hpp"
 #include "le/obs/metrics.hpp"
@@ -455,6 +457,220 @@ TEST(Campaign, ValidatesInput) {
   EXPECT_THROW(run_campaign({}, sim, 1), std::invalid_argument);
   // Output-dim mismatch is detected.
   EXPECT_THROW(run_campaign({{1.0}}, sim, 2), std::runtime_error);
+}
+
+// FakeUq with call counters and a poison switch, for the serving tests:
+// uncertainty = |x|, so the 0.5-threshold gate accepts small inputs.
+class CountingUq final : public uq::UqModel {
+ public:
+  uq::Prediction predict(std::span<const double> input) override {
+    ++predict_calls;
+    if (poisoned) return {{std::nan("")}, {0.0}};
+    return {{2.0 * input[0]}, {std::abs(input[0])}};
+  }
+  std::vector<uq::Prediction> predict_batch(
+      const tensor::Matrix& inputs) override {
+    ++batch_calls;
+    std::vector<uq::Prediction> out;
+    out.reserve(inputs.rows());
+    for (std::size_t r = 0; r < inputs.rows(); ++r) {
+      const double x = inputs(r, 0);
+      if (poisoned) {
+        out.push_back({{std::nan("")}, {0.0}});
+      } else {
+        out.push_back({{2.0 * x}, {std::abs(x)}});
+      }
+    }
+    return out;
+  }
+  std::size_t input_dim() const override { return 1; }
+  std::size_t output_dim() const override { return 1; }
+
+  std::size_t predict_calls = 0;
+  std::size_t batch_calls = 0;
+  bool poisoned = false;
+};
+
+SimulationFn identity_sim() {
+  return [](std::span<const double> x) { return std::vector<double>{x[0]}; };
+}
+
+TEST(DispatcherCache, RepeatQueriesHitWithoutAForwardPass) {
+  auto model = std::make_shared<CountingUq>();
+  SurrogateDispatcher dispatcher(model, identity_sim(), 0.5);
+  dispatcher.enable_lookup_cache(serve::LookupCacheConfig{});
+
+  const Answer first = dispatcher.query(std::vector<double>{0.2});
+  EXPECT_EQ(first.source, AnswerSource::kSurrogate);
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_EQ(model->predict_calls, 1u);
+
+  const Answer second = dispatcher.query(std::vector<double>{0.2});
+  EXPECT_EQ(second.source, AnswerSource::kSurrogate);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.values, first.values);
+  EXPECT_DOUBLE_EQ(second.uncertainty, first.uncertainty);
+  EXPECT_EQ(model->predict_calls, 1u);  // no second forward
+
+  EXPECT_EQ(dispatcher.stats().surrogate_answers, 2u);
+  EXPECT_EQ(dispatcher.stats().cache_hits, 1u);
+  ASSERT_NE(dispatcher.lookup_cache(), nullptr);
+  EXPECT_EQ(dispatcher.lookup_cache()->stats().hits, 1u);
+}
+
+TEST(DispatcherCache, RejectedAnswersAreNeverCached) {
+  auto model = std::make_shared<CountingUq>();
+  SurrogateDispatcher dispatcher(model, identity_sim(), 0.5);
+  dispatcher.enable_lookup_cache(serve::LookupCacheConfig{});
+
+  // |2.0| > threshold: fallback; the gate never accepted, so no entry.
+  EXPECT_EQ(dispatcher.query(std::vector<double>{2.0}).source,
+            AnswerSource::kSimulation);
+  EXPECT_EQ(dispatcher.lookup_cache()->size(), 0u);
+  EXPECT_EQ(dispatcher.query(std::vector<double>{2.0}).source,
+            AnswerSource::kSimulation);
+  EXPECT_EQ(dispatcher.stats().cache_hits, 0u);
+}
+
+TEST(DispatcherCache, TighteningTheGateInvalidatesLooserHits) {
+  auto model = std::make_shared<CountingUq>();
+  SurrogateDispatcher dispatcher(model, identity_sim(), 0.5);
+  dispatcher.enable_lookup_cache(serve::LookupCacheConfig{});
+
+  // Accepted at threshold 0.5 with uncertainty 0.4 and cached.
+  EXPECT_EQ(dispatcher.query(std::vector<double>{0.4}).source,
+            AnswerSource::kSurrogate);
+  dispatcher.set_threshold(0.3);
+  // The cached answer's 0.4 no longer passes the *current* gate: the hit
+  // is discarded, the fresh forward also fails the gate -> simulation.
+  const Answer again = dispatcher.query(std::vector<double>{0.4});
+  EXPECT_EQ(again.source, AnswerSource::kSimulation);
+  EXPECT_FALSE(again.from_cache);
+  EXPECT_EQ(dispatcher.stats().cache_hits, 0u);
+}
+
+TEST(DispatcherCache, ReplacingTheSurrogateClearsTheCache) {
+  auto model = std::make_shared<CountingUq>();
+  SurrogateDispatcher dispatcher(model, identity_sim(), 0.5);
+  dispatcher.enable_lookup_cache(serve::LookupCacheConfig{});
+
+  (void)dispatcher.query(std::vector<double>{0.2});
+  ASSERT_EQ(dispatcher.lookup_cache()->size(), 1u);
+  dispatcher.replace_surrogate(std::make_shared<CountingUq>());
+  EXPECT_EQ(dispatcher.lookup_cache()->size(), 0u);
+}
+
+TEST(DispatcherCache, HitsServeEvenWhileTheBreakerIsOpen) {
+  // A cached answer was validated at insert time, so it stays servable
+  // when the live surrogate path is tripped to simulation-only mode.
+  auto model = std::make_shared<CountingUq>();
+  SurrogateDispatcher dispatcher(model, identity_sim(), 0.5);
+  dispatcher.enable_lookup_cache(serve::LookupCacheConfig{});
+  CircuitBreakerConfig breaker;
+  breaker.failure_threshold = 2;
+  breaker.cooldown_calls = 100;
+  dispatcher.enable_circuit_breaker(breaker);
+
+  (void)dispatcher.query(std::vector<double>{0.2});  // cached
+  model->poisoned = true;
+  (void)dispatcher.query(std::vector<double>{0.3});  // failure 1
+  (void)dispatcher.query(std::vector<double>{0.3});  // failure 2 -> open
+  ASSERT_EQ(dispatcher.circuit_breaker()->state(), BreakerState::kOpen);
+
+  const Answer hit = dispatcher.query(std::vector<double>{0.2});
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_EQ(hit.source, AnswerSource::kSurrogate);
+  // An uncached input under an open breaker still short-circuits.
+  EXPECT_EQ(dispatcher.query(std::vector<double>{0.25}).source,
+            AnswerSource::kSimulation);
+}
+
+TEST(DispatcherBatch, MatchesQuerySemanticsRowByRow) {
+  auto model = std::make_shared<CountingUq>();
+  std::size_t sim_calls = 0;
+  auto sim = [&sim_calls](std::span<const double> x) {
+    ++sim_calls;
+    return std::vector<double>{x[0] * x[0]};
+  };
+  SurrogateDispatcher dispatcher(model, sim, 0.5);
+  obs::EffectiveSpeedupMeter meter;
+  dispatcher.set_speedup_meter(&meter);
+
+  tensor::Matrix inputs(3, 1);
+  inputs(0, 0) = 0.1;  // accepted
+  inputs(1, 0) = 2.0;  // too uncertain -> simulation
+  inputs(2, 0) = 0.3;  // accepted
+  const std::vector<Answer> answers = dispatcher.query_batch(inputs);
+
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_EQ(answers[0].source, AnswerSource::kSurrogate);
+  EXPECT_DOUBLE_EQ(answers[0].values[0], 0.2);
+  EXPECT_EQ(answers[1].source, AnswerSource::kSimulation);
+  EXPECT_DOUBLE_EQ(answers[1].values[0], 4.0);
+  EXPECT_EQ(answers[2].source, AnswerSource::kSurrogate);
+  EXPECT_DOUBLE_EQ(answers[2].values[0], 0.6);
+
+  EXPECT_EQ(model->batch_calls, 1u);     // one shared forward
+  EXPECT_EQ(model->predict_calls, 0u);   // never the row-wise path
+  EXPECT_EQ(sim_calls, 1u);
+  EXPECT_EQ(dispatcher.stats().surrogate_answers, 2u);
+  EXPECT_EQ(dispatcher.stats().simulation_answers, 1u);
+  EXPECT_EQ(dispatcher.training_buffer().size(), 1u);  // no run is wasted
+  EXPECT_EQ(meter.snapshot().n_lookup, 2u);
+  EXPECT_EQ(meter.snapshot().n_train, 1u);
+  for (const Answer& answer : answers) EXPECT_GT(answer.seconds, 0.0);
+}
+
+TEST(DispatcherBatch, CachedRowsSkipTheSharedForward) {
+  auto model = std::make_shared<CountingUq>();
+  SurrogateDispatcher dispatcher(model, identity_sim(), 0.5);
+  dispatcher.enable_lookup_cache(serve::LookupCacheConfig{});
+
+  tensor::Matrix inputs(3, 1);
+  inputs(0, 0) = 0.1;
+  inputs(1, 0) = 0.2;
+  inputs(2, 0) = 0.3;
+  (void)dispatcher.query_batch(inputs);
+  ASSERT_EQ(model->batch_calls, 1u);
+
+  const std::vector<Answer> replay = dispatcher.query_batch(inputs);
+  EXPECT_EQ(model->batch_calls, 1u);  // fully served from the cache
+  for (const Answer& answer : replay) {
+    EXPECT_TRUE(answer.from_cache);
+    EXPECT_EQ(answer.source, AnswerSource::kSurrogate);
+  }
+  EXPECT_EQ(dispatcher.stats().cache_hits, 3u);
+}
+
+TEST(DispatcherBatch, OpenBreakerShortCircuitsTheWholeBatch) {
+  auto model = std::make_shared<CountingUq>();
+  SurrogateDispatcher dispatcher(model, identity_sim(), 0.5);
+  CircuitBreakerConfig breaker;
+  breaker.failure_threshold = 1;
+  breaker.cooldown_calls = 100;
+  dispatcher.enable_circuit_breaker(breaker);
+
+  model->poisoned = true;
+  (void)dispatcher.query(std::vector<double>{0.1});  // trips the breaker
+  model->poisoned = false;
+  ASSERT_EQ(dispatcher.circuit_breaker()->state(), BreakerState::kOpen);
+
+  tensor::Matrix inputs(4, 1, 0.1);
+  const std::size_t before = dispatcher.stats().breaker_short_circuits;
+  const std::vector<Answer> answers = dispatcher.query_batch(inputs);
+  for (const Answer& answer : answers) {
+    EXPECT_EQ(answer.source, AnswerSource::kSimulation);
+  }
+  EXPECT_EQ(model->batch_calls, 0u);
+  EXPECT_EQ(dispatcher.stats().breaker_short_circuits, before + 4);
+}
+
+TEST(DispatcherBatch, ValidatesShapeAndHandlesEmptyInput) {
+  auto model = std::make_shared<CountingUq>();
+  SurrogateDispatcher dispatcher(model, identity_sim(), 0.5);
+  tensor::Matrix wrong(2, 3, 0.0);
+  EXPECT_THROW((void)dispatcher.query_batch(wrong), std::invalid_argument);
+  EXPECT_TRUE(dispatcher.query_batch(tensor::Matrix(0, 1)).empty());
 }
 
 }  // namespace

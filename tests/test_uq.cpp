@@ -229,5 +229,80 @@ TEST(Calibration, ShapeMismatchThrows) {
   EXPECT_THROW(calibrate(model, ds), std::invalid_argument);
 }
 
+// Minimal deterministic model for exercising the UqModel base class.
+class AffineModel final : public UqModel {
+ public:
+  [[nodiscard]] Prediction predict(std::span<const double> input) override {
+    return {{2.0 * input[0] + input[1]}, {0.5}};
+  }
+  [[nodiscard]] std::size_t input_dim() const override { return 2; }
+  [[nodiscard]] std::size_t output_dim() const override { return 1; }
+};
+
+TEST(UqModel, DefaultPredictBatchLoopsPredict) {
+  AffineModel model;
+  tensor::Matrix inputs(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) {
+    inputs(r, 0) = static_cast<double>(r);
+    inputs(r, 1) = 10.0;
+  }
+  const auto batch = model.predict_batch(inputs);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(batch[r].mean[0], 2.0 * static_cast<double>(r) + 10.0);
+    EXPECT_DOUBLE_EQ(batch[r].stddev[0], 0.5);
+  }
+  tensor::Matrix wrong(2, 3, 0.0);
+  EXPECT_THROW((void)model.predict_batch(wrong), std::invalid_argument);
+}
+
+TEST(DeepEnsemble, PredictBatchMatchesRowWisePredict) {
+  // Deep-ensemble inference is deterministic (dropout off at eval), so the
+  // batched path must agree with per-row predict exactly.
+  Rng rng(40);
+  std::vector<nn::Network> members;
+  for (int i = 0; i < 3; ++i) {
+    Rng member_rng = rng.split(i);
+    members.push_back(make_dropout_net(member_rng));
+  }
+  DeepEnsemble ens(std::move(members));
+
+  tensor::Matrix inputs(6, 1);
+  for (std::size_t r = 0; r < 6; ++r) {
+    inputs(r, 0) = -1.0 + 0.4 * static_cast<double>(r);
+  }
+  const auto batch = ens.predict_batch(inputs);
+  ASSERT_EQ(batch.size(), 6u);
+  for (std::size_t r = 0; r < 6; ++r) {
+    const Prediction single = ens.predict(inputs.row(r));
+    EXPECT_DOUBLE_EQ(batch[r].mean[0], single.mean[0]) << "row " << r;
+    EXPECT_DOUBLE_EQ(batch[r].stddev[0], single.stddev[0]) << "row " << r;
+  }
+}
+
+TEST(McDropout, PredictBatchSamplesAllRows) {
+  // MC dropout draws fresh masks per stochastic pass, so the batched path
+  // is statistically — not bitwise — equivalent to row-wise predict: every
+  // row must carry a finite mean and a strictly positive spread.
+  Rng rng(41);
+  McDropoutEnsemble ens(make_dropout_net(rng), 24);
+
+  // Grid avoids x == 0 exactly: with zero-initialized biases every
+  // activation there is zero, so dropout masks have nothing to perturb
+  // and the spread is legitimately zero.
+  tensor::Matrix inputs(5, 1);
+  for (std::size_t r = 0; r < 5; ++r) {
+    inputs(r, 0) = -0.9 + 0.4 * static_cast<double>(r);
+  }
+  const auto batch = ens.predict_batch(inputs);
+  ASSERT_EQ(batch.size(), 5u);
+  for (const auto& p : batch) {
+    ASSERT_EQ(p.mean.size(), 1u);
+    ASSERT_EQ(p.stddev.size(), 1u);
+    EXPECT_TRUE(std::isfinite(p.mean[0]));
+    EXPECT_GT(p.stddev[0], 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace le::uq

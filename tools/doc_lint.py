@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Documentation lint for the public headers.
+
+Runs as the `docs` CMake target's fallback when Doxygen is not installed
+(and as a fast pre-check when it is), so the doc-comment conventions are
+enforced on every machine:
+
+  1. every public header under src/*/include starts with a Doxygen
+     `/// @file` overview block;
+  2. block comments are balanced (an unterminated `/*` swallows code and
+     Doxygen mis-parses the rest of the file);
+  3. `///` and `///<` comments use only known Doxygen commands (catches
+     typos like `@parma` that Doxygen would silently drop);
+  4. `//!` style is not used (the repo standardizes on `///`);
+  5. `///<` trailing comments follow code, never start a line.
+
+Exit status 0 and a one-line summary when clean; nonzero with one
+`file:line: message` per finding otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+KNOWN_COMMANDS = {
+    "file", "brief", "param", "tparam", "return", "returns", "retval",
+    "note", "warning", "see", "sa", "code", "endcode", "throws", "throw",
+    "exception", "pre", "post", "copydoc", "defgroup", "ingroup", "name",
+    "p", "c", "e", "em", "b", "n", "f", "ref", "anchor", "section",
+    "subsection", "verbatim", "endverbatim", "li", "todo", "deprecated",
+}
+
+COMMAND_RE = re.compile(r"[@\\]([A-Za-z]+)")
+
+
+def lint_file(path: Path) -> list:
+    findings = []
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+
+    # (1) file-top /// @file block.
+    first = next((ln for ln in lines if ln.strip()), "")
+    if not first.startswith("/// @file"):
+        findings.append((1, "header must start with a '/// @file' block"))
+
+    in_block = False
+    block_open_line = 0
+    for i, line in enumerate(lines, 1):
+        # (2) balanced block comments, tracked line by line.
+        rest = line
+        while rest:
+            if not in_block:
+                # Ignore markers inside line comments.
+                cut = rest.find("//")
+                opener = rest.find("/*")
+                if opener == -1 or (cut != -1 and cut < opener):
+                    break
+                in_block = True
+                block_open_line = i
+                rest = rest[opener + 2:]
+            else:
+                closer = rest.find("*/")
+                if closer == -1:
+                    break
+                in_block = False
+                rest = rest[closer + 2:]
+
+        stripped = line.strip()
+        # (4) no //! style.
+        if stripped.startswith("//!"):
+            findings.append((i, "use '///' doc comments, not '//!'"))
+        # (5) ///< must trail code.
+        if stripped.startswith("///<"):
+            findings.append((i, "'///<' is a trailing comment; use '///'"))
+        # (3) known commands only, inside doc comments.
+        marker = line.find("///")
+        if marker != -1:
+            for match in COMMAND_RE.finditer(line[marker:]):
+                cmd = match.group(1)
+                if cmd not in KNOWN_COMMANDS and not cmd.isupper():
+                    findings.append(
+                        (i, f"unknown documentation command '{match.group(0)}'"))
+    if in_block:
+        findings.append((block_open_line, "unterminated block comment"))
+    return findings
+
+
+def main(argv: list) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(".")
+    headers = sorted(root.glob("src/*/include/**/*.hpp"))
+    if not headers:
+        print(f"doc-lint: no headers found under {root}/src", file=sys.stderr)
+        return 2
+    total = 0
+    for header in headers:
+        for line, message in lint_file(header):
+            print(f"{header}:{line}: {message}", file=sys.stderr)
+            total += 1
+    if total:
+        print(f"doc-lint: {total} problem(s) in {len(headers)} headers",
+              file=sys.stderr)
+        return 1
+    print(f"doc-lint: {len(headers)} headers clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
