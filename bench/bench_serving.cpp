@@ -38,6 +38,7 @@
 #include "le/nn/network.hpp"
 #include "le/nn/optimizer.hpp"
 #include "le/nn/train.hpp"
+#include "le/obs/quantile.hpp"
 #include "le/obs/speedup_meter.hpp"
 #include "le/serve/batch_queue.hpp"
 #include "le/serve/lookup_cache.hpp"
@@ -168,16 +169,24 @@ int main() {
   tensor::Matrix pool = make_query_pool(128, rng);
 
   // Single-query baseline: the predict() hot path, one row at a time.
+  // Every call also feeds a P-squared sketch so the tail (p95/p99) is
+  // reported alongside the mean — mean-only latency hides dispatch jitter.
   std::vector<double> point(5);
+  obs::QuantileSketch single_lat;
   const auto single_t0 = std::chrono::steady_clock::now();
   for (std::size_t q = 0; q < kTotalQueries; ++q) {
     const auto row = pool.row(q % pool.rows());
     point.assign(row.begin(), row.end());
+    const auto q0 = std::chrono::steady_clock::now();
     volatile double sink = net.predict(point)[0];
     (void)sink;
+    single_lat.add(seconds_since(q0));
   }
   const double single_qps =
       static_cast<double>(kTotalQueries) / seconds_since(single_t0);
+  const auto single_q = single_lat.quantiles();
+  std::printf("single-query latency: p50 %.2f  p95 %.2f  p99 %.2f us\n",
+              single_q.p50 * 1e6, single_q.p95 * 1e6, single_q.p99 * 1e6);
 
   bench::Table table({"batch", "queries/s", "us/query", "vs batch=1"});
   table.header();
@@ -287,6 +296,10 @@ int main() {
     std::printf("dispatches: %llu batches, mean fill %.1f, max fill %zu\n",
                 static_cast<unsigned long long>(qs.batches), qs.mean_batch(),
                 qs.max_batch_observed);
+    std::printf("queue wait: p50 %.1f  p95 %.1f  p99 %.1f us (coalescing "
+                "bound %lld us)\n",
+                qs.wait.p50 * 1e6, qs.wait.p95 * 1e6, qs.wait.p99 * 1e6,
+                static_cast<long long>(qc.max_wait.count()));
   }
 
   // ---- (4) the serving layer end-to-end: batch-64 + lookup cache ----
@@ -315,6 +328,7 @@ int main() {
     double t_lookup_us = 0.0;
     double live_speedup = 0.0;
     double hit_rate = 0.0;
+    obs::QuantileSketch::Quantiles latency;
   } variants[3] = {{"per-query", false, false},
                    {"batch-64", true, false},
                    {"batch+cache", true, true}};
@@ -340,6 +354,10 @@ int main() {
       meter.record_seq_baseline(setup.mean_sim_seconds);
       dispatcher.set_speedup_meter(&meter);
 
+      // Per-answer latency quantiles come from the dispatcher's own
+      // Answer::seconds accounting (batched answers carry their share of
+      // the shared forward), through the P-squared sketch.
+      obs::QuantileSketch latency;
       const auto t0 = std::chrono::steady_clock::now();
       if (variant.batched) {
         tensor::Matrix chunk(kChunk, 5);
@@ -349,15 +367,20 @@ int main() {
             auto dst = chunk.row(r);
             for (std::size_t c = 0; c < 5; ++c) dst[c] = src[c];
           }
-          (void)dispatcher.query_batch(chunk);
+          for (const auto& a : dispatcher.query_batch(chunk)) {
+            latency.add(a.seconds);
+          }
         }
       } else {
-        for (const auto& input : stream) (void)dispatcher.query(input);
+        for (const auto& input : stream) {
+          latency.add(dispatcher.query(input).seconds);
+        }
       }
       const double qps = static_cast<double>(kWorkload) / seconds_since(t0);
       if (qps <= variant.qps) continue;
 
       variant.qps = qps;
+      variant.latency = latency.quantiles();
       const auto snap = meter.snapshot();
       variant.t_lookup_us = 1e6 * snap.t_lookup();
       variant.live_speedup = snap.speedup();
@@ -367,15 +390,16 @@ int main() {
     }
   }
 
-  bench::Table cache_table({"variant", "queries/s", "t_lookup us", "hit rate",
-                            "live S_eff", "vs per-query"});
+  bench::Table cache_table({"variant", "queries/s", "p50 us", "p95 us",
+                            "p99 us", "hit rate", "live S_eff"});
   cache_table.header();
   for (const Variant& variant : variants) {
     cache_table.row({variant.name, bench::fmt(variant.qps, "%.0f"),
-                     bench::fmt(variant.t_lookup_us, "%.2f"),
+                     bench::fmt_us(variant.latency.p50),
+                     bench::fmt_us(variant.latency.p95),
+                     bench::fmt_us(variant.latency.p99),
                      bench::fmt(variant.hit_rate, "%.2f"),
-                     bench::fmt(variant.live_speedup, "%.3g"),
-                     bench::fmt(variant.qps / variants[0].qps, "%.2f")});
+                     bench::fmt(variant.live_speedup, "%.3g")});
   }
   const double serving_speedup = variants[2].qps / variants[0].qps;
   const bool throughput_ok = serving_speedup >= 4.0;

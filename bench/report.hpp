@@ -61,6 +61,12 @@ inline std::string fmt_int(std::size_t v) {
   return buf;
 }
 
+/// Formats a quantile trio (seconds in, microseconds out) as
+/// "p50/p95/p99 us" cells for latency tables.
+inline std::string fmt_us(double seconds, const char* spec = "%.3g") {
+  return fmt(seconds * 1e6, spec);
+}
+
 /// Turns on the observability layer when LE_METRICS is set in the
 /// environment (any non-empty value other than "0").  Benches call this
 /// first so the default run stays on the metrics-disabled fast path.

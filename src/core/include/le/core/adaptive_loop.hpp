@@ -64,6 +64,12 @@ struct AdaptiveLoopConfig {
   /// and corpus), so a resumed run replays the uninterrupted one exactly.
   /// FaultStats are per-process and restart at zero.  Null disables.
   ckpt::CampaignCheckpointer* checkpointer = nullptr;
+  /// Optional surrogate health monitor (obs/health.hpp): when set, the
+  /// finished loop calls on_retrained() with the final corpus inputs, so a
+  /// monitor that escalated to UNTRUSTED (and requested this retraining)
+  /// rebases its drift reference on the new training distribution and
+  /// returns to HEALTHY.  Null disables.
+  obs::SurrogateHealthMonitor* health_monitor = nullptr;
 };
 
 struct AdaptiveRound {

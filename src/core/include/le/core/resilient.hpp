@@ -173,6 +173,17 @@ class CircuitBreaker {
   void record_success();
   void record_failure();
 
+  /// Force-opens the breaker regardless of the failure count — the hook
+  /// for out-of-band distrust signals (e.g. a SurrogateHealthMonitor
+  /// reaching UNTRUSTED).  While already open it restarts the cooldown
+  /// (without counting another trip), so a persistent signal starves the
+  /// half-open probe.
+  void trip();
+
+  /// Returns to closed with the failure count cleared (the dependency was
+  /// replaced or repaired out-of-band); the trip counter is preserved.
+  void reset();
+
   [[nodiscard]] BreakerState state() const;
   /// Times the breaker has transitioned closed/half-open -> open.
   [[nodiscard]] std::size_t trips() const;

@@ -22,6 +22,11 @@
 /// O(1), and query_batch() answers many queries through one batched
 /// surrogate forward instead of per-query dispatch.  bench_serving (E13)
 /// quantifies both levers.
+///
+/// Health: enable_health_monitoring() attaches an obs::SurrogateHealthMonitor
+/// that watches input drift, shadow-sampled residuals and UQ calibration,
+/// and trips the circuit breaker when the surrogate becomes untrusted
+/// (bench_health, E14).
 #pragma once
 
 #include <chrono>
@@ -45,6 +50,8 @@ class Gauge;
 class Histogram;
 class MetricsRegistry;
 class EffectiveSpeedupMeter;
+class SurrogateHealthMonitor;
+struct SurrogateHealthConfig;
 }  // namespace le::obs
 
 namespace le::core {
@@ -87,6 +94,14 @@ struct DispatcherStats {
   /// Surrogate answers served from the learned-lookup cache (a subset of
   /// surrogate_answers); 0 until enable_lookup_cache().
   std::size_t cache_hits = 0;
+  /// Accepted surrogate answers re-run through the real simulation for the
+  /// health monitor's residual/coverage tracking; 0 until
+  /// enable_health_monitoring().
+  std::size_t shadow_samples = 0;
+  /// Wall time spent inside those shadow simulations.  Billed to the meter
+  /// as training-path time (the samples land in the training buffer), NOT
+  /// as lookup time — monitoring cost must not inflate S_eff.
+  double shadow_seconds = 0.0;
 
   [[nodiscard]] std::size_t total() const noexcept {
     return surrogate_answers + simulation_answers;
@@ -163,6 +178,25 @@ class SurrogateDispatcher {
   /// The armed breaker, or nullptr when none was enabled.
   [[nodiscard]] const CircuitBreaker* circuit_breaker() const noexcept;
 
+  /// Arms surrogate health monitoring (obs/health.hpp): every query input
+  /// feeds the input-drift detector (cache hits included — drift is a
+  /// property of the demand stream), and a deterministic
+  /// `config.shadow_fraction` of freshly accepted surrogate answers is
+  /// re-run through the real simulation as a shadow sample for residual
+  /// RMSE and UQ-calibration coverage.  Shadow runs land in the training
+  /// buffer and are billed as training-path time.  When the monitor
+  /// reaches UNTRUSTED and a circuit breaker is armed, the breaker is
+  /// tripped, so queries fall back to the simulation until retraining
+  /// (see AdaptiveLoopConfig::health_monitor) restores trust.
+  /// `reference_inputs` seeds the drift reference (training-corpus inputs).
+  void enable_health_monitoring(const obs::SurrogateHealthConfig& config,
+                                const tensor::Matrix& reference_inputs);
+
+  /// The armed health monitor, or nullptr when none was enabled.
+  [[nodiscard]] obs::SurrogateHealthMonitor* health_monitor() noexcept;
+  [[nodiscard]] const obs::SurrogateHealthMonitor* health_monitor()
+      const noexcept;
+
   /// Publishes per-query observability to `registry` under
   /// "<prefix>.*": answer counters, per-source latency histograms, the
   /// surrogate acceptance fraction and the breaker state gauge
@@ -183,6 +217,17 @@ class SurrogateDispatcher {
   /// set) into stats, the speedup meter and the metric handles.
   void account_surrogate_answer(const Answer& answer);
 
+  /// Re-runs one accepted answer through the real simulation and feeds the
+  /// health monitor's residual/coverage tracker; the sample joins the
+  /// training buffer and its wall time is billed as training-path time.
+  void shadow_sample(std::span<const double> input,
+                     const std::vector<double>& predicted_mean,
+                     const std::vector<double>& predicted_stddev,
+                     double uncertainty);
+
+  /// Trips the armed breaker while the health monitor holds UNTRUSTED.
+  void sync_health_breaker();
+
   std::shared_ptr<uq::UqModel> surrogate_;
   SimulationFn simulation_;
   double threshold_;
@@ -192,6 +237,7 @@ class SurrogateDispatcher {
   double buffered_uncertainty_sum_ = 0.0;  ///< per-buffer; reset on drain
   std::unique_ptr<CircuitBreaker> breaker_;
   std::unique_ptr<serve::LookupCache> cache_;
+  std::unique_ptr<obs::SurrogateHealthMonitor> health_;
 
   /// Refreshes the acceptance and breaker gauges (metrics enabled only).
   void publish_gauges();
@@ -203,8 +249,10 @@ class SurrogateDispatcher {
     obs::Counter* invalid_predictions = nullptr;
     obs::Counter* breaker_short_circuits = nullptr;
     obs::Counter* cache_hits = nullptr;
+    obs::Counter* shadow_samples = nullptr;
     obs::Histogram* surrogate_seconds = nullptr;
     obs::Histogram* simulation_seconds = nullptr;
+    obs::Histogram* shadow_seconds = nullptr;
     obs::Gauge* surrogate_fraction = nullptr;
     obs::Gauge* breaker_state = nullptr;
   };

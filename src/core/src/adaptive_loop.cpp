@@ -10,6 +10,7 @@
 #include "le/nn/loss.hpp"
 #include "le/nn/optimizer.hpp"
 #include "le/nn/serialize.hpp"
+#include "le/obs/health.hpp"
 #include "le/obs/metrics.hpp"
 #include "le/obs/speedup_meter.hpp"
 #include "le/uq/acquisition.hpp"
@@ -230,6 +231,11 @@ AdaptiveLoopResult run_adaptive_loop(const data::ParamSpace& space,
     result.surrogate = train_timed();
   }
   result.fault_stats = resilient.stats();
+  // Retraining restores trust: rebase the health monitor's drift reference
+  // on what the new surrogate was actually trained on.
+  if (config.health_monitor) {
+    config.health_monitor->on_retrained(result.corpus.input_matrix());
+  }
   return result;
 }
 

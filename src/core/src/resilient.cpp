@@ -224,6 +224,28 @@ void CircuitBreaker::record_failure() {
   }
 }
 
+void CircuitBreaker::trip() {
+  std::lock_guard lock(mutex_);
+  probe_outstanding_ = false;
+  if (state_ == BreakerState::kOpen) {
+    // Re-asserted distrust restarts the cooldown, so a caller that trips
+    // on every request keeps the breaker open indefinitely — no half-open
+    // probe ever reaches the dependency while the signal persists.
+    cooldown_remaining_ = config_.cooldown_calls;
+    consecutive_failures_ = config_.failure_threshold;
+    return;
+  }
+  trip_locked();
+}
+
+void CircuitBreaker::reset() {
+  std::lock_guard lock(mutex_);
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  cooldown_remaining_ = 0;
+  probe_outstanding_ = false;
+}
+
 void CircuitBreaker::trip_locked() {
   state_ = BreakerState::kOpen;
   cooldown_remaining_ = config_.cooldown_calls;

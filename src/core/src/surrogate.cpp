@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "le/core/resilient.hpp"
+#include "le/obs/health.hpp"
 #include "le/obs/metrics.hpp"
 #include "le/serve/lookup_cache.hpp"
 #include "le/obs/speedup_meter.hpp"
@@ -31,6 +32,15 @@ SurrogateDispatcher& SurrogateDispatcher::operator=(SurrogateDispatcher&&) noexc
 
 Answer SurrogateDispatcher::query(std::span<const double> input) {
   const auto t0 = std::chrono::steady_clock::now();
+
+  // Health monitoring sees every query input — cache hits included, since
+  // drift is a property of the demand stream, not of the route taken.  A
+  // completed drift window can flip the monitor to UNTRUSTED right here,
+  // in which case the breaker opens before this query consults it.
+  if (health_) {
+    health_->observe_query(input);
+    sync_health_breaker();
+  }
 
   // Learned-lookup fast path: a remembered gate-accepted answer, re-checked
   // against the *current* threshold, is served with no forward pass at all.
@@ -86,6 +96,12 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
         // inherits this acceptance.
         if (cache_) cache_->insert(input, {answer.values, score});
         account_surrogate_answer(answer);
+        // Shadow sampling happens after the answer's latency is clocked:
+        // the caller still gets the surrogate answer; the ground-truth run
+        // is monitoring overhead billed to the training path.
+        if (health_ && health_->should_shadow_sample()) {
+          shadow_sample(input, prediction.mean, prediction.stddev, score);
+        }
         return answer;
       }
     }
@@ -118,6 +134,11 @@ std::vector<Answer> SurrogateDispatcher::query_batch(
   const std::size_t n = inputs.rows();
   std::vector<Answer> answers(n);
   if (n == 0) return answers;
+
+  if (health_) {
+    for (std::size_t r = 0; r < n; ++r) health_->observe_query(inputs.row(r));
+    sync_health_breaker();
+  }
 
   // Pass 1 — learned-lookup cache.  Shared work is billed evenly: every
   // row owes an equal slice of the cache pass, and below, every miss owes
@@ -194,6 +215,10 @@ std::vector<Answer> SurrogateDispatcher::query_batch(
         if (score <= threshold_) {
           answers[r].values = prediction.mean;
           if (cache_) cache_->insert(inputs.row(r), {prediction.mean, score});
+          if (health_ && health_->should_shadow_sample()) {
+            shadow_sample(inputs.row(r), prediction.mean, prediction.stddev,
+                          score);
+          }
         } else {
           unanswered.push_back(r);
         }
@@ -254,6 +279,61 @@ void SurrogateDispatcher::account_surrogate_answer(const Answer& answer) {
   }
 }
 
+void SurrogateDispatcher::shadow_sample(
+    std::span<const double> input, const std::vector<double>& predicted_mean,
+    const std::vector<double>& predicted_stddev, double uncertainty) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<double> truth = simulation_(input);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ++stats_.shadow_samples;
+  stats_.shadow_seconds += seconds;
+  health_->record_shadow(predicted_mean, predicted_stddev, truth);
+  // The shadow run produced a fresh labelled sample — no run is wasted —
+  // and its cost is an N_train unit of the speedup model, NOT a lookup:
+  // billing it as lookup time would let monitoring inflate S_eff.
+  buffer_.add(input, truth);
+  buffered_uncertainty_sum_ += uncertainty;
+  if (meter_) meter_->record_train(seconds);
+  if (metrics_.shadow_samples) {
+    metrics_.shadow_samples->add();
+    metrics_.shadow_seconds->record(seconds);
+  }
+  sync_health_breaker();
+}
+
+void SurrogateDispatcher::sync_health_breaker() {
+  if (!health_ || !breaker_) return;
+  if (health_->retrain_requested()) {
+    breaker_->trip();
+    if (metrics_.breaker_state) publish_gauges();
+  }
+}
+
+void SurrogateDispatcher::enable_health_monitoring(
+    const obs::SurrogateHealthConfig& config,
+    const tensor::Matrix& reference_inputs) {
+  if (reference_inputs.cols() != surrogate_->input_dim()) {
+    throw std::invalid_argument(
+        "enable_health_monitoring: reference input dim mismatch");
+  }
+  health_ =
+      std::make_unique<obs::SurrogateHealthMonitor>(config, reference_inputs);
+  if (metrics_registry_) {
+    health_->enable_metrics(*metrics_registry_, metrics_prefix_ + ".health");
+  }
+}
+
+obs::SurrogateHealthMonitor* SurrogateDispatcher::health_monitor() noexcept {
+  return health_.get();
+}
+
+const obs::SurrogateHealthMonitor* SurrogateDispatcher::health_monitor()
+    const noexcept {
+  return health_.get();
+}
+
 void SurrogateDispatcher::enable_lookup_cache(
     const serve::LookupCacheConfig& config) {
   cache_ = std::make_unique<serve::LookupCache>(config);
@@ -278,15 +358,18 @@ void SurrogateDispatcher::enable_metrics(obs::MetricsRegistry& registry,
   metrics_.breaker_short_circuits =
       &registry.counter(prefix + ".breaker_short_circuits");
   metrics_.cache_hits = &registry.counter(prefix + ".cache_hits");
+  metrics_.shadow_samples = &registry.counter(prefix + ".shadow_samples");
   metrics_.surrogate_seconds =
       &registry.histogram(prefix + ".surrogate_seconds");
   metrics_.simulation_seconds =
       &registry.histogram(prefix + ".simulation_seconds");
+  metrics_.shadow_seconds = &registry.histogram(prefix + ".shadow_seconds");
   metrics_.surrogate_fraction = &registry.gauge(prefix + ".surrogate_fraction");
   metrics_.breaker_state = &registry.gauge(prefix + ".breaker_state");
   metrics_registry_ = &registry;
   metrics_prefix_ = prefix;
   if (cache_) cache_->enable_metrics(registry, prefix + ".cache");
+  if (health_) health_->enable_metrics(registry, prefix + ".health");
 }
 
 data::Dataset SurrogateDispatcher::drain_training_buffer() {
@@ -316,8 +399,11 @@ void SurrogateDispatcher::replace_surrogate(
   }
   surrogate_ = std::move(surrogate);
   // Cached answers came from the old surrogate; a hit must always reflect
-  // what the current model would (approximately) say.
+  // what the current model would (approximately) say.  Likewise any open
+  // breaker recorded the old model's failures (or a health trip): the
+  // replacement starts trusted until it earns otherwise.
   if (cache_) cache_->clear();
+  if (breaker_) breaker_->reset();
 }
 
 void SurrogateDispatcher::enable_circuit_breaker(

@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "le/obs/quantile.hpp"
+
 namespace le::obs {
 
 namespace detail {
@@ -70,11 +72,12 @@ class Gauge {
 /// Latency histogram over fixed power-of-two buckets of nanoseconds.
 ///
 /// Bucket i covers (2^(i-1), 2^i] ns, so the range spans 1 ns to ~9 min;
-/// values outside clamp to the end buckets.  Recording is wait-free
-/// (relaxed atomic adds; min/max via CAS).  Quantiles are read from the
-/// bucket upper bounds, i.e. they carry at most one-bucket (2x) error —
-/// plenty for the orders-of-magnitude contrasts the speedup model cares
-/// about.
+/// values outside clamp to the end buckets.  Recording is wait-free for the
+/// bucket/sum/min/max path (relaxed atomic adds; min/max via CAS) plus one
+/// short spinlocked P-squared update feeding the p50/p95/p99 sketch.
+/// quantile() reads the bucket upper bounds, i.e. it carries at most
+/// one-bucket (2x) error for arbitrary q; tail_quantiles() reads the sketch
+/// for true p50/p95/p99.
 class Histogram {
  public:
   static constexpr std::size_t kBucketCount = 40;
@@ -97,6 +100,10 @@ class Histogram {
   [[nodiscard]] double max() const noexcept;
   /// Approximate quantile (q in [0, 1]) from the bucket upper bounds.
   [[nodiscard]] double quantile(double q) const noexcept;
+  /// True p50/p95/p99 from the P-squared sketch (no bucket rounding).
+  [[nodiscard]] QuantileSketch::Quantiles tail_quantiles() const noexcept {
+    return sketch_.quantiles();
+  }
   [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
   void reset() noexcept;
 
@@ -106,6 +113,7 @@ class Histogram {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};  ///< valid only when count_ > 0
   std::atomic<double> max_{0.0};
+  QuantileSketch sketch_;
 };
 
 /// Point-in-time copy of every registered metric, ready for export.

@@ -1,0 +1,80 @@
+/// @file
+/// Streaming quantile estimation for latency telemetry.
+///
+/// The fixed-bucket obs::Histogram answers quantile queries with up to one
+/// power-of-two bucket (2x) of error — fine for order-of-magnitude contrasts,
+/// useless for "did p99 regress 10%?".  P2Quantile implements the P-squared
+/// algorithm (Jain & Chlamtac, CACM 1985): five markers track the running
+/// quantile with piecewise-parabolic interpolation in O(1) memory and a few
+/// flops per observation, no sample buffer.  QuantileSketch bundles the
+/// p50/p95/p99 trio behind one spinlock so a histogram (or a bench loop) can
+/// report true tail latencies.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace le::obs {
+
+/// One P-squared marker set tracking a single quantile q in (0, 1).
+///
+/// Not thread-safe on its own (QuantileSketch adds the lock); exact — a true
+/// order statistic — until five observations exist, an O(1) estimate after.
+/// Non-finite observations are ignored (latencies are finite by
+/// construction; a NaN must not poison the markers).
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q) noexcept;
+
+  void add(double x) noexcept;
+
+  /// Current estimate; 0 before the first observation.
+  [[nodiscard]] double value() const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double probability() const noexcept { return q_; }
+  void reset() noexcept;
+
+ private:
+  [[nodiscard]] double parabolic(std::size_t i, double sign) const noexcept;
+  [[nodiscard]] double linear(std::size_t i, double sign) const noexcept;
+
+  double q_;
+  std::array<double, 5> height_{};    ///< marker heights (quantile estimates)
+  std::array<double, 5> position_{};  ///< actual marker positions (1-based)
+  std::array<double, 5> desired_{};   ///< desired marker positions
+  std::array<double, 5> increment_{}; ///< desired-position increment per add
+  std::uint64_t count_ = 0;
+};
+
+/// The p50/p95/p99 trio behind one spinlock.
+///
+/// add() costs three P-squared updates (~a few tens of flops) under an
+/// atomic_flag spinlock; the critical section is short and contention-free
+/// in the common one-writer case, so the sketch can sit next to wait-free
+/// histogram recording without changing its cost class.
+class QuantileSketch {
+ public:
+  QuantileSketch() noexcept;
+
+  void add(double x) noexcept;
+
+  struct Quantiles {
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    std::uint64_t count = 0;
+  };
+  [[nodiscard]] Quantiles quantiles() const noexcept;
+  void reset() noexcept;
+
+ private:
+  void lock() const noexcept;
+  void unlock() const noexcept;
+
+  mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  std::array<P2Quantile, 3> estimators_;
+};
+
+}  // namespace le::obs

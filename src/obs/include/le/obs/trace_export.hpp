@@ -1,0 +1,31 @@
+/// @file
+/// Chrome trace-event JSON export for TraceLog.
+///
+/// A campaign traced with TraceSpan can be inspected in any trace viewer
+/// that reads the Chrome trace-event format — Perfetto (ui.perfetto.dev),
+/// chrome://tracing, Speedscope.  Spans are emitted as complete ("ph":"X")
+/// events with microsecond timestamps on the process clock, one track per
+/// obs thread ordinal, plus thread_name metadata records so tracks are
+/// labelled.  Output is locale-independent JSON ('.' decimal point always).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "le/obs/timer.hpp"
+
+namespace le::obs {
+
+/// Renders spans as one Chrome trace-event JSON object
+/// ({"traceEvents":[...],"displayTimeUnit":"ms"}).
+[[nodiscard]] std::string to_chrome_trace(const std::vector<SpanRecord>& spans);
+
+/// Writes `spans` to `path` in Chrome trace-event format; false on I/O
+/// failure.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<SpanRecord>& spans);
+
+/// Convenience: snapshots TraceLog::global() and writes it to `path`.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace le::obs

@@ -44,6 +44,7 @@ void Histogram::record(double seconds) noexcept {
   while (seconds > cur &&
          !max_.compare_exchange_weak(cur, seconds, std::memory_order_relaxed)) {
   }
+  sketch_.add(seconds);
   count_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -89,6 +90,7 @@ void Histogram::reset() noexcept {
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
+  sketch_.reset();
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -132,9 +134,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     e.mean = h->mean();
     e.min = h->min();
     e.max = h->max();
-    e.p50 = h->quantile(0.50);
-    e.p95 = h->quantile(0.95);
-    e.p99 = h->quantile(0.99);
+    // True tail quantiles from the P-squared sketch, not bucket bounds.
+    const QuantileSketch::Quantiles q = h->tail_quantiles();
+    e.p50 = q.p50;
+    e.p95 = q.p95;
+    e.p99 = q.p99;
     snap.histograms.push_back(std::move(e));
   }
   return snap;

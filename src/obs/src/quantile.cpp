@@ -1,0 +1,128 @@
+#include "le/obs/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace le::obs {
+
+P2Quantile::P2Quantile(double q) noexcept : q_(std::clamp(q, 0.0, 1.0)) {
+  reset();
+}
+
+void P2Quantile::reset() noexcept {
+  height_.fill(0.0);
+  position_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+  desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+  increment_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+  count_ = 0;
+}
+
+double P2Quantile::parabolic(std::size_t i, double sign) const noexcept {
+  // Piecewise-parabolic (P^2) prediction of marker i's height after moving
+  // one position in direction `sign`.
+  const double n_prev = position_[i - 1];
+  const double n = position_[i];
+  const double n_next = position_[i + 1];
+  return height_[i] +
+         sign / (n_next - n_prev) *
+             ((n - n_prev + sign) * (height_[i + 1] - height_[i]) /
+                  (n_next - n) +
+              (n_next - n - sign) * (height_[i] - height_[i - 1]) /
+                  (n - n_prev));
+}
+
+double P2Quantile::linear(std::size_t i, double sign) const noexcept {
+  const std::size_t j = sign > 0.0 ? i + 1 : i - 1;
+  return height_[i] +
+         sign * (height_[j] - height_[i]) / (position_[j] - position_[i]);
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (!std::isfinite(x)) return;
+
+  if (count_ < 5) {
+    // Warm-up: collect the first five observations sorted.
+    height_[count_] = x;
+    ++count_;
+    std::sort(height_.begin(), height_.begin() + static_cast<long>(count_));
+    return;
+  }
+
+  // Locate the marker cell containing x, extending the extremes.
+  std::size_t k;
+  if (x < height_[0]) {
+    height_[0] = x;
+    k = 0;
+  } else if (x >= height_[4]) {
+    height_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= height_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) position_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increment_[i];
+  ++count_;
+
+  // Adjust the three interior markers toward their desired positions.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - position_[i];
+    if ((d >= 1.0 && position_[i + 1] - position_[i] > 1.0) ||
+        (d <= -1.0 && position_[i - 1] - position_[i] < -1.0)) {
+      const double sign = d >= 1.0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, sign);
+      if (!(height_[i - 1] < candidate && candidate < height_[i + 1])) {
+        candidate = linear(i, sign);
+      }
+      height_[i] = candidate;
+      position_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact nearest-rank order statistic over the sorted warm-up prefix.
+    const auto n = static_cast<double>(count_);
+    const auto rank = static_cast<std::size_t>(
+        std::clamp(std::ceil(q_ * n), 1.0, n));
+    return height_[rank - 1];
+  }
+  return height_[2];
+}
+
+QuantileSketch::QuantileSketch() noexcept
+    : estimators_{P2Quantile(0.50), P2Quantile(0.95), P2Quantile(0.99)} {}
+
+void QuantileSketch::lock() const noexcept {
+  while (lock_.test_and_set(std::memory_order_acquire)) {
+  }
+}
+
+void QuantileSketch::unlock() const noexcept {
+  lock_.clear(std::memory_order_release);
+}
+
+void QuantileSketch::add(double x) noexcept {
+  lock();
+  for (P2Quantile& e : estimators_) e.add(x);
+  unlock();
+}
+
+QuantileSketch::Quantiles QuantileSketch::quantiles() const noexcept {
+  lock();
+  const Quantiles q{estimators_[0].value(), estimators_[1].value(),
+                    estimators_[2].value(), estimators_[0].count()};
+  unlock();
+  return q;
+}
+
+void QuantileSketch::reset() noexcept {
+  lock();
+  for (P2Quantile& e : estimators_) e.reset();
+  unlock();
+}
+
+}  // namespace le::obs

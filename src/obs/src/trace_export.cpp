@@ -1,0 +1,95 @@
+#include "le/obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <locale>
+#include <sstream>
+
+namespace le::obs {
+
+namespace {
+
+/// JSON string escaping for span names (quotes, backslashes, control
+/// characters — names are free-form C strings).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<SpanRecord>& spans) {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out << std::setprecision(15);
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+
+  // One thread_name metadata record per distinct track so the viewer
+  // labels tracks by obs thread ordinal.
+  std::vector<std::uint32_t> threads;
+  for (const SpanRecord& span : spans) {
+    if (std::find(threads.begin(), threads.end(), span.thread) ==
+        threads.end()) {
+      threads.push_back(span.thread);
+    }
+  }
+  std::sort(threads.begin(), threads.end());
+  for (const std::uint32_t t : threads) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+        << ",\"args\":{\"name\":\"obs-thread-" << t << "\"}}";
+  }
+
+  for (const SpanRecord& span : spans) {
+    if (!first) out << ',';
+    first = false;
+    // Complete event: ts/dur in microseconds on the process clock.
+    out << "{\"name\":\"" << escape(span.name)
+        << "\",\"cat\":\"le\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.thread
+        << ",\"ts\":" << span.start_seconds * 1e6
+        << ",\"dur\":" << span.seconds * 1e6
+        << ",\"args\":{\"depth\":" << span.depth << "}}";
+  }
+  out << "]}";
+  return std::move(out).str();
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<SpanRecord>& spans) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << to_chrome_trace(spans);
+  file.flush();
+  return static_cast<bool>(file);
+}
+
+bool write_chrome_trace(const std::string& path) {
+  return write_chrome_trace(path, TraceLog::global().snapshot());
+}
+
+}  // namespace le::obs

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "le/obs/quantile.hpp"
 #include "le/tensor/matrix.hpp"
 
 namespace le::obs {
@@ -56,6 +57,9 @@ struct BatchQueueStats {
   std::uint64_t queries = 0;
   std::uint64_t batches = 0;
   std::size_t max_batch_observed = 0;
+  /// Queue-wait (submit to dispatch) p50/p95/p99 in seconds, from a
+  /// P-squared sketch — the latency cost of coalescing, per request.
+  obs::QuantileSketch::Quantiles wait;
 
   [[nodiscard]] double mean_batch() const noexcept {
     return batches == 0 ? 0.0
@@ -101,6 +105,9 @@ class BatchQueue {
   struct Pending {
     std::vector<double> input;
     std::promise<std::vector<double>> promise;
+    /// When submit() enqueued the request; dispatch() turns it into the
+    /// per-request queue wait.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void serve_loop();
@@ -117,6 +124,7 @@ class BatchQueue {
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::size_t> max_batch_observed_{0};
+  obs::QuantileSketch wait_sketch_;
 
   /// Metric handles; all null until enable_metrics().
   obs::Counter* metric_queries_ = nullptr;

@@ -42,6 +42,7 @@ std::future<std::vector<double>> BatchQueue::submit(
   }
   Pending request;
   request.input.assign(input.begin(), input.end());
+  request.enqueued = std::chrono::steady_clock::now();
   std::future<std::vector<double>> fut = request.promise.get_future();
   {
     std::lock_guard lock(mutex_);
@@ -86,10 +87,13 @@ void BatchQueue::serve_loop() {
 
 void BatchQueue::dispatch(std::vector<Pending> batch) {
   const std::size_t rows = batch.size();
+  const auto dispatched = std::chrono::steady_clock::now();
   tensor::Matrix inputs(rows, config_.input_dim);
   for (std::size_t r = 0; r < rows; ++r) {
     auto row = inputs.row(r);
     for (std::size_t c = 0; c < row.size(); ++c) row[c] = batch[r].input[c];
+    wait_sketch_.add(
+        std::chrono::duration<double>(dispatched - batch[r].enqueued).count());
   }
 
   queries_.fetch_add(rows, std::memory_order_relaxed);
@@ -136,6 +140,7 @@ BatchQueueStats BatchQueue::stats() const {
   s.queries = queries_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.max_batch_observed = max_batch_observed_.load(std::memory_order_relaxed);
+  s.wait = wait_sketch_.quantiles();
   return s;
 }
 

@@ -10,6 +10,11 @@
 namespace le::stats {
 
 /// Fixed-range uniform-bin histogram accumulating weighted counts.
+///
+/// Edge behavior is fully deterministic: -inf counts as underflow, +inf as
+/// overflow, NaN in a dedicated invalid() tally (never a bin), and a value
+/// exactly on an interior bin boundary always lands in the bin it is the
+/// lower edge of — independent of floating-point rounding in the division.
 class Histogram {
  public:
   /// Range is [lo, hi); values outside are counted in the overflow tallies.
@@ -32,6 +37,8 @@ class Histogram {
   [[nodiscard]] double total_weight() const noexcept { return total_; }
   [[nodiscard]] double underflow() const noexcept { return underflow_; }
   [[nodiscard]] double overflow() const noexcept { return overflow_; }
+  /// Weight of NaN observations (never binned, never under/overflow).
+  [[nodiscard]] double invalid() const noexcept { return invalid_; }
   [[nodiscard]] std::span<const double> counts() const noexcept { return {counts_}; }
 
   /// Probability-density view: counts normalized so the integral over the
@@ -46,6 +53,7 @@ class Histogram {
   double total_ = 0.0;
   double underflow_ = 0.0;
   double overflow_ = 0.0;
+  double invalid_ = 0.0;
 };
 
 }  // namespace le::stats

@@ -1,5 +1,6 @@
 #include "le/stats/histogram.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -13,16 +14,31 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double value, double weight) {
-  if (value < lo_) {
+  // NaN compares false against both range checks and would otherwise reach
+  // the division (undefined cast): tally it separately, never in a bin.
+  if (std::isnan(value)) {
+    invalid_ += weight;
+    return;
+  }
+  if (value < lo_) {  // -inf lands here
     underflow_ += weight;
     return;
   }
-  if (value >= hi_) {
+  if (value >= hi_) {  // +inf lands here
     overflow_ += weight;
     return;
   }
-  const auto bin = static_cast<std::size_t>((value - lo_) / width_);
-  counts_[std::min(bin, counts_.size() - 1)] += weight;
+  auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);
+  // The division can round either way at an exact bin boundary; pin the
+  // half-open convention ([edge_k, edge_{k+1})) by checking the edges.
+  if (value < lo_ + static_cast<double>(bin) * width_) {
+    --bin;
+  } else if (bin + 1 < counts_.size() &&
+             value >= lo_ + static_cast<double>(bin + 1) * width_) {
+    ++bin;
+  }
+  counts_[bin] += weight;
   total_ += weight;
 }
 
@@ -38,11 +54,12 @@ void Histogram::merge(const Histogram& other) {
   total_ += other.total_;
   underflow_ += other.underflow_;
   overflow_ += other.overflow_;
+  invalid_ += other.invalid_;
 }
 
 void Histogram::reset() {
   counts_.assign(counts_.size(), 0.0);
-  total_ = underflow_ = overflow_ = 0.0;
+  total_ = underflow_ = overflow_ = invalid_ = 0.0;
 }
 
 double Histogram::bin_center(std::size_t i) const {

@@ -41,4 +41,21 @@ struct CalibrationReport {
 [[nodiscard]] CalibrationReport calibrate(UqModel& model,
                                           const data::Dataset& dataset);
 
+/// One point of a reliability (calibration) curve.
+struct ReliabilityPoint {
+  double z = 0.0;         ///< interval half-width, in predicted sigmas
+  double nominal = 0.0;   ///< coverage a calibrated Gaussian would give
+  double empirical = 0.0; ///< observed fraction inside mu +/- z sigma
+};
+
+/// Sweeps interval half-widths and compares nominal Gaussian coverage
+/// (erf(z/sqrt(2))) with empirical coverage — the standard reliability
+/// diagram for regression UQ.  Points above the diagonal (empirical >
+/// nominal) are underconfident, below are overconfident.  Dimensions with
+/// sigma = 0 count as covered only on an exact match.  `z_values` defaults
+/// to 0.5..3.0 in steps of 0.5.
+[[nodiscard]] std::vector<ReliabilityPoint> reliability_curve(
+    UqModel& model, const data::Dataset& dataset,
+    std::span<const double> z_values = {});
+
 }  // namespace le::uq

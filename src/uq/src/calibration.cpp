@@ -52,4 +52,50 @@ CalibrationReport calibrate(UqModel& model, const data::Dataset& dataset) {
   return report;
 }
 
+std::vector<ReliabilityPoint> reliability_curve(
+    UqModel& model, const data::Dataset& dataset,
+    std::span<const double> z_values) {
+  if (dataset.empty()) {
+    throw std::invalid_argument("reliability_curve: empty dataset");
+  }
+  if (dataset.input_dim() != model.input_dim() ||
+      dataset.target_dim() != model.output_dim()) {
+    throw std::invalid_argument("reliability_curve: shape mismatch");
+  }
+  static constexpr double kDefaultZ[] = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0};
+  if (z_values.empty()) z_values = kDefaultZ;
+
+  // One prediction pass; coverage for every z is counted from the same
+  // residual/sigma pairs.
+  std::vector<double> errs;
+  std::vector<double> sigmas;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const Prediction p = model.predict(dataset.input(i));
+    const auto target = dataset.target(i);
+    for (std::size_t k = 0; k < target.size(); ++k) {
+      errs.push_back(std::abs(target[k] - p.mean[k]));
+      sigmas.push_back(p.stddev[k]);
+    }
+  }
+
+  std::vector<ReliabilityPoint> curve;
+  curve.reserve(z_values.size());
+  for (const double z : z_values) {
+    if (!(z > 0.0)) {
+      throw std::invalid_argument("reliability_curve: z values must be > 0");
+    }
+    ReliabilityPoint point;
+    point.z = z;
+    point.nominal = std::erf(z / std::sqrt(2.0));
+    std::size_t inside = 0;
+    for (std::size_t j = 0; j < errs.size(); ++j) {
+      if (errs[j] <= z * sigmas[j]) ++inside;
+    }
+    point.empirical =
+        static_cast<double>(inside) / static_cast<double>(errs.size());
+    curve.push_back(point);
+  }
+  return curve;
+}
+
 }  // namespace le::uq

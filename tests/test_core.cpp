@@ -17,6 +17,7 @@
 #include "le/serve/lookup_cache.hpp"
 #include "le/nn/loss.hpp"
 #include "le/nn/optimizer.hpp"
+#include "le/obs/health.hpp"
 #include "le/obs/metrics.hpp"
 #include "le/obs/speedup_meter.hpp"
 
@@ -671,6 +672,186 @@ TEST(DispatcherBatch, ValidatesShapeAndHandlesEmptyInput) {
   tensor::Matrix wrong(2, 3, 0.0);
   EXPECT_THROW((void)dispatcher.query_batch(wrong), std::invalid_argument);
   EXPECT_TRUE(dispatcher.query_batch(tensor::Matrix(0, 1)).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Health monitoring on the dispatcher
+
+/// 1-D reference inputs for the drift detector, uniform on [0, 1).
+tensor::Matrix health_reference(std::size_t rows) {
+  tensor::Matrix m(rows, 1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    m(r, 0) = static_cast<double>(r) / static_cast<double>(rows);
+  }
+  return m;
+}
+
+/// Health config that never drift-evaluates during short tests and shadows
+/// every accepted answer.
+obs::SurrogateHealthConfig every_answer_shadowed() {
+  obs::SurrogateHealthConfig cfg;
+  cfg.drift.window = 100000;
+  cfg.shadow_fraction = 1.0;
+  cfg.min_shadow_samples = 2;
+  cfg.residual_window = 8;
+  return cfg;
+}
+
+TEST(DispatcherHealth, ShadowSamplingFeedsMonitorMeterAndBuffer) {
+  auto model = std::make_shared<CountingUq>();
+  std::size_t sim_calls = 0;
+  auto sim = [&sim_calls](std::span<const double> x) {
+    ++sim_calls;
+    return std::vector<double>{2.0 * x[0]};  // matches the model exactly
+  };
+  SurrogateDispatcher dispatcher(model, sim, 0.5);
+  dispatcher.enable_health_monitoring(every_answer_shadowed(),
+                                      health_reference(64));
+  obs::EffectiveSpeedupMeter meter;
+  dispatcher.set_speedup_meter(&meter);
+
+  for (int i = 0; i < 4; ++i) {
+    const Answer a = dispatcher.query(std::vector<double>{0.1});
+    EXPECT_EQ(a.source, AnswerSource::kSurrogate);
+  }
+  // Every accepted answer was re-run through the simulation...
+  EXPECT_EQ(sim_calls, 4u);
+  EXPECT_EQ(dispatcher.stats().shadow_samples, 4u);
+  EXPECT_GT(dispatcher.stats().shadow_seconds, 0.0);
+  ASSERT_NE(dispatcher.health_monitor(), nullptr);
+  EXPECT_EQ(dispatcher.health_monitor()->report().shadow_samples, 4u);
+  // ...billed as training-path work, never as lookup time...
+  EXPECT_EQ(meter.snapshot().n_lookup, 4u);
+  EXPECT_EQ(meter.snapshot().n_train, 4u);
+  // ...and the ground truth lands in the training buffer for reuse.
+  EXPECT_EQ(dispatcher.training_buffer().size(), 4u);
+  // A perfect surrogate stays healthy.
+  EXPECT_EQ(dispatcher.health_monitor()->state(),
+            obs::HealthState::kHealthy);
+}
+
+TEST(DispatcherHealth, RejectsReferenceWidthMismatch) {
+  auto model = std::make_shared<CountingUq>();
+  SurrogateDispatcher dispatcher(model, identity_sim(), 0.5);
+  EXPECT_THROW(dispatcher.enable_health_monitoring(every_answer_shadowed(),
+                                                   tensor::Matrix(8, 3, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(DispatcherHealth, UntrustedMonitorTripsTheBreaker) {
+  auto model = std::make_shared<CountingUq>();
+  SurrogateDispatcher dispatcher(model, identity_sim(), 0.5);
+  dispatcher.enable_circuit_breaker({});
+  dispatcher.enable_health_monitoring(every_answer_shadowed(),
+                                      health_reference(64));
+  obs::SurrogateHealthMonitor* monitor = dispatcher.health_monitor();
+  ASSERT_NE(monitor, nullptr);
+
+  // Force UNTRUSTED through the residual alarm.
+  monitor->set_residual_baseline(0.01);
+  for (int i = 0; i < 4; ++i) {
+    const double mean[1] = {0.0};
+    const double stddev[1] = {0.1};
+    const double truth[1] = {1.0};
+    monitor->record_shadow(mean, stddev, truth);
+  }
+  ASSERT_EQ(monitor->state(), obs::HealthState::kUntrusted);
+
+  // The next query syncs the breaker and short-circuits to the simulation.
+  const Answer a = dispatcher.query(std::vector<double>{0.1});
+  EXPECT_EQ(a.source, AnswerSource::kSimulation);
+  ASSERT_NE(dispatcher.circuit_breaker(), nullptr);
+  EXPECT_EQ(dispatcher.circuit_breaker()->state(), BreakerState::kOpen);
+  // And it stays open: health re-trips on every query, so no half-open
+  // probe lets the untrusted surrogate answer.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(dispatcher.query(std::vector<double>{0.1}).source,
+              AnswerSource::kSimulation);
+  }
+  EXPECT_EQ(dispatcher.circuit_breaker()->state(), BreakerState::kOpen);
+}
+
+TEST(DispatcherHealth, RetrainAndReplaceRestoreTheSurrogatePath) {
+  auto model = std::make_shared<CountingUq>();
+  SurrogateDispatcher dispatcher(model, identity_sim(), 0.5);
+  dispatcher.enable_circuit_breaker({});
+  dispatcher.enable_health_monitoring(every_answer_shadowed(),
+                                      health_reference(64));
+  obs::SurrogateHealthMonitor* monitor = dispatcher.health_monitor();
+  monitor->set_residual_baseline(0.01);
+  for (int i = 0; i < 4; ++i) {
+    const double mean[1] = {0.0};
+    const double stddev[1] = {0.1};
+    const double truth[1] = {1.0};
+    monitor->record_shadow(mean, stddev, truth);
+  }
+  (void)dispatcher.query(std::vector<double>{0.1});  // trips the breaker
+  ASSERT_EQ(dispatcher.circuit_breaker()->state(), BreakerState::kOpen);
+
+  // The retrain path: monitor rebased, surrogate replaced; the breaker
+  // resets so the fresh model starts trusted instead of inheriting the
+  // distrust of the one it replaced.
+  monitor->on_retrained(health_reference(64));
+  dispatcher.replace_surrogate(std::make_shared<CountingUq>());
+  EXPECT_EQ(dispatcher.circuit_breaker()->state(), BreakerState::kClosed);
+  EXPECT_EQ(dispatcher.query(std::vector<double>{0.1}).source,
+            AnswerSource::kSurrogate);
+  EXPECT_EQ(monitor->state(), obs::HealthState::kHealthy);
+}
+
+TEST(CircuitBreaker, TripAndResetAreOutOfBandControls) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  config.cooldown_calls = 4;
+  CircuitBreaker breaker(config);
+  EXPECT_TRUE(breaker.allow());
+  breaker.trip();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.allow());
+  // Re-tripping while open restarts the cooldown without recounting: even
+  // after the original 4-call cooldown would have half-opened, a refresh
+  // per call keeps every allow() denied.
+  for (int i = 0; i < 10; ++i) {
+    breaker.trip();
+    EXPECT_FALSE(breaker.allow());
+  }
+  EXPECT_EQ(breaker.trips(), 1u);
+  breaker.reset();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.trips(), 1u);  // history preserved across reset
+}
+
+TEST(AdaptiveLoop, NotifiesHealthMonitorOnRetrain) {
+  obs::SurrogateHealthConfig cfg = every_answer_shadowed();
+  obs::SurrogateHealthMonitor monitor(cfg, health_reference(64));
+  monitor.set_residual_baseline(0.01);
+  for (int i = 0; i < 4; ++i) {
+    const double mean[1] = {0.0};
+    const double stddev[1] = {0.1};
+    const double truth[1] = {1.0};
+    monitor.record_shadow(mean, stddev, truth);
+  }
+  ASSERT_TRUE(monitor.retrain_requested());
+
+  const data::ParamSpace space({{"x", 0.0, 1.0, false}});
+  auto sim = [](std::span<const double> x) {
+    return std::vector<double>{std::sin(x[0])};
+  };
+  AdaptiveLoopConfig loop;
+  loop.initial_samples = 12;
+  loop.samples_per_round = 4;
+  loop.max_rounds = 1;
+  loop.train.epochs = 10;
+  loop.train.batch_size = 4;
+  loop.health_monitor = &monitor;
+  const AdaptiveLoopResult result = run_adaptive_loop(space, sim, 1, loop);
+  EXPECT_GE(result.corpus.size(), 12u);
+  EXPECT_EQ(monitor.state(), obs::HealthState::kHealthy);
+  EXPECT_FALSE(monitor.retrain_requested());
+  EXPECT_EQ(monitor.transitions().back().reason, "retrained");
 }
 
 }  // namespace

@@ -1,14 +1,28 @@
-// Tests for le::obs — metrics primitives, registry, timers/trace spans and
-// the live Section III-D EffectiveSpeedupMeter.
+// Tests for le::obs — metrics primitives, registry, timers/trace spans,
+// the live Section III-D EffectiveSpeedupMeter, streaming quantiles, the
+// Chrome trace exporter and the surrogate health stack (drift detector +
+// health monitor).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cctype>
 #include <cmath>
+#include <cstdio>
+#include <limits>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "le/obs/drift.hpp"
+#include "le/obs/health.hpp"
 #include "le/obs/metrics.hpp"
+#include "le/obs/quantile.hpp"
 #include "le/obs/speedup_meter.hpp"
 #include "le/obs/timer.hpp"
+#include "le/obs/trace_export.hpp"
+#include "le/tensor/matrix.hpp"
 
 namespace {
 
@@ -360,6 +374,530 @@ TEST(ObsSpeedupMeter, ConcurrentRecordingIsLossless) {
   EXPECT_EQ(snap.n_lookup, kThreads * kEach);
   EXPECT_NEAR(snap.lookup_seconds, 1e-6 * static_cast<double>(kThreads * kEach),
               1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// P-squared streaming quantiles
+
+/// Deterministic xorshift stream in [0, 1); le::stats is deliberately not a
+/// dependency of this test binary.
+class UnitStream {
+ public:
+  explicit UnitStream(std::uint64_t seed) : x_(seed | 1) {}
+  double next() {
+    x_ ^= x_ << 13;
+    x_ ^= x_ >> 7;
+    x_ ^= x_ << 17;
+    return static_cast<double>(x_ >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t x_;
+};
+
+TEST(P2Quantile, ExactOrderStatisticForSmallSamples) {
+  obs::P2Quantile median(0.5);
+  EXPECT_EQ(median.value(), 0.0);  // empty
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) median.add(v);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+  EXPECT_EQ(median.count(), 5u);
+}
+
+TEST(P2Quantile, TracksUniformStreamQuantiles) {
+  obs::P2Quantile p50(0.5), p95(0.95), p99(0.99);
+  UnitStream stream(42);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = stream.next();
+    p50.add(v);
+    p95.add(v);
+    p99.add(v);
+  }
+  EXPECT_NEAR(p50.value(), 0.50, 0.02);
+  EXPECT_NEAR(p95.value(), 0.95, 0.02);
+  EXPECT_NEAR(p99.value(), 0.99, 0.01);
+}
+
+TEST(P2Quantile, IgnoresNonFiniteAndResets) {
+  obs::P2Quantile median(0.5);
+  median.add(std::nan(""));
+  median.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(median.count(), 0u);
+  median.add(7.0);
+  EXPECT_DOUBLE_EQ(median.value(), 7.0);
+  median.reset();
+  EXPECT_EQ(median.count(), 0u);
+  EXPECT_EQ(median.value(), 0.0);
+}
+
+TEST(QuantileSketch, QuantilesAreOrderedAndCounted) {
+  obs::QuantileSketch sketch;
+  UnitStream stream(7);
+  for (int i = 0; i < 5000; ++i) sketch.add(1e-3 * stream.next());
+  const auto q = sketch.quantiles();
+  EXPECT_EQ(q.count, 5000u);
+  EXPECT_LE(q.p50, q.p95);
+  EXPECT_LE(q.p95, q.p99);
+  EXPECT_NEAR(q.p50, 0.5e-3, 0.05e-3);
+}
+
+TEST(QuantileSketch, ConcurrentAddsAreLossless) {
+  obs::QuantileSketch sketch;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kEach = 5000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sketch, t] {
+      UnitStream stream(1000 + t);
+      for (std::size_t i = 0; i < kEach; ++i) sketch.add(stream.next());
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto q = sketch.quantiles();
+  EXPECT_EQ(q.count, kThreads * kEach);
+  EXPECT_NEAR(q.p50, 0.5, 0.05);
+}
+
+TEST(ObsHistogram, TailQuantilesBeatBucketRounding) {
+  obs::Histogram h;
+  UnitStream stream(3);
+  // All mass inside one power-of-two bucket: bucket quantiles can only say
+  // "somewhere below 2^k ns", the sketch resolves the true tail.
+  for (int i = 0; i < 10000; ++i) h.record(1.0e-3 + 0.9e-3 * stream.next());
+  const auto q = h.tail_quantiles();
+  EXPECT_EQ(q.count, 10000u);
+  EXPECT_NEAR(q.p50, 1.45e-3, 0.1e-3);
+  EXPECT_NEAR(q.p99, 1.89e-3, 0.05e-3);
+  h.reset();
+  EXPECT_EQ(h.tail_quantiles().count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+
+/// Minimal recursive-descent JSON acceptor: enough to assert the exporter
+/// emits syntactically valid JSON without pulling in a JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(peek())) ++pos_;
+    if (peek() == '.') { ++pos_; while (std::isdigit(peek())) ++pos_; }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(peek())) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  [[nodiscard]] char peek() const {
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<obs::SpanRecord> sample_spans() {
+  obs::SpanRecord outer;
+  outer.name = "simulate \"fast\" \\ path";  // exercises escaping
+  outer.thread = 0;
+  outer.depth = 0;
+  outer.start_seconds = 0.001;
+  outer.seconds = 0.004;
+  obs::SpanRecord inner;
+  inner.name = "train";
+  inner.thread = 1;
+  inner.depth = 1;
+  inner.start_seconds = 0.002;
+  inner.seconds = 0.001;
+  return {outer, inner};
+}
+
+TEST(ChromeTrace, ExportIsValidJsonWithCompleteEvents) {
+  const std::string json = obs::to_chrome_trace(sample_spans());
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Complete events with microsecond timestamps on distinct tracks.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // thread names
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":4000"), std::string::npos);  // 4 ms -> us
+  // The quote and backslash in the span name must be escaped.
+  EXPECT_NE(json.find("\\\"fast\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptySpanListIsStillValidJson) {
+  const std::string json = obs::to_chrome_trace({});
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+}
+
+TEST(ChromeTrace, WriteRoundTripsThroughAFile) {
+  const std::string path =
+      testing::TempDir() + "le_obs_chrome_trace_test.json";
+  ASSERT_TRUE(obs::write_chrome_trace(path, sample_spans()));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_TRUE(JsonChecker(contents).valid());
+  EXPECT_EQ(contents, obs::to_chrome_trace(sample_spans()));
+}
+
+TEST(ChromeTrace, WriteFailsCleanlyOnBadPath) {
+  EXPECT_FALSE(
+      obs::write_chrome_trace("/nonexistent-dir/trace.json", sample_spans()));
+}
+
+// ---------------------------------------------------------------------------
+// Input drift detection
+
+/// rows x 1 matrix of a uniform [lo, hi) stream.
+tensor::Matrix uniform_column(std::size_t rows, double lo, double hi,
+                              std::uint64_t seed) {
+  tensor::Matrix m(rows, 1);
+  UnitStream stream(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    m(r, 0) = lo + (hi - lo) * stream.next();
+  }
+  return m;
+}
+
+TEST(DriftDetector, InDistributionStreamScoresLow) {
+  obs::DriftDetectorConfig cfg;
+  cfg.bins = 8;
+  cfg.window = 512;
+  obs::InputDriftDetector detector(uniform_column(2048, 0.0, 1.0, 5), cfg);
+  UnitStream stream(99);
+  while (!detector.window_ready()) {
+    const double v = stream.next();
+    detector.observe(std::span<const double>(&v, 1));
+  }
+  const obs::DriftReport report = detector.evaluate();
+  EXPECT_EQ(report.window_samples, 512u);
+  // Well under the PSI sampling-noise floor heuristic for this sizing.
+  EXPECT_LT(report.max_psi, 0.25);
+  EXPECT_LT(report.max_ks, 0.15);
+}
+
+TEST(DriftDetector, OffSupportShiftScoresHigh) {
+  obs::DriftDetectorConfig cfg;
+  cfg.bins = 8;
+  cfg.window = 256;
+  obs::InputDriftDetector detector(uniform_column(2048, 0.0, 1.0, 5), cfg);
+  UnitStream stream(99);
+  for (std::size_t i = 0; i < cfg.window; ++i) {
+    const double v = 2.0 + stream.next();  // entirely off-support
+    detector.observe(std::span<const double>(&v, 1));
+  }
+  const obs::DriftReport report = detector.evaluate();
+  // All live mass clamps into the top bin: PSI far beyond the 0.25 "major
+  // shift" band, KS near its (bins-1)/bins ceiling.
+  EXPECT_GT(report.max_psi, 1.0);
+  EXPECT_GT(report.max_ks, 0.8);
+  EXPECT_EQ(report.worst_feature, 0u);
+}
+
+TEST(DriftDetector, RebaseAdoptsTheNewReference) {
+  obs::DriftDetectorConfig cfg;
+  cfg.bins = 8;
+  cfg.window = 128;
+  obs::InputDriftDetector detector(uniform_column(1024, 0.0, 1.0, 5), cfg);
+  detector.rebase(uniform_column(1024, 2.0, 3.0, 6));
+  UnitStream stream(17);
+  for (std::size_t i = 0; i < cfg.window; ++i) {
+    const double v = 2.0 + stream.next();
+    detector.observe(std::span<const double>(&v, 1));
+  }
+  const obs::DriftReport report = detector.evaluate();
+  EXPECT_LT(report.max_psi, 0.5);  // in-distribution for the new reference
+  EXPECT_EQ(report.windows_evaluated, 1u);  // history reset by rebase
+}
+
+TEST(DriftDetector, RejectsEmptyReferenceAndWrongWidth) {
+  EXPECT_THROW(obs::InputDriftDetector(tensor::Matrix(), {}),
+               std::invalid_argument);
+  obs::InputDriftDetector detector(uniform_column(64, 0.0, 1.0, 5), {});
+  const double two[2] = {0.5, 0.5};
+  EXPECT_THROW(detector.observe(two), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Surrogate health monitor
+
+obs::SurrogateHealthConfig tight_health_config() {
+  obs::SurrogateHealthConfig cfg;
+  cfg.drift.bins = 8;
+  cfg.drift.window = 64;
+  cfg.psi_drifting = 0.6;
+  cfg.psi_untrusted = 4.0;
+  cfg.shadow_fraction = 1.0;  // every accepted answer is shadow-sampled
+  cfg.residual_window = 16;
+  cfg.min_shadow_samples = 4;
+  cfg.clean_windows_to_recover = 2;
+  return cfg;
+}
+
+/// Feeds `n` shadow samples with a fixed absolute error per dimension.
+void feed_shadows(obs::SurrogateHealthMonitor& monitor, int n, double error,
+                  double sigma = 0.1) {
+  for (int i = 0; i < n; ++i) {
+    const double mean[1] = {1.0};
+    const double stddev[1] = {sigma};
+    const double truth[1] = {1.0 + error};
+    monitor.record_shadow(mean, stddev, truth);
+  }
+}
+
+TEST(HealthMonitor, StartsHealthyAndLatchesBaseline) {
+  obs::SurrogateHealthMonitor monitor(tight_health_config(),
+                                      uniform_column(256, 0.0, 1.0, 5));
+  EXPECT_EQ(monitor.state(), obs::HealthState::kHealthy);
+  EXPECT_FALSE(monitor.retrain_requested());
+  feed_shadows(monitor, 8, 0.05);
+  const obs::HealthReport report = monitor.report();
+  EXPECT_NEAR(report.baseline_rmse, 0.05, 1e-9);
+  EXPECT_NEAR(report.residual_rmse, 0.05, 1e-9);
+  EXPECT_EQ(report.shadow_samples, 8u);
+  EXPECT_EQ(monitor.state(), obs::HealthState::kHealthy);
+}
+
+TEST(HealthMonitor, ResidualAlarmLatchesUntrusted) {
+  obs::SurrogateHealthMonitor monitor(tight_health_config(),
+                                      uniform_column(256, 0.0, 1.0, 5));
+  monitor.set_residual_baseline(0.05);
+  feed_shadows(monitor, 16, 0.2);  // 4x baseline > the 2x alarm factor
+  EXPECT_EQ(monitor.state(), obs::HealthState::kUntrusted);
+  EXPECT_TRUE(monitor.retrain_requested());
+  // Latched: healthy-looking shadows do not rehabilitate an UNTRUSTED model.
+  feed_shadows(monitor, 32, 0.01);
+  EXPECT_EQ(monitor.state(), obs::HealthState::kUntrusted);
+  const auto transitions = monitor.transitions();
+  ASSERT_FALSE(transitions.empty());
+  EXPECT_EQ(transitions.back().to, obs::HealthState::kUntrusted);
+}
+
+TEST(HealthMonitor, ResidualWarnDriftsThenRecovers) {
+  obs::SurrogateHealthMonitor monitor(tight_health_config(),
+                                      uniform_column(256, 0.0, 1.0, 5));
+  monitor.set_residual_baseline(0.05);
+  // Between sqrt(2) and 2x baseline: warn, not alarm.
+  feed_shadows(monitor, 16, 0.085);
+  EXPECT_EQ(monitor.state(), obs::HealthState::kDrifting);
+  EXPECT_FALSE(monitor.retrain_requested());
+  // Clean samples flush the window; after clean_windows_to_recover
+  // consecutive clean evaluations the state heals.
+  feed_shadows(monitor, 32, 0.01);
+  EXPECT_EQ(monitor.state(), obs::HealthState::kHealthy);
+}
+
+TEST(HealthMonitor, DriftWindowAloneTriggersStateChange) {
+  obs::SurrogateHealthMonitor monitor(tight_health_config(),
+                                      uniform_column(512, 0.0, 1.0, 5));
+  UnitStream stream(31);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const double v = 3.0 + stream.next();  // off-support
+    monitor.observe_query(std::span<const double>(&v, 1));
+  }
+  // A full off-support window scores past psi_untrusted = 4.
+  EXPECT_EQ(monitor.state(), obs::HealthState::kUntrusted);
+  EXPECT_GT(monitor.report().drift.max_psi, 4.0);
+}
+
+TEST(HealthMonitor, CoverageShortfallWarns) {
+  obs::SurrogateHealthConfig cfg = tight_health_config();
+  cfg.residual_rmse_factor = 1e9;  // isolate the coverage signal
+  obs::SurrogateHealthMonitor monitor(cfg, uniform_column(256, 0.0, 1.0, 5));
+  monitor.set_residual_baseline(1.0);
+  // Error far outside +/- 2 sigma on every sample: coverage 0 vs 0.954
+  // nominal, past the 0.30 UNTRUSTED shortfall band.
+  feed_shadows(monitor, 16, 0.5, /*sigma=*/0.01);
+  EXPECT_EQ(monitor.state(), obs::HealthState::kUntrusted);
+  EXPECT_EQ(monitor.report().coverage, 0.0);
+}
+
+TEST(HealthMonitor, ShadowStrideMatchesFraction) {
+  obs::SurrogateHealthConfig cfg = tight_health_config();
+  cfg.shadow_fraction = 0.25;  // stride 4
+  obs::SurrogateHealthMonitor monitor(cfg, uniform_column(64, 0.0, 1.0, 5));
+  int shadowed = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (monitor.should_shadow_sample()) ++shadowed;
+  }
+  EXPECT_EQ(shadowed, 25);
+  cfg.shadow_fraction = 0.0;  // disabled
+  obs::SurrogateHealthMonitor off(cfg, uniform_column(64, 0.0, 1.0, 5));
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(off.should_shadow_sample());
+}
+
+TEST(HealthMonitor, OnRetrainedClearsStateAndRebasesDrift) {
+  obs::SurrogateHealthMonitor monitor(tight_health_config(),
+                                      uniform_column(512, 0.0, 1.0, 5));
+  monitor.set_residual_baseline(0.05);
+  feed_shadows(monitor, 16, 0.5);
+  ASSERT_EQ(monitor.state(), obs::HealthState::kUntrusted);
+  monitor.on_retrained(uniform_column(512, 3.0, 4.0, 6));
+  EXPECT_EQ(monitor.state(), obs::HealthState::kHealthy);
+  EXPECT_FALSE(monitor.retrain_requested());
+  EXPECT_EQ(monitor.transitions().back().reason, "retrained");
+  // The new reference owns the [3, 4) range now.
+  UnitStream stream(13);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const double v = 3.0 + stream.next();
+    monitor.observe_query(std::span<const double>(&v, 1));
+  }
+  EXPECT_EQ(monitor.state(), obs::HealthState::kHealthy);
+}
+
+TEST(HealthMonitor, PublishesGaugesWhenMetricsEnabled) {
+  MetricsOn guard;
+  obs::MetricsRegistry registry;
+  obs::SurrogateHealthMonitor monitor(tight_health_config(),
+                                      uniform_column(256, 0.0, 1.0, 5));
+  monitor.enable_metrics(registry, "health_test");
+  monitor.set_residual_baseline(0.05);
+  feed_shadows(monitor, 16, 0.5);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  double state_value = -1.0;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "health_test.state") state_value = g.value;
+  }
+  EXPECT_EQ(state_value, 2.0);  // UNTRUSTED
+  bool found_shadow_counter = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "health_test.shadow_samples") {
+      found_shadow_counter = true;
+      EXPECT_EQ(c.value, 16u);
+    }
+  }
+  EXPECT_TRUE(found_shadow_counter);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent registry export
+
+TEST(ObsRegistry, SnapshotRacesLiveWritersSafely) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("race.counter");
+  obs::Gauge& gauge = registry.gauge("race.gauge");
+  obs::Histogram& histogram = registry.histogram("race.histogram");
+  std::atomic<bool> stop{false};
+  constexpr std::size_t kWriters = 4;
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      UnitStream stream(t + 1);
+      for (int i = 0; i < 20000; ++i) {
+        counter.add(1);
+        gauge.set(static_cast<double>(i));
+        histogram.record(1e-6 * (1.0 + stream.next()));
+      }
+    });
+  }
+  // Registration of *new* metrics must also be safe against snapshots.
+  std::thread registrar([&registry] {
+    for (int i = 0; i < 200; ++i) {
+      (void)registry.counter("race.extra." + std::to_string(i));
+    }
+  });
+  std::uint64_t last_count = 0;
+  std::string last_json;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    for (const auto& c : snap.counters) {
+      if (c.name == "race.counter") {
+        EXPECT_GE(c.value, last_count);  // counters are monotone
+        last_count = c.value;
+      }
+    }
+    last_json = obs::to_json(snap);
+    if (last_count >= kWriters * 20000) stop.store(true);
+  }
+  for (auto& w : writers) w.join();
+  registrar.join();
+  const obs::MetricsSnapshot final_snap = registry.snapshot();
+  ASSERT_FALSE(final_snap.counters.empty());
+  EXPECT_EQ(final_snap.counters.front().name.rfind("race.", 0), 0u);
+  EXPECT_EQ(last_count, kWriters * 20000u);
+  EXPECT_TRUE(JsonChecker(last_json).valid());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "le/stats/autocorr.hpp"
@@ -240,6 +241,71 @@ TEST(Histogram, BinCenters) {
 TEST(Histogram, InvalidConstruction) {
   EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, NanGoesToInvalidNotBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::nan(""), 2.5);
+  EXPECT_DOUBLE_EQ(h.invalid(), 2.5);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 0.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 0.0);
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_DOUBLE_EQ(h.count(b), 0.0);
+}
+
+TEST(Histogram, InfinitiesLandInOverflowTallies) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.invalid(), 0.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+}
+
+TEST(Histogram, BoundaryValuesBinDeterministically) {
+  // Every value lands in the bin whose *computed* half-open interval
+  // [lo + k*w, lo + (k+1)*w) contains it, even when the naive
+  // (value - lo) / width quotient rounds across the edge.  In particular a
+  // value equal to a computed left edge opens its own bin.
+  Histogram edges(-0.35, 0.7, 7);  // width 0.15: not exactly representable
+  for (std::size_t k = 0; k < edges.bins(); ++k) {
+    edges.add(edges.lo() + static_cast<double>(k) * edges.bin_width());
+  }
+  for (std::size_t b = 0; b < edges.bins(); ++b) {
+    EXPECT_DOUBLE_EQ(edges.count(b), 1.0) << "bin " << b;
+  }
+  EXPECT_DOUBLE_EQ(edges.underflow() + edges.overflow(), 0.0);
+  // hi itself is outside the half-open range.
+  edges.add(edges.hi());
+  EXPECT_DOUBLE_EQ(edges.overflow(), 1.0);
+
+  // Awkward decimal values: whichever bin is chosen must satisfy the
+  // half-open invariant against the computed edges.
+  for (int i = 0; i < 10; ++i) {
+    Histogram probe(0.0, 1.0, 10);
+    const double v = 0.1 * static_cast<double>(i);
+    probe.add(v);
+    ASSERT_DOUBLE_EQ(probe.total_weight(), 1.0) << "value " << v;
+    std::size_t bin = probe.bins();
+    for (std::size_t b = 0; b < probe.bins(); ++b) {
+      if (probe.count(b) > 0.0) bin = b;
+    }
+    ASSERT_LT(bin, probe.bins());
+    EXPECT_GE(v, probe.lo() + static_cast<double>(bin) * probe.bin_width());
+    EXPECT_LT(v,
+              probe.lo() + static_cast<double>(bin + 1) * probe.bin_width());
+  }
+}
+
+TEST(Histogram, MergeAndResetCarryInvalidWeight) {
+  Histogram a(0.0, 1.0, 4), b(0.0, 1.0, 4);
+  a.add(std::nan(""));
+  b.add(std::nan(""), 3.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.invalid(), 4.0);
+  a.reset();
+  EXPECT_DOUBLE_EQ(a.invalid(), 0.0);
 }
 
 }  // namespace

@@ -229,6 +229,85 @@ TEST(Calibration, ShapeMismatchThrows) {
   EXPECT_THROW(calibrate(model, ds), std::invalid_argument);
 }
 
+TEST(ReliabilityCurve, CalibratedModelTracksTheDiagonal) {
+  class UnitModel final : public UqModel {
+   public:
+    Prediction predict(std::span<const double>) override {
+      return {{0.0}, {1.0}};
+    }
+    std::size_t input_dim() const override { return 1; }
+    std::size_t output_dim() const override { return 1; }
+  };
+  UnitModel model;
+  Rng rng(11);
+  Dataset ds(1, 1);
+  for (int i = 0; i < 4000; ++i) {
+    const double x[1] = {0.0};
+    const double y[1] = {rng.normal()};
+    ds.add(std::span<const double>{x, 1}, std::span<const double>{y, 1});
+  }
+  const auto curve = reliability_curve(model, ds);
+  ASSERT_EQ(curve.size(), 6u);  // default z sweep 0.5 .. 3.0
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const auto& point = curve[i];
+    EXPECT_DOUBLE_EQ(point.z, 0.5 * static_cast<double>(i + 1));
+    EXPECT_NEAR(point.nominal, std::erf(point.z / std::sqrt(2.0)), 1e-12);
+    EXPECT_NEAR(point.empirical, point.nominal, 0.03);
+    if (i > 0) {  // both coverages widen monotonically with z
+      EXPECT_GE(point.nominal, curve[i - 1].nominal);
+      EXPECT_GE(point.empirical, curve[i - 1].empirical);
+    }
+  }
+}
+
+TEST(ReliabilityCurve, OverconfidentModelSitsBelowTheDiagonal) {
+  class Overconfident final : public UqModel {
+   public:
+    Prediction predict(std::span<const double>) override {
+      return {{0.0}, {0.1}};  // sigma 10x too small
+    }
+    std::size_t input_dim() const override { return 1; }
+    std::size_t output_dim() const override { return 1; }
+  };
+  Overconfident model;
+  Rng rng(12);
+  Dataset ds(1, 1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x[1] = {0.0};
+    const double y[1] = {rng.normal()};
+    ds.add(std::span<const double>{x, 1}, std::span<const double>{y, 1});
+  }
+  const double zs[2] = {1.0, 2.0};
+  const auto curve = reliability_curve(model, ds, zs);
+  ASSERT_EQ(curve.size(), 2u);
+  for (const auto& point : curve) {
+    EXPECT_LT(point.empirical, 0.5 * point.nominal);
+  }
+}
+
+TEST(ReliabilityCurve, ValidatesInput) {
+  class UnitModel final : public UqModel {
+   public:
+    Prediction predict(std::span<const double>) override {
+      return {{0.0}, {1.0}};
+    }
+    std::size_t input_dim() const override { return 1; }
+    std::size_t output_dim() const override { return 1; }
+  };
+  UnitModel model;
+  Dataset empty(1, 1);
+  EXPECT_THROW(reliability_curve(model, empty), std::invalid_argument);
+  Dataset ds(1, 1);
+  const double x[1] = {0.0}, y[1] = {0.0};
+  ds.add(std::span<const double>{x, 1}, std::span<const double>{y, 1});
+  const double bad_z[1] = {0.0};
+  EXPECT_THROW(reliability_curve(model, ds, bad_z), std::invalid_argument);
+  Dataset wide(2, 1);
+  const double x2[2] = {0.0, 0.0};
+  wide.add(std::span<const double>{x2, 2}, std::span<const double>{y, 1});
+  EXPECT_THROW(reliability_curve(model, wide), std::invalid_argument);
+}
+
 // Minimal deterministic model for exercising the UqModel base class.
 class AffineModel final : public UqModel {
  public:

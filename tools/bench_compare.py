@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Compare two bench metrics snapshots and fail on regression.
+
+The bench binaries (run with LE_METRICS=1) emit one machine-readable line
+
+    metrics-json <bench-id> {"counters":{...},"gauges":{...},"histograms":{...}}
+
+per run (bench/report.hpp::emit_metrics).  This tool diffs two such
+snapshots — given either as raw JSON files (e.g. a saved BENCH_E9.json) or
+as full bench stdout logs the line is grepped out of — and exits nonzero
+when a named metric regresses past its threshold, so the perf trajectory
+of the repo is machine-checkable:
+
+    ./build/bench/bench_serving > old.log   # on main
+    ./build/bench/bench_serving > new.log   # on the branch
+    tools/bench_compare.py old.log new.log \
+        --check histograms.serve.batch_latency.p99:20 \
+        --check +counters.dispatch.surrogate_answers
+
+Metric names are flattened dotted paths: ``counters.<name>``,
+``gauges.<name>`` and ``histograms.<name>.<field>`` with fields
+count/sum/mean/min/max/p50/p95/p99.  A check is ``NAME[:MAX_PCT]``; the
+threshold defaults to --default-max-pct.  Lower is better by default
+(latencies, error rates); prefix the name with ``+`` for higher-is-better
+metrics (throughput, hit counts), which fail when the candidate *drops*
+by more than the threshold.
+
+``--self-test`` runs the built-in unit checks (used by the
+``bench-compare`` CMake target) and needs no input files.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+METRICS_JSON_RE = re.compile(r"^metrics-json\s+(\S+)\s+(\{.*\})\s*$")
+HISTOGRAM_FIELDS = ("count", "sum", "mean", "min", "max", "p50", "p95", "p99")
+
+
+def load_snapshot(path, bench_id=None):
+    """Returns the snapshot dict from a raw JSON file or a bench log."""
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return json.loads(stripped)
+    found = {}
+    for line in text.splitlines():
+        m = METRICS_JSON_RE.match(line.strip())
+        if m:
+            found[m.group(1)] = json.loads(m.group(2))
+    if not found:
+        raise SystemExit(
+            f"{path}: neither raw JSON nor any 'metrics-json <id> {{...}}' line")
+    if bench_id is not None:
+        if bench_id not in found:
+            raise SystemExit(
+                f"{path}: no metrics-json line for id '{bench_id}' "
+                f"(have: {', '.join(sorted(found))})")
+        return found[bench_id]
+    if len(found) > 1:
+        raise SystemExit(
+            f"{path}: multiple metrics-json ids ({', '.join(sorted(found))}); "
+            "disambiguate with --id")
+    return next(iter(found.values()))
+
+
+def flatten(snapshot):
+    """Flattens a snapshot into {dotted-name: float}."""
+    flat = {}
+    for name, value in snapshot.get("counters", {}).items():
+        flat[f"counters.{name}"] = float(value)
+    for name, value in snapshot.get("gauges", {}).items():
+        flat[f"gauges.{name}"] = float(value)
+    for name, hist in snapshot.get("histograms", {}).items():
+        for field in HISTOGRAM_FIELDS:
+            if field in hist:
+                flat[f"histograms.{name}.{field}"] = float(hist[field])
+    return flat
+
+
+def parse_check(spec, default_max_pct):
+    """'NAME[:MAX_PCT]' with optional '+' prefix -> (name, max_pct, higher)."""
+    higher_is_better = spec.startswith("+")
+    if higher_is_better:
+        spec = spec[1:]
+    name, sep, pct = spec.partition(":")
+    if not name:
+        raise SystemExit(f"--check '{spec}': empty metric name")
+    if sep:
+        try:
+            max_pct = float(pct)
+        except ValueError:
+            raise SystemExit(f"--check '{spec}': bad threshold '{pct}'")
+    else:
+        max_pct = default_max_pct
+    if max_pct < 0:
+        raise SystemExit(f"--check '{spec}': negative threshold")
+    return name, max_pct, higher_is_better
+
+
+def change_pct(base, cand):
+    """Signed percent change, with 0 -> 0 and 0 -> x treated as +inf."""
+    if base == 0.0:
+        return 0.0 if cand == 0.0 else float("inf")
+    return 100.0 * (cand - base) / abs(base)
+
+
+def evaluate(base_flat, cand_flat, checks):
+    """Returns (report_rows, failures) for the named checks."""
+    rows, failures = [], []
+    for name, max_pct, higher in checks:
+        if name not in base_flat or name not in cand_flat:
+            missing = "baseline" if name not in base_flat else "candidate"
+            failures.append(f"{name}: missing from {missing} snapshot")
+            rows.append((name, None, None, None, "MISSING"))
+            continue
+        base, cand = base_flat[name], cand_flat[name]
+        pct = change_pct(base, cand)
+        regressed = (-pct if higher else pct) > max_pct
+        verdict = "FAIL" if regressed else "ok"
+        rows.append((name, base, cand, pct, verdict))
+        if regressed:
+            direction = "dropped" if higher else "rose"
+            failures.append(
+                f"{name}: {direction} {abs(pct):.2f}% "
+                f"({base:.6g} -> {cand:.6g}, limit {max_pct:g}%)")
+    return rows, failures
+
+
+def print_report(rows, extra_common):
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'candidate':>14}  "
+          f"{'change':>9}  verdict")
+    for name, base, cand, pct, verdict in rows:
+        if base is None:
+            print(f"{name:<{width}}  {'-':>14}  {'-':>14}  {'-':>9}  {verdict}")
+        else:
+            pct_s = "+inf%" if pct == float("inf") else f"{pct:+.2f}%"
+            print(f"{name:<{width}}  {base:>14.6g}  {cand:>14.6g}  "
+                  f"{pct_s:>9}  {verdict}")
+    if extra_common:
+        print(f"({extra_common} shared metrics not under a --check; "
+              "add them to guard more of the surface)")
+
+
+def self_test():
+    log = """header noise
+metrics-json E9 {"counters":{"dispatch.surrogate_answers":900},
+"gauges":{"speedup.live":21.5},
+"histograms":{"serve.batch_latency":{"count":900,"sum":0.9,"mean":0.001,
+"min":0.0005,"max":0.004,"p50":0.0009,"p95":0.002,"p99":0.003}}}
+trailer noise""".replace("\n", " ").replace("header noise ", "header\n") \
+        .replace(" trailer noise", "\ntrailer")
+    base = {
+        "counters": {"hits": 100.0, "zero": 0.0},
+        "gauges": {"speedup": 20.0},
+        "histograms": {"lat": {"count": 10, "mean": 1.0, "p99": 2.0}},
+    }
+
+    failures = []
+
+    def check(ok, what):
+        if not ok:
+            failures.append(what)
+
+    # metrics-json extraction from a log (written to a temp-free buffer by
+    # round-tripping through the regex the same way load_snapshot does).
+    m = METRICS_JSON_RE.match(
+        [l for l in log.splitlines() if l.startswith("metrics-json")][0])
+    check(m is not None and m.group(1) == "E9", "metrics-json line parses")
+    snap = json.loads(m.group(2))
+    flat = flatten(snap)
+    check(flat["counters.dispatch.surrogate_answers"] == 900.0,
+          "counter flattens")
+    check(flat["histograms.serve.batch_latency.p99"] == 0.003,
+          "histogram p99 flattens")
+    check("histograms.serve.batch_latency.min" in flat, "histogram min kept")
+
+    # check parsing
+    check(parse_check("a.b:5", 10.0) == ("a.b", 5.0, False), "explicit pct")
+    check(parse_check("+a.b", 10.0) == ("a.b", 10.0, True), "higher-better")
+
+    # regression math, both directions plus the zero-baseline edge
+    flat_base = flatten(base)
+    worse = {
+        "counters": {"hits": 80.0, "zero": 3.0},
+        "gauges": {"speedup": 25.0},
+        "histograms": {"lat": {"count": 10, "mean": 1.3, "p99": 2.05}},
+    }
+    rows, fails = evaluate(flat_base, flatten(worse), [
+        ("histograms.lat.mean", 10.0, False),   # +30% -> FAIL
+        ("histograms.lat.p99", 10.0, False),    # +2.5% -> ok
+        ("counters.hits", 10.0, True),          # -20% higher-better -> FAIL
+        ("gauges.speedup", 10.0, True),         # +25% higher-better -> ok
+        ("counters.zero", 10.0, False),         # 0 -> 3 = +inf -> FAIL
+        ("counters.absent", 10.0, False),       # missing -> FAIL
+    ])
+    verdicts = {r[0]: r[4] for r in rows}
+    check(verdicts["histograms.lat.mean"] == "FAIL", "mean regression fails")
+    check(verdicts["histograms.lat.p99"] == "ok", "within-threshold passes")
+    check(verdicts["counters.hits"] == "FAIL", "throughput drop fails")
+    check(verdicts["gauges.speedup"] == "ok", "speedup gain passes")
+    check(verdicts["counters.zero"] == "FAIL", "zero->nonzero fails")
+    check(verdicts["counters.absent"] == "MISSING", "absent metric flagged")
+    check(len(fails) == 4, f"expected 4 failures, got {len(fails)}")
+
+    # identical snapshots never regress
+    _, clean = evaluate(flat_base, dict(flat_base),
+                        [(n, 0.0, False) for n in flat_base])
+    check(not clean, "identical snapshots pass at 0% threshold")
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}")
+        return 1
+    print("bench_compare self-test: all checks passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline snapshot: raw JSON or bench log")
+    parser.add_argument("candidate", nargs="?",
+                        help="candidate snapshot: raw JSON or bench log")
+    parser.add_argument("--id", help="bench id when a log holds several "
+                        "metrics-json lines (e.g. E9)")
+    parser.add_argument("--check", action="append", default=[],
+                        metavar="NAME[:MAX_PCT]",
+                        help="metric to guard; '+' prefix = higher is better; "
+                        "repeatable")
+    parser.add_argument("--default-max-pct", type=float, default=10.0,
+                        help="threshold for checks without an explicit one "
+                        "(default: %(default)s%%)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run built-in unit checks and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate files are required "
+                     "(or use --self-test)")
+    if not args.check:
+        parser.error("at least one --check NAME[:MAX_PCT] is required")
+
+    base_flat = flatten(load_snapshot(args.baseline, args.id))
+    cand_flat = flatten(load_snapshot(args.candidate, args.id))
+    checks = [parse_check(c, args.default_max_pct) for c in args.check]
+
+    rows, fails = evaluate(base_flat, cand_flat, checks)
+    checked = {c[0] for c in checks}
+    shared = set(base_flat) & set(cand_flat)
+    print_report(rows, len(shared - checked))
+
+    if fails:
+        print(f"\nREGRESSION: {len(fails)} check(s) failed")
+        for f in fails:
+            print(f"  {f}")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
