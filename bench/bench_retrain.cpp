@@ -1,0 +1,390 @@
+// E15 — Autonomous retraining: detect -> collect -> train -> shadow-eval
+// -> promote, with no human in the loop.
+//
+// E14 ends with a *manual* retrain call; this bench closes the loop with
+// le::retrain::RetrainingService and prices the outcome in S_eff terms:
+//
+//   (1) an adaptive loop trains the incumbent on [0,1]^2; serving with a
+//       health monitor latches a residual baseline and a pre-drift S_eff;
+//   (2) a sustained shift to [1.6,2.4]^2 latches UNTRUSTED and opens the
+//       breaker; the degraded S_eff (every query billed at simulation
+//       cost) collapses toward ~1 — this is the level autonomy must beat;
+//   (3) with zero intervention (only queries + service polls) the service
+//       banks the fallback corpus, trains a candidate, shadow-evaluates
+//       it against live ground truth and promotes it; post-promotion
+//       S_eff on the same drifted stream must reach >= 150% of the
+//       degraded level, the monitor must be HEALTHY and the breaker
+//       closed, and the guard window must pass without a rollback;
+//   (4) a poisoned trainer (confidently wrong candidate, excellent loss)
+//       must be rejected at shadow evaluation: zero promotions, the
+//       incumbent still installed, and not one live query answered by a
+//       surrogate while the candidate was under evaluation;
+//   (5) a fault-injected trainer (every attempt's loss NaN-corrupted)
+//       must burn its bounded retries and re-arm collection instead of
+//       wedging or promoting garbage.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "le/core/adaptive_loop.hpp"
+#include "le/core/resilient.hpp"
+#include "le/core/surrogate.hpp"
+#include "le/obs/health.hpp"
+#include "le/obs/metrics.hpp"
+#include "le/obs/speedup_meter.hpp"
+#include "le/retrain/retraining_service.hpp"
+#include "le/runtime/fault.hpp"
+#include "le/stats/rng.hpp"
+#include "report.hpp"
+
+namespace {
+using namespace le;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Spin work so the "simulation" costs ~1 ms: S_eff needs a real cost
+/// asymmetry between a simulation fallback and a surrogate lookup.
+void spin(std::size_t units) {
+  volatile std::uint64_t sink = 0;
+  std::uint64_t x = 0x2545F4914F6CDD1DULL;
+  for (std::size_t i = 0; i < units; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    sink = sink + x;
+  }
+}
+
+std::vector<double> simulation(std::span<const double> p) {
+  spin(400000);
+  return {std::sin(2.0 * p[0]) * std::cos(p[1]) + 0.3 * p[0], p[0] * p[1]};
+}
+
+core::AdaptiveLoopConfig loop_config(obs::EffectiveSpeedupMeter* meter) {
+  core::AdaptiveLoopConfig loop;
+  loop.initial_samples = 96;
+  loop.samples_per_round = 8;
+  loop.max_rounds = 2;
+  loop.uncertainty_threshold = 0.03;
+  loop.hidden = {24, 24};
+  loop.train.epochs = 250;
+  loop.train.batch_size = 16;
+  loop.speedup_meter = meter;
+  return loop;
+}
+
+/// Monitoring for the S_eff storyline: sparse shadow sampling (5%) so the
+/// steady-state serving cost stays honest.  Same philosophy as E14: drift
+/// alone only warns; ground-truth residuals condemn the model.
+obs::SurrogateHealthConfig serving_health() {
+  obs::SurrogateHealthConfig hc;
+  hc.drift.bins = 8;
+  hc.drift.window = 64;
+  hc.psi_drifting = 0.6;
+  hc.psi_untrusted = 1e9;
+  hc.ks_drifting = 0.4;
+  hc.ks_untrusted = 1e9;
+  hc.coverage_shortfall_drifting = 0.30;
+  hc.coverage_shortfall_untrusted = 0.60;
+  hc.shadow_fraction = 0.05;
+  hc.residual_window = 64;
+  hc.min_shadow_samples = 10;
+  return hc;
+}
+
+/// Monitoring for the robustness phases: aggressive shadow sampling so the
+/// monitor trips in ~100 queries instead of ~1000 (each costs a ~1 ms sim).
+obs::SurrogateHealthConfig fast_health() {
+  obs::SurrogateHealthConfig hc = serving_health();
+  hc.drift.window = 32;
+  hc.shadow_fraction = 0.5;
+  hc.residual_window = 16;
+  hc.min_shadow_samples = 6;
+  return hc;
+}
+
+retrain::RetrainingConfig service_config() {
+  retrain::RetrainingConfig cfg;
+  cfg.min_corpus_size = 96;
+  cfg.hidden = {24, 24};
+  cfg.dropout_rate = 0.15;
+  cfg.mc_passes = 16;
+  cfg.train.epochs = 250;
+  cfg.train.batch_size = 16;
+  cfg.seed = 505;
+  cfg.min_eval_samples = 16;
+  cfg.max_rmse_ratio = 0.9;
+  cfg.min_coverage = 0.15;
+  cfg.guard_window_queries = 256;
+  return cfg;
+}
+
+std::vector<double> draw(stats::Rng& rng, double lo, double hi) {
+  return {rng.uniform(lo, hi), rng.uniform(lo, hi)};
+}
+
+/// In-dist warm-up (latches the residual baseline) then drifted queries
+/// until the monitor latches UNTRUSTED.  Returns false if it never trips.
+bool trip_monitor(core::SurrogateDispatcher& dispatcher, stats::Rng& rng,
+                  int warmup) {
+  for (int q = 0; q < warmup; ++q) {
+    (void)dispatcher.query(draw(rng, 0.02, 0.98));
+  }
+  for (int q = 0; q < 2048 && !dispatcher.health_monitor()->retrain_requested();
+       ++q) {
+    (void)dispatcher.query(draw(rng, 1.6, 2.4));
+  }
+  return dispatcher.health_monitor()->retrain_requested();
+}
+
+}  // namespace
+
+int main() {
+  const bool metrics_on = bench::enable_metrics_from_env();
+  bench::print_heading(
+      "E15", "Autonomous retraining: shadow deploy, auto-promote, rollback");
+
+  // ---- train the incumbent on [0,1]^2 --------------------------------
+  const data::ParamSpace in_dist({{"x", 0.0, 1.0, false},
+                                  {"y", 0.0, 1.0, false}});
+  obs::EffectiveSpeedupMeter train_meter;
+  std::printf("\nTraining the incumbent on [0,1]^2...\n");
+  core::AdaptiveLoopResult trained = core::run_adaptive_loop(
+      in_dist, simulation, 2, loop_config(&train_meter));
+  std::printf("corpus: %zu samples, converged: %s\n", trained.corpus.size(),
+              trained.converged ? "yes" : "no");
+
+  core::SurrogateDispatcher dispatcher(trained.surrogate, simulation,
+                                       /*threshold=*/1e9);
+  dispatcher.enable_circuit_breaker({});
+  dispatcher.enable_health_monitoring(serving_health(),
+                                      trained.corpus.input_matrix());
+  obs::SurrogateHealthMonitor& monitor = *dispatcher.health_monitor();
+
+  retrain::RetrainingService service(dispatcher, service_config());
+  if (metrics_on) service.enable_metrics(obs::MetricsRegistry::global());
+
+  // ---- (1) in-distribution serving: pre-drift S_eff ------------------
+  bench::print_subheading("phase 1: in-distribution serving");
+  stats::Rng rng(11);
+  obs::EffectiveSpeedupMeter pre_meter;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)simulation(std::vector<double>{0.5, 0.5});
+    pre_meter.record_seq_baseline(seconds_since(t0));
+  }
+  dispatcher.set_speedup_meter(&pre_meter);
+  for (int q = 0; q < 600; ++q) {
+    (void)dispatcher.query(draw(rng, 0.02, 0.98));
+  }
+  const obs::HealthReport pre_report = monitor.report();
+  const double pre_speedup = pre_meter.snapshot().speedup();
+  const bool healthy_ok = pre_report.state == obs::HealthState::kHealthy &&
+                          pre_report.baseline_rmse > 0.0;
+  std::printf("state %s, residual baseline %.4g, pre-drift S_eff = %.3g\n",
+              obs::to_string(pre_report.state).c_str(),
+              pre_report.baseline_rmse, pre_speedup);
+
+  // ---- (2) sustained drift: breaker opens, S_eff collapses -----------
+  bench::print_subheading("phase 2: sustained drift -> degraded serving");
+  long tripped_after = -1;
+  for (int q = 0; q < 2048 && !monitor.retrain_requested(); ++q) {
+    (void)dispatcher.query(draw(rng, 1.6, 2.4));
+    tripped_after = q + 1;
+  }
+  const bool tripped_ok = monitor.retrain_requested() &&
+                          dispatcher.circuit_breaker()->state() ==
+                              core::BreakerState::kOpen;
+  std::printf("UNTRUSTED + breaker open after %ld drifted queries: %s\n",
+              tripped_after, tripped_ok ? "yes" : "NO (FAIL)");
+
+  // Degraded S_eff: every query now falls back to the ~1 ms simulation
+  // (and banks a labelled sample for the service).  The service is not
+  // polled yet, so this measures the pure breaker-open floor.
+  obs::EffectiveSpeedupMeter degraded_meter;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)simulation(std::vector<double>{2.0, 2.0});
+    degraded_meter.record_seq_baseline(seconds_since(t0));
+  }
+  dispatcher.set_speedup_meter(&degraded_meter);
+  for (int q = 0; q < 200; ++q) {
+    (void)dispatcher.query(draw(rng, 1.6, 2.4));
+  }
+  const double degraded_speedup = degraded_meter.snapshot().speedup();
+  std::printf("degraded S_eff (breaker open) = %.3g\n", degraded_speedup);
+
+  // ---- (3) zero-intervention recovery --------------------------------
+  bench::print_subheading("phase 3: autonomous recovery");
+  // Nothing below touches the model, the monitor or the breaker directly:
+  // the serving loop keeps querying and the service keeps polling.
+  long recovery_queries = -1;
+  for (int i = 0; i < 6000; ++i) {
+    (void)dispatcher.query(draw(rng, 1.6, 2.4));
+    (void)service.poll_once();
+    if (service.stats().promotions >= 1) {
+      recovery_queries = i + 1;
+      break;
+    }
+  }
+  const retrain::RetrainingStats rstats = service.stats();
+  const bool promoted_ok = rstats.promotions == 1 && rstats.rollbacks == 0 &&
+                           monitor.state() == obs::HealthState::kHealthy &&
+                           dispatcher.circuit_breaker()->state() ==
+                               core::BreakerState::kClosed;
+  std::printf("promotion after %ld degraded queries (attempts %zu, "
+              "candidates %zu)\n",
+              recovery_queries, rstats.train_attempts,
+              rstats.candidates_trained);
+  std::printf("shadow eval: candidate rmse %.4g vs incumbent bar %.4g on "
+              "%zu live pairs, coverage %.3f\n",
+              rstats.last_eval_rmse, rstats.last_incumbent_rmse,
+              rstats.last_eval_samples, rstats.last_eval_coverage);
+  std::printf("monitor %s, breaker %s, service %s\n",
+              obs::to_string(monitor.state()).c_str(),
+              dispatcher.circuit_breaker()->state() ==
+                      core::BreakerState::kClosed
+                  ? "closed"
+                  : "open",
+              retrain::to_string(service.state()).c_str());
+
+  // Post-promotion S_eff on the same drifted stream.  The guard window
+  // (256 monitor queries) also elapses inside these 600 queries, so a
+  // clean run ends with the service back in IDLE and zero rollbacks.
+  obs::EffectiveSpeedupMeter post_meter;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)simulation(std::vector<double>{2.0, 2.0});
+    post_meter.record_seq_baseline(seconds_since(t0));
+  }
+  dispatcher.set_speedup_meter(&post_meter);
+  for (int q = 0; q < 600; ++q) {
+    (void)dispatcher.query(draw(rng, 1.6, 2.4));
+    (void)service.poll_once();
+  }
+  const double post_speedup = post_meter.snapshot().speedup();
+  const bool speedup_ok = post_speedup >= 1.5 * degraded_speedup;
+  const bool guard_ok = service.state() == retrain::ServiceState::kIdle &&
+                        service.stats().rollbacks == 0;
+  std::printf("post-promotion S_eff = %.3g (degraded %.3g, target >= 150%%) "
+              "... %s\n",
+              post_speedup, degraded_speedup, speedup_ok ? "PASS" : "FAIL");
+  std::printf("guard window passed without rollback: %s\n",
+              guard_ok ? "yes" : "NO (FAIL)");
+
+  // ---- (4) poisoned candidate: rejected, never serves ----------------
+  bench::print_subheading("phase 4: poisoned candidate rejection");
+  core::SurrogateDispatcher poisoned_d(trained.surrogate, simulation, 1e9);
+  poisoned_d.enable_circuit_breaker({});
+  poisoned_d.enable_health_monitoring(fast_health(),
+                                      trained.corpus.input_matrix());
+  retrain::RetrainingConfig poisoned_cfg = service_config();
+  poisoned_cfg.min_corpus_size = 48;
+  poisoned_cfg.min_eval_samples = 10;
+  // Confidently wrong: constant nonsense mean, near-zero spread, and a
+  // training loss that looks excellent.  Only shadow evaluation against
+  // live ground truth can catch it.
+  poisoned_cfg.trainer = [](const data::Dataset&, stats::Rng&) {
+    class Poisoned final : public uq::UqModel {
+     public:
+      uq::Prediction predict(std::span<const double>) override {
+        return {{100.0, 100.0}, {1e-6, 1e-6}};
+      }
+      std::size_t input_dim() const override { return 2; }
+      std::size_t output_dim() const override { return 2; }
+    };
+    return retrain::TrainedCandidate{std::make_shared<Poisoned>(), 1e-4};
+  };
+  retrain::RetrainingService poisoned_s(poisoned_d, poisoned_cfg);
+
+  stats::Rng poison_rng(13);
+  bool poison_ok = trip_monitor(poisoned_d, poison_rng, 64);
+  const std::size_t surrogate_before = poisoned_d.stats().surrogate_answers;
+  for (int i = 0; i < 400 && poisoned_s.stats().candidates_rejected == 0;
+       ++i) {
+    (void)poisoned_d.query(draw(poison_rng, 1.6, 2.4));
+    (void)poisoned_s.poll_once();
+  }
+  const retrain::RetrainingStats pstats = poisoned_s.stats();
+  // "Never serves": while the candidate was trained and evaluated, not a
+  // single live query was answered by any surrogate (the breaker kept the
+  // stream on the simulation) and the incumbent is still the installed
+  // model afterwards.
+  poison_ok = poison_ok && pstats.candidates_rejected >= 1 &&
+              pstats.promotions == 0 &&
+              poisoned_d.current_surrogate() == trained.surrogate &&
+              poisoned_d.stats().surrogate_answers == surrogate_before &&
+              poisoned_d.health_monitor()->retrain_requested();
+  std::printf("candidates rejected %zu, promotions %zu, surrogate answers "
+              "during eval %zu, incumbent retained: %s\n",
+              pstats.candidates_rejected, pstats.promotions,
+              poisoned_d.stats().surrogate_answers - surrogate_before,
+              poison_ok ? "yes" : "NO (FAIL)");
+
+  // ---- (5) fault-injected trainer: bounded retries, re-arm -----------
+  bench::print_subheading("phase 5: trainer fault injection");
+  core::SurrogateDispatcher faulty_d(trained.surrogate, simulation, 1e9);
+  faulty_d.enable_circuit_breaker({});
+  faulty_d.enable_health_monitoring(fast_health(),
+                                    trained.corpus.input_matrix());
+  runtime::FaultSpec spec;
+  spec.nan_probability = 1.0;  // every attempt's loss diverges
+  runtime::FaultInjector faults(spec);
+  retrain::RetrainingConfig faulty_cfg = service_config();
+  faulty_cfg.min_corpus_size = 48;
+  faulty_cfg.trainer_faults = &faults;
+  faulty_cfg.max_train_attempts = 2;
+  faulty_cfg.train.epochs = 20;  // the loss is doomed; don't waste epochs
+  retrain::RetrainingService faulty_s(faulty_d, faulty_cfg);
+
+  stats::Rng fault_rng(17);
+  bool fault_ok = trip_monitor(faulty_d, fault_rng, 64);
+  for (int i = 0; i < 400 && faulty_s.stats().train_failures < 2; ++i) {
+    (void)faulty_d.query(draw(fault_rng, 1.6, 2.4));
+    (void)faulty_s.poll_once();
+  }
+  const retrain::RetrainingStats fstats = faulty_s.stats();
+  fault_ok = fault_ok && fstats.train_attempts == 2 &&
+             fstats.train_failures == 2 && fstats.promotions == 0 &&
+             faulty_s.state() == retrain::ServiceState::kCollecting &&
+             faulty_d.current_surrogate() == trained.surrogate;
+  std::printf("attempts %zu, failures %zu, re-armed to %s, incumbent "
+              "retained: %s\n",
+              fstats.train_attempts, fstats.train_failures,
+              retrain::to_string(faulty_s.state()).c_str(),
+              fault_ok ? "yes" : "NO (FAIL)");
+
+  // ---- verdict -------------------------------------------------------
+  bench::print_subheading("verdict");
+  if (metrics_on) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.gauge("e15.seff_pre").set(pre_speedup);
+    reg.gauge("e15.seff_degraded").set(degraded_speedup);
+    reg.gauge("e15.seff_post").set(post_speedup);
+  }
+  const struct {
+    const char* name;
+    bool ok;
+  } checks[] = {
+      {"healthy in-distribution baseline", healthy_ok},
+      {"drift latches UNTRUSTED + breaker open", tripped_ok},
+      {"autonomous promotion heals the loop", promoted_ok},
+      {"post-promotion S_eff >= 150% of degraded", speedup_ok},
+      {"guard window passes without rollback", guard_ok},
+      {"poisoned candidate rejected, never serves", poison_ok},
+      {"trainer faults: bounded retries then re-arm", fault_ok},
+  };
+  bool all_ok = true;
+  for (const auto& check : checks) {
+    std::printf("  %-45s %s\n", check.name, check.ok ? "PASS" : "FAIL");
+    all_ok = all_ok && check.ok;
+  }
+
+  if (metrics_on) bench::emit_metrics("E15");
+  return all_ok ? 0 : 1;
+}

@@ -32,6 +32,7 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -63,6 +64,15 @@ struct CircuitBreakerConfig;
 /// Implementations may be arbitrarily expensive — that is the point.
 using SimulationFn =
     std::function<std::vector<double>(std::span<const double>)>;
+
+/// Observer of every ground-truth (input, simulation output) pair the
+/// dispatcher produces — fallback runs and shadow samples alike.  The
+/// retraining service taps this to shadow-evaluate candidate models
+/// against live traffic without ever letting them answer queries.  Runs
+/// on the serving thread; implementations must be cheap and thread-safe.
+using GroundTruthTap =
+    std::function<void(std::span<const double> input,
+                       std::span<const double> truth)>;
 
 /// How a query was answered.
 enum class AnswerSource { kSurrogate, kSimulation };
@@ -121,8 +131,11 @@ class SurrogateDispatcher {
   SurrogateDispatcher(std::shared_ptr<uq::UqModel> surrogate,
                       SimulationFn simulation, double threshold);
   ~SurrogateDispatcher();
-  SurrogateDispatcher(SurrogateDispatcher&&) noexcept;
-  SurrogateDispatcher& operator=(SurrogateDispatcher&&) noexcept;
+  /// Immovable: serving threads, ground-truth taps and the retraining
+  /// service all hold references to a live dispatcher (and the internal
+  /// locks pin its address anyway).
+  SurrogateDispatcher(SurrogateDispatcher&&) = delete;
+  SurrogateDispatcher& operator=(SurrogateDispatcher&&) = delete;
 
   /// Answers one query through the gate.
   [[nodiscard]] Answer query(std::span<const double> input);
@@ -150,12 +163,23 @@ class SurrogateDispatcher {
   [[nodiscard]] const serve::LookupCache* lookup_cache() const noexcept;
 
   /// Fallback runs accumulate here as fresh labelled samples for retraining.
+  /// Single-threaded inspection only: the reference is not protected
+  /// against a concurrent serving thread appending.  Concurrent consumers
+  /// (the retraining service) must use take_retraining() instead.
   [[nodiscard]] const data::Dataset& training_buffer() const noexcept {
     return buffer_;
   }
-  /// Takes the buffer, leaving it empty (retraining consumes it); resets
-  /// the per-buffer aggregates alongside it.
-  [[nodiscard]] data::Dataset drain_training_buffer();
+  /// Takes the banked shadow/fallback corpus, leaving the buffer empty
+  /// (retraining consumes it); resets the per-buffer aggregates alongside
+  /// it.  Thread-safe against the serving path: the buffer is handed off
+  /// under the same lock the fallback/shadow appends take, so a retraining
+  /// service may call this from its own thread while queries are in
+  /// flight (tests/test_retrain.cpp proves the handoff under TSan).
+  [[nodiscard]] data::Dataset take_retraining();
+  /// Alias of take_retraining(), kept for existing callers.
+  [[nodiscard]] data::Dataset drain_training_buffer() {
+    return take_retraining();
+  }
 
   /// Mean uncertainty score of the fallback runs currently buffered — a
   /// gauge of how far outside the surrogate's competence the buffered
@@ -167,7 +191,23 @@ class SurrogateDispatcher {
   void set_threshold(double threshold);
 
   /// Swaps in a retrained surrogate (auto-tunability outcome 3).
+  /// Thread-safe against in-flight queries: the swap happens under the
+  /// model lock the query paths copy the surrogate through, so a
+  /// retraining service can hot-promote (and roll back) while the
+  /// serving thread keeps answering.
   void replace_surrogate(std::shared_ptr<uq::UqModel> surrogate);
+
+  /// The surrogate currently answering queries.  The returned shared_ptr
+  /// keeps the model alive across a concurrent replace_surrogate(), so
+  /// the retraining service can retain the incumbent for one-call
+  /// rollback.
+  [[nodiscard]] std::shared_ptr<uq::UqModel> current_surrogate() const;
+
+  /// Registers an observer of every ground-truth pair the dispatcher
+  /// produces (fallback simulations and shadow samples).  Must be set
+  /// before serving starts; pass nullptr to detach.  The retraining
+  /// service uses this to feed its candidate shadow evaluation.
+  void set_ground_truth_tap(GroundTruthTap tap);
 
   /// Arms a circuit breaker over the surrogate path: after
   /// `config.failure_threshold` consecutive invalid predictions the
@@ -228,13 +268,23 @@ class SurrogateDispatcher {
   /// Trips the armed breaker while the health monitor holds UNTRUSTED.
   void sync_health_breaker();
 
+  /// Guards surrogate_ only: query paths copy the shared_ptr once per
+  /// call; replace_surrogate() swaps under the same lock.  Everything
+  /// else the service thread touches (breaker, cache, health monitor)
+  /// is internally synchronized.
+  mutable std::mutex model_mutex_;
   std::shared_ptr<uq::UqModel> surrogate_;
   SimulationFn simulation_;
   double threshold_;
+  /// Guards buffer_ and buffered_uncertainty_sum_: the serving path
+  /// appends (fallback + shadow runs) while take_retraining() hands the
+  /// corpus to the retraining service's thread.
+  mutable std::mutex buffer_mutex_;
   data::Dataset buffer_;
   DispatcherStats stats_;
   double accepted_uncertainty_sum_ = 0.0;
   double buffered_uncertainty_sum_ = 0.0;  ///< per-buffer; reset on drain
+  GroundTruthTap ground_truth_tap_;
   std::unique_ptr<CircuitBreaker> breaker_;
   std::unique_ptr<serve::LookupCache> cache_;
   std::unique_ptr<obs::SurrogateHealthMonitor> health_;

@@ -26,12 +26,21 @@ SurrogateDispatcher::SurrogateDispatcher(std::shared_ptr<uq::UqModel> surrogate,
 }
 
 SurrogateDispatcher::~SurrogateDispatcher() = default;
-SurrogateDispatcher::SurrogateDispatcher(SurrogateDispatcher&&) noexcept = default;
-SurrogateDispatcher& SurrogateDispatcher::operator=(SurrogateDispatcher&&) noexcept =
-    default;
+
+std::shared_ptr<uq::UqModel> SurrogateDispatcher::current_surrogate() const {
+  std::lock_guard lock(model_mutex_);
+  return surrogate_;
+}
+
+void SurrogateDispatcher::set_ground_truth_tap(GroundTruthTap tap) {
+  ground_truth_tap_ = std::move(tap);
+}
 
 Answer SurrogateDispatcher::query(std::span<const double> input) {
   const auto t0 = std::chrono::steady_clock::now();
+  // One consistent model per query: a concurrent replace_surrogate()
+  // affects the next query, never a half-answered one.
+  const std::shared_ptr<uq::UqModel> surrogate = current_surrogate();
 
   // Health monitoring sees every query input — cache hits included, since
   // drift is a property of the demand stream, not of the route taken.  A
@@ -69,14 +78,14 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
   }
 
   if (surrogate_allowed) {
-    const uq::Prediction prediction = surrogate_->predict(input);
+    const uq::Prediction prediction = surrogate->predict(input);
     const double score = uq::uncertainty_score(prediction);
 
     // An unusable prediction (corrupted mean, non-finite score, wrong
     // length) is a surrogate *failure*, distinct from an honest "too
     // uncertain" answer: it feeds the breaker instead of the gate.
     ValidationSpec spec;
-    spec.expected_dim = surrogate_->output_dim();
+    spec.expected_dim = surrogate->output_dim();
     const bool usable =
         std::isfinite(score) &&
         validate_output(prediction.mean, spec) == OutputVerdict::kValid;
@@ -113,8 +122,12 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
   answer.seconds = std::chrono::duration<double>(t1 - t0).count();
   ++stats_.simulation_answers;
   stats_.simulation_seconds += answer.seconds;
-  buffer_.add(input, answer.values);  // no run is wasted
-  buffered_uncertainty_sum_ += answer.uncertainty;
+  {
+    std::lock_guard lock(buffer_mutex_);
+    buffer_.add(input, answer.values);  // no run is wasted
+    buffered_uncertainty_sum_ += answer.uncertainty;
+  }
+  if (ground_truth_tap_) ground_truth_tap_(input, answer.values);
   // A fallback run is an N_train unit of the speedup model: its sample
   // just joined the training buffer.
   if (meter_) meter_->record_train(answer.seconds);
@@ -128,7 +141,8 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
 
 std::vector<Answer> SurrogateDispatcher::query_batch(
     const tensor::Matrix& inputs) {
-  if (inputs.cols() != surrogate_->input_dim()) {
+  const std::shared_ptr<uq::UqModel> surrogate = current_surrogate();
+  if (inputs.cols() != surrogate->input_dim()) {
     throw std::invalid_argument("query_batch: input dim mismatch");
   }
   const std::size_t n = inputs.rows();
@@ -185,7 +199,7 @@ std::vector<Answer> SurrogateDispatcher::query_batch(
       }
       const auto fwd_t0 = std::chrono::steady_clock::now();
       const std::vector<uq::Prediction> predictions =
-          surrogate_->predict_batch(miss_inputs);
+          surrogate->predict_batch(miss_inputs);
       const double fwd_share =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         fwd_t0)
@@ -193,7 +207,7 @@ std::vector<Answer> SurrogateDispatcher::query_batch(
           static_cast<double>(misses.size());
 
       ValidationSpec spec;
-      spec.expected_dim = surrogate_->output_dim();
+      spec.expected_dim = surrogate->output_dim();
       std::vector<std::size_t> unanswered;
       for (std::size_t i = 0; i < misses.size(); ++i) {
         const std::size_t r = misses[i];
@@ -248,8 +262,12 @@ std::vector<Answer> SurrogateDispatcher::query_batch(
                       .count();
     ++stats_.simulation_answers;
     stats_.simulation_seconds += answer.seconds;
-    buffer_.add(inputs.row(r), answer.values);  // no run is wasted
-    buffered_uncertainty_sum_ += answer.uncertainty;
+    {
+      std::lock_guard lock(buffer_mutex_);
+      buffer_.add(inputs.row(r), answer.values);  // no run is wasted
+      buffered_uncertainty_sum_ += answer.uncertainty;
+    }
+    if (ground_truth_tap_) ground_truth_tap_(inputs.row(r), answer.values);
     if (meter_) meter_->record_train(answer.seconds);
     if (metrics_.simulation_answers) {
       metrics_.simulation_answers->add();
@@ -293,8 +311,12 @@ void SurrogateDispatcher::shadow_sample(
   // The shadow run produced a fresh labelled sample — no run is wasted —
   // and its cost is an N_train unit of the speedup model, NOT a lookup:
   // billing it as lookup time would let monitoring inflate S_eff.
-  buffer_.add(input, truth);
-  buffered_uncertainty_sum_ += uncertainty;
+  {
+    std::lock_guard lock(buffer_mutex_);
+    buffer_.add(input, truth);
+    buffered_uncertainty_sum_ += uncertainty;
+  }
+  if (ground_truth_tap_) ground_truth_tap_(input, truth);
   if (meter_) meter_->record_train(seconds);
   if (metrics_.shadow_samples) {
     metrics_.shadow_samples->add();
@@ -372,14 +394,20 @@ void SurrogateDispatcher::enable_metrics(obs::MetricsRegistry& registry,
   if (health_) health_->enable_metrics(registry, prefix + ".health");
 }
 
-data::Dataset SurrogateDispatcher::drain_training_buffer() {
+data::Dataset SurrogateDispatcher::take_retraining() {
+  // Dims are invariant across replace_surrogate() (it rejects shape
+  // changes), so reading them from the current model needs no extra
+  // coordination with the handoff.
+  const std::shared_ptr<uq::UqModel> surrogate = current_surrogate();
+  std::lock_guard lock(buffer_mutex_);
   data::Dataset drained = std::move(buffer_);
-  buffer_ = data::Dataset(surrogate_->input_dim(), surrogate_->output_dim());
+  buffer_ = data::Dataset(surrogate->input_dim(), surrogate->output_dim());
   buffered_uncertainty_sum_ = 0.0;  // per-buffer aggregate follows the buffer
   return drained;
 }
 
 double SurrogateDispatcher::mean_buffered_uncertainty() const noexcept {
+  std::lock_guard lock(buffer_mutex_);
   return buffer_.size() == 0
              ? 0.0
              : buffered_uncertainty_sum_ / static_cast<double>(buffer_.size());
@@ -393,11 +421,14 @@ void SurrogateDispatcher::set_threshold(double threshold) {
 void SurrogateDispatcher::replace_surrogate(
     std::shared_ptr<uq::UqModel> surrogate) {
   if (!surrogate) throw std::invalid_argument("replace_surrogate: null");
-  if (surrogate->input_dim() != surrogate_->input_dim() ||
-      surrogate->output_dim() != surrogate_->output_dim()) {
-    throw std::invalid_argument("replace_surrogate: shape mismatch");
+  {
+    std::lock_guard lock(model_mutex_);
+    if (surrogate->input_dim() != surrogate_->input_dim() ||
+        surrogate->output_dim() != surrogate_->output_dim()) {
+      throw std::invalid_argument("replace_surrogate: shape mismatch");
+    }
+    surrogate_ = std::move(surrogate);
   }
-  surrogate_ = std::move(surrogate);
   // Cached answers came from the old surrogate; a hit must always reflect
   // what the current model would (approximately) say.  Likewise any open
   // breaker recorded the old model's failures (or a health trip): the

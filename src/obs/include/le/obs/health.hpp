@@ -148,6 +148,17 @@ class SurrogateHealthMonitor {
   /// resets the state machine to HEALTHY (recorded as a transition).
   void on_retrained(const tensor::Matrix& new_reference_inputs);
 
+  /// The failed-promotion path: a promoted candidate re-tripped the
+  /// monitor inside the guard window and the prior model was restored.
+  /// on_retrained() already rebased the drift reference onto the
+  /// *candidate's* corpus, so without this call the monitor would keep
+  /// scoring the restored model against a stale reference (and could
+  /// even heal to HEALTHY on it).  Rebases back onto the prior model's
+  /// reference inputs, clears the candidate-era windows/baseline, and
+  /// re-latches UNTRUSTED — the retrain request stands until a candidate
+  /// survives its guard window.
+  void on_rolled_back(const tensor::Matrix& prior_reference_inputs);
+
   /// Publishes health gauges/counters under "<prefix>.*": state (0/1/2),
   /// max PSI/KS, residual RMSE, coverage, sharpness, shadow-sample and
   /// transition counters.  Handles are acquired once.

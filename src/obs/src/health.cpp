@@ -284,6 +284,22 @@ void SurrogateHealthMonitor::on_retrained(
   publish_metrics_locked();
 }
 
+void SurrogateHealthMonitor::on_rolled_back(
+    const tensor::Matrix& prior_reference_inputs) {
+  drift_.rebase(prior_reference_inputs);
+  std::lock_guard lock(mutex_);
+  window_.clear();
+  baseline_rmse_ = 0.0;
+  baseline_set_ = false;
+  shadow_samples_ = 0;
+  clean_evaluations_ = 0;
+  if (state_ != HealthState::kUntrusted) {
+    transition_locked(HealthState::kUntrusted,
+                      "rolled-back: promotion failed inside guard window");
+  }
+  publish_metrics_locked();
+}
+
 void SurrogateHealthMonitor::enable_metrics(MetricsRegistry& registry,
                                             const std::string& prefix) {
   std::lock_guard lock(mutex_);

@@ -827,6 +827,39 @@ TEST(HealthMonitor, OnRetrainedClearsStateAndRebasesDrift) {
   EXPECT_EQ(monitor.state(), obs::HealthState::kHealthy);
 }
 
+TEST(HealthMonitor, OnRolledBackRelatchesAndRestoresPriorReference) {
+  obs::SurrogateHealthMonitor monitor(tight_health_config(),
+                                      uniform_column(512, 0.0, 1.0, 5));
+  monitor.set_residual_baseline(0.05);
+  feed_shadows(monitor, 16, 0.5);
+  ASSERT_TRUE(monitor.retrain_requested());
+  // A candidate trained on [3, 4) gets promoted...
+  monitor.on_retrained(uniform_column(512, 3.0, 4.0, 6));
+  ASSERT_EQ(monitor.state(), obs::HealthState::kHealthy);
+  // ...then fails inside the guard window and the prior model (reference
+  // [0, 1)) is restored.  Without on_rolled_back the monitor would keep
+  // scoring the restored model against the candidate's [3, 4) reference.
+  monitor.on_rolled_back(uniform_column(512, 0.0, 1.0, 5));
+  EXPECT_EQ(monitor.state(), obs::HealthState::kUntrusted);
+  EXPECT_TRUE(monitor.retrain_requested());  // the request stands
+  EXPECT_EQ(monitor.transitions().back().to, obs::HealthState::kUntrusted);
+  // The candidate-era residual baseline must not survive the rollback.
+  EXPECT_EQ(monitor.report().baseline_rmse, 0.0);
+  EXPECT_EQ(monitor.report().shadow_samples, 0u);
+
+  // A later successful retrain against the prior distribution heals, and
+  // the drift reference really is [0, 1) again: in-distribution traffic
+  // stays healthy.
+  monitor.on_retrained(uniform_column(512, 0.0, 1.0, 7));
+  ASSERT_EQ(monitor.state(), obs::HealthState::kHealthy);
+  UnitStream stream(29);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const double v = stream.next();
+    monitor.observe_query(std::span<const double>(&v, 1));
+  }
+  EXPECT_EQ(monitor.state(), obs::HealthState::kHealthy);
+}
+
 TEST(HealthMonitor, PublishesGaugesWhenMetricsEnabled) {
   MetricsOn guard;
   obs::MetricsRegistry registry;

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Run a bench binary and save its metrics snapshot as tracked JSON.
+
+The bench binaries, run with LE_METRICS=1, emit one machine-readable line
+
+    metrics-json <bench-id> {"counters":{...},"gauges":{...},"histograms":{...}}
+
+(bench/report.hpp::emit_metrics).  This tool runs the binary with metrics
+enabled, greps that line out, and writes the snapshot as pretty-printed
+JSON — the format bench_compare.py accepts as a raw baseline.  The tracked
+trajectory files (bench/BENCH_health.json, bench/BENCH_retrain.json) are
+produced with it and re-validated by the `bench-compare` CMake target:
+
+    tools/make_bench_snapshot.py build/bench/bench_health --id E14 \
+        -o bench/BENCH_health.json
+
+The bench's own verdict gates the snapshot: a FAILing bench (nonzero exit)
+writes nothing, so a tracked baseline is always from a passing run.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+METRICS_JSON_RE = re.compile(r"^metrics-json\s+(\S+)\s+(\{.*\})\s*$")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("binary", help="bench executable to run")
+    parser.add_argument("--id", dest="bench_id", default=None,
+                        help="bench id to extract when the run emits several")
+    parser.add_argument("-o", "--output", required=True,
+                        help="path to write the snapshot JSON to")
+    args = parser.parse_args()
+
+    env = dict(os.environ, LE_METRICS="1")
+    proc = subprocess.run([args.binary], env=env, capture_output=True,
+                          text=True)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"{args.binary}: exited {proc.returncode}; refusing to snapshot "
+            "a failing bench")
+
+    found = {}
+    for line in proc.stdout.splitlines():
+        m = METRICS_JSON_RE.match(line.strip())
+        if m:
+            found[m.group(1)] = json.loads(m.group(2))
+    if not found:
+        raise SystemExit(
+            f"{args.binary}: no 'metrics-json <id> {{...}}' line in its "
+            "output (is the bench wired through bench::emit_metrics?)")
+    if args.bench_id is not None:
+        if args.bench_id not in found:
+            raise SystemExit(
+                f"{args.binary}: no metrics-json line for id "
+                f"'{args.bench_id}' (have: {', '.join(sorted(found))})")
+        snapshot = found[args.bench_id]
+    elif len(found) > 1:
+        raise SystemExit(
+            f"{args.binary}: multiple metrics-json ids "
+            f"({', '.join(sorted(found))}); disambiguate with --id")
+    else:
+        snapshot = next(iter(found.values()))
+
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(snapshot, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"snapshot written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()
