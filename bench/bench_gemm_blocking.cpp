@@ -55,9 +55,31 @@ void BM_GemmNaive(benchmark::State& state) {
                           kN * kN * kN);
 }
 
+void BM_GemmAvx2(benchmark::State& state) {
+  if (!tensor::cpu_has_avx2_fma()) {
+    state.SkipWithError("no AVX2+FMA on this host");
+    return;
+  }
+  tensor::Matrix a(kN, kN), b(kN, kN), c(kN, kN);
+  fill(a, 1);
+  fill(b, 2);
+  const tensor::GemmBlocking blocking{
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(1)),
+      static_cast<std::size_t>(state.range(2))};
+  for (auto _ : state) {
+    tensor::gemm_avx2(a, b, c, blocking);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          kN * kN * kN);
+}
+
 BENCHMARK(BM_GemmNaive);
 BENCHMARK(BM_GemmBlocked)->Args({8, 8, 8})->Args({32, 32, 32})
     ->Args({64, 64, 64})->Args({160, 16, 160});
+BENCHMARK(BM_GemmAvx2)->Args({32, 32, 32})->Args({64, 64, 64})
+    ->Args({160, 16, 160});
 
 void print_tuner_comparison() {
   bench::print_heading("ATLAS ablation",
@@ -96,6 +118,24 @@ void print_tuner_comparison() {
               " exhaustive grid's quality at a fraction of its %zu\n"
               " evaluations.  Naive un-blocked kernel time: %.4g s.)\n",
               grid.evaluations, ml.naive_seconds);
+
+  // The kernel axis (DESIGN.md section 13): the same search run once per
+  // runnable micro-kernel family, returning the jointly best GemmPlan —
+  // what Network::autotune_inference does per layer at serving startup.
+  stats::Rng plan_rng(5);
+  const autotune::GemmPlanTuneOutcome plan =
+      autotune::tune_gemm_plan(cfg, search, plan_rng);
+  const char* kernel_name =
+      plan.best.kernel == tensor::GemmKernel::kAvx2 ? "avx2" : "scalar";
+  std::printf("\njoint (kernel x blocking) search: %zu evals, best %s "
+              "mc=%zu kc=%zu nc=%zu\n",
+              plan.evaluations, kernel_name, plan.best.blocking.mc,
+              plan.best.blocking.kc, plan.best.blocking.nc);
+  std::printf("best %.4g s vs scalar-only best %.4g s (%.2fx; AVX2 "
+              "runnable: %s)\n",
+              plan.best_seconds, plan.scalar_best_seconds,
+              plan.scalar_best_seconds / plan.best_seconds,
+              tensor::cpu_has_avx2_fma() ? "yes" : "no");
 }
 
 }  // namespace

@@ -17,6 +17,9 @@ struct GemmTuneConfig {
   std::size_t block_max = 256;
   /// Repetitions per timing measurement (median is used).
   std::size_t repetitions = 3;
+  /// Micro-kernel family the blocking is tuned for.  kScalar reproduces the
+  /// historical behavior; tune_gemm_plan() searches over kernels too.
+  tensor::GemmKernel kernel = tensor::GemmKernel::kScalar;
 };
 
 struct GemmTuneOutcome {
@@ -27,9 +30,26 @@ struct GemmTuneOutcome {
   std::size_t evaluations = 0;
 };
 
-/// Median wall time of gemm_blocked at the given blocking.
+/// Median wall time of config.kernel's GEMM at the given blocking.
 [[nodiscard]] double time_gemm(const GemmTuneConfig& config,
                                const tensor::GemmBlocking& blocking);
+
+/// Outcome of the joint (kernel x blocking) search.
+struct GemmPlanTuneOutcome {
+  tensor::GemmPlan best;              ///< winning kernel + blocking
+  double best_seconds = 0.0;
+  double scalar_best_seconds = 0.0;   ///< best scalar-only candidate
+  std::size_t evaluations = 0;
+};
+
+/// The block autotuner extended along the kernel axis: runs the
+/// model-guided blocking search once per runnable kernel family (scalar
+/// always; AVX2 when CPUID allows) and returns the jointly best plan —
+/// what the per-layer serving autotuner (Network::autotune_inference) does
+/// at startup, exposed here for offline studies (bench_gemm_blocking E4).
+[[nodiscard]] GemmPlanTuneOutcome tune_gemm_plan(const GemmTuneConfig& config,
+                                                 const ModelGuidedConfig& search,
+                                                 stats::Rng& rng);
 
 /// Tunes (mc, kc, nc) with the given search strategy.
 [[nodiscard]] GemmTuneOutcome tune_gemm(const GemmTuneConfig& config,

@@ -45,9 +45,10 @@ double time_gemm(const GemmTuneConfig& config,
   tensor::Matrix c(config.matrix_size, config.matrix_size);
   std::vector<double> times;
   times.reserve(config.repetitions);
+  const tensor::GemmPlan plan{config.kernel, blocking};
   for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
-    tensor::gemm_blocked(a, b, c, blocking);
+    tensor::gemm(a, b, c, plan);
     const auto t1 = std::chrono::steady_clock::now();
     times.push_back(std::chrono::duration<double>(t1 - t0).count());
   }
@@ -76,6 +77,31 @@ GemmTuneOutcome tune_gemm(const GemmTuneConfig& config,
     tensor::gemm_naive(a, b, c);
     const auto t1 = std::chrono::steady_clock::now();
     outcome.naive_seconds = std::chrono::duration<double>(t1 - t0).count();
+  }
+  return outcome;
+}
+
+GemmPlanTuneOutcome tune_gemm_plan(const GemmTuneConfig& config,
+                                   const ModelGuidedConfig& search,
+                                   stats::Rng& rng) {
+  std::vector<tensor::GemmKernel> kernels{tensor::GemmKernel::kScalar};
+  if (tensor::cpu_has_avx2_fma()) {
+    kernels.push_back(tensor::GemmKernel::kAvx2);
+  }
+  GemmPlanTuneOutcome outcome;
+  outcome.best_seconds = std::numeric_limits<double>::infinity();
+  for (const tensor::GemmKernel kernel : kernels) {
+    GemmTuneConfig per_kernel = config;
+    per_kernel.kernel = kernel;
+    const GemmTuneOutcome tuned = tune_gemm(per_kernel, search, rng);
+    outcome.evaluations += tuned.evaluations;
+    if (kernel == tensor::GemmKernel::kScalar) {
+      outcome.scalar_best_seconds = tuned.best_seconds;
+    }
+    if (tuned.best_seconds < outcome.best_seconds) {
+      outcome.best_seconds = tuned.best_seconds;
+      outcome.best = tensor::GemmPlan{kernel, tuned.best};
+    }
   }
   return outcome;
 }

@@ -203,6 +203,34 @@ class SurrogateDispatcher {
   /// rollback.
   [[nodiscard]] std::shared_ptr<uq::UqModel> current_surrogate() const;
 
+  /// Switches serving to an int8 quantized snapshot (uq::QuantizedSurrogate
+  /// over an nn::QuantizedNetwork calibrated on the retraining corpus).
+  /// Admission is bounded by the existing UQ gate: `added_error` — the
+  /// quantization residual the model reports as its spread — must fit
+  /// inside the current threshold, otherwise the quantized model could
+  /// never answer a query and the call throws std::invalid_argument
+  /// instead of silently serving 100% fallback.  The incumbent fp
+  /// surrogate is retained for disable_quantized_serving(); the swap
+  /// behaves like replace_surrogate() (model lock, cache clear, breaker
+  /// reset), so stale-era cache inserts from in-flight fp queries are
+  /// dropped by the epoch check.
+  void enable_quantized_serving(std::shared_ptr<uq::UqModel> quantized,
+                                double added_error);
+
+  /// Restores the fp surrogate retained by enable_quantized_serving();
+  /// no-op when quantized serving is not active.
+  void disable_quantized_serving();
+
+  /// True while a quantized surrogate is answering queries.
+  [[nodiscard]] bool quantized_serving() const noexcept;
+
+  /// Runs the current surrogate's startup kernel autotuner
+  /// (UqModel::autotune_inference) sized for `batch_hint`-row forwards —
+  /// the ATLAS-style per-layer (kernel, blocking) search of DESIGN.md
+  /// section 13.  Call at serving startup and after every promotion;
+  /// returns the per-layer decisions for logging.
+  std::vector<nn::LayerPlanChoice> autotune_serving(std::size_t batch_hint);
+
   /// Registers an observer of every ground-truth pair the dispatcher
   /// produces (fallback simulations and shadow samples).  Must be set
   /// before serving starts; pass nullptr to detach.  The retraining
@@ -274,6 +302,9 @@ class SurrogateDispatcher {
   /// is internally synchronized.
   mutable std::mutex model_mutex_;
   std::shared_ptr<uq::UqModel> surrogate_;
+  /// The fp surrogate displaced by enable_quantized_serving(); null while
+  /// serving fp.  Guarded by model_mutex_.
+  std::shared_ptr<uq::UqModel> quantized_fp_backup_;
   SimulationFn simulation_;
   double threshold_;
   /// Guards buffer_ and buffered_uncertainty_sum_: the serving path

@@ -38,6 +38,10 @@ void SurrogateDispatcher::set_ground_truth_tap(GroundTruthTap tap) {
 
 Answer SurrogateDispatcher::query(std::span<const double> input) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Cache epoch FIRST, then the model: if a replace_surrogate() lands in
+  // between, the stale epoch makes this query's eventual insert drop — a
+  // retired model's answer can never be cached into the new model's era.
+  const std::uint64_t cache_epoch = cache_ ? cache_->epoch() : 0;
   // One consistent model per query: a concurrent replace_surrogate()
   // affects the next query, never a half-answered one.
   const std::shared_ptr<uq::UqModel> surrogate = current_surrogate();
@@ -102,8 +106,11 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
         const auto t1 = std::chrono::steady_clock::now();
         answer.seconds = std::chrono::duration<double>(t1 - t0).count();
         // Only gate-accepted answers are remembered, so a later hit
-        // inherits this acceptance.
-        if (cache_) cache_->insert(input, {answer.values, score});
+        // inherits this acceptance.  The epoch check drops the insert if
+        // the model this answer came from has been retired meanwhile.
+        if (cache_) {
+          (void)cache_->try_insert(input, {answer.values, score}, cache_epoch);
+        }
         account_surrogate_answer(answer);
         // Shadow sampling happens after the answer's latency is clocked:
         // the caller still gets the surrogate answer; the ground-truth run
@@ -141,6 +148,9 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
 
 std::vector<Answer> SurrogateDispatcher::query_batch(
     const tensor::Matrix& inputs) {
+  // Epoch before model snapshot — same stale-era insert protection as
+  // query().
+  const std::uint64_t cache_epoch = cache_ ? cache_->epoch() : 0;
   const std::shared_ptr<uq::UqModel> surrogate = current_surrogate();
   if (inputs.cols() != surrogate->input_dim()) {
     throw std::invalid_argument("query_batch: input dim mismatch");
@@ -228,7 +238,10 @@ std::vector<Answer> SurrogateDispatcher::query_batch(
         answers[r].uncertainty = score;
         if (score <= threshold_) {
           answers[r].values = prediction.mean;
-          if (cache_) cache_->insert(inputs.row(r), {prediction.mean, score});
+          if (cache_) {
+            (void)cache_->try_insert(inputs.row(r), {prediction.mean, score},
+                                     cache_epoch);
+          }
           if (health_ && health_->should_shadow_sample()) {
             shadow_sample(inputs.row(r), prediction.mean, prediction.stddev,
                           score);
@@ -428,6 +441,10 @@ void SurrogateDispatcher::replace_surrogate(
       throw std::invalid_argument("replace_surrogate: shape mismatch");
     }
     surrogate_ = std::move(surrogate);
+    // A promotion (or rollback) supersedes any quantized snapshot of the
+    // previous model; quantized serving must be re-enabled against the new
+    // incumbent explicitly.
+    quantized_fp_backup_.reset();
   }
   // Cached answers came from the old surrogate; a hit must always reflect
   // what the current model would (approximately) say.  Likewise any open
@@ -435,6 +452,61 @@ void SurrogateDispatcher::replace_surrogate(
   // replacement starts trusted until it earns otherwise.
   if (cache_) cache_->clear();
   if (breaker_) breaker_->reset();
+}
+
+void SurrogateDispatcher::enable_quantized_serving(
+    std::shared_ptr<uq::UqModel> quantized, double added_error) {
+  if (!quantized) {
+    throw std::invalid_argument("enable_quantized_serving: null model");
+  }
+  if (!std::isfinite(added_error) || added_error < 0.0) {
+    throw std::invalid_argument("enable_quantized_serving: bad added_error");
+  }
+  // The existing UQ gate bounds quantization error: a residual wider than
+  // the threshold means the quantized model could never answer, so refuse
+  // loudly instead of serving 100% fallback.
+  if (added_error > threshold_) {
+    throw std::invalid_argument(
+        "enable_quantized_serving: quantization residual exceeds the UQ "
+        "gate threshold");
+  }
+  {
+    std::lock_guard lock(model_mutex_);
+    if (quantized->input_dim() != surrogate_->input_dim() ||
+        quantized->output_dim() != surrogate_->output_dim()) {
+      throw std::invalid_argument("enable_quantized_serving: shape mismatch");
+    }
+    if (!quantized_fp_backup_) quantized_fp_backup_ = surrogate_;
+    surrogate_ = std::move(quantized);
+  }
+  // Same invalidation discipline as replace_surrogate(): cached fp answers
+  // must not survive into the quantized era (and vice versa on disable).
+  if (cache_) cache_->clear();
+  if (breaker_) breaker_->reset();
+}
+
+void SurrogateDispatcher::disable_quantized_serving() {
+  {
+    std::lock_guard lock(model_mutex_);
+    if (!quantized_fp_backup_) return;
+    surrogate_ = std::move(quantized_fp_backup_);
+    quantized_fp_backup_.reset();
+  }
+  if (cache_) cache_->clear();
+  if (breaker_) breaker_->reset();
+}
+
+bool SurrogateDispatcher::quantized_serving() const noexcept {
+  std::lock_guard lock(model_mutex_);
+  return quantized_fp_backup_ != nullptr;
+}
+
+std::vector<nn::LayerPlanChoice> SurrogateDispatcher::autotune_serving(
+    std::size_t batch_hint) {
+  // Tune through the snapshot: the plans land on the layers of the live
+  // model (shared_ptr), and a model swapped in later is tuned by the next
+  // autotune_serving() call (the retraining service re-tunes on promote).
+  return current_surrogate()->autotune_inference(batch_hint);
 }
 
 void SurrogateDispatcher::enable_circuit_breaker(

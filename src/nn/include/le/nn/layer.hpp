@@ -15,6 +15,7 @@
 
 #include "le/stats/rng.hpp"
 #include "le/tensor/matrix.hpp"
+#include "le/tensor/ops.hpp"
 
 namespace le::nn {
 
@@ -75,9 +76,12 @@ class DenseLayer final : public Layer {
 
   tensor::Matrix forward(const tensor::Matrix& input) override;
   tensor::Matrix backward(const tensor::Matrix& grad_output) override;
-  /// Blocked-GEMM forward (the bench_gemm_blocking kernel) with no input
-  /// caching; for layer widths <= the default block size the accumulation
-  /// order matches forward() exactly.
+  /// Forward through tensor::gemm under this layer's GemmPlan (kernel +
+  /// blocking), with no input caching.  The default plan defers the kernel
+  /// choice to active_gemm_kernel(); Network::autotune_inference installs a
+  /// measured per-layer plan (the ATLAS example generalized to kernel
+  /// selection).  Accumulation order depends on the chosen kernel; paths
+  /// agree to the DESIGN.md section 13 tolerance.
   void infer(const tensor::Matrix& input, tensor::Matrix& out) override;
   std::vector<ParamView> parameters() override;
   void zero_grad() override;
@@ -92,12 +96,22 @@ class DenseLayer final : public Layer {
   [[nodiscard]] std::span<double> bias() noexcept { return {bias_}; }
   [[nodiscard]] std::span<const double> bias() const noexcept { return {bias_}; }
 
+  /// The GEMM plan infer() runs under; default defers to the process-wide
+  /// active kernel with default blocking.
+  [[nodiscard]] const tensor::GemmPlan& infer_plan() const noexcept {
+    return infer_plan_;
+  }
+  void set_infer_plan(const tensor::GemmPlan& plan) noexcept {
+    infer_plan_ = plan;
+  }
+
  private:
   tensor::Matrix weights_;
   tensor::Matrix weight_grads_;
   std::vector<double> bias_;
   std::vector<double> bias_grads_;
   tensor::Matrix cached_input_;
+  tensor::GemmPlan infer_plan_{};
 };
 
 /// Supported pointwise nonlinearities.
@@ -105,6 +119,11 @@ enum class Activation { kIdentity, kRelu, kLeakyRelu, kTanh, kSigmoid };
 
 [[nodiscard]] std::string to_string(Activation a);
 [[nodiscard]] Activation activation_from_string(const std::string& s);
+
+/// Scalar reference for one activation value (what forward() applies
+/// elementwise).  Public so the quantized-inference path can share the exact
+/// same nonlinearity definition.
+[[nodiscard]] double activation_apply(Activation kind, double x);
 
 /// Pointwise activation layer.
 class ActivationLayer final : public Layer {

@@ -13,6 +13,17 @@
 
 namespace le::nn {
 
+/// One per-layer decision made by Network::autotune_inference: the GEMM
+/// shape that layer runs at the tuned batch size, the winning plan, and the
+/// measured timings that picked it.
+struct LayerPlanChoice {
+  std::size_t layer_index = 0;              ///< index into Network::layer()
+  std::size_t rows = 0, inner = 0, cols = 0;  ///< timed GEMM shape (m,k,n)
+  tensor::GemmPlan plan;                    ///< winner, installed on the layer
+  double best_us = 0.0;                     ///< winner's measured time
+  double scalar_us = 0.0;                   ///< scalar reference time
+};
+
 /// A sequence of layers applied in order.  Owns its layers; copyable via
 /// clone().  Thread-compatibility: a Network instance is NOT safe for
 /// concurrent use (layers cache activations); clone per worker instead —
@@ -74,6 +85,19 @@ class Network {
   void set_weights(std::span<const double> flat);
 
   [[nodiscard]] Network clone() const;
+
+  /// ATLAS-style startup autotuning generalized to kernel selection: for
+  /// every DenseLayer, times each runnable kernel (scalar always; AVX2 when
+  /// the CPU supports it) crossed with `blockings` on this layer's GEMM
+  /// shape at `batch_hint` rows, installs the fastest plan via
+  /// set_infer_plan(), and returns the decisions.  Measured per layer
+  /// because the winner is shape-dependent: wide hidden layers vectorize
+  /// well while narrow output layers can favor scalar.  Empty `blockings`
+  /// means the default GemmBlocking only.
+  std::vector<LayerPlanChoice> autotune_inference(
+      std::size_t batch_hint,
+      const std::vector<tensor::GemmBlocking>& blockings = {},
+      std::size_t repeats = 20);
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;

@@ -44,7 +44,7 @@ void DenseLayer::infer(const tensor::Matrix& input, tensor::Matrix& out) {
     throw std::invalid_argument("DenseLayer::infer: input dim mismatch");
   }
   out.resize(input.rows(), weights_.cols());
-  tensor::gemm_blocked(input, weights_, out);
+  tensor::gemm(input, weights_, out, infer_plan_);
   for (std::size_t r = 0; r < out.rows(); ++r) {
     auto row = out.row(r);
     for (std::size_t c = 0; c < row.size(); ++c) row[c] += bias_[c];
@@ -113,9 +113,7 @@ Activation activation_from_string(const std::string& s) {
   throw std::invalid_argument("unknown activation: " + s);
 }
 
-namespace {
-
-double apply_activation(Activation kind, double x) {
+double activation_apply(Activation kind, double x) {
   switch (kind) {
     case Activation::kIdentity: return x;
     case Activation::kRelu: return x > 0.0 ? x : 0.0;
@@ -125,6 +123,8 @@ double apply_activation(Activation kind, double x) {
   }
   return x;
 }
+
+namespace {
 
 double activation_grad(Activation kind, double x) {
   switch (kind) {
@@ -152,7 +152,7 @@ tensor::Matrix ActivationLayer::forward(const tensor::Matrix& input) {
   cached_input_ = input;
   tensor::Matrix out(input.rows(), input.cols());
   for (std::size_t i = 0; i < input.size(); ++i) {
-    out.data()[i] = apply_activation(kind_, input.data()[i]);
+    out.data()[i] = activation_apply(kind_, input.data()[i]);
   }
   return out;
 }
@@ -162,8 +162,23 @@ void ActivationLayer::infer(const tensor::Matrix& input, tensor::Matrix& out) {
     throw std::invalid_argument("ActivationLayer::infer: dim mismatch");
   }
   out.resize(input.rows(), input.cols());
+  // tanh and relu dominate the serving hot path; route them through the
+  // kernel layer (AVX2 when active, scalar std::tanh otherwise).  The other
+  // activations stay on the scalar reference.
+  const std::span<const double> in_flat{input.data(), input.size()};
+  const std::span<double> out_flat{out.data(), out.size()};
+  switch (kind_) {
+    case Activation::kTanh:
+      tensor::vtanh(in_flat, out_flat);
+      return;
+    case Activation::kRelu:
+      tensor::vrelu(in_flat, out_flat);
+      return;
+    default:
+      break;
+  }
   for (std::size_t i = 0; i < input.size(); ++i) {
-    out.data()[i] = apply_activation(kind_, input.data()[i]);
+    out.data()[i] = activation_apply(kind_, input.data()[i]);
   }
 }
 

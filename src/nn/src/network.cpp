@@ -1,6 +1,11 @@
 #include "le/nn/network.hpp"
 
+#include <chrono>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
+
+#include "le/tensor/ops.hpp"
 
 namespace le::nn {
 
@@ -126,6 +131,72 @@ void Network::set_weights(std::span<const double> flat) {
   if (offset != flat.size()) {
     throw std::invalid_argument("Network::set_weights: vector too long");
   }
+}
+
+std::vector<LayerPlanChoice> Network::autotune_inference(
+    std::size_t batch_hint, const std::vector<tensor::GemmBlocking>& blockings,
+    std::size_t repeats) {
+  if (batch_hint == 0 || repeats == 0) {
+    throw std::invalid_argument(
+        "Network::autotune_inference: batch_hint and repeats must be positive");
+  }
+  const std::vector<tensor::GemmBlocking> candidates_blocking =
+      blockings.empty() ? std::vector<tensor::GemmBlocking>{{}} : blockings;
+  std::vector<tensor::GemmKernel> candidate_kernels{
+      tensor::GemmKernel::kScalar};
+  if (tensor::cpu_has_avx2_fma()) {
+    candidate_kernels.push_back(tensor::GemmKernel::kAvx2);
+  }
+
+  const auto time_plan = [&](const tensor::Matrix& a, const tensor::Matrix& b,
+                             tensor::Matrix& out, const tensor::GemmPlan& plan) {
+    tensor::gemm(a, b, out, plan);  // warm-up (touches out, loads code)
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < repeats; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      tensor::gemm(a, b, out, plan);
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(
+          best, std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+    return best;
+  };
+
+  std::vector<LayerPlanChoice> choices;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    auto* dense = dynamic_cast<DenseLayer*>(layers_[i].get());
+    if (dense == nullptr) continue;
+    const std::size_t k = dense->input_dim(), n = dense->output_dim();
+    tensor::Matrix a(batch_hint, k);
+    for (std::size_t e = 0; e < a.size(); ++e) {
+      a.data()[e] = std::sin(0.7 * static_cast<double>(e + 1));
+    }
+    tensor::Matrix out(batch_hint, n);
+
+    LayerPlanChoice choice;
+    choice.layer_index = i;
+    choice.rows = batch_hint;
+    choice.inner = k;
+    choice.cols = n;
+    choice.best_us = std::numeric_limits<double>::infinity();
+    for (const tensor::GemmKernel kernel : candidate_kernels) {
+      for (const tensor::GemmBlocking& blocking : candidates_blocking) {
+        const tensor::GemmPlan plan{kernel, blocking};
+        const double us = time_plan(a, dense->weights(), out, plan);
+        if (kernel == tensor::GemmKernel::kScalar) {
+          choice.scalar_us =
+              choice.scalar_us == 0.0 ? us : std::min(choice.scalar_us, us);
+        }
+        if (us < choice.best_us) {
+          choice.best_us = us;
+          choice.plan = plan;
+        }
+      }
+    }
+    dense->set_infer_plan(choice.plan);
+    choices.push_back(choice);
+  }
+  return choices;
 }
 
 Network Network::clone() const {

@@ -1,0 +1,198 @@
+#include "le/nn/quantized.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "le/tensor/ops.hpp"
+
+namespace le::nn {
+
+namespace {
+
+std::int8_t clamp_s8(double v) {
+  const double r = std::nearbyint(v);
+  if (r < -128.0) return -128;
+  if (r > 127.0) return 127;
+  return static_cast<std::int8_t>(r);
+}
+
+/// Picks (sa, za) so a ~= sa * (aq - za) maps [lo, hi] onto the int8 range.
+void calibrate_affine(double lo, double hi, double& sa, std::int32_t& za) {
+  if (!(lo <= hi)) {  // empty/NaN calibration — neutral scale
+    lo = -1.0;
+    hi = 1.0;
+  }
+  lo = std::min(lo, 0.0);  // keep 0 exactly representable (relu, padding)
+  hi = std::max(hi, 0.0);
+  const double range = hi - lo;
+  if (range < 1e-12) {
+    sa = std::max(std::abs(hi), 1.0) / 127.0;
+    za = 0;
+    return;
+  }
+  sa = range / 255.0;
+  za = static_cast<std::int32_t>(std::nearbyint(-128.0 - lo / sa));
+}
+
+}  // namespace
+
+QuantizedNetwork::QuantizedNetwork(Network& net,
+                                   const tensor::Matrix& calibration) {
+  if (net.layer_count() == 0) {
+    throw std::invalid_argument("QuantizedNetwork: empty network");
+  }
+  if (calibration.rows() == 0) {
+    throw std::invalid_argument("QuantizedNetwork: empty calibration set");
+  }
+  if (calibration.cols() != net.input_dim()) {
+    throw std::invalid_argument("QuantizedNetwork: calibration width mismatch");
+  }
+  input_dim_ = net.input_dim();
+  output_dim_ = net.output_dim();
+
+  // Walk the layers, quantizing each DenseLayer against the fp activations
+  // that actually reach it on the calibration set.
+  tensor::Matrix act = calibration;
+  tensor::Matrix next;
+  for (std::size_t li = 0; li < net.layer_count(); ++li) {
+    Layer& layer = net.layer(li);
+    if (auto* dense = dynamic_cast<DenseLayer*>(&layer)) {
+      Stage stage;
+      stage.in_dim = dense->input_dim();
+      stage.out_dim = dense->output_dim();
+      const tensor::Matrix& w = dense->weights();
+      stage.wq.resize(stage.in_dim * stage.out_dim);
+      stage.colsum.assign(stage.out_dim, 0);
+      stage.wscale.assign(stage.out_dim, 1.0);
+      stage.bias.assign(dense->bias().begin(), dense->bias().end());
+      for (std::size_t c = 0; c < stage.out_dim; ++c) {
+        double maxabs = 0.0;
+        for (std::size_t p = 0; p < stage.in_dim; ++p) {
+          maxabs = std::max(maxabs, std::abs(w(p, c)));
+        }
+        stage.wscale[c] = maxabs > 0.0 ? maxabs / 127.0 : 1.0;
+        for (std::size_t p = 0; p < stage.in_dim; ++p) {
+          const std::int8_t q = clamp_s8(w(p, c) / stage.wscale[c]);
+          stage.wq[p * stage.out_dim + c] = q;
+          stage.colsum[c] += q;
+        }
+      }
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (std::size_t e = 0; e < act.size(); ++e) {
+        lo = std::min(lo, act.data()[e]);
+        hi = std::max(hi, act.data()[e]);
+      }
+      calibrate_affine(lo, hi, stage.ascale, stage.azero);
+      stages_.push_back(std::move(stage));
+    } else if (auto* activation = dynamic_cast<ActivationLayer*>(&layer)) {
+      if (stages_.empty()) {
+        throw std::invalid_argument(
+            "QuantizedNetwork: activation before first dense layer");
+      }
+      stages_.back().activation = activation->kind();
+    } else if (dynamic_cast<DropoutLayer*>(&layer) != nullptr) {
+      // Deterministic-eval dropout is the identity; quantized serving only
+      // targets gate-accepted deterministic snapshots.
+    } else {
+      throw std::invalid_argument("QuantizedNetwork: unsupported layer " +
+                                  layer.name());
+    }
+    layer.infer(act, next);  // fp reference activations for the next stage
+    std::swap(act, next);
+  }
+  if (stages_.empty()) {
+    throw std::invalid_argument("QuantizedNetwork: no dense layers");
+  }
+
+  // Residual vs the fp network on the calibration set (act now holds the fp
+  // outputs after the loop above).
+  tensor::Matrix qout;
+  predict_batch(calibration, qout);
+  double max_abs = 0.0, sum_sq = 0.0;
+  for (std::size_t e = 0; e < act.size(); ++e) {
+    const double d = std::abs(act.data()[e] - qout.data()[e]);
+    max_abs = std::max(max_abs, d);
+    sum_sq += d * d;
+  }
+  report_.layers = stages_.size();
+  report_.calibration_rows = calibration.rows();
+  report_.max_abs_residual = max_abs;
+  report_.rms_residual =
+      act.size() > 0 ? std::sqrt(sum_sq / static_cast<double>(act.size())) : 0.0;
+}
+
+void QuantizedNetwork::predict_batch(const tensor::Matrix& inputs,
+                                     tensor::Matrix& outputs) const {
+  if (&inputs == &outputs) {
+    throw std::invalid_argument(
+        "QuantizedNetwork::predict_batch: outputs alias inputs");
+  }
+  if (inputs.cols() != input_dim_) {
+    throw std::invalid_argument(
+        "QuantizedNetwork::predict_batch: input dim mismatch");
+  }
+  const std::size_t rows = inputs.rows();
+  thread_local std::vector<std::int8_t> aq;
+  thread_local std::vector<std::int32_t> acc;
+  thread_local tensor::Matrix fp[2];
+
+  const tensor::Matrix* cur = &inputs;
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const Stage& st = stages_[s];
+    const double inv_ascale = 1.0 / st.ascale;
+    const double azero = static_cast<double>(st.azero);
+    aq.resize(rows * st.in_dim);
+    for (std::size_t e = 0; e < rows * st.in_dim; ++e) {
+      aq[e] = clamp_s8(cur->data()[e] * inv_ascale + azero);
+    }
+    acc.resize(rows * st.out_dim);
+    tensor::gemm_s8_s32(aq.data(), st.wq.data(), acc.data(), rows, st.in_dim,
+                        st.out_dim);
+    tensor::Matrix& dst =
+        s + 1 == stages_.size()
+            ? outputs
+            : (cur == &fp[0] ? fp[1] : fp[0]);
+    dst.resize(rows, st.out_dim);
+    for (std::size_t r = 0; r < rows; ++r) {
+      double* orow = dst.data() + r * st.out_dim;
+      const std::int32_t* arow = acc.data() + r * st.out_dim;
+      for (std::size_t c = 0; c < st.out_dim; ++c) {
+        orow[c] = st.ascale * st.wscale[c] *
+                      static_cast<double>(arow[c] - st.azero * st.colsum[c]) +
+                  st.bias[c];
+      }
+    }
+    // Activation over the whole stage output; tanh/relu ride the vector
+    // kernels (exact in-place aliasing is part of their contract).
+    const std::span<double> flat{dst.data(), dst.size()};
+    switch (st.activation) {
+      case Activation::kIdentity:
+        break;
+      case Activation::kTanh:
+        tensor::vtanh(flat, flat);
+        break;
+      case Activation::kRelu:
+        tensor::vrelu(flat, flat);
+        break;
+      default:
+        for (double& v : flat) v = activation_apply(st.activation, v);
+        break;
+    }
+    cur = &dst;
+  }
+}
+
+std::vector<double> QuantizedNetwork::predict(
+    std::span<const double> input) const {
+  thread_local tensor::Matrix in_row;
+  thread_local tensor::Matrix out_row;
+  in_row.resize(1, input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) in_row(0, i) = input[i];
+  predict_batch(in_row, out_row);
+  return {out_row.data(), out_row.data() + out_row.cols()};
+}
+
+}  // namespace le::nn

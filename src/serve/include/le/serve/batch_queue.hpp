@@ -88,7 +88,10 @@ class BatchQueue {
   [[nodiscard]] std::vector<double> query(std::span<const double> input);
 
   /// Stops accepting new submissions, serves what is queued, and joins.
-  /// Idempotent; the destructor calls it.
+  /// Idempotent AND safe to call from multiple threads concurrently (the
+  /// join is serialized internally); the destructor calls it.  Every
+  /// future handed out before stop() is resolved — with its row or with
+  /// the exception its batch's forward threw — before stop() returns.
   void stop();
 
   [[nodiscard]] BatchQueueStats stats() const;
@@ -120,6 +123,11 @@ class BatchQueue {
   std::condition_variable cv_;
   std::deque<Pending> pending_;
   bool stopping_ = false;
+  /// Serializes the join in stop(): joinable()+join() on one std::thread
+  /// from two racing stop() calls is undefined behavior (both can observe
+  /// joinable() before either joins).  Never held while requests are
+  /// served, so it cannot stall the serving path.
+  std::mutex stop_mutex_;
 
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> batches_{0};

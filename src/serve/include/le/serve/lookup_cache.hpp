@@ -93,6 +93,25 @@ class LookupCache {
   /// are ignored.
   void insert(std::span<const double> input, CachedAnswer answer);
 
+  /// The cache's invalidation era: clear() advances it.  A caller that
+  /// snapshots a model and will insert that model's answers later should
+  /// capture the epoch FIRST (before the model snapshot) and insert through
+  /// try_insert(); the ordering guarantees a stale-era answer can never
+  /// outlive the clear() that retired its model.
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// insert(), but dropped (returning false) unless the cache is still in
+  /// `expected_epoch`.  The check runs inside the shard lock, closing the
+  /// race where an in-flight query computed an answer under a surrogate
+  /// that replace_surrogate()/rollback has since retired: such an insert
+  /// either lands before clear()'s sweep (and is swept), or observes the
+  /// advanced epoch and is dropped.  Used by the dispatcher's gate-accepted
+  /// insert path.
+  bool try_insert(std::span<const double> input, CachedAnswer answer,
+                  std::uint64_t expected_epoch);
+
   [[nodiscard]] LookupCacheStats stats() const;
   /// Live entry count over all shards.
   [[nodiscard]] std::size_t size() const noexcept {
@@ -137,6 +156,8 @@ class LookupCache {
   LookupCacheConfig config_;
   std::size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Invalidation era; clear() advances it before sweeping the shards.
+  std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::size_t> entries_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};

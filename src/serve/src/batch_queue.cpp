@@ -28,10 +28,16 @@ BatchQueue::~BatchQueue() { stop(); }
 void BatchQueue::stop() {
   {
     std::lock_guard lock(mutex_);
-    if (stopping_ && !server_.joinable()) return;
     stopping_ = true;
   }
   cv_.notify_all();
+  // The old fast-path ("stopping_ && !joinable() -> return") read the
+  // thread object while another stop() could be inside join() — a data
+  // race, and both callers could pass the joinable() check and double-
+  // join.  stop_mutex_ serializes the join; losers wait until the drain
+  // completes, preserving stop()'s "all futures resolved" postcondition
+  // for every caller.
+  std::lock_guard join_lock(stop_mutex_);
   if (server_.joinable()) server_.join();
 }
 

@@ -121,13 +121,25 @@ bool LookupCache::find(std::span<const double> input, CachedAnswer& out) {
 }
 
 void LookupCache::insert(std::span<const double> input, CachedAnswer answer) {
-  if (!all_finite(input)) return;
+  (void)try_insert(input, std::move(answer),
+                   epoch_.load(std::memory_order_acquire));
+}
+
+bool LookupCache::try_insert(std::span<const double> input, CachedAnswer answer,
+                             std::uint64_t expected_epoch) {
+  if (!all_finite(input)) return false;
   static thread_local Key key;
   quantize_into(input, config_.resolution, key);
   Shard& shard = shard_for(key);
   bool evicted = false;
   {
     std::lock_guard lock(shard.mutex);
+    // Epoch check inside the shard lock: either this insert precedes
+    // clear()'s sweep of this shard (and the sweep removes it), or the
+    // sweep's preceding epoch bump is visible here and the insert drops.
+    if (epoch_.load(std::memory_order_acquire) != expected_epoch) {
+      return false;
+    }
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       it->second->answer = std::move(answer);
@@ -151,6 +163,7 @@ void LookupCache::insert(std::span<const double> input, CachedAnswer answer) {
   if (metric_entries_) {
     metric_entries_->set(static_cast<double>(size()));
   }
+  return true;
 }
 
 LookupCacheStats LookupCache::stats() const {
@@ -164,6 +177,10 @@ LookupCacheStats LookupCache::stats() const {
 }
 
 void LookupCache::clear() {
+  // Epoch advances BEFORE the sweep: any try_insert still carrying the old
+  // epoch either lands before its shard is swept (removed below) or sees
+  // the new epoch under the shard lock and drops itself.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   for (auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
     shard->lru.clear();

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "le/tensor/matrix.hpp"
+#include "le/tensor/simd.hpp"
 
 namespace le::tensor {
 
@@ -22,13 +24,74 @@ struct GemmBlocking {
   std::size_t nc = 64;  ///< cols of B per macro block
 };
 
+/// A complete kernel choice for one GEMM call site: which micro-kernel
+/// family runs it and at what blocking.  The per-layer inference autotuner
+/// (nn::Network::autotune_inference, the ATLAS example generalized) searches
+/// this space per layer shape; kAuto defers the kernel pick to
+/// active_gemm_kernel() at call time.
+struct GemmPlan {
+  GemmKernel kernel = GemmKernel::kAuto;
+  GemmBlocking blocking;
+};
+
 /// out = A * B (reference triple loop, ikj order). Shapes must conform.
+/// `out` must not alias `a` or `b` (all gemm variants zero `out` first).
 void gemm_naive(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// out = A * B with cache blocking. Bit-for-bit identical accumulation order
 /// is NOT guaranteed relative to gemm_naive; results agree to rounding.
 void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& out,
                   const GemmBlocking& blocking = {});
+
+/// out = A * B through the AVX2+FMA register-tiled micro-kernel (4x8 tiles
+/// inside the same macro-block structure as gemm_blocked; tail rows/columns
+/// fall back to the proven scalar inner loops).  Precondition:
+/// cpu_has_avx2_fma() — call through gemm() for the checked dispatch.
+/// Accumulation order differs from the scalar kernels; results agree to the
+/// tolerance documented in DESIGN.md section 13.
+void gemm_avx2(const Matrix& a, const Matrix& b, Matrix& out,
+               const GemmBlocking& blocking = {});
+
+/// out = A * B through the plan's kernel: kAuto resolves via
+/// active_gemm_kernel() (CPUID + LE_KERNEL override), and a kernel the CPU
+/// cannot run degrades to scalar rather than faulting.  This is the single
+/// entry point of the serving hot path (nn::Layer::infer).
+void gemm(const Matrix& a, const Matrix& b, Matrix& out,
+          const GemmPlan& plan = {});
+
+/// int8 GEMM with int32 accumulation for quantized inference:
+/// c[i,j] = sum_p a[i,p] * b[p,j], row-major, no blocking (the shapes on
+/// the quantized path are single layers, small enough to stream).  The
+/// active kernel picks a SIMD implementation when available; the scalar
+/// form is the reference.  Exact: integer accumulation is order-invariant,
+/// so every kernel returns bit-identical results.
+void gemm_s8_s32(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+                 std::size_t m, std::size_t k, std::size_t n);
+
+/// Reference scalar int8 GEMM (same contract as gemm_s8_s32).
+void gemm_s8_s32_scalar(const std::int8_t* a, const std::int8_t* b,
+                        std::int32_t* c, std::size_t m, std::size_t k,
+                        std::size_t n);
+
+/// AVX2 int8 GEMM (same contract; precondition cpu_has_avx2_fma()).
+void gemm_s8_s32_avx2(const std::int8_t* a, const std::int8_t* b,
+                      std::int32_t* c, std::size_t m, std::size_t k,
+                      std::size_t n);
+
+/// Elementwise y = tanh(x) through the active kernel.  The scalar kernel is
+/// std::tanh exactly; the AVX2 kernel uses a clamped rational minimax
+/// approximation whose absolute error vs std::tanh is < 1e-7 (part of the
+/// DESIGN.md section 13 tolerance contract).  x and y may alias exactly.
+void vtanh(std::span<const double> x, std::span<double> y);
+
+/// Elementwise y = max(x, 0) through the active kernel; exact on all paths.
+/// x and y may alias exactly.
+void vrelu(std::span<const double> x, std::span<double> y);
+
+/// AVX2 implementations (precondition cpu_has_avx2_fma()); vtanh/vrelu
+/// dispatch here when the active kernel is kAvx2.
+void vtanh_avx2(std::span<const double> x, std::span<double> y);
+void vrelu_avx2(std::span<const double> x, std::span<double> y);
 
 /// Convenience allocating wrappers.
 [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);

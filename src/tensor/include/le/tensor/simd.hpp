@@ -1,0 +1,67 @@
+/// @file
+/// Runtime SIMD kernel dispatch for the inference hot path.
+///
+/// The serving tier is math-floor-bound (E13): per-query cost is dominated
+/// by the small-GEMM forward pass, so the S -> T_seq/T_lookup limit of the
+/// paper's Section III-D effective-speedup equation is capped by kernel
+/// throughput.  This header resolves, once per process, which GEMM
+/// micro-kernel family the hardware can run (CPUID) and which one the
+/// operator asked for (the LE_KERNEL environment override), and exposes the
+/// result to tensor::gemm() and the per-layer autotuner.
+///
+/// Dispatch contract:
+///   - kScalar is always available and is the correctness reference; every
+///     other kernel must agree with it to the documented tolerance
+///     (DESIGN.md section 13).
+///   - kAvx2 is selected only when CPUID reports AVX2 *and* FMA; forcing it
+///     on unsupported hardware falls back to scalar rather than faulting.
+///   - LE_KERNEL=scalar|avx2|auto overrides the automatic choice for tests
+///     and benches (auto = CPUID pick); set_gemm_kernel_override() does the
+///     same in-process.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace le::tensor {
+
+/// GEMM micro-kernel families, in increasing hardware requirement order.
+enum class GemmKernel {
+  kAuto,    ///< resolve via active_gemm_kernel() at call time
+  kScalar,  ///< portable blocked reference kernel (gemm_blocked)
+  kAvx2,    ///< AVX2+FMA register-tiled micro-kernel (gemm_avx2)
+};
+
+[[nodiscard]] std::string to_string(GemmKernel kernel);
+
+/// Parses "auto", "scalar" or "avx2" (the LE_KERNEL vocabulary); throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] GemmKernel gemm_kernel_from_string(const std::string& name);
+
+/// True when CPUID reports both AVX2 and FMA, i.e. gemm_avx2 may run.
+[[nodiscard]] bool cpu_has_avx2_fma() noexcept;
+
+/// The kernel the process resolved at first use: the LE_KERNEL environment
+/// override when set (invalid values fall back to auto with a one-time
+/// stderr warning), otherwise the best CPUID-supported kernel.  Never
+/// returns kAuto, and never returns a kernel the CPU cannot run.
+[[nodiscard]] GemmKernel default_gemm_kernel() noexcept;
+
+/// In-process override for tests and benches: forces active_gemm_kernel()
+/// to `kernel` (nullopt restores the default).  A forced kAvx2 on hardware
+/// without AVX2/FMA still resolves to kScalar — the override selects among
+/// runnable kernels, it cannot make hardware appear.
+void set_gemm_kernel_override(std::optional<GemmKernel> kernel) noexcept;
+
+/// The kernel gemm() dispatches to right now: the override when one is
+/// set, else default_gemm_kernel().  Never kAuto, always runnable.
+[[nodiscard]] GemmKernel active_gemm_kernel() noexcept;
+
+/// True when the kernel choice was pinned explicitly — LE_KERNEL named a
+/// concrete kernel (not "auto"), or set_gemm_kernel_override() holds a
+/// value.  A pinned choice is an operator escape hatch: tensor::gemm()
+/// honors it even over a per-layer tuned GemmPlan, so LE_KERNEL=scalar
+/// reliably forces the reference kernel everywhere.
+[[nodiscard]] bool gemm_kernel_forced() noexcept;
+
+}  // namespace le::tensor

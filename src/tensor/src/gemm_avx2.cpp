@@ -1,0 +1,284 @@
+// AVX2+FMA GEMM micro-kernels.  This translation unit (alone in le_tensor)
+// is compiled with -mavx2 -mfma; nothing here may run unless
+// cpu_has_avx2_fma() — the tensor::gemm() dispatcher enforces that, so the
+// library still loads and runs on pre-AVX2 hardware.
+//
+// Structure: gemm_avx2 keeps gemm_blocked's macro-block loop nest (the
+// blocking proven by the tail-shape property suite in tests/test_tensor.cpp
+// and tuned by the ATLAS-style autotuner) and replaces the innermost
+// scalar loops with a 4x8 register tile: 4 rows of A broadcast against two
+// 4-wide column vectors of B, eight FMA accumulators resident in ymm
+// registers across the whole kc extent.  Tail rows (<4) and tail columns
+// (<4) fall back to the scalar inner loop, so odd shapes stay correct
+// without a packed-edge code path.
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "le/tensor/ops.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+
+namespace le::tensor {
+
+namespace {
+
+// C tile[4][8] += A[4 rows, kc] * B[kc, 8 cols]; all pointers are into the
+// full row-major matrices (lda/ldb/ldc are the parent row strides).
+inline void tile_4x8(const double* a, std::size_t lda, const double* b,
+                     std::size_t ldb, double* c, std::size_t ldc,
+                     std::size_t kc) {
+  __m256d c00 = _mm256_loadu_pd(c + 0 * ldc);
+  __m256d c01 = _mm256_loadu_pd(c + 0 * ldc + 4);
+  __m256d c10 = _mm256_loadu_pd(c + 1 * ldc);
+  __m256d c11 = _mm256_loadu_pd(c + 1 * ldc + 4);
+  __m256d c20 = _mm256_loadu_pd(c + 2 * ldc);
+  __m256d c21 = _mm256_loadu_pd(c + 2 * ldc + 4);
+  __m256d c30 = _mm256_loadu_pd(c + 3 * ldc);
+  __m256d c31 = _mm256_loadu_pd(c + 3 * ldc + 4);
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256d b0 = _mm256_loadu_pd(b + p * ldb);
+    const __m256d b1 = _mm256_loadu_pd(b + p * ldb + 4);
+    const __m256d a0 = _mm256_broadcast_sd(a + 0 * lda + p);
+    c00 = _mm256_fmadd_pd(a0, b0, c00);
+    c01 = _mm256_fmadd_pd(a0, b1, c01);
+    const __m256d a1 = _mm256_broadcast_sd(a + 1 * lda + p);
+    c10 = _mm256_fmadd_pd(a1, b0, c10);
+    c11 = _mm256_fmadd_pd(a1, b1, c11);
+    const __m256d a2 = _mm256_broadcast_sd(a + 2 * lda + p);
+    c20 = _mm256_fmadd_pd(a2, b0, c20);
+    c21 = _mm256_fmadd_pd(a2, b1, c21);
+    const __m256d a3 = _mm256_broadcast_sd(a + 3 * lda + p);
+    c30 = _mm256_fmadd_pd(a3, b0, c30);
+    c31 = _mm256_fmadd_pd(a3, b1, c31);
+  }
+  _mm256_storeu_pd(c + 0 * ldc, c00);
+  _mm256_storeu_pd(c + 0 * ldc + 4, c01);
+  _mm256_storeu_pd(c + 1 * ldc, c10);
+  _mm256_storeu_pd(c + 1 * ldc + 4, c11);
+  _mm256_storeu_pd(c + 2 * ldc, c20);
+  _mm256_storeu_pd(c + 2 * ldc + 4, c21);
+  _mm256_storeu_pd(c + 3 * ldc, c30);
+  _mm256_storeu_pd(c + 3 * ldc + 4, c31);
+}
+
+// C tile[rows][4] += A[rows, kc] * B[kc, 4 cols], rows in 1..4.
+inline void tile_rx4(const double* a, std::size_t lda, const double* b,
+                     std::size_t ldb, double* c, std::size_t ldc,
+                     std::size_t kc, std::size_t rows) {
+  __m256d acc[4];
+  for (std::size_t r = 0; r < rows; ++r) acc[r] = _mm256_loadu_pd(c + r * ldc);
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256d b0 = _mm256_loadu_pd(b + p * ldb);
+    for (std::size_t r = 0; r < rows; ++r) {
+      acc[r] = _mm256_fmadd_pd(_mm256_broadcast_sd(a + r * lda + p), b0,
+                               acc[r]);
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r) _mm256_storeu_pd(c + r * ldc, acc[r]);
+}
+
+}  // namespace
+
+void gemm_avx2(const Matrix& a, const Matrix& b, Matrix& out,
+               const GemmBlocking& blocking) {
+  if (a.cols() != b.rows() || out.rows() != a.rows() ||
+      out.cols() != b.cols()) {
+    throw std::invalid_argument("gemm: shape mismatch");
+  }
+  if (&out == &a || &out == &b) {
+    throw std::invalid_argument("gemm: out must not alias an input");
+  }
+  if (blocking.mc == 0 || blocking.kc == 0 || blocking.nc == 0) {
+    throw std::invalid_argument("gemm_avx2: block sizes must be positive");
+  }
+  out.fill(0.0);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = out.data();
+  for (std::size_t i0 = 0; i0 < m; i0 += blocking.mc) {
+    const std::size_t i1 = std::min(i0 + blocking.mc, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += blocking.kc) {
+      const std::size_t p1 = std::min(p0 + blocking.kc, k);
+      const std::size_t kc = p1 - p0;
+      for (std::size_t j0 = 0; j0 < n; j0 += blocking.nc) {
+        const std::size_t j1 = std::min(j0 + blocking.nc, n);
+        std::size_t i = i0;
+        for (; i + 4 <= i1; i += 4) {
+          std::size_t j = j0;
+          for (; j + 8 <= j1; j += 8) {
+            tile_4x8(pa + i * k + p0, k, pb + p0 * n + j, n, pc + i * n + j,
+                     n, kc);
+          }
+          for (; j + 4 <= j1; j += 4) {
+            tile_rx4(pa + i * k + p0, k, pb + p0 * n + j, n, pc + i * n + j,
+                     n, kc, 4);
+          }
+          if (j < j1) {
+            // Column tail (<4): scalar inner loop, gemm_blocked order.
+            for (std::size_t r = i; r < i + 4; ++r) {
+              double* orow = pc + r * n;
+              for (std::size_t p = p0; p < p1; ++p) {
+                const double aip = pa[r * k + p];
+                const double* brow = pb + p * n;
+                for (std::size_t jj = j; jj < j1; ++jj) {
+                  orow[jj] += aip * brow[jj];
+                }
+              }
+            }
+          }
+        }
+        if (i < i1) {
+          // Row tail (<4 rows): 4-wide columns, then scalar column tail.
+          std::size_t j = j0;
+          for (; j + 4 <= j1; j += 4) {
+            tile_rx4(pa + i * k + p0, k, pb + p0 * n + j, n, pc + i * n + j,
+                     n, kc, i1 - i);
+          }
+          for (std::size_t r = i; r < i1; ++r) {
+            double* orow = pc + r * n;
+            for (std::size_t p = p0; p < p1; ++p) {
+              const double aip = pa[r * k + p];
+              const double* brow = pb + p * n;
+              for (std::size_t jj = j; jj < j1; ++jj) {
+                orow[jj] += aip * brow[jj];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_s8_s32_avx2(const std::int8_t* a, const std::int8_t* b,
+                      std::int32_t* c, std::size_t m, std::size_t k,
+                      std::size_t n) {
+  // Vectorized over the output columns: widen 8 int8 weights to int32 and
+  // FMA-like accumulate against the broadcast activation.  int32
+  // accumulation is exact and order-invariant, so this is bit-identical to
+  // the scalar reference.
+  for (std::size_t i = 0; i < m; ++i) {
+    std::int32_t* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) crow[j] = 0;
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::int32_t aip = a[i * k + p];
+      const __m256i va = _mm256_set1_epi32(aip);
+      const std::int8_t* brow = b + p * n;
+      std::size_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        const __m128i b8 =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(brow + j));
+        const __m256i vb = _mm256_cvtepi8_epi32(b8);
+        const __m256i prod = _mm256_mullo_epi32(va, vb);
+        __m256i acc =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(crow + j));
+        acc = _mm256_add_epi32(acc, prod);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + j), acc);
+      }
+      for (; j < n; ++j) crow[j] += aip * static_cast<std::int32_t>(brow[j]);
+    }
+  }
+}
+
+void vtanh_avx2(std::span<const double> x, std::span<double> y) {
+  // Rational minimax approximation (numerator degree 13 odd / denominator
+  // degree 6 even, the widely used fast-tanh form) with input clamped to
+  // [-9, 9] where tanh has saturated to within 4e-8 of +-1.  Absolute error
+  // vs std::tanh is < 1e-7 over the whole real line — the serving-path
+  // tolerance contract of DESIGN.md section 13.  The scalar tail uses the
+  // same polynomial so a vector/tail boundary cannot introduce a step.
+  constexpr double kClamp = 9.0;
+  constexpr double a1 = 4.89352455891786e-03;
+  constexpr double a3 = 6.37261928875436e-04;
+  constexpr double a5 = 1.48572235717979e-05;
+  constexpr double a7 = 5.12229709037114e-08;
+  constexpr double a9 = -8.60467152213735e-11;
+  constexpr double a11 = 2.00018790482477e-13;
+  constexpr double a13 = -2.76076847742355e-16;
+  constexpr double b0 = 4.89352518554385e-03;
+  constexpr double b2 = 2.26843463243900e-03;
+  constexpr double b4 = 1.18534705686654e-04;
+  constexpr double b6 = 1.19825839466702e-06;
+
+  const auto tanh4 = [&](__m256d v) {
+    const __m256d vclamp = _mm256_set1_pd(kClamp);
+    const __m256d vnclamp = _mm256_set1_pd(-kClamp);
+    v = _mm256_min_pd(_mm256_max_pd(v, vnclamp), vclamp);
+    const __m256d v2 = _mm256_mul_pd(v, v);
+    __m256d p = _mm256_set1_pd(a13);
+    p = _mm256_fmadd_pd(p, v2, _mm256_set1_pd(a11));
+    p = _mm256_fmadd_pd(p, v2, _mm256_set1_pd(a9));
+    p = _mm256_fmadd_pd(p, v2, _mm256_set1_pd(a7));
+    p = _mm256_fmadd_pd(p, v2, _mm256_set1_pd(a5));
+    p = _mm256_fmadd_pd(p, v2, _mm256_set1_pd(a3));
+    p = _mm256_fmadd_pd(p, v2, _mm256_set1_pd(a1));
+    p = _mm256_mul_pd(p, v);
+    __m256d q = _mm256_set1_pd(b6);
+    q = _mm256_fmadd_pd(q, v2, _mm256_set1_pd(b4));
+    q = _mm256_fmadd_pd(q, v2, _mm256_set1_pd(b2));
+    q = _mm256_fmadd_pd(q, v2, _mm256_set1_pd(b0));
+    return _mm256_div_pd(p, q);
+  };
+
+  const std::size_t n = x.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y.data() + i, tanh4(_mm256_loadu_pd(x.data() + i)));
+  }
+  if (i < n) {
+    // Tail (<4): run the identical vector code on a padded copy so every
+    // element sees bit-for-bit the same arithmetic regardless of where it
+    // lands in a span — predict (1 row) and predict_batch (b rows) must
+    // agree exactly.
+    alignas(32) double pad_in[4] = {0.0, 0.0, 0.0, 0.0};
+    alignas(32) double pad_out[4];
+    for (std::size_t r = i; r < n; ++r) pad_in[r - i] = x[r];
+    _mm256_store_pd(pad_out, tanh4(_mm256_load_pd(pad_in)));
+    for (std::size_t r = i; r < n; ++r) y[r] = pad_out[r - i];
+  }
+}
+
+void vrelu_avx2(std::span<const double> x, std::span<double> y) {
+  const std::size_t n = x.size();
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y.data() + i,
+                     _mm256_max_pd(_mm256_loadu_pd(x.data() + i), zero));
+  }
+  for (; i < n; ++i) y[i] = x[i] > 0.0 ? x[i] : 0.0;
+}
+
+}  // namespace le::tensor
+
+#else  // non-x86: keep the symbols linkable; dispatch never selects them
+       // because cpu_has_avx2_fma() is constant false.
+
+namespace le::tensor {
+
+void gemm_avx2(const Matrix& a, const Matrix& b, Matrix& out,
+               const GemmBlocking& blocking) {
+  gemm_blocked(a, b, out, blocking);
+}
+
+void gemm_s8_s32_avx2(const std::int8_t* a, const std::int8_t* b,
+                      std::int32_t* c, std::size_t m, std::size_t k,
+                      std::size_t n) {
+  gemm_s8_s32_scalar(a, b, c, m, k, n);
+}
+
+void vtanh_avx2(std::span<const double> x, std::span<double> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::tanh(x[i]);
+}
+
+void vrelu_avx2(std::span<const double> x, std::span<double> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0 ? x[i] : 0.0;
+}
+
+}  // namespace le::tensor
+
+#endif
+

@@ -12,6 +12,12 @@ void check_gemm_shapes(const Matrix& a, const Matrix& b, const Matrix& out) {
   if (a.cols() != b.rows() || out.rows() != a.rows() || out.cols() != b.cols()) {
     throw std::invalid_argument("gemm: shape mismatch");
   }
+  // Every kernel zeroes `out` before accumulating, so an aliased output
+  // silently corrupts the product; surfaced by the hot-path correctness
+  // sweep, now a hard error in all gemm variants.
+  if (&out == &a || &out == &b) {
+    throw std::invalid_argument("gemm: out must not alias an input");
+  }
 }
 
 }  // namespace
@@ -61,10 +67,91 @@ void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& out,
   }
 }
 
+void gemm(const Matrix& a, const Matrix& b, Matrix& out,
+          const GemmPlan& plan) {
+  // A pinned process-wide kernel (LE_KERNEL or set_gemm_kernel_override) is
+  // the operator escape hatch and wins even over an explicit per-layer plan;
+  // otherwise the plan decides, with kAuto deferring to the CPUID pick.
+  GemmKernel kernel =
+      gemm_kernel_forced() || plan.kernel == GemmKernel::kAuto
+          ? active_gemm_kernel()
+          : plan.kernel;
+  if (kernel == GemmKernel::kAvx2 && !cpu_has_avx2_fma()) {
+    kernel = GemmKernel::kScalar;  // degrade, never fault
+  }
+  switch (kernel) {
+    case GemmKernel::kAvx2:
+      gemm_avx2(a, b, out, plan.blocking);
+      return;
+    case GemmKernel::kAuto:
+    case GemmKernel::kScalar:
+      gemm_blocked(a, b, out, plan.blocking);
+      return;
+  }
+}
+
+void gemm_s8_s32_scalar(const std::int8_t* a, const std::int8_t* b,
+                        std::int32_t* c, std::size_t m, std::size_t k,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    std::int32_t* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) crow[j] = 0;
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::int32_t aip = a[i * k + p];
+      const std::int8_t* brow = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += aip * static_cast<std::int32_t>(brow[j]);
+      }
+    }
+  }
+}
+
+void gemm_s8_s32(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+                 std::size_t m, std::size_t k, std::size_t n) {
+  if (active_gemm_kernel() == GemmKernel::kAvx2) {
+    gemm_s8_s32_avx2(a, b, c, m, k, n);
+  } else {
+    gemm_s8_s32_scalar(a, b, c, m, k, n);
+  }
+}
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   Matrix out(a.rows(), b.cols());
   gemm_naive(a, b, out);
   return out;
+}
+
+namespace {
+
+void check_elementwise_spans(std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("elementwise op: length mismatch");
+  }
+  // Exact aliasing (in-place) is fine; partial overlap is not.
+  if (x.data() != y.data() &&
+      x.data() < y.data() + y.size() && y.data() < x.data() + x.size()) {
+    throw std::invalid_argument("elementwise op: partial overlap");
+  }
+}
+
+}  // namespace
+
+void vtanh(std::span<const double> x, std::span<double> y) {
+  check_elementwise_spans(x, y);
+  if (active_gemm_kernel() == GemmKernel::kAvx2) {
+    vtanh_avx2(x, y);
+    return;
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::tanh(x[i]);
+}
+
+void vrelu(std::span<const double> x, std::span<double> y) {
+  check_elementwise_spans(x, y);
+  if (active_gemm_kernel() == GemmKernel::kAvx2) {
+    vrelu_avx2(x, y);
+    return;
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0 ? x[i] : 0.0;
 }
 
 void matvec(const Matrix& a, std::span<const double> x, std::span<double> out) {

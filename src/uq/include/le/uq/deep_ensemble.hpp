@@ -29,6 +29,18 @@ class DeepEnsemble final : public UqModel {
   [[nodiscard]] std::size_t output_dim() const override;
   [[nodiscard]] std::size_t member_count() const noexcept { return members_.size(); }
 
+  /// Tunes every member's per-layer GEMM plans; choices concatenate in
+  /// member order (see UqModel).
+  std::vector<nn::LayerPlanChoice> autotune_inference(
+      std::size_t batch_hint) override {
+    std::vector<nn::LayerPlanChoice> all;
+    for (nn::Network& member : members_) {
+      auto choices = member.autotune_inference(batch_hint);
+      all.insert(all.end(), choices.begin(), choices.end());
+    }
+    return all;
+  }
+
  private:
   std::vector<nn::Network> members_;
 };

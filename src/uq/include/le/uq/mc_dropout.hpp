@@ -38,6 +38,12 @@ class McDropoutEnsemble final : public UqModel {
   [[nodiscard]] std::vector<double> predict_mean_only(
       std::span<const double> input);
 
+  /// Tunes the wrapped network's per-layer GEMM plans (see UqModel).
+  std::vector<nn::LayerPlanChoice> autotune_inference(
+      std::size_t batch_hint) override {
+    return network_.autotune_inference(batch_hint);
+  }
+
   [[nodiscard]] nn::Network& network() noexcept { return network_; }
 
  private:

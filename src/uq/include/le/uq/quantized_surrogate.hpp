@@ -1,0 +1,52 @@
+/// @file
+/// UqModel adapter for int8 post-training-quantized surrogates.
+///
+/// A QuantizedNetwork is a deterministic snapshot: it carries no epistemic
+/// spread of its own, but it does carry a *known* error bound — the
+/// calibration residual measured against the fp network it was quantized
+/// from.  This adapter reports that bound as a constant per-output stddev,
+/// so the dispatcher's existing UQ gate (score <= threshold) naturally
+/// bounds quantization error: a quantized model whose residual exceeds the
+/// gate can never answer, and one inside the gate answers with its honest
+/// added-error margin attached (cache entries inherit it too).
+#pragma once
+
+#include <memory>
+
+#include "le/nn/quantized.hpp"
+#include "le/uq/uq_model.hpp"
+
+namespace le::uq {
+
+class QuantizedSurrogate final : public UqModel {
+ public:
+  /// `added_error` defaults to the network's measured calibration residual;
+  /// pass a larger value to serve with extra margin (e.g. residual measured
+  /// on a held-out set).  Throws std::invalid_argument on null network or a
+  /// non-finite/negative margin.
+  explicit QuantizedSurrogate(std::shared_ptr<const nn::QuantizedNetwork> net,
+                              double added_error = -1.0);
+
+  [[nodiscard]] Prediction predict(std::span<const double> input) override;
+  [[nodiscard]] std::vector<Prediction> predict_batch(
+      const tensor::Matrix& inputs) override;
+
+  [[nodiscard]] std::size_t input_dim() const override {
+    return net_->input_dim();
+  }
+  [[nodiscard]] std::size_t output_dim() const override {
+    return net_->output_dim();
+  }
+
+  /// The constant stddev this adapter reports (the quantization bound).
+  [[nodiscard]] double added_error() const noexcept { return added_error_; }
+  [[nodiscard]] const nn::QuantizedNetwork& network() const noexcept {
+    return *net_;
+  }
+
+ private:
+  std::shared_ptr<const nn::QuantizedNetwork> net_;
+  double added_error_;
+};
+
+}  // namespace le::uq

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "le/nn/network.hpp"
 #include "le/tensor/matrix.hpp"
 
 namespace le::uq {
@@ -37,6 +38,18 @@ class UqModel {
 
   [[nodiscard]] virtual std::size_t input_dim() const = 0;
   [[nodiscard]] virtual std::size_t output_dim() const = 0;
+
+  /// Startup kernel autotuning hook (the paper's ATLAS example applied to
+  /// serving): implementations that own nn::Networks forward to
+  /// Network::autotune_inference on each, so every dense layer gets the
+  /// fastest (kernel, blocking) plan for its shape at `batch_hint` rows.
+  /// Returns the per-layer decisions, concatenated over member networks;
+  /// the default no-op suits models with no tunable GEMM.
+  virtual std::vector<nn::LayerPlanChoice> autotune_inference(
+      std::size_t batch_hint) {
+    (void)batch_hint;
+    return {};
+  }
 };
 
 }  // namespace le::uq

@@ -1,0 +1,45 @@
+#include "le/uq/quantized_surrogate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace le::uq {
+
+QuantizedSurrogate::QuantizedSurrogate(
+    std::shared_ptr<const nn::QuantizedNetwork> net, double added_error)
+    : net_(std::move(net)) {
+  if (!net_) {
+    throw std::invalid_argument("QuantizedSurrogate: null network");
+  }
+  added_error_ =
+      added_error < 0.0 ? net_->report().max_abs_residual : added_error;
+  if (!std::isfinite(added_error_) || added_error_ < 0.0) {
+    throw std::invalid_argument("QuantizedSurrogate: bad added_error");
+  }
+}
+
+Prediction QuantizedSurrogate::predict(std::span<const double> input) {
+  Prediction p;
+  p.mean = net_->predict(input);
+  p.stddev.assign(p.mean.size(), added_error_);
+  return p;
+}
+
+std::vector<Prediction> QuantizedSurrogate::predict_batch(
+    const tensor::Matrix& inputs) {
+  if (inputs.cols() != input_dim()) {
+    throw std::invalid_argument(
+        "QuantizedSurrogate::predict_batch: input dim mismatch");
+  }
+  thread_local tensor::Matrix out;
+  net_->predict_batch(inputs, out);
+  std::vector<Prediction> predictions(inputs.rows());
+  for (std::size_t r = 0; r < inputs.rows(); ++r) {
+    predictions[r].mean.assign(out.data() + r * out.cols(),
+                               out.data() + (r + 1) * out.cols());
+    predictions[r].stddev.assign(out.cols(), added_error_);
+  }
+  return predictions;
+}
+
+}  // namespace le::uq

@@ -190,5 +190,33 @@ TEST(MdAutotune, BuildDatasetLabelsPoints) {
   EXPECT_GT(ds.target(0)[0], 0.0);
 }
 
+TEST(GemmTuner, PlanSearchCoversTheKernelAxis) {
+  GemmTuneConfig cfg;
+  cfg.matrix_size = 64;
+  cfg.repetitions = 1;
+  ModelGuidedConfig search;
+  search.budget = 8;
+  search.warmup = 4;
+  search.pool = 40;
+  search.epochs_per_round = 20;
+  Rng rng(5);
+  const GemmPlanTuneOutcome outcome = tune_gemm_plan(cfg, search, rng);
+
+  // One blocking search per runnable kernel family.
+  const std::size_t families = tensor::cpu_has_avx2_fma() ? 2u : 1u;
+  EXPECT_EQ(outcome.evaluations, families * search.budget);
+  EXPECT_GT(outcome.best_seconds, 0.0);
+  EXPECT_GT(outcome.scalar_best_seconds, 0.0);
+  // The joint winner can never lose to the scalar-only winner, and must
+  // name a concrete kernel the CPU can run.
+  EXPECT_LE(outcome.best_seconds, outcome.scalar_best_seconds);
+  EXPECT_NE(outcome.best.kernel, tensor::GemmKernel::kAuto);
+  if (!tensor::cpu_has_avx2_fma()) {
+    EXPECT_EQ(outcome.best.kernel, tensor::GemmKernel::kScalar);
+  }
+  EXPECT_GE(outcome.best.blocking.mc, cfg.block_min);
+  EXPECT_LE(outcome.best.blocking.mc, cfg.block_max);
+}
+
 }  // namespace
 }  // namespace le::autotune

@@ -1,0 +1,194 @@
+// Numerical-agreement suite for the inference micro-kernel layer
+// (DESIGN.md section 13): the scalar, AVX2 and int8 paths must agree on
+// serialized example networks within the documented tolerances, and the
+// CPUID/LE_KERNEL dispatch must fall back cleanly when pinned to scalar.
+//
+// tests/CMakeLists.txt registers this binary twice: once normally and once
+// with LE_KERNEL=scalar in the environment (ctest test
+// "kernel_agreement_forced_scalar"), which drives the forced-fallback
+// branch of KernelDispatch.HonorsLeKernelEnvironment and proves every
+// other test here also holds with SIMD pinned off.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "le/nn/network.hpp"
+#include "le/nn/quantized.hpp"
+#include "le/nn/serialize.hpp"
+#include "le/stats/rng.hpp"
+#include "le/tensor/ops.hpp"
+#include "le/tensor/simd.hpp"
+
+namespace le {
+namespace {
+
+using nn::Activation;
+using nn::Network;
+using stats::Rng;
+
+/// Restores the process-wide kernel override on scope exit.
+struct KernelOverrideGuard {
+  ~KernelOverrideGuard() { tensor::set_gemm_kernel_override(std::nullopt); }
+};
+
+/// An example network round-tripped through the serializer, so the
+/// agreement statements hold for deployed (loaded-from-bytes) models, not
+/// just freshly constructed ones.  Hidden widths are deliberately not
+/// multiples of the 4x8 register tile.
+Network serialized_example(Activation activation, unsigned seed) {
+  Rng rng(seed);
+  nn::MlpConfig cfg;
+  cfg.input_dim = 5;
+  cfg.hidden = {17, 9};
+  cfg.output_dim = 3;
+  cfg.activation = activation;
+  Network fresh = nn::make_mlp(cfg, rng);
+  std::stringstream bytes;
+  nn::save_network(bytes, fresh);
+  Rng load_rng(seed + 1);
+  return nn::load_network(bytes, load_rng);
+}
+
+tensor::Matrix example_inputs(std::size_t rows, std::size_t cols,
+                              unsigned seed) {
+  Rng rng(seed);
+  tensor::Matrix m(rows, cols);
+  for (double& v : m.flat()) v = rng.uniform(-2.0, 2.0);
+  return m;
+}
+
+double max_abs(const tensor::Matrix& a, const tensor::Matrix& b) {
+  return tensor::max_abs_diff(a, b);
+}
+
+TEST(KernelAgreement, ScalarAndAvx2AgreeOnSerializedNetworks) {
+  if (!tensor::cpu_has_avx2_fma()) {
+    GTEST_SKIP() << "no AVX2+FMA on this host";
+  }
+  KernelOverrideGuard guard;
+  for (Activation activation : {Activation::kTanh, Activation::kRelu}) {
+    Network net = serialized_example(activation, 101);
+    const tensor::Matrix inputs = example_inputs(33, 5, 102);
+
+    tensor::set_gemm_kernel_override(tensor::GemmKernel::kScalar);
+    const tensor::Matrix scalar = net.predict_batch(inputs);
+    tensor::set_gemm_kernel_override(tensor::GemmKernel::kAvx2);
+    const tensor::Matrix avx2 = net.predict_batch(inputs);
+
+    // Tolerance contract: the AVX2 GEMM differs from scalar only in
+    // summation order (rounding-scale, ~1e-14 at these widths); the
+    // vector tanh adds < 1e-7 per activation.  Two hidden activations at
+    // O(1) downstream gain bound the end-to-end gap well under 1e-5.
+    EXPECT_LT(max_abs(scalar, avx2), 1e-5);
+    // ReLU networks have no approximate activation: rounding-scale only.
+    if (activation == Activation::kRelu) {
+      EXPECT_LT(max_abs(scalar, avx2), 1e-12);
+    }
+  }
+}
+
+TEST(KernelAgreement, BatchedAndRowWisePathsAgreeBitwiseOnEveryKernel) {
+  KernelOverrideGuard guard;
+  std::vector<tensor::GemmKernel> kernels{tensor::GemmKernel::kScalar};
+  if (tensor::cpu_has_avx2_fma()) {
+    kernels.push_back(tensor::GemmKernel::kAvx2);
+  }
+  Network net = serialized_example(Activation::kTanh, 111);
+  const tensor::Matrix inputs = example_inputs(11, 5, 112);
+  for (const tensor::GemmKernel kernel : kernels) {
+    tensor::set_gemm_kernel_override(kernel);
+    const tensor::Matrix batched = net.predict_batch(inputs);
+    for (std::size_t r = 0; r < inputs.rows(); ++r) {
+      const auto single = net.predict(inputs.row(r));
+      for (std::size_t c = 0; c < single.size(); ++c) {
+        EXPECT_EQ(batched(r, c), single[c])
+            << "kernel " << static_cast<int>(kernel) << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(KernelAgreement, Int8PathStaysWithinItsReportedResidual) {
+  Network net = serialized_example(Activation::kTanh, 121);
+  const tensor::Matrix calib = example_inputs(128, 5, 122);
+  const nn::QuantizedNetwork quantized(net, calib);
+  const double bound = quantized.report().max_abs_residual;
+  EXPECT_GT(bound, 0.0);
+
+  const tensor::Matrix probe = example_inputs(31, 5, 123);
+  const tensor::Matrix fp = net.predict_batch(probe);
+  tensor::Matrix q;
+  quantized.predict_batch(probe, q);
+  // Out-of-sample slack: the calibration residual estimates the
+  // quantization-grid error, it is not a hard envelope.
+  EXPECT_LT(max_abs(fp, q), 4.0 * bound + 1e-6);
+}
+
+TEST(KernelAgreement, Int8AnswersAgreeAcrossKernelsWithinActivationError) {
+  if (!tensor::cpu_has_avx2_fma()) {
+    GTEST_SKIP() << "no AVX2+FMA on this host";
+  }
+  KernelOverrideGuard guard;
+  Network net = serialized_example(Activation::kTanh, 131);
+  const nn::QuantizedNetwork quantized(net, example_inputs(64, 5, 132));
+  const tensor::Matrix probe = example_inputs(9, 5, 133);
+
+  tensor::Matrix scalar, avx2;
+  tensor::set_gemm_kernel_override(tensor::GemmKernel::kScalar);
+  quantized.predict_batch(probe, scalar);
+  tensor::set_gemm_kernel_override(tensor::GemmKernel::kAvx2);
+  quantized.predict_batch(probe, avx2);
+  // The int8 GEMM itself is exact (integer accumulation); only the vector
+  // tanh (< 1e-7 per activation) separates the two kernels.
+  EXPECT_LT(max_abs(scalar, avx2), 1e-5);
+}
+
+TEST(KernelDispatch, HonorsLeKernelEnvironment) {
+  const char* env = std::getenv("LE_KERNEL");
+  if (env != nullptr && std::string(env) == "scalar") {
+    // The forced-fallback ctest variant: dispatch must resolve to scalar
+    // and be process-wide forced, trumping explicit per-layer plans.
+    EXPECT_EQ(tensor::active_gemm_kernel(), tensor::GemmKernel::kScalar);
+    EXPECT_TRUE(tensor::gemm_kernel_forced());
+
+    const tensor::Matrix a = example_inputs(6, 10, 141);
+    const tensor::Matrix b = example_inputs(10, 9, 142);
+    tensor::Matrix reference(6, 9), pinned(6, 9);
+    tensor::gemm_blocked(a, b, reference);
+    tensor::gemm(a, b, pinned,
+                 tensor::GemmPlan{tensor::GemmKernel::kAvx2, {}});
+    EXPECT_EQ(max_abs(reference, pinned), 0.0);  // bitwise: scalar ran
+  } else {
+    // Default resolution: a concrete kernel matching the CPUID probe.
+    EXPECT_EQ(tensor::active_gemm_kernel(),
+              tensor::cpu_has_avx2_fma() ? tensor::GemmKernel::kAvx2
+                                         : tensor::GemmKernel::kScalar);
+  }
+}
+
+TEST(KernelDispatch, AutotunedNetworkStillObeysAForcedScalarPin) {
+  // Even after per-layer tuning installed (possibly AVX2) plans, pinning
+  // the process to scalar must reproduce the pure-scalar answers bitwise
+  // — the operator escape hatch the LE_KERNEL=scalar ctest variant
+  // exercises end to end.
+  KernelOverrideGuard guard;
+  Network net = serialized_example(Activation::kTanh, 151);
+  const tensor::Matrix inputs = example_inputs(8, 5, 152);
+
+  tensor::set_gemm_kernel_override(tensor::GemmKernel::kScalar);
+  const tensor::Matrix pure_scalar = net.predict_batch(inputs);
+  tensor::set_gemm_kernel_override(std::nullopt);
+
+  (void)net.autotune_inference(8, {tensor::GemmBlocking{}}, 2);
+  tensor::set_gemm_kernel_override(tensor::GemmKernel::kScalar);
+  const tensor::Matrix pinned = net.predict_batch(inputs);
+  EXPECT_EQ(max_abs(pure_scalar, pinned), 0.0);
+}
+
+}  // namespace
+}  // namespace le

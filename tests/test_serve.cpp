@@ -420,4 +420,125 @@ TEST(BatchQueue, MetricsCountQueriesAndBatches) {
   EXPECT_GE(registry.counter("test.bq.batches").value(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Quantized-key bin boundaries and the epoch invalidation protocol
+// (the replace_surrogate/rollback cache-safety audit).
+// ---------------------------------------------------------------------------
+
+TEST(LookupCache, QuantizeRoundsHalfAwayFromZeroAtBinBoundaries) {
+  // llround semantics: .5 boundaries move away from zero in both signs, so
+  // bins are [k-0.5, k+0.5) for k > 0 and mirrored for k < 0 — adjacent
+  // bins can never both claim a boundary point.
+  const std::vector<double> input{0.5, -0.5, 0.4999999, -0.4999999,
+                                  1.5,  -1.5, 2.49,      -2.49};
+  const LookupCache::Key key = LookupCache::quantize(input, 1.0);
+  const LookupCache::Key expected{1, -1, 0, 0, 2, -2, 2, -2};
+  EXPECT_EQ(key, expected);
+  // Sub-unit resolution: the boundary between bins 0 and 1 sits at
+  // resolution/2, half-away-from-zero again.
+  EXPECT_EQ(LookupCache::quantize(std::vector<double>{0.124}, 0.25),
+            (LookupCache::Key{0}));
+  EXPECT_EQ(LookupCache::quantize(std::vector<double>{0.126}, 0.25),
+            (LookupCache::Key{1}));
+  EXPECT_EQ(LookupCache::quantize(std::vector<double>{0.125}, 0.25),
+            (LookupCache::Key{1}));
+}
+
+TEST(LookupCache, BoundaryNeighborsLandInDistinctBins) {
+  LookupCache cache(small_cache(8, 1, 0.25));
+  cache.insert(std::vector<double>{0.124}, {{1.0}, 0.0});
+  // Same bin (0.1/0.25 = 0.4 -> 0) hits; the far side of the 0.125
+  // boundary (0.126 -> bin 1) must miss rather than alias the entry.
+  EXPECT_TRUE(cache.find(std::vector<double>{0.1}).has_value());
+  EXPECT_FALSE(cache.find(std::vector<double>{0.126}).has_value());
+}
+
+TEST(LookupCache, EpochAdvancesOnClearAndStaleInsertsDrop) {
+  LookupCache cache(small_cache(8, 2, 1e-12));
+  const std::vector<double> input{1.0, 2.0};
+  const std::uint64_t era = cache.epoch();
+
+  EXPECT_TRUE(cache.try_insert(input, {{3.0}, 0.1}, era));
+  EXPECT_TRUE(cache.find(input).has_value());
+
+  cache.clear();
+  EXPECT_EQ(cache.epoch(), era + 1);
+  // The in-flight insert from the retired era is dropped, not applied.
+  EXPECT_FALSE(cache.try_insert(input, {{99.0}, 0.1}, era));
+  EXPECT_FALSE(cache.find(input).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+
+  // A current-era insert goes through.
+  EXPECT_TRUE(cache.try_insert(input, {{4.0}, 0.1}, cache.epoch()));
+  ASSERT_TRUE(cache.find(input).has_value());
+  EXPECT_EQ(cache.find(input)->values, (std::vector<double>{4.0}));
+}
+
+TEST(LookupCache, StaleEraAnswerNeverOutlivesTheClear) {
+  // Both interleavings of "insert under model A" vs "clear() retiring
+  // model A" must end with no A-era entry: the insert either lands before
+  // the sweep (and is swept) or observes the advanced epoch (and drops).
+  const std::vector<double> input{7.0};
+  {
+    LookupCache cache(small_cache(8, 2, 1e-12));
+    const std::uint64_t era = cache.epoch();
+    EXPECT_TRUE(cache.try_insert(input, {{1.0}, 0.0}, era));  // before clear
+    cache.clear();
+    EXPECT_FALSE(cache.find(input).has_value());
+  }
+  {
+    LookupCache cache(small_cache(8, 2, 1e-12));
+    const std::uint64_t era = cache.epoch();
+    cache.clear();                                             // clear first
+    EXPECT_FALSE(cache.try_insert(input, {{1.0}, 0.0}, era));  // then insert
+    EXPECT_FALSE(cache.find(input).has_value());
+  }
+}
+
+TEST(BatchQueue, ConcurrentStopCallsAllDrainAndJoinCleanly) {
+  // Regression for the stop()/stop() race: two callers could both pass the
+  // joinable() check and double-join the serving thread (UB).  Now the
+  // join is serialized; every stop() returns only after the drain, so
+  // futures handed out before any stop() resolve for all callers.
+  for (int round = 0; round < 8; ++round) {
+    BatchQueueConfig config;
+    config.max_batch = 4;
+    config.max_wait = std::chrono::microseconds(50);
+    config.input_dim = 1;
+    BatchQueue queue(
+        [](const le::tensor::Matrix& in) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          le::tensor::Matrix out(in.rows(), 1);
+          for (std::size_t r = 0; r < in.rows(); ++r) out(r, 0) = in(r, 0);
+          return out;
+        },
+        config);
+
+    constexpr int kRequests = 12;
+    std::vector<std::future<std::vector<double>>> futures;
+    futures.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i) {
+      futures.push_back(queue.submit(std::vector<double>{double(i)}));
+    }
+
+    constexpr int kStoppers = 4;
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(kStoppers);
+    for (int t = 0; t < kStoppers; ++t) {
+      stoppers.emplace_back([&queue] { queue.stop(); });
+    }
+    for (auto& thread : stoppers) thread.join();
+
+    // Post-stop postcondition (for every caller): all futures resolved.
+    for (int i = 0; i < kRequests; ++i) {
+      const auto row = futures[static_cast<std::size_t>(i)].get();
+      ASSERT_EQ(row.size(), 1u);
+      EXPECT_DOUBLE_EQ(row[0], double(i));
+    }
+    EXPECT_THROW((void)queue.submit(std::vector<double>{0.0}),
+                 std::runtime_error);
+    queue.stop();  // still idempotent after the concurrent burst
+  }
+}
+
 }  // namespace

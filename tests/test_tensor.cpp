@@ -1,10 +1,15 @@
 // Unit and property tests for the dense linear-algebra substrate.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <random>
+#include <span>
+#include <vector>
 
 #include "le/tensor/matrix.hpp"
 #include "le/tensor/ops.hpp"
+#include "le/tensor/simd.hpp"
 
 namespace le::tensor {
 namespace {
@@ -164,6 +169,207 @@ TEST(ElementWise, FrobeniusAndMaxDiff) {
   EXPECT_DOUBLE_EQ(frobenius_norm(a), 5.0);
   Matrix b{{3.0, 0.5}, {0.0, 4.0}};
   EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Micro-kernel layer: dispatch, tail shapes, int8 GEMM, vector activations.
+// Tolerances are the DESIGN.md section 13 contract.
+// ---------------------------------------------------------------------------
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::mt19937& gen) {
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix m(rows, cols);
+  for (double& v : m.flat()) v = dist(gen);
+  return m;
+}
+
+/// Restores the process-wide kernel override on scope exit so one test
+/// cannot leak a pinned kernel into the rest of the suite.
+struct KernelOverrideGuard {
+  ~KernelOverrideGuard() { set_gemm_kernel_override(std::nullopt); }
+};
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+/// Property (hot-path correctness sweep): every blocked/SIMD kernel agrees
+/// with gemm_naive on shapes that exercise tail blocks (non-multiples of
+/// both the macro blocking and the 4x8 register tile) and degenerate 0/1
+/// dimensions, across randomized blockings.
+TEST(GemmProperty, TailAndDegenerateShapesMatchNaiveUnderRandomBlockings) {
+  const GemmShape shapes[] = {
+      {0, 0, 0}, {0, 5, 3},  {4, 0, 6},   {3, 7, 0},   {1, 1, 1},
+      {1, 64, 1}, {2, 3, 5}, {37, 23, 41}, {65, 3, 9},  {5, 129, 8},
+      {4, 16, 8}, {3, 8, 7}, {12, 31, 19}, {128, 1, 17}};
+  std::mt19937 gen(2024);
+  std::uniform_int_distribution<std::size_t> block_dist(1, 160);
+  for (const GemmShape& s : shapes) {
+    const Matrix a = random_matrix(s.m, s.k, gen);
+    const Matrix b = random_matrix(s.k, s.n, gen);
+    Matrix expected(s.m, s.n), actual(s.m, s.n);
+    gemm_naive(a, b, expected);
+    for (int trial = 0; trial < 5; ++trial) {
+      const GemmBlocking blocking{block_dist(gen), block_dist(gen),
+                                  block_dist(gen)};
+      gemm_blocked(a, b, actual, blocking);
+      EXPECT_LT(max_abs_diff(expected, actual), 1e-12)
+          << "scalar " << s.m << "x" << s.k << "x" << s.n << " mc="
+          << blocking.mc << " kc=" << blocking.kc << " nc=" << blocking.nc;
+      if (cpu_has_avx2_fma()) {
+        gemm_avx2(a, b, actual, blocking);
+        EXPECT_LT(max_abs_diff(expected, actual), 1e-12)
+            << "avx2 " << s.m << "x" << s.k << "x" << s.n << " mc="
+            << blocking.mc << " kc=" << blocking.kc << " nc=" << blocking.nc;
+      }
+    }
+  }
+}
+
+TEST(GemmProperty, OutAliasingAnOperandThrows) {
+  Matrix a(4, 4, 1.0), b(4, 4, 1.0);
+  EXPECT_THROW(gemm_naive(a, b, a), std::invalid_argument);
+  EXPECT_THROW(gemm_naive(a, b, b), std::invalid_argument);
+  EXPECT_THROW(gemm_blocked(a, b, a, {2, 2, 2}), std::invalid_argument);
+  EXPECT_THROW(gemm(a, b, b), std::invalid_argument);
+}
+
+TEST(GemmDispatch, PlanEntryPointMatchesNaiveForEveryKernelChoice) {
+  std::mt19937 gen(7);
+  const Matrix a = random_matrix(13, 21, gen);
+  const Matrix b = random_matrix(21, 11, gen);
+  Matrix expected(13, 11), actual(13, 11);
+  gemm_naive(a, b, expected);
+  for (GemmKernel kernel :
+       {GemmKernel::kAuto, GemmKernel::kScalar, GemmKernel::kAvx2}) {
+    // kAvx2 on a CPU without the ISA must degrade to scalar, not fault.
+    gemm(a, b, actual, GemmPlan{kernel, GemmBlocking{8, 8, 8}});
+    EXPECT_LT(max_abs_diff(expected, actual), 1e-12);
+  }
+}
+
+TEST(GemmDispatch, OverrideRoundTripsAndForcesThePlanKernel) {
+  KernelOverrideGuard guard;
+  set_gemm_kernel_override(GemmKernel::kScalar);
+  EXPECT_EQ(active_gemm_kernel(), GemmKernel::kScalar);
+  EXPECT_TRUE(gemm_kernel_forced());
+  if (cpu_has_avx2_fma()) {
+    set_gemm_kernel_override(GemmKernel::kAvx2);
+    EXPECT_EQ(active_gemm_kernel(), GemmKernel::kAvx2);
+    EXPECT_TRUE(gemm_kernel_forced());
+  }
+  set_gemm_kernel_override(std::nullopt);
+  // Back to the CPUID/LE_KERNEL default; it must be a concrete kernel.
+  EXPECT_NE(active_gemm_kernel(), GemmKernel::kAuto);
+}
+
+TEST(GemmDispatch, ForcedOverrideWinsOverAnExplicitPlanKernel) {
+  KernelOverrideGuard guard;
+  std::mt19937 gen(11);
+  const Matrix a = random_matrix(6, 10, gen);
+  const Matrix b = random_matrix(10, 9, gen);
+  Matrix reference(6, 9), pinned(6, 9);
+  set_gemm_kernel_override(GemmKernel::kScalar);
+  gemm(a, b, reference, GemmPlan{GemmKernel::kScalar, {}});
+  // The operator escape hatch: a pinned process-wide kernel trumps the
+  // per-layer plan, so the explicit kAvx2 request runs scalar — bitwise.
+  gemm(a, b, pinned, GemmPlan{GemmKernel::kAvx2, {}});
+  EXPECT_EQ(max_abs_diff(reference, pinned), 0.0);
+}
+
+TEST(GemmS8, KernelsAreBitIdenticalIncludingExtremes) {
+  std::mt19937 gen(31);
+  std::uniform_int_distribution<int> dist(-128, 127);
+  for (const GemmShape& s : {GemmShape{1, 1, 1}, GemmShape{3, 5, 7},
+                             GemmShape{4, 17, 8}, GemmShape{9, 64, 13},
+                             GemmShape{2, 33, 16}}) {
+    std::vector<std::int8_t> a(s.m * s.k), b(s.k * s.n);
+    for (std::int8_t& v : a) v = static_cast<std::int8_t>(dist(gen));
+    for (std::int8_t& v : b) v = static_cast<std::int8_t>(dist(gen));
+    // Worst-case magnitudes: the accumulator must take k * 128 * 128.
+    if (!a.empty()) a.front() = -128;
+    if (!b.empty()) b.front() = -128;
+    a.back() = 127;
+    b.back() = 127;
+    std::vector<std::int32_t> ref(s.m * s.n), got(s.m * s.n);
+    gemm_s8_s32_scalar(a.data(), b.data(), ref.data(), s.m, s.k, s.n);
+    gemm_s8_s32(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+    EXPECT_EQ(ref, got);  // integer accumulation is order-invariant: exact
+    if (cpu_has_avx2_fma()) {
+      gemm_s8_s32_avx2(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+      EXPECT_EQ(ref, got);
+    }
+  }
+}
+
+TEST(VTanh, WithinDocumentedToleranceOfStdTanh) {
+  std::vector<double> x;
+  for (double v = -12.0; v <= 12.0; v += 1e-3) x.push_back(v);
+  for (double v : {0.0, 1e-300, -1e-300, 8.999999, -8.999999, 700.0, -700.0,
+                   1e308, -1e308}) {
+    x.push_back(v);
+  }
+  std::vector<double> y(x.size());
+  vtanh(x, y);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    worst = std::max(worst, std::abs(y[i] - std::tanh(x[i])));
+    EXPECT_LE(std::abs(y[i]), 1.0);
+  }
+  EXPECT_LT(worst, 1e-7);  // the section 13 activation tolerance
+}
+
+TEST(VTanh, TailElementsAreBitIdenticalRegardlessOfSpanLength) {
+  // The AVX2 kernel runs tail elements through the same vector code on a
+  // padded buffer, so predict (1 row) and predict_batch (b rows) see
+  // bit-identical activations.  Check every prefix length across the
+  // 4-lane boundary.
+  std::mt19937 gen(5);
+  std::uniform_real_distribution<double> dist(-4.0, 4.0);
+  std::vector<double> x(11);
+  for (double& v : x) v = dist(gen);
+  std::vector<double> full(x.size());
+  vtanh(x, full);
+  for (std::size_t len = 1; len <= x.size(); ++len) {
+    std::vector<double> part(len);
+    vtanh(std::span<const double>{x.data(), len}, part);
+    for (std::size_t i = 0; i < len; ++i) EXPECT_EQ(part[i], full[i]);
+  }
+}
+
+TEST(VRelu, ExactOnAllPathsIncludingTails) {
+  std::mt19937 gen(17);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  for (std::size_t len : {std::size_t{1}, std::size_t{4}, std::size_t{7},
+                          std::size_t{64}, std::size_t{65}}) {
+    std::vector<double> x(len), y(len);
+    for (double& v : x) v = dist(gen);
+    x[0] = 0.0;
+    vrelu(x, y);
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_EQ(y[i], std::max(x[i], 0.0));
+    }
+  }
+}
+
+TEST(VTanhVRelu, SpanContractAliasingAndLengths) {
+  std::vector<double> buf{-1.0, 0.5, 2.0, -0.25, 1.5};
+  std::vector<double> expected(buf.size());
+  vtanh(buf, expected);
+  // Exact aliasing is allowed (the in-place activation hot path)...
+  std::vector<double> inplace = buf;
+  vtanh(inplace, inplace);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(inplace[i], expected[i]);
+  }
+  // ...but length mismatches and partial overlap are hard errors.
+  std::vector<double> wrong(3);
+  EXPECT_THROW(vtanh(buf, wrong), std::invalid_argument);
+  EXPECT_THROW(vrelu(buf, wrong), std::invalid_argument);
+  std::span<double> shifted{buf.data() + 1, buf.size() - 1};
+  EXPECT_THROW(
+      vtanh(std::span<const double>{buf.data(), buf.size() - 1}, shifted),
+      std::invalid_argument);
 }
 
 }  // namespace
