@@ -27,6 +27,18 @@
 /// that watches input drift, shadow-sampled residuals and UQ calibration,
 /// and trips the circuit breaker when the surrogate becomes untrusted
 /// (bench_health, E14).
+///
+/// Overload (DESIGN.md section 14, bench_overload E17): query()/query_batch()
+/// accept per-request deadlines — an expired request is shed before any
+/// model work (never inside a GEMM) with AnswerSource::kShed, which is an
+/// explicit outcome distinct from model failure: it feeds neither the
+/// breaker nor the speedup meter.  attach_degradation() wires a
+/// serve::DegradationLadder brownout policy over the serving tiers: under
+/// rising pressure the dispatcher serves the registered quantized surrogate
+/// (set_degraded_surrogate), then cache hits only, then sheds — and at any
+/// degraded level the simulation fallback is disabled, because running the
+/// most expensive path under overload is exactly the collapse mode the
+/// ladder exists to prevent.
 #pragma once
 
 #include <chrono>
@@ -38,9 +50,11 @@
 #include <vector>
 
 #include "le/data/dataset.hpp"
+#include "le/serve/overload.hpp"
 #include "le/uq/uq_model.hpp"
 
 namespace le::serve {
+class DegradationLadder;
 class LookupCache;
 struct LookupCacheConfig;
 }  // namespace le::serve
@@ -74,8 +88,10 @@ using GroundTruthTap =
     std::function<void(std::span<const double> input,
                        std::span<const double> truth)>;
 
-/// How a query was answered.
-enum class AnswerSource { kSurrogate, kSimulation };
+/// How a query was answered — or, for kShed, deliberately refused.  kShed
+/// is NOT a model failure: no prediction was attempted, `values` is empty,
+/// and `shed_reason` says why (deadline expired, overload brownout).
+enum class AnswerSource { kSurrogate, kSimulation, kShed };
 
 struct Answer {
   std::vector<double> values;
@@ -85,6 +101,11 @@ struct Answer {
   /// True when the answer came from the learned-lookup cache (a previously
   /// gate-accepted surrogate answer) rather than a fresh forward pass.
   bool from_cache = false;
+  /// True when the answer came from the registered degraded (quantized)
+  /// surrogate because the degradation ladder held kQuantized or worse.
+  bool degraded = false;
+  /// Why the request was shed; kNone unless source == kShed.
+  serve::ShedReason shed_reason = serve::ShedReason::kNone;
 };
 
 struct DispatcherStats {
@@ -112,9 +133,21 @@ struct DispatcherStats {
   /// as training-path time (the samples land in the training buffer), NOT
   /// as lookup time — monitoring cost must not inflate S_eff.
   double shadow_seconds = 0.0;
+  /// Requests shed because their deadline had expired (before any model
+  /// work).  Not counted in total(): nothing was answered.
+  std::size_t shed_deadline = 0;
+  /// Requests shed by the degradation ladder (kShedAll, a cache miss at
+  /// kCacheOnly, or a gate rejection at a degraded level).
+  std::size_t shed_overload = 0;
+  /// Surrogate answers produced by the registered degraded (quantized)
+  /// surrogate rather than the full model (a subset of surrogate_answers).
+  std::size_t degraded_answers = 0;
 
   [[nodiscard]] std::size_t total() const noexcept {
     return surrogate_answers + simulation_answers;
+  }
+  [[nodiscard]] std::size_t shed_total() const noexcept {
+    return shed_deadline + shed_overload;
   }
   /// Fraction of queries served by the surrogate.
   [[nodiscard]] double surrogate_fraction() const noexcept {
@@ -138,7 +171,17 @@ class SurrogateDispatcher {
   SurrogateDispatcher& operator=(SurrogateDispatcher&&) = delete;
 
   /// Answers one query through the gate.
-  [[nodiscard]] Answer query(std::span<const double> input);
+  [[nodiscard]] Answer query(std::span<const double> input) {
+    return query(input, std::nullopt);
+  }
+
+  /// Deadline-carrying variant: when `deadline` has already passed the
+  /// query is shed (AnswerSource::kShed, ShedReason::kDeadline) before any
+  /// model work — a dead request never costs a forward pass or a
+  /// simulation.  The degradation ladder (attach_degradation) is consulted
+  /// here too.
+  [[nodiscard]] Answer query(std::span<const double> input,
+                             serve::Deadline deadline);
 
   /// Answers one query per row of `inputs` through the same
   /// cache -> breaker -> UQ gate -> fallback pipeline as query(), except
@@ -148,7 +191,17 @@ class SurrogateDispatcher {
   /// whole batch); fallback simulations still run per query.  Answers are
   /// returned in row order, and the shared forward's wall time is split
   /// evenly over the rows it served.
-  [[nodiscard]] std::vector<Answer> query_batch(const tensor::Matrix& inputs);
+  [[nodiscard]] std::vector<Answer> query_batch(const tensor::Matrix& inputs) {
+    return query_batch(inputs, {});
+  }
+
+  /// Deadline-carrying batch variant: `deadlines` is empty (no deadlines)
+  /// or one entry per row.  Rows whose deadline expired are shed BEFORE
+  /// the batched forward — they are excluded from the miss matrix, so the
+  /// shared GEMM never includes a dead row — and come back as
+  /// AnswerSource::kShed in row order with everything else.
+  [[nodiscard]] std::vector<Answer> query_batch(
+      const tensor::Matrix& inputs, std::span<const serve::Deadline> deadlines);
 
   /// Arms the learned-lookup cache (the paper's "learned lookup table"
   /// made literal): every answer the UQ gate accepts is remembered keyed
@@ -224,6 +277,36 @@ class SurrogateDispatcher {
   /// True while a quantized surrogate is answering queries.
   [[nodiscard]] bool quantized_serving() const noexcept;
 
+  /// Attaches the graceful-degradation ladder (serve/degradation.hpp).
+  /// The ladder is shared: a serve::BatchQueue in front of this dispatcher
+  /// typically feeds it queue waits (BatchQueue::set_degradation) while the
+  /// dispatcher enforces its level.  When `feed_answer_latency` is true the
+  /// dispatcher also records every served answer's wall time as pressure —
+  /// for direct-dispatch deployments with no queue in front (leave it off
+  /// behind a BatchQueue, where queue wait is the honest overload signal
+  /// and sub-microsecond cache hits would dilute the window).  Wire-up
+  /// time only; pass nullptr to detach.
+  void attach_degradation(std::shared_ptr<serve::DegradationLadder> ladder,
+                          bool feed_answer_latency = false);
+
+  /// The attached ladder, or nullptr.
+  [[nodiscard]] serve::DegradationLadder* degradation_ladder() const noexcept {
+    return ladder_.get();
+  }
+
+  /// Registers the cheaper surrogate (typically an int8
+  /// uq::QuantizedSurrogate of the incumbent) the ladder serves at
+  /// ServiceLevel::kQuantized.  Same admission rule as
+  /// enable_quantized_serving: `added_error` must fit inside the current
+  /// UQ-gate threshold.  Degraded answers are flagged (Answer::degraded),
+  /// counted in stats().degraded_answers, never inserted into the lookup
+  /// cache (the cache stores full-fidelity answers only) and never shadow
+  /// sampled.  replace_surrogate() clears the registration — a quantized
+  /// snapshot of a retired model must not serve the new era.  Pass nullptr
+  /// to deregister.
+  void set_degraded_surrogate(std::shared_ptr<uq::UqModel> degraded,
+                              double added_error);
+
   /// Runs the current surrogate's startup kernel autotuner
   /// (UqModel::autotune_inference) sized for `batch_hint`-row forwards —
   /// the ATLAS-style per-layer (kernel, blocking) search of DESIGN.md
@@ -285,6 +368,12 @@ class SurrogateDispatcher {
   /// set) into stats, the speedup meter and the metric handles.
   void account_surrogate_answer(const Answer& answer);
 
+  /// Builds and books one shed outcome.  Shed answers are excluded from
+  /// the speedup meter (nothing was looked up, nothing was trained) and
+  /// never feed the breaker — being refused is not a model failure.
+  [[nodiscard]] Answer make_shed_answer(serve::ShedReason reason,
+                                        double seconds);
+
   /// Re-runs one accepted answer through the real simulation and feeds the
   /// health monitor's residual/coverage tracker; the sample joins the
   /// training buffer and its wall time is billed as training-path time.
@@ -319,6 +408,11 @@ class SurrogateDispatcher {
   std::unique_ptr<CircuitBreaker> breaker_;
   std::unique_ptr<serve::LookupCache> cache_;
   std::unique_ptr<obs::SurrogateHealthMonitor> health_;
+  /// Brownout policy (shared with the queue edge); null when detached.
+  std::shared_ptr<serve::DegradationLadder> ladder_;
+  bool ladder_feed_latency_ = false;
+  /// The ladder's kQuantized tier; guarded by model_mutex_.
+  std::shared_ptr<uq::UqModel> degraded_surrogate_;
 
   /// Refreshes the acceptance and breaker gauges (metrics enabled only).
   void publish_gauges();
@@ -331,6 +425,9 @@ class SurrogateDispatcher {
     obs::Counter* breaker_short_circuits = nullptr;
     obs::Counter* cache_hits = nullptr;
     obs::Counter* shadow_samples = nullptr;
+    obs::Counter* shed_deadline = nullptr;
+    obs::Counter* shed_overload = nullptr;
+    obs::Counter* degraded_answers = nullptr;
     obs::Histogram* surrogate_seconds = nullptr;
     obs::Histogram* simulation_seconds = nullptr;
     obs::Histogram* shadow_seconds = nullptr;

@@ -8,11 +8,21 @@
 #include "le/core/resilient.hpp"
 #include "le/obs/health.hpp"
 #include "le/obs/metrics.hpp"
+#include "le/serve/degradation.hpp"
 #include "le/serve/lookup_cache.hpp"
 #include "le/obs/speedup_meter.hpp"
 #include "le/uq/acquisition.hpp"
 
 namespace le::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 SurrogateDispatcher::SurrogateDispatcher(std::shared_ptr<uq::UqModel> surrogate,
                                          SimulationFn simulation,
@@ -36,15 +46,39 @@ void SurrogateDispatcher::set_ground_truth_tap(GroundTruthTap tap) {
   ground_truth_tap_ = std::move(tap);
 }
 
-Answer SurrogateDispatcher::query(std::span<const double> input) {
+Answer SurrogateDispatcher::query(std::span<const double> input,
+                                  serve::Deadline deadline) {
   const auto t0 = std::chrono::steady_clock::now();
+  // A dead-on-arrival request is shed before ANY model work: no forward
+  // pass, no simulation, not even a drift observation.
+  if (deadline && *deadline <= t0) {
+    return make_shed_answer(serve::ShedReason::kDeadline, 0.0);
+  }
+  // One ladder level per query; enforcement below never re-reads it, so a
+  // query is answered consistently at the level it entered under.
+  const serve::ServiceLevel level =
+      ladder_ ? ladder_->level() : serve::ServiceLevel::kFull;
+  if (level == serve::ServiceLevel::kShedAll) {
+    return make_shed_answer(serve::ShedReason::kOverload, seconds_since(t0));
+  }
   // Cache epoch FIRST, then the model: if a replace_surrogate() lands in
   // between, the stale epoch makes this query's eventual insert drop — a
   // retired model's answer can never be cached into the new model's era.
   const std::uint64_t cache_epoch = cache_ ? cache_->epoch() : 0;
   // One consistent model per query: a concurrent replace_surrogate()
-  // affects the next query, never a half-answered one.
-  const std::shared_ptr<uq::UqModel> surrogate = current_surrogate();
+  // affects the next query, never a half-answered one.  At kQuantized the
+  // registered degraded surrogate serves instead of the incumbent.
+  std::shared_ptr<uq::UqModel> surrogate;
+  bool degraded = false;
+  {
+    std::lock_guard lock(model_mutex_);
+    if (level == serve::ServiceLevel::kQuantized && degraded_surrogate_) {
+      surrogate = degraded_surrogate_;
+      degraded = true;
+    } else {
+      surrogate = surrogate_;
+    }
+  }
 
   // Health monitoring sees every query input — cache hits included, since
   // drift is a property of the demand stream, not of the route taken.  A
@@ -70,8 +104,15 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
       const auto t1 = std::chrono::steady_clock::now();
       answer.seconds = std::chrono::duration<double>(t1 - t0).count();
       account_surrogate_answer(answer);
+      if (ladder_ && ladder_feed_latency_) ladder_->record(answer.seconds);
       return answer;
     }
+  }
+
+  // Brownout tier 2: under kCacheOnly a miss is refused outright — no
+  // forward, no fallback.  Cached answers above stay honest lookups.
+  if (level == serve::ServiceLevel::kCacheOnly) {
+    return make_shed_answer(serve::ShedReason::kOverload, seconds_since(t0));
   }
 
   Answer answer;
@@ -103,24 +144,44 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
       if (score <= threshold_) {
         answer.values = prediction.mean;
         answer.source = AnswerSource::kSurrogate;
+        answer.degraded = degraded;
         const auto t1 = std::chrono::steady_clock::now();
         answer.seconds = std::chrono::duration<double>(t1 - t0).count();
         // Only gate-accepted answers are remembered, so a later hit
         // inherits this acceptance.  The epoch check drops the insert if
         // the model this answer came from has been retired meanwhile.
-        if (cache_) {
+        // Degraded answers are never cached: the cache stores
+        // full-fidelity answers only, and a quantized answer must not
+        // keep serving after the brownout lifts.
+        if (cache_ && !degraded) {
           (void)cache_->try_insert(input, {answer.values, score}, cache_epoch);
         }
         account_surrogate_answer(answer);
         // Shadow sampling happens after the answer's latency is clocked:
         // the caller still gets the surrogate answer; the ground-truth run
-        // is monitoring overhead billed to the training path.
-        if (health_ && health_->should_shadow_sample()) {
+        // is monitoring overhead billed to the training path.  Never under
+        // brownout: a shadow run is a full simulation — exactly the cost
+        // the ladder is shedding.
+        if (!degraded && health_ && health_->should_shadow_sample()) {
           shadow_sample(input, prediction.mean, prediction.stddev, score);
         }
+        if (ladder_ && ladder_feed_latency_) ladder_->record(answer.seconds);
         return answer;
       }
     }
+  }
+
+  // At any degraded level the simulation fallback is disabled: running the
+  // most expensive path under overload is the collapse mode the ladder
+  // exists to prevent.  A gate rejection (or breaker short-circuit, or
+  // invalid prediction) under brownout is therefore a shed, not a sim run.
+  if (level != serve::ServiceLevel::kFull) {
+    return make_shed_answer(serve::ShedReason::kOverload, seconds_since(t0));
+  }
+  // The forward above took time; never burn a simulation — the most
+  // expensive path there is — on a request that died while we predicted.
+  if (deadline && *deadline <= std::chrono::steady_clock::now()) {
+    return make_shed_answer(serve::ShedReason::kDeadline, seconds_since(t0));
   }
 
   answer.values = simulation_(input);
@@ -143,15 +204,33 @@ Answer SurrogateDispatcher::query(std::span<const double> input) {
     metrics_.simulation_seconds->record(answer.seconds);
     publish_gauges();
   }
+  if (ladder_ && ladder_feed_latency_) ladder_->record(answer.seconds);
   return answer;
 }
 
 std::vector<Answer> SurrogateDispatcher::query_batch(
-    const tensor::Matrix& inputs) {
+    const tensor::Matrix& inputs, std::span<const serve::Deadline> deadlines) {
+  if (!deadlines.empty() && deadlines.size() != inputs.rows()) {
+    throw std::invalid_argument(
+        "query_batch: deadlines must be empty or one per row");
+  }
+  // One ladder level per batch, same as query().
+  const serve::ServiceLevel level =
+      ladder_ ? ladder_->level() : serve::ServiceLevel::kFull;
   // Epoch before model snapshot — same stale-era insert protection as
   // query().
   const std::uint64_t cache_epoch = cache_ ? cache_->epoch() : 0;
-  const std::shared_ptr<uq::UqModel> surrogate = current_surrogate();
+  std::shared_ptr<uq::UqModel> surrogate;
+  bool degraded = false;
+  {
+    std::lock_guard lock(model_mutex_);
+    if (level == serve::ServiceLevel::kQuantized && degraded_surrogate_) {
+      surrogate = degraded_surrogate_;
+      degraded = true;
+    } else {
+      surrogate = surrogate_;
+    }
+  }
   if (inputs.cols() != surrogate->input_dim()) {
     throw std::invalid_argument("query_batch: input dim mismatch");
   }
@@ -159,20 +238,48 @@ std::vector<Answer> SurrogateDispatcher::query_batch(
   std::vector<Answer> answers(n);
   if (n == 0) return answers;
 
+  const auto deadline_of = [&](std::size_t r) -> serve::Deadline {
+    return deadlines.empty() ? serve::Deadline{} : deadlines[r];
+  };
+
+  // Pass 0 — shed.  Rows dead on arrival (and, under kShedAll, every row)
+  // are resolved here and excluded from everything below: a shed row never
+  // reaches the miss matrix, so the shared GEMM never includes a dead row.
+  // A resolved row is recognisable by answers[r].source == kShed.
+  const auto entry = std::chrono::steady_clock::now();
+  std::size_t n_live = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (const serve::Deadline d = deadline_of(r); d && *d <= entry) {
+      answers[r] = make_shed_answer(serve::ShedReason::kDeadline, 0.0);
+    } else if (level == serve::ServiceLevel::kShedAll) {
+      answers[r] = make_shed_answer(serve::ShedReason::kOverload, 0.0);
+    } else {
+      ++n_live;
+    }
+  }
+  if (n_live == 0) return answers;
+  const auto is_live = [&](std::size_t r) {
+    return answers[r].source != AnswerSource::kShed;
+  };
+
   if (health_) {
-    for (std::size_t r = 0; r < n; ++r) health_->observe_query(inputs.row(r));
+    for (std::size_t r = 0; r < n; ++r) {
+      if (is_live(r)) health_->observe_query(inputs.row(r));
+    }
     sync_health_breaker();
   }
 
-  // Pass 1 — learned-lookup cache.  Shared work is billed evenly: every
-  // row owes an equal slice of the cache pass, and below, every miss owes
-  // an equal slice of the one batched forward that served it.
+  // Pass 1 — learned-lookup cache over the live rows.  Shared work is
+  // billed evenly: every live row owes an equal slice of the cache pass,
+  // and below, every forwarded miss owes an equal slice of the one batched
+  // forward that served it.
   std::vector<std::size_t> misses;
-  misses.reserve(n);
+  misses.reserve(n_live);
   const auto cache_t0 = std::chrono::steady_clock::now();
   if (cache_) {
     serve::CachedAnswer cached;  // reused across rows: one alloc per batch
     for (std::size_t r = 0; r < n; ++r) {
+      if (!is_live(r)) continue;
       if (cache_->find(inputs.row(r), cached) &&
           cached.uncertainty <= threshold_) {
         answers[r].values = cached.values;
@@ -183,16 +290,35 @@ std::vector<Answer> SurrogateDispatcher::query_batch(
       }
     }
   } else {
-    for (std::size_t r = 0; r < n; ++r) misses.push_back(r);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (is_live(r)) misses.push_back(r);
+    }
   }
-  std::vector<double> owed(
-      n, std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       cache_t0)
-                 .count() /
-             static_cast<double>(n));
+  std::vector<double> owed(n, 0.0);
+  {
+    const double cache_share =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      cache_t0)
+            .count() /
+        static_cast<double>(n_live);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (is_live(r)) owed[r] = cache_share;
+    }
+  }
+
+  // Brownout tier 2: kCacheOnly refuses every miss — the batch's forward
+  // never happens; the cache hits above still resolve normally.
+  if (level == serve::ServiceLevel::kCacheOnly) {
+    for (const std::size_t r : misses) {
+      answers[r] = make_shed_answer(serve::ShedReason::kOverload, owed[r]);
+    }
+    misses.clear();
+  }
 
   // Pass 2 — one batched surrogate forward over the misses, gated by one
-  // breaker consultation for the whole batch.
+  // breaker consultation for the whole batch.  Deadlines are re-checked at
+  // matrix-packing time: a row that expired during the cache pass is shed
+  // here, pre-GEMM, instead of riding along dead.
   if (!misses.empty()) {
     const bool surrogate_allowed = !breaker_ || breaker_->allow();
     if (!surrogate_allowed) {
@@ -201,6 +327,19 @@ std::vector<Answer> SurrogateDispatcher::query_batch(
         metrics_.breaker_short_circuits->add(misses.size());
       }
     } else {
+      const auto pack_now = std::chrono::steady_clock::now();
+      std::vector<std::size_t> forwarded;
+      forwarded.reserve(misses.size());
+      for (const std::size_t r : misses) {
+        if (const serve::Deadline d = deadline_of(r); d && *d <= pack_now) {
+          answers[r] = make_shed_answer(serve::ShedReason::kDeadline, owed[r]);
+        } else {
+          forwarded.push_back(r);
+        }
+      }
+      misses = std::move(forwarded);
+    }
+    if (surrogate_allowed && !misses.empty()) {
       tensor::Matrix miss_inputs(misses.size(), inputs.cols());
       for (std::size_t i = 0; i < misses.size(); ++i) {
         const auto src = inputs.row(misses[i]);
@@ -238,11 +377,14 @@ std::vector<Answer> SurrogateDispatcher::query_batch(
         answers[r].uncertainty = score;
         if (score <= threshold_) {
           answers[r].values = prediction.mean;
-          if (cache_) {
+          answers[r].degraded = degraded;
+          // Degraded answers are never cached and never shadow sampled —
+          // see query() for why.
+          if (cache_ && !degraded) {
             (void)cache_->try_insert(inputs.row(r), {prediction.mean, score},
                                      cache_epoch);
           }
-          if (health_ && health_->should_shadow_sample()) {
+          if (!degraded && health_ && health_->should_shadow_sample()) {
             shadow_sample(inputs.row(r), prediction.mean, prediction.stddev,
                           score);
           }
@@ -254,19 +396,32 @@ std::vector<Answer> SurrogateDispatcher::query_batch(
     }
   }
 
-  // Pass 3 — book the surrogate answers and run fallback simulations for
-  // whatever the cache, the breaker and the gate all declined.
+  // Pass 3 — book the surrogate answers; whatever the cache, the breaker
+  // and the gate all declined either falls back to the simulation (kFull)
+  // or is shed (degraded levels disable the fallback — see query()).
   std::vector<bool> needs_sim(n, false);
   for (const std::size_t r : misses) needs_sim[r] = true;
   for (std::size_t r = 0; r < n; ++r) {
     Answer& answer = answers[r];
+    if (answer.source == AnswerSource::kShed) continue;  // resolved in shed passes
     if (!needs_sim[r]) {
       answer.source = AnswerSource::kSurrogate;
       answer.seconds = owed[r];
       account_surrogate_answer(answer);
+      if (ladder_ && ladder_feed_latency_) ladder_->record(answer.seconds);
       continue;
     }
+    if (level != serve::ServiceLevel::kFull) {
+      answer = make_shed_answer(serve::ShedReason::kOverload, owed[r]);
+      continue;
+    }
+    // Never burn a simulation on a request that died while the batch was
+    // being predicted.
     const auto sim_t0 = std::chrono::steady_clock::now();
+    if (const serve::Deadline d = deadline_of(r); d && *d <= sim_t0) {
+      answer = make_shed_answer(serve::ShedReason::kDeadline, owed[r]);
+      continue;
+    }
     answer.values = simulation_(inputs.row(r));
     answer.source = AnswerSource::kSimulation;
     answer.seconds =
@@ -287,8 +442,29 @@ std::vector<Answer> SurrogateDispatcher::query_batch(
       metrics_.simulation_seconds->record(answer.seconds);
       publish_gauges();
     }
+    if (ladder_ && ladder_feed_latency_) ladder_->record(answer.seconds);
   }
   return answers;
+}
+
+Answer SurrogateDispatcher::make_shed_answer(serve::ShedReason reason,
+                                             double seconds) {
+  Answer answer;
+  answer.source = AnswerSource::kShed;
+  answer.shed_reason = reason;
+  answer.seconds = seconds;
+  // Deliberately NOT booked into the speedup meter (nothing was looked up,
+  // nothing was trained) and never fed to the breaker: a refusal is not a
+  // model failure, and letting sheds trip the breaker would turn overload
+  // into a simulation stampede.
+  if (reason == serve::ShedReason::kDeadline) {
+    ++stats_.shed_deadline;
+    if (metrics_.shed_deadline) metrics_.shed_deadline->add();
+  } else {
+    ++stats_.shed_overload;
+    if (metrics_.shed_overload) metrics_.shed_overload->add();
+  }
+  return answer;
 }
 
 void SurrogateDispatcher::account_surrogate_answer(const Answer& answer) {
@@ -301,6 +477,10 @@ void SurrogateDispatcher::account_surrogate_answer(const Answer& answer) {
   if (answer.from_cache) {
     ++stats_.cache_hits;
     if (metrics_.cache_hits) metrics_.cache_hits->add();
+  }
+  if (answer.degraded) {
+    ++stats_.degraded_answers;
+    if (metrics_.degraded_answers) metrics_.degraded_answers->add();
   }
   if (meter_) meter_->record_lookup(answer.seconds);
   if (metrics_.surrogate_answers) {
@@ -394,6 +574,9 @@ void SurrogateDispatcher::enable_metrics(obs::MetricsRegistry& registry,
       &registry.counter(prefix + ".breaker_short_circuits");
   metrics_.cache_hits = &registry.counter(prefix + ".cache_hits");
   metrics_.shadow_samples = &registry.counter(prefix + ".shadow_samples");
+  metrics_.shed_deadline = &registry.counter(prefix + ".shed_deadline");
+  metrics_.shed_overload = &registry.counter(prefix + ".shed_overload");
+  metrics_.degraded_answers = &registry.counter(prefix + ".degraded_answers");
   metrics_.surrogate_seconds =
       &registry.histogram(prefix + ".surrogate_seconds");
   metrics_.simulation_seconds =
@@ -443,8 +626,10 @@ void SurrogateDispatcher::replace_surrogate(
     surrogate_ = std::move(surrogate);
     // A promotion (or rollback) supersedes any quantized snapshot of the
     // previous model; quantized serving must be re-enabled against the new
-    // incumbent explicitly.
+    // incumbent explicitly — and likewise the ladder's degraded tier: a
+    // quantized snapshot of a retired model must not serve the new era.
     quantized_fp_backup_.reset();
+    degraded_surrogate_.reset();
   }
   // Cached answers came from the old surrogate; a hit must always reflect
   // what the current model would (approximately) say.  Likewise any open
@@ -499,6 +684,39 @@ void SurrogateDispatcher::disable_quantized_serving() {
 bool SurrogateDispatcher::quantized_serving() const noexcept {
   std::lock_guard lock(model_mutex_);
   return quantized_fp_backup_ != nullptr;
+}
+
+void SurrogateDispatcher::attach_degradation(
+    std::shared_ptr<serve::DegradationLadder> ladder,
+    bool feed_answer_latency) {
+  ladder_ = std::move(ladder);
+  ladder_feed_latency_ = ladder_ ? feed_answer_latency : false;
+}
+
+void SurrogateDispatcher::set_degraded_surrogate(
+    std::shared_ptr<uq::UqModel> degraded, double added_error) {
+  if (!degraded) {
+    std::lock_guard lock(model_mutex_);
+    degraded_surrogate_.reset();
+    return;
+  }
+  if (!std::isfinite(added_error) || added_error < 0.0) {
+    throw std::invalid_argument("set_degraded_surrogate: bad added_error");
+  }
+  // Same admission rule as enable_quantized_serving: a degraded tier whose
+  // residual exceeds the UQ gate could never answer a query, so at
+  // kQuantized every miss would shed — refuse loudly instead.
+  if (added_error > threshold_) {
+    throw std::invalid_argument(
+        "set_degraded_surrogate: quantization residual exceeds the UQ gate "
+        "threshold");
+  }
+  std::lock_guard lock(model_mutex_);
+  if (degraded->input_dim() != surrogate_->input_dim() ||
+      degraded->output_dim() != surrogate_->output_dim()) {
+    throw std::invalid_argument("set_degraded_surrogate: shape mismatch");
+  }
+  degraded_surrogate_ = std::move(degraded);
 }
 
 std::vector<nn::LayerPlanChoice> SurrogateDispatcher::autotune_serving(

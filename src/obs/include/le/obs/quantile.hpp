@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace le::obs {
 
@@ -75,6 +76,40 @@ class QuantileSketch {
 
   mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
   std::array<P2Quantile, 3> estimators_;
+};
+
+/// Exact quantiles over a sliding window of the most recent observations.
+///
+/// P-squared estimators converge on the *whole* stream, which makes them
+/// the wrong tool for control loops that must react to the last few
+/// hundred milliseconds (the degradation ladder): an hour of calm history
+/// drowns a ten-second overload spike.  WindowedQuantile keeps the last
+/// `capacity` samples in a ring buffer and answers quantile queries
+/// exactly over that window via nth_element — O(capacity) per query, which
+/// is fine for the evaluate-every-N-samples cadence of a brownout
+/// controller.  Non-finite observations are ignored.  Not thread-safe:
+/// callers (serve::DegradationLadder) provide their own lock.
+class WindowedQuantile {
+ public:
+  explicit WindowedQuantile(std::size_t capacity);
+
+  void add(double x) noexcept;
+
+  /// The q-quantile (q in [0, 1]) of the current window; 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Observations currently in the window (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return window_.size();
+  }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> window_;
+  std::size_t next_ = 0;  ///< ring cursor
+  std::size_t size_ = 0;
+  mutable std::vector<double> scratch_;  ///< nth_element workspace
 };
 
 }  // namespace le::obs

@@ -125,4 +125,35 @@ void QuantileSketch::reset() noexcept {
   unlock();
 }
 
+WindowedQuantile::WindowedQuantile(std::size_t capacity)
+    : window_(capacity == 0 ? 1 : capacity) {}
+
+void WindowedQuantile::add(double x) noexcept {
+  if (!std::isfinite(x)) return;
+  window_[next_] = x;
+  next_ = (next_ + 1) % window_.size();
+  if (size_ < window_.size()) ++size_;
+}
+
+double WindowedQuantile::quantile(double q) const {
+  if (size_ == 0) return 0.0;
+  scratch_.assign(window_.begin(),
+                  window_.begin() + static_cast<std::ptrdiff_t>(size_));
+  // Lower order statistic (numpy's "lower" interpolation): never reports
+  // a latency larger than one actually observed in the window.
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const std::size_t rank = std::min(
+      size_ - 1,
+      static_cast<std::size_t>(clamped * static_cast<double>(size_ - 1)));
+  std::nth_element(scratch_.begin(),
+                   scratch_.begin() + static_cast<std::ptrdiff_t>(rank),
+                   scratch_.end());
+  return scratch_[rank];
+}
+
+void WindowedQuantile::reset() noexcept {
+  next_ = 0;
+  size_ = 0;
+}
+
 }  // namespace le::obs

@@ -80,6 +80,15 @@ class FaultInjector {
   /// which must outlive it.
   [[nodiscard]] SimFn wrap(SimFn inner);
 
+  /// Returns a zero-argument callable that stalls for latency_seconds with
+  /// probability latency_probability, drawn from the same seeded stream and
+  /// counted in counts().latency_spikes.  For code that is not shaped like
+  /// a SimFn — e.g. a batched forward pass that wants straggler spikes
+  /// injected inside it (bench_overload, E17).  Only the latency mode
+  /// fires; the callable holds a reference to this injector, which must
+  /// outlive it.
+  [[nodiscard]] std::function<void()> latency_hook();
+
   [[nodiscard]] FaultInjectionCounts counts() const;
 
   /// Restarts the fault stream from the seed (counts are zeroed too), so

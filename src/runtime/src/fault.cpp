@@ -132,6 +132,19 @@ SimFn FaultInjector::wrap(SimFn inner) {
   };
 }
 
+std::function<void()> FaultInjector::latency_hook() {
+  return [this] {
+    // Full plan draw, not a bare bernoulli: the hook consumes the stream
+    // exactly like a wrapped call, so a run's fault sequence stays
+    // reproducible whether spikes are injected via wrap() or here.
+    const Plan plan = draw_plan();
+    if (plan.do_latency && spec_.latency_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(spec_.latency_seconds));
+    }
+  };
+}
+
 FaultInjectionCounts FaultInjector::counts() const {
   std::lock_guard lock(mutex_);
   return counts_;

@@ -1,0 +1,74 @@
+/// @file
+/// Open-loop load generation: Poisson arrivals, bursts, hot-key skew.
+///
+/// Closed-loop load generators (issue the next request when the previous
+/// one returns) suffer coordinated omission: when the server slows down,
+/// the generator slows down with it, and the measured latency distribution
+/// silently excludes exactly the requests that would have suffered.  Real
+/// users do not wait for each other.  LoadGenerator is therefore strictly
+/// open-loop: the whole arrival schedule — timestamps and keys — is drawn
+/// up front from a seeded stream, independent of anything the server does.
+/// A replay driver submits each request at its scheduled time (or as close
+/// as the host clock allows) no matter how the previous ones fared.
+///
+/// The process models what serving tiers actually see: Poisson arrivals at
+/// a base rate, multiplicative rate bursts on a fixed period (flash
+/// crowds), and hot-key skew (a small set of popular state points asked
+/// over and over — what makes the lookup cache earn its keep under
+/// overload).  Deterministic: same config, same schedule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace le::serve {
+
+struct LoadGenConfig {
+  /// Base arrival rate (requests/second); the Poisson intensity outside
+  /// bursts.
+  double rate_qps = 1000.0;
+  /// Schedule length in (virtual) seconds.
+  double duration_seconds = 1.0;
+  /// Rate multiplier while a burst is active (1 = no bursts).
+  double burst_factor = 1.0;
+  /// Seconds from one burst start to the next (0 disables bursts).
+  double burst_period = 0.0;
+  /// Seconds each burst lasts (must be < burst_period when enabled).
+  double burst_length = 0.0;
+  /// Number of distinct request keys (state points) the schedule draws
+  /// from; the replay driver maps a key to an input vector.
+  std::size_t key_pool = 1024;
+  /// Size of the hot set (keys [0, hot_keys)); 0 disables skew.
+  std::size_t hot_keys = 0;
+  /// Probability an arrival asks a hot key.
+  double hot_fraction = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// One scheduled request: when it arrives and which key it asks.
+struct Arrival {
+  double t = 0.0;       ///< seconds from schedule start
+  std::size_t key = 0;  ///< index into the replay driver's key pool
+};
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(const LoadGenConfig& config);
+
+  /// Draws the full open-loop schedule: arrivals sorted by time, keys
+  /// skewed per config.  Pure function of the config (seed included).
+  [[nodiscard]] std::vector<Arrival> schedule() const;
+
+  /// True when `t` falls inside a burst window of this config.
+  [[nodiscard]] bool in_burst(double t) const noexcept;
+
+  [[nodiscard]] const LoadGenConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  LoadGenConfig config_;
+};
+
+}  // namespace le::serve

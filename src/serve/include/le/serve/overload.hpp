@@ -1,0 +1,100 @@
+/// @file
+/// Shared vocabulary of the overload-robustness stack: deadlines, shed
+/// reasons and the shed-error hierarchy.
+///
+/// A serving tier for "millions of users" (ROADMAP item 1) must degrade
+/// deliberately when demand exceeds capacity instead of collapsing: an
+/// unbounded queue turns a 10x burst into unbounded latency for *every*
+/// request.  The stack built on this header — AdmissionController,
+/// deadline-aware BatchQueue, the dispatcher's DegradationLadder — makes
+/// "no" a first-class answer.  Crucially, being shed is NOT a model
+/// failure: a shed request was never attempted, so it must not feed the
+/// circuit breaker, must not be billed to the effective-speedup meter,
+/// and must be distinguishable by the caller (retry later / fall back)
+/// from a surrogate that produced garbage.  The types here encode that
+/// distinction.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+
+namespace le::serve {
+
+/// Absolute completion deadline of one request, on the serving clock.
+/// std::nullopt means "no deadline" (the request waits indefinitely).
+/// Deadlines propagate: the admission edge sheds requests that arrive
+/// already expired, the batch queue sheds requests that expire while
+/// queued (before the batched forward — a GEMM is never burned on a dead
+/// request), and SurrogateDispatcher::query/query_batch shed expired rows
+/// before any model work.
+using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
+/// Why a request was refused.  Carried in core::Answer for the dispatcher
+/// path and in the what() text of the ShedError hierarchy for the future
+/// path.
+enum class ShedReason {
+  kNone = 0,        ///< not shed
+  kDeadline,        ///< the request's deadline expired before it was served
+  kQueueFull,       ///< bounded queue depth reached at admission
+  kConcurrency,     ///< concurrency token limit reached at admission
+  kOverload,        ///< sojourn-time controller / degradation ladder shed
+  kStopped,         ///< the queue was stopped before the request arrived
+};
+
+/// Human-readable reason label ("deadline", "queue_full", ...).
+[[nodiscard]] constexpr const char* shed_reason_name(ShedReason r) noexcept {
+  switch (r) {
+    case ShedReason::kNone: return "none";
+    case ShedReason::kDeadline: return "deadline";
+    case ShedReason::kQueueFull: return "queue_full";
+    case ShedReason::kConcurrency: return "concurrency";
+    case ShedReason::kOverload: return "overload";
+    case ShedReason::kStopped: return "stopped";
+  }
+  return "unknown";
+}
+
+/// Base of every "the system refused this request" outcome.  Distinct from
+/// model failure by construction: a ShedError means no answer was
+/// attempted, so callers can retry/back off without distrusting the model.
+class ShedError : public std::runtime_error {
+ public:
+  ShedError(ShedReason reason, const std::string& what_arg)
+      : std::runtime_error(what_arg), reason_(reason) {}
+
+  [[nodiscard]] ShedReason reason() const noexcept { return reason_; }
+
+ private:
+  ShedReason reason_;
+};
+
+/// The request's deadline expired before it could be served — either on
+/// arrival (shed at submit) or while queued (shed before the batched
+/// forward, resolving the request's future with this exception).
+class DeadlineExceededError : public ShedError {
+ public:
+  explicit DeadlineExceededError(const std::string& what_arg)
+      : ShedError(ShedReason::kDeadline, what_arg) {}
+};
+
+/// Admission control refused the request: bounded queue depth, concurrency
+/// token limit, or the CoDel-style sojourn controller is shedding.
+class OverloadShedError : public ShedError {
+ public:
+  OverloadShedError(ShedReason reason, const std::string& what_arg)
+      : ShedError(reason, what_arg) {}
+};
+
+/// submit() was called after stop(): the queue no longer accepts work.
+/// This is the *documented* fail-fast contract (previously unspecified) —
+/// a stopped queue always throws this, never blocks and never leaks an
+/// unresolved future.  Derives from ShedError (and thus runtime_error) so
+/// pre-existing catch sites keep working.
+class QueueStoppedError : public ShedError {
+ public:
+  explicit QueueStoppedError(const std::string& what_arg)
+      : ShedError(ShedReason::kStopped, what_arg) {}
+};
+
+}  // namespace le::serve

@@ -1,0 +1,96 @@
+#include "le/serve/load_gen.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "le/stats/rng.hpp"
+
+namespace le::serve {
+
+LoadGenerator::LoadGenerator(const LoadGenConfig& config) : config_(config) {
+  if (!(config_.rate_qps > 0.0) || !std::isfinite(config_.rate_qps)) {
+    throw std::invalid_argument("LoadGenerator: rate_qps must be positive");
+  }
+  if (!(config_.duration_seconds > 0.0) ||
+      !std::isfinite(config_.duration_seconds)) {
+    throw std::invalid_argument(
+        "LoadGenerator: duration_seconds must be positive");
+  }
+  if (config_.burst_factor < 1.0) {
+    throw std::invalid_argument("LoadGenerator: burst_factor must be >= 1");
+  }
+  if (config_.burst_period > 0.0 &&
+      !(config_.burst_length > 0.0 &&
+        config_.burst_length < config_.burst_period)) {
+    throw std::invalid_argument(
+        "LoadGenerator: burst_length must be in (0, burst_period)");
+  }
+  if (config_.key_pool == 0) {
+    throw std::invalid_argument("LoadGenerator: key_pool must be positive");
+  }
+  if (config_.hot_keys > config_.key_pool) {
+    throw std::invalid_argument("LoadGenerator: hot_keys exceeds key_pool");
+  }
+  if (!(config_.hot_fraction >= 0.0 && config_.hot_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "LoadGenerator: hot_fraction must be in [0, 1]");
+  }
+  if (config_.hot_fraction > 0.0 && config_.hot_keys == 0) {
+    throw std::invalid_argument(
+        "LoadGenerator: hot_fraction > 0 requires hot_keys > 0");
+  }
+}
+
+bool LoadGenerator::in_burst(double t) const noexcept {
+  if (config_.burst_period <= 0.0 || config_.burst_factor <= 1.0) return false;
+  const double phase = std::fmod(t, config_.burst_period);
+  return phase < config_.burst_length;
+}
+
+std::vector<Arrival> LoadGenerator::schedule() const {
+  stats::Rng rng(config_.seed);
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(
+      config_.rate_qps * config_.duration_seconds * config_.burst_factor));
+  double t = 0.0;
+  for (;;) {
+    // Thinning-free piecewise-homogeneous Poisson process: the intensity
+    // is constant within a burst (or gap), so drawing the next exponential
+    // gap at the *current* intensity is exact as long as the gap does not
+    // cross a burst boundary; when it would, re-draw from the boundary at
+    // the new intensity (memorylessness makes the restart exact too).
+    const double rate = in_burst(t) ? config_.rate_qps * config_.burst_factor
+                                    : config_.rate_qps;
+    const double gap = rng.exponential(rate);
+    double boundary = config_.duration_seconds;
+    if (config_.burst_period > 0.0 && config_.burst_factor > 1.0) {
+      const double phase = std::fmod(t, config_.burst_period);
+      const double to_boundary = in_burst(t)
+                                     ? config_.burst_length - phase
+                                     : config_.burst_period - phase;
+      boundary = std::min(boundary, t + to_boundary);
+    }
+    if (t + gap > boundary) {
+      if (boundary >= config_.duration_seconds) break;
+      // The distance to a window edge can round to zero (phase within one
+      // ulp of the edge), which would stall t at the boundary forever;
+      // force at least one-ulp progress so the loop always terminates.
+      t = boundary > t
+              ? boundary
+              : std::nextafter(t, std::numeric_limits<double>::infinity());
+      continue;
+    }
+    t += gap;
+    if (t >= config_.duration_seconds) break;
+    Arrival a;
+    a.t = t;
+    a.key = (config_.hot_fraction > 0.0 && rng.bernoulli(config_.hot_fraction))
+                ? rng.index(config_.hot_keys)
+                : rng.index(config_.key_pool);
+    arrivals.push_back(a);
+  }
+  return arrivals;
+}
+
+}  // namespace le::serve

@@ -15,7 +15,9 @@
 #include "le/core/network_problem.hpp"
 #include "le/core/resilient.hpp"
 #include "le/core/surrogate.hpp"
+#include "le/serve/degradation.hpp"
 #include "le/serve/lookup_cache.hpp"
+#include "le/serve/overload.hpp"
 #include "le/nn/loss.hpp"
 #include "le/nn/optimizer.hpp"
 #include "le/obs/health.hpp"
@@ -969,6 +971,230 @@ TEST(DispatcherQuantized, PromotionSupersedesTheQuantizedSnapshot) {
   EXPECT_DOUBLE_EQ(dispatcher.query(std::vector<double>{0.0}).values[0], 3.0);
   dispatcher.disable_quantized_serving();  // no backup left: a no-op
   EXPECT_DOUBLE_EQ(dispatcher.query(std::vector<double>{0.0}).values[0], 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Overload robustness (DESIGN.md section 14): per-request deadlines and the
+// graceful-degradation ladder, with honest S_eff attribution throughout.
+// ---------------------------------------------------------------------------
+
+// Ladder sized so two record() calls drive exactly one deterministic
+// evaluation (window max as the quantile).
+serve::DegradationConfig tiny_ladder() {
+  serve::DegradationConfig config;
+  config.window = 2;
+  config.quantile = 1.0;
+  config.engage = {1e-3, 2e-3, 3e-3};
+  config.release_fraction = 0.5;
+  config.release_windows = 2;
+  return config;
+}
+
+void feed_window(serve::DegradationLadder& ladder, double seconds) {
+  ladder.record(seconds);
+  ladder.record(seconds);
+}
+
+TEST(DispatcherOverload, ExpiredDeadlineIsShedBeforeAnyModelWork) {
+  auto model = std::make_shared<CountingUq>();
+  std::size_t sim_calls = 0;
+  SurrogateDispatcher dispatcher(
+      model,
+      [&](std::span<const double> x) {
+        ++sim_calls;
+        return std::vector<double>{x[0]};
+      },
+      0.5);
+  obs::EffectiveSpeedupMeter meter;
+  dispatcher.set_speedup_meter(&meter);
+
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  const Answer shed = dispatcher.query(std::vector<double>{0.1}, past);
+  EXPECT_EQ(shed.source, AnswerSource::kShed);
+  EXPECT_EQ(shed.shed_reason, serve::ShedReason::kDeadline);
+  EXPECT_TRUE(shed.values.empty());
+  // "Before any model work" means exactly that: no forward, no simulation.
+  EXPECT_EQ(model->predict_calls, 0u);
+  EXPECT_EQ(sim_calls, 0u);
+
+  // Shed is not an answer: it is outside total() and outside the meter —
+  // counting refusals as lookups would inflate S_eff.
+  EXPECT_EQ(dispatcher.stats().shed_deadline, 1u);
+  EXPECT_EQ(dispatcher.stats().total(), 0u);
+  EXPECT_EQ(dispatcher.stats().shed_total(), 1u);
+  EXPECT_EQ(meter.snapshot().n_lookup, 0u);
+  EXPECT_EQ(meter.snapshot().n_train, 0u);
+
+  // A live deadline serves normally and IS metered.
+  const auto future =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  const Answer ok = dispatcher.query(std::vector<double>{0.1}, future);
+  EXPECT_EQ(ok.source, AnswerSource::kSurrogate);
+  EXPECT_EQ(meter.snapshot().n_lookup, 1u);
+}
+
+TEST(DispatcherOverload, BatchDeadlinesExcludeDeadRowsFromTheSharedForward) {
+  /// Counts the rows (not calls) its batched forward actually sees.
+  class RowCountingUq final : public uq::UqModel {
+   public:
+    uq::Prediction predict(std::span<const double> input) override {
+      ++rows_seen;
+      return {{2.0 * input[0]}, {std::abs(input[0])}};
+    }
+    std::vector<uq::Prediction> predict_batch(
+        const tensor::Matrix& inputs) override {
+      rows_seen += inputs.rows();
+      std::vector<uq::Prediction> out;
+      for (std::size_t r = 0; r < inputs.rows(); ++r) {
+        out.push_back({{2.0 * inputs(r, 0)}, {std::abs(inputs(r, 0))}});
+      }
+      return out;
+    }
+    std::size_t input_dim() const override { return 1; }
+    std::size_t output_dim() const override { return 1; }
+    std::size_t rows_seen = 0;
+  };
+  auto model = std::make_shared<RowCountingUq>();
+  SurrogateDispatcher dispatcher(model, identity_sim(), 0.5);
+
+  tensor::Matrix inputs(3, 1);
+  inputs(0, 0) = 0.1;
+  inputs(1, 0) = 0.2;
+  inputs(2, 0) = 0.3;
+  const auto now = std::chrono::steady_clock::now();
+  const std::vector<serve::Deadline> deadlines{
+      std::nullopt, now - std::chrono::milliseconds(1),  // row 1 is dead
+      now + std::chrono::seconds(5)};
+
+  const auto answers = dispatcher.query_batch(inputs, deadlines);
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_EQ(answers[0].source, AnswerSource::kSurrogate);
+  EXPECT_DOUBLE_EQ(answers[0].values[0], 0.2);
+  EXPECT_EQ(answers[1].source, AnswerSource::kShed);
+  EXPECT_EQ(answers[1].shed_reason, serve::ShedReason::kDeadline);
+  EXPECT_EQ(answers[2].source, AnswerSource::kSurrogate);
+  // The dead row never rode the GEMM: only two rows reached the model.
+  EXPECT_EQ(model->rows_seen, 2u);
+  EXPECT_EQ(dispatcher.stats().shed_deadline, 1u);
+
+  EXPECT_THROW(
+      (void)dispatcher.query_batch(
+          inputs, std::vector<serve::Deadline>{std::nullopt, std::nullopt}),
+      std::invalid_argument);
+}
+
+TEST(DispatcherOverload, LadderShedsAllThenServesOnlyCacheHits) {
+  auto model = std::make_shared<CountingUq>();
+  auto ladder = std::make_shared<serve::DegradationLadder>(tiny_ladder());
+  SurrogateDispatcher dispatcher(model, identity_sim(), 0.5);
+  dispatcher.enable_lookup_cache(serve::LookupCacheConfig{});
+  dispatcher.attach_degradation(ladder);
+
+  // Prime the cache at kFull.
+  const std::vector<double> warm{0.1};
+  ASSERT_EQ(dispatcher.query(warm).source, AnswerSource::kSurrogate);
+  ASSERT_EQ(model->predict_calls, 1u);
+
+  // Severe pressure: straight to kShedAll — everything is refused, and the
+  // model is never consulted for a refused query.
+  feed_window(*ladder, 1.0);
+  ASSERT_EQ(ladder->level(), serve::ServiceLevel::kShedAll);
+  ASSERT_EQ(dispatcher.degradation_ladder(), ladder.get());
+  const Answer refused = dispatcher.query(warm);
+  EXPECT_EQ(refused.source, AnswerSource::kShed);
+  EXPECT_EQ(refused.shed_reason, serve::ShedReason::kOverload);
+  EXPECT_EQ(model->predict_calls, 1u);
+  EXPECT_EQ(dispatcher.stats().shed_overload, 1u);
+
+  // Pressure eases one notch: kCacheOnly serves remembered answers as
+  // honest lookups and sheds misses without a forward.
+  feed_window(*ladder, 1.0e-3);
+  feed_window(*ladder, 1.0e-3);
+  ASSERT_EQ(ladder->level(), serve::ServiceLevel::kCacheOnly);
+  const Answer hit = dispatcher.query(warm);
+  EXPECT_EQ(hit.source, AnswerSource::kSurrogate);
+  EXPECT_TRUE(hit.from_cache);
+  const Answer miss = dispatcher.query(std::vector<double>{0.4});
+  EXPECT_EQ(miss.source, AnswerSource::kShed);
+  EXPECT_EQ(miss.shed_reason, serve::ShedReason::kOverload);
+  EXPECT_EQ(model->predict_calls, 1u);  // still only the warming forward
+}
+
+TEST(DispatcherOverload, QuantizedLevelServesDegradedTierWithoutFallback) {
+  std::size_t sim_calls = 0;
+  auto ladder = std::make_shared<serve::DegradationLadder>(tiny_ladder());
+  SurrogateDispatcher dispatcher(
+      std::make_shared<TaggedUq>(1.0, 0.1),
+      [&](std::span<const double> x) {
+        ++sim_calls;
+        return std::vector<double>{x[0]};
+      },
+      0.5);
+  dispatcher.enable_lookup_cache(serve::LookupCacheConfig{});
+  obs::EffectiveSpeedupMeter meter;
+  dispatcher.set_speedup_meter(&meter);
+  dispatcher.attach_degradation(ladder);
+  dispatcher.set_degraded_surrogate(std::make_shared<TaggedUq>(2.0, 0.2),
+                                    0.2);
+
+  feed_window(*ladder, 1.5e-3);
+  ASSERT_EQ(ladder->level(), serve::ServiceLevel::kQuantized);
+
+  // The degraded tier answers (by value: 2.0 is the quantized model),
+  // flagged and counted — and honestly metered as a lookup, because it IS
+  // one: a cheaper model really did answer.
+  const Answer degraded = dispatcher.query(std::vector<double>{0.7});
+  EXPECT_EQ(degraded.source, AnswerSource::kSurrogate);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_DOUBLE_EQ(degraded.values[0], 2.0);
+  EXPECT_EQ(dispatcher.stats().degraded_answers, 1u);
+  EXPECT_EQ(meter.snapshot().n_lookup, 1u);
+  // Never cached: the lookup table stores full-fidelity answers only.
+  EXPECT_EQ(dispatcher.lookup_cache()->size(), 0u);
+
+  // Tighten the gate so the degraded tier's spread (0.2) is rejected: at a
+  // degraded level that is a shed, NOT a simulation — running the most
+  // expensive path under overload is the collapse the ladder prevents.
+  dispatcher.set_threshold(0.1);
+  const Answer rejected = dispatcher.query(std::vector<double>{0.7});
+  EXPECT_EQ(rejected.source, AnswerSource::kShed);
+  EXPECT_EQ(rejected.shed_reason, serve::ShedReason::kOverload);
+  EXPECT_EQ(sim_calls, 0u);
+  EXPECT_EQ(meter.snapshot().n_train, 0u);
+}
+
+TEST(DispatcherOverload, DegradedRegistrationValidatesAndPromotionClearsIt) {
+  auto ladder = std::make_shared<serve::DegradationLadder>(tiny_ladder());
+  SurrogateDispatcher dispatcher(std::make_shared<TaggedUq>(1.0, 0.1),
+                                 identity_sim(), 0.5);
+  dispatcher.attach_degradation(ladder);
+
+  // Residual wider than the gate could never answer — refuse loudly.
+  EXPECT_THROW(dispatcher.set_degraded_surrogate(
+                   std::make_shared<TaggedUq>(2.0, 0.6), 0.6),
+               std::invalid_argument);
+  EXPECT_THROW(dispatcher.set_degraded_surrogate(
+                   std::make_shared<TaggedUq>(2.0, 0.2), -1.0),
+               std::invalid_argument);
+  dispatcher.set_degraded_surrogate(std::make_shared<TaggedUq>(2.0, 0.2),
+                                    0.2);
+
+  feed_window(*ladder, 1.5e-3);
+  ASSERT_EQ(ladder->level(), serve::ServiceLevel::kQuantized);
+  EXPECT_DOUBLE_EQ(dispatcher.query(std::vector<double>{0.7}).values[0], 2.0);
+
+  // A retrain promotion clears the registration: a quantized snapshot of a
+  // retired model must not serve the new era.  Still at kQuantized, the
+  // dispatcher falls back to the (new) full model, unflagged.
+  dispatcher.replace_surrogate(std::make_shared<TaggedUq>(3.0, 0.1));
+  const Answer after = dispatcher.query(std::vector<double>{0.7});
+  EXPECT_DOUBLE_EQ(after.values[0], 3.0);
+  EXPECT_FALSE(after.degraded);
+
+  // nullptr deregisters without touching the gate.
+  dispatcher.set_degraded_surrogate(nullptr, 0.0);
+  EXPECT_DOUBLE_EQ(dispatcher.query(std::vector<double>{0.7}).values[0], 3.0);
 }
 
 }  // namespace

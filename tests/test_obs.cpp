@@ -457,6 +457,43 @@ TEST(QuantileSketch, ConcurrentAddsAreLossless) {
   EXPECT_NEAR(q.p50, 0.5, 0.05);
 }
 
+TEST(WindowedQuantile, ExactQuantilesOverTheWindow) {
+  obs::WindowedQuantile window(100);
+  for (int i = 1; i <= 100; ++i) window.add(static_cast<double>(i));
+  EXPECT_EQ(window.size(), 100u);
+  // Exact order statistics, not an estimate: rank = round(q * (n - 1)).
+  EXPECT_DOUBLE_EQ(window.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(window.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(window.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(window.quantile(0.95), 95.0);
+}
+
+TEST(WindowedQuantile, RingBufferForgetsBeyondCapacity) {
+  obs::WindowedQuantile window(4);
+  for (int i = 1; i <= 3; ++i) window.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(window.quantile(1.0), 3.0);
+  // 100 old samples ago is out of the window; only the last 4 remain.
+  for (int i = 0; i < 100; ++i) window.add(1000.0);
+  for (double v : {7.0, 8.0, 9.0, 6.0}) window.add(v);
+  EXPECT_EQ(window.size(), 4u);
+  EXPECT_DOUBLE_EQ(window.quantile(0.0), 6.0);
+  EXPECT_DOUBLE_EQ(window.quantile(1.0), 9.0);
+}
+
+TEST(WindowedQuantile, IgnoresNonFiniteAndResets) {
+  obs::WindowedQuantile window(8);
+  window.add(std::numeric_limits<double>::quiet_NaN());
+  window.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(window.size(), 0u);
+  EXPECT_EQ(window.quantile(0.5), 0.0);  // empty window: 0, not NaN
+  window.add(2.5);
+  EXPECT_DOUBLE_EQ(window.quantile(0.5), 2.5);
+  window.reset();
+  EXPECT_EQ(window.size(), 0u);
+  // Degenerate capacity is clamped, not fatal — callers validate sizing.
+  EXPECT_EQ(obs::WindowedQuantile(0).capacity(), 1u);
+}
+
 TEST(ObsHistogram, TailQuantilesBeatBucketRounding) {
   obs::Histogram h;
   UnitStream stream(3);

@@ -16,18 +16,24 @@
 #include <vector>
 
 #include "le/obs/metrics.hpp"
+#include "le/serve/admission.hpp"
 #include "le/serve/batch_queue.hpp"
+#include "le/serve/degradation.hpp"
+#include "le/serve/load_gen.hpp"
 #include "le/serve/lookup_cache.hpp"
+#include "le/serve/overload.hpp"
 #include "le/tensor/matrix.hpp"
 
 namespace {
 
+using le::serve::BatchForwardFn;
 using le::serve::BatchQueue;
 using le::serve::BatchQueueConfig;
 using le::serve::BatchQueueStats;
 using le::serve::CachedAnswer;
 using le::serve::LookupCache;
 using le::serve::LookupCacheConfig;
+using le::serve::ShedAwareForwardFn;
 
 // ---------------------------------------------------------------------------
 // LookupCache
@@ -362,7 +368,8 @@ TEST(BatchQueue, SubmitValidatesInputDim) {
 
 TEST(BatchQueue, ConstructorRejectsDegenerateConfigs) {
   BatchQueueConfig config;
-  EXPECT_THROW(BatchQueue(nullptr, config), std::invalid_argument);
+  EXPECT_THROW(BatchQueue(BatchForwardFn{}, config), std::invalid_argument);
+  EXPECT_THROW(BatchQueue(ShedAwareForwardFn{}, config), std::invalid_argument);
   config.max_batch = 0;
   EXPECT_THROW(BatchQueue(doubling_forward, config), std::invalid_argument);
   config.max_batch = 1;
@@ -538,6 +545,538 @@ TEST(BatchQueue, ConcurrentStopCallsAllDrainAndJoinCleanly) {
     EXPECT_THROW((void)queue.submit(std::vector<double>{0.0}),
                  std::runtime_error);
     queue.stop();  // still idempotent after the concurrent burst
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController (DESIGN.md section 14)
+// ---------------------------------------------------------------------------
+
+using le::serve::AdmissionConfig;
+using le::serve::AdmissionController;
+using le::serve::DeadlineExceededError;
+using le::serve::DegradationConfig;
+using le::serve::DegradationLadder;
+using le::serve::LoadGenConfig;
+using le::serve::LoadGenerator;
+using le::serve::OverloadShedError;
+using le::serve::QueueStoppedError;
+using le::serve::ServiceLevel;
+using le::serve::ShedError;
+using le::serve::ShedReason;
+using AdmissionClock = AdmissionController::Clock;
+
+// Sojourn gate disabled so only the gate under test fires.
+AdmissionConfig depth_only(std::size_t depth) {
+  AdmissionConfig config;
+  config.max_queue_depth = depth;
+  config.max_concurrent = 0;
+  config.target_sojourn = std::chrono::microseconds{0};
+  return config;
+}
+
+TEST(AdmissionController, DepthGateShedsWhenTheQueueIsFull) {
+  AdmissionController admission(depth_only(2));
+  EXPECT_EQ(admission.try_admit(0), ShedReason::kNone);
+  EXPECT_EQ(admission.try_admit(1), ShedReason::kNone);
+  EXPECT_EQ(admission.try_admit(2), ShedReason::kQueueFull);
+  const auto stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.shed_queue_full, 1u);
+  EXPECT_EQ(stats.shed_total(), 1u);
+}
+
+TEST(AdmissionController, ConcurrencyTokensBoundInFlightUntilReleased) {
+  AdmissionConfig config = depth_only(0);
+  config.max_concurrent = 2;
+  AdmissionController admission(config);
+
+  EXPECT_EQ(admission.try_admit(0), ShedReason::kNone);
+  EXPECT_EQ(admission.try_admit(0), ShedReason::kNone);
+  EXPECT_EQ(admission.try_admit(0), ShedReason::kConcurrency);
+  EXPECT_EQ(admission.stats().in_flight, 2u);
+
+  admission.release();
+  EXPECT_EQ(admission.try_admit(0), ShedReason::kNone);
+  admission.release(5);  // over-release saturates at zero, never wraps
+  EXPECT_EQ(admission.stats().in_flight, 0u);
+  EXPECT_EQ(admission.stats().shed_concurrency, 1u);
+}
+
+TEST(AdmissionController, SojournSheddingNeedsAFullIntervalAboveTarget) {
+  AdmissionConfig config;
+  config.max_queue_depth = 0;
+  config.target_sojourn = std::chrono::microseconds{5000};
+  config.interval = std::chrono::microseconds{100000};
+  AdmissionController admission(config);
+  const auto t0 = AdmissionClock::now();
+
+  // Above target, but not yet for a full interval: a transient burst, not
+  // a standing queue — still admitting.
+  admission.record_sojourn(0.010, t0);
+  admission.record_sojourn(0.010, t0 + std::chrono::milliseconds(50));
+  EXPECT_FALSE(admission.shedding());
+  EXPECT_EQ(admission.try_admit(0, t0 + std::chrono::milliseconds(60)),
+            ShedReason::kNone);
+}
+
+TEST(AdmissionController, StandingSojournEngagesSheddingWithProbes) {
+  AdmissionConfig config;
+  config.max_queue_depth = 0;
+  config.target_sojourn = std::chrono::microseconds{5000};
+  config.interval = std::chrono::microseconds{100000};
+  AdmissionController admission(config);
+  const auto t0 = AdmissionClock::now();
+
+  admission.record_sojourn(0.010, t0);
+  admission.record_sojourn(0.010, t0 + std::chrono::milliseconds(100));
+  EXPECT_TRUE(admission.shedding());
+
+  // The first arrival while shedding is the immediate probe (measurement
+  // never stops); the next one inside the probe spacing is shed.
+  const auto t1 = t0 + std::chrono::milliseconds(101);
+  EXPECT_EQ(admission.try_admit(0, t1), ShedReason::kNone);
+  EXPECT_EQ(admission.try_admit(0, t1 + std::chrono::microseconds(10)),
+            ShedReason::kOverload);
+  // CoDel control law: the next probe opens interval/sqrt(2) later.
+  EXPECT_EQ(admission.try_admit(0, t1 + std::chrono::milliseconds(90)),
+            ShedReason::kNone);
+
+  const auto stats = admission.stats();
+  EXPECT_TRUE(stats.shedding);
+  EXPECT_EQ(stats.probes, 2u);
+  EXPECT_EQ(stats.shed_overload, 1u);
+}
+
+TEST(AdmissionController, OneGoodSojournEndsTheEpisode) {
+  AdmissionConfig config;
+  config.max_queue_depth = 0;
+  config.target_sojourn = std::chrono::microseconds{5000};
+  config.interval = std::chrono::microseconds{100000};
+  AdmissionController admission(config);
+  const auto t0 = AdmissionClock::now();
+
+  admission.record_sojourn(0.010, t0);
+  admission.record_sojourn(0.010, t0 + std::chrono::milliseconds(100));
+  ASSERT_TRUE(admission.shedding());
+
+  // The queue drained: one below-target sojourn exits shedding immediately.
+  admission.record_sojourn(0.001, t0 + std::chrono::milliseconds(150));
+  EXPECT_FALSE(admission.shedding());
+  EXPECT_EQ(admission.try_admit(0, t0 + std::chrono::milliseconds(151)),
+            ShedReason::kNone);
+}
+
+TEST(AdmissionController, MetricsMirrorStats) {
+  le::obs::MetricsRegistry registry;
+  AdmissionController admission(depth_only(1));
+  admission.enable_metrics(registry, "test.adm");
+  EXPECT_EQ(admission.try_admit(0), ShedReason::kNone);
+  EXPECT_EQ(admission.try_admit(1), ShedReason::kQueueFull);
+  EXPECT_EQ(registry.counter("test.adm.admitted").value(), 1u);
+  EXPECT_EQ(registry.counter("test.adm.shed_queue_full").value(), 1u);
+  EXPECT_DOUBLE_EQ(registry.gauge("test.adm.in_flight").value(), 1.0);
+}
+
+TEST(AdmissionController, ConstructorRejectsZeroIntervalWithSojournGate) {
+  AdmissionConfig config;
+  config.target_sojourn = std::chrono::microseconds{5000};
+  config.interval = std::chrono::microseconds{0};
+  EXPECT_THROW(AdmissionController{config}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// DegradationLadder
+// ---------------------------------------------------------------------------
+
+// Tiny window (2 samples per evaluation) and well-separated thresholds so
+// each record() pair deterministically drives one evaluation.
+DegradationConfig tiny_ladder() {
+  DegradationConfig config;
+  config.window = 2;
+  config.quantile = 1.0;  // max of the window: deterministic
+  config.engage = {1e-3, 2e-3, 3e-3};
+  config.release_fraction = 0.5;
+  config.release_windows = 2;
+  return config;
+}
+
+void feed_window(DegradationLadder& ladder, double seconds) {
+  ladder.record(seconds);
+  ladder.record(seconds);
+}
+
+TEST(DegradationLadder, EngagesTheLevelTheQuantileCrosses) {
+  le::obs::MetricsRegistry registry;
+  DegradationLadder ladder(tiny_ladder());
+  ladder.enable_metrics(registry, "test.ladder");
+  EXPECT_EQ(ladder.level(), ServiceLevel::kFull);
+
+  feed_window(ladder, 1.5e-3);  // above engage[0], below engage[1]
+  EXPECT_EQ(ladder.level(), ServiceLevel::kQuantized);
+  EXPECT_EQ(ladder.stats().engages, 1u);
+  EXPECT_DOUBLE_EQ(registry.gauge("test.ladder.level").value(), 1.0);
+  EXPECT_EQ(registry.counter("test.ladder.engages").value(), 1u);
+}
+
+TEST(DegradationLadder, SevereSpikeJumpsStraightToShedAll) {
+  DegradationLadder ladder(tiny_ladder());
+  feed_window(ladder, 0.5);  // far beyond engage[2]
+  EXPECT_EQ(ladder.level(), ServiceLevel::kShedAll);
+  EXPECT_EQ(ladder.stats().engages, 1u);  // one transition, three steps
+}
+
+TEST(DegradationLadder, ReleasesOneLevelPerDwellOfCalmWindows) {
+  DegradationLadder ladder(tiny_ladder());
+  feed_window(ladder, 2.5e-3);
+  ASSERT_EQ(ladder.level(), ServiceLevel::kCacheOnly);
+
+  // Release needs release_windows = 2 consecutive calm evaluations below
+  // engage[1] * release_fraction = 1e-3, and steps down ONE level only.
+  feed_window(ladder, 0.5e-3);
+  EXPECT_EQ(ladder.level(), ServiceLevel::kCacheOnly);  // dwell not met yet
+  feed_window(ladder, 0.5e-3);
+  EXPECT_EQ(ladder.level(), ServiceLevel::kQuantized);
+  EXPECT_EQ(ladder.stats().releases, 1u);
+
+  // From kQuantized the release threshold is engage[0] * 0.5 = 0.5e-3:
+  // 0.4e-3 qualifies; two more calm windows reach kFull.
+  feed_window(ladder, 0.4e-3);
+  feed_window(ladder, 0.4e-3);
+  EXPECT_EQ(ladder.level(), ServiceLevel::kFull);
+  EXPECT_EQ(ladder.stats().releases, 2u);
+}
+
+TEST(DegradationLadder, HysteresisHoldsBetweenReleaseAndEngage) {
+  DegradationLadder ladder(tiny_ladder());
+  feed_window(ladder, 1.5e-3);
+  ASSERT_EQ(ladder.level(), ServiceLevel::kQuantized);
+
+  // In the hysteresis gap (above release 0.5e-3, below engage 1e-3) the
+  // ladder holds its level indefinitely — and an interleaved gap window
+  // resets the calm dwell, so no release sneaks through.
+  for (int i = 0; i < 4; ++i) feed_window(ladder, 0.8e-3);
+  EXPECT_EQ(ladder.level(), ServiceLevel::kQuantized);
+  feed_window(ladder, 0.4e-3);  // one calm window...
+  feed_window(ladder, 0.8e-3);  // ...reset by a gap window
+  feed_window(ladder, 0.4e-3);
+  EXPECT_EQ(ladder.level(), ServiceLevel::kQuantized);
+  EXPECT_EQ(ladder.stats().releases, 0u);
+}
+
+TEST(DegradationLadder, ConstructorValidatesConfig) {
+  DegradationConfig config = tiny_ladder();
+  config.window = 0;
+  EXPECT_THROW(DegradationLadder{config}, std::invalid_argument);
+  config = tiny_ladder();
+  config.quantile = 1.5;
+  EXPECT_THROW(DegradationLadder{config}, std::invalid_argument);
+  config = tiny_ladder();
+  config.engage = {2e-3, 1e-3, 3e-3};  // not increasing
+  EXPECT_THROW(DegradationLadder{config}, std::invalid_argument);
+  config = tiny_ladder();
+  config.release_fraction = 1.0;  // no hysteresis gap
+  EXPECT_THROW(DegradationLadder{config}, std::invalid_argument);
+  config = tiny_ladder();
+  config.release_windows = 0;
+  EXPECT_THROW(DegradationLadder{config}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// LoadGenerator (open-loop: no coordinated omission)
+// ---------------------------------------------------------------------------
+
+TEST(LoadGenerator, SameSeedSameScheduleDifferentSeedDiffers) {
+  LoadGenConfig config;
+  config.rate_qps = 500.0;
+  config.duration_seconds = 1.0;
+  const auto a = LoadGenerator(config).schedule();
+  const auto b = LoadGenerator(config).schedule();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].t, b[i].t);
+    EXPECT_EQ(a[i].key, b[i].key);
+  }
+  config.seed = 43;
+  const auto c = LoadGenerator(config).schedule();
+  EXPECT_TRUE(a.size() != c.size() || a.front().t != c.front().t);
+}
+
+TEST(LoadGenerator, ArrivalsAreSortedWithinDurationAtThePoissonRate) {
+  LoadGenConfig config;
+  config.rate_qps = 2000.0;
+  config.duration_seconds = 2.0;
+  const auto schedule = LoadGenerator(config).schedule();
+
+  double prev = 0.0;
+  for (const auto& arrival : schedule) {
+    EXPECT_GE(arrival.t, prev);
+    EXPECT_LT(arrival.t, config.duration_seconds);
+    EXPECT_LT(arrival.key, config.key_pool);
+    prev = arrival.t;
+  }
+  // 4000 expected arrivals, sd = sqrt(4000) ~ 63; +-8 sd is comfortable.
+  EXPECT_NEAR(static_cast<double>(schedule.size()), 4000.0, 500.0);
+}
+
+TEST(LoadGenerator, BurstsMultiplyTheLocalIntensity) {
+  LoadGenConfig config;
+  config.rate_qps = 1000.0;
+  config.duration_seconds = 4.0;
+  config.burst_factor = 5.0;
+  config.burst_period = 0.5;
+  config.burst_length = 0.1;
+  const LoadGenerator gen(config);
+  const auto schedule = gen.schedule();
+
+  std::size_t in_burst = 0;
+  for (const auto& arrival : schedule) {
+    if (gen.in_burst(arrival.t)) ++in_burst;
+  }
+  const std::size_t outside = schedule.size() - in_burst;
+  // Burst windows cover 0.8s at 5000 qps (~4000 arrivals); the remaining
+  // 3.2s at 1000 qps (~3200).  Per-second density must differ ~5x.
+  const double burst_density = static_cast<double>(in_burst) / 0.8;
+  const double base_density = static_cast<double>(outside) / 3.2;
+  EXPECT_GT(burst_density, 3.0 * base_density);
+  EXPECT_NEAR(burst_density / base_density, 5.0, 1.5);
+}
+
+TEST(LoadGenerator, HotKeySkewConcentratesTraffic) {
+  LoadGenConfig config;
+  config.rate_qps = 5000.0;
+  config.duration_seconds = 1.0;
+  config.key_pool = 1024;
+  config.hot_keys = 8;
+  config.hot_fraction = 0.8;
+  const auto schedule = LoadGenerator(config).schedule();
+
+  std::size_t hot = 0;
+  for (const auto& arrival : schedule) {
+    if (arrival.key < config.hot_keys) ++hot;
+  }
+  const double hot_fraction =
+      static_cast<double>(hot) / static_cast<double>(schedule.size());
+  // 80% explicit hot draws plus the cold draws that land in [0, 8) anyway.
+  EXPECT_GT(hot_fraction, 0.72);
+  EXPECT_LT(hot_fraction, 0.88);
+}
+
+TEST(LoadGenerator, ValidatesConfig) {
+  LoadGenConfig config;
+  config.rate_qps = 0.0;
+  EXPECT_THROW(LoadGenerator{config}, std::invalid_argument);
+  config = LoadGenConfig{};
+  config.burst_factor = 0.5;
+  EXPECT_THROW(LoadGenerator{config}, std::invalid_argument);
+  config = LoadGenConfig{};
+  config.burst_period = 1.0;  // bursts on, but zero burst_length
+  EXPECT_THROW(LoadGenerator{config}, std::invalid_argument);
+  config = LoadGenConfig{};
+  config.hot_fraction = 0.5;  // skew on, but no hot set
+  EXPECT_THROW(LoadGenerator{config}, std::invalid_argument);
+  config = LoadGenConfig{};
+  config.hot_keys = 2048;  // hot set larger than the pool
+  EXPECT_THROW(LoadGenerator{config}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// BatchQueue under overload: deadlines, admission, shed-aware forwards
+// ---------------------------------------------------------------------------
+
+TEST(BatchQueueOverload, SubmitAfterStopThrowsQueueStoppedError) {
+  // Regression for the documented fail-fast contract: previously this was
+  // an unspecified std::runtime_error; now the type names the cause.
+  BatchQueueConfig config;
+  config.input_dim = 1;
+  BatchQueue queue(doubling_forward, config);
+  queue.stop();
+  EXPECT_THROW((void)queue.submit(std::vector<double>{1.0}),
+               QueueStoppedError);
+  // QueueStoppedError derives from ShedError — catchable at the edge with
+  // every other refusal.
+  EXPECT_THROW((void)queue.query(std::vector<double>{1.0}), ShedError);
+}
+
+TEST(BatchQueueOverload, ExpiredOnArrivalShedsBeforeEnqueue) {
+  BatchQueueConfig config;
+  config.input_dim = 1;
+  BatchQueue queue(doubling_forward, config);
+
+  const auto past = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1);
+  EXPECT_THROW((void)queue.submit(std::vector<double>{1.0}, past),
+               DeadlineExceededError);
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.queries, 0u);  // never reached the model
+}
+
+TEST(BatchQueueOverload, RequestsExpiringWhileQueuedAreShedPreForward) {
+  le::obs::MetricsRegistry registry;
+  BatchQueueConfig config;
+  config.max_batch = 1;  // serialize: each forward blocks the next
+  config.max_wait = std::chrono::microseconds(100);
+  config.input_dim = 1;
+  BatchQueue queue(
+      [](const le::tensor::Matrix& in) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        return doubling_forward(in);
+      },
+      config);
+  queue.enable_metrics(registry, "test.bq");
+
+  // The first request occupies the 30ms forward; the rest carry 5ms
+  // deadlines, so they expire while queued behind it and must be shed
+  // before their own forward — never inside one.
+  auto head = queue.submit(std::vector<double>{1.0});
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(5);
+  std::vector<std::future<std::vector<double>>> doomed;
+  for (int i = 0; i < 4; ++i) {
+    doomed.push_back(queue.submit(std::vector<double>{2.0}, deadline));
+  }
+
+  EXPECT_DOUBLE_EQ(head.get()[0], 2.0);
+  for (auto& fut : doomed) {
+    EXPECT_THROW((void)fut.get(), DeadlineExceededError);
+  }
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.expired, 4u);
+  EXPECT_EQ(stats.queries, 1u);  // only the head row was ever forwarded
+  EXPECT_EQ(stats.dead_request_forwards, 0u);
+  EXPECT_EQ(registry.counter("test.bq.expired").value(), 4u);
+  EXPECT_EQ(registry.counter("test.bq.dead_request_forwards").value(), 0u);
+}
+
+TEST(BatchQueueOverload, AdmissionDepthBoundShedsAtSubmit) {
+  le::obs::MetricsRegistry registry;
+  BatchQueueConfig config;
+  config.max_batch = 1;
+  config.max_wait = std::chrono::microseconds(100);
+  config.input_dim = 1;
+  std::atomic<bool> forward_started{false};
+  BatchQueue queue(
+      [&forward_started](const le::tensor::Matrix& in) {
+        forward_started.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        return doubling_forward(in);
+      },
+      config);
+  queue.set_admission(
+      std::make_shared<AdmissionController>(depth_only(2)));
+  queue.enable_metrics(registry, "test.bq");
+
+  // Head occupies the forward for 200ms; two more fill the bounded queue;
+  // the fourth must be turned away at the door.  Waiting for the forward
+  // to start pins the queue depth the admission gate sees: 0, then 1,
+  // then the shedding 2.
+  auto head = queue.submit(std::vector<double>{1.0});
+  while (!forward_started.load()) std::this_thread::yield();
+  auto q1 = queue.submit(std::vector<double>{2.0});
+  auto q2 = queue.submit(std::vector<double>{3.0});
+  EXPECT_THROW((void)queue.submit(std::vector<double>{4.0}),
+               OverloadShedError);
+
+  EXPECT_DOUBLE_EQ(head.get()[0], 2.0);
+  EXPECT_DOUBLE_EQ(q1.get()[0], 4.0);
+  EXPECT_DOUBLE_EQ(q2.get()[0], 6.0);
+  EXPECT_EQ(queue.stats().shed, 1u);
+  EXPECT_EQ(registry.counter("test.bq.shed").value(), 1u);
+}
+
+TEST(BatchQueueOverload, ShedAwareForwardFailsMarkedRowsOnly) {
+  BatchQueueConfig config;
+  config.max_batch = 2;
+  config.max_wait = std::chrono::microseconds(50000);
+  config.input_dim = 1;
+  // Sheds every row whose input is negative; answers the rest.
+  BatchQueue queue(
+      [](const le::tensor::Matrix& inputs,
+         std::span<const le::serve::Deadline> /*deadlines*/,
+         std::span<ShedReason> shed) {
+        le::tensor::Matrix out(inputs.rows(), 1);
+        for (std::size_t r = 0; r < inputs.rows(); ++r) {
+          if (inputs(r, 0) < 0.0) shed[r] = ShedReason::kOverload;
+          out(r, 0) = 2.0 * inputs(r, 0);
+        }
+        return out;
+      },
+      config);
+
+  auto served = queue.submit(std::vector<double>{3.0});
+  auto refused = queue.submit(std::vector<double>{-1.0});
+  EXPECT_DOUBLE_EQ(served.get()[0], 6.0);
+  EXPECT_THROW((void)refused.get(), OverloadShedError);
+  EXPECT_EQ(queue.stats().shed, 1u);
+}
+
+TEST(BatchQueueOverload, ConcurrentExpiringSubmittersVsStopAllResolve) {
+  // The race the TSan tier exists for: submitter threads with a mix of
+  // live, tight and already-expired deadlines vs concurrent stop() vs the
+  // serving thread.  Every submitted future must resolve (row or typed
+  // shed), every submit() must either enqueue or throw a typed error, and
+  // no forward may ever include a dead row.
+  for (int round = 0; round < 4; ++round) {
+    BatchQueueConfig config;
+    config.max_batch = 8;
+    config.max_wait = std::chrono::microseconds(200);
+    config.input_dim = 1;
+    BatchQueue queue(
+        [](const le::tensor::Matrix& in) {
+          std::this_thread::sleep_for(std::chrono::microseconds(300));
+          return doubling_forward(in);
+        },
+        config);
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 30;
+    std::atomic<int> resolved{0};
+    std::atomic<int> anomalies{0};
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&queue, &resolved, &anomalies, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const auto now = std::chrono::steady_clock::now();
+          le::serve::Deadline deadline;
+          switch ((t + i) % 3) {
+            case 0: deadline = now + std::chrono::microseconds(200); break;
+            case 1: deadline = now - std::chrono::microseconds(1); break;
+            default: break;  // no deadline
+          }
+          const double x = t * 1000.0 + i;
+          try {
+            auto fut = queue.submit(std::vector<double>{x}, deadline);
+            try {
+              const auto row = fut.get();
+              if (row.size() != 1 || row[0] != 2.0 * x) {
+                anomalies.fetch_add(1, std::memory_order_relaxed);
+              }
+            } catch (const ShedError&) {
+              // expired while queued — a legitimate typed outcome
+            }
+            resolved.fetch_add(1, std::memory_order_relaxed);
+          } catch (const ShedError&) {
+            resolved.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    std::thread stopper([&queue] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      queue.stop();
+    });
+    for (auto& worker : workers) worker.join();
+    stopper.join();
+
+    EXPECT_EQ(resolved.load(), kThreads * kPerThread);
+    EXPECT_EQ(anomalies.load(), 0);
+    // No dead_request_forwards == 0 assertion here: the 200us deadlines
+    // are deliberately inside the shed-pass-to-forward gap under TSan on
+    // a loaded machine, so the instrument may honestly count a boundary
+    // crosser.  The invariant is pinned where deadlines have real margin
+    // (the deterministic tests above and bench_overload's E17 gate).
   }
 }
 
