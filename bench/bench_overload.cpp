@@ -250,7 +250,10 @@ ReplayResult replay_schedule(serve::BatchQueue& queue,
     std::size_t failed = 0;
   };
   std::vector<ThreadOut> outs(kThreads);
-  const auto base = Clock::now() + std::chrono::milliseconds(5);
+  // Epoch-anchored replay: submit targets AND deadlines derive from the
+  // scheduled arrival against one epoch, so a lagging submitter spends
+  // budget rather than silently extending it (serve::ReplayClock).
+  const serve::ReplayClock clock(Clock::now() + std::chrono::milliseconds(5));
   std::vector<std::thread> submitters;
   submitters.reserve(kThreads);
   for (std::size_t tid = 0; tid < kThreads; ++tid) {
@@ -258,9 +261,7 @@ ReplayResult replay_schedule(serve::BatchQueue& queue,
       ThreadOut& out = outs[tid];
       out.futures.reserve(schedule.size() / kThreads + 1);
       for (std::size_t i = tid; i < schedule.size(); i += kThreads) {
-        const auto target =
-            base + std::chrono::duration_cast<Clock::duration>(
-                       std::chrono::duration<double>(schedule[i].t));
+        const auto target = clock.submit_time(schedule[i]);
         // Hybrid sleep/spin: sleep while far out, spin the last stretch —
         // 25 us inter-arrival gaps are below sleep_for resolution.
         for (;;) {
@@ -277,9 +278,7 @@ ReplayResult replay_schedule(serve::BatchQueue& queue,
         const auto input = key < hot_keys
                                ? hot.row(key)
                                : cold.row(key % cold.rows());
-        const auto deadline =
-            target + std::chrono::duration_cast<Clock::duration>(
-                         std::chrono::duration<double>(budget_seconds));
+        const auto deadline = clock.deadline(schedule[i], budget_seconds);
         try {
           out.futures.push_back(queue.submit(input, deadline));
         } catch (const serve::ShedError&) {
@@ -308,7 +307,8 @@ ReplayResult replay_schedule(serve::BatchQueue& queue,
       }
     }
   }
-  result.elapsed = std::chrono::duration<double>(Clock::now() - base).count();
+  result.elapsed =
+      std::chrono::duration<double>(Clock::now() - clock.epoch()).count();
   return result;
 }
 

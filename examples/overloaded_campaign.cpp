@@ -228,17 +228,16 @@ int main() {
   std::size_t door_shed = 0, served = 0, shed = 0;
   std::vector<std::future<std::vector<double>>> futures;
   futures.reserve(schedule.size());
-  const auto base = Clock::now() + std::chrono::milliseconds(5);
+  // Deadlines anchor to the *scheduled* arrival via serve::ReplayClock, so
+  // a replay that falls behind spends budget instead of minting more.
+  const serve::ReplayClock replay_clock(Clock::now() +
+                                        std::chrono::milliseconds(5));
   {
     obs::TraceSpan span("replay");
     for (const auto& arrival : schedule) {
-      const auto target =
-          base + std::chrono::duration_cast<Clock::duration>(
-                     std::chrono::duration<double>(arrival.t));
+      const auto target = replay_clock.submit_time(arrival);
       while (Clock::now() < target) std::this_thread::yield();
-      const auto deadline =
-          target + std::chrono::duration_cast<Clock::duration>(
-                       std::chrono::duration<double>(budget));
+      const auto deadline = replay_clock.deadline(arrival, budget);
       try {
         futures.push_back(queue.submit(keys.row(arrival.key), deadline));
       } catch (const serve::ShedError&) {

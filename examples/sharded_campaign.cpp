@@ -1,0 +1,254 @@
+// sharded_campaign — the distributed serving story, end to end.
+//
+// A 4-shard net::ShardedService (fork'd workers, le-net-v1 frames over
+// socketpairs) serves an open-loop replay while this driver:
+//
+//   1. checkpoints the fleet mid-run,
+//   2. SIGKILLs one worker WITHOUT telling the router (the next exchange
+//      discovers the death: rows shed typed worker_down, the shard
+//      respawns and recovers its replica + S_eff meter from the ckpt),
+//   3. re-converges deliberately diverged replicas with one Section
+//      III-A Allreduce round,
+//   4. prints the per-shard S_eff meters and their component-wise merge
+//      (the combined-workload speedup — a ratio of sums, never a mean
+//      of per-shard speedups).
+//
+// The per-shard backend is the same stand-in as bench_sharded (E18): a
+// microsecond surrogate for most quantized keys, a blocking 1 ms "remote
+// HPC job" for a deterministic 25% — so on a single core the shards buy
+// overlap of the blocking waits, the honest version of the win.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "le/net/sharded_service.hpp"
+#include "le/obs/speedup_meter.hpp"
+#include "le/runtime/sync_engine.hpp"
+#include "le/serve/load_gen.hpp"
+#include "le/serve/overload.hpp"
+#include "le/tensor/matrix.hpp"
+
+namespace {
+
+using namespace le;
+using Clock = std::chrono::steady_clock;
+
+constexpr double kKeyResolution = 0.1;
+constexpr double kSimSeconds = 1e-3;
+constexpr unsigned kSimPercent = 25;
+constexpr double kBudgetSeconds = 0.025;
+constexpr std::size_t kShards = 4;
+
+double splitmix_avalanche(std::uint64_t u) {
+  u ^= u >> 30;
+  u *= 0xbf58476d1ce4e5b9ULL;
+  u ^= u >> 27;
+  u *= 0x94d049bb133111ebULL;
+  u ^= u >> 31;
+  return static_cast<double>(u % 100);
+}
+
+bool gate_to_simulation(std::span<const double> row) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const double v : row) {
+    h = h * 1099511628211ULL +
+        static_cast<std::uint64_t>(std::llround(v / kKeyResolution));
+  }
+  return splitmix_avalanche(h) < static_cast<double>(kSimPercent);
+}
+
+void target_fn(std::span<const double> x, double scale, double* out2) {
+  out2[0] = scale * (std::sin(x[0]) * std::cos(x[1]) + 0.1 * x[0]);
+  out2[1] = scale * 0.5 * std::sin(x[0] + x[1]);
+}
+
+class HpcBackend : public net::ShardBackend {
+ public:
+  HpcBackend() : params_{1.0, 0.0} { meter_.record_learn(0.05); }
+
+  std::vector<net::NetAnswer> query_batch(
+      const tensor::Matrix& inputs,
+      std::span<const serve::Deadline> deadlines) override {
+    std::vector<net::NetAnswer> out(inputs.rows());
+    for (std::size_t r = 0; r < inputs.rows(); ++r) {
+      const auto row_start = Clock::now();
+      if (!deadlines.empty() && deadlines[r].has_value() &&
+          *deadlines[r] < row_start) {
+        out[r].source = net::NetAnswerSource::kShed;
+        out[r].shed_reason = serve::ShedReason::kDeadline;
+        continue;
+      }
+      const auto row = inputs.row(r);
+      double values[2];
+      target_fn(row, params_[0], values);
+      if (gate_to_simulation(row)) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(kSimSeconds));
+        out[r].source = net::NetAnswerSource::kSimulation;
+        out[r].seconds =
+            std::chrono::duration<double>(Clock::now() - row_start).count();
+        meter_.record_train(out[r].seconds);
+      } else {
+        values[0] += params_[1];
+        out[r].source = net::NetAnswerSource::kSurrogate;
+        out[r].seconds =
+            std::chrono::duration<double>(Clock::now() - row_start).count();
+        meter_.record_lookup(out[r].seconds);
+      }
+      out[r].values.assign(values, values + 2);
+    }
+    return out;
+  }
+
+  obs::EffectiveSpeedupMeter& meter() override { return meter_; }
+  std::vector<double> export_params() override { return params_; }
+  void import_params(std::span<const double> params) override {
+    params_.assign(params.begin(), params.end());
+  }
+
+ private:
+  obs::EffectiveSpeedupMeter meter_;
+  std::vector<double> params_;
+};
+
+void key_to_input(std::size_t key, std::span<double> out) {
+  out[0] = std::fmod(0.37 * static_cast<double>(key), 8.0);
+  out[1] = std::fmod(0.51 * static_cast<double>(key) + 1.3, 8.0);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== sharded_campaign: one router, four worker processes ===\n");
+
+  const auto ckpt_dir =
+      std::filesystem::temp_directory_path() / "sharded_campaign_ckpt";
+  std::filesystem::create_directories(ckpt_dir);
+
+  net::ShardedServiceConfig config;
+  config.shards = kShards;
+  config.key_resolution = kKeyResolution;
+  config.checkpoint_dir = ckpt_dir.string();
+  net::ShardedService service(
+      config, [](std::size_t) { return std::make_unique<HpcBackend>(); });
+  service.start();
+  std::printf("started %zu fork'd shard workers (ckpt dir %s)\n\n", kShards,
+              ckpt_dir.c_str());
+
+  // --- open-loop replay with mid-run checkpoint + SIGKILL chaos ---------
+  serve::LoadGenConfig gen;
+  gen.rate_qps = 1500.0;
+  gen.duration_seconds = 2.0;
+  gen.key_pool = 256;
+  gen.seed = 42;
+  const auto schedule = serve::LoadGenerator(gen).schedule();
+  std::printf("replaying %zu scheduled arrivals at %.0f q/s "
+              "(budget %.0f ms)...\n",
+              schedule.size(), gen.rate_qps, kBudgetSeconds * 1e3);
+
+  const std::size_t ckpt_at = schedule.size() * 30 / 100;
+  const std::size_t kill_at = schedule.size() * 45 / 100;
+  bool ckpt_done = false;
+  bool kill_done = false;
+  std::size_t in_time = 0;
+  std::size_t shed_worker_down = 0;
+  std::size_t shed_other = 0;
+
+  const serve::ReplayClock clock(Clock::now() + std::chrono::milliseconds(5));
+  std::size_t next = 0;
+  while (next < schedule.size()) {
+    if (!ckpt_done && next >= ckpt_at) {
+      service.checkpoint_all();
+      ckpt_done = true;
+      std::puts("  [30%] checkpoint_all(): every shard persisted its "
+                "replica + meter");
+    }
+    if (!kill_done && next >= kill_at) {
+      service.kill_shard(1);
+      kill_done = true;
+      std::puts("  [45%] SIGKILLed shard 1's worker (router not told — "
+                "the next exchange finds out)");
+    }
+    std::this_thread::sleep_until(clock.submit_time(schedule[next]));
+    std::size_t end = next;
+    const auto now = Clock::now();
+    while (end < schedule.size() && clock.submit_time(schedule[end]) <= now) {
+      ++end;
+    }
+    const std::size_t n = end - next;
+    tensor::Matrix inputs(n, 2);
+    std::vector<serve::Deadline> deadlines(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      key_to_input(schedule[next + i].key, inputs.row(i));
+      deadlines[i] = clock.deadline(schedule[next + i], kBudgetSeconds);
+    }
+    const auto answers = service.query_batch(inputs, deadlines);
+    const auto done = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (answers[i].shed()) {
+        if (answers[i].shed_reason == serve::ShedReason::kWorkerDown) {
+          ++shed_worker_down;
+        } else {
+          ++shed_other;
+        }
+      } else if (done <= *deadlines[i]) {
+        ++in_time;
+      }
+    }
+    next = end;
+  }
+
+  const auto stats = service.stats();
+  std::printf(
+      "\nreplay done: %zu arrivals | %zu in time (%.2f%%) | "
+      "%zu shed worker_down, %zu shed other\n",
+      schedule.size(), in_time,
+      100.0 * static_cast<double>(in_time) /
+          static_cast<double>(schedule.size()),
+      shed_worker_down, shed_other);
+  std::printf("worker deaths %llu | restarts %llu | recovered from ckpt %llu "
+              "| shard 1 alive again: %s\n\n",
+              static_cast<unsigned long long>(stats.worker_deaths),
+              static_cast<unsigned long long>(stats.restarts),
+              static_cast<unsigned long long>(stats.recovered_restarts),
+              service.shard_alive(1) ? "yes" : "no");
+
+  // --- replica divergence healed by one Allreduce round -----------------
+  std::puts("diverging shard 2's replica (scale 1.0 -> 3.0), then one "
+            "Allreduce round:");
+  const std::vector<double> diverged{3.0, 0.0};
+  service.push_params(2, diverged);
+  service.sync_replicas(runtime::SyncModel::kAllreduce);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const auto p = service.pull_params(s);
+    std::printf("  shard %zu params: [%.4f, %.4f]\n", s, p[0], p[1]);
+  }
+
+  // --- per-shard and merged Section III-D accounting --------------------
+  std::puts("\nper-shard live S_eff, and the router's merge "
+            "(component-wise sum — the combined workload's speedup):");
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const auto snap = service.shard_meter(s);
+    std::printf("  shard %zu: n_lookup %llu  n_train %llu  S_eff %.2f\n", s,
+                static_cast<unsigned long long>(snap.n_lookup),
+                static_cast<unsigned long long>(snap.n_train),
+                snap.speedup());
+  }
+  const auto merged = service.merged_meter();
+  std::printf("  merged : n_lookup %llu  n_train %llu  S_eff %.2f\n",
+              static_cast<unsigned long long>(merged.n_lookup),
+              static_cast<unsigned long long>(merged.n_train),
+              merged.speedup());
+
+  service.stop();
+  std::filesystem::remove_all(ckpt_dir);
+  std::puts("\nfleet stopped; see DESIGN.md section 15 and OPERATIONS.md "
+            "section 6 for the contracts exercised here.");
+  return 0;
+}

@@ -1,0 +1,59 @@
+/// @file
+/// Deterministic shard routing by quantized-input key.
+///
+/// The sharded service partitions the serving state — each worker owns one
+/// shard of the learned-lookup key space plus a surrogate replica — so the
+/// router must send every query whose quantized key matches to the SAME
+/// worker, or the per-shard caches never see their repeats.  ShardRouter
+/// reuses the exact quantization the cache itself keys by
+/// (serve::LookupCache::quantize at a shared resolution) and hashes the
+/// bin vector with a splitmix64-avalanched combine, so:
+///
+///  - two inputs that agree to within `resolution` in every component
+///    (same bin) always land on the same shard — cache affinity holds;
+///  - inputs in adjacent bins may land anywhere — a key sitting exactly on
+///    a bin boundary is rounded half-away-from-zero by the quantizer, and
+///    the tests pin that the router's bin assignment matches the cache's
+///    own, boundary cases included;
+///  - the map is a pure function of (input, resolution, shard count):
+///    replaying a schedule yields the identical routing, and router and
+///    workers never need to exchange routing state.
+///
+/// Non-finite components are routed deterministically too (NaN pins to a
+/// dedicated bin; infinities saturate like the cache's quantizer), so a
+/// garbage query cannot crash routing — the owning worker's gate rejects
+/// it like any other uncacheable input.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "le/tensor/matrix.hpp"
+
+namespace le::net {
+
+class ShardRouter {
+ public:
+  /// `shards` >= 1; `resolution` is the shared quantization step (pick the
+  /// same value the per-worker lookup caches use).
+  ShardRouter(std::size_t shards, double resolution);
+
+  /// The shard owning `input`'s quantized key.
+  [[nodiscard]] std::size_t shard_for(std::span<const double> input) const;
+
+  /// Splits the rows of `inputs` by owning shard: result[s] lists the row
+  /// indices routed to shard s, each row appearing exactly once, in row
+  /// order within its shard.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> partition(
+      const tensor::Matrix& inputs) const;
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+  [[nodiscard]] double resolution() const noexcept { return resolution_; }
+
+ private:
+  std::size_t shards_;
+  double resolution_;
+};
+
+}  // namespace le::net

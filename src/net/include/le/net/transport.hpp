@@ -1,0 +1,79 @@
+/// @file
+/// Byte transport under the `le-net-v1` frames: a blocking, full-duplex
+/// Channel over a connected socket pair.
+///
+/// The sharded service runs its workers as forked child processes on one
+/// host (the Section III-A deployment unit before multi-host), so the
+/// transport of choice is an AF_UNIX stream socketpair: kernel-buffered,
+/// ordered, reliable, and it delivers EOF the instant the peer dies — the
+/// property the router's no-hang guarantee is built on.  Channel hides the
+/// POSIX details: full write loops (partial writes, EINTR), full read
+/// loops, EPIPE surfaced as TransportError instead of SIGPIPE, and an
+/// optional receive timeout so a wedged (not dead) worker also turns into
+/// a typed error instead of a hung router.  Frames are validated on
+/// receipt (magic, version, length bound, CRC) before they are returned.
+#pragma once
+
+#include <string_view>
+#include <utility>
+
+#include "le/net/wire.hpp"
+
+namespace le::net {
+
+/// The peer is gone or unreachable: EOF on read, EPIPE/ECONNRESET on
+/// write, or a receive timeout.  Distinct from WireError (the peer sent
+/// bytes, but they were wrong); both are treated as a dead peer by the
+/// router, but operators triage them differently.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One end of a connected stream socket.  Movable, not copyable; closes
+/// its descriptor on destruction.  Thread-compatible: concurrent use of
+/// one Channel must be externally serialized (the ShardedService holds a
+/// per-worker mutex across each request/response exchange).
+class Channel {
+ public:
+  Channel() = default;
+  /// Adopts ownership of `fd` (must be a connected stream socket).
+  explicit Channel(int fd) noexcept : fd_(fd) {}
+  ~Channel();
+  Channel(Channel&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Channel& operator=(Channel&& other) noexcept;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Frames `payload` as `type` and writes the whole frame.  Throws
+  /// TransportError when the peer is gone (EPIPE is an error, never a
+  /// signal) and WireError when the payload is oversized.
+  void send_frame(MsgType type, std::string_view payload);
+
+  /// Reads and validates one complete frame (header checks, then CRC).
+  /// Throws TransportError on EOF/timeout and WireError/VersionSkewError
+  /// on malformed bytes — both mean "stop talking to this peer".
+  [[nodiscard]] Frame recv_frame();
+
+  /// Bounds every subsequent recv_frame() read: a peer that sends nothing
+  /// for `seconds` raises TransportError instead of blocking forever.
+  /// 0 restores indefinite blocking.
+  void set_recv_timeout(double seconds);
+
+  /// Closes the descriptor now (idempotent).  A worker blocked in
+  /// recv_frame() on the peer end observes EOF.
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected AF_UNIX SOCK_STREAM pair: `first` is conventionally kept by
+/// the parent (router), `second` given to the child (worker).  Throws
+/// TransportError when the kernel refuses.
+[[nodiscard]] std::pair<Channel, Channel> make_channel_pair();
+
+}  // namespace le::net

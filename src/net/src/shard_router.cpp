@@ -1,0 +1,68 @@
+#include "le/net/shard_router.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "le/serve/lookup_cache.hpp"
+
+namespace le::net {
+
+ShardRouter::ShardRouter(std::size_t shards, double resolution)
+    : shards_(shards), resolution_(resolution) {
+  if (shards_ == 0) {
+    throw std::invalid_argument("ShardRouter: shards must be >= 1");
+  }
+  if (!(resolution_ > 0.0) || !std::isfinite(resolution_)) {
+    throw std::invalid_argument("ShardRouter: resolution must be positive");
+  }
+}
+
+std::size_t ShardRouter::shard_for(std::span<const double> input) const {
+  // Same bins as the per-worker cache, so cache affinity is exact; NaN
+  // components (which the cache treats as uncacheable) are pinned to a
+  // sentinel bin first so routing stays a total, deterministic function.
+  thread_local std::vector<double> sanitized;
+  std::span<const double> routed = input;
+  bool has_nan = false;
+  for (const double v : input) {
+    if (std::isnan(v)) {
+      has_nan = true;
+      break;
+    }
+  }
+  if (has_nan) {
+    sanitized.assign(input.begin(), input.end());
+    for (double& v : sanitized) {
+      if (std::isnan(v)) v = std::numeric_limits<double>::infinity();
+    }
+    routed = sanitized;
+  }
+  const serve::LookupCache::Key key =
+      serve::LookupCache::quantize(routed, resolution_);
+  // splitmix64-style combine over the bin vector (the cache's own hash is
+  // private; this one only needs to be stable and well-mixed).
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ key.size();
+  for (const std::int64_t bin : key) {
+    auto u = static_cast<std::uint64_t>(bin);
+    u ^= u >> 30;
+    u *= 0xbf58476d1ce4e5b9ULL;
+    u ^= u >> 27;
+    u *= 0x94d049bb133111ebULL;
+    u ^= u >> 31;
+    h ^= u + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return static_cast<std::size_t>(h % shards_);
+}
+
+std::vector<std::vector<std::size_t>> ShardRouter::partition(
+    const tensor::Matrix& inputs) const {
+  std::vector<std::vector<std::size_t>> rows_by_shard(shards_);
+  for (std::size_t r = 0; r < inputs.rows(); ++r) {
+    rows_by_shard[shard_for(inputs.row(r))].push_back(r);
+  }
+  return rows_by_shard;
+}
+
+}  // namespace le::net

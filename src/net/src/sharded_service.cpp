@@ -1,0 +1,755 @@
+#include "le/net/sharded_service.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include <sys/wait.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include "le/ckpt/container.hpp"
+
+namespace le::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using Snapshot = obs::EffectiveSpeedupMeter::Snapshot;
+
+constexpr const char* kCkptParamsSection = "net-shard-params";
+constexpr const char* kCkptMeterSection = "net-shard-meter";
+
+void put_snapshot(WireWriter& w, const Snapshot& s) {
+  w.put_u64(s.n_lookup);
+  w.put_u64(s.n_train);
+  w.put_u64(s.seq_samples);
+  w.put_f64(s.lookup_seconds);
+  w.put_f64(s.train_seconds);
+  w.put_f64(s.learn_seconds);
+  w.put_f64(s.seq_seconds);
+}
+
+Snapshot read_snapshot(WireReader& r) {
+  Snapshot s;
+  s.n_lookup = static_cast<std::size_t>(r.u64());
+  s.n_train = static_cast<std::size_t>(r.u64());
+  s.seq_samples = static_cast<std::size_t>(r.u64());
+  s.lookup_seconds = r.f64();
+  s.train_seconds = r.f64();
+  s.learn_seconds = r.f64();
+  s.seq_seconds = r.f64();
+  return s;
+}
+
+/// kQuery payload: u32 rows | u32 cols | f64_vec data (row-major) |
+/// u8 has_deadlines | rows x f64 remaining-budget seconds (NaN = none).
+std::string encode_query(const tensor::Matrix& inputs,
+                         std::span<const std::size_t> row_ids,
+                         std::span<const serve::Deadline> deadlines,
+                         Clock::time_point now) {
+  WireWriter w;
+  w.put_u32(static_cast<std::uint32_t>(row_ids.size()));
+  w.put_u32(static_cast<std::uint32_t>(inputs.cols()));
+  std::vector<double> flat;
+  flat.reserve(row_ids.size() * inputs.cols());
+  for (const std::size_t r : row_ids) {
+    const auto row = inputs.row(r);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  w.put_f64_vec(flat);
+  const bool has_deadlines = !deadlines.empty();
+  w.put_u8(has_deadlines ? 1 : 0);
+  if (has_deadlines) {
+    for (const std::size_t r : row_ids) {
+      // Remaining budget, not an absolute time: the worker's clock is not
+      // the router's.  Time already spent (including in flight) is gone.
+      double remaining = std::numeric_limits<double>::quiet_NaN();
+      if (deadlines[r].has_value()) {
+        remaining = std::chrono::duration<double>(*deadlines[r] - now).count();
+      }
+      w.put_f64(remaining);
+    }
+  }
+  return w.take();
+}
+
+serve::ShedReason decode_shed_reason(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(serve::ShedReason::kWorkerDown)) {
+    throw WireError("le-net: unknown ShedReason value " + std::to_string(raw));
+  }
+  return static_cast<serve::ShedReason>(raw);
+}
+
+NetAnswerSource decode_source(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(NetAnswerSource::kShed)) {
+    throw WireError("le-net: unknown NetAnswerSource value " +
+                    std::to_string(raw));
+  }
+  return static_cast<NetAnswerSource>(raw);
+}
+
+/// kAnswer payload: u32 rows | per row: u8 source | u8 shed_reason |
+/// f64 uncertainty | f64 seconds | f64_vec values.
+std::string encode_answers(std::span<const NetAnswer> answers) {
+  WireWriter w;
+  w.put_u32(static_cast<std::uint32_t>(answers.size()));
+  for (const NetAnswer& a : answers) {
+    w.put_u8(static_cast<std::uint8_t>(a.source));
+    w.put_u8(static_cast<std::uint8_t>(a.shed_reason));
+    w.put_f64(a.uncertainty);
+    w.put_f64(a.seconds);
+    w.put_f64_vec(a.values);
+  }
+  return w.take();
+}
+
+std::vector<NetAnswer> decode_answers(std::string_view payload,
+                                      std::size_t expected_rows) {
+  WireReader r(payload);
+  const std::uint32_t rows = r.u32();
+  if (rows != expected_rows) {
+    throw WireError("le-net: kAnswer row count mismatch: sent " +
+                    std::to_string(expected_rows) + ", got " +
+                    std::to_string(rows));
+  }
+  std::vector<NetAnswer> answers(rows);
+  for (NetAnswer& a : answers) {
+    a.source = decode_source(r.u8());
+    a.shed_reason = decode_shed_reason(r.u8());
+    a.uncertainty = r.f64();
+    a.seconds = r.f64();
+    a.values = r.f64_vec();
+  }
+  r.expect_end();
+  return answers;
+}
+
+NetAnswer make_worker_down_answer() {
+  NetAnswer a;
+  a.source = NetAnswerSource::kShed;
+  a.shed_reason = serve::ShedReason::kWorkerDown;
+  return a;
+}
+
+void write_worker_checkpoint(const std::string& path, ShardBackend& backend) {
+  WireWriter params;
+  params.put_f64_vec(backend.export_params());
+  WireWriter meter;
+  put_snapshot(meter, backend.meter().snapshot());
+  ckpt::write_checkpoint(
+      path, {{kCkptParamsSection, params.take()},
+             {kCkptMeterSection, meter.take()}});
+}
+
+/// Restores backend state from `path`; returns false (leaving the backend
+/// untouched where possible) when the file is absent or corrupt — recovery
+/// fails open, unlike frames.
+bool try_recover_worker(const std::string& path, ShardBackend& backend) {
+  std::vector<ckpt::Section> sections;
+  try {
+    sections = ckpt::read_checkpoint(path);
+  } catch (const ckpt::CheckpointError&) {
+    return false;
+  }
+  const auto find = [&](const char* name) -> const ckpt::Section* {
+    for (const auto& s : sections) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  const ckpt::Section* params = find(kCkptParamsSection);
+  const ckpt::Section* meter = find(kCkptMeterSection);
+  if (params == nullptr || meter == nullptr) return false;
+  try {
+    WireReader pr(params->payload);
+    const std::vector<double> flat = pr.f64_vec();
+    pr.expect_end();
+    WireReader mr(meter->payload);
+    const Snapshot snap = read_snapshot(mr);
+    mr.expect_end();
+    backend.import_params(flat);
+    backend.meter().restore(snap);
+  } catch (const WireError&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void serve_shard_loop(Channel& channel, ShardBackend& backend,
+                      const std::string& checkpoint_path) {
+  bool recovered = false;
+  if (!checkpoint_path.empty()) {
+    recovered = try_recover_worker(checkpoint_path, backend);
+  }
+
+  {
+    WireWriter hello;
+    hello.put_u8(recovered ? 1 : 0);
+    put_snapshot(hello, backend.meter().snapshot());
+    channel.send_frame(MsgType::kHello, hello.bytes());
+  }
+
+  for (;;) {
+    Frame request;
+    try {
+      request = channel.recv_frame();
+    } catch (const TransportError&) {
+      return;  // router gone: exit, never linger as an orphan
+    }
+
+    try {
+      switch (request.type) {
+        case MsgType::kQuery: {
+          WireReader r(request.payload);
+          const std::uint32_t rows = r.u32();
+          const std::uint32_t cols = r.u32();
+          const std::vector<double> flat = r.f64_vec();
+          if (flat.size() != static_cast<std::size_t>(rows) * cols) {
+            throw WireError("le-net: kQuery data size mismatch");
+          }
+          tensor::Matrix inputs(rows, cols);
+          std::copy(flat.begin(), flat.end(), inputs.data());
+          std::vector<serve::Deadline> deadlines;
+          if (r.u8() != 0) {
+            // Re-anchor the remaining budgets on THIS process's clock.
+            const Clock::time_point now = Clock::now();
+            deadlines.reserve(rows);
+            for (std::uint32_t i = 0; i < rows; ++i) {
+              const double remaining = r.f64();
+              if (std::isnan(remaining)) {
+                deadlines.emplace_back(std::nullopt);
+              } else {
+                deadlines.emplace_back(
+                    now + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(remaining)));
+              }
+            }
+          }
+          r.expect_end();
+          const std::vector<NetAnswer> answers =
+              backend.query_batch(inputs, deadlines);
+          if (answers.size() != rows) {
+            throw std::runtime_error("backend returned " +
+                                     std::to_string(answers.size()) +
+                                     " answers for " + std::to_string(rows) +
+                                     " rows");
+          }
+          channel.send_frame(MsgType::kAnswer, encode_answers(answers));
+          break;
+        }
+        case MsgType::kSyncPull: {
+          WireWriter w;
+          w.put_f64_vec(backend.export_params());
+          channel.send_frame(MsgType::kParams, w.bytes());
+          break;
+        }
+        case MsgType::kSyncPush: {
+          WireReader r(request.payload);
+          const std::vector<double> params = r.f64_vec();
+          r.expect_end();
+          backend.import_params(params);
+          channel.send_frame(MsgType::kAck, "");
+          break;
+        }
+        case MsgType::kStats: {
+          WireWriter w;
+          put_snapshot(w, backend.meter().snapshot());
+          channel.send_frame(MsgType::kStatsReply, w.bytes());
+          break;
+        }
+        case MsgType::kCheckpoint: {
+          if (checkpoint_path.empty()) {
+            channel.send_frame(MsgType::kError,
+                               "worker has no checkpoint path configured");
+          } else {
+            write_worker_checkpoint(checkpoint_path, backend);
+            channel.send_frame(MsgType::kAck, "");
+          }
+          break;
+        }
+        case MsgType::kShutdown:
+          channel.send_frame(MsgType::kAck, "");
+          return;
+        default:
+          channel.send_frame(
+              MsgType::kError,
+              "unexpected frame type " +
+                  std::to_string(static_cast<unsigned>(request.type)));
+          break;
+      }
+    } catch (const TransportError&) {
+      return;  // reply could not be delivered: router gone
+    } catch (const std::exception& e) {
+      // A failed request is not a dead worker: report it and keep serving.
+      try {
+        channel.send_frame(MsgType::kError, e.what());
+      } catch (const std::exception&) {
+        return;
+      }
+    }
+  }
+}
+
+struct ShardedService::Worker {
+  std::mutex mutex;
+  Channel channel;
+  pid_t pid = -1;
+  bool alive = false;
+  std::size_t restarts = 0;
+  /// Last snapshot seen from this shard: counters outlive their worker at
+  /// the router even when the shard is down.
+  Snapshot last_meter;
+};
+
+ShardedService::ShardedService(ShardedServiceConfig config,
+                               BackendFactory factory)
+    : config_(std::move(config)),
+      factory_(std::move(factory)),
+      router_(config_.shards, config_.key_resolution) {
+  if (!factory_) {
+    throw std::invalid_argument("ShardedService: backend factory is empty");
+  }
+  workers_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+}
+
+ShardedService::~ShardedService() {
+  try {
+    stop();
+  } catch (const std::exception&) {
+    // Destructors don't throw; stop() is best-effort here.
+  }
+}
+
+std::string ShardedService::checkpoint_path(std::size_t shard) const {
+  if (config_.checkpoint_dir.empty()) return {};
+  return config_.checkpoint_dir + "/shard" + std::to_string(shard) + ".ckpt";
+}
+
+void ShardedService::spawn_locked(std::size_t shard) {
+  Worker& worker = *workers_[shard];
+  auto [router_end, worker_end] = make_channel_pair();
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw TransportError(std::string("ShardedService: fork failed: ") +
+                         std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: this block must never return.  _exit (not exit) so the
+    // parent's atexit handlers and stream buffers are not run twice.
+    try {
+#ifdef __linux__
+      // Die with the router even if it is SIGKILLed and never reaches
+      // stop(); EOF on the socket covers the graceful paths.
+      ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+      router_end.close();
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        // Inherited copies of sibling router-end descriptors would keep
+        // those sockets open after the router dies — close them all.
+        if (i != shard) workers_[i]->channel.close();
+      }
+      const std::unique_ptr<ShardBackend> backend = factory_(shard);
+      if (backend == nullptr) _exit(2);
+      serve_shard_loop(worker_end, *backend, checkpoint_path(shard));
+      _exit(0);
+    } catch (const std::exception&) {
+      _exit(1);
+    }
+  }
+
+  // Parent.
+  worker_end.close();
+  worker.channel = std::move(router_end);
+  worker.channel.set_recv_timeout(config_.recv_timeout_seconds);
+  worker.pid = pid;
+
+  try {
+    const Frame hello = worker.channel.recv_frame();
+    if (hello.type != MsgType::kHello) {
+      throw WireError("ShardedService: expected kHello, got type " +
+                      std::to_string(static_cast<unsigned>(hello.type)));
+    }
+    WireReader r(hello.payload);
+    const bool recovered = r.u8() != 0;
+    worker.last_meter = read_snapshot(r);
+    r.expect_end();
+    worker.alive = true;
+    if (recovered) {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.recovered_restarts;
+    }
+  } catch (const std::exception&) {
+    worker.channel.close();
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    worker.pid = -1;
+    worker.alive = false;
+    throw;
+  }
+}
+
+bool ShardedService::handle_death_locked(std::size_t shard) {
+  Worker& worker = *workers_[shard];
+  worker.alive = false;
+  worker.channel.close();
+  if (worker.pid > 0) {
+    ::kill(worker.pid, SIGKILL);  // ensure a wedged worker is truly gone
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+    worker.pid = -1;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.worker_deaths;
+  }
+  if (!config_.restart_dead_workers ||
+      worker.restarts >= config_.max_restarts_per_shard) {
+    return false;
+  }
+  ++worker.restarts;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.restarts;
+  }
+  try {
+    spawn_locked(shard);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return worker.alive;
+}
+
+Frame ShardedService::exchange_locked(std::size_t shard, MsgType type,
+                                      const std::string& payload) {
+  Worker& worker = *workers_[shard];
+  worker.channel.send_frame(type, payload);
+  return worker.channel.recv_frame();
+}
+
+void ShardedService::start() {
+  if (started_) throw std::logic_error("ShardedService: already started");
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    const std::lock_guard<std::mutex> lock(workers_[s]->mutex);
+    spawn_locked(s);
+  }
+  started_ = true;
+}
+
+void ShardedService::stop() {
+  if (!started_) return;
+  std::vector<pid_t> pids;
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    Worker& worker = *workers_[s];
+    const std::lock_guard<std::mutex> lock(worker.mutex);
+    if (worker.alive) {
+      try {
+        worker.channel.send_frame(MsgType::kShutdown, "");
+        (void)worker.channel.recv_frame();  // best-effort kAck
+      } catch (const std::exception&) {
+        // Dying during shutdown is an acceptable way to shut down.
+      }
+    }
+    worker.channel.close();
+    if (worker.pid > 0) pids.push_back(worker.pid);
+    worker.pid = -1;
+    worker.alive = false;
+  }
+  // Short grace for clean exits, then SIGKILL stragglers; reap everything.
+  for (const pid_t pid : pids) {
+    bool reaped = false;
+    for (int i = 0; i < 200 && !reaped; ++i) {
+      int status = 0;
+      const pid_t got = ::waitpid(pid, &status, WNOHANG);
+      if (got == pid || (got < 0 && errno == ECHILD)) {
+        reaped = true;
+      } else {
+        ::usleep(10 * 1000);
+      }
+    }
+    if (!reaped) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+  }
+  started_ = false;
+}
+
+std::vector<NetAnswer> ShardedService::query_batch(
+    const tensor::Matrix& inputs, std::span<const serve::Deadline> deadlines) {
+  if (!started_) throw std::logic_error("ShardedService: not started");
+  if (!deadlines.empty() && deadlines.size() != inputs.rows()) {
+    throw std::invalid_argument(
+        "ShardedService::query_batch: deadlines must be empty or one per row");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches;
+    stats_.rows += inputs.rows();
+  }
+  std::vector<NetAnswer> answers(inputs.rows());
+  if (inputs.rows() == 0) return answers;
+
+  const std::vector<std::vector<std::size_t>> parts = router_.partition(inputs);
+
+  // Lock every involved shard in ascending index order (deadlock-free for
+  // concurrent callers), then send all sub-batches before collecting any
+  // reply, so the workers overlap their work even under a single caller.
+  std::vector<std::size_t> involved;
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    if (!parts[s].empty()) involved.push_back(s);
+  }
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(involved.size());
+  for (const std::size_t s : involved) {
+    locks.emplace_back(workers_[s]->mutex);
+  }
+
+  const Clock::time_point now = Clock::now();
+  const auto shed_shard = [&](std::size_t s) {
+    for (const std::size_t row : parts[s]) {
+      answers[row] = make_worker_down_answer();
+    }
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.rows_shed_worker_down += parts[s].size();
+  };
+
+  std::vector<bool> sent(parts.size(), false);
+  for (const std::size_t s : involved) {
+    Worker& worker = *workers_[s];
+    if (!worker.alive && !handle_death_locked(s)) {
+      shed_shard(s);
+      continue;
+    }
+    try {
+      worker.channel.send_frame(
+          MsgType::kQuery, encode_query(inputs, parts[s], deadlines, now));
+      sent[s] = true;
+    } catch (const std::exception&) {
+      handle_death_locked(s);
+      shed_shard(s);
+    }
+  }
+
+  for (const std::size_t s : involved) {
+    if (!sent[s]) continue;
+    try {
+      const Frame reply = workers_[s]->channel.recv_frame();
+      if (reply.type == MsgType::kError) {
+        // The backend refused the batch but the worker is fine: the rows
+        // are shed (typed), the shard stays up.
+        shed_shard(s);
+        continue;
+      }
+      if (reply.type != MsgType::kAnswer) {
+        throw WireError("ShardedService: expected kAnswer, got type " +
+                        std::to_string(static_cast<unsigned>(reply.type)));
+      }
+      const std::vector<NetAnswer> shard_answers =
+          decode_answers(reply.payload, parts[s].size());
+      for (std::size_t j = 0; j < parts[s].size(); ++j) {
+        answers[parts[s][j]] = shard_answers[j];
+      }
+    } catch (const std::exception&) {
+      handle_death_locked(s);
+      shed_shard(s);
+    }
+  }
+  return answers;
+}
+
+obs::EffectiveSpeedupMeter::Snapshot ShardedService::shard_meter(
+    std::size_t shard) {
+  if (shard >= workers_.size()) {
+    throw std::out_of_range("ShardedService::shard_meter: bad shard index");
+  }
+  Worker& worker = *workers_[shard];
+  const std::lock_guard<std::mutex> lock(worker.mutex);
+  if (worker.alive) {
+    try {
+      const Frame reply = exchange_locked(shard, MsgType::kStats, "");
+      if (reply.type != MsgType::kStatsReply) {
+        throw WireError("ShardedService: expected kStatsReply");
+      }
+      WireReader r(reply.payload);
+      worker.last_meter = read_snapshot(r);
+      r.expect_end();
+    } catch (const std::exception&) {
+      handle_death_locked(shard);
+    }
+  }
+  return worker.last_meter;
+}
+
+obs::EffectiveSpeedupMeter::Snapshot ShardedService::merged_meter() {
+  Snapshot merged;
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    merged.merge(shard_meter(s));
+  }
+  return merged;
+}
+
+void ShardedService::sync_replicas(runtime::SyncModel pattern) {
+  if (pattern != runtime::SyncModel::kAllreduce &&
+      pattern != runtime::SyncModel::kRotation) {
+    throw std::invalid_argument(
+        "ShardedService::sync_replicas: only kAllreduce and kRotation map "
+        "onto cross-process replica merges");
+  }
+  if (!started_) throw std::logic_error("ShardedService: not started");
+
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(workers_.size());
+  for (auto& worker : workers_) {
+    locks.emplace_back(worker->mutex);
+  }
+
+  // Pull from every live shard; a shard that dies mid-sync simply sits
+  // this round out (its respawned replica converges next round).
+  std::vector<std::size_t> members;
+  std::vector<std::vector<double>> replicas;
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    if (!workers_[s]->alive) continue;
+    try {
+      const Frame reply = exchange_locked(s, MsgType::kSyncPull, "");
+      if (reply.type != MsgType::kParams) {
+        throw WireError("ShardedService: expected kParams");
+      }
+      WireReader r(reply.payload);
+      replicas.push_back(r.f64_vec());
+      r.expect_end();
+      members.push_back(s);
+    } catch (const std::exception&) {
+      handle_death_locked(s);
+    }
+  }
+
+  if (pattern == runtime::SyncModel::kAllreduce) {
+    runtime::allreduce_mean(replicas);
+  } else {
+    runtime::rotation_merge(replicas, sync_round_++);
+  }
+
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const std::size_t s = members[i];
+    try {
+      WireWriter w;
+      w.put_f64_vec(replicas[i]);
+      const Frame reply = exchange_locked(s, MsgType::kSyncPush, w.bytes());
+      if (reply.type != MsgType::kAck) {
+        throw WireError("ShardedService: expected kAck");
+      }
+    } catch (const std::exception&) {
+      handle_death_locked(s);
+    }
+  }
+}
+
+void ShardedService::checkpoint_all() {
+  if (config_.checkpoint_dir.empty()) return;
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    Worker& worker = *workers_[s];
+    const std::lock_guard<std::mutex> lock(worker.mutex);
+    if (!worker.alive) continue;
+    try {
+      const Frame reply = exchange_locked(s, MsgType::kCheckpoint, "");
+      if (reply.type != MsgType::kAck) {
+        throw WireError("ShardedService: expected kAck");
+      }
+    } catch (const std::exception&) {
+      handle_death_locked(s);
+    }
+  }
+}
+
+std::vector<double> ShardedService::pull_params(std::size_t shard) {
+  if (shard >= workers_.size()) {
+    throw std::out_of_range("ShardedService::pull_params: bad shard index");
+  }
+  Worker& worker = *workers_[shard];
+  const std::lock_guard<std::mutex> lock(worker.mutex);
+  if (!worker.alive) {
+    throw TransportError("ShardedService::pull_params: shard is down");
+  }
+  try {
+    const Frame reply = exchange_locked(shard, MsgType::kSyncPull, "");
+    if (reply.type != MsgType::kParams) {
+      throw WireError("ShardedService: expected kParams");
+    }
+    WireReader r(reply.payload);
+    std::vector<double> params = r.f64_vec();
+    r.expect_end();
+    return params;
+  } catch (const std::exception&) {
+    handle_death_locked(shard);
+    throw;
+  }
+}
+
+void ShardedService::push_params(std::size_t shard,
+                                 std::span<const double> params) {
+  if (shard >= workers_.size()) {
+    throw std::out_of_range("ShardedService::push_params: bad shard index");
+  }
+  Worker& worker = *workers_[shard];
+  const std::lock_guard<std::mutex> lock(worker.mutex);
+  if (!worker.alive) {
+    throw TransportError("ShardedService::push_params: shard is down");
+  }
+  try {
+    WireWriter w;
+    w.put_f64_vec(params);
+    const Frame reply = exchange_locked(shard, MsgType::kSyncPush, w.bytes());
+    if (reply.type != MsgType::kAck) {
+      throw WireError("ShardedService: expected kAck");
+    }
+  } catch (const std::exception&) {
+    handle_death_locked(shard);
+    throw;
+  }
+}
+
+void ShardedService::kill_shard(std::size_t shard) {
+  if (shard >= workers_.size()) {
+    throw std::out_of_range("ShardedService::kill_shard: bad shard index");
+  }
+  Worker& worker = *workers_[shard];
+  const std::lock_guard<std::mutex> lock(worker.mutex);
+  if (worker.alive && worker.pid > 0) {
+    // SIGKILL only: the router is NOT told — the next exchange discovers
+    // the death exactly as it would a real crash.
+    ::kill(worker.pid, SIGKILL);
+  }
+}
+
+bool ShardedService::shard_alive(std::size_t shard) const {
+  if (shard >= workers_.size()) {
+    throw std::out_of_range("ShardedService::shard_alive: bad shard index");
+  }
+  Worker& worker = *workers_[shard];
+  const std::lock_guard<std::mutex> lock(worker.mutex);
+  return worker.alive;
+}
+
+ShardedServiceStats ShardedService::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace le::net

@@ -1,0 +1,114 @@
+#include "le/net/transport.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace le::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw TransportError(std::string("le-net transport: ") + what + ": " +
+                       std::strerror(errno));
+}
+
+}  // namespace
+
+Channel::~Channel() { close(); }
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Channel::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Channel::send_frame(MsgType type, std::string_view payload) {
+  if (fd_ < 0) throw TransportError("le-net transport: send on closed channel");
+  const std::string frame = encode_frame(type, payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
+    // router with SIGPIPE.
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send failed (peer dead?)");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Frame Channel::recv_frame() {
+  if (fd_ < 0) throw TransportError("le-net transport: recv on closed channel");
+  const auto read_exact = [&](void* buf, std::size_t len) {
+    std::size_t got = 0;
+    auto* bytes = static_cast<std::uint8_t*>(buf);
+    while (got < len) {
+      const ssize_t n = ::recv(fd_, bytes + got, len - got, 0);
+      if (n == 0) {
+        throw TransportError("le-net transport: peer closed the connection");
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          throw TransportError(
+              "le-net transport: receive timed out (peer wedged?)");
+        }
+        throw_errno("recv failed");
+      }
+      got += static_cast<std::size_t>(n);
+    }
+  };
+
+  std::uint8_t header_bytes[kFrameHeaderBytes];
+  read_exact(header_bytes, sizeof header_bytes);
+  const FrameHeader header = decode_frame_header(
+      std::span<const std::uint8_t, kFrameHeaderBytes>(header_bytes));
+
+  Frame frame;
+  frame.type = header.type;
+  frame.payload.resize(header.payload_len);
+  if (header.payload_len > 0) {
+    read_exact(frame.payload.data(), frame.payload.size());
+  }
+  check_payload(header, frame.payload);
+  return frame;
+}
+
+void Channel::set_recv_timeout(double seconds) {
+  if (fd_ < 0) return;
+  if (!(seconds >= 0.0) || !std::isfinite(seconds)) seconds = 0.0;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO) failed");
+  }
+}
+
+std::pair<Channel, Channel> make_channel_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw_errno("socketpair failed");
+  }
+  return {Channel(fds[0]), Channel(fds[1])};
+}
+
+}  // namespace le::net

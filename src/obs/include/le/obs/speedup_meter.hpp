@@ -67,6 +67,15 @@ class EffectiveSpeedupMeter {
 
     /// One human-readable line: S, both limits, counts.
     [[nodiscard]] std::string summary() const;
+
+    /// Accumulates another meter's counters into this snapshot — the
+    /// aggregation primitive for sharded serving, where every worker
+    /// process owns its own meter and the router merges the per-shard
+    /// snapshots into one fleet-wide Section III-D accounting.  Counters
+    /// and wall-time sums add component-wise, so the merged speedup() is
+    /// the S of the combined workload (NOT a mean of per-shard speedups,
+    /// which would be meaningless for a ratio of sums).
+    void merge(const Snapshot& other) noexcept;
   };
 
   [[nodiscard]] Snapshot snapshot() const noexcept;

@@ -78,6 +78,16 @@ std::string EffectiveSpeedupMeter::Snapshot::summary() const {
   return out.str();
 }
 
+void EffectiveSpeedupMeter::Snapshot::merge(const Snapshot& other) noexcept {
+  n_lookup += other.n_lookup;
+  n_train += other.n_train;
+  seq_samples += other.seq_samples;
+  lookup_seconds += other.lookup_seconds;
+  train_seconds += other.train_seconds;
+  learn_seconds += other.learn_seconds;
+  seq_seconds += other.seq_seconds;
+}
+
 EffectiveSpeedupMeter::Snapshot EffectiveSpeedupMeter::snapshot()
     const noexcept {
   Snapshot snap;

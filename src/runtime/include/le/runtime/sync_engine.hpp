@@ -89,6 +89,25 @@ enum class SyncModel { kLocking, kRotation, kAllreduce, kAsynchronous };
 
 [[nodiscard]] std::string to_string(SyncModel m);
 
+/// Allreduce-style replica merge (pattern c) over materialized parameter
+/// vectors: every replica is overwritten with the component-wise mean of
+/// all of them, so replicas never diverge — the cross-process counterpart
+/// of the in-engine gradient allreduce, used by le::net to synchronize
+/// surrogate replicas across shard workers.  All replicas must share one
+/// dimension; throws std::invalid_argument otherwise.  A no-op for fewer
+/// than two replicas.
+void allreduce_mean(std::span<std::vector<double>> replicas);
+
+/// Rotation-style replica merge (pattern b, the Harp model-rotation
+/// schedule): the parameter vector is partitioned into P contiguous blocks
+/// (P = replica count, block size ceil(d / P)), block b's authoritative
+/// copy for this `round` is replica (b + round) mod P, and every replica
+/// is overwritten with the owned blocks — after the call all replicas are
+/// identical, and over P successive rounds every replica has owned every
+/// block once.  Same shape requirements as allreduce_mean.
+void rotation_merge(std::span<std::vector<double>> replicas,
+                    std::size_t round);
+
 struct SyncRunConfig {
   SyncModel model = SyncModel::kAllreduce;
   std::size_t workers = 4;

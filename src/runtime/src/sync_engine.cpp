@@ -88,6 +88,49 @@ std::string to_string(SyncModel m) {
 
 namespace {
 
+void check_replica_shapes(std::span<std::vector<double>> replicas) {
+  for (const auto& r : replicas) {
+    if (r.size() != replicas.front().size()) {
+      throw std::invalid_argument(
+          "replica merge: replicas disagree on parameter dimension");
+    }
+  }
+}
+
+}  // namespace
+
+void allreduce_mean(std::span<std::vector<double>> replicas) {
+  if (replicas.size() < 2) return;
+  check_replica_shapes(replicas);
+  const std::size_t d = replicas.front().size();
+  const double inv = 1.0 / static_cast<double>(replicas.size());
+  std::vector<double> mean(d, 0.0);
+  for (const auto& r : replicas) {
+    for (std::size_t i = 0; i < d; ++i) mean[i] += r[i];
+  }
+  for (std::size_t i = 0; i < d; ++i) mean[i] *= inv;
+  for (auto& r : replicas) r = mean;
+}
+
+void rotation_merge(std::span<std::vector<double>> replicas,
+                    std::size_t round) {
+  if (replicas.size() < 2) return;
+  check_replica_shapes(replicas);
+  const std::size_t p = replicas.size();
+  const std::size_t d = replicas.front().size();
+  const std::size_t block = (d + p - 1) / p;  // same boundaries as the engine
+  std::vector<double> merged(d);
+  for (std::size_t b = 0; b < p; ++b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = std::min(lo + block, d);
+    const auto& owner = replicas[(b + round) % p];
+    for (std::size_t i = lo; i < hi; ++i) merged[i] = owner[i];
+  }
+  for (auto& r : replicas) r = merged;
+}
+
+namespace {
+
 /// Draws a random mini-batch of indices from [0, n).
 void draw_batch(stats::Rng& rng, std::size_t n, std::vector<std::size_t>& batch) {
   for (auto& b : batch) b = rng.index(n);

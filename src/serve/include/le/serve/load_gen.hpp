@@ -18,9 +18,12 @@
 /// overload).  Deterministic: same config, same schedule.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "le/serve/overload.hpp"
 
 namespace le::serve {
 
@@ -50,6 +53,52 @@ struct LoadGenConfig {
 struct Arrival {
   double t = 0.0;       ///< seconds from schedule start
   std::size_t key = 0;  ///< index into the replay driver's key pool
+};
+
+/// Maps a schedule's virtual timeline onto the serving clock, anchored to
+/// ONE caller-supplied epoch.
+///
+/// A replay driver must never derive a request's deadline from the
+/// wall-clock instant it happens to call submit(): when submission lags
+/// behind schedule — a slow driver thread, or the extra RTT of pushing the
+/// same schedule at a *remote* shard worker — a now()-relative deadline
+/// silently shifts later, so the laggard replay grants its requests more
+/// budget and the two runs measure different expiry semantics on identical
+/// schedules.  ReplayClock pins both the submit target and the deadline to
+/// the arrival's *scheduled* time against an explicit epoch:
+///
+///   submit_time(a)        = epoch + a.t
+///   deadline(a, budget)   = submit_time(a) + budget
+///
+/// so a request that reaches the server late has simply spent part of its
+/// budget in flight — exactly what a real client's deadline does — and two
+/// replays of one schedule agree on every expiry no matter how far either
+/// driver fell behind.  bench_overload, the sharded-service replay (E18)
+/// and the overload example all build their deadlines through this.
+class ReplayClock {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit ReplayClock(Clock::time_point epoch) noexcept : epoch_(epoch) {}
+
+  [[nodiscard]] Clock::time_point epoch() const noexcept { return epoch_; }
+
+  /// The instant `a` is scheduled to be submitted.
+  [[nodiscard]] Clock::time_point submit_time(const Arrival& a) const noexcept {
+    return epoch_ + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(a.t));
+  }
+
+  /// The absolute deadline of `a` under a per-request `budget_seconds`,
+  /// anchored to the scheduled arrival (NOT to when submit() runs).
+  [[nodiscard]] Deadline deadline(const Arrival& a,
+                                  double budget_seconds) const noexcept {
+    return submit_time(a) + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(budget_seconds));
+  }
+
+ private:
+  Clock::time_point epoch_;
 };
 
 class LoadGenerator {

@@ -40,6 +40,7 @@ enum class ShedReason {
   kConcurrency,     ///< concurrency token limit reached at admission
   kOverload,        ///< sojourn-time controller / degradation ladder shed
   kStopped,         ///< the queue was stopped before the request arrived
+  kWorkerDown,      ///< the shard worker owning this request's key died
 };
 
 /// Human-readable reason label ("deadline", "queue_full", ...).
@@ -51,6 +52,7 @@ enum class ShedReason {
     case ShedReason::kConcurrency: return "concurrency";
     case ShedReason::kOverload: return "overload";
     case ShedReason::kStopped: return "stopped";
+    case ShedReason::kWorkerDown: return "worker_down";
   }
   return "unknown";
 }

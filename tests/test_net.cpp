@@ -1,0 +1,794 @@
+// Tests for le::net: the le-net-v1 wire format (round trip and every
+// fail-closed path), shard routing (cache affinity, bin boundaries,
+// degenerate and non-finite inputs), the socketpair transport, the worker
+// protocol loop run in-process on a thread (which is how the TSan tier
+// exercises it), and the fork-based ShardedService end to end — including
+// SIGKILL chaos, typed kWorkerDown shedding, checkpoint recovery and the
+// Section III-A replica syncs.  The fork-based suites skip themselves
+// under ThreadSanitizer: TSan does not follow fork(), and the in-process
+// loop tests cover the same protocol code.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "le/ckpt/container.hpp"
+#include "le/net/shard_router.hpp"
+#include "le/net/sharded_service.hpp"
+#include "le/net/transport.hpp"
+#include "le/net/wire.hpp"
+#include "le/serve/lookup_cache.hpp"
+#include "le/serve/overload.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LE_TSAN_BUILD 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__) && !defined(LE_TSAN_BUILD)
+#define LE_TSAN_BUILD 1
+#endif
+
+#ifdef LE_TSAN_BUILD
+#define LE_SKIP_UNDER_TSAN() \
+  GTEST_SKIP() << "fork-based test skipped under TSan (TSan cannot follow " \
+                  "fork); the in-process ShardLoop suite covers the protocol"
+#else
+#define LE_SKIP_UNDER_TSAN() (void)0
+#endif
+
+namespace {
+
+using namespace le;
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------- wire --
+
+TEST(Wire, FrameRoundTrip) {
+  const std::string payload = "hello shard";
+  const std::string frame = net::encode_frame(net::MsgType::kQuery, payload);
+  ASSERT_EQ(frame.size(), net::kFrameHeaderBytes + payload.size());
+
+  std::array<std::uint8_t, net::kFrameHeaderBytes> header_bytes{};
+  std::memcpy(header_bytes.data(), frame.data(), header_bytes.size());
+  const net::FrameHeader header = net::decode_frame_header(header_bytes);
+  EXPECT_EQ(header.type, net::MsgType::kQuery);
+  EXPECT_EQ(header.payload_len, payload.size());
+  net::check_payload(header, payload);  // must not throw
+}
+
+TEST(Wire, EmptyPayloadRoundTrip) {
+  const std::string frame = net::encode_frame(net::MsgType::kStats, "");
+  ASSERT_EQ(frame.size(), net::kFrameHeaderBytes);
+  std::array<std::uint8_t, net::kFrameHeaderBytes> header_bytes{};
+  std::memcpy(header_bytes.data(), frame.data(), header_bytes.size());
+  const net::FrameHeader header = net::decode_frame_header(header_bytes);
+  EXPECT_EQ(header.payload_len, 0U);
+  net::check_payload(header, "");
+}
+
+TEST(Wire, BadMagicFailsClosed) {
+  std::string frame = net::encode_frame(net::MsgType::kAck, "x");
+  frame[0] ^= 0x5A;
+  std::array<std::uint8_t, net::kFrameHeaderBytes> header_bytes{};
+  std::memcpy(header_bytes.data(), frame.data(), header_bytes.size());
+  EXPECT_THROW((void)net::decode_frame_header(header_bytes), net::WireError);
+}
+
+TEST(Wire, VersionSkewIsDistinctFromCorruption) {
+  std::string frame = net::encode_frame(net::MsgType::kAck, "x");
+  frame[4] = static_cast<char>(net::kWireVersion + 1);  // future version
+  std::array<std::uint8_t, net::kFrameHeaderBytes> header_bytes{};
+  std::memcpy(header_bytes.data(), frame.data(), header_bytes.size());
+  EXPECT_THROW((void)net::decode_frame_header(header_bytes),
+               net::VersionSkewError);
+}
+
+TEST(Wire, CrcMismatchFailsClosed) {
+  const std::string frame = net::encode_frame(net::MsgType::kAnswer, "payload");
+  std::array<std::uint8_t, net::kFrameHeaderBytes> header_bytes{};
+  std::memcpy(header_bytes.data(), frame.data(), header_bytes.size());
+  const net::FrameHeader header = net::decode_frame_header(header_bytes);
+  EXPECT_THROW(net::check_payload(header, "paYload"), net::WireError);
+  EXPECT_THROW(net::check_payload(header, "payloa"), net::WireError);
+}
+
+TEST(Wire, OversizedPayloadRejectedAtBothEnds) {
+  // Sender side: encode_frame refuses to build the frame.
+  const std::string big(net::kMaxPayloadBytes + 1, 'x');
+  EXPECT_THROW((void)net::encode_frame(net::MsgType::kQuery, big),
+               net::WireError);
+  // Receiver side: a corrupt header advertising an absurd length is
+  // rejected before any allocation.
+  std::string frame = net::encode_frame(net::MsgType::kQuery, "small");
+  frame[8] = '\xFF';
+  frame[9] = '\xFF';
+  frame[10] = '\xFF';
+  frame[11] = '\xFF';
+  std::array<std::uint8_t, net::kFrameHeaderBytes> header_bytes{};
+  std::memcpy(header_bytes.data(), frame.data(), header_bytes.size());
+  EXPECT_THROW((void)net::decode_frame_header(header_bytes), net::WireError);
+}
+
+TEST(Wire, WriterReaderRoundTripAllPrimitives) {
+  net::WireWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0xBEEF);
+  w.put_u32(0xDEADBEEFU);
+  w.put_u64(0x0123456789ABCDEFULL);
+  w.put_f64(-1234.5678);
+  w.put_f64(std::numeric_limits<double>::quiet_NaN());
+  w.put_f64_vec(std::vector<double>{1.0, -2.5, 3.25});
+  w.put_bytes("tail");
+
+  net::WireReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFU);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(r.f64(), -1234.5678);
+  EXPECT_TRUE(std::isnan(r.f64()));  // NaN deadline sentinel round-trips
+  const std::vector<double> vec = r.f64_vec();
+  ASSERT_EQ(vec.size(), 3U);
+  EXPECT_DOUBLE_EQ(vec[1], -2.5);
+  EXPECT_EQ(r.bytes(4), "tail");
+  r.expect_end();
+}
+
+TEST(Wire, ReaderOverrunAndTrailingBytesFailClosed) {
+  net::WireWriter w;
+  w.put_u32(7);
+  net::WireReader r(w.bytes());
+  (void)r.u32();
+  EXPECT_THROW((void)r.u8(), net::WireError);  // truncated
+
+  net::WireReader r2(w.bytes());
+  (void)r2.u16();
+  EXPECT_THROW(r2.expect_end(), net::WireError);  // trailing garbage
+
+  // An f64_vec whose count promises more doubles than remain must throw
+  // before allocating the promised size.
+  net::WireWriter w3;
+  w3.put_u32(1000000);
+  EXPECT_THROW((void)net::WireReader(w3.bytes()).f64_vec(), net::WireError);
+}
+
+// -------------------------------------------------------------- router --
+
+TEST(ShardRouter, RejectsInvalidConfig) {
+  EXPECT_THROW(net::ShardRouter(0, 0.1), std::invalid_argument);
+  EXPECT_THROW(net::ShardRouter(2, 0.0), std::invalid_argument);
+  EXPECT_THROW(net::ShardRouter(2, -1.0), std::invalid_argument);
+  EXPECT_THROW(net::ShardRouter(2, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(ShardRouter, SingleShardDegenerate) {
+  const net::ShardRouter router(1, 0.1);
+  for (double v = -5.0; v < 5.0; v += 0.37) {
+    const std::vector<double> input{v, v * 2.0};
+    EXPECT_EQ(router.shard_for(input), 0U);
+  }
+}
+
+TEST(ShardRouter, DeterministicAcrossInstances) {
+  const net::ShardRouter a(8, 0.01);
+  const net::ShardRouter b(8, 0.01);
+  for (double v = -3.0; v < 3.0; v += 0.13) {
+    const std::vector<double> input{v, -v, v * 0.5};
+    const std::size_t shard = a.shard_for(input);
+    EXPECT_EQ(shard, a.shard_for(input));  // stable on repeat
+    EXPECT_EQ(shard, b.shard_for(input));  // pure function of config
+  }
+}
+
+TEST(ShardRouter, SameBinSameShardCacheAffinity) {
+  const double res = 0.1;
+  const net::ShardRouter router(16, res);
+  // Pairs that quantize to the same bin must co-locate; this is the cache
+  // affinity the sharded lookup caches depend on.
+  const std::vector<std::pair<double, double>> same_bin = {
+      {1.02, 1.04},    // both bin 10
+      {0.05, 0.1},     // 0.05/0.1 = 0.5 rounds half-away-from-zero to bin 1
+      {-0.05, -0.1},   // symmetric boundary: both bin -1
+      {2.9501, 2.99},  // both bin 30
+  };
+  for (const auto& [x, y] : same_bin) {
+    const std::vector<double> a{x, 7.0};
+    const std::vector<double> b{y, 7.0};
+    ASSERT_EQ(serve::LookupCache::quantize(a, res),
+              serve::LookupCache::quantize(b, res))
+        << x << " vs " << y;
+    EXPECT_EQ(router.shard_for(a), router.shard_for(b)) << x << " vs " << y;
+  }
+}
+
+TEST(ShardRouter, BinBoundaryMatchesCacheQuantizer) {
+  // The router must agree with the cache's own half-away-from-zero
+  // rounding exactly: 0.0499.. is bin 0, 0.05 is bin 1.
+  const double res = 0.1;
+  ASSERT_EQ(serve::LookupCache::quantize(std::vector<double>{0.0499}, res)[0],
+            0);
+  ASSERT_EQ(serve::LookupCache::quantize(std::vector<double>{0.05}, res)[0],
+            1);
+  const net::ShardRouter router(64, res);
+  // Whatever shard bin 1 hashes to, the boundary value must follow it.
+  const std::vector<double> boundary{0.05};
+  const std::vector<double> bin_one{0.1};
+  EXPECT_EQ(router.shard_for(boundary), router.shard_for(bin_one));
+}
+
+TEST(ShardRouter, NonFiniteInputsRouteDeterministically) {
+  const net::ShardRouter router(8, 0.1);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> with_nan{nan, 1.0};
+  const std::vector<double> with_inf{inf, 1.0};
+  EXPECT_EQ(router.shard_for(with_nan), router.shard_for(with_nan));
+  // NaN pins to the +inf sentinel bin, so both route identically.
+  EXPECT_EQ(router.shard_for(with_nan), router.shard_for(with_inf));
+  EXPECT_LT(router.shard_for(std::vector<double>{-inf, 1.0}), 8U);
+}
+
+TEST(ShardRouter, PartitionCoversEveryRowExactlyOnce) {
+  const net::ShardRouter router(4, 0.1);
+  tensor::Matrix inputs(37, 3);
+  for (std::size_t r = 0; r < inputs.rows(); ++r) {
+    for (std::size_t c = 0; c < inputs.cols(); ++c) {
+      inputs(r, c) = 0.37 * static_cast<double>(r) - 1.1 * static_cast<double>(c);
+    }
+  }
+  const auto parts = router.partition(inputs);
+  ASSERT_EQ(parts.size(), 4U);
+  std::vector<int> seen(inputs.rows(), 0);
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    std::size_t prev = 0;
+    bool first = true;
+    for (const std::size_t row : parts[s]) {
+      ASSERT_LT(row, inputs.rows());
+      ++seen[row];
+      EXPECT_EQ(router.shard_for(inputs.row(row)), s);
+      if (!first) EXPECT_GT(row, prev);  // row order preserved within shard
+      prev = row;
+      first = false;
+    }
+  }
+  for (std::size_t r = 0; r < inputs.rows(); ++r) EXPECT_EQ(seen[r], 1);
+}
+
+// ----------------------------------------------------------- transport --
+
+TEST(Transport, FrameRoundTripOverSocketpair) {
+  auto [a, b] = net::make_channel_pair();
+  a.send_frame(net::MsgType::kQuery, "ping");
+  const net::Frame got = b.recv_frame();
+  EXPECT_EQ(got.type, net::MsgType::kQuery);
+  EXPECT_EQ(got.payload, "ping");
+  b.send_frame(net::MsgType::kAnswer, "");
+  const net::Frame back = a.recv_frame();
+  EXPECT_EQ(back.type, net::MsgType::kAnswer);
+  EXPECT_TRUE(back.payload.empty());
+}
+
+TEST(Transport, PeerCloseIsTransportErrorNotHang) {
+  auto [a, b] = net::make_channel_pair();
+  b.close();
+  EXPECT_THROW((void)a.recv_frame(), net::TransportError);
+  EXPECT_THROW(a.send_frame(net::MsgType::kQuery, "x"), net::TransportError);
+}
+
+TEST(Transport, RecvTimeoutFiresInsteadOfBlocking) {
+  auto [a, b] = net::make_channel_pair();
+  a.set_recv_timeout(0.05);
+  const auto t0 = Clock::now();
+  EXPECT_THROW((void)a.recv_frame(), net::TransportError);
+  const double waited = std::chrono::duration<double>(Clock::now() - t0).count();
+  EXPECT_LT(waited, 5.0);  // it timed out, it did not block forever
+  (void)b;
+}
+
+TEST(Transport, CorruptBytesOnWireFailClosed) {
+  auto [a, b] = net::make_channel_pair();
+  std::string frame = net::encode_frame(net::MsgType::kQuery, "payload");
+  frame[frame.size() - 1] ^= 0x01;  // flip one payload bit
+  ASSERT_EQ(::write(a.fd(), frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  EXPECT_THROW((void)b.recv_frame(), net::WireError);
+}
+
+// --------------------------------------------------- protocol fixtures --
+
+/// Minimal deterministic backend: answer = sum(row) * params[0]; expired
+/// deadlines shed with kDeadline; every served row meters one lookup.
+class TestBackend : public net::ShardBackend {
+ public:
+  explicit TestBackend(double scale) : params_{scale} {}
+
+  std::vector<net::NetAnswer> query_batch(
+      const tensor::Matrix& inputs,
+      std::span<const serve::Deadline> deadlines) override {
+    std::vector<net::NetAnswer> out(inputs.rows());
+    const auto now = Clock::now();
+    for (std::size_t r = 0; r < inputs.rows(); ++r) {
+      if (!deadlines.empty() && deadlines[r].has_value() &&
+          *deadlines[r] < now) {
+        out[r].source = net::NetAnswerSource::kShed;
+        out[r].shed_reason = serve::ShedReason::kDeadline;
+        continue;
+      }
+      double sum = 0.0;
+      for (const double v : inputs.row(r)) sum += v;
+      out[r].values = {sum * params_[0]};
+      out[r].seconds = 1e-6;
+      meter_.record_lookup(1e-6);
+    }
+    return out;
+  }
+
+  obs::EffectiveSpeedupMeter& meter() override { return meter_; }
+  std::vector<double> export_params() override { return params_; }
+  void import_params(std::span<const double> params) override {
+    params_.assign(params.begin(), params.end());
+  }
+
+ private:
+  obs::EffectiveSpeedupMeter meter_;
+  std::vector<double> params_;
+};
+
+std::string encode_query_payload(const tensor::Matrix& inputs,
+                                 const std::vector<double>& budgets) {
+  net::WireWriter w;
+  w.put_u32(static_cast<std::uint32_t>(inputs.rows()));
+  w.put_u32(static_cast<std::uint32_t>(inputs.cols()));
+  w.put_f64_vec(inputs.flat());
+  w.put_u8(budgets.empty() ? 0 : 1);
+  for (const double b : budgets) w.put_f64(b);
+  return w.take();
+}
+
+struct DecodedAnswer {
+  std::vector<double> values;
+  net::NetAnswerSource source = net::NetAnswerSource::kSurrogate;
+  serve::ShedReason shed_reason = serve::ShedReason::kNone;
+};
+
+std::vector<DecodedAnswer> decode_answer_payload(std::string_view payload) {
+  net::WireReader r(payload);
+  std::vector<DecodedAnswer> out(r.u32());
+  for (auto& a : out) {
+    a.source = static_cast<net::NetAnswerSource>(r.u8());
+    a.shed_reason = static_cast<serve::ShedReason>(r.u8());
+    (void)r.f64();  // uncertainty
+    (void)r.f64();  // seconds
+    a.values = r.f64_vec();
+  }
+  r.expect_end();
+  return out;
+}
+
+obs::EffectiveSpeedupMeter::Snapshot decode_snapshot(std::string_view payload) {
+  net::WireReader r(payload);
+  obs::EffectiveSpeedupMeter::Snapshot s;
+  s.n_lookup = static_cast<std::size_t>(r.u64());
+  s.n_train = static_cast<std::size_t>(r.u64());
+  s.seq_samples = static_cast<std::size_t>(r.u64());
+  s.lookup_seconds = r.f64();
+  s.train_seconds = r.f64();
+  s.learn_seconds = r.f64();
+  s.seq_seconds = r.f64();
+  r.expect_end();
+  return s;
+}
+
+std::string make_temp_dir() {
+  std::string tmpl = ::testing::TempDir() + "le_net_XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) {
+    throw std::runtime_error("mkdtemp failed");
+  }
+  return tmpl;
+}
+
+/// Runs serve_shard_loop on an in-process thread — the same protocol code
+/// the fork'd workers run, but visible to ThreadSanitizer.
+class InProcessWorker {
+ public:
+  explicit InProcessWorker(double scale, std::string ckpt_path = "") {
+    auto [router_end, worker_end] = net::make_channel_pair();
+    router_ = std::move(router_end);
+    backend_ = std::make_unique<TestBackend>(scale);
+    thread_ = std::thread(
+        [this, end = std::move(worker_end),
+         path = std::move(ckpt_path)]() mutable {
+          net::serve_shard_loop(end, *backend_, path);
+        });
+  }
+
+  ~InProcessWorker() {
+    router_.close();  // EOF stops the loop if kShutdown was never sent
+    if (thread_.joinable()) thread_.join();
+  }
+
+  net::Frame exchange(net::MsgType type, const std::string& payload) {
+    router_.send_frame(type, payload);
+    return router_.recv_frame();
+  }
+
+  net::Channel& router() { return router_; }
+
+ private:
+  net::Channel router_;
+  std::unique_ptr<TestBackend> backend_;
+  std::thread thread_;
+};
+
+// ---------------------------------------------------------- shard loop --
+
+TEST(ShardLoop, HelloThenQueryStatsSyncShutdown) {
+  InProcessWorker worker(3.0);
+  const net::Frame hello = worker.router().recv_frame();
+  ASSERT_EQ(hello.type, net::MsgType::kHello);
+  EXPECT_EQ(static_cast<unsigned char>(hello.payload[0]), 0);  // not recovered
+
+  tensor::Matrix inputs(2, 2);
+  inputs(0, 0) = 1.0;
+  inputs(0, 1) = 2.0;
+  inputs(1, 0) = 0.5;
+  inputs(1, 1) = 0.25;
+  const net::Frame answer =
+      worker.exchange(net::MsgType::kQuery, encode_query_payload(inputs, {}));
+  ASSERT_EQ(answer.type, net::MsgType::kAnswer);
+  const auto decoded = decode_answer_payload(answer.payload);
+  ASSERT_EQ(decoded.size(), 2U);
+  EXPECT_DOUBLE_EQ(decoded[0].values.at(0), 9.0);    // (1+2)*3
+  EXPECT_DOUBLE_EQ(decoded[1].values.at(0), 2.25);   // (0.5+0.25)*3
+
+  const net::Frame stats = worker.exchange(net::MsgType::kStats, "");
+  ASSERT_EQ(stats.type, net::MsgType::kStatsReply);
+  EXPECT_EQ(decode_snapshot(stats.payload).n_lookup, 2U);
+
+  const net::Frame params = worker.exchange(net::MsgType::kSyncPull, "");
+  ASSERT_EQ(params.type, net::MsgType::kParams);
+  net::WireReader pr(params.payload);
+  EXPECT_DOUBLE_EQ(pr.f64_vec().at(0), 3.0);
+
+  net::WireWriter push;
+  push.put_f64_vec(std::vector<double>{5.0});
+  ASSERT_EQ(worker.exchange(net::MsgType::kSyncPush, push.bytes()).type,
+            net::MsgType::kAck);
+  const net::Frame again =
+      worker.exchange(net::MsgType::kQuery, encode_query_payload(inputs, {}));
+  EXPECT_DOUBLE_EQ(decode_answer_payload(again.payload)[0].values.at(0), 15.0);
+
+  // Checkpoint without a configured path is a typed error, not a crash.
+  EXPECT_EQ(worker.exchange(net::MsgType::kCheckpoint, "").type,
+            net::MsgType::kError);
+
+  EXPECT_EQ(worker.exchange(net::MsgType::kShutdown, "").type,
+            net::MsgType::kAck);
+}
+
+TEST(ShardLoop, DeadlineBudgetsCrossTheWire) {
+  InProcessWorker worker(1.0);
+  (void)worker.router().recv_frame();  // hello
+
+  tensor::Matrix inputs(2, 1);
+  inputs(0, 0) = 1.0;
+  inputs(1, 0) = 2.0;
+  // Row 0: generous budget; row 1: already expired at send time.
+  const net::Frame answer = worker.exchange(
+      net::MsgType::kQuery, encode_query_payload(inputs, {30.0, -1.0}));
+  ASSERT_EQ(answer.type, net::MsgType::kAnswer);
+  const auto decoded = decode_answer_payload(answer.payload);
+  EXPECT_EQ(decoded[0].source, net::NetAnswerSource::kSurrogate);
+  EXPECT_EQ(decoded[1].source, net::NetAnswerSource::kShed);
+  EXPECT_EQ(decoded[1].shed_reason, serve::ShedReason::kDeadline);
+}
+
+TEST(ShardLoop, MalformedQueryIsTypedErrorAndLoopSurvives) {
+  InProcessWorker worker(1.0);
+  (void)worker.router().recv_frame();  // hello
+  const net::Frame err = worker.exchange(net::MsgType::kQuery, "garbage");
+  EXPECT_EQ(err.type, net::MsgType::kError);
+  // The loop is still alive and serving.
+  tensor::Matrix inputs(1, 1);
+  inputs(0, 0) = 4.0;
+  const net::Frame ok =
+      worker.exchange(net::MsgType::kQuery, encode_query_payload(inputs, {}));
+  EXPECT_EQ(ok.type, net::MsgType::kAnswer);
+}
+
+TEST(ShardLoop, CheckpointThenRecoverRestoresParamsAndMeter) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/shard0.ckpt";
+  {
+    InProcessWorker worker(2.0, path);
+    (void)worker.router().recv_frame();  // hello: fresh (no file yet)
+
+    tensor::Matrix inputs(3, 1);
+    inputs(0, 0) = 1.0;
+    inputs(1, 0) = 2.0;
+    inputs(2, 0) = 3.0;
+    (void)worker.exchange(net::MsgType::kQuery,
+                          encode_query_payload(inputs, {}));
+    net::WireWriter push;
+    push.put_f64_vec(std::vector<double>{42.0});
+    (void)worker.exchange(net::MsgType::kSyncPush, push.bytes());
+    ASSERT_EQ(worker.exchange(net::MsgType::kCheckpoint, "").type,
+              net::MsgType::kAck);
+    (void)worker.exchange(net::MsgType::kShutdown, "");
+  }
+  {
+    InProcessWorker worker(2.0, path);  // fresh backend, same checkpoint
+    const net::Frame hello = worker.router().recv_frame();
+    ASSERT_EQ(hello.type, net::MsgType::kHello);
+    net::WireReader r(hello.payload);
+    EXPECT_EQ(r.u8(), 1U);  // recovered
+    EXPECT_EQ(decode_snapshot(hello.payload.substr(1)).n_lookup, 3U);
+
+    const net::Frame params = worker.exchange(net::MsgType::kSyncPull, "");
+    net::WireReader pr(params.payload);
+    EXPECT_DOUBLE_EQ(pr.f64_vec().at(0), 42.0);
+    (void)worker.exchange(net::MsgType::kShutdown, "");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardLoop, CorruptCheckpointStartsFreshNotCrashed) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/shard0.ckpt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "le-ckpt-v1\nsections 1\nsection x 4 deadbeef\nXXXX\nend\n";
+  }
+  InProcessWorker worker(2.0, path);
+  const net::Frame hello = worker.router().recv_frame();
+  ASSERT_EQ(hello.type, net::MsgType::kHello);
+  EXPECT_EQ(static_cast<unsigned char>(hello.payload[0]), 0);  // fresh
+  (void)worker.exchange(net::MsgType::kShutdown, "");
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------ sharded service --
+
+net::ShardedServiceConfig make_config(std::size_t shards,
+                                      std::string ckpt_dir = "") {
+  net::ShardedServiceConfig config;
+  config.shards = shards;
+  config.key_resolution = 0.1;
+  config.checkpoint_dir = std::move(ckpt_dir);
+  config.recv_timeout_seconds = 20.0;
+  return config;
+}
+
+net::BackendFactory scale_factory(double scale) {
+  return [scale](std::size_t) { return std::make_unique<TestBackend>(scale); };
+}
+
+/// An input whose quantized key routes to `target` under `router`.
+std::vector<double> input_for_shard(const net::ShardRouter& router,
+                                    std::size_t target) {
+  for (int i = 0; i < 100000; ++i) {
+    const std::vector<double> candidate{static_cast<double>(i), 0.5};
+    if (router.shard_for(candidate) == target) return candidate;
+  }
+  throw std::runtime_error("no input found for shard");
+}
+
+TEST(ShardedService, EndToEndPreservesRowOrderAcrossShards) {
+  LE_SKIP_UNDER_TSAN();
+  net::ShardedService service(make_config(2), scale_factory(3.0));
+  service.start();
+
+  tensor::Matrix inputs(8, 2);
+  for (std::size_t r = 0; r < inputs.rows(); ++r) {
+    inputs(r, 0) = static_cast<double>(r) * 1.7;
+    inputs(r, 1) = 0.5;
+  }
+  const auto answers = service.query_batch(inputs);
+  ASSERT_EQ(answers.size(), 8U);
+  for (std::size_t r = 0; r < answers.size(); ++r) {
+    ASSERT_FALSE(answers[r].shed()) << "row " << r;
+    EXPECT_NEAR(answers[r].values.at(0),
+                (inputs(r, 0) + inputs(r, 1)) * 3.0, 1e-12)
+        << "row " << r;
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.batches, 1U);
+  EXPECT_EQ(stats.rows, 8U);
+  EXPECT_EQ(stats.worker_deaths, 0U);
+  service.stop();
+}
+
+TEST(ShardedService, SingleShardDegenerateServesEverything) {
+  LE_SKIP_UNDER_TSAN();
+  net::ShardedService service(make_config(1), scale_factory(2.0));
+  service.start();
+  tensor::Matrix inputs(5, 2);
+  for (std::size_t r = 0; r < 5; ++r) inputs(r, 0) = static_cast<double>(r);
+  const auto answers = service.query_batch(inputs);
+  for (const auto& a : answers) EXPECT_FALSE(a.shed());
+  EXPECT_EQ(service.merged_meter().n_lookup, 5U);
+  service.stop();
+}
+
+TEST(ShardedService, MergedMeterIsComponentwiseSumOfShards) {
+  LE_SKIP_UNDER_TSAN();
+  net::ShardedService service(make_config(2), scale_factory(1.0));
+  service.start();
+  tensor::Matrix inputs(16, 2);
+  for (std::size_t r = 0; r < inputs.rows(); ++r) {
+    inputs(r, 0) = static_cast<double>(r) * 2.3;
+    inputs(r, 1) = 1.0;
+  }
+  (void)service.query_batch(inputs);
+  const auto s0 = service.shard_meter(0);
+  const auto s1 = service.shard_meter(1);
+  const auto merged = service.merged_meter();
+  EXPECT_EQ(merged.n_lookup, s0.n_lookup + s1.n_lookup);
+  EXPECT_EQ(merged.n_lookup, 16U);  // every row metered by exactly one shard
+  EXPECT_DOUBLE_EQ(merged.lookup_seconds,
+                   s0.lookup_seconds + s1.lookup_seconds);
+  service.stop();
+}
+
+TEST(ShardedService, DeadlinesPropagateAcrossProcessBoundary) {
+  LE_SKIP_UNDER_TSAN();
+  net::ShardedService service(make_config(2), scale_factory(1.0));
+  service.start();
+  tensor::Matrix inputs(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) inputs(r, 0) = static_cast<double>(r);
+  std::vector<serve::Deadline> deadlines(4);
+  deadlines[0] = Clock::now() + std::chrono::seconds(30);
+  deadlines[1] = Clock::now() - std::chrono::seconds(1);  // already expired
+  deadlines[2] = std::nullopt;
+  deadlines[3] = Clock::now() - std::chrono::seconds(1);  // already expired
+  const auto answers = service.query_batch(inputs, deadlines);
+  EXPECT_FALSE(answers[0].shed());
+  EXPECT_TRUE(answers[1].shed());
+  EXPECT_EQ(answers[1].shed_reason, serve::ShedReason::kDeadline);
+  EXPECT_FALSE(answers[2].shed());
+  EXPECT_TRUE(answers[3].shed());
+  service.stop();
+}
+
+TEST(ShardedService, KilledWorkerShedsTypedThenRecoversFromCheckpoint) {
+  LE_SKIP_UNDER_TSAN();
+  const std::string dir = make_temp_dir();
+  net::ShardedService service(make_config(2, dir), scale_factory(2.0));
+  service.start();
+
+  // Warm the victim shard's meter, then persist everything.
+  const std::size_t victim = 1;
+  const std::vector<double> routed = input_for_shard(service.router(), victim);
+  tensor::Matrix warm(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) {
+    warm(r, 0) = routed[0];
+    warm(r, 1) = routed[1];
+  }
+  (void)service.query_batch(warm);
+  const auto before = service.shard_meter(victim);
+  ASSERT_EQ(before.n_lookup, 3U);
+  service.checkpoint_all();
+
+  service.kill_shard(victim);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // The batch that discovers the death: rows for the dead shard come back
+  // shed with the typed kWorkerDown reason — no hang, no exception.
+  const auto shed_answers = service.query_batch(warm);
+  for (const auto& a : shed_answers) {
+    EXPECT_TRUE(a.shed());
+    EXPECT_EQ(a.shed_reason, serve::ShedReason::kWorkerDown);
+  }
+  auto stats = service.stats();
+  EXPECT_EQ(stats.worker_deaths, 1U);
+  EXPECT_EQ(stats.restarts, 1U);
+  EXPECT_EQ(stats.rows_shed_worker_down, 3U);
+  EXPECT_EQ(stats.recovered_restarts, 1U);  // respawn restored the ckpt
+
+  // The respawned worker serves again and its meter includes the
+  // pre-crash work recovered from the checkpoint.
+  ASSERT_TRUE(service.shard_alive(victim));
+  const auto again = service.query_batch(warm);
+  for (const auto& a : again) EXPECT_FALSE(a.shed());
+  const auto after = service.shard_meter(victim);
+  EXPECT_EQ(after.n_lookup, before.n_lookup + 3U);
+
+  service.stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardedService, RestartDisabledShardStaysDownAndKeepsShedding) {
+  LE_SKIP_UNDER_TSAN();
+  auto config = make_config(2);
+  config.restart_dead_workers = false;
+  net::ShardedService service(std::move(config), scale_factory(1.0));
+  service.start();
+
+  const std::size_t victim = 0;
+  const std::vector<double> routed = input_for_shard(service.router(), victim);
+  tensor::Matrix inputs(2, 2);
+  for (std::size_t r = 0; r < 2; ++r) {
+    inputs(r, 0) = routed[0];
+    inputs(r, 1) = routed[1];
+  }
+  service.kill_shard(victim);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  for (int round = 0; round < 2; ++round) {
+    const auto answers = service.query_batch(inputs);
+    for (const auto& a : answers) {
+      EXPECT_TRUE(a.shed());
+      EXPECT_EQ(a.shed_reason, serve::ShedReason::kWorkerDown);
+    }
+  }
+  EXPECT_FALSE(service.shard_alive(victim));
+  EXPECT_EQ(service.stats().restarts, 0U);
+  service.stop();
+}
+
+TEST(ShardedService, AllreduceAndRotationSyncReplicas) {
+  LE_SKIP_UNDER_TSAN();
+  // Per-shard factory: shard 0 starts at scale 2, shard 1 at scale 4.
+  net::ShardedService service(
+      make_config(2),
+      [](std::size_t shard) {
+        return std::make_unique<TestBackend>(shard == 0 ? 2.0 : 4.0);
+      });
+  service.start();
+  ASSERT_EQ(service.pull_params(0).at(0), 2.0);
+  ASSERT_EQ(service.pull_params(1).at(0), 4.0);
+
+  // Section III-A (c): Allreduce averages the replicas.
+  service.sync_replicas(runtime::SyncModel::kAllreduce);
+  EXPECT_DOUBLE_EQ(service.pull_params(0).at(0), 3.0);
+  EXPECT_DOUBLE_EQ(service.pull_params(1).at(0), 3.0);
+
+  // Replica repair: push a divergent replica at one shard only...
+  service.push_params(1, std::vector<double>{9.0});
+  ASSERT_DOUBLE_EQ(service.pull_params(1).at(0), 9.0);
+  // ...then Section III-A (b): a rotation round re-equalizes (with a
+  // 1-dim parameter vector every round broadcasts one owner's block).
+  service.sync_replicas(runtime::SyncModel::kRotation);
+  const double p0 = service.pull_params(0).at(0);
+  const double p1 = service.pull_params(1).at(0);
+  EXPECT_DOUBLE_EQ(p0, p1);
+
+  EXPECT_THROW(service.sync_replicas(runtime::SyncModel::kLocking),
+               std::invalid_argument);
+  service.stop();
+}
+
+TEST(ShardedService, LifecycleGuards) {
+  LE_SKIP_UNDER_TSAN();
+  net::ShardedService service(make_config(1), scale_factory(1.0));
+  tensor::Matrix inputs(1, 1);
+  EXPECT_THROW((void)service.query_batch(inputs), std::logic_error);
+  service.start();
+  EXPECT_THROW(service.start(), std::logic_error);
+  std::vector<serve::Deadline> wrong(2);
+  EXPECT_THROW((void)service.query_batch(inputs, wrong),
+               std::invalid_argument);
+  EXPECT_THROW((void)service.shard_meter(7), std::out_of_range);
+  service.stop();
+  service.stop();  // idempotent
+}
+
+}  // namespace

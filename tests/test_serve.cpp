@@ -880,6 +880,45 @@ TEST(LoadGenerator, ValidatesConfig) {
   EXPECT_THROW(LoadGenerator{config}, std::invalid_argument);
 }
 
+TEST(ReplayClock, DeadlinesAreEpochRelativeNotWallClockRelative) {
+  // Regression: deadlines used to be computed as now() + budget at each
+  // row's submission, so a replay that fell behind silently granted every
+  // late request a fresh budget (coordinated deadline shift) — the exact
+  // cousin of the coordinated omission the open-loop generator exists to
+  // avoid.  ReplayClock anchors both submit times and deadlines to one
+  // epoch chosen before the run: falling behind now eats into the budget.
+  using le::serve::Arrival;
+  using le::serve::ReplayClock;
+  using SClock = std::chrono::steady_clock;
+
+  const auto epoch = SClock::now();
+  const ReplayClock clock(epoch);
+  const Arrival a{/*t=*/0.250, /*key=*/7};
+
+  const auto submit = clock.submit_time(a);
+  EXPECT_EQ(submit - epoch, std::chrono::duration_cast<SClock::duration>(
+                                std::chrono::duration<double>(0.250)));
+
+  const auto deadline = clock.deadline(a, 0.030);
+  ASSERT_TRUE(deadline.has_value());
+  // The deadline is a pure function of (epoch, arrival, budget): recomputing
+  // it later — e.g. after the replay thread fell behind — yields the same
+  // instant, unlike the old now()-relative formula.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const auto recomputed = clock.deadline(a, 0.030);
+  ASSERT_TRUE(recomputed.has_value());
+  EXPECT_EQ(*deadline, *recomputed);
+  EXPECT_EQ(*deadline - submit, std::chrono::duration_cast<SClock::duration>(
+                                    std::chrono::duration<double>(0.030)));
+
+  // Two clocks with different epochs produce identical offsets: the whole
+  // schedule shifts rigidly, per-row spacing and budgets are untouched.
+  const ReplayClock later(epoch + std::chrono::seconds(3));
+  EXPECT_EQ(later.submit_time(a) - submit, std::chrono::seconds(3));
+  EXPECT_EQ(*later.deadline(a, 0.030) - later.submit_time(a),
+            *deadline - submit);
+}
+
 // ---------------------------------------------------------------------------
 // BatchQueue under overload: deadlines, admission, shed-aware forwards
 // ---------------------------------------------------------------------------

@@ -6,7 +6,9 @@ Runs as the `docs` CMake target's fallback when Doxygen is not installed
 enforced on every machine:
 
   1. every public header under src/*/include starts with a Doxygen
-     `/// @file` overview block;
+     `/// @file` overview block, and the block actually says something: the
+     line after `/// @file` must be a `///` line with descriptive text (a
+     bare `@file` marker documents nothing and renders as an empty page);
   2. block comments are balanced (an unterminated `/*` swallows code and
      Doxygen mis-parses the rest of the file);
   3. `///` and `///<` comments use only known Doxygen commands (catches
@@ -38,10 +40,18 @@ def lint_file(path: Path) -> list:
     text = path.read_text(encoding="utf-8")
     lines = text.splitlines()
 
-    # (1) file-top /// @file block.
-    first = next((ln for ln in lines if ln.strip()), "")
+    # (1) file-top /// @file block with a real description under it.
+    first_idx, first = next(
+        ((i, ln) for i, ln in enumerate(lines) if ln.strip()), (0, ""))
     if not first.startswith("/// @file"):
         findings.append((1, "header must start with a '/// @file' block"))
+    else:
+        after = lines[first_idx + 1] if first_idx + 1 < len(lines) else ""
+        body = after.strip()
+        if not (body.startswith("///") and body.lstrip("/").strip()):
+            findings.append(
+                (first_idx + 2,
+                 "'/// @file' must be followed by a '///' description line"))
 
     in_block = False
     block_open_line = 0
