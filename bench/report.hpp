@@ -79,7 +79,10 @@ inline bool enable_metrics_from_env() {
 
 /// Emits the global metrics snapshot in the shared schema: a readable
 /// table plus one `metrics-json <id> {...}` line that downstream tooling
-/// can grep out of any bench's output.  No-op while metrics are disabled.
+/// can grep out of any bench's output.  When LE_PROMETHEUS names a file,
+/// the snapshot is additionally written there in Prometheus text
+/// exposition format (the scrape-style dump the observability plane
+/// exports for fleet dashboards).  No-op while metrics are disabled.
 inline void emit_metrics(const std::string& bench_id) {
   if (!obs::metrics_enabled()) return;
   const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
@@ -87,6 +90,17 @@ inline void emit_metrics(const std::string& bench_id) {
   std::fputs(obs::to_text(snap).c_str(), stdout);
   std::printf("metrics-json %s %s\n", bench_id.c_str(),
               obs::to_json(snap).c_str());
+  if (const char* prom_path = std::getenv("LE_PROMETHEUS");
+      prom_path != nullptr && *prom_path != '\0') {
+    if (std::FILE* f = std::fopen(prom_path, "w")) {
+      const std::string text = obs::to_prometheus(snap);
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("prometheus dump written to %s\n", prom_path);
+    } else {
+      std::fprintf(stderr, "LE_PROMETHEUS: cannot open %s\n", prom_path);
+    }
+  }
 }
 
 }  // namespace le::bench

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -34,7 +35,9 @@
 #include <vector>
 
 #include "le/net/shard_router.hpp"
+#include "le/net/telemetry.hpp"
 #include "le/net/transport.hpp"
+#include "le/obs/flight_recorder.hpp"
 #include "le/obs/speedup_meter.hpp"
 #include "le/runtime/sync_engine.hpp"
 #include "le/serve/overload.hpp"
@@ -94,20 +97,44 @@ class ShardBackend {
   virtual void import_params(std::span<const double> params) = 0;
 };
 
+/// Worker-loop knobs beyond the channel and backend.
+struct ShardLoopOptions {
+  /// Recovery/persistence file (see serve_shard_loop doc); empty disables.
+  std::string checkpoint_path;
+  /// Flight-recorder dump file.  Non-empty arms obs::FlightRecorder::global()
+  /// at this path, installs the fatal-signal dump handlers, and dumps on
+  /// every telemetry push and at shutdown — so after ANY death (including
+  /// SIGKILL, which no handler can see) the router finds a dump no staler
+  /// than the last cadence point.
+  std::string flight_path;
+  /// Piggyback a TelemetryFrame on every Nth kAnswer (0 = never; telemetry
+  /// then flows only through explicit kTelemetry pulls).
+  std::size_t telemetry_every = 16;
+};
+
 /// Runs one worker's half of the shard protocol over `channel` until a
 /// kShutdown frame or peer EOF (the router died — exit, never linger).
 ///
-/// When `checkpoint_path` is non-empty the worker first attempts recovery:
-/// a readable, CRC-valid `le-ckpt-v1` file restores the replica parameters
-/// and meter counters (newest-valid-wins is trivial here — one file,
-/// atomically replaced), and the kHello frame reports `recovered = true`
-/// with the restored snapshot, so the router can attribute pre-crash work.
-/// A missing or corrupt file starts fresh — fail open on recovery, fail
-/// closed on frames.
+/// When `options.checkpoint_path` is non-empty the worker first attempts
+/// recovery: a readable, CRC-valid `le-ckpt-v1` file restores the replica
+/// parameters and meter counters (newest-valid-wins is trivial here — one
+/// file, atomically replaced), and the kHello frame reports `recovered =
+/// true` with the restored snapshot, so the router can attribute pre-crash
+/// work.  A missing or corrupt file starts fresh — fail open on recovery,
+/// fail closed on frames.
+///
+/// Observability (wire v2): each kQuery's trailing TraceContext is adopted
+/// for the duration of the request, so worker spans stitch under the
+/// router's span in a merged trace; kAnswer piggybacks telemetry on the
+/// configured cadence; kTelemetry answers with a kTelemetryReply.
 ///
 /// Exposed publicly (rather than buried in the service) so tests can run
 /// the full protocol in-process on a thread — which is also how the TSan
 /// tier sees it.
+void serve_shard_loop(Channel& channel, ShardBackend& backend,
+                      const ShardLoopOptions& options);
+
+/// Back-compat convenience: options with only a checkpoint path.
 void serve_shard_loop(Channel& channel, ShardBackend& backend,
                       const std::string& checkpoint_path);
 
@@ -132,6 +159,12 @@ struct ShardedServiceConfig {
   /// recv timeout on every router<->worker exchange: a wedged worker
   /// becomes a typed failure, never a hung router.  0 = block forever.
   double recv_timeout_seconds = 30.0;
+  /// Directory for per-shard flight-recorder dumps ("<dir>/shard<k>.flight");
+  /// empty disables the workers' flight recorders AND router harvesting.
+  std::string flight_dir;
+  /// Telemetry piggyback cadence passed to every worker
+  /// (ShardLoopOptions::telemetry_every).
+  std::size_t telemetry_every = 16;
 };
 
 /// Aggregate router-side accounting (monotonic over the service lifetime).
@@ -142,6 +175,9 @@ struct ShardedServiceStats {
   std::uint64_t worker_deaths = 0;  ///< transport/wire failures observed
   std::uint64_t restarts = 0;       ///< respawns attempted
   std::uint64_t recovered_restarts = 0;  ///< respawns that restored a ckpt
+  std::uint64_t telemetry_frames = 0;    ///< TelemetryFrames absorbed
+  std::uint64_t flight_dumps_recovered = 0;  ///< valid dumps harvested
+  std::uint64_t flight_dumps_corrupt = 0;    ///< dumps that failed validation
 };
 
 /// The router: owns the worker fleet, routes batches by quantized key,
@@ -214,6 +250,39 @@ class ShardedService {
   /// the next exchange discovers the death exactly as a real crash would.
   void kill_shard(std::size_t shard);
 
+  /// Explicitly pulls a TelemetryFrame from every live shard (kTelemetry
+  /// round trip); returns how many shards replied.  The steady-state path
+  /// is the kAnswer piggyback — this is the on-demand refresh.
+  std::size_t poll_telemetry();
+
+  /// Last TelemetryFrame absorbed from this shard (piggyback or pull).
+  /// The frame's `spans` member is empty here — spans are moved into the
+  /// harvested-span store on absorption, not retained per frame.
+  [[nodiscard]] TelemetryFrame shard_telemetry(std::size_t shard) const;
+
+  /// Spans harvested from this shard's telemetry so far (bounded: oldest
+  /// dropped beyond an internal cap).  Merge with the router's own
+  /// TraceLog via obs::merge_process_spans for the fleet-wide trace.
+  [[nodiscard]] std::vector<obs::SpanRecord> harvested_spans(
+      std::size_t shard) const;
+
+  /// Flight-recorder events harvested from this shard's dump files (each
+  /// death triggers a harvest; stop() harvests the survivors).
+  [[nodiscard]] std::vector<obs::FlightEvent> flight_events(
+      std::size_t shard) const;
+
+  /// Fleet-wide metrics: every shard's last telemetry snapshot merged
+  /// (obs::MetricsSnapshot::merge) with this process's global registry
+  /// snapshot — counters add, gauges last-write-wins, histograms combine
+  /// component-wise.  The router's snapshot merges LAST, so the gauges it
+  /// owns (the live net.shard<k>.* dashboard) are authoritative.
+  [[nodiscard]] obs::MetricsSnapshot fleet_metrics() const;
+
+  /// pid -> process name for every process seen (the router itself plus
+  /// every worker that delivered telemetry) — the label map
+  /// obs::write_chrome_trace wants.
+  [[nodiscard]] std::map<std::uint32_t, std::string> process_names() const;
+
   [[nodiscard]] bool shard_alive(std::size_t shard) const;
   [[nodiscard]] ShardedServiceStats stats() const;
   [[nodiscard]] const ShardRouter& router() const noexcept { return router_; }
@@ -225,6 +294,13 @@ class ShardedService {
   struct Worker;
 
   [[nodiscard]] std::string checkpoint_path(std::size_t shard) const;
+  [[nodiscard]] std::string flight_path(std::size_t shard) const;
+  /// Folds a received telemetry payload into the worker's state and the
+  /// router's per-shard gauges (worker mutex already held).
+  void absorb_telemetry_locked(std::size_t shard, std::string_view payload);
+  /// Reads and clears the shard's flight-recorder dump file, appending its
+  /// events to the worker's store (worker mutex already held).
+  void harvest_flight_locked(std::size_t shard);
   /// Forks + handshakes shard `shard` (mutex already held).
   void spawn_locked(std::size_t shard);
   /// Marks the shard dead, reaps the child, and respawns within budget

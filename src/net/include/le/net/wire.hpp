@@ -35,7 +35,17 @@ namespace le::net {
 /// wire, so a stray peer speaking anything else is rejected immediately.
 inline constexpr std::uint32_t kWireMagic = 0x314E454CU;
 /// Bumped on ANY incompatible change to framing or payload encodings.
-inline constexpr std::uint16_t kWireVersion = 1;
+/// History:
+///   1  initial shard protocol (kHello..kError)
+///   2  observability plane: kQuery carries a trailing TraceContext
+///      (u64 trace_id | u64 parent span_id), kAnswer carries a trailing
+///      telemetry section (u8 has_telemetry | telemetry payload), and the
+///      kTelemetry/kTelemetryReply pull pair exists.  Version skew in
+///      EITHER direction fails closed with VersionSkewError — an old
+///      reader must never interpret the new trailing fields as garbage,
+///      and a new reader must never invent zeros for fields an old writer
+///      did not send.
+inline constexpr std::uint16_t kWireVersion = 2;
 /// Upper bound on one frame's payload: rejects absurd lengths (a corrupt
 /// header must not make the receiver try to allocate gigabytes).
 inline constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 26;
@@ -73,6 +83,8 @@ enum class MsgType : std::uint16_t {
   kCheckpoint = 10, ///< router -> worker: persist state via le::ckpt now
   kShutdown = 11,   ///< router -> worker: finish up and exit cleanly
   kError = 12,      ///< worker -> router: request failed; payload = reason
+  kTelemetry = 13,      ///< router -> worker: push your telemetry now (v2)
+  kTelemetryReply = 14, ///< worker -> router: TelemetryFrame payload (v2)
 };
 
 /// One decoded frame: its type and the CRC-verified payload bytes.

@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cmath>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -17,6 +19,7 @@
 #endif
 
 #include "le/ckpt/container.hpp"
+#include "le/obs/timer.hpp"
 
 namespace le::net {
 
@@ -28,34 +31,20 @@ using Snapshot = obs::EffectiveSpeedupMeter::Snapshot;
 constexpr const char* kCkptParamsSection = "net-shard-params";
 constexpr const char* kCkptMeterSection = "net-shard-meter";
 
-void put_snapshot(WireWriter& w, const Snapshot& s) {
-  w.put_u64(s.n_lookup);
-  w.put_u64(s.n_train);
-  w.put_u64(s.seq_samples);
-  w.put_f64(s.lookup_seconds);
-  w.put_f64(s.train_seconds);
-  w.put_f64(s.learn_seconds);
-  w.put_f64(s.seq_seconds);
-}
+/// Bounds on per-shard harvested observability state at the router: spans
+/// and flight events keep arriving for the service's lifetime, the stores
+/// must not.  Oldest entries are dropped first.
+constexpr std::size_t kMaxHarvestedSpans = std::size_t{1} << 16;
+constexpr std::size_t kMaxFlightEvents = std::size_t{1} << 16;
 
-Snapshot read_snapshot(WireReader& r) {
-  Snapshot s;
-  s.n_lookup = static_cast<std::size_t>(r.u64());
-  s.n_train = static_cast<std::size_t>(r.u64());
-  s.seq_samples = static_cast<std::size_t>(r.u64());
-  s.lookup_seconds = r.f64();
-  s.train_seconds = r.f64();
-  s.learn_seconds = r.f64();
-  s.seq_seconds = r.f64();
-  return s;
-}
-
-/// kQuery payload: u32 rows | u32 cols | f64_vec data (row-major) |
-/// u8 has_deadlines | rows x f64 remaining-budget seconds (NaN = none).
+/// kQuery payload (wire v2): u32 rows | u32 cols | f64_vec data (row-major)
+/// | u8 has_deadlines | rows x f64 remaining-budget seconds (NaN = none) |
+/// u64 trace_id | u64 parent span_id (both 0 when tracing is off).
 std::string encode_query(const tensor::Matrix& inputs,
                          std::span<const std::size_t> row_ids,
                          std::span<const serve::Deadline> deadlines,
-                         Clock::time_point now) {
+                         Clock::time_point now,
+                         const obs::TraceContext& trace) {
   WireWriter w;
   w.put_u32(static_cast<std::uint32_t>(row_ids.size()));
   w.put_u32(static_cast<std::uint32_t>(inputs.cols()));
@@ -79,6 +68,10 @@ std::string encode_query(const tensor::Matrix& inputs,
       w.put_f64(remaining);
     }
   }
+  // The router's span identity rides along so the worker's spans can
+  // stitch under it in a merged trace.
+  w.put_u64(trace.trace_id);
+  w.put_u64(trace.span_id);
   return w.take();
 }
 
@@ -97,9 +90,12 @@ NetAnswerSource decode_source(std::uint8_t raw) {
   return static_cast<NetAnswerSource>(raw);
 }
 
-/// kAnswer payload: u32 rows | per row: u8 source | u8 shed_reason |
-/// f64 uncertainty | f64 seconds | f64_vec values.
-std::string encode_answers(std::span<const NetAnswer> answers) {
+/// kAnswer payload (wire v2): u32 rows | per row: u8 source |
+/// u8 shed_reason | f64 uncertainty | f64 seconds | f64_vec values |
+/// u8 has_telemetry | [TelemetryFrame payload to end].
+/// `telemetry` is the optional piggyback; nullptr/empty attaches none.
+std::string encode_answers(std::span<const NetAnswer> answers,
+                           const std::string* telemetry = nullptr) {
   WireWriter w;
   w.put_u32(static_cast<std::uint32_t>(answers.size()));
   for (const NetAnswer& a : answers) {
@@ -109,11 +105,17 @@ std::string encode_answers(std::span<const NetAnswer> answers) {
     w.put_f64(a.seconds);
     w.put_f64_vec(a.values);
   }
+  const bool has_telemetry = telemetry != nullptr && !telemetry->empty();
+  w.put_u8(has_telemetry ? 1 : 0);
+  if (has_telemetry) w.put_bytes(*telemetry);
   return w.take();
 }
 
+/// Inverse of encode_answers; a piggybacked telemetry payload (if any) is
+/// copied into `*telemetry_out` for the caller to absorb.
 std::vector<NetAnswer> decode_answers(std::string_view payload,
-                                      std::size_t expected_rows) {
+                                      std::size_t expected_rows,
+                                      std::string* telemetry_out = nullptr) {
   WireReader r(payload);
   const std::uint32_t rows = r.u32();
   if (rows != expected_rows) {
@@ -128,6 +130,15 @@ std::vector<NetAnswer> decode_answers(std::string_view payload,
     a.uncertainty = r.f64();
     a.seconds = r.f64();
     a.values = r.f64_vec();
+  }
+  const std::uint8_t has_telemetry = r.u8();
+  if (has_telemetry > 1) {
+    throw WireError("le-net: bad kAnswer telemetry flag " +
+                    std::to_string(has_telemetry));
+  }
+  if (has_telemetry == 1) {
+    const std::string_view blob = r.bytes(r.remaining());
+    if (telemetry_out != nullptr) telemetry_out->assign(blob);
   }
   r.expect_end();
   return answers;
@@ -144,7 +155,7 @@ void write_worker_checkpoint(const std::string& path, ShardBackend& backend) {
   WireWriter params;
   params.put_f64_vec(backend.export_params());
   WireWriter meter;
-  put_snapshot(meter, backend.meter().snapshot());
+  put_meter_snapshot(meter, backend.meter().snapshot());
   ckpt::write_checkpoint(
       path, {{kCkptParamsSection, params.take()},
              {kCkptMeterSection, meter.take()}});
@@ -174,7 +185,7 @@ bool try_recover_worker(const std::string& path, ShardBackend& backend) {
     const std::vector<double> flat = pr.f64_vec();
     pr.expect_end();
     WireReader mr(meter->payload);
-    const Snapshot snap = read_snapshot(mr);
+    const Snapshot snap = read_meter_snapshot(mr);
     mr.expect_end();
     backend.import_params(flat);
     backend.meter().restore(snap);
@@ -187,25 +198,43 @@ bool try_recover_worker(const std::string& path, ShardBackend& backend) {
 }  // namespace
 
 void serve_shard_loop(Channel& channel, ShardBackend& backend,
-                      const std::string& checkpoint_path) {
+                      const ShardLoopOptions& options) {
   bool recovered = false;
-  if (!checkpoint_path.empty()) {
-    recovered = try_recover_worker(checkpoint_path, backend);
+  if (!options.checkpoint_path.empty()) {
+    recovered = try_recover_worker(options.checkpoint_path, backend);
+  }
+
+  obs::FlightRecorder& flight = obs::FlightRecorder::global();
+  const bool flight_on = !options.flight_path.empty();
+  if (flight_on) {
+    flight.configure(options.flight_path);
+    obs::install_flight_signal_handlers();
+    flight.record("worker_start", recovered ? 1 : 0);
+    // Dump immediately: a worker SIGKILLed before its first cadence point
+    // still leaves the router a (short) black box to harvest.
+    flight.dump();
   }
 
   {
     WireWriter hello;
     hello.put_u8(recovered ? 1 : 0);
-    put_snapshot(hello, backend.meter().snapshot());
+    put_meter_snapshot(hello, backend.meter().snapshot());
     channel.send_frame(MsgType::kHello, hello.bytes());
   }
 
+  std::uint64_t queries = 0;
   for (;;) {
     Frame request;
     try {
       request = channel.recv_frame();
     } catch (const TransportError&) {
-      return;  // router gone: exit, never linger as an orphan
+      // Router gone: exit, never linger as an orphan — but leave the black
+      // box behind first.
+      if (flight_on) {
+        flight.record("router_gone");
+        flight.dump();
+      }
+      return;
     }
 
     try {
@@ -236,16 +265,48 @@ void serve_shard_loop(Channel& channel, ShardBackend& backend,
               }
             }
           }
+          obs::TraceContext remote;
+          remote.trace_id = r.u64();
+          remote.span_id = r.u64();
           r.expect_end();
-          const std::vector<NetAnswer> answers =
-              backend.query_batch(inputs, deadlines);
+          // Adopt the router's span as this request's remote parent: every
+          // span the backend opens below stitches under it in the merged
+          // trace.  A zeroed context (router not tracing) adopts nothing.
+          const obs::TraceContextScope trace_scope(remote);
+          std::vector<NetAnswer> answers;
+          {
+            const obs::TraceSpan span("net.worker_query");
+            answers = backend.query_batch(inputs, deadlines);
+          }
           if (answers.size() != rows) {
             throw std::runtime_error("backend returned " +
                                      std::to_string(answers.size()) +
                                      " answers for " + std::to_string(rows) +
                                      " rows");
           }
-          channel.send_frame(MsgType::kAnswer, encode_answers(answers));
+          if (flight_on) flight.record("query", queries, rows);
+          ++queries;
+          std::string telemetry;
+          if (options.telemetry_every != 0 &&
+              queries % options.telemetry_every == 0) {
+            telemetry = encode_telemetry(collect_local_telemetry(
+                backend.meter()));
+            // The cadence point doubles as the flight-dump point: after a
+            // SIGKILL the harvested dump is at most one cadence stale.
+            if (flight_on) flight.dump();
+          }
+          channel.send_frame(MsgType::kAnswer,
+                             encode_answers(answers, &telemetry));
+          break;
+        }
+        case MsgType::kTelemetry: {
+          channel.send_frame(MsgType::kTelemetryReply,
+                             encode_telemetry(collect_local_telemetry(
+                                 backend.meter())));
+          if (flight_on) {
+            flight.record("telemetry_pull");
+            flight.dump();
+          }
           break;
         }
         case MsgType::kSyncPull: {
@@ -264,21 +325,25 @@ void serve_shard_loop(Channel& channel, ShardBackend& backend,
         }
         case MsgType::kStats: {
           WireWriter w;
-          put_snapshot(w, backend.meter().snapshot());
+          put_meter_snapshot(w, backend.meter().snapshot());
           channel.send_frame(MsgType::kStatsReply, w.bytes());
           break;
         }
         case MsgType::kCheckpoint: {
-          if (checkpoint_path.empty()) {
+          if (options.checkpoint_path.empty()) {
             channel.send_frame(MsgType::kError,
                                "worker has no checkpoint path configured");
           } else {
-            write_worker_checkpoint(checkpoint_path, backend);
+            write_worker_checkpoint(options.checkpoint_path, backend);
             channel.send_frame(MsgType::kAck, "");
           }
           break;
         }
         case MsgType::kShutdown:
+          if (flight_on) {
+            flight.record("shutdown");
+            flight.dump();
+          }
           channel.send_frame(MsgType::kAck, "");
           return;
         default:
@@ -289,9 +354,14 @@ void serve_shard_loop(Channel& channel, ShardBackend& backend,
           break;
       }
     } catch (const TransportError&) {
+      if (flight_on) {
+        flight.record("router_gone");
+        flight.dump();
+      }
       return;  // reply could not be delivered: router gone
     } catch (const std::exception& e) {
       // A failed request is not a dead worker: report it and keep serving.
+      if (flight_on) flight.record("request_failed");
       try {
         channel.send_frame(MsgType::kError, e.what());
       } catch (const std::exception&) {
@@ -299,6 +369,13 @@ void serve_shard_loop(Channel& channel, ShardBackend& backend,
       }
     }
   }
+}
+
+void serve_shard_loop(Channel& channel, ShardBackend& backend,
+                      const std::string& checkpoint_path) {
+  ShardLoopOptions options;
+  options.checkpoint_path = checkpoint_path;
+  serve_shard_loop(channel, backend, options);
 }
 
 struct ShardedService::Worker {
@@ -310,6 +387,15 @@ struct ShardedService::Worker {
   /// Last snapshot seen from this shard: counters outlive their worker at
   /// the router even when the shard is down.
   Snapshot last_meter;
+  /// Last TelemetryFrame absorbed (spans moved out into harvested_spans).
+  TelemetryFrame last_telemetry;
+  bool has_telemetry = false;
+  /// Spans delivered via telemetry, oldest first, bounded by
+  /// kMaxHarvestedSpans.
+  std::vector<obs::SpanRecord> harvested_spans;
+  /// Flight-recorder events harvested from dump files, bounded by
+  /// kMaxFlightEvents.
+  std::vector<obs::FlightEvent> flight_events;
 };
 
 ShardedService::ShardedService(ShardedServiceConfig config,
@@ -339,6 +425,72 @@ std::string ShardedService::checkpoint_path(std::size_t shard) const {
   return config_.checkpoint_dir + "/shard" + std::to_string(shard) + ".ckpt";
 }
 
+std::string ShardedService::flight_path(std::size_t shard) const {
+  if (config_.flight_dir.empty()) return {};
+  return config_.flight_dir + "/shard" + std::to_string(shard) + ".flight";
+}
+
+void ShardedService::absorb_telemetry_locked(std::size_t shard,
+                                             std::string_view payload) {
+  Worker& worker = *workers_[shard];
+  TelemetryFrame frame = decode_telemetry(payload);
+  worker.last_meter = frame.meter;
+  auto& store = worker.harvested_spans;
+  store.insert(store.end(), std::make_move_iterator(frame.spans.begin()),
+               std::make_move_iterator(frame.spans.end()));
+  if (store.size() > kMaxHarvestedSpans) {
+    store.erase(store.begin(),
+                store.begin() +
+                    static_cast<std::ptrdiff_t>(store.size() -
+                                                kMaxHarvestedSpans));
+  }
+  frame.spans.clear();
+  worker.last_telemetry = std::move(frame);
+  worker.has_telemetry = true;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.telemetry_frames;
+  }
+  if (obs::metrics_enabled()) {
+    // Live per-shard gauges: the router's registry is the fleet dashboard.
+    auto& reg = obs::MetricsRegistry::global();
+    const std::string p = "net.shard" + std::to_string(shard) + ".";
+    reg.gauge(p + "s_eff").set(worker.last_meter.speedup());
+    reg.gauge(p + "n_lookup")
+        .set(static_cast<double>(worker.last_meter.n_lookup));
+    reg.gauge(p + "n_train")
+        .set(static_cast<double>(worker.last_meter.n_train));
+    reg.gauge(p + "restarts").set(static_cast<double>(worker.restarts));
+    reg.gauge(p + "alive").set(1.0);
+    reg.counter("net.telemetry_frames").add();
+  }
+}
+
+void ShardedService::harvest_flight_locked(std::size_t shard) {
+  const std::string path = flight_path(shard);
+  if (path.empty()) return;
+  if (::access(path.c_str(), F_OK) != 0) return;  // no dump: nothing to say
+  try {
+    obs::FlightDump dump = obs::read_flight_dump(path);
+    auto& store = workers_[shard]->flight_events;
+    store.insert(store.end(), dump.events.begin(), dump.events.end());
+    if (store.size() > kMaxFlightEvents) {
+      store.erase(store.begin(),
+                  store.begin() +
+                      static_cast<std::ptrdiff_t>(store.size() -
+                                                  kMaxFlightEvents));
+    }
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.flight_dumps_recovered;
+  } catch (const obs::FlightDumpError&) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.flight_dumps_corrupt;
+  }
+  // Consumed either way: a respawned worker rewrites the file from scratch,
+  // and a harvested dump must not be double-counted at the next death.
+  std::remove(path.c_str());
+}
+
 void ShardedService::spawn_locked(std::size_t shard) {
   Worker& worker = *workers_[shard];
   auto [router_end, worker_end] = make_channel_pair();
@@ -363,9 +515,22 @@ void ShardedService::spawn_locked(std::size_t shard) {
         // those sockets open after the router dies — close them all.
         if (i != shard) workers_[i]->channel.close();
       }
+      // Fresh observability slate: the fork copied the router's registry
+      // counters/gauges and its TraceLog.  Left alone, a worker spawned
+      // mid-run would re-export the router's numbers in its telemetry
+      // (double-counting counters, clobbering gauges) and re-ship router
+      // spans as its own.
+      obs::MetricsRegistry::global().reset();
+      obs::TraceLog::global().clear();
       const std::unique_ptr<ShardBackend> backend = factory_(shard);
       if (backend == nullptr) _exit(2);
-      serve_shard_loop(worker_end, *backend, checkpoint_path(shard));
+      // Label this process for merged traces before any span is recorded.
+      obs::set_process_name("shard-" + std::to_string(shard));
+      ShardLoopOptions options;
+      options.checkpoint_path = checkpoint_path(shard);
+      options.flight_path = flight_path(shard);
+      options.telemetry_every = config_.telemetry_every;
+      serve_shard_loop(worker_end, *backend, options);
       _exit(0);
     } catch (const std::exception&) {
       _exit(1);
@@ -386,7 +551,7 @@ void ShardedService::spawn_locked(std::size_t shard) {
     }
     WireReader r(hello.payload);
     const bool recovered = r.u8() != 0;
-    worker.last_meter = read_snapshot(r);
+    worker.last_meter = read_meter_snapshot(r);
     r.expect_end();
     worker.alive = true;
     if (recovered) {
@@ -418,6 +583,14 @@ bool ShardedService::handle_death_locked(std::size_t shard) {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.worker_deaths;
   }
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry::global()
+        .gauge("net.shard" + std::to_string(shard) + ".alive")
+        .set(0.0);
+  }
+  // Postmortem first: the dead worker's flight-recorder dump is the only
+  // witness of its final moments, and the respawn will overwrite the file.
+  harvest_flight_locked(shard);
   if (!config_.restart_dead_workers ||
       worker.restarts >= config_.max_restarts_per_shard) {
     return false;
@@ -444,6 +617,10 @@ Frame ShardedService::exchange_locked(std::size_t shard, MsgType type,
 
 void ShardedService::start() {
   if (started_) throw std::logic_error("ShardedService: already started");
+  // Pin the obs clock epoch BEFORE the first fork: the function-local
+  // static inside process_clock_seconds() is inherited by every child, so
+  // router and worker span timestamps share one timeline in merged traces.
+  (void)obs::process_clock_seconds();
   for (std::size_t s = 0; s < config_.shards; ++s) {
     const std::lock_guard<std::mutex> lock(workers_[s]->mutex);
     spawn_locked(s);
@@ -469,6 +646,9 @@ void ShardedService::stop() {
     if (worker.pid > 0) pids.push_back(worker.pid);
     worker.pid = -1;
     worker.alive = false;
+    // Workers dump their flight ring while handling kShutdown (before the
+    // ack we just received) — collect the survivors' black boxes too.
+    harvest_flight_locked(s);
   }
   // Short grace for clean exits, then SIGKILL stragglers; reap everything.
   for (const pid_t pid : pids) {
@@ -503,6 +683,11 @@ std::vector<NetAnswer> ShardedService::query_batch(
     ++stats_.batches;
     stats_.rows += inputs.rows();
   }
+  // The batch's root span: its context is stamped onto every kQuery frame,
+  // so each worker's spans stitch under this one in the merged trace.
+  // With tracing off the context is all zeros and workers adopt nothing.
+  const obs::TraceSpan batch_span("net.query_batch");
+  const obs::TraceContext trace = batch_span.context();
   std::vector<NetAnswer> answers(inputs.rows());
   if (inputs.rows() == 0) return answers;
 
@@ -539,7 +724,8 @@ std::vector<NetAnswer> ShardedService::query_batch(
     }
     try {
       worker.channel.send_frame(
-          MsgType::kQuery, encode_query(inputs, parts[s], deadlines, now));
+          MsgType::kQuery,
+          encode_query(inputs, parts[s], deadlines, now, trace));
       sent[s] = true;
     } catch (const std::exception&) {
       handle_death_locked(s);
@@ -561,11 +747,13 @@ std::vector<NetAnswer> ShardedService::query_batch(
         throw WireError("ShardedService: expected kAnswer, got type " +
                         std::to_string(static_cast<unsigned>(reply.type)));
       }
+      std::string telemetry;
       const std::vector<NetAnswer> shard_answers =
-          decode_answers(reply.payload, parts[s].size());
+          decode_answers(reply.payload, parts[s].size(), &telemetry);
       for (std::size_t j = 0; j < parts[s].size(); ++j) {
         answers[parts[s][j]] = shard_answers[j];
       }
+      if (!telemetry.empty()) absorb_telemetry_locked(s, telemetry);
     } catch (const std::exception&) {
       handle_death_locked(s);
       shed_shard(s);
@@ -588,7 +776,7 @@ obs::EffectiveSpeedupMeter::Snapshot ShardedService::shard_meter(
         throw WireError("ShardedService: expected kStatsReply");
       }
       WireReader r(reply.payload);
-      worker.last_meter = read_snapshot(r);
+      worker.last_meter = read_meter_snapshot(r);
       r.expect_end();
     } catch (const std::exception&) {
       handle_death_locked(shard);
@@ -736,6 +924,84 @@ void ShardedService::kill_shard(std::size_t shard) {
     // the death exactly as it would a real crash.
     ::kill(worker.pid, SIGKILL);
   }
+}
+
+std::size_t ShardedService::poll_telemetry() {
+  if (!started_) throw std::logic_error("ShardedService: not started");
+  std::size_t replied = 0;
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    Worker& worker = *workers_[s];
+    const std::lock_guard<std::mutex> lock(worker.mutex);
+    if (!worker.alive) continue;
+    try {
+      const Frame reply = exchange_locked(s, MsgType::kTelemetry, "");
+      if (reply.type != MsgType::kTelemetryReply) {
+        throw WireError("ShardedService: expected kTelemetryReply");
+      }
+      absorb_telemetry_locked(s, reply.payload);
+      ++replied;
+    } catch (const std::exception&) {
+      handle_death_locked(s);
+    }
+  }
+  return replied;
+}
+
+TelemetryFrame ShardedService::shard_telemetry(std::size_t shard) const {
+  if (shard >= workers_.size()) {
+    throw std::out_of_range("ShardedService::shard_telemetry: bad shard index");
+  }
+  Worker& worker = *workers_[shard];
+  const std::lock_guard<std::mutex> lock(worker.mutex);
+  return worker.last_telemetry;
+}
+
+std::vector<obs::SpanRecord> ShardedService::harvested_spans(
+    std::size_t shard) const {
+  if (shard >= workers_.size()) {
+    throw std::out_of_range("ShardedService::harvested_spans: bad shard index");
+  }
+  Worker& worker = *workers_[shard];
+  const std::lock_guard<std::mutex> lock(worker.mutex);
+  return worker.harvested_spans;
+}
+
+std::vector<obs::FlightEvent> ShardedService::flight_events(
+    std::size_t shard) const {
+  if (shard >= workers_.size()) {
+    throw std::out_of_range("ShardedService::flight_events: bad shard index");
+  }
+  Worker& worker = *workers_[shard];
+  const std::lock_guard<std::mutex> lock(worker.mutex);
+  return worker.flight_events;
+}
+
+obs::MetricsSnapshot ShardedService::fleet_metrics() const {
+  // Workers first, the router's own snapshot last: counters add either
+  // way, but gauges are last-write-wins, and the router owns the
+  // dashboard gauges (net.shard<k>.*, plus anything a forked worker still
+  // carries a zeroed copy of) — its values must not lose to a worker's.
+  obs::MetricsSnapshot fleet;
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    Worker& worker = *workers_[s];
+    const std::lock_guard<std::mutex> lock(worker.mutex);
+    if (worker.has_telemetry) fleet.merge(worker.last_telemetry.metrics);
+  }
+  fleet.merge(obs::MetricsRegistry::global().snapshot());
+  return fleet;
+}
+
+std::map<std::uint32_t, std::string> ShardedService::process_names() const {
+  std::map<std::uint32_t, std::string> names;
+  names[static_cast<std::uint32_t>(::getpid())] = obs::process_name();
+  for (const auto& worker_ptr : workers_) {
+    Worker& worker = *worker_ptr;
+    const std::lock_guard<std::mutex> lock(worker.mutex);
+    if (worker.has_telemetry) {
+      names[worker.last_telemetry.pid] = worker.last_telemetry.process_name;
+    }
+  }
+  return names;
 }
 
 bool ShardedService::shard_alive(std::size_t shard) const {

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -116,6 +117,15 @@ class Histogram {
   QuantileSketch sketch_;
 };
 
+/// Two snapshots disagree structurally (histogram bucket layouts of
+/// different sizes under one name) — merging them would add apples to the
+/// first `n` oranges.  Typed so a telemetry pipeline can distinguish
+/// "schema skew between processes" from any other failure.
+class SnapshotMergeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Point-in-time copy of every registered metric, ready for export.
 struct MetricsSnapshot {
   struct CounterEntry {
@@ -136,10 +146,28 @@ struct MetricsSnapshot {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    /// Per-bucket counts (Histogram::bucket_counts() layout).  Carried so
+    /// snapshots from different processes can merge exactly; may be empty
+    /// for snapshots that never cross a merge (JSON export omits it).
+    std::vector<std::uint64_t> buckets;
   };
   std::vector<CounterEntry> counters;
   std::vector<GaugeEntry> gauges;
   std::vector<HistogramEntry> histograms;
+
+  /// Accumulates `other` into this snapshot — the aggregation primitive
+  /// for the distributed telemetry plane, where every worker process
+  /// snapshots its own registry and the router folds the per-shard
+  /// snapshots into one fleet view.  By name: counters add; gauges take
+  /// `other`'s value (last write wins — the incoming snapshot is newer);
+  /// histograms add counts, sums and per-bucket counts component-wise,
+  /// keep min/min and max/max, recompute the mean, and re-derive
+  /// p50/p95/p99 from the merged buckets (bucket-upper-bound precision —
+  /// P-squared sketches cannot be merged exactly).  Disjoint metric sets
+  /// union; an empty snapshot on either side is the identity.  Histograms
+  /// under one name with differently sized non-empty bucket vectors throw
+  /// SnapshotMergeError (typed, never silent misaccounting).
+  void merge(const MetricsSnapshot& other);
 };
 
 /// Named metric store.  Handles returned by counter()/gauge()/histogram()
@@ -177,5 +205,12 @@ class MetricsRegistry {
 
 /// Renders a snapshot as an aligned human-readable table.
 [[nodiscard]] std::string to_text(const MetricsSnapshot& snapshot);
+
+/// Renders a snapshot in the Prometheus text exposition format: metric
+/// names sanitized to [a-zA-Z0-9_:] with an "le_" prefix, counters as
+/// `counter` with an `_total` suffix, gauges as `gauge`, histograms as
+/// `summary` (quantile-labelled series plus `_sum`/`_count`).  One
+/// "scrape" of the plane for anyone pointing standard tooling at it.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
 
 }  // namespace le::obs

@@ -4,6 +4,16 @@
 /// into the bounded process-wide TraceLog so a coupled ML+HPC run can be
 /// reconstructed after the fact.
 ///
+/// Spans carry a TraceContext (trace_id / span_id / parent_span_id) so a
+/// request that crosses a process boundary — the sharded serving service
+/// routes batches to fork'd workers over `le-net-v1` — can be stitched back
+/// into ONE causal trace: the router stamps its current context onto the
+/// outgoing frame, the worker adopts it for the duration of the request
+/// (TraceContextScope), and every worker-side span records the router's
+/// span as its remote parent.  Records are also tagged with the recording
+/// process's pid, so merged multi-process traces never collide on thread
+/// ordinals (each forked worker starts its own ordinal space at 0).
+///
 /// Both are disabled-by-default and near-free when off: the constructor
 /// reads one relaxed atomic flag and, if it is clear, never touches a clock.
 #pragma once
@@ -23,7 +33,16 @@ namespace le::obs {
 [[nodiscard]] std::uint32_t this_thread_ordinal() noexcept;
 
 /// Seconds since the process's first obs clock use (a steady clock).
+/// Forked children inherit the parent's epoch when the parent touched the
+/// clock before fork (ShardedService does), so router and worker
+/// timestamps share one timeline in merged traces.
 [[nodiscard]] double process_clock_seconds() noexcept;
+
+/// Human-readable label for this process in exported traces ("router",
+/// "shard-2", ...); defaults to "pid-<pid>" until set.  Set it once at
+/// startup (or right after fork) — reads are lock-guarded copies.
+void set_process_name(std::string name);
+[[nodiscard]] std::string process_name();
 
 /// Times its own lifetime into a histogram.  A null histogram or disabled
 /// metrics makes construction and destruction no-ops.
@@ -54,13 +73,30 @@ class ScopedTimer {
   std::chrono::steady_clock::time_point start_{};
 };
 
+/// Causal identity of one span, in the W3C trace-context spirit: all three
+/// ids are 0 when absent.  trace_id groups every span of one logical
+/// request across processes; parent_span_id is the span this one nests
+/// under (possibly in another process).  Ids are unique across the fleet:
+/// the upper 32 bits carry the allocating process's pid.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return trace_id != 0; }
+};
+
 /// One completed span, as stored by the TraceLog.
 struct SpanRecord {
   std::string name;
   std::uint32_t thread = 0;  ///< this_thread_ordinal() of the recording thread
   std::uint32_t depth = 0;   ///< nesting depth within that thread (0 = root)
+  std::uint32_t pid = 0;     ///< recording process (forked workers differ)
   double start_seconds = 0.0;  ///< process_clock_seconds() at span entry
   double seconds = 0.0;        ///< span duration
+  std::uint64_t trace_id = 0;        ///< request trace this span belongs to
+  std::uint64_t span_id = 0;         ///< this span's fleet-unique id
+  std::uint64_t parent_span_id = 0;  ///< enclosing span (0 = trace root)
 };
 
 namespace detail {
@@ -74,6 +110,27 @@ inline void set_tracing_enabled(bool on) noexcept {
   detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
 }
 
+/// Context of the innermost live span on this thread; when no span is
+/// live, the adopted remote context (TraceContextScope); invalid
+/// otherwise.  This is what a router stamps onto an outgoing frame.
+[[nodiscard]] TraceContext current_trace_context() noexcept;
+
+/// Adopts a remote parent context for this scope: spans opened on this
+/// thread while the scope is live (and not nested under a local span)
+/// join `remote`'s trace with `remote.span_id` as their parent.  An
+/// invalid context adopts nothing (so zeroed wire fields are a no-op).
+/// Scopes nest; the previous adoption is restored on destruction.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& remote) noexcept;
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+  ~TraceContextScope();
+
+ private:
+  TraceContext saved_;
+};
+
 /// Bounded ring of completed spans (oldest dropped first).
 class TraceLog {
  public:
@@ -81,6 +138,9 @@ class TraceLog {
 
   void record(SpanRecord span);
   [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+  /// Atomically snapshots AND clears — the telemetry-push primitive: a
+  /// worker drains its log into a frame so no span is shipped twice.
+  [[nodiscard]] std::vector<SpanRecord> drain();
   [[nodiscard]] std::size_t dropped() const noexcept {
     return dropped_.load(std::memory_order_relaxed);
   }
@@ -105,6 +165,12 @@ class TraceSpan {
   TraceSpan& operator=(const TraceSpan&) = delete;
   ~TraceSpan();
 
+  /// This span's causal identity (all zeros when tracing is off) — what a
+  /// caller serializes to parent remote work under this span.
+  [[nodiscard]] TraceContext context() const noexcept {
+    return {trace_id_, span_id_, parent_span_id_};
+  }
+
   /// Nesting depth of the innermost live span on this thread (0 = none).
   [[nodiscard]] static std::uint32_t current_depth() noexcept;
 
@@ -112,6 +178,9 @@ class TraceSpan {
   const char* name_;  ///< null when disarmed
   std::uint32_t depth_ = 0;
   double start_seconds_ = 0.0;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_id_ = 0;
   std::chrono::steady_clock::time_point start_{};
 };
 

@@ -1,14 +1,20 @@
 /// @file
-/// Chrome trace-event JSON export for TraceLog.
+/// Chrome trace-event JSON export for TraceLog, multi-process aware.
 ///
 /// A campaign traced with TraceSpan can be inspected in any trace viewer
 /// that reads the Chrome trace-event format — Perfetto (ui.perfetto.dev),
 /// chrome://tracing, Speedscope.  Spans are emitted as complete ("ph":"X")
 /// events with microsecond timestamps on the process clock, one track per
-/// obs thread ordinal, plus thread_name metadata records so tracks are
-/// labelled.  Output is locale-independent JSON ('.' decimal point always).
+/// (pid, obs thread ordinal) pair, plus process_name / thread_name
+/// metadata records so tracks are labelled.  Each event's args carry the
+/// span's trace context (trace_id / span_id / parent_span_id as hex
+/// strings — u64 ids do not survive JSON's double precision), so a merged
+/// router+worker trace is machine-checkable for causal coherence, not just
+/// eyeballable.  Output is locale-independent JSON ('.' decimal always).
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -16,14 +22,26 @@
 
 namespace le::obs {
 
+/// Merges per-process span collections (a router's own log plus the spans
+/// harvested from each worker) into one list ordered by start time — the
+/// input shape to_chrome_trace expects for a fleet-wide trace.  Spans keep
+/// their pid tags, so tracks never collide even though every forked worker
+/// numbers its threads from 0.
+[[nodiscard]] std::vector<SpanRecord> merge_process_spans(
+    const std::vector<std::vector<SpanRecord>>& per_process);
+
 /// Renders spans as one Chrome trace-event JSON object
-/// ({"traceEvents":[...],"displayTimeUnit":"ms"}).
-[[nodiscard]] std::string to_chrome_trace(const std::vector<SpanRecord>& spans);
+/// ({"traceEvents":[...],"displayTimeUnit":"ms"}).  `process_names` labels
+/// pid tracks (pid -> name); unnamed pids fall back to "pid-<pid>".
+[[nodiscard]] std::string to_chrome_trace(
+    const std::vector<SpanRecord>& spans,
+    const std::map<std::uint32_t, std::string>& process_names = {});
 
 /// Writes `spans` to `path` in Chrome trace-event format; false on I/O
 /// failure.
-bool write_chrome_trace(const std::string& path,
-                        const std::vector<SpanRecord>& spans);
+bool write_chrome_trace(
+    const std::string& path, const std::vector<SpanRecord>& spans,
+    const std::map<std::uint32_t, std::string>& process_names = {});
 
 /// Convenience: snapshots TraceLog::global() and writes it to `path`.
 bool write_chrome_trace(const std::string& path);

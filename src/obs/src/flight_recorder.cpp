@@ -1,0 +1,312 @@
+#include "le/obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "le/obs/timer.hpp"
+
+namespace le::obs {
+
+namespace {
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) — the same function as
+/// ckpt::crc32, re-derived here with a compile-time table: obs sits below
+/// ckpt in the layering, and a constexpr table has no first-use guard, so
+/// dump() can checksum from inside a signal handler.
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+std::uint32_t crc32_bytes(const unsigned char* data, std::size_t len) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kCrcTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// `le-frec-v1` layout (byte-wise little-endian):
+//   u32 magic "LEFR" | u16 version | u16 reserved | u32 pid | u32 count
+//   count * 64-byte entries:
+//     f64 t_seconds | u64 a | u64 b | u32 pid | u32 thread | char name[32]
+//   u32 crc32 over every preceding byte
+constexpr std::uint32_t kFlightMagic = 0x5246454Cu;  // "LEFR"
+constexpr std::uint16_t kFlightVersion = 1;
+constexpr std::size_t kFlightHeaderBytes = 16;
+constexpr std::size_t kFlightEntryBytes = 64;
+
+void put_u16(unsigned char* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<unsigned char>(v & 0xFF);
+  p[1] = static_cast<unsigned char>((v >> 8) & 0xFF);
+}
+
+void put_u32(unsigned char* p, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void put_u64(unsigned char* p, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint16_t get_u16(const unsigned char* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const unsigned char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void serialize_event(unsigned char* p, const FlightEvent& e) noexcept {
+  put_u64(p + 0, std::bit_cast<std::uint64_t>(e.t_seconds));
+  put_u64(p + 8, e.a);
+  put_u64(p + 16, e.b);
+  put_u32(p + 24, e.pid);
+  put_u32(p + 28, e.thread);
+  std::memcpy(p + 32, e.name, FlightEvent::kNameBytes);
+}
+
+FlightEvent deserialize_event(const unsigned char* p) noexcept {
+  FlightEvent e;
+  e.t_seconds = std::bit_cast<double>(get_u64(p + 0));
+  e.a = get_u64(p + 8);
+  e.b = get_u64(p + 16);
+  e.pid = get_u32(p + 24);
+  e.thread = get_u32(p + 28);
+  std::memcpy(e.name, p + 32, FlightEvent::kNameBytes);
+  e.name[FlightEvent::kNameBytes - 1] = '\0';
+  return e;
+}
+
+/// Full ::write loop tolerant of EINTR/short writes (async-signal-safe).
+bool write_all(int fd, const unsigned char* data, std::size_t len) noexcept {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::atomic<bool> g_flight_span_hook{false};
+
+}  // namespace
+
+FlightRecorder::~FlightRecorder() = default;
+
+void FlightRecorder::configure(const std::string& path,
+                               std::uint32_t capacity) {
+  enabled_.store(false, std::memory_order_release);
+  if (capacity == 0) capacity = 1;
+  slots_ = std::vector<Slot>(capacity);
+  dump_buffer_.assign(
+      kFlightHeaderBytes + static_cast<std::size_t>(capacity) *
+                               kFlightEntryBytes + 4,
+      0);
+  std::memset(path_, 0, sizeof(path_));
+  std::strncpy(path_, path.c_str(), sizeof(path_) - 1);
+  std::memset(tmp_path_, 0, sizeof(tmp_path_));
+  std::strncpy(tmp_path_, path_, sizeof(tmp_path_) - 5);
+  std::strcat(tmp_path_, ".tmp");
+  cursor_.store(0, std::memory_order_relaxed);
+  // Warm the clock epoch now: dump() timestamps may be read inside a signal
+  // handler, where a first-use static initialization (and its guard lock)
+  // would not be safe.  (The CRC table is constexpr — nothing to warm.)
+  (void)process_clock_seconds();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::record(const char* name, std::uint64_t a,
+                            std::uint64_t b) noexcept {
+  if (!enabled()) return;
+  const std::uint64_t idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[idx % slots_.size()];
+  // Seqlock stamp: odd while the slot is being written.  Two writers
+  // lapping onto the same slot could in principle interleave; the ring is
+  // sized far above writer count, and dump() only skips, never tears.
+  slot.seq.fetch_add(1, std::memory_order_acq_rel);
+  slot.event.t_seconds = process_clock_seconds();
+  slot.event.a = a;
+  slot.event.b = b;
+  slot.event.pid = static_cast<std::uint32_t>(::getpid());
+  slot.event.thread = this_thread_ordinal();
+  if (name != nullptr) {
+    std::strncpy(slot.event.name, name, FlightEvent::kNameBytes - 1);
+    slot.event.name[FlightEvent::kNameBytes - 1] = '\0';
+  } else {
+    slot.event.name[0] = '\0';
+  }
+  slot.seq.fetch_add(1, std::memory_order_release);
+}
+
+bool FlightRecorder::dump() noexcept {
+  if (!enabled()) return false;
+  unsigned char* buf = dump_buffer_.data();
+  const std::uint64_t end = cursor_.load(std::memory_order_acquire);
+  const std::uint64_t cap = slots_.size();
+  const std::uint64_t begin = end > cap ? end - cap : 0;
+
+  std::size_t pos = kFlightHeaderBytes;
+  std::uint32_t count = 0;
+  for (std::uint64_t i = begin; i < end; ++i) {
+    Slot& slot = slots_[i % cap];
+    const std::uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+    if (seq1 & 1) continue;  // mid-write: skip rather than tear
+    FlightEvent copy = slot.event;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq1) continue;
+    serialize_event(buf + pos, copy);
+    pos += kFlightEntryBytes;
+    ++count;
+  }
+  put_u32(buf + 0, kFlightMagic);
+  put_u16(buf + 4, kFlightVersion);
+  put_u16(buf + 6, 0);
+  put_u32(buf + 8, static_cast<std::uint32_t>(::getpid()));
+  put_u32(buf + 12, count);
+  const std::uint32_t crc = crc32_bytes(buf, pos);
+  put_u32(buf + pos, crc);
+  pos += 4;
+
+  // Stage-then-rename: a dump interrupted mid-write (the process can be
+  // SIGKILLed at any instant) must never clobber the previous complete
+  // dump — the black box's newest intact recording is the whole point.
+  // Both ::open/::write and ::rename are async-signal-safe.
+  const int fd = ::open(tmp_path_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool ok = write_all(fd, buf, pos);
+  ::close(fd);
+  if (!ok) return false;
+  return ::rename(tmp_path_, path_) == 0;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> out;
+  if (!enabled()) return out;
+  const std::uint64_t end = cursor_.load(std::memory_order_acquire);
+  const std::uint64_t cap = slots_.size();
+  const std::uint64_t begin = end > cap ? end - cap : 0;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const Slot& slot = slots_[i % cap];
+    const std::uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+    if (seq1 & 1) continue;
+    FlightEvent copy = slot.event;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq1) continue;
+    out.push_back(copy);
+  }
+  return out;
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+namespace {
+
+extern "C" void flight_fatal_handler(int sig) {
+  FlightRecorder::global().dump();
+  // SA_RESETHAND restored the default disposition; re-raise so the process
+  // dies with the original signal and wait-status reporting stays truthful.
+  ::raise(sig);
+}
+
+}  // namespace
+
+void install_flight_signal_handlers() {
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true)) return;
+  (void)FlightRecorder::global();  // force static init outside handlers
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = flight_fatal_handler;
+  sa.sa_flags = SA_RESETHAND;
+  sigemptyset(&sa.sa_mask);
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGILL, SIGFPE}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+void set_flight_span_hook_enabled(bool on) noexcept {
+  g_flight_span_hook.store(on, std::memory_order_relaxed);
+}
+
+bool flight_span_hook_enabled() noexcept {
+  return g_flight_span_hook.load(std::memory_order_relaxed);
+}
+
+FlightDump read_flight_dump(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw FlightDumpError("flight dump unreadable: " + path);
+  std::vector<unsigned char> bytes{std::istreambuf_iterator<char>(file),
+                                   std::istreambuf_iterator<char>()};
+  if (bytes.size() < kFlightHeaderBytes + 4) {
+    throw FlightDumpError("flight dump truncated (header): " + path);
+  }
+  const unsigned char* p = bytes.data();
+  if (get_u32(p) != kFlightMagic) {
+    throw FlightDumpError("flight dump bad magic: " + path);
+  }
+  const std::uint16_t version = get_u16(p + 4);
+  if (version != kFlightVersion) {
+    throw FlightDumpError("flight dump version skew (got " +
+                          std::to_string(version) + ", want " +
+                          std::to_string(kFlightVersion) + "): " + path);
+  }
+  FlightDump dump;
+  dump.pid = get_u32(p + 8);
+  const std::uint32_t count = get_u32(p + 12);
+  const std::size_t body = kFlightHeaderBytes +
+                           static_cast<std::size_t>(count) * kFlightEntryBytes;
+  if (bytes.size() != body + 4) {
+    throw FlightDumpError("flight dump truncated (body): " + path);
+  }
+  const std::uint32_t expected = get_u32(p + body);
+  const std::uint32_t actual = crc32_bytes(p, body);
+  if (expected != actual) {
+    throw FlightDumpError("flight dump CRC mismatch: " + path);
+  }
+  dump.events.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    dump.events.push_back(
+        deserialize_event(p + kFlightHeaderBytes + i * kFlightEntryBytes));
+  }
+  return dump;
+}
+
+}  // namespace le::obs

@@ -139,6 +139,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     e.p50 = q.p50;
     e.p95 = q.p95;
     e.p99 = q.p99;
+    // Bucket counts travel with the snapshot so cross-process merges are
+    // exact for counts even where quantiles must be re-derived.
+    e.buckets = h->bucket_counts();
     snap.histograms.push_back(std::move(e));
   }
   return snap;
@@ -154,6 +157,109 @@ void MetricsRegistry::reset() {
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
   return registry;
+}
+
+namespace {
+
+/// Quantile from merged bucket counts: the upper bound of the bucket the
+/// target rank lands in, clamped to the observed max (same contract as
+/// Histogram::quantile — at most one power-of-two bucket of error).
+double bucket_quantile(const std::vector<std::uint64_t>& buckets,
+                       std::uint64_t count, double q, double max) {
+  if (count == 0) return 0.0;
+  const double target = std::clamp(q, 0.0, 1.0) * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      return std::min(Histogram::bucket_upper_bound(i), max);
+    }
+  }
+  return max;
+}
+
+/// Merges `src` into `dst` (same metric name on both sides).
+void merge_histogram_entry(MetricsSnapshot::HistogramEntry& dst,
+                           const MetricsSnapshot::HistogramEntry& src) {
+  if (src.count == 0) return;  // empty side is the identity
+  if (dst.count == 0) {
+    const std::string name = dst.name;
+    dst = src;
+    dst.name = name;
+    return;
+  }
+  if (!dst.buckets.empty() && !src.buckets.empty() &&
+      dst.buckets.size() != src.buckets.size()) {
+    throw SnapshotMergeError(
+        "MetricsSnapshot::merge: histogram '" + dst.name + "' has " +
+        std::to_string(dst.buckets.size()) + " buckets on one side and " +
+        std::to_string(src.buckets.size()) +
+        " on the other (layout skew between processes)");
+  }
+  dst.min = std::min(dst.min, src.min);
+  dst.max = std::max(dst.max, src.max);
+  dst.sum += src.sum;
+  dst.count += src.count;
+  dst.mean = dst.sum / static_cast<double>(dst.count);
+  if (!dst.buckets.empty() && !src.buckets.empty()) {
+    for (std::size_t i = 0; i < dst.buckets.size(); ++i) {
+      dst.buckets[i] += src.buckets[i];
+    }
+    // Sketches cannot be merged; re-derive the tail from the exact merged
+    // bucket counts instead of averaging two unmergeable estimates.
+    dst.p50 = bucket_quantile(dst.buckets, dst.count, 0.50, dst.max);
+    dst.p95 = bucket_quantile(dst.buckets, dst.count, 0.95, dst.max);
+    dst.p99 = bucket_quantile(dst.buckets, dst.count, 0.99, dst.max);
+  } else {
+    // No bucket data to merge on: keep the side with more observations as
+    // the (approximate) tail estimate; counts and sums above stay exact.
+    if (src.count > dst.count - src.count) {
+      dst.p50 = src.p50;
+      dst.p95 = src.p95;
+      dst.p99 = src.p99;
+    }
+    dst.buckets.clear();
+  }
+}
+
+}  // namespace
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  // Entries are sorted by name within each kind (registry snapshot order);
+  // merge preserves that invariant so repeated merges stay deterministic.
+  for (const CounterEntry& c : other.counters) {
+    const auto it = std::lower_bound(
+        counters.begin(), counters.end(), c.name,
+        [](const CounterEntry& e, const std::string& n) { return e.name < n; });
+    if (it != counters.end() && it->name == c.name) {
+      it->value += c.value;
+    } else {
+      counters.insert(it, c);
+    }
+  }
+  for (const GaugeEntry& g : other.gauges) {
+    const auto it = std::lower_bound(
+        gauges.begin(), gauges.end(), g.name,
+        [](const GaugeEntry& e, const std::string& n) { return e.name < n; });
+    if (it != gauges.end() && it->name == g.name) {
+      it->value = g.value;  // the incoming snapshot is newer
+    } else {
+      gauges.insert(it, g);
+    }
+  }
+  for (const HistogramEntry& h : other.histograms) {
+    const auto it = std::lower_bound(histograms.begin(), histograms.end(),
+                                     h.name,
+                                     [](const HistogramEntry& e,
+                                        const std::string& n) {
+                                       return e.name < n;
+                                     });
+    if (it != histograms.end() && it->name == h.name) {
+      merge_histogram_entry(*it, h);
+    } else {
+      histograms.insert(it, h);
+    }
+  }
 }
 
 namespace {
@@ -241,6 +347,48 @@ std::string to_text(const MetricsSnapshot& snapshot) {
     }
   }
   return out.str();
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; dotted le names
+/// map dots (and anything else) to underscores under an "le_" prefix.
+std::string prom_name(const std::string& name) {
+  std::string out = "le_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out << std::setprecision(12);
+  for (const auto& c : snapshot.counters) {
+    const std::string name = prom_name(c.name) + "_total";
+    out << "# TYPE " << name << " counter\n"
+        << name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = prom_name(g.name);
+    out << "# TYPE " << name << " gauge\n" << name << ' ' << g.value << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = prom_name(h.name) + "_seconds";
+    out << "# TYPE " << name << " summary\n"
+        << name << "{quantile=\"0.5\"} " << h.p50 << '\n'
+        << name << "{quantile=\"0.95\"} " << h.p95 << '\n'
+        << name << "{quantile=\"0.99\"} " << h.p99 << '\n'
+        << name << "_sum " << h.sum << '\n'
+        << name << "_count " << h.count << '\n';
+  }
+  return std::move(out).str();
 }
 
 }  // namespace le::obs

@@ -1,5 +1,13 @@
 #include "le/obs/timer.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "le/obs/flight_recorder.hpp"
+
 namespace le::obs {
 
 namespace detail {
@@ -13,7 +21,40 @@ std::chrono::steady_clock::time_point process_epoch() noexcept {
   return epoch;
 }
 
-thread_local std::uint32_t t_span_depth = 0;
+/// Per-thread trace state: the stack of live span ids (fixed-size so span
+/// construction stays noexcept and allocation-free), the trace the stack
+/// belongs to, and an adopted remote parent for cross-process stitching.
+struct TraceThreadState {
+  static constexpr std::uint32_t kMaxStack = 64;
+  std::array<std::uint64_t, kMaxStack> stack{};
+  std::uint32_t depth = 0;      ///< live spans on this thread (may exceed
+                                ///< kMaxStack; extra levels share a parent)
+  std::uint64_t trace_id = 0;   ///< trace of the current stack (depth > 0)
+  TraceContext adopted{};       ///< remote parent adopted by scope
+};
+
+thread_local TraceThreadState t_trace;
+
+std::mutex& process_name_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::string& process_name_storage() {
+  static std::string name;
+  return name;
+}
+
+/// Fleet-unique span id: pid in the upper 32 bits, a process-local counter
+/// below.  getpid() is read per allocation (not cached) so ids stay correct
+/// across fork without any at-fork hook.
+std::uint64_t next_span_id() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(::getpid()))
+          << 32) |
+         (n & 0xFFFFFFFFULL);
+}
 
 }  // namespace
 
@@ -29,6 +70,41 @@ double process_clock_seconds() noexcept {
                                        process_epoch())
       .count();
 }
+
+void set_process_name(std::string name) {
+  const std::lock_guard<std::mutex> lock(process_name_mutex());
+  process_name_storage() = std::move(name);
+}
+
+std::string process_name() {
+  {
+    const std::lock_guard<std::mutex> lock(process_name_mutex());
+    if (!process_name_storage().empty()) return process_name_storage();
+  }
+  return "pid-" + std::to_string(::getpid());
+}
+
+TraceContext current_trace_context() noexcept {
+  const TraceThreadState& s = t_trace;
+  if (s.depth > 0) {
+    const std::uint32_t top =
+        std::min(s.depth, TraceThreadState::kMaxStack) - 1;
+    TraceContext ctx;
+    ctx.trace_id = s.trace_id;
+    ctx.span_id = s.stack[top];
+    // The parent of the *current* span is not tracked here; callers that
+    // need it hold the TraceSpan and use TraceSpan::context().
+    return ctx;
+  }
+  return s.adopted;
+}
+
+TraceContextScope::TraceContextScope(const TraceContext& remote) noexcept
+    : saved_(t_trace.adopted) {
+  if (remote.valid()) t_trace.adopted = remote;
+}
+
+TraceContextScope::~TraceContextScope() { t_trace.adopted = saved_; }
 
 void TraceLog::record(SpanRecord span) {
   std::lock_guard lock(mutex_);
@@ -56,6 +132,18 @@ std::vector<SpanRecord> TraceLog::snapshot() const {
   return out;
 }
 
+std::vector<SpanRecord> TraceLog::drain() {
+  std::lock_guard lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(spans_.size());
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    out.push_back(std::move(spans_[(next_ + i) % spans_.size()]));
+  }
+  spans_.clear();
+  next_ = 0;
+  return out;
+}
+
 void TraceLog::clear() {
   std::lock_guard lock(mutex_);
   spans_.clear();
@@ -71,25 +159,59 @@ TraceLog& TraceLog::global() {
 TraceSpan::TraceSpan(const char* name) noexcept
     : name_(tracing_enabled() ? name : nullptr) {
   if (!name_) return;
-  depth_ = t_span_depth++;
+  TraceThreadState& s = t_trace;
+  span_id_ = next_span_id();
+  if (s.depth > 0) {
+    // Nested under a local span: same trace, parent = innermost live span.
+    const std::uint32_t top =
+        std::min(s.depth, TraceThreadState::kMaxStack) - 1;
+    trace_id_ = s.trace_id;
+    parent_span_id_ = s.stack[top];
+  } else if (s.adopted.valid()) {
+    // Thread root under an adopted remote parent: stitch across the
+    // process boundary.
+    trace_id_ = s.adopted.trace_id;
+    parent_span_id_ = s.adopted.span_id;
+    s.trace_id = trace_id_;
+  } else {
+    // Fresh trace root: the root's span id doubles as the trace id.
+    trace_id_ = span_id_;
+    parent_span_id_ = 0;
+    s.trace_id = trace_id_;
+  }
+  depth_ = s.depth;
+  if (s.depth < TraceThreadState::kMaxStack) s.stack[s.depth] = span_id_;
+  ++s.depth;
   start_seconds_ = process_clock_seconds();
   start_ = std::chrono::steady_clock::now();
 }
 
 TraceSpan::~TraceSpan() {
   if (!name_) return;
-  --t_span_depth;
+  --t_trace.depth;
   SpanRecord span;
   span.name = name_;
   span.thread = this_thread_ordinal();
   span.depth = depth_;
+  span.pid = static_cast<std::uint32_t>(::getpid());
   span.start_seconds = start_seconds_;
   span.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
+  span.trace_id = trace_id_;
+  span.span_id = span_id_;
+  span.parent_span_id = parent_span_id_;
+  if (flight_span_hook_enabled()) {
+    // Black-box breadcrumb: the flight recorder keeps the tail of the trace
+    // even when the process dies before its TraceLog is ever harvested.
+    char label[FlightEvent::kNameBytes];
+    std::snprintf(label, sizeof(label), "span:%s", name_);
+    FlightRecorder::global().record(
+        label, span_id_, static_cast<std::uint64_t>(span.seconds * 1e6));
+  }
   TraceLog::global().record(std::move(span));
 }
 
-std::uint32_t TraceSpan::current_depth() noexcept { return t_span_depth; }
+std::uint32_t TraceSpan::current_depth() noexcept { return t_trace.depth; }
 
 }  // namespace le::obs

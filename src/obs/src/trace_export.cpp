@@ -7,6 +7,7 @@
 #include <iomanip>
 #include <locale>
 #include <sstream>
+#include <utility>
 
 namespace le::obs {
 
@@ -38,9 +39,36 @@ std::string escape(const std::string& s) {
   return out;
 }
 
+/// u64 as a 0x-prefixed hex string: JSON numbers are doubles, and span ids
+/// carry the pid in their upper bits — above 2^53 they would be rounded.
+std::string hex_id(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
 }  // namespace
 
-std::string to_chrome_trace(const std::vector<SpanRecord>& spans) {
+std::vector<SpanRecord> merge_process_spans(
+    const std::vector<std::vector<SpanRecord>>& per_process) {
+  std::vector<SpanRecord> merged;
+  std::size_t total = 0;
+  for (const auto& spans : per_process) total += spans.size();
+  merged.reserve(total);
+  for (const auto& spans : per_process) {
+    merged.insert(merged.end(), spans.begin(), spans.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_seconds < b.start_seconds;
+                   });
+  return merged;
+}
+
+std::string to_chrome_trace(
+    const std::vector<SpanRecord>& spans,
+    const std::map<std::uint32_t, std::string>& process_names) {
   std::ostringstream out;
   out.imbue(std::locale::classic());
   out << std::setprecision(15);
@@ -48,21 +76,37 @@ std::string to_chrome_trace(const std::vector<SpanRecord>& spans) {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
 
-  // One thread_name metadata record per distinct track so the viewer
-  // labels tracks by obs thread ordinal.
-  std::vector<std::uint32_t> threads;
+  // process_name metadata per distinct pid, thread_name metadata per
+  // distinct (pid, thread ordinal) pair — forked workers all number their
+  // threads from 0, so the pid is what keeps their tracks apart.
+  std::vector<std::uint32_t> pids;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> tracks;
   for (const SpanRecord& span : spans) {
-    if (std::find(threads.begin(), threads.end(), span.thread) ==
-        threads.end()) {
-      threads.push_back(span.thread);
+    if (std::find(pids.begin(), pids.end(), span.pid) == pids.end()) {
+      pids.push_back(span.pid);
+    }
+    const auto track = std::make_pair(span.pid, span.thread);
+    if (std::find(tracks.begin(), tracks.end(), track) == tracks.end()) {
+      tracks.push_back(track);
     }
   }
-  std::sort(threads.begin(), threads.end());
-  for (const std::uint32_t t : threads) {
+  std::sort(pids.begin(), pids.end());
+  std::sort(tracks.begin(), tracks.end());
+  for (const std::uint32_t pid : pids) {
     if (!first) out << ',';
     first = false;
-    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << t
-        << ",\"args\":{\"name\":\"obs-thread-" << t << "\"}}";
+    const auto it = process_names.find(pid);
+    const std::string name =
+        it != process_names.end() ? it->second : "pid-" + std::to_string(pid);
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"name\":\"" << escape(name) << "\"}}";
+  }
+  for (const auto& [pid, tid] : tracks) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"args\":{\"name\":\"obs-thread-" << tid
+        << "\"}}";
   }
 
   for (const SpanRecord& span : spans) {
@@ -70,20 +114,24 @@ std::string to_chrome_trace(const std::vector<SpanRecord>& spans) {
     first = false;
     // Complete event: ts/dur in microseconds on the process clock.
     out << "{\"name\":\"" << escape(span.name)
-        << "\",\"cat\":\"le\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.thread
-        << ",\"ts\":" << span.start_seconds * 1e6
+        << "\",\"cat\":\"le\",\"ph\":\"X\",\"pid\":" << span.pid
+        << ",\"tid\":" << span.thread << ",\"ts\":" << span.start_seconds * 1e6
         << ",\"dur\":" << span.seconds * 1e6
-        << ",\"args\":{\"depth\":" << span.depth << "}}";
+        << ",\"args\":{\"depth\":" << span.depth << ",\"trace_id\":\""
+        << hex_id(span.trace_id) << "\",\"span_id\":\"" << hex_id(span.span_id)
+        << "\",\"parent_span_id\":\"" << hex_id(span.parent_span_id)
+        << "\"}}";
   }
   out << "]}";
   return std::move(out).str();
 }
 
-bool write_chrome_trace(const std::string& path,
-                        const std::vector<SpanRecord>& spans) {
+bool write_chrome_trace(
+    const std::string& path, const std::vector<SpanRecord>& spans,
+    const std::map<std::uint32_t, std::string>& process_names) {
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) return false;
-  file << to_chrome_trace(spans);
+  file << to_chrome_trace(spans, process_names);
   file.flush();
   return static_cast<bool>(file);
 }

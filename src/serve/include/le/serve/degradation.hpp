@@ -104,6 +104,15 @@ class DegradationLadder {
         level_.load(std::memory_order_relaxed));
   }
 
+  /// External escalation: raises the level to at least `floor` immediately
+  /// (counted as an engage; no-op when already at or past it).  This is
+  /// how alerting feeds the ladder — an obs::SloTracker burn-rate alert
+  /// browns the service out deliberately before the error budget is gone,
+  /// without waiting for the latency quantile to cross a threshold.  The
+  /// ladder releases from an escalated level through the normal
+  /// hysteresis path.
+  void engage_at_least(ServiceLevel floor);
+
   [[nodiscard]] DegradationStats stats() const;
   [[nodiscard]] const DegradationConfig& config() const noexcept {
     return config_;

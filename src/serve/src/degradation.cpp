@@ -91,6 +91,19 @@ void DegradationLadder::evaluate_locked() {
   stats_.level = static_cast<ServiceLevel>(current);
 }
 
+void DegradationLadder::engage_at_least(ServiceLevel floor) {
+  std::lock_guard lock(mutex_);
+  const int target = static_cast<int>(floor);
+  const int current = level_.load(std::memory_order_relaxed);
+  if (target <= current) return;
+  level_.store(target, std::memory_order_relaxed);
+  calm_evals_ = 0;
+  ++stats_.engages;
+  stats_.level = floor;
+  if (metric_engages_) metric_engages_->add();
+  if (metric_level_) metric_level_->set(static_cast<double>(target));
+}
+
 DegradationStats DegradationLadder::stats() const {
   std::lock_guard lock(mutex_);
   DegradationStats out = stats_;

@@ -31,8 +31,13 @@
 #include "le/ckpt/container.hpp"
 #include "le/net/shard_router.hpp"
 #include "le/net/sharded_service.hpp"
+#include "le/net/telemetry.hpp"
 #include "le/net/transport.hpp"
 #include "le/net/wire.hpp"
+#include "le/obs/flight_recorder.hpp"
+#include "le/obs/metrics.hpp"
+#include "le/obs/timer.hpp"
+#include "le/obs/trace_export.hpp"
 #include "le/serve/lookup_cache.hpp"
 #include "le/serve/overload.hpp"
 
@@ -353,13 +358,17 @@ class TestBackend : public net::ShardBackend {
 };
 
 std::string encode_query_payload(const tensor::Matrix& inputs,
-                                 const std::vector<double>& budgets) {
+                                 const std::vector<double>& budgets,
+                                 const obs::TraceContext& trace = {}) {
   net::WireWriter w;
   w.put_u32(static_cast<std::uint32_t>(inputs.rows()));
   w.put_u32(static_cast<std::uint32_t>(inputs.cols()));
   w.put_f64_vec(inputs.flat());
   w.put_u8(budgets.empty() ? 0 : 1);
   for (const double b : budgets) w.put_f64(b);
+  // Wire v2 trailing trace context (zeros = untraced).
+  w.put_u64(trace.trace_id);
+  w.put_u64(trace.span_id);
   return w.take();
 }
 
@@ -369,7 +378,9 @@ struct DecodedAnswer {
   serve::ShedReason shed_reason = serve::ShedReason::kNone;
 };
 
-std::vector<DecodedAnswer> decode_answer_payload(std::string_view payload) {
+std::vector<DecodedAnswer> decode_answer_payload(std::string_view payload,
+                                                 std::string* telemetry =
+                                                     nullptr) {
   net::WireReader r(payload);
   std::vector<DecodedAnswer> out(r.u32());
   for (auto& a : out) {
@@ -378,6 +389,11 @@ std::vector<DecodedAnswer> decode_answer_payload(std::string_view payload) {
     (void)r.f64();  // uncertainty
     (void)r.f64();  // seconds
     a.values = r.f64_vec();
+  }
+  // Wire v2 trailing telemetry section.
+  if (r.u8() == 1) {
+    const std::string_view blob = r.bytes(r.remaining());
+    if (telemetry != nullptr) telemetry->assign(blob);
   }
   r.expect_end();
   return out;
@@ -410,14 +426,13 @@ std::string make_temp_dir() {
 class InProcessWorker {
  public:
   explicit InProcessWorker(double scale, std::string ckpt_path = "") {
-    auto [router_end, worker_end] = net::make_channel_pair();
-    router_ = std::move(router_end);
-    backend_ = std::make_unique<TestBackend>(scale);
-    thread_ = std::thread(
-        [this, end = std::move(worker_end),
-         path = std::move(ckpt_path)]() mutable {
-          net::serve_shard_loop(end, *backend_, path);
-        });
+    net::ShardLoopOptions options;
+    options.checkpoint_path = std::move(ckpt_path);
+    start(scale, std::move(options));
+  }
+
+  InProcessWorker(double scale, net::ShardLoopOptions options) {
+    start(scale, std::move(options));
   }
 
   ~InProcessWorker() {
@@ -433,6 +448,17 @@ class InProcessWorker {
   net::Channel& router() { return router_; }
 
  private:
+  void start(double scale, net::ShardLoopOptions options) {
+    auto [router_end, worker_end] = net::make_channel_pair();
+    router_ = std::move(router_end);
+    backend_ = std::make_unique<TestBackend>(scale);
+    thread_ = std::thread(
+        [this, end = std::move(worker_end),
+         opts = std::move(options)]() mutable {
+          net::serve_shard_loop(end, *backend_, opts);
+        });
+  }
+
   net::Channel router_;
   std::unique_ptr<TestBackend> backend_;
   std::thread thread_;
@@ -773,6 +799,354 @@ TEST(ShardedService, AllreduceAndRotationSyncReplicas) {
 
   EXPECT_THROW(service.sync_replicas(runtime::SyncModel::kLocking),
                std::invalid_argument);
+  service.stop();
+}
+
+// ------------------------------------------------- observability plane --
+
+/// Enables tracing for one test and restores/clears after (the global
+/// TraceLog is shared with the in-process worker threads).
+class TracingOn {
+ public:
+  TracingOn() : previous_(obs::tracing_enabled()) {
+    obs::TraceLog::global().clear();
+    obs::set_tracing_enabled(true);
+  }
+  ~TracingOn() {
+    obs::set_tracing_enabled(previous_);
+    obs::TraceLog::global().clear();
+  }
+
+ private:
+  bool previous_;
+};
+
+TEST(Wire, VersionSkewFailsClosedInBothDirections) {
+  // An old (v1) writer's frame reaching this (v2) reader must be the typed
+  // VersionSkewError — and by symmetry a v1 reader applying the same exact
+  // version check rejects our v2 frames.  Fail closed both ways; never
+  // guess at a layout.
+  static_assert(net::kWireVersion == 2,
+                "wire v2 carries the trace-context and telemetry tails");
+  for (const int delta : {-1, +1}) {
+    std::string frame = net::encode_frame(net::MsgType::kQuery, "x");
+    frame[4] = static_cast<char>(net::kWireVersion + delta);
+    std::array<std::uint8_t, net::kFrameHeaderBytes> header_bytes{};
+    std::memcpy(header_bytes.data(), frame.data(), header_bytes.size());
+    EXPECT_THROW((void)net::decode_frame_header(header_bytes),
+                 net::VersionSkewError)
+        << "delta " << delta;
+  }
+}
+
+TEST(Wire, QueryTraceContextTailKnownAnswer) {
+  // KAT for the wire v2 kQuery tail: the last 16 payload bytes are the
+  // router's trace_id then span_id, byte-wise little-endian.
+  tensor::Matrix inputs(1, 1);
+  inputs(0, 0) = 1.0;
+  obs::TraceContext trace;
+  trace.trace_id = 0x1122334455667788ULL;
+  trace.span_id = 0x99AABBCCDDEEFF00ULL;
+  const std::string payload = encode_query_payload(inputs, {}, trace);
+  ASSERT_GE(payload.size(), 16U);
+  const unsigned char expect[16] = {0x88, 0x77, 0x66, 0x55, 0x44, 0x33,
+                                    0x22, 0x11, 0x00, 0xFF, 0xEE, 0xDD,
+                                    0xCC, 0xBB, 0xAA, 0x99};
+  EXPECT_EQ(std::memcmp(payload.data() + payload.size() - 16, expect, 16), 0);
+
+  // Untraced (default) context serializes as 16 zero bytes.
+  const std::string untraced = encode_query_payload(inputs, {});
+  const std::string_view tail(untraced.data() + untraced.size() - 16, 16);
+  EXPECT_EQ(tail.find_first_not_of('\0'), std::string_view::npos);
+}
+
+TEST(Telemetry, EncodeDecodeRoundTripsEveryField) {
+  net::TelemetryFrame frame;
+  frame.pid = 4242;
+  frame.process_name = "shard-3";
+  frame.meter.n_lookup = 10;
+  frame.meter.n_train = 2;
+  frame.meter.seq_samples = 1;
+  frame.meter.lookup_seconds = 1e-4;
+  frame.meter.train_seconds = 2e-3;
+  frame.meter.learn_seconds = 5e-2;
+  frame.meter.seq_seconds = 0.25;
+  frame.metrics.counters.push_back({"serve.requests", 77});
+  frame.metrics.gauges.push_back({"net.s_eff", 3.5});
+  obs::MetricsSnapshot::HistogramEntry h;
+  h.name = "lat";
+  h.count = 3;
+  h.sum = 0.006;
+  h.mean = 0.002;
+  h.min = 0.001;
+  h.max = 0.003;
+  h.p50 = 0.002;
+  h.p95 = 0.003;
+  h.p99 = 0.003;
+  h.buckets = {1, 2, 0, 0};
+  frame.metrics.histograms.push_back(h);
+  obs::SpanRecord span;
+  span.name = "net.worker_query";
+  span.thread = 0;
+  span.depth = 1;
+  span.pid = 4242;
+  span.start_seconds = 0.125;
+  span.seconds = 0.0625;
+  span.trace_id = 0xAAULL;
+  span.span_id = 0xBBULL;
+  span.parent_span_id = 0xCCULL;
+  frame.spans.push_back(span);
+
+  const net::TelemetryFrame got =
+      net::decode_telemetry(net::encode_telemetry(frame));
+  EXPECT_EQ(got.pid, 4242U);
+  EXPECT_EQ(got.process_name, "shard-3");
+  EXPECT_EQ(got.meter.n_lookup, 10U);
+  EXPECT_DOUBLE_EQ(got.meter.seq_seconds, 0.25);
+  ASSERT_EQ(got.metrics.counters.size(), 1U);
+  EXPECT_EQ(got.metrics.counters[0].value, 77U);
+  ASSERT_EQ(got.metrics.gauges.size(), 1U);
+  EXPECT_DOUBLE_EQ(got.metrics.gauges[0].value, 3.5);
+  ASSERT_EQ(got.metrics.histograms.size(), 1U);
+  EXPECT_EQ(got.metrics.histograms[0].buckets,
+            (std::vector<std::uint64_t>{1, 2, 0, 0}));
+  ASSERT_EQ(got.spans.size(), 1U);
+  EXPECT_EQ(got.spans[0].name, "net.worker_query");
+  EXPECT_EQ(got.spans[0].trace_id, 0xAAULL);
+  EXPECT_EQ(got.spans[0].parent_span_id, 0xCCULL);
+}
+
+TEST(Telemetry, DecodeFailsClosedOnGarbageAndTruncation) {
+  EXPECT_THROW((void)net::decode_telemetry("garbage"), net::WireError);
+  net::TelemetryFrame frame;
+  frame.pid = 1;
+  frame.process_name = "w";
+  const std::string good = net::encode_telemetry(frame);
+  EXPECT_THROW((void)net::decode_telemetry(
+                   std::string_view(good).substr(0, good.size() - 3)),
+               net::WireError);
+  EXPECT_THROW((void)net::decode_telemetry(good + "trailing"),
+               net::WireError);
+  // A bucket count larger than the remaining payload is rejected before
+  // any allocation-by-attacker loop.
+  net::WireWriter w;
+  w.put_u32(1);   // pid
+  w.put_u32(1);   // name length
+  w.put_bytes("w");
+  for (int i = 0; i < 3; ++i) w.put_u64(0);   // meter counts
+  for (int i = 0; i < 4; ++i) w.put_f64(0.0); // meter seconds
+  w.put_u32(0);  // counters
+  w.put_u32(0);  // gauges
+  w.put_u32(1);  // one histogram
+  w.put_u32(1);
+  w.put_bytes("h");
+  w.put_u64(0);
+  for (int i = 0; i < 7; ++i) w.put_f64(0.0);
+  w.put_u32(0xFFFFFFFFU);  // absurd bucket count
+  EXPECT_THROW((void)net::decode_telemetry(w.bytes()), net::WireError);
+}
+
+TEST(Telemetry, CollectLocalDrainsTheGlobalTraceLog) {
+  TracingOn guard;
+  obs::EffectiveSpeedupMeter meter;
+  meter.record_lookup(1e-5);
+  { const obs::TraceSpan span("collected"); }
+  const net::TelemetryFrame frame = net::collect_local_telemetry(meter);
+  EXPECT_EQ(frame.pid, static_cast<std::uint32_t>(::getpid()));
+  EXPECT_FALSE(frame.process_name.empty());
+  EXPECT_EQ(frame.meter.n_lookup, 1U);
+  ASSERT_EQ(frame.spans.size(), 1U);
+  EXPECT_EQ(frame.spans[0].name, "collected");
+  // Drained, not snapshotted: a second collect ships nothing twice.
+  EXPECT_TRUE(net::collect_local_telemetry(meter).spans.empty());
+}
+
+TEST(ShardLoop, WorkerAdoptsTheWireTraceContext) {
+  TracingOn guard;
+  InProcessWorker worker(1.0);
+  (void)worker.router().recv_frame();  // hello
+
+  obs::TraceContext router_ctx;
+  router_ctx.trace_id = 0xFEED000000000001ULL;
+  router_ctx.span_id = 0xFEED000000000002ULL;
+  tensor::Matrix inputs(1, 1);
+  inputs(0, 0) = 1.0;
+  const net::Frame answer = worker.exchange(
+      net::MsgType::kQuery, encode_query_payload(inputs, {}, router_ctx));
+  ASSERT_EQ(answer.type, net::MsgType::kAnswer);
+
+  // The worker thread shares this process's TraceLog: its request span
+  // must have joined the router's trace under the router's span.
+  bool found = false;
+  for (const auto& s : obs::TraceLog::global().snapshot()) {
+    if (s.name != "net.worker_query") continue;
+    found = true;
+    EXPECT_EQ(s.trace_id, router_ctx.trace_id);
+    EXPECT_EQ(s.parent_span_id, router_ctx.span_id);
+  }
+  EXPECT_TRUE(found);
+  (void)worker.exchange(net::MsgType::kShutdown, "");
+}
+
+TEST(ShardLoop, TelemetryPiggybacksOnTheConfiguredCadence) {
+  net::ShardLoopOptions options;
+  options.telemetry_every = 2;
+  InProcessWorker worker(1.0, options);
+  (void)worker.router().recv_frame();  // hello
+
+  tensor::Matrix inputs(1, 1);
+  inputs(0, 0) = 2.0;
+  std::string telemetry;
+  const auto first = worker.exchange(net::MsgType::kQuery,
+                                     encode_query_payload(inputs, {}));
+  (void)decode_answer_payload(first.payload, &telemetry);
+  EXPECT_TRUE(telemetry.empty());  // query 1 of cadence 2: no piggyback
+
+  const auto second = worker.exchange(net::MsgType::kQuery,
+                                      encode_query_payload(inputs, {}));
+  (void)decode_answer_payload(second.payload, &telemetry);
+  ASSERT_FALSE(telemetry.empty());
+  const net::TelemetryFrame frame = net::decode_telemetry(telemetry);
+  EXPECT_EQ(frame.pid, static_cast<std::uint32_t>(::getpid()));
+  EXPECT_EQ(frame.meter.n_lookup, 2U);  // one row per query so far
+  (void)worker.exchange(net::MsgType::kShutdown, "");
+}
+
+TEST(ShardLoop, TelemetryPullAnswersWithAReply) {
+  net::ShardLoopOptions options;
+  options.telemetry_every = 0;  // piggyback off: pull is the only path
+  InProcessWorker worker(1.0, options);
+  (void)worker.router().recv_frame();  // hello
+
+  tensor::Matrix inputs(1, 1);
+  inputs(0, 0) = 3.0;
+  std::string telemetry;
+  const auto answer = worker.exchange(net::MsgType::kQuery,
+                                      encode_query_payload(inputs, {}));
+  (void)decode_answer_payload(answer.payload, &telemetry);
+  EXPECT_TRUE(telemetry.empty());
+
+  const net::Frame reply = worker.exchange(net::MsgType::kTelemetry, "");
+  ASSERT_EQ(reply.type, net::MsgType::kTelemetryReply);
+  const net::TelemetryFrame frame = net::decode_telemetry(reply.payload);
+  EXPECT_EQ(frame.meter.n_lookup, 1U);
+  EXPECT_FALSE(frame.process_name.empty());
+  (void)worker.exchange(net::MsgType::kShutdown, "");
+}
+
+TEST(ShardedService, ObservabilityPlaneEndToEnd) {
+  LE_SKIP_UNDER_TSAN();
+  TracingOn tracing;
+  const std::string dir = make_temp_dir();
+  auto config = make_config(2, dir);
+  config.flight_dir = dir;
+  config.telemetry_every = 1;  // every answer carries telemetry
+  net::ShardedService service(std::move(config), scale_factory(2.0));
+  service.start();
+
+  tensor::Matrix inputs(8, 2);
+  for (std::size_t r = 0; r < inputs.rows(); ++r) {
+    inputs(r, 0) = static_cast<double>(r) * 1.3;
+    inputs(r, 1) = 0.5;
+  }
+  (void)service.query_batch(inputs);
+  (void)service.query_batch(inputs);
+
+  // Live per-shard telemetry arrived on the piggyback path: worker pids
+  // differ from the router's, process names identify the shard.
+  const auto stats = service.stats();
+  EXPECT_GE(stats.telemetry_frames, 2U);
+  const auto names = service.process_names();
+  EXPECT_GE(names.size(), 3U);  // router + 2 workers
+  std::uint64_t meter_total = 0;
+  for (std::size_t s = 0; s < 2; ++s) {
+    const net::TelemetryFrame frame = service.shard_telemetry(s);
+    EXPECT_NE(frame.pid, 0U);
+    EXPECT_NE(frame.pid, static_cast<std::uint32_t>(::getpid()));
+    EXPECT_EQ(frame.process_name, "shard-" + std::to_string(s));
+    meter_total += frame.meter.n_lookup;
+    ASSERT_TRUE(names.count(frame.pid));
+    EXPECT_EQ(names.at(frame.pid), frame.process_name);
+  }
+  // Component-wise merge identity: per-shard telemetry meters sum to the
+  // fleet meter (every row metered by exactly one shard).
+  EXPECT_EQ(meter_total, 16U);
+  EXPECT_EQ(service.merged_meter().n_lookup, 16U);
+
+  // The explicit pull path refreshes every live shard.
+  EXPECT_EQ(service.poll_telemetry(), 2U);
+
+  // Cross-process trace stitching: every harvested worker span joined a
+  // trace the router started, parented under one of the router's
+  // net.query_batch spans, and tagged with the worker's own pid.
+  const auto router_spans = obs::TraceLog::global().snapshot();
+  std::vector<std::uint64_t> router_span_ids;
+  for (const auto& s : router_spans) {
+    if (s.name == "net.query_batch") router_span_ids.push_back(s.span_id);
+  }
+  ASSERT_FALSE(router_span_ids.empty());
+  std::size_t worker_spans = 0;
+  std::vector<std::vector<obs::SpanRecord>> per_process{router_spans};
+  for (std::size_t s = 0; s < 2; ++s) {
+    const auto harvested = service.harvested_spans(s);
+    per_process.push_back(harvested);
+    for (const auto& span : harvested) {
+      if (span.name != "net.worker_query") continue;
+      ++worker_spans;
+      EXPECT_NE(span.pid, static_cast<std::uint32_t>(::getpid()));
+      EXPECT_NE(std::find(router_span_ids.begin(), router_span_ids.end(),
+                          span.parent_span_id),
+                router_span_ids.end())
+          << "worker span not parented under any router span";
+    }
+  }
+  EXPECT_GE(worker_spans, 2U);  // both shards served traced queries
+
+  // The merged multi-process trace renders with per-process labels.
+  const std::string json =
+      obs::to_chrome_trace(obs::merge_process_spans(per_process), names);
+  EXPECT_NE(json.find("shard-0"), std::string::npos);
+  EXPECT_NE(json.find("shard-1"), std::string::npos);
+
+  // Crash postmortem: SIGKILL a worker; the death-handling path harvests
+  // its flight-recorder dump (written at the last telemetry cadence).
+  service.kill_shard(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  (void)service.query_batch(inputs);  // discovers the death
+  EXPECT_GE(service.stats().flight_dumps_recovered, 1U);
+  const auto events = service.flight_events(1);
+  ASSERT_FALSE(events.empty());
+  bool saw_start = false, saw_query = false;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "worker_start") saw_start = true;
+    if (std::string(e.name) == "query") saw_query = true;
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_query);
+
+  service.stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardedService, FleetMetricsMergesShardSnapshots) {
+  LE_SKIP_UNDER_TSAN();
+  auto config = make_config(2);
+  config.telemetry_every = 1;
+  net::ShardedService service(std::move(config), scale_factory(1.0));
+  service.start();
+  tensor::Matrix inputs(6, 2);
+  for (std::size_t r = 0; r < inputs.rows(); ++r) {
+    inputs(r, 0) = static_cast<double>(r);
+    inputs(r, 1) = 1.0;
+  }
+  (void)service.query_batch(inputs);
+  ASSERT_EQ(service.poll_telemetry(), 2U);
+  // fleet_metrics = router registry merged with both worker snapshots via
+  // MetricsSnapshot::merge; it must at least be a well-formed snapshot
+  // that to_prometheus can render.
+  const obs::MetricsSnapshot fleet = service.fleet_metrics();
+  const std::string prom = obs::to_prometheus(fleet);
+  EXPECT_TRUE(prom.empty() || prom.find("# TYPE") != std::string::npos);
   service.stop();
 }
 

@@ -4,11 +4,14 @@
 // health monitor).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <limits>
 #include <span>
 #include <string>
@@ -16,9 +19,11 @@
 #include <vector>
 
 #include "le/obs/drift.hpp"
+#include "le/obs/flight_recorder.hpp"
 #include "le/obs/health.hpp"
 #include "le/obs/metrics.hpp"
 #include "le/obs/quantile.hpp"
+#include "le/obs/slo.hpp"
 #include "le/obs/speedup_meter.hpp"
 #include "le/obs/timer.hpp"
 #include "le/obs/trace_export.hpp"
@@ -968,6 +973,507 @@ TEST(ObsRegistry, SnapshotRacesLiveWritersSafely) {
   EXPECT_EQ(final_snap.counters.front().name.rfind("race.", 0), 0u);
   EXPECT_EQ(last_count, kWriters * 20000u);
   EXPECT_TRUE(JsonChecker(last_json).valid());
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot::merge — the telemetry-plane aggregation primitive
+
+obs::MetricsSnapshot::HistogramEntry make_hist(
+    const std::string& name, std::uint64_t count, double sum, double min,
+    double max, std::vector<std::uint64_t> buckets) {
+  obs::MetricsSnapshot::HistogramEntry h;
+  h.name = name;
+  h.count = count;
+  h.sum = sum;
+  h.mean = count == 0 ? 0.0 : sum / static_cast<double>(count);
+  h.min = min;
+  h.max = max;
+  h.buckets = std::move(buckets);
+  return h;
+}
+
+TEST(SnapshotMerge, EmptySnapshotIsIdentityOnBothSides) {
+  obs::MetricsSnapshot base;
+  base.counters.push_back({"a", 7});
+  base.gauges.push_back({"g", 1.5});
+  base.histograms.push_back(make_hist("h", 2, 3.0, 1.0, 2.0, {1, 1}));
+
+  obs::MetricsSnapshot lhs = base;
+  lhs.merge(obs::MetricsSnapshot{});  // rhs empty
+  EXPECT_EQ(lhs.counters.at(0).value, 7U);
+  EXPECT_DOUBLE_EQ(lhs.gauges.at(0).value, 1.5);
+  EXPECT_EQ(lhs.histograms.at(0).count, 2U);
+
+  obs::MetricsSnapshot empty;
+  empty.merge(base);  // lhs empty
+  ASSERT_EQ(empty.counters.size(), 1U);
+  EXPECT_EQ(empty.counters.at(0).value, 7U);
+  ASSERT_EQ(empty.histograms.size(), 1U);
+  EXPECT_EQ(empty.histograms.at(0).count, 2U);
+}
+
+TEST(SnapshotMerge, DisjointMetricSetsUnion) {
+  obs::MetricsSnapshot a;
+  a.counters.push_back({"only.a", 1});
+  a.gauges.push_back({"gauge.a", 0.5});
+  obs::MetricsSnapshot b;
+  b.counters.push_back({"only.b", 2});
+  b.histograms.push_back(make_hist("hist.b", 1, 4.0, 4.0, 4.0, {0, 1}));
+
+  a.merge(b);
+  ASSERT_EQ(a.counters.size(), 2U);
+  ASSERT_EQ(a.gauges.size(), 1U);
+  ASSERT_EQ(a.histograms.size(), 1U);
+  std::uint64_t only_a = 0, only_b = 0;
+  for (const auto& c : a.counters) {
+    if (c.name == "only.a") only_a = c.value;
+    if (c.name == "only.b") only_b = c.value;
+  }
+  EXPECT_EQ(only_a, 1U);
+  EXPECT_EQ(only_b, 2U);
+}
+
+TEST(SnapshotMerge, CountersAddAndGaugesLastWriteWins) {
+  obs::MetricsSnapshot a;
+  a.counters.push_back({"c", 10});
+  a.gauges.push_back({"g", 1.0});
+  obs::MetricsSnapshot b;
+  b.counters.push_back({"c", 32});
+  b.gauges.push_back({"g", 9.0});
+  a.merge(b);
+  EXPECT_EQ(a.counters.at(0).value, 42U);
+  // The incoming snapshot is newer: its gauge value wins.
+  EXPECT_DOUBLE_EQ(a.gauges.at(0).value, 9.0);
+}
+
+TEST(SnapshotMerge, HistogramsCombineComponentwise) {
+  obs::MetricsSnapshot a;
+  a.histograms.push_back(make_hist("h", 3, 6.0, 1.0, 3.0, {2, 1, 0}));
+  obs::MetricsSnapshot b;
+  b.histograms.push_back(make_hist("h", 2, 10.0, 0.5, 8.0, {0, 1, 1}));
+  a.merge(b);
+  ASSERT_EQ(a.histograms.size(), 1U);
+  const auto& h = a.histograms.at(0);
+  EXPECT_EQ(h.count, 5U);
+  EXPECT_DOUBLE_EQ(h.sum, 16.0);
+  EXPECT_DOUBLE_EQ(h.mean, 16.0 / 5.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);  // min of mins
+  EXPECT_DOUBLE_EQ(h.max, 8.0);  // max of maxes
+  ASSERT_EQ(h.buckets.size(), 3U);
+  EXPECT_EQ(h.buckets[0], 2U);
+  EXPECT_EQ(h.buckets[1], 2U);
+  EXPECT_EQ(h.buckets[2], 1U);
+}
+
+TEST(SnapshotMerge, BucketLayoutMismatchIsTypedError) {
+  obs::MetricsSnapshot a;
+  a.histograms.push_back(make_hist("h", 1, 1.0, 1.0, 1.0, {1, 0}));
+  obs::MetricsSnapshot b;
+  b.histograms.push_back(make_hist("h", 1, 1.0, 1.0, 1.0, {1, 0, 0}));
+  EXPECT_THROW(a.merge(b), obs::SnapshotMergeError);
+}
+
+TEST(SnapshotMerge, MatchesLiveRegistriesMergedByHand) {
+  // Two registries standing in for two processes; merging their snapshots
+  // must agree with recording everything into one registry.
+  obs::MetricsRegistry r1, r2, combined;
+  r1.counter("n").add(3);
+  r2.counter("n").add(4);
+  combined.counter("n").add(7);
+  for (const double v : {1e-6, 5e-5, 2e-3}) {
+    r1.histogram("lat").record(v);
+    combined.histogram("lat").record(v);
+  }
+  for (const double v : {3e-4, 0.1}) {
+    r2.histogram("lat").record(v);
+    combined.histogram("lat").record(v);
+  }
+  obs::MetricsSnapshot merged = r1.snapshot();
+  merged.merge(r2.snapshot());
+  const obs::MetricsSnapshot expect = combined.snapshot();
+  EXPECT_EQ(merged.counters.at(0).value, expect.counters.at(0).value);
+  ASSERT_EQ(merged.histograms.size(), 1U);
+  EXPECT_EQ(merged.histograms.at(0).count, expect.histograms.at(0).count);
+  EXPECT_DOUBLE_EQ(merged.histograms.at(0).sum, expect.histograms.at(0).sum);
+  EXPECT_EQ(merged.histograms.at(0).buckets, expect.histograms.at(0).buckets);
+}
+
+TEST(ObsPrometheus, ExposesCountersGaugesAndSummaries) {
+  obs::MetricsRegistry registry;
+  registry.counter("serve.requests").add(5);
+  registry.gauge("net.shard0.s_eff").set(2.5);
+  registry.histogram("query.latency").record(1e-3);
+  const std::string text = obs::to_prometheus(registry.snapshot());
+  // Names sanitized to [a-zA-Z0-9_:] under the le_ prefix; counters get
+  // _total; histograms expose quantile series plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE le_serve_requests_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("le_serve_requests_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE le_net_shard0_s_eff gauge"), std::string::npos);
+  EXPECT_NE(text.find("le_net_shard0_s_eff 2.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE le_query_latency_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("le_query_latency_seconds{quantile=\"0.95\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("le_query_latency_seconds_count 1"), std::string::npos);
+  // Locale-proof: never a ',' decimal separator.
+  EXPECT_EQ(text.find("2,5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SloTracker — multi-window burn-rate alerting
+
+obs::SloConfig small_slo() {
+  obs::SloConfig config;
+  config.objective = 0.9;  // 10% error budget
+  config.fast_window = 8;
+  config.slow_window = 32;
+  config.fast_burn = 5.0;
+  config.slow_burn = 3.0;
+  config.resolve_burn = 1.0;
+  return config;
+}
+
+TEST(SloTracker, RejectsInvalidConfig) {
+  obs::SloConfig bad = small_slo();
+  bad.objective = 1.0;
+  EXPECT_THROW(obs::SloTracker{bad}, std::invalid_argument);
+  bad = small_slo();
+  bad.fast_window = 0;
+  EXPECT_THROW(obs::SloTracker{bad}, std::invalid_argument);
+  bad = small_slo();
+  bad.fast_window = 64;  // fast must not exceed slow
+  EXPECT_THROW(obs::SloTracker{bad}, std::invalid_argument);
+  bad = small_slo();
+  bad.fast_burn = 0.0;
+  EXPECT_THROW(obs::SloTracker{bad}, std::invalid_argument);
+}
+
+TEST(SloTracker, NoAlertBeforeTheFastWindowFills) {
+  obs::SloTracker tracker(small_slo());
+  // 7 straight failures: catastrophic burn, but the fast window has not
+  // seen a full window's worth of evidence yet — no page on a cold start.
+  for (int i = 0; i < 7; ++i) tracker.record(false);
+  EXPECT_FALSE(tracker.firing());
+  EXPECT_EQ(tracker.stats().alerts_fired, 0U);
+}
+
+TEST(SloTracker, FiresOnSustainedBurnThenResolvesOnRecovery) {
+  obs::SloTracker tracker(small_slo());
+  // All-bad traffic: bad_fraction 1.0 over a 10% budget = burn rate 10,
+  // above both thresholds once the fast window is full.
+  for (int i = 0; i < 8; ++i) tracker.record(false);
+  EXPECT_TRUE(tracker.firing());
+  EXPECT_DOUBLE_EQ(tracker.fast_burn_rate(), 10.0);
+  EXPECT_EQ(tracker.stats().alerts_fired, 1U);
+
+  // Sustained good traffic drains both windows below resolve_burn.
+  for (int i = 0; i < 40; ++i) tracker.record(true);
+  EXPECT_FALSE(tracker.firing());
+  EXPECT_EQ(tracker.stats().alerts_resolved, 1U);
+  EXPECT_DOUBLE_EQ(tracker.fast_burn_rate(), 0.0);
+}
+
+TEST(SloTracker, SingleBlipDoesNotPage) {
+  obs::SloTracker tracker(small_slo());
+  // One failure in otherwise healthy traffic: fast burn 1/8 / 0.1 = 1.25,
+  // far below the page threshold.
+  for (int i = 0; i < 32; ++i) tracker.record(i != 10);
+  EXPECT_FALSE(tracker.firing());
+  EXPECT_EQ(tracker.stats().alerts_fired, 0U);
+  EXPECT_EQ(tracker.stats().bad_events, 1U);
+}
+
+TEST(SloTracker, CallbackSeesFireAndResolveTransitions) {
+  obs::SloTracker tracker(small_slo());
+  std::vector<obs::SloAlert> alerts;
+  tracker.set_alert_callback(
+      [&alerts](const obs::SloAlert& a) { alerts.push_back(a); });
+  for (int i = 0; i < 8; ++i) tracker.record(false);
+  for (int i = 0; i < 40; ++i) tracker.record(true);
+  ASSERT_EQ(alerts.size(), 2U);
+  EXPECT_TRUE(alerts[0].firing);
+  EXPECT_GE(alerts[0].fast_burn_rate, 5.0);
+  EXPECT_GE(alerts[0].slow_burn_rate, 3.0);
+  EXPECT_EQ(alerts[0].bad_events, 8U);
+  EXPECT_FALSE(alerts[1].firing);
+  // A transition fires exactly once, not once per bad sample.
+  EXPECT_EQ(tracker.stats().alerts_fired, 1U);
+}
+
+TEST(SloTracker, PublishesMetricsWhenEnabled) {
+  MetricsOn guard;
+  obs::MetricsRegistry registry;
+  obs::SloTracker tracker(small_slo());
+  tracker.enable_metrics(registry, "slo.deadline");
+  for (int i = 0; i < 8; ++i) tracker.record(false);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  double firing = 0.0, fast = 0.0;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "slo.deadline.firing") firing = g.value;
+    if (g.name == "slo.deadline.burn_fast") fast = g.value;
+  }
+  EXPECT_DOUBLE_EQ(firing, 1.0);
+  EXPECT_DOUBLE_EQ(fast, 10.0);
+  std::uint64_t fired = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "slo.deadline.alerts_fired") fired = c.value;
+  }
+  EXPECT_EQ(fired, 1U);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder — the crash black box
+
+TEST(FlightRecorder, UnconfiguredRecorderIsANoop) {
+  obs::FlightRecorder recorder;
+  EXPECT_FALSE(recorder.enabled());
+  recorder.record("ignored");  // must not crash
+  EXPECT_FALSE(recorder.dump());
+  EXPECT_TRUE(recorder.events().empty());
+}
+
+TEST(FlightRecorder, RecordDumpReadRoundTrip) {
+  const std::string path = testing::TempDir() + "le_obs_flight_rt.bin";
+  obs::FlightRecorder recorder;
+  recorder.configure(path, 16);
+  recorder.record("worker_start", 1, 0);
+  recorder.record("query", 42, 3);
+  recorder.record(
+      "a-label-much-longer-than-the-thirty-one-byte-slot-limit", 7, 8);
+  ASSERT_TRUE(recorder.dump());
+
+  const obs::FlightDump dump = obs::read_flight_dump(path);
+  EXPECT_EQ(dump.pid, static_cast<std::uint32_t>(::getpid()));
+  ASSERT_EQ(dump.events.size(), 3U);
+  EXPECT_STREQ(dump.events[0].name, "worker_start");
+  EXPECT_EQ(dump.events[1].a, 42U);
+  EXPECT_EQ(dump.events[1].b, 3U);
+  EXPECT_EQ(dump.events[0].pid, dump.pid);
+  // Long labels truncate to 31 chars + NUL, never overflow.
+  EXPECT_EQ(std::string(dump.events[2].name).size(),
+            obs::FlightEvent::kNameBytes - 1);
+  // Timestamps are monotone on the process clock.
+  EXPECT_LE(dump.events[0].t_seconds, dump.events[1].t_seconds);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, RingWrapKeepsTheNewestEvents) {
+  const std::string path = testing::TempDir() + "le_obs_flight_wrap.bin";
+  obs::FlightRecorder recorder;
+  recorder.configure(path, 4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record("e", static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(recorder.recorded(), 10U);
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4U);  // capacity bound
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].a, 6U + i);  // oldest-first tail of the stream
+  }
+  ASSERT_TRUE(recorder.dump());
+  EXPECT_EQ(obs::read_flight_dump(path).events.size(), 4U);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, CorruptDumpsAreTypedErrors) {
+  const std::string path = testing::TempDir() + "le_obs_flight_bad.bin";
+  obs::FlightRecorder recorder;
+  recorder.configure(path, 4);
+  recorder.record("x");
+  ASSERT_TRUE(recorder.dump());
+
+  const auto read_bytes = [&path]() {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const auto write_bytes = [&path](const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  const std::string good = read_bytes();
+
+  EXPECT_THROW((void)obs::read_flight_dump(path + ".does-not-exist"),
+               obs::FlightDumpError);
+
+  std::string bad = good;
+  bad[0] ^= 0x5A;  // magic
+  write_bytes(bad);
+  EXPECT_THROW((void)obs::read_flight_dump(path), obs::FlightDumpError);
+
+  bad = good;
+  bad[4] = 9;  // version skew, checked before the CRC
+  write_bytes(bad);
+  EXPECT_THROW((void)obs::read_flight_dump(path), obs::FlightDumpError);
+
+  write_bytes(good.substr(0, good.size() - 7));  // truncated mid-body
+  EXPECT_THROW((void)obs::read_flight_dump(path), obs::FlightDumpError);
+
+  bad = good;
+  bad[good.size() / 2] ^= 0x01;  // flipped payload bit -> CRC mismatch
+  write_bytes(bad);
+  EXPECT_THROW((void)obs::read_flight_dump(path), obs::FlightDumpError);
+
+  write_bytes(good);  // the pristine bytes still parse
+  EXPECT_EQ(obs::read_flight_dump(path).events.size(), 1U);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, SpanHookFeedsTheGlobalRecorder) {
+  const std::string path = testing::TempDir() + "le_obs_flight_hook.bin";
+  obs::FlightRecorder::global().configure(path, 32);
+  obs::set_flight_span_hook_enabled(true);
+  obs::set_tracing_enabled(true);
+  { const obs::TraceSpan span("hooked"); }
+  obs::set_tracing_enabled(false);
+  obs::set_flight_span_hook_enabled(false);
+
+  bool found = false;
+  for (const auto& e : obs::FlightRecorder::global().events()) {
+    if (std::string(e.name) == "span:hooked") {
+      found = true;
+      EXPECT_NE(e.a, 0U);  // span_id rides in payload word A
+    }
+  }
+  EXPECT_TRUE(found);
+  obs::TraceLog::global().clear();
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// TraceContext — causal identity across process boundaries
+
+/// Flips tracing on for one test, restoring the previous state (and
+/// clearing whatever the test logged) after.
+class TracingOn {
+ public:
+  TracingOn() : previous_(obs::tracing_enabled()) {
+    obs::TraceLog::global().clear();
+    obs::set_tracing_enabled(true);
+  }
+  ~TracingOn() {
+    obs::set_tracing_enabled(previous_);
+    obs::TraceLog::global().clear();
+  }
+
+ private:
+  bool previous_;
+};
+
+TEST(TraceContext, FreshRootSpanStartsItsOwnTrace) {
+  TracingOn guard;
+  obs::TraceContext ctx;
+  {
+    const obs::TraceSpan span("root");
+    ctx = span.context();
+  }
+  EXPECT_TRUE(ctx.valid());
+  EXPECT_EQ(ctx.trace_id, ctx.span_id);  // a root names its own trace
+  EXPECT_EQ(ctx.parent_span_id, 0U);
+  // Fleet-unique ids: the upper 32 bits carry the allocating pid.
+  EXPECT_EQ(ctx.span_id >> 32, static_cast<std::uint64_t>(::getpid()));
+}
+
+TEST(TraceContext, NestedSpansParentUnderTheEnclosingSpan) {
+  TracingOn guard;
+  {
+    const obs::TraceSpan outer("outer");
+    const obs::TraceContext outer_ctx = outer.context();
+    const obs::TraceSpan inner("inner");
+    const obs::TraceContext inner_ctx = inner.context();
+    EXPECT_EQ(inner_ctx.trace_id, outer_ctx.trace_id);
+    EXPECT_EQ(inner_ctx.parent_span_id, outer_ctx.span_id);
+    EXPECT_NE(inner_ctx.span_id, outer_ctx.span_id);
+  }
+  const auto spans = obs::TraceLog::global().snapshot();
+  ASSERT_EQ(spans.size(), 2U);
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.pid, static_cast<std::uint32_t>(::getpid()));
+  }
+}
+
+TEST(TraceContext, ScopeAdoptsARemoteParent) {
+  TracingOn guard;
+  // What a worker does with the context it decodes off the wire.
+  obs::TraceContext remote;
+  remote.trace_id = 0xAAAA000000000001ULL;
+  remote.span_id = 0xBBBB000000000002ULL;
+  {
+    const obs::TraceContextScope scope(remote);
+    const obs::TraceSpan span("worker_side");
+    const obs::TraceContext ctx = span.context();
+    EXPECT_EQ(ctx.trace_id, remote.trace_id);
+    EXPECT_EQ(ctx.parent_span_id, remote.span_id);
+  }
+  // The adoption is scoped: after destruction new spans are fresh roots.
+  {
+    const obs::TraceSpan span("after");
+    EXPECT_EQ(span.context().parent_span_id, 0U);
+  }
+}
+
+TEST(TraceContext, InvalidRemoteContextAdoptsNothing) {
+  TracingOn guard;
+  const obs::TraceContext zeros;  // zeroed wire fields = untraced request
+  const obs::TraceContextScope scope(zeros);
+  const obs::TraceSpan span("untraced_parent");
+  EXPECT_EQ(span.context().parent_span_id, 0U);
+  EXPECT_EQ(span.context().trace_id, span.context().span_id);
+}
+
+TEST(TraceContext, DrainDeliversEachSpanExactlyOnce) {
+  TracingOn guard;
+  { const obs::TraceSpan span("once"); }
+  const auto first = obs::TraceLog::global().drain();
+  EXPECT_EQ(first.size(), 1U);
+  EXPECT_TRUE(obs::TraceLog::global().drain().empty());
+}
+
+TEST(ChromeTrace, CarriesProcessMetadataAndHexContextIds) {
+  obs::SpanRecord router;
+  router.name = "net.query_batch";
+  router.pid = 100;
+  router.trace_id = 0xDEADBEEFULL;
+  router.span_id = 0xDEADBEEFULL;
+  obs::SpanRecord worker;
+  worker.name = "net.worker_query";
+  worker.pid = 200;
+  worker.start_seconds = 0.001;
+  worker.seconds = 0.0005;
+  worker.trace_id = 0xDEADBEEFULL;
+  worker.span_id = 0xC0FFEEULL;
+  worker.parent_span_id = 0xDEADBEEFULL;
+
+  const std::string json = obs::to_chrome_trace(
+      obs::merge_process_spans({{router}, {worker}}),
+      {{100, "router"}, {200, "shard-0"}});
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"router\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":200"), std::string::npos);
+  // Context ids export as hex strings (u64 would not survive JSON doubles).
+  EXPECT_NE(json.find("\"0xdeadbeef\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\":\"0xdeadbeef\""),
+            std::string::npos);
+}
+
+TEST(ChromeTrace, MergeProcessSpansOrdersByStartAndKeepsPids) {
+  obs::SpanRecord early, late;
+  early.name = "early";
+  early.pid = 2;
+  early.start_seconds = 0.001;
+  late.name = "late";
+  late.pid = 1;
+  late.start_seconds = 0.002;
+  const auto merged = obs::merge_process_spans({{late}, {early}, {}});
+  ASSERT_EQ(merged.size(), 2U);
+  EXPECT_EQ(merged[0].name, "early");
+  EXPECT_EQ(merged[0].pid, 2U);
+  EXPECT_EQ(merged[1].name, "late");
 }
 
 }  // namespace

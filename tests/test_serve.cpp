@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "le/obs/metrics.hpp"
+#include "le/obs/slo.hpp"
 #include "le/serve/admission.hpp"
 #include "le/serve/batch_queue.hpp"
 #include "le/serve/degradation.hpp"
@@ -762,6 +763,49 @@ TEST(DegradationLadder, HysteresisHoldsBetweenReleaseAndEngage) {
   feed_window(ladder, 0.4e-3);
   EXPECT_EQ(ladder.level(), ServiceLevel::kQuantized);
   EXPECT_EQ(ladder.stats().releases, 0u);
+}
+
+TEST(DegradationLadder, EngageAtLeastEscalatesAndReleasesNormally) {
+  DegradationLadder ladder(tiny_ladder());
+  ASSERT_EQ(ladder.level(), ServiceLevel::kFull);
+
+  // External escalation — what an obs::SloTracker burn-rate alert does:
+  // jump to the floor immediately, without a latency window crossing.
+  ladder.engage_at_least(ServiceLevel::kCacheOnly);
+  EXPECT_EQ(ladder.level(), ServiceLevel::kCacheOnly);
+  EXPECT_EQ(ladder.stats().engages, 1u);
+
+  // At-or-below the current level is a no-op, not a downgrade.
+  ladder.engage_at_least(ServiceLevel::kQuantized);
+  ladder.engage_at_least(ServiceLevel::kCacheOnly);
+  EXPECT_EQ(ladder.level(), ServiceLevel::kCacheOnly);
+  EXPECT_EQ(ladder.stats().engages, 1u);
+
+  // Release from an escalated level walks the normal hysteresis path:
+  // calm windows below engage[1] * 0.5 step down one level per dwell.
+  feed_window(ladder, 0.5e-3);
+  feed_window(ladder, 0.5e-3);
+  EXPECT_EQ(ladder.level(), ServiceLevel::kQuantized);
+  EXPECT_EQ(ladder.stats().releases, 1u);
+}
+
+TEST(DegradationLadder, SloAlertCallbackDrivesTheLadder) {
+  // The wiring the observability plane uses end to end: a tracker over
+  // deadline attainment browns the service out when the budget burns.
+  DegradationLadder ladder(tiny_ladder());
+  le::obs::SloConfig slo;
+  slo.objective = 0.9;
+  slo.fast_window = 4;
+  slo.slow_window = 16;
+  slo.fast_burn = 5.0;
+  slo.slow_burn = 3.0;
+  le::obs::SloTracker tracker(slo);
+  tracker.set_alert_callback([&ladder](const le::obs::SloAlert& alert) {
+    if (alert.firing) ladder.engage_at_least(ServiceLevel::kQuantized);
+  });
+  for (int i = 0; i < 4; ++i) tracker.record(false);  // burn the budget
+  EXPECT_TRUE(tracker.firing());
+  EXPECT_EQ(ladder.level(), ServiceLevel::kQuantized);
 }
 
 TEST(DegradationLadder, ConstructorValidatesConfig) {
